@@ -1,0 +1,394 @@
+//! Binning (1-D and 2-D aggregation).
+//!
+//! Binning is the survey's second approximation family and the direct
+//! answer to Shneiderman's "squeeze a billion records into a million
+//! pixels" \[119\]: the output size is bounded by the number of bins —
+//! i.e. by the *display*, not by the data. Three 1-D strategies:
+//!
+//! * **equal-width** — fixed value intervals; fast, but skew starves bins;
+//! * **equal-frequency** — quantile cuts; every bin carries the same
+//!   number of records, robust to skew;
+//! * **variance-minimizing** — a 1-D k-means-style Lloyd refinement of the
+//!   equal-width cuts, approximating v-optimal histograms.
+//!
+//! Plus [`grid2d`], the heatmap aggregation used by imMens \[97\] and
+//! Nanocubes \[96\]-style spatial systems.
+
+/// A 1-D bin: half-open interval `[lo, hi)` (the last bin is closed) with
+/// aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Upper edge (exclusive except for the last bin).
+    pub hi: f64,
+    /// Number of values in the bin.
+    pub count: usize,
+    /// Sum of values (mean = sum / count).
+    pub sum: f64,
+    /// Minimum value in the bin (NaN if empty).
+    pub min: f64,
+    /// Maximum value in the bin (NaN if empty).
+    pub max: f64,
+}
+
+impl Bin {
+    fn empty(lo: f64, hi: f64) -> Bin {
+        Bin {
+            lo,
+            hi,
+            count: 0,
+            sum: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = if self.min.is_nan() {
+            v
+        } else {
+            self.min.min(v)
+        };
+        self.max = if self.max.is_nan() {
+            v
+        } else {
+            self.max.max(v)
+        };
+    }
+
+    /// Mean of the bin's values (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The 1-D binning strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinningStrategy {
+    /// Fixed-width intervals across the value range.
+    EqualWidth,
+    /// Quantile cuts: equal record counts per bin.
+    EqualFrequency,
+    /// Lloyd-refined cuts minimizing within-bin variance.
+    VarianceMinimizing,
+}
+
+/// A histogram: ordered bins plus the strategy that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// The bins, in value order.
+    pub bins: Vec<Bin>,
+    /// The strategy used.
+    pub strategy: BinningStrategy,
+}
+
+impl Histogram {
+    /// Builds a histogram with `k ≥ 1` bins. Empty input yields no bins.
+    pub fn build(values: &[f64], k: usize, strategy: BinningStrategy) -> Histogram {
+        assert!(k >= 1, "need at least one bin");
+        if values.is_empty() {
+            return Histogram {
+                bins: Vec::new(),
+                strategy,
+            };
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        if sorted.is_empty() {
+            return Histogram {
+                bins: Vec::new(),
+                strategy,
+            };
+        }
+        let edges = match strategy {
+            BinningStrategy::EqualWidth => equal_width_edges(&sorted, k),
+            BinningStrategy::EqualFrequency => equal_frequency_edges(&sorted, k),
+            BinningStrategy::VarianceMinimizing => variance_minimizing_edges(&sorted, k),
+        };
+        let mut bins: Vec<Bin> = edges.windows(2).map(|w| Bin::empty(w[0], w[1])).collect();
+        for &v in &sorted {
+            let i = locate(&edges, v);
+            bins[i].add(v);
+        }
+        Histogram { bins, strategy }
+    }
+
+    /// Total count across bins.
+    pub fn total(&self) -> usize {
+        self.bins.iter().map(|b| b.count).sum()
+    }
+
+    /// Within-bin sum of squared deviations (the v-optimal objective).
+    pub fn sse(&self, values: &[f64]) -> f64 {
+        let edges: Vec<f64> = self
+            .bins
+            .iter()
+            .map(|b| b.lo)
+            .chain(self.bins.last().map(|b| b.hi))
+            .collect();
+        let mut sse = 0.0;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            let i = locate(&edges, v);
+            let m = self.bins[i].mean();
+            if m.is_finite() {
+                sse += (v - m).powi(2);
+            }
+        }
+        sse
+    }
+}
+
+/// Finds the bin index for `v` given `k+1` edges; values above the last
+/// edge clamp into the final bin.
+fn locate(edges: &[f64], v: f64) -> usize {
+    let k = edges.len() - 1;
+    let i = edges.partition_point(|&e| e <= v);
+    i.saturating_sub(1).min(k - 1)
+}
+
+fn equal_width_edges(sorted: &[f64], k: usize) -> Vec<f64> {
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    if lo == hi {
+        // Degenerate range: a single point spread over one bin.
+        return vec![lo, hi + 1.0];
+    }
+    let w = (hi - lo) / k as f64;
+    let mut edges: Vec<f64> = (0..=k).map(|i| lo + w * i as f64).collect();
+    edges[k] = hi; // avoid float drift on the top edge
+    edges
+}
+
+fn equal_frequency_edges(sorted: &[f64], k: usize) -> Vec<f64> {
+    let n = sorted.len();
+    let mut edges = Vec::with_capacity(k + 1);
+    edges.push(sorted[0]);
+    for i in 1..k {
+        let q = i * n / k;
+        edges.push(sorted[q.min(n - 1)]);
+    }
+    edges.push(sorted[n - 1]);
+    // Duplicate quantiles (heavy ties) collapse; keep edges monotone by
+    // nudging: dedup and let locate() clamp.
+    edges.dedup();
+    if edges.len() < 2 {
+        edges.push(edges[0] + 1.0);
+    }
+    edges
+}
+
+/// 1-D Lloyd iteration over bin means: starts from equal-width cuts,
+/// repeatedly reassigns boundaries to midpoints between adjacent bin means.
+fn variance_minimizing_edges(sorted: &[f64], k: usize) -> Vec<f64> {
+    let mut edges = equal_width_edges(sorted, k);
+    for _ in 0..16 {
+        // Compute bin means under current edges.
+        let mut sums = vec![0.0; edges.len() - 1];
+        let mut counts = vec![0usize; edges.len() - 1];
+        for &v in sorted {
+            let i = locate(&edges, v);
+            sums[i] += v;
+            counts[i] += 1;
+        }
+        let means: Vec<Option<f64>> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c > 0 { Some(s / c as f64) } else { None })
+            .collect();
+        // New interior edges at midpoints of adjacent non-empty means.
+        let mut changed = false;
+        for i in 1..edges.len() - 1 {
+            if let (Some(a), Some(b)) = (means[i - 1], means[i]) {
+                let mid = (a + b) / 2.0;
+                if (mid - edges[i]).abs() > f64::EPSILON && mid > edges[i - 1] && mid < edges[i + 1]
+                {
+                    edges[i] = mid;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    edges
+}
+
+/// A 2-D grid cell aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridCell {
+    /// Column index.
+    pub col: usize,
+    /// Row index.
+    pub row: usize,
+    /// Point count.
+    pub count: usize,
+}
+
+/// Bins 2-D points into a `cols × rows` grid over their bounding box —
+/// the heatmap/density aggregation of imMens \[97\]. Returns only the
+/// non-empty cells (sparse representation).
+pub fn grid2d(points: &[(f64, f64)], cols: usize, rows: usize) -> Vec<GridCell> {
+    assert!(cols >= 1 && rows >= 1);
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let wx = if x1 > x0 { x1 - x0 } else { 1.0 };
+    let wy = if y1 > y0 { y1 - y0 } else { 1.0 };
+    let mut counts = vec![0usize; cols * rows];
+    for &(x, y) in points {
+        let c = (((x - x0) / wx * cols as f64) as usize).min(cols - 1);
+        let r = (((y - y0) / wy * rows as f64) as usize).min(rows - 1);
+        counts[r * cols + c] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .map(|(i, n)| GridCell {
+            col: i % cols,
+            row: i / cols,
+            count: n,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn equal_width_covers_and_partitions() {
+        let vals = ramp(1000);
+        let h = Histogram::build(&vals, 10, BinningStrategy::EqualWidth);
+        assert_eq!(h.bins.len(), 10);
+        assert_eq!(h.total(), 1000);
+        // Uniform data → equal counts.
+        assert!(h.bins.iter().all(|b| (90..=110).contains(&b.count)));
+        // Bins tile the range.
+        for w in h.bins.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo);
+        }
+    }
+
+    #[test]
+    fn equal_frequency_balances_skew() {
+        // Heavy skew: 90% of mass at the low end.
+        let mut vals: Vec<f64> = (0..9000).map(|i| (i % 100) as f64).collect();
+        vals.extend((0..1000).map(|i| 1000.0 + i as f64));
+        let ew = Histogram::build(&vals, 10, BinningStrategy::EqualWidth);
+        let ef = Histogram::build(&vals, 10, BinningStrategy::EqualFrequency);
+        let spread = |h: &Histogram| {
+            let counts: Vec<usize> = h.bins.iter().map(|b| b.count).collect();
+            *counts.iter().max().unwrap() as f64 / (*counts.iter().min().unwrap()).max(1) as f64
+        };
+        assert!(
+            spread(&ef) < spread(&ew),
+            "equal-frequency must balance counts better: ef={}, ew={}",
+            spread(&ef),
+            spread(&ew)
+        );
+        assert_eq!(ef.total(), 10_000);
+    }
+
+    #[test]
+    fn variance_minimizing_beats_equal_width_on_bimodal() {
+        let mut vals: Vec<f64> = (0..500).map(|i| 10.0 + (i % 50) as f64 * 0.1).collect();
+        vals.extend((0..500).map(|i| 500.0 + (i % 50) as f64 * 0.1));
+        let ew = Histogram::build(&vals, 4, BinningStrategy::EqualWidth);
+        let vm = Histogram::build(&vals, 4, BinningStrategy::VarianceMinimizing);
+        assert!(vm.sse(&vals) <= ew.sse(&vals) + 1e-9);
+        assert_eq!(vm.total(), 1000);
+    }
+
+    #[test]
+    fn bin_stats_are_consistent() {
+        let vals = vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
+        let h = Histogram::build(&vals, 2, BinningStrategy::EqualWidth);
+        let b0 = &h.bins[0];
+        assert_eq!(b0.count, 3);
+        assert_eq!(b0.min, 1.0);
+        assert_eq!(b0.max, 3.0);
+        assert!((b0.mean() - 2.0).abs() < 1e-12);
+        let b1 = &h.bins[1];
+        assert_eq!(b1.count, 3);
+        assert!((b1.mean() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Histogram::build(&[], 5, BinningStrategy::EqualWidth)
+            .bins
+            .is_empty());
+        // All-identical values.
+        let h = Histogram::build(&[7.0; 100], 5, BinningStrategy::EqualWidth);
+        assert_eq!(h.total(), 100);
+        // Non-finite values are ignored.
+        let h = Histogram::build(
+            &[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0],
+            2,
+            BinningStrategy::EqualWidth,
+        );
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn top_edge_value_lands_in_last_bin() {
+        let h = Histogram::build(&ramp(100), 7, BinningStrategy::EqualWidth);
+        assert!(h.bins.last().unwrap().max == 99.0);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn output_size_independent_of_input_size() {
+        for n in [1_000, 10_000, 100_000] {
+            let h = Histogram::build(&ramp(n), 64, BinningStrategy::EqualWidth);
+            assert_eq!(h.bins.len(), 64);
+        }
+    }
+
+    #[test]
+    fn grid2d_counts_and_sparsity() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 % 10.0, (i / 10) as f64))
+            .collect();
+        let cells = grid2d(&pts, 10, 10);
+        assert_eq!(cells.iter().map(|c| c.count).sum::<usize>(), 100);
+        assert!(cells.len() <= 100);
+        // Clustered input → few non-empty cells.
+        let clustered: Vec<(f64, f64)> = (0..1000).map(|_| (5.0, 5.0)).collect();
+        let cells = grid2d(&clustered, 32, 32);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].count, 1000);
+    }
+
+    #[test]
+    fn grid2d_handles_empty_and_degenerate() {
+        assert!(grid2d(&[], 4, 4).is_empty());
+        let one = grid2d(&[(3.0, 3.0)], 4, 4);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].count, 1);
+    }
+}

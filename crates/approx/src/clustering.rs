@@ -1,0 +1,290 @@
+//! Clustering (aggregation by similarity).
+//!
+//! The survey's aggregation family includes clustering: Trisolda \[38\]
+//! "adopts clustering techniques in order to merge graph nodes", ZoomRDF
+//! \[142\] space-optimizes by aggregation, and the §4 hierarchical-
+//! abstraction systems all build their layers by clustering/partitioning.
+//! Two workhorses are implemented over points of any dimension:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ style farthest-first
+//!   seeding (deterministic given the seed).
+//! * [`agglomerative`] — average-linkage hierarchical clustering, cut at
+//!   `k` clusters; also the basis of dendrogram-style graph hierarchies.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A k-means result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub assignment: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Runs k-means (Lloyd) on `points` (each a `dim`-vector) with `k`
+/// clusters. Seeding: first centroid uniformly at random, the rest by
+/// farthest-first traversal (a deterministic k-means++ variant).
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeans {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged input");
+    let k = k.min(points.len());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Farthest-first seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let (best, _) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d = centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        centroids.push(points[best].clone());
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(j, c)| (j, sq_dist(p, c)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let a = assignment[i];
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for j in 0..k {
+            if counts[j] > 0 {
+                for s in &mut sums[j] {
+                    *s /= counts[j] as f64;
+                }
+                centroids[j] = sums[j].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeans {
+        centroids,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+/// Average-linkage agglomerative clustering, cut at `k` clusters.
+/// Returns the assignment per point. O(n²·merge-steps): intended for the
+/// per-layer cluster counts of abstraction hierarchies (hundreds of
+/// points), not raw datasets.
+pub fn agglomerative(points: &[Vec<f64>], k: usize) -> Vec<usize> {
+    assert!(k >= 1);
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    // Active clusters: member lists + centroid (average linkage via
+    // centroid distance approximation).
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut centroids: Vec<Vec<f64>> = points.to_vec();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut active_count = n;
+    while active_count > k {
+        // Find the closest active pair.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = sq_dist(&centroids[i], &centroids[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        // Merge j into i.
+        let (mi, mj) = (members[i].len() as f64, members[j].len() as f64);
+        let merged_centroid: Vec<f64> = centroids[i]
+            .iter()
+            .zip(&centroids[j])
+            .map(|(a, b)| (a * mi + b * mj) / (mi + mj))
+            .collect();
+        centroids[i] = merged_centroid;
+        let mj_members = std::mem::take(&mut members[j]);
+        members[i].extend(mj_members);
+        active[j] = false;
+        active_count -= 1;
+    }
+    // Produce dense labels.
+    let mut labels = vec![0usize; n];
+    let mut next = 0;
+    for i in 0..n {
+        if active[i] {
+            for &m in &members[i] {
+                labels[m] = next;
+            }
+            next += 1;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Three well-separated 2-D blobs, 30 points each.
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, center) in [(0.0, 0.0), (100.0, 0.0), (50.0, 100.0)].iter().enumerate() {
+            for i in 0..30 {
+                let dx = (i % 6) as f64 * 0.5;
+                let dy = (i / 6) as f64 * 0.5;
+                pts.push(vec![center.0 + dx, center.1 + dy]);
+                truth.push(ci);
+            }
+        }
+        (pts, truth)
+    }
+
+    /// Checks that two labelings induce the same partition.
+    fn same_partition(a: &[usize], b: &[usize]) -> bool {
+        let mut map = std::collections::HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            match map.entry(x) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(y);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != y {
+                        return false;
+                    }
+                }
+            }
+        }
+        let distinct_a: std::collections::HashSet<_> = a.iter().collect();
+        let distinct_b: std::collections::HashSet<_> = b.iter().collect();
+        distinct_a.len() == distinct_b.len()
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let (pts, truth) = blobs();
+        let r = kmeans(&pts, 3, 50, 1);
+        assert!(same_partition(&r.assignment, &truth));
+        assert!(r.inertia < 1000.0);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_given_seed() {
+        let (pts, _) = blobs();
+        let a = kmeans(&pts, 3, 50, 5);
+        let b = kmeans(&pts, 3, 50, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kmeans_k_clamped_to_n() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&pts, 10, 10, 1);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn kmeans_inertia_decreases_with_k() {
+        let (pts, _) = blobs();
+        let i1 = kmeans(&pts, 1, 50, 1).inertia;
+        let i3 = kmeans(&pts, 3, 50, 1).inertia;
+        let i9 = kmeans(&pts, 9, 50, 1).inertia;
+        assert!(i1 > i3, "i1={i1} i3={i3}");
+        assert!(i3 >= i9, "i3={i3} i9={i9}");
+    }
+
+    #[test]
+    fn kmeans_one_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let r = kmeans(&pts, 1, 10, 1);
+        assert!((r.centroids[0][0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn kmeans_rejects_empty() {
+        let _ = kmeans(&[], 2, 10, 1);
+    }
+
+    #[test]
+    fn agglomerative_recovers_separated_blobs() {
+        let (pts, truth) = blobs();
+        let labels = agglomerative(&pts, 3);
+        assert!(same_partition(&labels, &truth));
+    }
+
+    #[test]
+    fn agglomerative_k_one_merges_everything() {
+        let (pts, _) = blobs();
+        let labels = agglomerative(&pts, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn agglomerative_k_n_is_identity_partition() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = agglomerative(&pts, 3);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn agglomerative_empty_input() {
+        assert!(agglomerative(&[], 3).is_empty());
+    }
+}

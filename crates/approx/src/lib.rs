@@ -1,0 +1,38 @@
+//! # wodex-approx — approximation & data-reduction techniques
+//!
+//! §2 of the survey: "*In order to tackle both performance and presentation
+//! issues, a large number of systems adopt approximation techniques (a.k.a.
+//! data reduction techniques) in which partial results are computed.
+//! Considering the existing approaches, most of them are based on: (1)
+//! sampling and filtering; or/and (2) aggregation (e.g., binning,
+//! clustering).*"
+//!
+//! This crate implements that catalog:
+//!
+//! * [`sampling`] — reservoir, Bernoulli, stratified, weighted and
+//!   visualization-aware sampling (the lineage of \[46, 105, 2, 69, 17\]).
+//! * [`binning`] — equal-width, equal-frequency and variance-minimizing
+//!   1-D binning, plus 2-D grid binning ("squeeze a billion records into a
+//!   million pixels" \[119\]; bin–summarise \[138\], M4-style pixel-aware
+//!   aggregation \[73, 74\]).
+//! * [`clustering`] — k-means and agglomerative clustering (the
+//!   aggregation flavor used by graph systems: Trisolda \[38\], ZoomRDF
+//!   \[142\]).
+//! * [`progressive`] — incremental/progressive computation with
+//!   CLT-based confidence intervals over growing samples, the
+//!   BlinkDB/VisReduce/sampleAction pattern \[2, 69, 46\]; includes a
+//!   crossbeam-based pipelined executor (the parallel-architecture note of
+//!   §2 \[41, 78, 77, 69\]).
+//! * [`sketch`] — Count-Min and HyperLogLog sketches for constant-memory
+//!   statistics over streams (the "statistics" facility at billion-object
+//!   scale).
+
+pub mod binning;
+pub mod clustering;
+pub mod progressive;
+pub mod sampling;
+pub mod sketch;
+
+pub use binning::{Bin, BinningStrategy, Histogram};
+pub use progressive::{ProgressiveAggregate, ProgressiveEstimate};
+pub use sampling::Reservoir;

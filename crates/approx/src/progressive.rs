@@ -1,0 +1,355 @@
+//! Incremental / progressive computation.
+//!
+//! §2: "*Numerous recent systems integrate incremental and approximate
+//! techniques; in these approaches, approximate answers are computed
+//! incrementally over progressively larger samples of the data*" [46, 2,
+//! 69]. The contract of those systems is a stream of *estimates with
+//! shrinking error bounds*: the analyst watches the bound tighten and
+//! stops when it is good enough ("Trust Me, I'm Partially Right" \[46\]).
+//!
+//! * [`ProgressiveAggregate`] — Welford-style online mean/sum/count with
+//!   CLT confidence intervals, fed chunk by chunk.
+//! * [`ProgressiveHistogram`] — progressive equal-width histogram over
+//!   fixed edges (the imMens-style additive bin update).
+//! * [`run_pipelined`] — a crossbeam two-thread pipeline: a producer
+//!   streams chunks while the consumer folds estimates (the §2 parallel-
+//!   architecture note, in its simplest honest form).
+
+use crate::binning::{Bin, Histogram};
+
+/// z-score for a 95% two-sided normal interval.
+const Z95: f64 = 1.959_963_984_540_054;
+
+/// A point-in-time estimate of a progressive aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressiveEstimate {
+    /// Values consumed so far.
+    pub n: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Running sum.
+    pub sum: f64,
+    /// Half-width of the 95% confidence interval on the mean (CLT).
+    pub ci95: f64,
+    /// Fraction of the (declared) total consumed, if a total was declared.
+    pub progress: Option<f64>,
+}
+
+impl ProgressiveEstimate {
+    /// True if the relative CI half-width is below `rel` (of |mean|).
+    pub fn converged(&self, rel: f64) -> bool {
+        self.n >= 2 && self.mean != 0.0 && self.ci95 / self.mean.abs() <= rel
+    }
+}
+
+/// Online mean/variance (Welford) with chunked ingestion.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressiveAggregate {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    sum: f64,
+    declared_total: Option<u64>,
+}
+
+impl ProgressiveAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> ProgressiveAggregate {
+        ProgressiveAggregate::default()
+    }
+
+    /// Declares the total stream length so estimates report progress and
+    /// the sum can be extrapolated.
+    pub fn with_total(total: u64) -> ProgressiveAggregate {
+        ProgressiveAggregate {
+            declared_total: Some(total),
+            ..Default::default()
+        }
+    }
+
+    /// Ingests one value.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        let d = v - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (v - self.mean);
+    }
+
+    /// Ingests a chunk.
+    pub fn push_chunk(&mut self, chunk: &[f64]) {
+        for &v in chunk {
+            self.push(v);
+        }
+    }
+
+    /// Sample variance (unbiased); 0 for n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// The current estimate with a CLT 95% interval on the mean.
+    pub fn estimate(&self) -> ProgressiveEstimate {
+        let ci95 = if self.n >= 2 {
+            Z95 * (self.variance() / self.n as f64).sqrt()
+        } else {
+            f64::INFINITY
+        };
+        ProgressiveEstimate {
+            n: self.n,
+            mean: self.mean,
+            sum: self.sum,
+            ci95,
+            progress: self.declared_total.map(|t| {
+                if t == 0 {
+                    1.0
+                } else {
+                    (self.n as f64 / t as f64).min(1.0)
+                }
+            }),
+        }
+    }
+
+    /// Extrapolated total sum (`mean × declared_total`) with its 95% CI
+    /// half-width; `None` when no total was declared.
+    pub fn extrapolated_sum(&self) -> Option<(f64, f64)> {
+        let t = self.declared_total? as f64;
+        let e = self.estimate();
+        Some((e.mean * t, e.ci95 * t))
+    }
+}
+
+/// Progressive equal-width histogram with fixed edges: bins only ever
+/// accumulate, so partial histograms are valid previews of the final one.
+#[derive(Debug, Clone)]
+pub struct ProgressiveHistogram {
+    edges: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl ProgressiveHistogram {
+    /// Creates a histogram over `[lo, hi)` with `k` fixed bins.
+    pub fn new(lo: f64, hi: f64, k: usize) -> ProgressiveHistogram {
+        assert!(k >= 1 && hi > lo);
+        let w = (hi - lo) / k as f64;
+        ProgressiveHistogram {
+            edges: (0..=k).map(|i| lo + w * i as f64).collect(),
+            counts: vec![0; k],
+        }
+    }
+
+    /// Ingests a chunk; out-of-range values clamp into the edge bins.
+    pub fn push_chunk(&mut self, chunk: &[f64]) {
+        let k = self.counts.len();
+        let lo = self.edges[0];
+        let hi = self.edges[k];
+        let w = (hi - lo) / k as f64;
+        for &v in chunk {
+            if !v.is_finite() {
+                continue;
+            }
+            let i = (((v - lo) / w) as isize).clamp(0, k as isize - 1) as usize;
+            self.counts[i] += 1;
+        }
+    }
+
+    /// Total count so far.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Normalized bin fractions (empty histogram → zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        let t = self.total();
+        if t == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / t as f64).collect()
+    }
+
+    /// Snapshot as a [`Histogram`] (for rendering).
+    pub fn snapshot(&self) -> Histogram {
+        let bins = self
+            .edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(w, &c)| Bin {
+                lo: w[0],
+                hi: w[1],
+                count: c,
+                sum: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+            })
+            .collect();
+        Histogram {
+            bins,
+            strategy: crate::binning::BinningStrategy::EqualWidth,
+        }
+    }
+
+    /// L1 distance between this histogram's fractions and another's —
+    /// the convergence metric of experiment E3.
+    pub fn l1_distance(&self, other: &ProgressiveHistogram) -> f64 {
+        self.fractions()
+            .iter()
+            .zip(other.fractions())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+/// Runs a producer/consumer pipeline: `chunks` are generated on one thread
+/// and folded into a [`ProgressiveAggregate`] on another, calling
+/// `on_estimate` after each chunk. Returns the final estimate.
+///
+/// This is the minimal honest version of the §2 parallel-architecture
+/// pattern (VisReduce \[69\]): ingestion and aggregation overlap, and the UI
+/// thread (the callback) sees a monotone stream of estimates.
+pub fn run_pipelined(
+    chunks: Vec<Vec<f64>>,
+    total: u64,
+    mut on_estimate: impl FnMut(&ProgressiveEstimate),
+) -> ProgressiveEstimate {
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<f64>>(4);
+    let producer = std::thread::spawn(move || {
+        for c in chunks {
+            if tx.send(c).is_err() {
+                break;
+            }
+        }
+    });
+    let mut agg = ProgressiveAggregate::with_total(total);
+    for chunk in rx {
+        agg.push_chunk(&chunk);
+        on_estimate(&agg.estimate());
+    }
+    producer.join().expect("producer thread panicked");
+    agg.estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut agg = ProgressiveAggregate::new();
+        agg.push_chunk(&vals);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (vals.len() - 1) as f64;
+        let e = agg.estimate();
+        assert!((e.mean - mean).abs() < 1e-9);
+        assert!((agg.variance() - var).abs() < 1e-6);
+        assert!((e.sum - vals.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let mut agg = ProgressiveAggregate::new();
+        let mut last = f64::INFINITY;
+        for chunk in 0..10 {
+            let vals: Vec<f64> = (0..1000)
+                .map(|i| ((chunk * 1000 + i) as f64 * 0.61803).fract() * 100.0)
+                .collect();
+            agg.push_chunk(&vals);
+            let ci = agg.estimate().ci95;
+            assert!(ci < last, "CI must shrink: {ci} >= {last}");
+            last = ci;
+        }
+    }
+
+    #[test]
+    fn ci_contains_true_mean_usually() {
+        // Nominal 95% coverage: over 200 independent streams, the CI
+        // should contain the true mean in the vast majority of runs.
+        let mut covered = 0;
+        for seed in 0..200u64 {
+            let vals: Vec<f64> = (0..500)
+                .map(|i| {
+                    let x = ((seed * 1_000_003 + i) as f64 * 0.7548776662).fract();
+                    x * 100.0 // uniform on [0,100): true mean 50
+                })
+                .collect();
+            let mut agg = ProgressiveAggregate::new();
+            agg.push_chunk(&vals);
+            let e = agg.estimate();
+            if (e.mean - 50.0).abs() <= e.ci95 {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 170, "coverage too low: {covered}/200");
+    }
+
+    #[test]
+    fn convergence_predicate() {
+        let mut agg = ProgressiveAggregate::new();
+        agg.push(10.0);
+        assert!(!agg.estimate().converged(0.01));
+        for _ in 0..10_000 {
+            agg.push(10.0);
+        }
+        assert!(agg.estimate().converged(0.01));
+    }
+
+    #[test]
+    fn progress_and_extrapolation() {
+        let mut agg = ProgressiveAggregate::with_total(1000);
+        agg.push_chunk(&vec![2.0; 250]);
+        let e = agg.estimate();
+        assert_eq!(e.progress, Some(0.25));
+        let (sum, ci) = agg.extrapolated_sum().unwrap();
+        assert!((sum - 2000.0).abs() < 1e-9);
+        assert!(ci.abs() < 1e-9); // zero variance
+    }
+
+    #[test]
+    fn progressive_histogram_converges_to_final_shape() {
+        let all: Vec<f64> = (0..20_000)
+            .map(|i| (i as f64 * 0.618).fract() * 100.0)
+            .collect();
+        let mut full = ProgressiveHistogram::new(0.0, 100.0, 20);
+        full.push_chunk(&all);
+        let mut partial = ProgressiveHistogram::new(0.0, 100.0, 20);
+        let mut dists = Vec::new();
+        for chunk in all.chunks(2000) {
+            partial.push_chunk(chunk);
+            dists.push(partial.l1_distance(&full));
+        }
+        assert!(dists.last().unwrap() < &1e-9);
+        // Every partial snapshot is a valid preview: distances are finite
+        // and never exceed the maximum possible L1 distance of 2.
+        assert!(dists.iter().all(|d| d.is_finite() && *d <= 2.0));
+        assert!(dists[0] >= *dists.last().unwrap());
+    }
+
+    #[test]
+    fn progressive_histogram_clamps_outliers() {
+        let mut h = ProgressiveHistogram::new(0.0, 10.0, 5);
+        h.push_chunk(&[-100.0, 100.0, 5.0, f64::NAN]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.snapshot().bins[0].count, 1);
+        assert_eq!(h.snapshot().bins[4].count, 1);
+    }
+
+    #[test]
+    fn pipelined_run_matches_sequential() {
+        let chunks: Vec<Vec<f64>> = (0..20)
+            .map(|c| (0..500).map(|i| (c * 500 + i) as f64).collect())
+            .collect();
+        let mut seq = ProgressiveAggregate::with_total(10_000);
+        for c in &chunks {
+            seq.push_chunk(c);
+        }
+        let mut callbacks = 0;
+        let fin = run_pipelined(chunks, 10_000, |_| callbacks += 1);
+        assert_eq!(callbacks, 20);
+        assert_eq!(fin.n, 10_000);
+        assert!((fin.mean - seq.estimate().mean).abs() < 1e-9);
+    }
+}

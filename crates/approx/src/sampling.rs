@@ -1,0 +1,304 @@
+//! Sampling techniques.
+//!
+//! Sampling is the first of the survey's two approximation families. The
+//! flavors here cover what the cited systems use:
+//!
+//! * [`Reservoir`] — uniform k-out-of-n over a stream of unknown length
+//!   (Vitter's algorithm R): the workhorse for the §2 dynamic setting.
+//! * [`bernoulli`] — rate-based row sampling (BlinkDB-style \[2\]).
+//! * [`stratified`] — per-group reservoirs guaranteeing every group is
+//!   represented, the BlinkDB stratified-sample idea for group-by charts.
+//! * [`weighted`] — A-ExpJ weighted reservoir sampling, for
+//!   importance-weighted reduction.
+//! * [`visualization_aware`] — a VAS-flavoured \[105\] subset selection that
+//!   greedily spreads samples across the value domain so the *plotted*
+//!   shape survives reduction.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Uniform reservoir sampling (algorithm R): maintains a uniform sample of
+/// size `k` over a stream of unknown length.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    k: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates a reservoir of capacity `k ≥ 1`.
+    pub fn new(k: usize) -> Reservoir<T> {
+        assert!(k >= 1, "reservoir capacity must be at least 1");
+        Reservoir {
+            k,
+            seen: 0,
+            items: Vec::with_capacity(k),
+        }
+    }
+
+    /// Number of stream elements observed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Offers one element to the reservoir.
+    pub fn offer<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.k {
+            self.items.push(item);
+        } else {
+            let j = rng.random_range(0..self.seen);
+            if (j as usize) < self.k {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Offers every element of an iterator.
+    pub fn extend<R: Rng>(&mut self, iter: impl IntoIterator<Item = T>, rng: &mut R) {
+        for item in iter {
+            self.offer(item, rng);
+        }
+    }
+
+    /// The current sample (length `min(k, seen)`).
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Bernoulli (rate) sampling: keeps each element independently with
+/// probability `rate`.
+pub fn bernoulli<T: Clone, R: Rng>(items: &[T], rate: f64, rng: &mut R) -> Vec<T> {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+    items
+        .iter()
+        .filter(|_| rng.random_range(0.0..1.0) < rate)
+        .cloned()
+        .collect()
+}
+
+/// Stratified sampling: a reservoir of size `per_stratum` for every
+/// stratum key, so small groups survive reduction.
+pub fn stratified<T: Clone, K: Eq + std::hash::Hash, R: Rng>(
+    items: &[T],
+    key: impl Fn(&T) -> K,
+    per_stratum: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    let mut strata: HashMap<K, Reservoir<T>> = HashMap::new();
+    for item in items {
+        strata
+            .entry(key(item))
+            .or_insert_with(|| Reservoir::new(per_stratum))
+            .offer(item.clone(), rng);
+    }
+    let mut out = Vec::new();
+    for (_, r) in strata {
+        out.extend(r.into_sample());
+    }
+    out
+}
+
+/// Weighted reservoir sampling (Efraimidis–Spirakis A-Res): each item's
+/// key is `u^(1/w)`; the k largest keys win. Higher weight ⇒ higher
+/// inclusion probability.
+pub fn weighted<T: Clone, R: Rng>(items: &[(T, f64)], k: usize, rng: &mut R) -> Vec<T> {
+    assert!(k >= 1);
+    // (key, index) min-heap via sorted Vec since k is small.
+    let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+    for (i, (_, w)) in items.iter().enumerate() {
+        if *w <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random_range(f64::EPSILON..1.0);
+        let key = u.powf(1.0 / w);
+        if heap.len() < k {
+            heap.push((key, i));
+            heap.sort_by(|a, b| a.0.total_cmp(&b.0));
+        } else if key > heap[0].0 {
+            heap[0] = (key, i);
+            heap.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+    }
+    heap.into_iter().map(|(_, i)| items[i].0.clone()).collect()
+}
+
+/// Visualization-aware subset selection: picks `k` points so that the
+/// value domain is covered evenly — extremes are always kept and the rest
+/// fill the largest gaps. Preserves the plotted envelope of a scatter/line
+/// far better than uniform sampling at the same budget (VAS \[105\]
+/// objective, greedy approximation).
+///
+/// Input need not be sorted; returns indices into `values`.
+pub fn visualization_aware(values: &[f64], k: usize) -> Vec<usize> {
+    if values.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    if k >= values.len() {
+        return (0..values.len()).collect();
+    }
+    // Sort indices by value.
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    if k == 1 {
+        return vec![order[0]];
+    }
+    // Evenly spaced picks along the sorted order, always including both
+    // extremes: rank-domain coverage, robust to outliers.
+    let mut out = Vec::with_capacity(k);
+    for j in 0..k {
+        let pos = j * (order.len() - 1) / (k - 1);
+        out.push(order[pos]);
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn reservoir_size_is_bounded() {
+        let mut r = Reservoir::new(10);
+        let mut g = rng(1);
+        r.extend(0..1000, &mut g);
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn reservoir_short_stream_keeps_everything() {
+        let mut r = Reservoir::new(10);
+        let mut g = rng(2);
+        r.extend(0..4, &mut g);
+        let mut s = r.into_sample();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reservoir_is_approximately_uniform() {
+        // Each of 100 items should appear in a size-10 sample ~10% of runs.
+        let mut counts = vec![0u32; 100];
+        for seed in 0..2000 {
+            let mut r = Reservoir::new(10);
+            let mut g = rng(seed);
+            r.extend(0..100usize, &mut g);
+            for &x in r.sample() {
+                counts[x] += 1;
+            }
+        }
+        // Expected 200 per item; allow generous slack.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (120..=280).contains(&c),
+                "item {i} appeared {c} times (expected ~200)"
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_is_respected() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let mut g = rng(3);
+        let s = bernoulli(&items, 0.1, &mut g);
+        assert!((800..1200).contains(&s.len()), "got {}", s.len());
+        let none = bernoulli(&items, 0.0, &mut g);
+        assert!(none.is_empty());
+        let all = bernoulli(&items, 1.0, &mut g);
+        assert_eq!(all.len(), items.len());
+    }
+
+    #[test]
+    fn stratified_keeps_small_groups() {
+        // 9900 of group A, 100 of group B: uniform sampling at 1% would
+        // expect just one B; stratified guarantees per_stratum of each.
+        let items: Vec<(char, u32)> = (0..9900)
+            .map(|i| ('A', i))
+            .chain((0..100).map(|i| ('B', i)))
+            .collect();
+        let mut g = rng(4);
+        let s = stratified(&items, |x| x.0, 50, &mut g);
+        let b = s.iter().filter(|x| x.0 == 'B').count();
+        let a = s.iter().filter(|x| x.0 == 'A').count();
+        assert_eq!(b, 50);
+        assert_eq!(a, 50);
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_items() {
+        let items: Vec<(u32, f64)> = (0..100)
+            .map(|i| (i, if i < 10 { 100.0 } else { 1.0 }))
+            .collect();
+        let mut heavy_total = 0usize;
+        for seed in 0..200 {
+            let mut g = rng(seed);
+            let s = weighted(&items, 10, &mut g);
+            heavy_total += s.iter().filter(|&&x| x < 10).count();
+        }
+        // Heavy items (10% of population, 100× weight) should dominate.
+        assert!(
+            heavy_total > 1400,
+            "heavy items picked only {heavy_total}/2000 slots"
+        );
+    }
+
+    #[test]
+    fn weighted_skips_nonpositive_weights() {
+        let items = vec![(1u32, 0.0), (2, -1.0), (3, 1.0)];
+        let mut g = rng(5);
+        let s = weighted(&items, 3, &mut g);
+        assert_eq!(s, vec![3]);
+    }
+
+    #[test]
+    fn visualization_aware_keeps_extremes() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let idx = visualization_aware(&values, 20);
+        assert!(idx.len() <= 20 && idx.len() >= 2);
+        let picked: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(picked.contains(&min), "min must be kept");
+        assert!(picked.contains(&max), "max must be kept");
+    }
+
+    #[test]
+    fn visualization_aware_edge_cases() {
+        assert!(visualization_aware(&[], 5).is_empty());
+        assert!(visualization_aware(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(visualization_aware(&[1.0, 2.0], 10), vec![0, 1]);
+        assert_eq!(visualization_aware(&[3.0, 1.0, 2.0], 1), vec![1]);
+    }
+
+    #[test]
+    fn visualization_aware_covers_domain_better_than_prefix() {
+        // Compare the value span covered by VAS picks vs the same budget of
+        // "first k" picks over a skewed column: the plotted envelope
+        // survives only if the span does.
+        let values: Vec<f64> = (0..5000).map(|i| ((i % 97) as f64).powi(2)).collect();
+        let k = 50;
+        let vas = visualization_aware(&values, k);
+        let span = |idx: &[usize]| {
+            let vs: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+            vs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - vs.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        let prefix: Vec<usize> = (0..k).collect();
+        assert!(span(&vas) > span(&prefix));
+        assert_eq!(span(&vas), 96.0f64.powi(2));
+    }
+}

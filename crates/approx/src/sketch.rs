@@ -1,0 +1,260 @@
+//! Streaming sketches: constant-memory statistics.
+//!
+//! The "Statistics" facility of Table 1 must survive the §2 setting —
+//! billion-object streams on limited memory. Two classic sketches cover
+//! the two statistics WoD statistics panels actually show:
+//!
+//! * [`CountMin`] — approximate frequencies ("how often is each predicate
+//!   / class used?") with an ε/δ guarantee.
+//! * [`HyperLogLog`] — approximate distinct counts ("how many distinct
+//!   subjects?") in a few kilobytes.
+//!
+//! Both hash with FNV-1a (implemented inline; no external crates).
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A second-round mix so the d rows of CountMin see independent hashes.
+fn mix(h: u64, round: u64) -> u64 {
+    let mut x = h ^ round.wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Count-Min sketch: `d` rows of `w` counters; point queries return an
+/// overestimate bounded by `ε·N` with probability `1-δ` where `w = ⌈e/ε⌉`,
+/// `d = ⌈ln(1/δ)⌉`.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl CountMin {
+    /// Creates a sketch with the given width and depth.
+    pub fn new(width: usize, depth: usize) -> CountMin {
+        assert!(width >= 1 && depth >= 1);
+        CountMin {
+            width,
+            rows: vec![vec![0; width]; depth],
+            total: 0,
+        }
+    }
+
+    /// Creates a sketch sized for error `epsilon` (relative to the stream
+    /// length) with failure probability `delta`.
+    pub fn with_error(epsilon: f64, delta: f64) -> CountMin {
+        assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMin::new(width, depth)
+    }
+
+    /// Adds one occurrence of `item`.
+    pub fn add(&mut self, item: &[u8]) {
+        let h = fnv1a(item);
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            let idx = (mix(h, r as u64) % self.width as u64) as usize;
+            row[idx] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Estimated count of `item` (never an underestimate).
+    pub fn estimate(&self, item: &[u8]) -> u64 {
+        let h = fnv1a(item);
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| row[(mix(h, r as u64) % self.width as u64) as usize])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total items added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// HyperLogLog distinct counter with `2^p` registers (`4 ≤ p ≤ 16`).
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    p: u8,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Creates an HLL with precision `p` (standard error ≈ 1.04/√(2^p)).
+    pub fn new(p: u8) -> HyperLogLog {
+        assert!((4..=16).contains(&p), "precision must be in 4..=16");
+        HyperLogLog {
+            p,
+            registers: vec![0; 1 << p],
+        }
+    }
+
+    /// Adds an item.
+    pub fn add(&mut self, item: &[u8]) {
+        // FNV's high bits diffuse poorly; run the 64-bit finalizer so the
+        // register index (top p bits) and rank (next bits) are uniform.
+        let h = mix(fnv1a(item), 0xD6E8_FEB8_6659_FD93);
+        let idx = (h >> (64 - self.p)) as usize;
+        let rest = h << self.p;
+        let rank = (rest.leading_zeros() + 1).min(64 - u32::from(self.p)) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct items added.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
+        let raw = alpha * m * m / sum;
+        // Small-range correction (linear counting).
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merges another sketch of identical precision.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countmin_never_underestimates() {
+        let mut cm = CountMin::new(256, 4);
+        for i in 0..1000u32 {
+            let key = (i % 50).to_le_bytes();
+            cm.add(&key);
+        }
+        for i in 0..50u32 {
+            let est = cm.estimate(&i.to_le_bytes());
+            assert!(est >= 20, "key {i}: estimate {est} < true 20");
+        }
+        assert_eq!(cm.total(), 1000);
+    }
+
+    #[test]
+    fn countmin_error_bound_holds_in_practice() {
+        // ε = 0.01 → overestimate ≤ 1% of N (w.h.p.).
+        let mut cm = CountMin::with_error(0.01, 0.01);
+        let n = 100_000u32;
+        for i in 0..n {
+            cm.add(&(i % 1000).to_le_bytes());
+        }
+        let mut violations = 0;
+        for i in 0..1000u32 {
+            let est = cm.estimate(&i.to_le_bytes());
+            if est > 100 + (0.01 * n as f64) as u64 {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 10, "too many bound violations: {violations}");
+    }
+
+    #[test]
+    fn countmin_skewed_heavy_hitter() {
+        let mut cm = CountMin::new(512, 4);
+        for _ in 0..10_000 {
+            cm.add(b"heavy");
+        }
+        for i in 0..100u32 {
+            cm.add(&i.to_le_bytes());
+        }
+        assert!(cm.estimate(b"heavy") >= 10_000);
+        assert!(cm.estimate(b"heavy") < 10_200);
+    }
+
+    #[test]
+    fn hll_estimates_within_error() {
+        let mut hll = HyperLogLog::new(12); // σ ≈ 1.6%
+        let n = 50_000;
+        for i in 0..n {
+            hll.add(format!("item-{i}").as_bytes());
+        }
+        let est = hll.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "relative error {rel} too high (est {est})");
+    }
+
+    #[test]
+    fn hll_duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(10);
+        for _ in 0..100 {
+            for i in 0..500 {
+                hll.add(format!("dup-{i}").as_bytes());
+            }
+        }
+        let est = hll.estimate();
+        assert!((400.0..600.0).contains(&est), "est {est}");
+    }
+
+    #[test]
+    fn hll_small_range_correction() {
+        let mut hll = HyperLogLog::new(12);
+        for i in 0..10 {
+            hll.add(format!("x{i}").as_bytes());
+        }
+        let est = hll.estimate();
+        assert!((8.0..13.0).contains(&est), "est {est}");
+    }
+
+    #[test]
+    fn hll_merge_unions() {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        for i in 0..5000 {
+            a.add(format!("a{i}").as_bytes());
+            b.add(format!("b{i}").as_bytes());
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        let rel = (est - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.1, "merged est {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn hll_merge_rejects_mismatched_precision() {
+        let mut a = HyperLogLog::new(10);
+        let b = HyperLogLog::new(11);
+        a.merge(&b);
+    }
+}

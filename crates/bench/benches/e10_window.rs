@@ -1,0 +1,31 @@
+//! E10 — quadtree viewport windowing vs linear filtering.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_graph::layout::random;
+use wodex_graph::spatial::{QuadTree, Rect};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_window");
+    let lay = random(100_000, 10_000.0, 5);
+    let qt = QuadTree::from_layout(&lay);
+    for &pct in &[1u32, 5, 25] {
+        let side = 10_000.0 * ((pct as f32) / 100.0).sqrt();
+        let window = Rect::new(100.0, 100.0, 100.0 + side, 100.0 + side);
+        g.bench_with_input(BenchmarkId::new("quadtree", pct), &window, |b, w| {
+            b.iter(|| black_box(qt.query(w).0.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("linear_filter", pct), &window, |b, w| {
+            b.iter(|| black_box(lay.positions.iter().filter(|p| w.contains(p)).count()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E11 — graph sampling strategies at fixed rate.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+use wodex_graph::sample;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_gsample");
+    for &n in &[5_000usize, 20_000] {
+        let adj = workloads::ba_graph(n);
+        g.bench_with_input(BenchmarkId::new("node", n), &adj, |b, adj| {
+            b.iter(|| black_box(sample::node_sample(adj, 0.1, 1).graph.node_count()));
+        });
+        g.bench_with_input(BenchmarkId::new("edge", n), &adj, |b, adj| {
+            b.iter(|| black_box(sample::edge_sample(adj, 0.1, 1).graph.node_count()));
+        });
+        g.bench_with_input(BenchmarkId::new("forest_fire", n), &adj, |b, adj| {
+            b.iter(|| black_box(sample::forest_fire(adj, 0.1, 0.6, 1).graph.node_count()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

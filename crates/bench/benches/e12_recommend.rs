@@ -1,0 +1,54 @@
+//! E12 — profiling + recommendation over a realistic dataset.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+use wodex_viz::ldvm::LdvmPipeline;
+use wodex_viz::profile::profile_graph;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_recommend");
+    for &entities in &[500usize, 2_000] {
+        let graph = workloads::dbpedia_graph(entities);
+        g.bench_with_input(
+            BenchmarkId::new("profile_graph", entities),
+            &graph,
+            |b, gr| {
+                b.iter(|| black_box(profile_graph(gr).len()));
+            },
+        );
+        let pipeline = LdvmPipeline::new(graph.clone());
+        g.bench_with_input(
+            BenchmarkId::new("analyze_and_recommend", entities),
+            &pipeline,
+            |b, p| {
+                b.iter(|| {
+                    let a = p.analyze_property("http://dbp.example.org/ontology/population");
+                    black_box(p.recommendations(&a).len())
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_ldvm_run", entities),
+            &pipeline,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        p.run("http://dbp.example.org/ontology/population")
+                            .svg
+                            .len(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E13 — faceted browsing and keyword search.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+use wodex_explore::session::ExplorationSession;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_explore");
+    for &entities in &[1_000usize, 5_000] {
+        let graph = workloads::dbpedia_graph(entities);
+        g.bench_with_input(
+            BenchmarkId::new("session_build", entities),
+            &graph,
+            |b, gr| {
+                b.iter(|| black_box(ExplorationSession::new(gr.clone()).overview().len()));
+            },
+        );
+        let session = ExplorationSession::new(graph.clone());
+        g.bench_with_input(
+            BenchmarkId::new("facet_counts", entities),
+            &session,
+            |b, s| {
+                b.iter(|| {
+                    black_box(
+                        s.facets()
+                            .counts("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+                            .len(),
+                    )
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("keyword_search", entities),
+            &session,
+            |b, s| {
+                b.iter(|| black_box(s.search_preview("city 42", 20).len()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

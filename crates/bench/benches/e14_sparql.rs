@@ -1,0 +1,45 @@
+//! E14 — SPARQL-subset engine query shapes.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+
+const FILTER_Q: &str = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+    SELECT ?s ?p WHERE { ?s dbo:population ?p FILTER(?p > 1000000) } LIMIT 20";
+const JOIN_Q: &str = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+    PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+    SELECT ?a ?b WHERE { ?a dbo:linksTo ?b . ?b rdf:type dbo:City } LIMIT 50";
+const GROUP_Q: &str = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+    PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+    SELECT ?c (COUNT(*) AS ?n) WHERE { ?s rdf:type ?c . ?s dbo:population ?p } GROUP BY ?c";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_sparql");
+    for &entities in &[1_000usize, 10_000] {
+        let store = workloads::dbpedia_store(entities);
+        for (name, q) in [
+            ("filter_limit", FILTER_Q),
+            ("join_limit", JOIN_Q),
+            ("group_by", GROUP_Q),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, entities), &store, |b, st| {
+                b.iter(|| {
+                    let r = wodex_sparql::query(st, q).expect("valid");
+                    black_box(r.table().map(|t| t.len()))
+                });
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("parse_only", entities), &JOIN_Q, |b, q| {
+            b.iter(|| black_box(wodex_sparql::parse_query(q).unwrap().patterns.len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E15 — streaming ingest: tail-limit ablation.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_streaming");
+    let graph = workloads::dbpedia_graph(2_000);
+    let triples: Vec<wodex_rdf::Triple> = graph.iter().cloned().collect();
+    for &tail in &[256usize, 16 * 1024, usize::MAX / 2] {
+        g.bench_with_input(
+            BenchmarkId::new("stream_ingest", if tail > 1 << 30 { 0 } else { tail }),
+            &triples,
+            |b, ts| {
+                b.iter(|| {
+                    let mut store = wodex_store::TripleStore::with_tail_limit(tail);
+                    for t in ts {
+                        store.insert(t);
+                    }
+                    black_box(store.len())
+                });
+            },
+        );
+    }
+    g.bench_with_input(BenchmarkId::new("bulk_load", 0), &graph, |b, gr| {
+        b.iter(|| black_box(wodex_store::TripleStore::from_graph(gr).len()));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E1 — sampling vs full scan for mean estimation.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_approx::sampling::Reservoir;
+use wodex_bench::workloads;
+use wodex_synth::values::Shape;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_sampling");
+    for &n in &[100_000usize, 1_000_000] {
+        let col = workloads::column(Shape::Zipf, n);
+        g.bench_with_input(BenchmarkId::new("full_scan_mean", n), &col, |b, col| {
+            b.iter(|| black_box(col.iter().sum::<f64>() / col.len() as f64));
+        });
+        for &k in &[1_000usize, 10_000] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("reservoir_k{k}"), n),
+                &col,
+                |b, col| {
+                    b.iter(|| {
+                        let mut rng = wodex_synth::rng(7);
+                        let mut r = Reservoir::new(k);
+                        r.extend(col.iter().copied(), &mut rng);
+                        black_box(r.sample().iter().sum::<f64>() / k as f64)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

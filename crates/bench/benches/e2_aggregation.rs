@@ -1,0 +1,40 @@
+//! E2 — binning strategies: cost and output size.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_approx::binning::{grid2d, BinningStrategy, Histogram};
+use wodex_bench::workloads;
+use wodex_synth::values::Shape;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_aggregation");
+    for &n in &[100_000usize, 1_000_000] {
+        let col = workloads::column(Shape::Bimodal, n);
+        for (name, s) in [
+            ("equal_width", BinningStrategy::EqualWidth),
+            ("equal_freq", BinningStrategy::EqualFrequency),
+            ("var_min", BinningStrategy::VarianceMinimizing),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &col, |b, col| {
+                b.iter(|| black_box(Histogram::build(col, 64, s).bins.len()));
+            });
+        }
+        let pts: Vec<(f64, f64)> = col
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("grid2d_64x64", n), &pts, |b, pts| {
+            b.iter(|| black_box(grid2d(pts, 64, 64).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

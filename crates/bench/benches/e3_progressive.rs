@@ -1,0 +1,54 @@
+//! E3 — progressive aggregation: chunked vs one-shot.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_approx::progressive::ProgressiveAggregate;
+use wodex_bench::workloads;
+use wodex_synth::values::Shape;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_progressive");
+    let n = 1_000_000usize;
+    let col = workloads::column(Shape::Normal, n);
+    g.bench_function("one_shot_mean", |b| {
+        b.iter(|| black_box(col.iter().sum::<f64>() / n as f64));
+    });
+    for &chunk in &[10_000usize, 100_000] {
+        g.bench_with_input(
+            BenchmarkId::new("progressive_chunked", chunk),
+            &col,
+            |b, col| {
+                b.iter(|| {
+                    let mut agg = ProgressiveAggregate::with_total(n as u64);
+                    for ch in col.chunks(chunk) {
+                        agg.push_chunk(ch);
+                        black_box(agg.estimate().ci95);
+                    }
+                    black_box(agg.estimate().mean)
+                });
+            },
+        );
+    }
+    // Time-to-first-converged-estimate (the interactive metric).
+    g.bench_function("until_1pct_ci", |b| {
+        b.iter(|| {
+            let mut agg = ProgressiveAggregate::with_total(n as u64);
+            for ch in col.chunks(10_000) {
+                agg.push_chunk(ch);
+                if agg.estimate().converged(0.01) {
+                    break;
+                }
+            }
+            black_box(agg.estimate().n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E4 — adaptive indexing: crack vs scan vs sort for k queries.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+use wodex_store::cracking::{CrackerColumn, ScanColumn, SortedColumn};
+use wodex_synth::values::Shape;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_cracking");
+    let n = 1_000_000usize;
+    let col = workloads::column(Shape::Uniform, n);
+    let ranges = workloads::zoom_sequence(256);
+    for &k in &[1usize, 16, 256] {
+        let qs = ranges[..k].to_vec();
+        g.bench_with_input(BenchmarkId::new("scan", k), &qs, |b, qs| {
+            let c = ScanColumn::new(&col);
+            b.iter(|| {
+                black_box(
+                    qs.iter()
+                        .map(|&(lo, hi)| c.range_count(lo, hi))
+                        .sum::<usize>(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("full_sort", k), &qs, |b, qs| {
+            b.iter(|| {
+                let c = SortedColumn::new(&col);
+                black_box(
+                    qs.iter()
+                        .map(|&(lo, hi)| c.range_count(lo, hi))
+                        .sum::<usize>(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("crack", k), &qs, |b, qs| {
+            b.iter(|| {
+                let mut c = CrackerColumn::new(&col);
+                black_box(
+                    qs.iter()
+                        .map(|&(lo, hi)| c.range_count(lo, hi))
+                        .sum::<usize>(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

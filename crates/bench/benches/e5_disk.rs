@@ -1,0 +1,40 @@
+//! E5 — paged store scans under varying buffer-pool budgets.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+use wodex_store::buffer::BufferPool;
+use wodex_store::paged::{MemBackend, PagedTripleStore};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_disk");
+    let triples = workloads::tiled_triples(5_000, 100);
+    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples);
+    for &pool_pages in &[8usize, 64, 1024] {
+        g.bench_with_input(
+            BenchmarkId::new("window_scan", pool_pages),
+            &pool_pages,
+            |b, &pp| {
+                let pool = BufferPool::new(pp);
+                b.iter(|| black_box(store.scan_subject_range(&pool, 2000, 2020).len()));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_scan", pool_pages),
+            &pool_pages,
+            |b, &pp| {
+                let pool = BufferPool::new(pp);
+                b.iter(|| black_box(store.scan_all(&pool).len()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

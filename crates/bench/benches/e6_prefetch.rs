@@ -1,0 +1,42 @@
+//! E6 — tile prefetching under a pan trace.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_store::prefetch::TilePrefetcher;
+
+fn trace() -> Vec<(i64, i64)> {
+    (0..200).map(|i| (i, i / 40)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_prefetch");
+    let t = trace();
+    for &depth in &[0usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("pan_trace", depth), &t, |b, t| {
+            b.iter(|| {
+                let mut pf: TilePrefetcher<u64> = TilePrefetcher::new(256, depth);
+                let mut total = 0u64;
+                for &tile in t {
+                    total += pf.request(tile, |x| {
+                        // Simulate a tile fetch with a small fixed cost.
+                        let mut acc = 0u64;
+                        for k in 0..500u64 {
+                            acc = acc.wrapping_add(k ^ (x.0 as u64));
+                        }
+                        acc
+                    });
+                }
+                black_box(total)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

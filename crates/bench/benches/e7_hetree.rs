@@ -1,0 +1,48 @@
+//! E7 — HETree: bulk vs ICO construction; C vs R variants.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+use wodex_hetree::{HETree, Variant};
+use wodex_synth::values::Shape;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_hetree");
+    for &n in &[100_000usize, 500_000] {
+        let col = workloads::column(Shape::Normal, n);
+        let items: Vec<(f64, u64)> = col
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u64))
+            .collect();
+        for (name, variant) in [
+            ("content", Variant::ContentBased),
+            ("range", Variant::RangeBased),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("bulk_{name}"), n),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        black_box(HETree::build(items.clone(), variant, 4, 100).node_count())
+                    });
+                },
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("ico_drilldown", n), &items, |b, items| {
+            b.iter(|| {
+                let mut t = HETree::new(items.clone(), Variant::ContentBased, 4, 100);
+                black_box(t.locate(500.0))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 — flat force-directed vs multilevel vs hierarchy abstraction.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_bench::workloads;
+use wodex_graph::coarsen::multilevel_layout;
+use wodex_graph::hierarchy::AbstractionHierarchy;
+use wodex_graph::layout::{fruchterman_reingold, FrParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_layout");
+    let params = FrParams {
+        iterations: 20,
+        ..Default::default()
+    };
+    for &n in &[500usize, 2_000] {
+        let adj = workloads::ba_graph(n);
+        g.bench_with_input(BenchmarkId::new("flat_fr", n), &adj, |b, adj| {
+            b.iter(|| black_box(fruchterman_reingold(adj, params).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("multilevel", n), &adj, |b, adj| {
+            b.iter(|| black_box(multilevel_layout(adj, params, 100).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("hierarchy_build", n), &adj, |b, adj| {
+            b.iter(|| black_box(AbstractionHierarchy::build(adj.clone(), 12, 1).levels()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

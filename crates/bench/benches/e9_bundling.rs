@@ -1,0 +1,34 @@
+//! E9 — force-directed edge bundling cost vs subdivision cycles.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wodex_graph::bundling::{bundle, BundleParams};
+use wodex_graph::layout::Point;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_bundling");
+    let edges: Vec<_> = (0..60)
+        .map(|i| {
+            let y = i as f32 * 3.0;
+            (Point::new(0.0, y), Point::new(300.0, y + 10.0))
+        })
+        .collect();
+    for &cycles in &[1usize, 3, 5] {
+        g.bench_with_input(BenchmarkId::new("bundle", cycles), &edges, |b, edges| {
+            let params = BundleParams {
+                cycles,
+                ..Default::default()
+            };
+            b.iter(|| black_box(bundle(edges, params).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! T1/T2 — table regeneration and corpus analysis (cheap by design;
+//! benched to keep the artifact-generation path exercised).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("render_table1", |b| {
+        b.iter(|| black_box(wodex_registry::render_table1().len()));
+    });
+    g.bench_function("render_table2", |b| {
+        b.iter(|| black_box(wodex_registry::render_table2().len()));
+    });
+    g.bench_function("gap_analysis", |b| {
+        b.iter(|| black_box(wodex_registry::analysis::report().len()));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500))
+        .warm_up_time(std::time::Duration::from_millis(100));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! A memoizing view cache.
+//!
+//! §4: "*caching and prefetching techniques may be exploited*". Rendering
+//! a view (profile → reduce → layout → scene → SVG) is the expensive step
+//! of the interaction loop, and exploration revisits views constantly
+//! (back-navigation, toggling between chart types). [`ViewCache`] puts
+//! the workspace's LRU cache in front of the LDVM pipeline.
+
+use crate::explorer::Explorer;
+use wodex_store::cache::{CacheStats, LruCache};
+use wodex_viz::ldvm::View;
+use wodex_viz::recommend::VisKind;
+
+/// An LRU cache of rendered views keyed by `(predicate, chart kind)`.
+pub struct ViewCache {
+    cache: LruCache<(String, Option<VisKind>), View>,
+}
+
+impl ViewCache {
+    /// Creates a cache holding at most `capacity` views.
+    pub fn new(capacity: usize) -> ViewCache {
+        ViewCache {
+            cache: LruCache::new(capacity),
+        }
+    }
+
+    /// Returns the cached view or runs the pipeline and caches the result.
+    pub fn view(&mut self, ex: &Explorer, predicate: &str, kind: Option<VisKind>) -> View {
+        let key = (predicate.to_string(), kind);
+        if let Some(v) = self.cache.get(&key) {
+            return v.clone();
+        }
+        let v = match kind {
+            Some(k) => ex.visualize_as(predicate, k),
+            None => ex.visualize(predicate),
+        };
+        self.cache.put(key, v.clone());
+        v
+    }
+
+    /// Cache counters (hits/misses/evictions).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached view — call after the underlying data changes.
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_synth::dbpedia::{self, DbpediaConfig};
+
+    fn explorer() -> Explorer {
+        Explorer::from_graph(dbpedia::generate(&DbpediaConfig {
+            entities: 150,
+            ..Default::default()
+        }))
+    }
+
+    const POP: &str = "http://dbp.example.org/ontology/population";
+
+    #[test]
+    fn second_request_is_a_hit_with_identical_view() {
+        let ex = explorer();
+        let mut cache = ViewCache::new(8);
+        let a = cache.view(&ex, POP, None);
+        let b = cache.view(&ex, POP, None);
+        assert_eq!(a.svg, b.svg);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn kind_is_part_of_the_key() {
+        let ex = explorer();
+        let mut cache = ViewCache::new(8);
+        cache.view(&ex, POP, None);
+        cache.view(&ex, POP, Some(VisKind::Line));
+        assert_eq!(cache.stats().misses, 2);
+        cache.view(&ex, POP, Some(VisKind::Line));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_and_invalidate_clears() {
+        let ex = explorer();
+        let mut cache = ViewCache::new(1);
+        cache.view(&ex, POP, None);
+        cache.view(&ex, "http://dbp.example.org/ontology/area", None);
+        cache.view(&ex, POP, None); // evicted → miss again
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().evictions, 2);
+        cache.invalidate();
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn exploration_revisit_pattern_mostly_hits() {
+        // A/B/A/B toggling between two chart types — the back-navigation
+        // pattern caching exists for.
+        let ex = explorer();
+        let mut cache = ViewCache::new(8);
+        for _ in 0..5 {
+            cache.view(&ex, POP, Some(VisKind::HistogramChart));
+            cache.view(&ex, POP, Some(VisKind::Line));
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 8);
+        assert!(s.hit_ratio() > 0.75);
+    }
+}

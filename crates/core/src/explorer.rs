@@ -1,0 +1,545 @@
+//! The [`Explorer`] façade.
+
+use wodex_explore::session::ExplorationSession;
+use wodex_explore::ResourceView;
+use wodex_graph::adjacency::Adjacency;
+use wodex_graph::hierarchy::{AbstractionHierarchy, HierarchyView};
+use wodex_graph::layout::{self, FrParams};
+use wodex_hetree::{HETree, Variant};
+use wodex_rdf::stats::DatasetStats;
+use wodex_rdf::{Graph, RdfError, Term, Value};
+use wodex_sparql::{QueryError, QueryResult};
+use wodex_store::TripleStore;
+use wodex_viz::ldvm::{LdvmPipeline, View};
+use wodex_viz::profile::FieldProfile;
+use wodex_viz::recommend::{Recommendation, VisKind};
+use wodex_viz::UserPreferences;
+
+/// A ready-to-render abstraction view of the dataset's link graph.
+pub struct GraphView {
+    /// The underlying adjacency (object links between resources).
+    pub adjacency: Adjacency,
+    /// The node terms, indexed like the adjacency.
+    pub nodes: Vec<Term>,
+    /// The abstraction hierarchy over it.
+    pub hierarchy: AbstractionHierarchy,
+}
+
+impl GraphView {
+    /// Renders the current top-level abstraction as a node-link scene:
+    /// one circle per supernode (sized by weight), one line per
+    /// aggregated edge. The scene stays small regardless of base size —
+    /// the §4 scalability property.
+    pub fn overview_scene(&self, width: f64, height: f64) -> wodex_viz::Scene {
+        let view = HierarchyView::new(&self.hierarchy);
+        let visible = view.visible();
+        let index: std::collections::HashMap<_, u32> = visible
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (h, i as u32))
+            .collect();
+        // Lay out the abstract graph.
+        let edges: Vec<(u32, u32)> = view
+            .visible_edges()
+            .keys()
+            .map(|&(a, b)| (index[&a], index[&b]))
+            .collect();
+        let abstract_adj = Adjacency::from_edges(visible.len(), &edges);
+        let lay = layout::fruchterman_reingold(
+            &abstract_adj,
+            FrParams {
+                iterations: 60,
+                ..Default::default()
+            },
+        );
+        let sizes: Vec<f64> = visible
+            .iter()
+            .map(|&h| self.hierarchy.weight(h) as f64)
+            .collect();
+        wodex_viz::charts::node_link(
+            "link-graph overview",
+            &lay,
+            &edges,
+            Some(&sizes),
+            width,
+            height,
+        )
+    }
+}
+
+/// The unified framework: one value that loads a dataset and exposes
+/// every capability of the workspace.
+pub struct Explorer {
+    graph: Graph,
+    store: TripleStore,
+    pipeline: LdvmPipeline,
+    session: ExplorationSession,
+    prefs: UserPreferences,
+}
+
+impl Explorer {
+    /// Loads from an in-memory [`Graph`].
+    pub fn from_graph(graph: Graph) -> Explorer {
+        let store = TripleStore::from_graph(&graph);
+        let prefs = UserPreferences::default();
+        let pipeline = LdvmPipeline::new(graph.clone()).with_prefs(prefs.clone());
+        let session = ExplorationSession::new(graph.clone());
+        Explorer {
+            graph,
+            store,
+            pipeline,
+            session,
+            prefs,
+        }
+    }
+
+    /// Parses a Turtle document.
+    pub fn from_turtle(ttl: &str) -> Result<Explorer, RdfError> {
+        Ok(Explorer::from_graph(wodex_rdf::turtle::parse(ttl)?))
+    }
+
+    /// Parses an N-Triples document.
+    pub fn from_ntriples(nt: &str) -> Result<Explorer, RdfError> {
+        Ok(Explorer::from_graph(wodex_rdf::ntriples::parse(nt)?))
+    }
+
+    /// Replaces the preferences (re-wires the LDVM pipeline).
+    pub fn with_prefs(mut self, prefs: UserPreferences) -> Explorer {
+        self.prefs = prefs.clone();
+        self.pipeline = LdvmPipeline::new(self.graph.clone()).with_prefs(prefs);
+        self
+    }
+
+    /// The loaded graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The dictionary-encoded store.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Dataset statistics (the "Statistics" facility of Table 1).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::of(&self.graph)
+    }
+
+    /// Runs a SPARQL-subset query.
+    pub fn sparql(&self, query: &str) -> Result<QueryResult, QueryError> {
+        wodex_sparql::query(&self.store, query)
+    }
+
+    /// Profiles every property (the recommendation wizard's first step).
+    pub fn profiles(&self) -> Vec<FieldProfile> {
+        wodex_viz::profile::profile_graph(&self.graph)
+    }
+
+    /// Ranked chart recommendations for one property.
+    pub fn recommend(&self, predicate: &str) -> Vec<Recommendation> {
+        let a = self.pipeline.analyze_property(predicate);
+        self.pipeline.recommendations(&a)
+    }
+
+    /// Runs the full LDVM pipeline for a property with the top-ranked
+    /// chart type.
+    pub fn visualize(&self, predicate: &str) -> View {
+        self.pipeline.run(predicate)
+    }
+
+    /// Like [`Explorer::visualize`] with an explicit chart type.
+    pub fn visualize_as(&self, predicate: &str, kind: VisKind) -> View {
+        let a = self.pipeline.analyze_property(predicate);
+        self.pipeline.view(&a, Some(kind))
+    }
+
+    /// The interactive exploration session (facets, zoom, search, undo).
+    pub fn session(&mut self) -> &mut ExplorationSession {
+        &mut self.session
+    }
+
+    /// Keyword search (stateless preview).
+    pub fn search(&self, query: &str, limit: usize) -> Vec<wodex_explore::search::Hit> {
+        self.session.search_preview(query, limit)
+    }
+
+    /// The property-value view of one resource.
+    pub fn details(&self, resource: &Term) -> ResourceView {
+        self.session.details(resource)
+    }
+
+    /// Builds a HETree over a numeric/temporal property for multilevel
+    /// exploration (SynopsViz-style). Items carry the store's term id of
+    /// their subject as payload.
+    pub fn hetree(&self, predicate: &str, variant: Variant) -> HETree {
+        let items: Vec<(f64, u64)> = self
+            .graph
+            .triples_for_predicate(predicate)
+            .filter_map(|t| {
+                let v = t.object.as_literal().map(Value::from_literal)?;
+                let x = v
+                    .as_f64()
+                    .or_else(|| v.as_epoch_seconds().map(|s| s as f64))?;
+                let id = self.store.id_of(&t.subject).map(|i| i.0 as u64)?;
+                Some((x, id))
+            })
+            .collect();
+        HETree::new(items, variant, self.prefs.hierarchy_degree.max(2), 64)
+    }
+
+    /// Visualizes a SPARQL SELECT result directly — the Sgvizler \[120\] /
+    /// Visualbox \[50\] / VISU \[6\] workflow: profile the result columns,
+    /// pick the chart that fits (categorical+numeric → bar,
+    /// temporal+numeric → line, numeric+numeric → scatter, single
+    /// numeric → histogram), and render it.
+    pub fn visualize_query(&self, query: &str) -> Result<View, QueryError> {
+        use wodex_viz::profile::{DataKind, FieldProfile};
+        let result = self.sparql(query)?;
+        let table = result
+            .table()
+            .ok_or_else(|| QueryError::Eval("visualize_query needs a SELECT result".into()))?;
+        if table.columns.is_empty() {
+            return Err(QueryError::Eval("no columns to visualize".into()));
+        }
+        // Profile each column.
+        let columns: Vec<(String, Vec<Value>)> = table
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let vals: Vec<Value> = table
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[i].as_ref())
+                    .map(|t| match t {
+                        Term::Literal(l) => Value::from_literal(l),
+                        Term::Iri(iri) => Value::Text(iri.local_name().to_string()),
+                        Term::Blank(b) => Value::Text(format!("_:{}", b.label())),
+                    })
+                    .collect();
+                (name.clone(), vals)
+            })
+            .collect();
+        let profiles: Vec<FieldProfile> = columns
+            .iter()
+            .map(|(n, vals)| FieldProfile::detect(n.clone(), vals))
+            .collect();
+        let recommendations = self.prefs.apply(wodex_viz::recommend::recommend(&profiles));
+        let (w, h) = (self.prefs.width, self.prefs.height);
+        let numeric_of = |vals: &[Value]| -> Vec<f64> {
+            vals.iter()
+                .filter_map(|v| {
+                    v.as_f64()
+                        .or_else(|| v.as_epoch_seconds().map(|s| s as f64))
+                })
+                .collect()
+        };
+        let find = |k: DataKind| profiles.iter().position(|p| p.kind == k);
+        let title = format!("query result ({} rows)", table.len());
+        let scene = if let (Some(c), Some(n)) = (
+            find(DataKind::Categorical).or_else(|| find(DataKind::Text)),
+            find(DataKind::Numeric),
+        ) {
+            let pairs: Vec<(String, f64)> = table
+                .rows
+                .iter()
+                .filter_map(|r| {
+                    let label = r[c].as_ref().map(|t| match t {
+                        Term::Literal(l) => l.lexical().to_string(),
+                        Term::Iri(i) => i.local_name().to_string(),
+                        Term::Blank(b) => format!("_:{}", b.label()),
+                    })?;
+                    let v = r[n]
+                        .as_ref()?
+                        .as_literal()
+                        .map(Value::from_literal)?
+                        .as_f64()?;
+                    Some((label, v))
+                })
+                .take(self.prefs.bins.max(8))
+                .collect();
+            wodex_viz::charts::bar_chart(&title, &pairs, w, h)
+        } else if let (Some(t), Some(n)) = (find(DataKind::Temporal), find(DataKind::Numeric)) {
+            let pts: Vec<(f64, f64)> = numeric_of(&columns[t].1)
+                .into_iter()
+                .zip(numeric_of(&columns[n].1))
+                .collect();
+            wodex_viz::charts::line_chart(&title, &pts, w, h)
+        } else {
+            let numeric_cols: Vec<usize> = profiles
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.kind == DataKind::Numeric)
+                .map(|(i, _)| i)
+                .collect();
+            match numeric_cols.as_slice() {
+                [a, b, ..] => {
+                    let pts: Vec<(f64, f64)> = numeric_of(&columns[*a].1)
+                        .into_iter()
+                        .zip(numeric_of(&columns[*b].1))
+                        .collect();
+                    wodex_viz::charts::scatter(&title, &pts, w, h, self.prefs.max_points)
+                }
+                [a] => {
+                    let hist = wodex_approx::binning::Histogram::build(
+                        &numeric_of(&columns[*a].1),
+                        self.prefs.bins,
+                        wodex_approx::binning::BinningStrategy::EqualWidth,
+                    );
+                    wodex_viz::charts::histogram(&title, &hist, w, h)
+                }
+                [] => {
+                    // Nothing quantitative: counts of the first column.
+                    let mut counts: std::collections::BTreeMap<String, f64> = Default::default();
+                    for v in &columns[0].1 {
+                        *counts.entry(v.to_string()).or_insert(0.0) += 1.0;
+                    }
+                    let mut pairs: Vec<(String, f64)> = counts.into_iter().collect();
+                    pairs.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
+                    pairs.truncate(self.prefs.bins.max(8));
+                    wodex_viz::charts::bar_chart(&title, &pairs, w, h)
+                }
+            }
+        };
+        let kind = recommendations
+            .first()
+            .map(|r| r.kind)
+            .unwrap_or(wodex_viz::recommend::VisKind::Table);
+        let svg = wodex_viz::render::to_svg(&scene);
+        Ok(View {
+            kind,
+            scene,
+            svg,
+            recommendations,
+        })
+    }
+
+    /// Builds a VizBoard-style dashboard: one top-recommended view per
+    /// predicate, composed into a grid.
+    pub fn dashboard(
+        &self,
+        predicates: &[&str],
+        cols: usize,
+        width: f64,
+        height: f64,
+    ) -> wodex_viz::Scene {
+        let views: Vec<wodex_viz::Scene> =
+            predicates.iter().map(|p| self.visualize(p).scene).collect();
+        wodex_viz::dashboard::compose("dashboard", &views, cols.max(1), width, height)
+    }
+
+    /// Extracts the `rdfs:subClassOf` class hierarchy with instance
+    /// counts (the §3.5 ontology-visualization substrate).
+    pub fn class_hierarchy(&self) -> wodex_rdf::ClassHierarchy {
+        wodex_rdf::ClassHierarchy::extract(&self.graph)
+    }
+
+    /// RelFinder-style relationship discovery: the shortest connecting
+    /// paths between two resources.
+    pub fn find_paths(
+        &self,
+        a: &Term,
+        b: &Term,
+        max_hops: usize,
+        max_paths: usize,
+    ) -> Vec<wodex_explore::relfind::Path> {
+        wodex_explore::relfind::find_paths(&self.graph, a, b, max_hops, max_paths)
+    }
+
+    /// Builds the abstraction-hierarchy view of the dataset's link graph
+    /// (graphVizdb/ASK-GraphView style).
+    pub fn graph_view(&self) -> GraphView {
+        let (adjacency, nodes) = Adjacency::from_rdf(&self.graph);
+        let hierarchy = AbstractionHierarchy::build(adjacency.clone(), 12, 42);
+        GraphView {
+            adjacency,
+            nodes,
+            hierarchy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_synth::dbpedia::{self, DbpediaConfig};
+
+    fn explorer() -> Explorer {
+        let g = dbpedia::generate(&DbpediaConfig {
+            entities: 300,
+            ..Default::default()
+        });
+        Explorer::from_graph(g)
+    }
+
+    #[test]
+    fn loads_from_turtle_and_ntriples() {
+        let ttl = "@prefix ex: <http://e.org/> .\nex:a ex:p 5 .\n";
+        let ex = Explorer::from_turtle(ttl).unwrap();
+        assert_eq!(ex.graph().len(), 1);
+        let nt = "<http://e.org/a> <http://e.org/p> \"5\" .\n";
+        let ex = Explorer::from_ntriples(nt).unwrap();
+        assert_eq!(ex.store().len(), 1);
+        assert!(Explorer::from_turtle("garbage {").is_err());
+    }
+
+    #[test]
+    fn stats_and_profiles_cover_the_dataset() {
+        let ex = explorer();
+        let st = ex.stats();
+        assert!(st.triple_count > 1000);
+        let profiles = ex.profiles();
+        assert!(profiles.len() >= 5);
+    }
+
+    #[test]
+    fn sparql_over_the_loaded_store() {
+        let ex = explorer();
+        let r = ex
+            .sparql(
+                "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                 SELECT (COUNT(*) AS ?n) (AVG(?p) AS ?avg) WHERE { ?s dbo:population ?p }",
+            )
+            .unwrap();
+        let t = r.table().unwrap();
+        assert_eq!(t.rows[0][0], Some(Term::integer(300)));
+    }
+
+    #[test]
+    fn visualize_numeric_property_end_to_end() {
+        let ex = explorer();
+        let v = ex.visualize("http://dbp.example.org/ontology/population");
+        assert_eq!(v.kind, VisKind::HistogramChart);
+        assert!(v.svg.contains("<svg"));
+        assert!(v.scene.in_bounds(1.0));
+    }
+
+    #[test]
+    fn visualize_as_overrides_kind() {
+        let ex = explorer();
+        let v = ex.visualize_as(wodex_rdf::vocab::rdf::TYPE, VisKind::Pie);
+        assert_eq!(v.kind, VisKind::Pie);
+    }
+
+    #[test]
+    fn recommendation_ranks_match_profile() {
+        let ex = explorer();
+        let recs = ex.recommend("http://dbp.example.org/ontology/foundingDate");
+        assert_eq!(recs[0].kind, VisKind::Line);
+    }
+
+    #[test]
+    fn session_flow_filters_and_searches() {
+        let mut ex = explorer();
+        let total = ex.session().matching().len();
+        ex.session().filter(
+            wodex_rdf::vocab::rdf::TYPE,
+            "http://dbp.example.org/ontology/City",
+        );
+        assert!(ex.session().matching().len() < total);
+        let hits = ex.search("city", 10);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn details_of_an_entity() {
+        let ex = explorer();
+        let v = ex.details(&Term::iri("http://dbp.example.org/resource/E0"));
+        assert!(v.rows.iter().filter(|r| r.forward).count() >= 5);
+    }
+
+    #[test]
+    fn hetree_multilevel_exploration() {
+        let ex = explorer();
+        let mut t = ex.hetree(
+            "http://dbp.example.org/ontology/population",
+            Variant::ContentBased,
+        );
+        assert_eq!(t.len(), 300);
+        let root = t.root();
+        let kids = t.expand(root).to_vec();
+        assert_eq!(kids.len(), 4);
+        let total: usize = kids.iter().map(|&c| t.stats(c).count).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn graph_view_abstracts_the_link_graph() {
+        let ex = explorer();
+        let gv = ex.graph_view();
+        assert!(gv.adjacency.node_count() > 0);
+        assert!(gv.hierarchy.levels() >= 1);
+        let scene = gv.overview_scene(640.0, 480.0);
+        let (_, circles, _, _) = scene.mark_breakdown();
+        assert!(circles > 0);
+        assert!(
+            circles <= gv.adjacency.node_count(),
+            "overview must not exceed base size"
+        );
+        assert!(scene.in_bounds(1.0));
+    }
+
+    #[test]
+    fn visualize_query_binds_categorical_numeric_to_bars() {
+        let ex = explorer();
+        let v = ex
+            .visualize_query(
+                "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+                 SELECT ?c (AVG(?p) AS ?avg) WHERE { ?s rdf:type ?c . ?s dbo:population ?p } GROUP BY ?c",
+            )
+            .unwrap();
+        let (rects, _, _, _) = v.scene.mark_breakdown();
+        assert_eq!(rects, 5, "one bar per class");
+        assert!(v.svg.contains("<rect"));
+        assert!(v.scene.in_bounds(1.0));
+    }
+
+    #[test]
+    fn visualize_query_binds_two_numerics_to_scatter() {
+        let ex = explorer();
+        let v = ex
+            .visualize_query(
+                "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                 SELECT ?p ?a WHERE { ?s dbo:population ?p . ?s dbo:area ?a }",
+            )
+            .unwrap();
+        let (_, circles, _, _) = v.scene.mark_breakdown();
+        assert!(circles > 100, "one dot per joined row, got {circles}");
+    }
+
+    #[test]
+    fn visualize_query_single_numeric_becomes_histogram() {
+        let ex = explorer();
+        let v = ex
+            .visualize_query(
+                "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                 SELECT ?p WHERE { ?s dbo:population ?p }",
+            )
+            .unwrap();
+        let (rects, _, _, _) = v.scene.mark_breakdown();
+        assert!(rects > 0 && rects <= 32);
+    }
+
+    #[test]
+    fn visualize_query_rejects_ask() {
+        let ex = explorer();
+        assert!(ex.visualize_query("ASK { ?s ?p ?o }").is_err());
+    }
+
+    #[test]
+    fn preferences_propagate() {
+        let g = dbpedia::generate(&DbpediaConfig {
+            entities: 100,
+            ..Default::default()
+        });
+        let prefs = UserPreferences {
+            bins: 8,
+            ..Default::default()
+        };
+        let ex = Explorer::from_graph(g).with_prefs(prefs);
+        let v = ex.visualize("http://dbp.example.org/ontology/population");
+        let (rects, _, _, _) = v.scene.mark_breakdown();
+        assert!(rects <= 8);
+    }
+}

@@ -1,0 +1,169 @@
+//! Aggregate-anomaly explanation (Scorpion-style \[141\]).
+//!
+//! §2: "*in other cases systems provide explanations regarding data trends
+//! and anomalies*". Scorpion's question: *which records caused this
+//! aggregate to be an outlier?* — answered by searching attribute-value
+//! predicates whose removal moves the outlier group's aggregate furthest
+//! toward the expected value, penalized by how many records the predicate
+//! removes.
+
+use std::collections::BTreeMap;
+
+/// A record: an aggregate measure plus categorical attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The measure value.
+    pub value: f64,
+    /// Attribute name → value.
+    pub attrs: BTreeMap<String, String>,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(value: f64, attrs: &[(&str, &str)]) -> Record {
+        Record {
+            value,
+            attrs: attrs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// A candidate explanation: a single attribute=value predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The attribute.
+    pub attribute: String,
+    /// The value.
+    pub value: String,
+    /// Records matched by the predicate.
+    pub matched: usize,
+    /// The group mean after removing matched records.
+    pub mean_without: f64,
+    /// Influence score (higher = better explanation).
+    pub score: f64,
+}
+
+/// Explains why `group`'s mean deviates from `expected_mean`: ranks
+/// single-attribute predicates by *influence* — the normalized movement of
+/// the group mean toward the expectation per removed record (Scorpion's
+/// influence function, simplified to single-clause predicates).
+pub fn explain_outlier(group: &[Record], expected_mean: f64, top_k: usize) -> Vec<Explanation> {
+    if group.is_empty() {
+        return Vec::new();
+    }
+    let n = group.len() as f64;
+    let sum: f64 = group.iter().map(|r| r.value).sum();
+    let mean = sum / n;
+    let deviation = mean - expected_mean;
+    if deviation.abs() < f64::EPSILON {
+        return Vec::new();
+    }
+    // Enumerate attribute=value predicates.
+    let mut candidates: BTreeMap<(String, String), (f64, usize)> = BTreeMap::new();
+    for r in group {
+        for (k, v) in &r.attrs {
+            let e = candidates.entry((k.clone(), v.clone())).or_insert((0.0, 0));
+            e.0 += r.value;
+            e.1 += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for ((attribute, value), (psum, pcount)) in candidates {
+        if pcount == group.len() {
+            continue; // removing everything explains nothing
+        }
+        let remaining = n - pcount as f64;
+        let mean_without = (sum - psum) / remaining;
+        // Influence: how much of the deviation the removal repairs, per
+        // removed record (log-damped so tiny predicates don't dominate).
+        let repaired = (mean - expected_mean).abs() - (mean_without - expected_mean).abs();
+        let score = repaired / (1.0 + (pcount as f64).ln());
+        out.push(Explanation {
+            attribute,
+            value,
+            matched: pcount,
+            mean_without,
+            score,
+        });
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    out.truncate(top_k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sensor data where sensor "s3" reads way too hot.
+    fn sensors() -> Vec<Record> {
+        let mut out = Vec::new();
+        for day in 0..10 {
+            for sensor in ["s1", "s2", "s3"] {
+                let v = if sensor == "s3" { 90.0 } else { 20.0 };
+                out.push(Record::new(
+                    v,
+                    &[("sensor", sensor), ("day", &format!("d{day}"))],
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn faulty_sensor_is_top_explanation() {
+        let group = sensors();
+        // Expected mean ~20 (other groups); observed ≈ 43.3.
+        let ex = explain_outlier(&group, 20.0, 5);
+        assert_eq!(ex[0].attribute, "sensor");
+        assert_eq!(ex[0].value, "s3");
+        assert!((ex[0].mean_without - 20.0).abs() < 1e-9);
+        assert_eq!(ex[0].matched, 10);
+    }
+
+    #[test]
+    fn day_attributes_do_not_explain() {
+        let group = sensors();
+        let ex = explain_outlier(&group, 20.0, 30);
+        let best_day = ex
+            .iter()
+            .find(|e| e.attribute == "day")
+            .expect("days present");
+        let sensor = &ex[0];
+        assert!(sensor.score > 5.0 * best_day.score.max(1e-9));
+    }
+
+    #[test]
+    fn negative_outliers_are_explained_too() {
+        let mut group = sensors();
+        for r in &mut group {
+            r.value = -r.value;
+        }
+        let ex = explain_outlier(&group, -20.0, 3);
+        assert_eq!(ex[0].value, "s3");
+    }
+
+    #[test]
+    fn no_deviation_no_explanations() {
+        let group = vec![
+            Record::new(10.0, &[("a", "x")]),
+            Record::new(10.0, &[("a", "y")]),
+        ];
+        assert!(explain_outlier(&group, 10.0, 5).is_empty());
+        assert!(explain_outlier(&[], 10.0, 5).is_empty());
+    }
+
+    #[test]
+    fn universal_predicates_are_skipped() {
+        let group = vec![
+            Record::new(50.0, &[("all", "same"), ("k", "a")]),
+            Record::new(10.0, &[("all", "same"), ("k", "b")]),
+        ];
+        let ex = explain_outlier(&group, 10.0, 10);
+        assert!(ex.iter().all(|e| e.attribute != "all"));
+        assert_eq!(ex[0].value, "a");
+    }
+}

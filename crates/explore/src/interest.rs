@@ -1,0 +1,144 @@
+//! Interest-area discovery.
+//!
+//! §2: "*Other approaches help users to discover interest areas in the
+//! dataset; by capturing user interests, they guide her to interesting
+//! data parts*" (Explore-by-Example \[37\]). Without relevance feedback,
+//! "interesting" defaults to *statistically surprising*: regions whose
+//! density deviates most from the uniform expectation. [`interesting_ranges`]
+//! scores equal-width regions of a numeric property by their |observed −
+//! expected| mass, optionally sharpened by user feedback marks.
+
+/// A scored candidate region of the value domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterestRegion {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// Records inside.
+    pub count: usize,
+    /// Surprise score (higher = more interesting).
+    pub score: f64,
+}
+
+/// Finds the `top_k` most surprising regions among `regions` equal-width
+/// slices of the column's range: score = |observed − expected| / expected.
+pub fn interesting_ranges(values: &[f64], regions: usize, top_k: usize) -> Vec<InterestRegion> {
+    assert!(regions >= 1);
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Vec::new();
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let w = ((hi - lo) / regions as f64).max(f64::MIN_POSITIVE);
+    let mut counts = vec![0usize; regions];
+    for &v in &finite {
+        let i = (((v - lo) / w) as usize).min(regions - 1);
+        counts[i] += 1;
+    }
+    let expected = finite.len() as f64 / regions as f64;
+    let mut out: Vec<InterestRegion> = counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| InterestRegion {
+            lo: lo + w * i as f64,
+            hi: lo + w * (i + 1) as f64,
+            count: c,
+            score: (c as f64 - expected).abs() / expected.max(1e-12),
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    out.truncate(top_k);
+    out
+}
+
+/// Explore-by-example relevance feedback: the user marks example values
+/// as relevant/irrelevant; regions are rescored by the fraction of their
+/// content near relevant examples (Gaussian kernel) minus near irrelevant
+/// ones.
+pub fn rescore_with_feedback(
+    regions: &[InterestRegion],
+    relevant: &[f64],
+    irrelevant: &[f64],
+    bandwidth: f64,
+) -> Vec<InterestRegion> {
+    let kernel = |center: f64, x: f64| (-((x - center) / bandwidth).powi(2)).exp();
+    let mut out: Vec<InterestRegion> = regions
+        .iter()
+        .map(|r| {
+            let mid = (r.lo + r.hi) / 2.0;
+            let plus: f64 = relevant.iter().map(|&x| kernel(mid, x)).sum();
+            let minus: f64 = irrelevant.iter().map(|&x| kernel(mid, x)).sum();
+            InterestRegion {
+                score: plus - minus,
+                ..r.clone()
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_spike_is_most_interesting() {
+        // Uniform background plus a spike around 500.
+        let mut vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        vals.extend(std::iter::repeat_n(500.0, 500));
+        let top = interesting_ranges(&vals, 20, 3);
+        assert!(
+            top[0].lo <= 500.0 && top[0].hi > 500.0,
+            "spike region must rank first, got {:?}",
+            top[0]
+        );
+        assert!(top[0].score > 1.0);
+    }
+
+    #[test]
+    fn empty_gap_is_also_interesting() {
+        // A hole in the middle of otherwise uniform data.
+        let vals: Vec<f64> = (0..1000)
+            .map(|i| i as f64)
+            .filter(|&v| !(400.0..500.0).contains(&v))
+            .collect();
+        let top = interesting_ranges(&vals, 10, 2);
+        assert!(top
+            .iter()
+            .any(|r| r.count == 0 && r.lo >= 390.0 && r.hi <= 510.0));
+    }
+
+    #[test]
+    fn uniform_data_has_low_scores() {
+        let vals: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let top = interesting_ranges(&vals, 10, 1);
+        assert!(top[0].score < 0.05, "uniform should be boring: {top:?}");
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        assert!(interesting_ranges(&[], 10, 3).is_empty());
+        let single = interesting_ranges(&[5.0], 10, 3);
+        assert_eq!(single[0].count, 1);
+        let with_nan = interesting_ranges(&[1.0, f64::NAN, 2.0], 4, 2);
+        assert!(with_nan.iter().map(|r| r.count).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn feedback_moves_relevant_regions_up() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let regions = interesting_ranges(&vals, 10, 10);
+        // Mark values near 750 as relevant, near 150 as irrelevant.
+        let rescored = rescore_with_feedback(&regions, &[750.0, 760.0], &[150.0], 100.0);
+        let top = &rescored[0];
+        assert!(
+            top.lo <= 750.0 && top.hi >= 750.0,
+            "relevant region must rank first: {top:?}"
+        );
+        let bottom = rescored.last().unwrap();
+        assert!(bottom.lo <= 150.0 && bottom.hi >= 150.0);
+    }
+}

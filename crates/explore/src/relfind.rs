@@ -1,0 +1,286 @@
+//! Relationship discovery (RelFinder \[58\]).
+//!
+//! "RelFinder is a Web-based tool that offers interactive discovery and
+//! visualization of relationships (i.e., connections) between selected
+//! WoD resources." Given two resources, find the shortest connecting
+//! paths through the graph — treating triples as undirected steps but
+//! reporting each step's true direction — and return them ranked by
+//! length.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wodex_rdf::{Graph, Term, Triple};
+
+/// One step of a connecting path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// The triple traversed.
+    pub triple: Triple,
+    /// True if traversed subject→object.
+    pub forward: bool,
+}
+
+/// A connecting path between two resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// The steps, in order from the source resource.
+    pub steps: Vec<PathStep>,
+}
+
+impl Path {
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the path has no steps (source = target).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The intermediate + endpoint resources along the path, starting
+    /// after the source.
+    pub fn nodes(&self) -> Vec<&Term> {
+        self.steps
+            .iter()
+            .map(|s| {
+                if s.forward {
+                    &s.triple.object
+                } else {
+                    &s.triple.subject
+                }
+            })
+            .collect()
+    }
+
+    /// Renders `a —p→ b ←q— c` style text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            let pred = s
+                .triple
+                .predicate
+                .as_iri()
+                .map(|p| wodex_rdf::vocab::abbreviate(p.as_str()))
+                .unwrap_or_else(|| s.triple.predicate.to_string());
+            if i == 0 {
+                let from = if s.forward {
+                    &s.triple.subject
+                } else {
+                    &s.triple.object
+                };
+                let _ = write!(out, "{from}");
+            }
+            let to = if s.forward {
+                &s.triple.object
+            } else {
+                &s.triple.subject
+            };
+            let arrow = if s.forward {
+                format!("—{pred}→")
+            } else {
+                format!("←{pred}—")
+            };
+            let _ = write!(out, " {arrow} {to}");
+        }
+        out
+    }
+}
+
+/// Finds up to `max_paths` shortest connecting paths between `a` and `b`
+/// with at most `max_hops` steps, skipping `rdf:type` edges (paths
+/// through shared classes connect everything and explain nothing — the
+/// same default RelFinder uses). BFS over the undirected triple graph;
+/// paths are node-simple (no resource repeats).
+pub fn find_paths(
+    graph: &Graph,
+    a: &Term,
+    b: &Term,
+    max_hops: usize,
+    max_paths: usize,
+) -> Vec<Path> {
+    find_paths_with(graph, a, b, max_hops, max_paths, &|p| {
+        p.as_iri()
+            .is_none_or(|i| i.as_str() != wodex_rdf::vocab::rdf::TYPE)
+    })
+}
+
+/// [`find_paths`] with a custom predicate filter: only triples whose
+/// predicate satisfies `keep` are traversed.
+pub fn find_paths_with(
+    graph: &Graph,
+    a: &Term,
+    b: &Term,
+    max_hops: usize,
+    max_paths: usize,
+    keep: &dyn Fn(&Term) -> bool,
+) -> Vec<Path> {
+    if a == b || max_paths == 0 {
+        return Vec::new();
+    }
+    // Adjacency over resources.
+    let mut adj: BTreeMap<&Term, Vec<(&Triple, bool)>> = BTreeMap::new();
+    for t in graph.iter() {
+        if t.object.is_resource() && keep(&t.predicate) {
+            adj.entry(&t.subject).or_default().push((t, true));
+            adj.entry(&t.object).or_default().push((t, false));
+        }
+    }
+    let mut out: Vec<Path> = Vec::new();
+    // BFS over partial paths; level-by-level so shorter paths come first.
+    let mut queue: VecDeque<(Vec<PathStep>, BTreeSet<Term>, &Term)> = VecDeque::new();
+    let mut visited_start = BTreeSet::new();
+    visited_start.insert(a.clone());
+    queue.push_back((Vec::new(), visited_start, a));
+    while let Some((steps, visited, at)) = queue.pop_front() {
+        if steps.len() >= max_hops {
+            continue;
+        }
+        let Some(nbrs) = adj.get(at) else { continue };
+        for &(t, forward) in nbrs {
+            let next = if forward { &t.object } else { &t.subject };
+            if visited.contains(next) {
+                continue;
+            }
+            let mut new_steps = steps.clone();
+            new_steps.push(PathStep {
+                triple: t.clone(),
+                forward,
+            });
+            if next == b {
+                out.push(Path { steps: new_steps });
+                if out.len() >= max_paths {
+                    return out;
+                }
+                continue;
+            }
+            let mut new_visited = visited.clone();
+            new_visited.insert(next.clone());
+            queue.push_back((new_steps, new_visited, next));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::vocab::foaf;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        let knows = |a: &str, b: &str| {
+            Triple::iri(
+                &format!("http://e.org/{a}"),
+                foaf::KNOWS,
+                Term::iri(format!("http://e.org/{b}")),
+            )
+        };
+        // alice → bob → carol, alice → dave → carol, eve isolated.
+        g.insert(knows("alice", "bob"));
+        g.insert(knows("bob", "carol"));
+        g.insert(knows("alice", "dave"));
+        g.insert(knows("dave", "carol"));
+        g.insert(Triple::iri(
+            "http://e.org/eve",
+            wodex_rdf::vocab::rdfs::LABEL,
+            Term::literal("Eve"),
+        ));
+        g
+    }
+
+    fn term(n: &str) -> Term {
+        Term::iri(format!("http://e.org/{n}"))
+    }
+
+    #[test]
+    fn finds_both_two_hop_paths() {
+        let g = graph();
+        let paths = find_paths(&g, &term("alice"), &term("carol"), 4, 10);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.len() == 2));
+        let mids: BTreeSet<String> = paths.iter().map(|p| p.nodes()[0].to_string()).collect();
+        assert!(mids.contains("<http://e.org/bob>"));
+        assert!(mids.contains("<http://e.org/dave>"));
+    }
+
+    #[test]
+    fn shortest_paths_come_first() {
+        let mut g = graph();
+        // Add a direct edge: 1-hop path must precede the 2-hop ones.
+        g.insert(Triple::iri(
+            "http://e.org/alice",
+            foaf::KNOWS,
+            Term::iri("http://e.org/carol"),
+        ));
+        let paths = find_paths(&g, &term("alice"), &term("carol"), 4, 10);
+        assert_eq!(paths[0].len(), 1);
+        assert!(paths.len() >= 3);
+        assert!(paths.windows(2).all(|w| w[0].len() <= w[1].len()));
+    }
+
+    #[test]
+    fn respects_direction_reporting() {
+        let g = graph();
+        // carol → alice must traverse edges backwards.
+        let paths = find_paths(&g, &term("carol"), &term("alice"), 4, 1);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].steps.iter().all(|s| !s.forward));
+        let text = paths[0].render();
+        assert!(text.contains('←'), "backward arrows expected: {text}");
+    }
+
+    #[test]
+    fn hop_limit_and_unreachable() {
+        let g = graph();
+        assert!(find_paths(&g, &term("alice"), &term("carol"), 1, 10).is_empty());
+        assert!(find_paths(&g, &term("alice"), &term("eve"), 5, 10).is_empty());
+        assert!(find_paths(&g, &term("alice"), &term("alice"), 5, 10).is_empty());
+    }
+
+    #[test]
+    fn max_paths_truncates() {
+        let g = graph();
+        let paths = find_paths(&g, &term("alice"), &term("carol"), 4, 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn paths_are_node_simple() {
+        let g = graph();
+        for p in find_paths(&g, &term("alice"), &term("carol"), 6, 20) {
+            let mut nodes: Vec<String> = p.nodes().iter().map(|t| t.to_string()).collect();
+            nodes.sort();
+            let before = nodes.len();
+            nodes.dedup();
+            assert_eq!(nodes.len(), before, "path repeats a node");
+        }
+    }
+
+    #[test]
+    fn rdf_type_edges_are_skipped_by_default() {
+        let mut g = graph();
+        // Connect eve to alice only via a shared class.
+        for who in ["alice", "eve"] {
+            g.insert(Triple::iri(
+                &format!("http://e.org/{who}"),
+                wodex_rdf::vocab::rdf::TYPE,
+                Term::iri("http://e.org/Person"),
+            ));
+        }
+        assert!(find_paths(&g, &term("alice"), &term("eve"), 4, 5).is_empty());
+        // But an explicit keep-everything filter finds the class path.
+        let all = find_paths_with(&g, &term("alice"), &term("eve"), 4, 5, &|_| true);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].len(), 2);
+    }
+
+    #[test]
+    fn render_shows_predicates() {
+        let g = graph();
+        let paths = find_paths(&g, &term("alice"), &term("bob"), 2, 1);
+        let text = paths[0].render();
+        assert!(text.contains("foaf:knows"));
+        assert!(text.starts_with("<http://e.org/alice>"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Keyword search over labels and literals.
+//!
+//! The entry point of node-centric systems (RDF graph visualizer \[115\]:
+//! "nodes of interest are discovered by searching over node labels; then
+//! the user can interactively navigate") and the Keyword column of Table
+//! 2. A standard inverted index: lowercase alphanumeric tokens → posting
+//! lists of subjects, ranked by match count with a tf-flavoured score.
+
+use std::collections::{BTreeMap, HashMap};
+use wodex_rdf::{Graph, Term};
+
+/// A ranked search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching resource.
+    pub subject: Term,
+    /// Relevance score (higher is better).
+    pub score: f64,
+    /// Number of query tokens matched.
+    pub matched_tokens: usize,
+}
+
+/// An inverted index over the literal objects of a graph.
+pub struct SearchIndex {
+    /// token → subject → occurrence count.
+    postings: HashMap<String, BTreeMap<Term, usize>>,
+    /// Number of indexed subjects (for idf).
+    subject_count: usize,
+}
+
+/// Splits text into lowercase alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+impl SearchIndex {
+    /// Indexes every literal object (labels, comments, names, ...).
+    pub fn build(graph: &Graph) -> SearchIndex {
+        let mut postings: HashMap<String, BTreeMap<Term, usize>> = HashMap::new();
+        let mut subjects = std::collections::BTreeSet::new();
+        for t in graph.iter() {
+            subjects.insert(&t.subject);
+            if let Term::Literal(l) = &t.object {
+                for tok in tokenize(l.lexical()) {
+                    *postings
+                        .entry(tok)
+                        .or_default()
+                        .entry(t.subject.clone())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        SearchIndex {
+            postings,
+            subject_count: subjects.len(),
+        }
+    }
+
+    /// Number of distinct tokens.
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Searches for all query tokens (OR semantics, ranked by tf·idf sum;
+    /// subjects matching more tokens rank strictly higher).
+    pub fn search(&self, query: &str, limit: usize) -> Vec<Hit> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut scores: BTreeMap<&Term, (f64, usize)> = BTreeMap::new();
+        for tok in &tokens {
+            if let Some(posting) = self.postings.get(tok) {
+                let idf =
+                    ((self.subject_count as f64 + 1.0) / (posting.len() as f64 + 1.0)).ln() + 1.0;
+                for (subj, &tf) in posting {
+                    let e = scores.entry(subj).or_insert((0.0, 0));
+                    e.0 += (1.0 + (tf as f64).ln()) * idf;
+                    e.1 += 1;
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(s, (score, matched))| Hit {
+                subject: s.clone(),
+                score,
+                matched_tokens: matched,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.matched_tokens
+                .cmp(&a.matched_tokens)
+                .then(b.score.partial_cmp(&a.score).expect("finite"))
+                .then_with(|| a.subject.cmp(&b.subject))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Prefix completion: tokens starting with `prefix`, most frequent
+    /// first (the search-box autocomplete).
+    pub fn complete(&self, prefix: &str, limit: usize) -> Vec<String> {
+        let prefix = prefix.to_lowercase();
+        let mut toks: Vec<(&String, usize)> = self
+            .postings
+            .iter()
+            .filter(|(t, _)| t.starts_with(&prefix))
+            .map(|(t, p)| (t, p.values().sum()))
+            .collect();
+        toks.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        toks.into_iter()
+            .take(limit)
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::vocab::rdfs;
+    use wodex_rdf::Triple;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        let items = [
+            ("athens", "Athens, capital of Greece"),
+            ("sparta", "Sparta, ancient Greece"),
+            ("rome", "Rome, capital of Italy"),
+            ("milan", "Milan Italy"),
+        ];
+        for (id, label) in items {
+            g.insert(Triple::iri(
+                &format!("http://e.org/{id}"),
+                rdfs::LABEL,
+                Term::literal(label),
+            ));
+        }
+        g
+    }
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Athens, capital-of GREECE 2016!"),
+            vec!["athens", "capital", "of", "greece", "2016"]
+        );
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn single_token_search() {
+        let idx = SearchIndex::build(&graph());
+        let hits = idx.search("greece", 10);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.subject.to_string().contains("athens")
+            || h.subject.to_string().contains("sparta")));
+    }
+
+    #[test]
+    fn multi_token_prefers_more_matches() {
+        let idx = SearchIndex::build(&graph());
+        let hits = idx.search("capital greece", 10);
+        // Athens matches both tokens; Sparta and Rome only one.
+        assert_eq!(hits[0].subject, Term::iri("http://e.org/athens"));
+        assert_eq!(hits[0].matched_tokens, 2);
+        assert!(hits.len() >= 3);
+    }
+
+    #[test]
+    fn rare_tokens_outscore_common_ones() {
+        let idx = SearchIndex::build(&graph());
+        // "milan" appears once, "italy" twice: for the same subject a hit
+        // on the rarer token scores higher.
+        let milan = idx.search("milan", 10)[0].score;
+        let italy = idx
+            .search("italy", 10)
+            .iter()
+            .find(|h| h.subject == Term::iri("http://e.org/milan"))
+            .unwrap()
+            .score;
+        assert!(milan > italy);
+    }
+
+    #[test]
+    fn search_is_case_insensitive_and_limited() {
+        let idx = SearchIndex::build(&graph());
+        assert_eq!(idx.search("GREECE", 10).len(), 2);
+        assert_eq!(idx.search("greece", 1).len(), 1);
+        assert!(idx.search("", 10).is_empty());
+        assert!(idx.search("zzz", 10).is_empty());
+    }
+
+    #[test]
+    fn completion_by_frequency() {
+        let idx = SearchIndex::build(&graph());
+        let c = idx.complete("c", 10);
+        assert!(c.contains(&"capital".to_string()));
+        let empty = idx.complete("zzz", 10);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn token_count_reflects_vocabulary() {
+        let idx = SearchIndex::build(&graph());
+        assert!(idx.token_count() >= 8);
+    }
+}

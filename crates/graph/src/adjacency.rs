@@ -1,0 +1,303 @@
+//! Compact adjacency structure and basic graph metrics.
+
+use std::collections::BTreeSet;
+use wodex_rdf::{Graph, Term};
+
+/// An undirected graph in CSR (compressed sparse row) form.
+///
+/// Node ids are dense `0..n`. Construction deduplicates edges and drops
+/// self-loops; every edge appears in both endpoints' neighbor lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    edge_count: usize,
+}
+
+impl Adjacency {
+    /// Builds from an undirected edge list over `0..n` ids.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Adjacency {
+        let mut cleaned: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|&&(a, b)| a != b && (a as usize) < n && (b as usize) < n)
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        cleaned.sort_unstable();
+        cleaned.dedup();
+        let mut degree = vec![0usize; n];
+        for &(a, b) in &cleaned {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut neighbors = vec![0u32; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(a, b) in &cleaned {
+            neighbors[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each neighbor list for binary-searchable membership.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Adjacency {
+            offsets,
+            neighbors,
+            edge_count: cleaned.len(),
+        }
+    }
+
+    /// Builds the *object-link* graph of an RDF graph: nodes are the
+    /// resources (IRIs/bnodes), edges are triples whose object is a
+    /// resource. Returns the adjacency plus the node→term table.
+    pub fn from_rdf(graph: &Graph) -> (Adjacency, Vec<Term>) {
+        let mut nodes: BTreeSet<&Term> = BTreeSet::new();
+        for t in graph.iter() {
+            if t.object.is_resource() {
+                nodes.insert(&t.subject);
+                nodes.insert(&t.object);
+            }
+        }
+        let node_list: Vec<Term> = nodes.iter().map(|&t| t.clone()).collect();
+        let index: std::collections::HashMap<&Term, u32> = node_list
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t, i as u32))
+            .collect();
+        let mut edges = Vec::new();
+        for t in graph.iter() {
+            if t.object.is_resource() {
+                edges.push((index[&t.subject], index[&t.object]));
+            }
+        }
+        (Adjacency::from_edges(node_list.len(), &edges), node_list)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected, deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The sorted neighbor list of node `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// True if `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates all edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.node_count() as u32).flat_map(move |a| {
+            self.neighbors(a)
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max = (0..self.node_count() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for v in 0..self.node_count() as u32 {
+            hist[self.degree(v)] += 1;
+        }
+        hist
+    }
+
+    /// Connected components: returns (label per node, component count).
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.node_count();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n as u32 {
+            if label[start as usize] != u32::MAX {
+                continue;
+            }
+            stack.push(start);
+            label[start as usize] = next;
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if label[w as usize] == u32::MAX {
+                        label[w as usize] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (label, next as usize)
+    }
+
+    /// Average local clustering coefficient (exact; O(Σ d²)).
+    pub fn avg_clustering(&self) -> f64 {
+        let n = self.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for v in 0..n as u32 {
+            let nbrs = self.neighbors(v);
+            let d = nbrs.len();
+            if d < 2 {
+                continue;
+            }
+            let mut links = 0usize;
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if self.has_edge(a, b) {
+                        links += 1;
+                    }
+                }
+            }
+            total += 2.0 * links as f64 / (d * (d - 1)) as f64;
+        }
+        total / n as f64
+    }
+
+    /// The subgraph induced by `keep` (sorted unique node ids). Returns
+    /// the new adjacency and the mapping new-id → old-id.
+    pub fn induced_subgraph(&self, keep: &[u32]) -> (Adjacency, Vec<u32>) {
+        let remap: std::collections::HashMap<u32, u32> = keep
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut edges = Vec::new();
+        for &v in keep {
+            for &w in self.neighbors(v) {
+                if v < w {
+                    if let Some(&nw) = remap.get(&w) {
+                        edges.push((remap[&v], nw));
+                    }
+                }
+            }
+        }
+        (Adjacency::from_edges(keep.len(), &edges), keep.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::vocab::foaf;
+    use wodex_rdf::Triple;
+
+    fn triangle_plus_tail() -> Adjacency {
+        // 0-1-2 triangle, 2-3 tail, 4 isolated.
+        Adjacency::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn csr_construction_and_neighbors() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn construction_dedups_and_drops_self_loops() {
+        let g = Adjacency::from_edges(3, &[(0, 1), (1, 0), (0, 0), (1, 2), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = triangle_plus_tail();
+        let h = g.degree_histogram();
+        // degrees: 2,2,3,1,0.
+        assert_eq!(h, vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn components_finds_islands() {
+        let g = triangle_plus_tail();
+        let (labels, count) = g.components();
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_triangle() {
+        let tri = Adjacency::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!((tri.avg_clustering() - 1.0).abs() < 1e-12);
+        let path = Adjacency::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(path.avg_clustering(), 0.0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle_plus_tail();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        assert_eq!(map, vec![0, 1, 2]);
+        let (sub2, _) = g.induced_subgraph(&[2, 3, 4]);
+        assert_eq!(sub2.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_rdf_links_resources_only() {
+        let mut g = Graph::new();
+        g.insert(Triple::iri(
+            "http://e.org/a",
+            foaf::KNOWS,
+            Term::iri("http://e.org/b"),
+        ));
+        g.insert(Triple::iri(
+            "http://e.org/a",
+            foaf::NAME,
+            Term::literal("Alice"), // literal: not a graph edge
+        ));
+        let (adj, nodes) = Adjacency::from_rdf(&g);
+        assert_eq!(adj.node_count(), 2);
+        assert_eq!(adj.edge_count(), 1);
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Adjacency::from_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.components().1, 0);
+        assert_eq!(g.avg_clustering(), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Force-directed edge bundling (FDEB).
+//!
+//! §4's second edge-aggregation family: "*other approaches adopt edge
+//! bundling techniques which aggregate graph edges to bundles*" [48, 44,
+//! 107, 90, 34, 63]. Bundling reduces visual clutter ("ink") by routing
+//! compatible edges along shared curved paths.
+//!
+//! This is Holten & van Wijk's FDEB with the standard compatibility
+//! measure: edges are subdivided into control points that attract the
+//! corresponding points of compatible edges, with the subdivision doubled
+//! over a few cycles. The clutter metric [`total_ink`] lets experiment E9
+//! quantify the reduction.
+
+use crate::layout::Point;
+
+/// A polyline path for one edge (endpoints fixed, interior points move).
+pub type EdgePath = Vec<Point>;
+
+/// Parameters for [`bundle`].
+#[derive(Debug, Clone, Copy)]
+pub struct BundleParams {
+    /// Subdivision-doubling cycles (points per edge ≈ 2^cycles).
+    pub cycles: usize,
+    /// Iterations per cycle.
+    pub iterations: usize,
+    /// Spring constant between consecutive control points.
+    pub stiffness: f32,
+    /// Step size for control-point movement.
+    pub step: f32,
+    /// Minimum edge-pair compatibility (0..1) to interact.
+    pub compat_threshold: f32,
+}
+
+impl Default for BundleParams {
+    fn default() -> Self {
+        BundleParams {
+            cycles: 4,
+            iterations: 30,
+            stiffness: 0.1,
+            step: 0.4,
+            compat_threshold: 0.6,
+        }
+    }
+}
+
+/// Holten's edge-pair compatibility: the product of angle, scale,
+/// position, and visibility-ish terms, each in \[0, 1\].
+pub fn compatibility(p: (Point, Point), q: (Point, Point)) -> f32 {
+    let vp = Point::new(p.1.x - p.0.x, p.1.y - p.0.y);
+    let vq = Point::new(q.1.x - q.0.x, q.1.y - q.0.y);
+    let lp = (vp.x * vp.x + vp.y * vp.y).sqrt();
+    let lq = (vq.x * vq.x + vq.y * vq.y).sqrt();
+    if lp < 1e-6 || lq < 1e-6 {
+        return 0.0;
+    }
+    // Angle compatibility.
+    let cos = ((vp.x * vq.x + vp.y * vq.y) / (lp * lq)).abs();
+    // Scale compatibility.
+    let lavg = (lp + lq) / 2.0;
+    let scale = 2.0 / (lavg / lp.min(lq) + lp.max(lq) / lavg);
+    // Position compatibility.
+    let mp = Point::new((p.0.x + p.1.x) / 2.0, (p.0.y + p.1.y) / 2.0);
+    let mq = Point::new((q.0.x + q.1.x) / 2.0, (q.0.y + q.1.y) / 2.0);
+    let pos = lavg / (lavg + mp.dist(&mq));
+    cos * scale * pos
+}
+
+/// Bundles a set of straight edges (pairs of endpoints) into curved
+/// paths. O(E² · points) — meant for the rendered *visible* edge set (a
+/// few hundred edges), which is exactly where bundling applies.
+pub fn bundle(edges: &[(Point, Point)], params: BundleParams) -> Vec<EdgePath> {
+    let m = edges.len();
+    // Initialize: endpoints plus one midpoint.
+    let mut paths: Vec<EdgePath> = edges
+        .iter()
+        .map(|&(a, b)| vec![a, Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0), b])
+        .collect();
+    if m < 2 {
+        return paths;
+    }
+    // Precompute pairwise compatibility.
+    let mut compat = vec![Vec::new(); m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let c = compatibility(edges[i], edges[j]);
+            if c >= params.compat_threshold {
+                compat[i].push((j, c));
+                compat[j].push((i, c));
+            }
+        }
+    }
+    let mut step = params.step;
+    for cycle in 0..params.cycles {
+        if cycle > 0 {
+            // Double subdivision: insert midpoints between existing points.
+            for path in &mut paths {
+                let mut denser = Vec::with_capacity(path.len() * 2 - 1);
+                for w in path.windows(2) {
+                    denser.push(w[0]);
+                    denser.push(Point::new((w[0].x + w[1].x) / 2.0, (w[0].y + w[1].y) / 2.0));
+                }
+                denser.push(*path.last().expect("non-empty path"));
+                *path = denser;
+            }
+            step *= 0.5;
+        }
+        let points = paths[0].len();
+        for _ in 0..params.iterations {
+            let snapshot = paths.clone();
+            for (i, path) in paths.iter_mut().enumerate() {
+                for t in 1..points - 1 {
+                    let p = snapshot[i][t];
+                    // Spring force toward neighbors on the same path.
+                    let prev = snapshot[i][t - 1];
+                    let next = snapshot[i][t + 1];
+                    let mut fx = params.stiffness * (prev.x + next.x - 2.0 * p.x);
+                    let mut fy = params.stiffness * (prev.y + next.y - 2.0 * p.y);
+                    // Electrostatic attraction to compatible edges' points.
+                    for &(j, c) in &compat[i] {
+                        let q = snapshot[j][t];
+                        let dx = q.x - p.x;
+                        let dy = q.y - p.y;
+                        let d = (dx * dx + dy * dy).sqrt();
+                        if d > 1e-4 {
+                            fx += c * dx / d;
+                            fy += c * dy / d;
+                        }
+                    }
+                    path[t].x = p.x + step * fx;
+                    path[t].y = p.y + step * fy;
+                }
+            }
+        }
+    }
+    paths
+}
+
+/// Total "ink": the summed length of all paths. Bundling's aim is to
+/// reduce this relative to straight lines while keeping endpoints fixed.
+pub fn total_ink(paths: &[EdgePath]) -> f64 {
+    paths
+        .iter()
+        .map(|p| p.windows(2).map(|w| w[0].dist(&w[1]) as f64).sum::<f64>())
+        .sum()
+}
+
+/// Mean distance between corresponding points of two bundles of paths —
+/// used to verify bundling actually pulls compatible edges together.
+pub fn mean_pairwise_midpoint_gap(paths: &[EdgePath]) -> f64 {
+    let mids: Vec<Point> = paths.iter().map(|p| p[p.len() / 2]).collect();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..mids.len() {
+        for j in (i + 1)..mids.len() {
+            total += mids[i].dist(&mids[j]) as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fan of nearly parallel edges.
+    fn parallel_edges(n: usize) -> Vec<(Point, Point)> {
+        (0..n)
+            .map(|i| {
+                let y = i as f32 * 4.0;
+                (Point::new(0.0, y), Point::new(100.0, y))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compatibility_of_identical_edges_is_one() {
+        let e = (Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!((compatibility(e, e) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compatibility_of_perpendicular_edges_is_zero() {
+        let a = (Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let b = (Point::new(5.0, -5.0), Point::new(5.0, 5.0));
+        assert!(compatibility(a, b) < 1e-6);
+    }
+
+    #[test]
+    fn compatibility_decays_with_distance() {
+        let a = (Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let near = (Point::new(0.0, 1.0), Point::new(10.0, 1.0));
+        let far = (Point::new(0.0, 100.0), Point::new(10.0, 100.0));
+        assert!(compatibility(a, near) > compatibility(a, far));
+    }
+
+    #[test]
+    fn endpoints_stay_fixed() {
+        let edges = parallel_edges(6);
+        let paths = bundle(&edges, BundleParams::default());
+        for (path, &(a, b)) in paths.iter().zip(&edges) {
+            assert_eq!(path[0], a);
+            assert_eq!(*path.last().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn bundling_pulls_parallel_edges_together() {
+        let edges = parallel_edges(6);
+        let straight: Vec<EdgePath> = edges
+            .iter()
+            .map(|&(a, b)| vec![a, Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0), b])
+            .collect();
+        let bundled = bundle(&edges, BundleParams::default());
+        let gap_before = mean_pairwise_midpoint_gap(&straight);
+        let gap_after = mean_pairwise_midpoint_gap(&bundled);
+        assert!(
+            gap_after < gap_before * 0.6,
+            "midpoint gap {gap_after} should shrink well below {gap_before}"
+        );
+    }
+
+    #[test]
+    fn incompatible_edges_are_untouched() {
+        // Two perpendicular edges: below threshold, so only the internal
+        // spring acts, which keeps a straight line straight.
+        let edges = vec![
+            (Point::new(0.0, 0.0), Point::new(100.0, 0.0)),
+            (Point::new(50.0, -50.0), Point::new(50.0, 50.0)),
+        ];
+        let paths = bundle(&edges, BundleParams::default());
+        // Midpoint of edge 0 stays on (near) the straight line y=0.
+        let mid = paths[0][paths[0].len() / 2];
+        assert!(mid.y.abs() < 1.0, "midpoint drifted to {}", mid.y);
+    }
+
+    #[test]
+    fn subdivision_grows_with_cycles() {
+        let edges = parallel_edges(2);
+        let p1 = bundle(
+            &edges,
+            BundleParams {
+                cycles: 1,
+                ..Default::default()
+            },
+        );
+        let p4 = bundle(
+            &edges,
+            BundleParams {
+                cycles: 4,
+                ..Default::default()
+            },
+        );
+        assert!(p4[0].len() > p1[0].len());
+    }
+
+    #[test]
+    fn single_edge_is_left_alone() {
+        let edges = vec![(Point::new(0.0, 0.0), Point::new(10.0, 10.0))];
+        let paths = bundle(&edges, BundleParams::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+    }
+
+    #[test]
+    fn total_ink_of_straight_paths_is_euclidean() {
+        let paths = vec![vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]];
+        assert!((total_ink(&paths) - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,239 @@
+//! Graph coarsening and multilevel layout.
+//!
+//! The multilevel scheme is how state-of-the-art systems lay out graphs
+//! that defeat plain force-direction: coarsen the graph (heavy-edge
+//! matching merges matched endpoints into supernodes), lay out the small
+//! coarse graph well, then project positions back level by level with a
+//! short refinement pass each time. E8 compares this against flat FR.
+
+use crate::adjacency::Adjacency;
+use crate::layout::{self, FrParams, Layout, Point};
+
+/// One coarsening step: the coarse graph plus the mapping fine→coarse.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The coarse graph.
+    pub graph: Adjacency,
+    /// For each fine node, its coarse node id.
+    pub map: Vec<u32>,
+}
+
+/// Coarsens by heavy-edge matching: greedily match each unmatched node to
+/// an unmatched neighbor (visiting nodes in degree order so hubs match
+/// early), merge matched pairs. Unmatched nodes survive as singletons.
+pub fn heavy_edge_matching(graph: &Adjacency) -> Coarsening {
+    let n = graph.node_count();
+    let mut matched = vec![u32::MAX; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    for &v in &order {
+        if matched[v as usize] != u32::MAX {
+            continue;
+        }
+        // Match with the highest-degree unmatched neighbor.
+        let mate = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| matched[w as usize] == u32::MAX && w != v)
+            .max_by_key(|&w| graph.degree(w));
+        match mate {
+            Some(w) => {
+                matched[v as usize] = w;
+                matched[w as usize] = v;
+            }
+            None => matched[v as usize] = v, // singleton
+        }
+    }
+    // Assign coarse ids: one per pair / singleton.
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = matched[v as usize];
+        map[v as usize] = next;
+        if m != v && m != u32::MAX {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    // Build coarse edges.
+    let mut edges = Vec::new();
+    for (a, b) in graph.edges() {
+        let (ca, cb) = (map[a as usize], map[b as usize]);
+        if ca != cb {
+            edges.push((ca, cb));
+        }
+    }
+    Coarsening {
+        graph: Adjacency::from_edges(next as usize, &edges),
+        map,
+    }
+}
+
+/// Repeatedly coarsens until the graph has at most `target` nodes or no
+/// step shrinks it further. Returns the pyramid, finest first.
+pub fn coarsen_to(graph: &Adjacency, target: usize) -> Vec<Coarsening> {
+    let mut levels = Vec::new();
+    let mut current = graph.clone();
+    while current.node_count() > target.max(2) {
+        let c = heavy_edge_matching(&current);
+        // Hub-dominated graphs eventually shrink one node per matching
+        // round; a level that removes <5% of nodes costs more than it
+        // saves, so stop there.
+        if c.graph.node_count() as f64 >= current.node_count() as f64 * 0.95 {
+            break;
+        }
+        current = c.graph.clone();
+        levels.push(c);
+    }
+    levels
+}
+
+/// Multilevel force-directed layout: coarsen to ≤ `coarse_target` nodes,
+/// lay the coarsest level out with full iterations, then project upward
+/// with a few refinement iterations per level.
+pub fn multilevel_layout(graph: &Adjacency, params: FrParams, coarse_target: usize) -> Layout {
+    let levels = coarsen_to(graph, coarse_target);
+    if levels.is_empty() {
+        return layout::fruchterman_reingold(graph, params);
+    }
+    // Lay out the coarsest graph.
+    let coarsest = &levels[levels.len() - 1].graph;
+    let mut lay = layout::fruchterman_reingold(coarsest, params);
+    // Project back up.
+    for (i, level) in levels.iter().enumerate().rev() {
+        let fine_graph = if i == 0 { graph } else { &levels[i - 1].graph };
+        let mut fine = Layout {
+            positions: vec![Point::default(); fine_graph.node_count()],
+        };
+        // Jitter merged nodes apart by about one ideal edge length —
+        // smaller offsets leave whole clusters in a single repulsion grid
+        // cell and the refinement pass degenerates to O(n²).
+        let k = params.size / (fine_graph.node_count() as f32).sqrt().max(1.0);
+        for (v, &c) in level.map.iter().enumerate() {
+            let p = lay.positions[c as usize];
+            let a = v as f32 * 2.399_963; // golden angle: spread directions
+            let j = 0.75 * k;
+            fine.positions[v] = Point::new(
+                (p.x + j * a.cos()).clamp(0.0, params.size),
+                (p.y + j * a.sin()).clamp(0.0, params.size),
+            );
+        }
+        let refine = FrParams {
+            iterations: (params.iterations / 5).max(5),
+            initial_temperature: params.initial_temperature * 0.3,
+            ..params
+        };
+        lay = layout::fruchterman_reingold_from(fine_graph, fine, refine);
+    }
+    lay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(n: usize) -> Adjacency {
+        // Two rails of n nodes plus rungs: 3n-2 edges, nicely matchable.
+        let mut edges = Vec::new();
+        for i in 0..n as u32 - 1 {
+            edges.push((i, i + 1));
+            edges.push((n as u32 + i, n as u32 + i + 1));
+        }
+        for i in 0..n as u32 {
+            edges.push((i, n as u32 + i));
+        }
+        Adjacency::from_edges(2 * n, &edges)
+    }
+
+    #[test]
+    fn matching_halves_node_count_roughly() {
+        let g = ladder(50); // 100 nodes
+        let c = heavy_edge_matching(&g);
+        assert!(c.graph.node_count() <= 60, "got {}", c.graph.node_count());
+        assert!(c.graph.node_count() >= 50);
+    }
+
+    #[test]
+    fn map_is_total_and_surjective() {
+        let g = ladder(20);
+        let c = heavy_edge_matching(&g);
+        assert_eq!(c.map.len(), g.node_count());
+        let distinct: std::collections::HashSet<_> = c.map.iter().collect();
+        assert_eq!(distinct.len(), c.graph.node_count());
+        assert!(c.map.iter().all(|&m| (m as usize) < c.graph.node_count()));
+    }
+
+    #[test]
+    fn coarse_edges_reflect_fine_edges() {
+        let g = ladder(10);
+        let c = heavy_edge_matching(&g);
+        // Every coarse edge must come from at least one fine edge.
+        for (ca, cb) in c.graph.edges() {
+            let found = g.edges().any(|(a, b)| {
+                (c.map[a as usize] == ca && c.map[b as usize] == cb)
+                    || (c.map[a as usize] == cb && c.map[b as usize] == ca)
+            });
+            assert!(found, "coarse edge ({ca},{cb}) has no fine counterpart");
+        }
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = ladder(128); // 256 nodes
+        let levels = coarsen_to(&g, 20);
+        assert!(!levels.is_empty());
+        assert!(levels.last().unwrap().graph.node_count() <= 40);
+        // Strictly decreasing.
+        let mut prev = g.node_count();
+        for l in &levels {
+            assert!(l.graph.node_count() < prev);
+            prev = l.graph.node_count();
+        }
+    }
+
+    #[test]
+    fn coarsen_edgeless_graph_terminates() {
+        let g = Adjacency::from_edges(10, &[]);
+        let levels = coarsen_to(&g, 2);
+        // Singleton matching cannot shrink an edgeless graph below n.
+        assert!(levels.len() <= 1);
+    }
+
+    #[test]
+    fn multilevel_layout_positions_every_node() {
+        let g = ladder(100);
+        let l = multilevel_layout(&g, FrParams::default(), 25);
+        assert_eq!(l.len(), 200);
+        let (min, max) = l.bounds().unwrap();
+        assert!(max.x > min.x && max.y > min.y, "layout must not collapse");
+    }
+
+    #[test]
+    fn multilevel_beats_few_iteration_flat_fr_on_quality() {
+        // With an equal (small) iteration budget, multilevel should not be
+        // dramatically worse than flat FR — and usually better on total
+        // edge length for structured graphs.
+        let g = ladder(150);
+        let p = FrParams {
+            iterations: 30,
+            ..Default::default()
+        };
+        let flat = layout::fruchterman_reingold(&g, p).total_edge_length(&g);
+        let multi = multilevel_layout(&g, p, 30).total_edge_length(&g);
+        assert!(
+            multi < flat * 1.5,
+            "multilevel quality collapsed: {multi} vs flat {flat}"
+        );
+    }
+
+    #[test]
+    fn multilevel_on_tiny_graph_falls_back() {
+        let g = Adjacency::from_edges(3, &[(0, 1), (1, 2)]);
+        let l = multilevel_layout(&g, FrParams::default(), 100);
+        assert_eq!(l.len(), 3);
+    }
+}

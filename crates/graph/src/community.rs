@@ -1,0 +1,192 @@
+//! Community detection and modularity.
+//!
+//! Abstraction hierarchies (§4: "the graph is recursively decomposed into
+//! smaller sub-graphs, in most cases using clustering and partitioning")
+//! need a partitioner. Label propagation is the standard near-linear-time
+//! choice; [`modularity`] scores how community-like a partition is, and
+//! the hierarchy module uses both.
+
+use crate::adjacency::Adjacency;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Asynchronous label propagation. Each node repeatedly adopts the most
+/// frequent label among its neighbors (ties broken toward the smallest
+/// label for determinism) until a fixed point or `max_rounds`.
+///
+/// Returns dense community labels (`0..k`).
+pub fn label_propagation(graph: &Adjacency, max_rounds: usize, seed: u64) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for _ in 0..max_rounds {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            let nbrs = graph.neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let mut freq: HashMap<u32, usize> = HashMap::new();
+            for &w in nbrs {
+                *freq.entry(labels[w as usize]).or_insert(0) += 1;
+            }
+            let best = freq
+                .iter()
+                .max_by_key(|&(&label, &count)| (count, std::cmp::Reverse(label)))
+                .map(|(&label, _)| label)
+                .expect("non-empty freq");
+            if labels[v as usize] != best {
+                labels[v as usize] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    densify(&labels)
+}
+
+/// Renames labels to dense `0..k` (stable: first occurrence order).
+pub fn densify(labels: &[u32]) -> Vec<u32> {
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    let mut next = 0u32;
+    labels
+        .iter()
+        .map(|&l| {
+            *map.entry(l).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+/// Number of distinct communities in a dense labeling.
+pub fn community_count(labels: &[u32]) -> usize {
+    labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+/// Newman modularity Q of a partition:
+/// `Q = Σ_c (e_c/m − (d_c/2m)²)` where `e_c` is the number of intra-
+/// community edges and `d_c` the total degree of community `c`.
+pub fn modularity(graph: &Adjacency, labels: &[u32]) -> f64 {
+    let m = graph.edge_count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = community_count(labels);
+    let mut intra = vec![0f64; k];
+    let mut degree = vec![0f64; k];
+    for (a, b) in graph.edges() {
+        let (ca, cb) = (labels[a as usize] as usize, labels[b as usize] as usize);
+        if ca == cb {
+            intra[ca] += 1.0;
+        }
+    }
+    for v in 0..graph.node_count() as u32 {
+        degree[labels[v as usize] as usize] += graph.degree(v) as f64;
+    }
+    (0..k)
+        .map(|c| intra[c] / m - (degree[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 10-cliques joined by a single edge.
+    fn two_cliques() -> Adjacency {
+        let mut edges = Vec::new();
+        for base in [0u32, 10] {
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 10));
+        Adjacency::from_edges(20, &edges)
+    }
+
+    #[test]
+    fn label_propagation_splits_cliques() {
+        let g = two_cliques();
+        let labels = label_propagation(&g, 20, 1);
+        assert_eq!(community_count(&labels), 2);
+        // Everyone in the first clique shares a label.
+        assert!(labels[..10].iter().all(|&l| l == labels[0]));
+        assert!(labels[10..].iter().all(|&l| l == labels[10]));
+        assert_ne!(labels[0], labels[10]);
+    }
+
+    #[test]
+    fn modularity_prefers_true_partition() {
+        let g = two_cliques();
+        let truth: Vec<u32> = (0..20).map(|i| (i / 10) as u32).collect();
+        let all_one = vec![0u32; 20];
+        let singleton: Vec<u32> = (0..20).collect();
+        let q_truth = modularity(&g, &truth);
+        assert!(q_truth > modularity(&g, &all_one));
+        assert!(q_truth > modularity(&g, &singleton));
+        assert!(q_truth > 0.3, "q={q_truth}");
+    }
+
+    #[test]
+    fn modularity_of_whole_graph_partition_is_zero() {
+        let g = two_cliques();
+        let all_one = vec![0u32; 20];
+        assert!(modularity(&g, &all_one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densify_is_stable_and_dense() {
+        let labels = vec![42, 7, 42, 9, 7];
+        let d = densify(&labels);
+        assert_eq!(d, vec![0, 1, 0, 2, 1]);
+        assert_eq!(community_count(&d), 3);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_community() {
+        let g = Adjacency::from_edges(4, &[(0, 1)]);
+        let labels = label_propagation(&g, 10, 1);
+        // Nodes 2 and 3 are isolated: distinct communities.
+        assert_ne!(labels[2], labels[3]);
+        assert_eq!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn planted_partition_is_recovered() {
+        let (el, truth) = wodex_synth::netgen::planted_partition(4, 20, 0.4, 0.005, 3);
+        let g = Adjacency::from_edges(el.nodes, &el.edges);
+        let labels = label_propagation(&g, 30, 2);
+        // Compare partitions by checking pairs within the same true
+        // community mostly share labels.
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..truth.len() {
+            for j in (i + 1)..truth.len() {
+                if truth[i] == truth[j] {
+                    total += 1;
+                    if labels[i] == labels[j] {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(frac > 0.85, "recovered only {frac} of intra pairs");
+    }
+
+    #[test]
+    fn empty_graph_modularity_zero() {
+        let g = Adjacency::from_edges(0, &[]);
+        assert_eq!(modularity(&g, &[]), 0.0);
+    }
+}

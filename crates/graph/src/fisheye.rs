@@ -1,0 +1,201 @@
+//! Semantic fisheye zooming (ZoomRDF \[142\]).
+//!
+//! ZoomRDF "employs a space-optimized visualization algorithm in order to
+//! increase the number of resources which are displayed": a fisheye
+//! distortion magnifies the focus region while keeping the whole graph on
+//! screen — more context per pixel than a rectangular zoom.
+//!
+//! [`fisheye`] applies Furnas/Sarkar–Brown graphical fisheye distortion
+//! to a [`Layout`]: each point moves away from the focus along its radius
+//! by `r' = r·(d+1)/(d·r/R + 1)` (normalized), where `d` is the
+//! distortion factor. [`degree_of_interest`] adds the *semantic* half:
+//! API-visible DOI = a priori importance (degree) minus distance from the
+//! focus, the classic Furnas formula ZoomRDF instantiates for RDF.
+
+use crate::adjacency::Adjacency;
+use crate::layout::{Layout, Point};
+
+/// Applies graphical fisheye distortion around `focus` with distortion
+/// `d ≥ 0` (0 = identity), bounded by radius `radius` (points beyond it
+/// stay put).
+pub fn fisheye(layout: &Layout, focus: Point, d: f32, radius: f32) -> Layout {
+    assert!(d >= 0.0, "distortion must be non-negative");
+    assert!(radius > 0.0, "radius must be positive");
+    let positions = layout
+        .positions
+        .iter()
+        .map(|p| {
+            let dx = p.x - focus.x;
+            let dy = p.y - focus.y;
+            let r = (dx * dx + dy * dy).sqrt();
+            if r >= radius || r < 1e-9 {
+                return *p;
+            }
+            let norm = r / radius;
+            let magnified = (d + 1.0) * norm / (d * norm + 1.0);
+            let scale = magnified * radius / r;
+            Point::new(focus.x + dx * scale, focus.y + dy * scale)
+        })
+        .collect();
+    Layout { positions }
+}
+
+/// Furnas degree-of-interest: `doi(v) = api(v) − dist(v, focus)` where
+/// `api` is log-degree importance and `dist` is the BFS hop distance from
+/// the focus node (unreachable = max hops + 1). Higher is more
+/// interesting; ZoomRDF keeps the top-k visible at full size.
+pub fn degree_of_interest(graph: &Adjacency, focus: u32, api_weight: f32) -> Vec<f32> {
+    let n = graph.node_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[focus as usize] = 0;
+    queue.push_back(focus);
+    let mut max_seen = 0u32;
+    while let Some(v) = queue.pop_front() {
+        for &w in graph.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dist[v as usize] + 1;
+                max_seen = max_seen.max(dist[w as usize]);
+                queue.push_back(w);
+            }
+        }
+    }
+    (0..n)
+        .map(|v| {
+            let api = ((graph.degree(v as u32) + 1) as f32).ln() * api_weight;
+            let d = if dist[v] == u32::MAX {
+                max_seen + 1
+            } else {
+                dist[v]
+            };
+            api - d as f32
+        })
+        .collect()
+}
+
+/// Selects the `k` most interesting nodes under the DOI (always includes
+/// the focus).
+pub fn doi_top_k(graph: &Adjacency, focus: u32, api_weight: f32, k: usize) -> Vec<u32> {
+    let doi = degree_of_interest(graph, focus, api_weight);
+    let mut order: Vec<u32> = (0..graph.node_count() as u32).collect();
+    order.sort_by(|&a, &b| doi[b as usize].total_cmp(&doi[a as usize]));
+    let mut out: Vec<u32> = order.into_iter().take(k.max(1)).collect();
+    if !out.contains(&focus) {
+        out.pop();
+        out.push(focus);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_layout() -> Layout {
+        Layout {
+            positions: (0..100)
+                .map(|i| Point::new((i % 10) as f32 * 10.0, (i / 10) as f32 * 10.0))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn zero_distortion_is_identity() {
+        let l = grid_layout();
+        let f = fisheye(&l, Point::new(45.0, 45.0), 0.0, 100.0);
+        for (a, b) in l.positions.iter().zip(&f.positions) {
+            assert!(a.dist(b) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn focus_neighborhood_is_magnified() {
+        let l = grid_layout();
+        let focus = Point::new(45.0, 45.0);
+        let f = fisheye(&l, focus, 3.0, 100.0);
+        // A point near the focus moves outward (more separation).
+        let near = 44; // grid point (40,40)
+        let before = l.positions[near].dist(&focus);
+        let after = f.positions[near].dist(&focus);
+        assert!(
+            after > before,
+            "near point must be pushed out: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn distortion_preserves_radial_order() {
+        let l = grid_layout();
+        let focus = Point::new(45.0, 45.0);
+        let f = fisheye(&l, focus, 4.0, 200.0);
+        // The fisheye function is monotone in r: order by distance from
+        // focus must be preserved.
+        let mut idx: Vec<usize> = (0..l.positions.len()).collect();
+        idx.sort_by(|&a, &b| {
+            l.positions[a]
+                .dist(&focus)
+                .total_cmp(&l.positions[b].dist(&focus))
+        });
+        for w in idx.windows(2) {
+            let ra = f.positions[w[0]].dist(&focus);
+            let rb = f.positions[w[1]].dist(&focus);
+            assert!(ra <= rb + 1e-3, "radial order violated");
+        }
+    }
+
+    #[test]
+    fn points_outside_radius_stay_fixed() {
+        let l = grid_layout();
+        let f = fisheye(&l, Point::new(0.0, 0.0), 5.0, 30.0);
+        // (90, 90) is far outside the radius.
+        assert_eq!(l.positions[99], f.positions[99]);
+    }
+
+    #[test]
+    fn distorted_points_stay_within_radius() {
+        let l = grid_layout();
+        let focus = Point::new(45.0, 45.0);
+        let f = fisheye(&l, focus, 10.0, 60.0);
+        for (orig, moved) in l.positions.iter().zip(&f.positions) {
+            if orig.dist(&focus) < 60.0 {
+                assert!(moved.dist(&focus) <= 60.0 + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn doi_decreases_with_distance() {
+        // Path graph 0-1-2-3-4: DOI from focus 0 must fall along the path.
+        let g = Adjacency::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let doi = degree_of_interest(&g, 0, 1.0);
+        assert!(doi[0] > doi[1]);
+        assert!(doi[1] > doi[2] || (doi[1] - doi[2]).abs() < 0.7); // degree bumps
+        assert!(doi[0] > doi[4]);
+    }
+
+    #[test]
+    fn doi_rewards_hubs() {
+        // Star with hub 0, plus a pendant chain; hub should beat an equally
+        // distant non-hub.
+        let g = Adjacency::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6)]);
+        let doi = degree_of_interest(&g, 5, 2.0);
+        // Node 0 (degree 4) is 2 hops away; node 6 (degree 1) is 1 hop.
+        assert!(doi[0] > doi[6], "hub importance must offset distance");
+    }
+
+    #[test]
+    fn doi_top_k_contains_focus() {
+        let g = Adjacency::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let top = doi_top_k(&g, 5, 0.1, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top.contains(&5));
+    }
+
+    #[test]
+    fn doi_handles_disconnected_nodes() {
+        let g = Adjacency::from_edges(4, &[(0, 1)]);
+        let doi = degree_of_interest(&g, 0, 1.0);
+        assert!(doi[0] > doi[2]);
+        assert!(doi[2].is_finite());
+    }
+}

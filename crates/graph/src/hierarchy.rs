@@ -1,0 +1,455 @@
+//! Abstraction hierarchies with expand/collapse navigation.
+//!
+//! §4: state-of-the-art systems "*utilize hierarchical aggregation
+//! approaches where the graph is recursively decomposed into smaller
+//! sub-graphs (in most cases using clustering and partitioning) that form
+//! a hierarchy of abstraction layers*" (ASK-GraphView \[1\], Grouse \[8\],
+//! GrouseFlocks \[9\], GMine \[71, 72\], CGV \[130\], ...).
+//!
+//! [`AbstractionHierarchy`] builds those layers by repeated community
+//! detection; [`HierarchyView`] is the interactive cut through them: the
+//! user sees supernodes, expands the ones of interest, and the *visible*
+//! graph stays small no matter how large the base graph is — the E8
+//! scalability claim.
+
+use crate::adjacency::Adjacency;
+use crate::community::{community_count, label_propagation};
+use std::collections::{HashMap, HashSet};
+
+/// A node handle: `(level, id)`. Level 0 = base nodes; higher levels are
+/// supernodes.
+pub type Handle = (usize, u32);
+
+/// A multi-level decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct AbstractionHierarchy {
+    base: Adjacency,
+    /// `parents[l][v]` = parent (level `l+1` id) of level-`l` node `v`.
+    parents: Vec<Vec<u32>>,
+    /// `children[l]` lists, for each level-`l+1` supernode, its level-`l`
+    /// members (redundant with `parents`, precomputed for traversal).
+    children: Vec<Vec<Vec<u32>>>,
+    /// Node counts per level (index 0 = base).
+    level_sizes: Vec<usize>,
+}
+
+impl AbstractionHierarchy {
+    /// Builds a hierarchy by repeated label propagation until fewer than
+    /// `stop_at` supernodes remain or a level stops shrinking.
+    pub fn build(base: Adjacency, stop_at: usize, seed: u64) -> AbstractionHierarchy {
+        let mut parents: Vec<Vec<u32>> = Vec::new();
+        let mut level_sizes = vec![base.node_count()];
+        let mut current = base.clone();
+        let mut round = 0u64;
+        while current.node_count() > stop_at.max(1) {
+            let labels = label_propagation(&current, 20, seed.wrapping_add(round));
+            let k = community_count(&labels);
+            // A single giant community (common on hub-dominated graphs) or
+            // no shrinkage would make the level useless — fall back to
+            // pairwise matching; if even matching stalls (<5% shrinkage,
+            // the star-graph pathology), force a BFS-chunk partition down
+            // to `stop_at` groups and finish.
+            if k >= current.node_count() || k <= 1 {
+                let c = crate::coarsen::heavy_edge_matching(&current);
+                if (c.graph.node_count() as f64) >= current.node_count() as f64 * 0.95 {
+                    let labels = bfs_partition(&current, stop_at.max(1));
+                    let k = community_count(&labels);
+                    let mut edges = Vec::new();
+                    for (a, b) in current.edges() {
+                        let (ca, cb) = (labels[a as usize], labels[b as usize]);
+                        if ca != cb {
+                            edges.push((ca, cb));
+                        }
+                    }
+                    let _ = edges; // the forced level is terminal
+                    parents.push(labels);
+                    level_sizes.push(k);
+                    break;
+                }
+                parents.push(c.map.clone());
+                level_sizes.push(c.graph.node_count());
+                current = c.graph;
+            } else {
+                // Build the community supergraph.
+                let mut edges = Vec::new();
+                for (a, b) in current.edges() {
+                    let (ca, cb) = (labels[a as usize], labels[b as usize]);
+                    if ca != cb {
+                        edges.push((ca, cb));
+                    }
+                }
+                parents.push(labels);
+                level_sizes.push(k);
+                current = Adjacency::from_edges(k, &edges);
+            }
+            round += 1;
+        }
+        let children = parents
+            .iter()
+            .zip(level_sizes.iter().skip(1))
+            .map(|(par, &upper)| {
+                let mut lists: Vec<Vec<u32>> = vec![Vec::new(); upper];
+                for (v, &p) in par.iter().enumerate() {
+                    lists[p as usize].push(v as u32);
+                }
+                lists
+            })
+            .collect();
+        AbstractionHierarchy {
+            base,
+            parents,
+            children,
+            level_sizes,
+        }
+    }
+
+    /// The base graph.
+    pub fn base(&self) -> &Adjacency {
+        &self.base
+    }
+
+    /// Number of levels including the base (≥ 1).
+    pub fn levels(&self) -> usize {
+        self.level_sizes.len()
+    }
+
+    /// Node count at a level.
+    pub fn level_size(&self, level: usize) -> usize {
+        self.level_sizes[level]
+    }
+
+    /// The top level's handles (the initial overview).
+    pub fn roots(&self) -> Vec<Handle> {
+        let top = self.levels() - 1;
+        (0..self.level_sizes[top] as u32)
+            .map(|i| (top, i))
+            .collect()
+    }
+
+    /// Children of a supernode handle (empty for base nodes).
+    pub fn children_of(&self, h: Handle) -> Vec<Handle> {
+        let (level, id) = h;
+        if level == 0 {
+            return Vec::new();
+        }
+        self.children[level - 1][id as usize]
+            .iter()
+            .map(|&c| (level - 1, c))
+            .collect()
+    }
+
+    /// Parent of a handle (None at the top level).
+    pub fn parent_of(&self, h: Handle) -> Option<Handle> {
+        let (level, id) = h;
+        if level + 1 >= self.levels() {
+            return None;
+        }
+        Some((level + 1, self.parents[level][id as usize]))
+    }
+
+    /// Number of base nodes under a handle.
+    pub fn weight(&self, h: Handle) -> usize {
+        let (level, id) = h;
+        if level == 0 {
+            return 1;
+        }
+        self.children_of((level, id))
+            .into_iter()
+            .map(|c| self.weight(c))
+            .sum()
+    }
+
+    /// The ancestor of base node `v` at `level`.
+    pub fn ancestor_at(&self, v: u32, level: usize) -> u32 {
+        let mut id = v;
+        for l in 0..level {
+            id = self.parents[l][id as usize];
+        }
+        id
+    }
+
+    /// The aggregated supergraph at a level: edges between level-`level`
+    /// nodes with multiplicities.
+    pub fn abstract_graph(&self, level: usize) -> (Adjacency, HashMap<(u32, u32), usize>) {
+        let mut weights: HashMap<(u32, u32), usize> = HashMap::new();
+        for (a, b) in self.base.edges() {
+            let (ca, cb) = (self.ancestor_at(a, level), self.ancestor_at(b, level));
+            if ca != cb {
+                let key = if ca < cb { (ca, cb) } else { (cb, ca) };
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+        let edges: Vec<(u32, u32)> = weights.keys().copied().collect();
+        (
+            Adjacency::from_edges(self.level_sizes[level], &edges),
+            weights,
+        )
+    }
+}
+
+/// Partitions a graph into `k` groups of contiguous BFS chunks — the
+/// last-resort coarsening for graphs where neither communities nor
+/// matching make progress. Groups are locality-preserving (each is a BFS
+/// region) and balanced (⌈n/k⌉ nodes each).
+fn bfs_partition(graph: &Adjacency, k: usize) -> Vec<u32> {
+    let n = graph.node_count();
+    let k = k.min(n).max(1);
+    let chunk = n.div_ceil(k);
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    // Start from the highest-degree node; restart BFS for other components.
+    let mut starts: Vec<u32> = (0..n as u32).collect();
+    starts.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    let mut queue = std::collections::VecDeque::new();
+    for &s in &starts {
+        if seen[s as usize] {
+            continue;
+        }
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in graph.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let mut labels = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        labels[v as usize] = (i / chunk) as u32;
+    }
+    crate::community::densify(&labels)
+}
+
+/// An interactive cut through a hierarchy: which supernodes are expanded.
+pub struct HierarchyView<'a> {
+    hierarchy: &'a AbstractionHierarchy,
+    expanded: HashSet<Handle>,
+}
+
+impl<'a> HierarchyView<'a> {
+    /// Starts fully collapsed (only the top level is visible).
+    pub fn new(hierarchy: &'a AbstractionHierarchy) -> HierarchyView<'a> {
+        HierarchyView {
+            hierarchy,
+            expanded: HashSet::new(),
+        }
+    }
+
+    /// Expands a supernode (no-op on base nodes).
+    pub fn expand(&mut self, h: Handle) {
+        if h.0 > 0 {
+            self.expanded.insert(h);
+        }
+    }
+
+    /// Collapses a supernode and everything under it.
+    pub fn collapse(&mut self, h: Handle) {
+        // Remove h and all expanded descendants.
+        let mut stack = vec![h];
+        while let Some(x) = stack.pop() {
+            if self.expanded.remove(&x) || x == h {
+                for c in self.hierarchy.children_of(x) {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    /// True if the handle is expanded.
+    pub fn is_expanded(&self, h: Handle) -> bool {
+        self.expanded.contains(&h)
+    }
+
+    /// The currently visible handles: a supernode is visible when all its
+    /// ancestors are expanded and it is not; a base node is visible when
+    /// every ancestor is expanded.
+    pub fn visible(&self) -> Vec<Handle> {
+        let mut out = Vec::new();
+        let mut stack = self.hierarchy.roots();
+        while let Some(h) = stack.pop() {
+            if self.expanded.contains(&h) {
+                stack.extend(self.hierarchy.children_of(h));
+            } else {
+                out.push(h);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The visible handle covering base node `v`.
+    pub fn visible_ancestor(&self, v: u32) -> Handle {
+        // Path from leaf to root.
+        let mut path = vec![(0usize, v)];
+        let mut cur = (0usize, v);
+        while let Some(p) = self.hierarchy.parent_of(cur) {
+            path.push(p);
+            cur = p;
+        }
+        // Walk down from the root: the first non-expanded handle is
+        // visible.
+        for h in path.iter().rev() {
+            if !self.expanded.contains(h) {
+                return *h;
+            }
+        }
+        (0, v) // every ancestor expanded: the leaf itself
+    }
+
+    /// The visible aggregated edges: pairs of visible handles with the
+    /// number of base edges between them.
+    pub fn visible_edges(&self) -> HashMap<(Handle, Handle), usize> {
+        let mut out = HashMap::new();
+        for (a, b) in self.hierarchy.base().edges() {
+            let (ha, hb) = (self.visible_ancestor(a), self.visible_ancestor(b));
+            if ha != hb {
+                let key = if ha < hb { (ha, hb) } else { (hb, ha) };
+                *out.entry(key).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> AbstractionHierarchy {
+        let (el, _) = wodex_synth::netgen::planted_partition(4, 25, 0.35, 0.004, 7);
+        let base = Adjacency::from_edges(el.nodes, &el.edges);
+        AbstractionHierarchy::build(base, 8, 1)
+    }
+
+    #[test]
+    fn hierarchy_shrinks_levels() {
+        let h = hierarchy();
+        assert!(h.levels() >= 2);
+        for l in 1..h.levels() {
+            assert!(h.level_size(l) < h.level_size(l - 1));
+        }
+        assert!(h.level_size(h.levels() - 1) <= 100);
+    }
+
+    #[test]
+    fn weights_sum_to_base_nodes() {
+        let h = hierarchy();
+        let total: usize = h.roots().into_iter().map(|r| h.weight(r)).sum();
+        assert_eq!(total, h.base().node_count());
+    }
+
+    #[test]
+    fn children_and_parent_are_inverse() {
+        let h = hierarchy();
+        for r in h.roots() {
+            for c in h.children_of(r) {
+                assert_eq!(h.parent_of(c), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_at_composes_parent_maps() {
+        let h = hierarchy();
+        let top = h.levels() - 1;
+        for v in 0..h.base().node_count() as u32 {
+            let a = h.ancestor_at(v, top);
+            assert!((a as usize) < h.level_size(top));
+            // Walking via parent_of agrees.
+            let mut cur = (0usize, v);
+            while let Some(p) = h.parent_of(cur) {
+                cur = p;
+            }
+            assert_eq!(cur, (top, a));
+        }
+    }
+
+    #[test]
+    fn initial_view_is_top_level() {
+        let h = hierarchy();
+        let view = HierarchyView::new(&h);
+        assert_eq!(view.visible().len(), h.level_size(h.levels() - 1));
+    }
+
+    #[test]
+    fn expand_replaces_supernode_with_children() {
+        let h = hierarchy();
+        let mut view = HierarchyView::new(&h);
+        let before = view.visible().len();
+        let target = h.roots()[0];
+        let kids = h.children_of(target).len();
+        view.expand(target);
+        let after = view.visible().len();
+        assert_eq!(after, before - 1 + kids);
+        assert!(!view.visible().contains(&target));
+    }
+
+    #[test]
+    fn collapse_restores_previous_view() {
+        let h = hierarchy();
+        let mut view = HierarchyView::new(&h);
+        let initial = view.visible();
+        let target = h.roots()[0];
+        view.expand(target);
+        // Expand a child too, then collapse the root supernode.
+        if let Some(&child) = h.children_of(target).first() {
+            view.expand(child);
+        }
+        view.collapse(target);
+        assert_eq!(view.visible(), initial);
+    }
+
+    #[test]
+    fn visible_ancestor_matches_visible_set() {
+        let h = hierarchy();
+        let mut view = HierarchyView::new(&h);
+        view.expand(h.roots()[0]);
+        let visible: HashSet<Handle> = view.visible().into_iter().collect();
+        for v in 0..h.base().node_count() as u32 {
+            assert!(visible.contains(&view.visible_ancestor(v)));
+        }
+    }
+
+    #[test]
+    fn visible_edges_conserve_cross_cluster_edges() {
+        let h = hierarchy();
+        let view = HierarchyView::new(&h);
+        let top = h.levels() - 1;
+        let (_, weights) = h.abstract_graph(top);
+        let visible_total: usize = view.visible_edges().values().sum();
+        let abstract_total: usize = weights.values().sum();
+        assert_eq!(visible_total, abstract_total);
+    }
+
+    #[test]
+    fn fully_expanded_view_shows_base_graph() {
+        let h = hierarchy();
+        let mut view = HierarchyView::new(&h);
+        // Expand everything.
+        let mut stack = h.roots();
+        while let Some(x) = stack.pop() {
+            if x.0 > 0 {
+                view.expand(x);
+                stack.extend(h.children_of(x));
+            }
+        }
+        assert_eq!(view.visible().len(), h.base().node_count());
+        let total: usize = view.visible_edges().values().sum();
+        assert_eq!(total, h.base().edge_count());
+    }
+
+    #[test]
+    fn abstract_graph_weights_count_base_edges() {
+        let h = hierarchy();
+        let (sg, weights) = h.abstract_graph(1);
+        assert_eq!(sg.node_count(), h.level_size(1));
+        let cross: usize = weights.values().sum();
+        // Cross + intra must equal base edges.
+        let intra = h.base().edge_count() - cross;
+        assert!(intra > cross, "planted partition is mostly intra-community");
+    }
+}

@@ -1,0 +1,395 @@
+//! Graph layout algorithms.
+//!
+//! The force-directed layout here is the *baseline* whose cost motivates
+//! everything else in this crate: §4 observes that "the large memory
+//! requirements of graph layout algorithms" confine naive systems to small
+//! graphs. [`fruchterman_reingold`] is the classic spring-embedder with a
+//! uniform-grid neighborhood optimization (repulsion only against nearby
+//! nodes), [`circular`] and [`grid`] are the O(n) deterministic layouts
+//! browsers fall back to, and [`Layout`] carries positions into the
+//! spatial index and renderers.
+
+use crate::adjacency::Adjacency;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A 2-D position.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f32, y: f32) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f32 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Node positions, indexed by node id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Layout {
+    /// Position per node.
+    pub positions: Vec<Point>,
+}
+
+impl Layout {
+    /// Number of positioned nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if no nodes are positioned.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Bounding box `(min, max)`; `None` when empty.
+    pub fn bounds(&self) -> Option<(Point, Point)> {
+        if self.positions.is_empty() {
+            return None;
+        }
+        let mut min = Point::new(f32::INFINITY, f32::INFINITY);
+        let mut max = Point::new(f32::NEG_INFINITY, f32::NEG_INFINITY);
+        for p in &self.positions {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some((min, max))
+    }
+
+    /// Total edge length under this layout — the simplest layout-quality
+    /// proxy (shorter is better for equal-area layouts).
+    pub fn total_edge_length(&self, graph: &Adjacency) -> f64 {
+        graph
+            .edges()
+            .map(|(a, b)| self.positions[a as usize].dist(&self.positions[b as usize]) as f64)
+            .sum()
+    }
+
+    /// Rescales positions into `[0, w] × [0, h]`.
+    pub fn normalize(&mut self, w: f32, h: f32) {
+        let Some((min, max)) = self.bounds() else {
+            return;
+        };
+        let sx = if max.x > min.x {
+            w / (max.x - min.x)
+        } else {
+            1.0
+        };
+        let sy = if max.y > min.y {
+            h / (max.y - min.y)
+        } else {
+            1.0
+        };
+        for p in &mut self.positions {
+            p.x = (p.x - min.x) * sx;
+            p.y = (p.y - min.y) * sy;
+        }
+    }
+}
+
+/// Uniformly random positions in `[0, size]²` — the usual FR seed.
+pub fn random(n: usize, size: f32, seed: u64) -> Layout {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Layout {
+        positions: (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..=size), rng.random_range(0.0..=size)))
+            .collect(),
+    }
+}
+
+/// Nodes evenly spaced on a circle (deterministic O(n)).
+pub fn circular(n: usize, radius: f32) -> Layout {
+    Layout {
+        positions: (0..n)
+            .map(|i| {
+                let a = std::f32::consts::TAU * i as f32 / n.max(1) as f32;
+                Point::new(radius * a.cos(), radius * a.sin())
+            })
+            .collect(),
+    }
+}
+
+/// Nodes on a square grid (deterministic O(n)).
+pub fn grid(n: usize, spacing: f32) -> Layout {
+    let cols = (n as f32).sqrt().ceil() as usize;
+    Layout {
+        positions: (0..n)
+            .map(|i| {
+                Point::new(
+                    (i % cols.max(1)) as f32 * spacing,
+                    (i / cols.max(1)) as f32 * spacing,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Parameters for [`fruchterman_reingold`].
+#[derive(Debug, Clone, Copy)]
+pub struct FrParams {
+    /// Iterations to run.
+    pub iterations: usize,
+    /// Side length of the layout square.
+    pub size: f32,
+    /// Initial temperature as a fraction of `size` (default 0.1).
+    pub initial_temperature: f32,
+    /// RNG seed for the initial placement.
+    pub seed: u64,
+}
+
+impl Default for FrParams {
+    fn default() -> Self {
+        FrParams {
+            iterations: 50,
+            size: 1000.0,
+            initial_temperature: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Fruchterman–Reingold force-directed layout with grid-bucketed
+/// repulsion (each node only repels nodes within its 3×3 cell
+/// neighborhood at distance < 2k), cooling linearly to zero.
+pub fn fruchterman_reingold(graph: &Adjacency, params: FrParams) -> Layout {
+    fruchterman_reingold_from(
+        graph,
+        random(graph.node_count(), params.size, params.seed),
+        params,
+    )
+}
+
+/// FR starting from a given initial layout (used by the multilevel
+/// scheme's refinement passes).
+pub fn fruchterman_reingold_from(
+    graph: &Adjacency,
+    mut layout: Layout,
+    params: FrParams,
+) -> Layout {
+    let n = graph.node_count();
+    if n == 0 {
+        return layout;
+    }
+    assert_eq!(layout.len(), n, "layout/graph size mismatch");
+    let size = params.size;
+    let k = size / (n as f32).sqrt().max(1.0); // ideal edge length
+    let mut temp = size * params.initial_temperature;
+    let cool = temp / params.iterations.max(1) as f32;
+    let cell = (2.0 * k).max(1e-3);
+    let mut disp = vec![Point::default(); n];
+
+    for _ in 0..params.iterations {
+        for d in &mut disp {
+            *d = Point::default();
+        }
+        // Repulsion via uniform grid: only nearby pairs interact, which is
+        // the standard O(n) approximation for FR.
+        let cols = (size / cell).ceil().max(1.0) as i64;
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        let key = |p: &Point| {
+            (
+                ((p.x / cell).floor() as i64).clamp(-cols, 2 * cols),
+                ((p.y / cell).floor() as i64).clamp(-cols, 2 * cols),
+            )
+        };
+        for v in 0..n as u32 {
+            buckets
+                .entry(key(&layout.positions[v as usize]))
+                .or_default()
+                .push(v);
+        }
+        for (&(cx, cy), nodes) in &buckets {
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(other) = buckets.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &v in nodes {
+                        for &w in other {
+                            if v == w {
+                                continue;
+                            }
+                            let pv = layout.positions[v as usize];
+                            let pw = layout.positions[w as usize];
+                            let mut ddx = pv.x - pw.x;
+                            let mut ddy = pv.y - pw.y;
+                            let mut d = (ddx * ddx + ddy * ddy).sqrt();
+                            if d < 1e-6 {
+                                // Coincident nodes: deterministic nudge.
+                                ddx = 0.01 * ((v as f32) - (w as f32)).signum();
+                                ddy = 0.013;
+                                d = 0.016;
+                            }
+                            let f = k * k / d;
+                            disp[v as usize].x += ddx / d * f;
+                            disp[v as usize].y += ddy / d * f;
+                        }
+                    }
+                }
+            }
+        }
+        // Attraction along edges.
+        for (a, b) in graph.edges() {
+            let pa = layout.positions[a as usize];
+            let pb = layout.positions[b as usize];
+            let ddx = pa.x - pb.x;
+            let ddy = pa.y - pb.y;
+            let d = (ddx * ddx + ddy * ddy).sqrt().max(1e-6);
+            let f = d * d / k;
+            let fx = ddx / d * f;
+            let fy = ddy / d * f;
+            disp[a as usize].x -= fx;
+            disp[a as usize].y -= fy;
+            disp[b as usize].x += fx;
+            disp[b as usize].y += fy;
+        }
+        // Apply displacements, capped by temperature, clamped to frame.
+        for (v, d) in disp.iter().enumerate().take(n) {
+            let len = (d.x * d.x + d.y * d.y).sqrt().max(1e-9);
+            let step = len.min(temp);
+            let p = &mut layout.positions[v];
+            p.x = (p.x + d.x / len * step).clamp(0.0, size);
+            p.y = (p.y + d.y / len * step).clamp(0.0, size);
+        }
+        temp = (temp - cool).max(0.0);
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Adjacency {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Adjacency::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn circular_layout_is_on_circle() {
+        let l = circular(8, 10.0);
+        assert_eq!(l.len(), 8);
+        for p in &l.positions {
+            assert!((p.dist(&Point::new(0.0, 0.0)) - 10.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn grid_layout_is_regular() {
+        let l = grid(9, 5.0);
+        assert_eq!(l.positions[0], Point::new(0.0, 0.0));
+        assert_eq!(l.positions[4], Point::new(5.0, 5.0));
+        assert_eq!(l.positions[8], Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn random_layout_respects_bounds_and_seed() {
+        let a = random(100, 50.0, 7);
+        let b = random(100, 50.0, 7);
+        assert_eq!(a, b);
+        assert!(a
+            .positions
+            .iter()
+            .all(|p| (0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn bounds_and_normalize() {
+        let mut l = Layout {
+            positions: vec![Point::new(-5.0, 0.0), Point::new(5.0, 20.0)],
+        };
+        let (min, max) = l.bounds().unwrap();
+        assert_eq!((min.x, max.y), (-5.0, 20.0));
+        l.normalize(100.0, 100.0);
+        let (min, max) = l.bounds().unwrap();
+        assert_eq!((min.x, min.y), (0.0, 0.0));
+        assert_eq!((max.x, max.y), (100.0, 100.0));
+        assert!(Layout::default().bounds().is_none());
+    }
+
+    #[test]
+    fn fr_improves_over_random_seed_layout() {
+        let g = path(30);
+        let seed_layout = random(30, 1000.0, 1);
+        let before = seed_layout.total_edge_length(&g);
+        let after_layout = fruchterman_reingold(&g, FrParams::default());
+        let after = after_layout.total_edge_length(&g);
+        assert!(
+            after < before,
+            "FR should shorten edges: {after} >= {before}"
+        );
+    }
+
+    #[test]
+    fn fr_keeps_positions_in_frame() {
+        let g = path(50);
+        let l = fruchterman_reingold(&g, FrParams::default());
+        assert!(l
+            .positions
+            .iter()
+            .all(|p| (0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn fr_is_deterministic() {
+        let g = path(20);
+        let a = fruchterman_reingold(&g, FrParams::default());
+        let b = fruchterman_reingold(&g, FrParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fr_separates_disconnected_cliques() {
+        // Two triangles, no inter-edges: FR should keep them apart.
+        let g = Adjacency::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let l = fruchterman_reingold(
+            &g,
+            FrParams {
+                iterations: 120,
+                ..Default::default()
+            },
+        );
+        let centroid = |ids: &[usize]| {
+            let n = ids.len() as f32;
+            Point::new(
+                ids.iter().map(|&i| l.positions[i].x).sum::<f32>() / n,
+                ids.iter().map(|&i| l.positions[i].y).sum::<f32>() / n,
+            )
+        };
+        let c1 = centroid(&[0, 1, 2]);
+        let c2 = centroid(&[3, 4, 5]);
+        // Intra-cluster spread should be smaller than the inter-centroid
+        // distance.
+        let spread: f32 = (0..3).map(|i| l.positions[i].dist(&c1)).sum::<f32>() / 3.0;
+        assert!(c1.dist(&c2) > spread, "clusters should separate");
+    }
+
+    #[test]
+    fn fr_empty_graph_is_noop() {
+        let g = Adjacency::from_edges(0, &[]);
+        let l = fruchterman_reingold(&g, FrParams::default());
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn total_edge_length_is_zero_for_coincident_points() {
+        let g = path(3);
+        let l = Layout {
+            positions: vec![Point::default(); 3],
+        };
+        assert_eq!(l.total_edge_length(&g), 0.0);
+    }
+}

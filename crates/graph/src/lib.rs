@@ -1,0 +1,46 @@
+//! # wodex-graph — the graph visualization substrate
+//!
+//! RDF *is* a graph, which is why §3.4 of the survey is its longest system
+//! table and §4 its sharpest criticism: "*given the large memory
+//! requirements of graph layout algorithms ... the current WoD systems are
+//! restricted to handle small sized graphs*". The remedies §4 prescribes
+//! are all implemented here:
+//!
+//! * [`adjacency`] — compact CSR adjacency built from edge lists or RDF
+//!   graphs, with degrees, components and clustering metrics.
+//! * [`layout`] — force-directed (Fruchterman–Reingold), circular, and
+//!   grid layouts; the FR baseline is the O(n²)-ish algorithm whose cost
+//!   E8 measures.
+//! * [`coarsen`] — heavy-edge matching graph coarsening and the
+//!   **multilevel layout** built on it (lay out the coarse graph, project,
+//!   refine) — the standard scalable-layout recipe.
+//! * [`community`] — label-propagation community detection + modularity,
+//!   the clustering that drives abstraction layers.
+//! * [`hierarchy`] — **abstraction hierarchies**: the graph recursively
+//!   decomposed into supernodes "*that form a hierarchy of abstraction
+//!   layers*" (ASK-GraphView \[1\], GrouseFlocks \[9\], GMine \[71\]), with
+//!   expand/collapse navigation.
+//! * [`bundling`] — force-directed edge bundling \[63, 48, 44\]: aggregates
+//!   edges into bundles, the §4 edge-aggregation family.
+//! * [`sample`] — node / edge / forest-fire graph sampling (the Oracle
+//!   approach \[127\]).
+//! * [`fisheye`] — ZoomRDF's \[142\] semantic fisheye zooming: graphical
+//!   distortion around a focus plus Furnas degree-of-interest filtering.
+//! * [`spatial`] — a quadtree over laid-out nodes enabling viewport
+//!   windowing — the graphVizdb \[22, 23\] architecture where only the
+//!   visible window is fetched (E10).
+
+pub mod adjacency;
+pub mod bundling;
+pub mod coarsen;
+pub mod community;
+pub mod fisheye;
+pub mod hierarchy;
+pub mod layout;
+pub mod sample;
+pub mod spatial;
+
+pub use adjacency::Adjacency;
+pub use hierarchy::AbstractionHierarchy;
+pub use layout::{Layout, Point};
+pub use spatial::{QuadTree, Rect};

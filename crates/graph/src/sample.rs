@@ -1,0 +1,257 @@
+//! Graph sampling.
+//!
+//! Table 2 marks sampling for GrOWL, Gephi, Trisolda, Cytoscape-on-Oracle
+//! \[127\], ZoomRDF, KC-Viz, GLOW, OntoTrix, LODeX, graphVizdb — it is *the*
+//! reduction technique of graph visualization. Three estimators with
+//! different bias profiles:
+//!
+//! * [`node_sample`] — induced subgraph on uniformly chosen nodes; cheap,
+//!   but thins out edges quadratically.
+//! * [`edge_sample`] — uniform edges plus their endpoints; biases toward
+//!   hubs, preserves edge density better.
+//! * [`forest_fire`] — recursive burning from random seeds (Leskovec &
+//!   Faloutsos); preserves degree-distribution shape and community
+//!   structure best, which is what experiment E11 checks.
+
+use crate::adjacency::Adjacency;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A sampled subgraph: the adjacency plus the original id of each node.
+#[derive(Debug, Clone)]
+pub struct SampledGraph {
+    /// The sampled adjacency.
+    pub graph: Adjacency,
+    /// For each sampled node, its id in the original graph.
+    pub original_ids: Vec<u32>,
+}
+
+/// Uniform node sampling: keeps `⌈rate·n⌉` random nodes and the induced
+/// edges.
+pub fn node_sample(graph: &Adjacency, rate: f64, seed: u64) -> SampledGraph {
+    assert!((0.0..=1.0).contains(&rate));
+    let n = graph.node_count();
+    let k = ((n as f64 * rate).ceil() as usize).min(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let mut keep: Vec<u32> = ids.into_iter().take(k).collect();
+    keep.sort_unstable();
+    let (g, original_ids) = graph.induced_subgraph(&keep);
+    SampledGraph {
+        graph: g,
+        original_ids,
+    }
+}
+
+/// Uniform edge sampling: keeps `⌈rate·m⌉` random edges and their
+/// endpoints.
+pub fn edge_sample(graph: &Adjacency, rate: f64, seed: u64) -> SampledGraph {
+    assert!((0.0..=1.0).contains(&rate));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = graph.edges().collect();
+    edges.shuffle(&mut rng);
+    let k = ((edges.len() as f64 * rate).ceil() as usize).min(edges.len());
+    let kept = &edges[..k];
+    let mut nodes: Vec<u32> = kept.iter().flat_map(|&(a, b)| [a, b]).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let remap: std::collections::HashMap<u32, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let remapped: Vec<(u32, u32)> = kept.iter().map(|&(a, b)| (remap[&a], remap[&b])).collect();
+    SampledGraph {
+        graph: Adjacency::from_edges(nodes.len(), &remapped),
+        original_ids: nodes,
+    }
+}
+
+/// Forest-fire sampling: burn from random seeds, each burn step igniting a
+/// geometrically distributed number of unburned neighbors (forward burning
+/// probability `p_f`), until `⌈rate·n⌉` nodes are burned.
+pub fn forest_fire(graph: &Adjacency, rate: f64, p_f: f64, seed: u64) -> SampledGraph {
+    assert!((0.0..=1.0).contains(&rate));
+    assert!((0.0..1.0).contains(&p_f), "p_f must be in [0,1)");
+    let n = graph.node_count();
+    let target = ((n as f64 * rate).ceil() as usize).min(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut burned = vec![false; n];
+    let mut burned_count = 0usize;
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    while burned_count < target {
+        // Ignite a fresh random unburned seed.
+        let mut s = rng.random_range(0..n as u32);
+        let mut guard = 0;
+        while burned[s as usize] && guard < 4 * n {
+            s = rng.random_range(0..n as u32);
+            guard += 1;
+        }
+        if burned[s as usize] {
+            // Fall back to a linear scan for the last unburned nodes.
+            if let Some(u) = (0..n as u32).find(|&v| !burned[v as usize]) {
+                s = u;
+            } else {
+                break;
+            }
+        }
+        burned[s as usize] = true;
+        burned_count += 1;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            if burned_count >= target {
+                break;
+            }
+            // Geometric(p_f) number of neighbors to burn.
+            let mut to_burn = 0usize;
+            while rng.random_range(0.0..1.0) < p_f {
+                to_burn += 1;
+            }
+            let mut nbrs: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| !burned[w as usize])
+                .collect();
+            nbrs.shuffle(&mut rng);
+            for w in nbrs.into_iter().take(to_burn) {
+                if burned_count >= target {
+                    break;
+                }
+                burned[w as usize] = true;
+                burned_count += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    let keep: Vec<u32> = (0..n as u32).filter(|&v| burned[v as usize]).collect();
+    let (g, original_ids) = graph.induced_subgraph(&keep);
+    SampledGraph {
+        graph: g,
+        original_ids,
+    }
+}
+
+/// The complementary-CDF of the degree distribution at the given degree
+/// points, used to compare distribution *shape* between graph and sample.
+pub fn degree_ccdf(graph: &Adjacency, at: &[usize]) -> Vec<f64> {
+    let n = graph.node_count().max(1) as f64;
+    let degrees: Vec<usize> = (0..graph.node_count() as u32)
+        .map(|v| graph.degree(v))
+        .collect();
+    at.iter()
+        .map(|&d| degrees.iter().filter(|&&x| x >= d).count() as f64 / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ba() -> Adjacency {
+        let el = wodex_synth::netgen::barabasi_albert(2000, 3, 11);
+        Adjacency::from_edges(el.nodes, &el.edges)
+    }
+
+    #[test]
+    fn node_sample_size_is_exact() {
+        let g = ba();
+        let s = node_sample(&g, 0.1, 1);
+        assert_eq!(s.graph.node_count(), 200);
+        assert_eq!(s.original_ids.len(), 200);
+    }
+
+    #[test]
+    fn node_sample_edges_are_induced() {
+        let g = ba();
+        let s = node_sample(&g, 0.2, 2);
+        for (a, b) in s.graph.edges() {
+            assert!(g.has_edge(s.original_ids[a as usize], s.original_ids[b as usize]));
+        }
+    }
+
+    #[test]
+    fn edge_sample_keeps_rate_of_edges() {
+        let g = ba();
+        let s = edge_sample(&g, 0.1, 3);
+        let want = (g.edge_count() as f64 * 0.1).ceil() as usize;
+        assert_eq!(s.graph.edge_count(), want);
+    }
+
+    #[test]
+    fn edge_sample_has_no_isolated_nodes() {
+        let g = ba();
+        let s = edge_sample(&g, 0.05, 4);
+        for v in 0..s.graph.node_count() as u32 {
+            assert!(s.graph.degree(v) >= 1);
+        }
+    }
+
+    #[test]
+    fn forest_fire_reaches_target_size() {
+        let g = ba();
+        let s = forest_fire(&g, 0.15, 0.5, 5);
+        assert_eq!(s.graph.node_count(), 300);
+    }
+
+    #[test]
+    fn forest_fire_sample_is_more_connected_than_node_sample() {
+        let g = ba();
+        let ff = forest_fire(&g, 0.1, 0.6, 6);
+        let ns = node_sample(&g, 0.1, 6);
+        // Burning follows edges, so FF keeps far more of them.
+        assert!(
+            ff.graph.edge_count() > ns.graph.edge_count(),
+            "ff={} ns={}",
+            ff.graph.edge_count(),
+            ns.graph.edge_count()
+        );
+    }
+
+    #[test]
+    fn forest_fire_preserves_degree_ccdf_shape() {
+        let g = ba();
+        let s = forest_fire(&g, 0.2, 0.6, 7);
+        let at = [1, 2, 4, 8, 16];
+        let orig = degree_ccdf(&g, &at);
+        let samp = degree_ccdf(&s.graph, &at);
+        // Shape check: both heavy-tailed — positive mass at degree 8 and
+        // monotone CCDF; the sample must not collapse to isolated dust.
+        assert!(samp[3] > 0.0, "sample lost its tail: {samp:?} vs {orig:?}");
+        assert!(samp.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rate_one_returns_whole_graph() {
+        let g = ba();
+        assert_eq!(node_sample(&g, 1.0, 8).graph.node_count(), g.node_count());
+        assert_eq!(edge_sample(&g, 1.0, 8).graph.edge_count(), g.edge_count());
+        assert_eq!(
+            forest_fire(&g, 1.0, 0.5, 8).graph.node_count(),
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let g = ba();
+        assert_eq!(
+            node_sample(&g, 0.1, 9).original_ids,
+            node_sample(&g, 0.1, 9).original_ids
+        );
+        assert_eq!(
+            forest_fire(&g, 0.1, 0.5, 9).original_ids,
+            forest_fire(&g, 0.1, 0.5, 9).original_ids
+        );
+    }
+
+    #[test]
+    fn degree_ccdf_basics() {
+        let g = Adjacency::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let ccdf = degree_ccdf(&g, &[1, 2, 3]);
+        // degrees: 3,1,1,1 → P(d≥1)=1, P(d≥2)=0.25, P(d≥3)=0.25.
+        assert_eq!(ccdf, vec![1.0, 0.25, 0.25]);
+    }
+}

@@ -1,0 +1,764 @@
+//! # wodex-hetree — the HETree hierarchical aggregation framework
+//!
+//! An implementation of **HETree** (Bikakis et al. \[25, 26\]), the
+//! tree-based model behind SynopsViz — the one system the survey's §4
+//! credits with both approximation *and* runtime external-memory use, and
+//! the structure its closing paragraph names as a model for future WoD
+//! systems ("such as ... HETree in numeric and temporal datasets").
+//!
+//! The model organizes a numeric/temporal column into a balanced tree of
+//! aggregates enabling **multilevel exploration**: the root summarizes the
+//! whole dataset, each level refines the one above, leaves hold the actual
+//! data items. Two constructions:
+//!
+//! * **HETree-C** (content-based): leaves hold equal *counts* of items —
+//!   quantile-style, robust to skew.
+//! * **HETree-R** (range-based): each node splits its value *range* into
+//!   `d` equal subranges — intervals are regular, counts vary.
+//!
+//! Scalability features reproduced from the paper:
+//!
+//! * **ICO — incremental construction**: the tree materializes only the
+//!   subtrees the user actually drills into ([`HETree::expand`],
+//!   experiment E7).
+//! * **ADA — adaptation**: an already-built (sub)tree is re-derived with a
+//!   different fanout without re-sorting the data
+//!   ([`HETree::adapt_degree`]).
+//! * Per-node statistics (count/min/max/mean/variance) computed from
+//!   mergeable aggregates ([`Stats`]).
+
+use std::fmt;
+
+/// A data item: a numeric (or epoch-mapped temporal) value plus the id of
+/// the RDF object it came from.
+pub type Item = (f64, u64);
+
+/// Mergeable aggregate statistics of a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of items under the node.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Sum of squared values (for variance).
+    pub sum_sq: f64,
+}
+
+impl Stats {
+    /// Computes stats over a slice of items.
+    pub fn of(items: &[Item]) -> Stats {
+        let mut s = Stats {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            sum_sq: 0.0,
+        };
+        for &(v, _) in items {
+            s.count += 1;
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+            s.sum += v;
+            s.sum_sq += v * v;
+        }
+        s
+    }
+
+    /// Merges two aggregates (associative, commutative).
+    pub fn merge(&self, other: &Stats) -> Stats {
+        Stats {
+            count: self.count + other.count,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            sum: self.sum + other.sum,
+            sum_sq: self.sum_sq + other.sum_sq,
+        }
+    }
+
+    /// Mean (NaN for empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance (NaN for empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0)
+    }
+}
+
+/// Which HETree construction a tree uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Content-based: equal item counts per leaf.
+    ContentBased,
+    /// Range-based: equal value subranges per node.
+    RangeBased,
+}
+
+/// Identifier of a node within its tree's arena.
+pub type NodeId = usize;
+
+/// A node of the tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Item slice `[lo, hi)` into the sorted data array.
+    lo: usize,
+    hi: usize,
+    /// Value interval covered by the node.
+    range: (f64, f64),
+    stats: Stats,
+    parent: Option<NodeId>,
+    depth: usize,
+    /// `None` = not yet materialized (ICO); `Some(vec![])` = leaf.
+    children: Option<Vec<NodeId>>,
+}
+
+/// A hierarchical exploration tree over a sorted numeric column.
+pub struct HETree {
+    variant: Variant,
+    degree: usize,
+    leaf_capacity: usize,
+    data: Vec<Item>,
+    nodes: Vec<Node>,
+    /// Nodes whose children have been derived (work accounting for E7).
+    expansions: usize,
+}
+
+impl HETree {
+    /// Creates a tree in **ICO mode**: only the root exists; subtrees
+    /// materialize on [`HETree::expand`]. `degree ≥ 2` is the fanout,
+    /// `leaf_capacity ≥ 1` the maximum items per leaf.
+    pub fn new(
+        mut data: Vec<Item>,
+        variant: Variant,
+        degree: usize,
+        leaf_capacity: usize,
+    ) -> HETree {
+        assert!(degree >= 2, "degree must be at least 2");
+        assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
+        data.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let stats = Stats::of(&data);
+        let range = if data.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (stats.min, stats.max)
+        };
+        let root = Node {
+            lo: 0,
+            hi: data.len(),
+            range,
+            stats,
+            parent: None,
+            depth: 0,
+            children: None,
+        };
+        HETree {
+            variant,
+            degree,
+            leaf_capacity,
+            data,
+            nodes: vec![root],
+            expansions: 0,
+        }
+    }
+
+    /// Builds the **whole** tree eagerly (the non-incremental baseline).
+    pub fn build(data: Vec<Item>, variant: Variant, degree: usize, leaf_capacity: usize) -> HETree {
+        let mut t = HETree::new(data, variant, degree, leaf_capacity);
+        let mut stack = vec![t.root()];
+        while let Some(id) = stack.pop() {
+            for c in t.expand(id).to_vec() {
+                stack.push(c);
+            }
+        }
+        t
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// The construction variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The fanout.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Total items.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tree indexes no items.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of materialized nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of expand operations performed (ICO work accounting).
+    pub fn expansions(&self) -> usize {
+        self.expansions
+    }
+
+    /// A node's statistics.
+    pub fn stats(&self, id: NodeId) -> &Stats {
+        &self.nodes[id].stats
+    }
+
+    /// A node's value interval.
+    pub fn range(&self, id: NodeId) -> (f64, f64) {
+        self.nodes[id].range
+    }
+
+    /// A node's depth (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.nodes[id].depth
+    }
+
+    /// A node's parent.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id].parent
+    }
+
+    /// The items under a node.
+    pub fn items(&self, id: NodeId) -> &[Item] {
+        let n = &self.nodes[id];
+        &self.data[n.lo..n.hi]
+    }
+
+    /// Materialized children, if any ([`HETree::expand`] to force).
+    pub fn children(&self, id: NodeId) -> Option<&[NodeId]> {
+        self.nodes[id].children.as_deref()
+    }
+
+    /// True if the node can never have children (≤ leaf capacity).
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        let n = &self.nodes[id];
+        n.hi - n.lo <= self.leaf_capacity
+    }
+
+    /// Materializes the children of a node (idempotent). Returns the
+    /// children (empty for leaves). This is the **ICO** drill-down: the
+    /// cost of exploration is proportional to the subtrees visited, not to
+    /// the dataset.
+    pub fn expand(&mut self, id: NodeId) -> &[NodeId] {
+        if self.nodes[id].children.is_some() {
+            return self.nodes[id].children.as_deref().expect("just checked");
+        }
+        self.expansions += 1;
+        if self.is_leaf(id) {
+            self.nodes[id].children = Some(Vec::new());
+            return self.nodes[id].children.as_deref().expect("set above");
+        }
+        let (lo, hi, depth, range) = {
+            let n = &self.nodes[id];
+            (n.lo, n.hi, n.depth, n.range)
+        };
+        let cuts: Vec<(usize, usize, (f64, f64))> = match self.variant {
+            Variant::ContentBased => {
+                // Split [lo, hi) into `degree` near-equal count parts.
+                let n = hi - lo;
+                let d = self.degree;
+                (0..d)
+                    .map(|i| {
+                        let a = lo + i * n / d;
+                        let b = lo + (i + 1) * n / d;
+                        let r = if a < b {
+                            (self.data[a].0, self.data[b - 1].0)
+                        } else {
+                            (f64::NAN, f64::NAN)
+                        };
+                        (a, b, r)
+                    })
+                    .filter(|&(a, b, _)| a < b)
+                    .collect()
+            }
+            Variant::RangeBased => {
+                // Split the value range into `degree` equal intervals and
+                // locate the item boundaries by binary search.
+                let (rlo, rhi) = range;
+                let d = self.degree;
+                let w = (rhi - rlo) / d as f64;
+                let mut out = Vec::with_capacity(d);
+                let mut a = lo;
+                for i in 0..d {
+                    let cut_hi = if i == d - 1 {
+                        rhi
+                    } else {
+                        rlo + w * (i + 1) as f64
+                    };
+                    let b = if i == d - 1 {
+                        hi
+                    } else {
+                        lo + self.data[lo..hi].partition_point(|&(v, _)| v < cut_hi)
+                    };
+                    let sub_lo = rlo + w * i as f64;
+                    out.push((a, b, (sub_lo, cut_hi)));
+                    a = b;
+                }
+                // Keep empty range children only if they are interior to
+                // non-empty siblings? HETree-R keeps all: regular grid.
+                out
+            }
+        };
+        let mut kids = Vec::with_capacity(cuts.len());
+        for (a, b, r) in cuts {
+            let stats = Stats::of(&self.data[a..b]);
+            let child = Node {
+                lo: a,
+                hi: b,
+                range: r,
+                stats,
+                parent: Some(id),
+                depth: depth + 1,
+                children: None,
+            };
+            self.nodes.push(child);
+            kids.push(self.nodes.len() - 1);
+        }
+        self.nodes[id].children = Some(kids);
+        self.nodes[id].children.as_deref().expect("set above")
+    }
+
+    /// Expands down to `depth`, returning the materialized frontier at
+    /// that depth (nodes shallower than `depth` that are leaves are
+    /// included — they are their own frontier).
+    pub fn level(&mut self, depth: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            if self.depth(id) == depth || self.is_leaf(id) {
+                out.push(id);
+                continue;
+            }
+            for c in self.expand(id).to_vec() {
+                stack.push(c);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The leaf whose interval contains `v`, expanding along the path
+    /// (point drill-down).
+    pub fn locate(&mut self, v: f64) -> NodeId {
+        let mut id = self.root();
+        loop {
+            if self.is_leaf(id) {
+                return id;
+            }
+            let kids = self.expand(id).to_vec();
+            let next = kids
+                .iter()
+                .copied()
+                .find(|&c| {
+                    let (lo, hi) = self.range(c);
+                    v >= lo && v <= hi
+                })
+                .or_else(|| {
+                    // Out-of-range values clamp to the nearest child.
+                    if v < self.range(id).0 {
+                        kids.first().copied()
+                    } else {
+                        kids.last().copied()
+                    }
+                });
+            match next {
+                Some(c) if c != id => id = c,
+                _ => return id,
+            }
+        }
+    }
+
+    /// Covers the value window `[lo, hi]` with at most `max_nodes`
+    /// frontier nodes at *adaptive* granularity: nodes fully inside the
+    /// window are refined breadth-first (largest count first) while the
+    /// budget lasts; nodes overlapping the window edge stay coarse. This
+    /// is the render query of a SynopsViz-style view — the window always
+    /// maps to a display-bounded set of bars whose detail follows zoom.
+    pub fn cover(&mut self, lo: f64, hi: f64, max_nodes: usize) -> Vec<NodeId> {
+        assert!(max_nodes >= 1);
+        let root = self.root();
+        let overlaps = |t: &HETree, id: NodeId| {
+            let (a, b) = t.range(id);
+            b >= lo && a <= hi && t.stats(id).count > 0
+        };
+        if !overlaps(self, root) {
+            return Vec::new();
+        }
+        let mut frontier: Vec<NodeId> = vec![root];
+        loop {
+            // Refine the heaviest refinable node if the budget allows.
+            let candidate = frontier
+                .iter()
+                .copied()
+                .filter(|&id| !self.is_leaf(id))
+                .max_by_key(|&id| self.stats(id).count);
+            let Some(target) = candidate else { break };
+            let kids: Vec<NodeId> = self
+                .expand(target)
+                .to_vec()
+                .into_iter()
+                .filter(|&c| overlaps(self, c))
+                .collect();
+            if kids.is_empty() || frontier.len() - 1 + kids.len() > max_nodes {
+                break;
+            }
+            frontier.retain(|&id| id != target);
+            frontier.extend(kids);
+        }
+        frontier.sort_by(|&a, &b| self.range(a).0.total_cmp(&self.range(b).0));
+        frontier
+    }
+
+    /// **ADA**: re-derives the hierarchy with a new fanout. The sorted
+    /// data array is reused — only the (cheap) node arena is rebuilt, and
+    /// lazily at that.
+    pub fn adapt_degree(self, new_degree: usize) -> HETree {
+        assert!(new_degree >= 2);
+        let HETree {
+            variant,
+            leaf_capacity,
+            data,
+            ..
+        } = self;
+        // Data is already sorted; HETree::new re-sorts, which is O(n) for
+        // sorted input under pattern-defeating quicksort, but avoid the
+        // dependency on that detail by constructing the root directly.
+        let stats = Stats::of(&data);
+        let range = if data.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (stats.min, stats.max)
+        };
+        let root = Node {
+            lo: 0,
+            hi: data.len(),
+            range,
+            stats,
+            parent: None,
+            depth: 0,
+            children: None,
+        };
+        HETree {
+            variant,
+            degree: new_degree,
+            leaf_capacity,
+            data,
+            nodes: vec![root],
+            expansions: 0,
+        }
+    }
+
+    /// Renders a materialized subtree as an indented text outline — the
+    /// "multilevel exploration" view of SynopsViz in terminal form.
+    pub fn render(&self, id: NodeId, max_depth: usize) -> String {
+        let mut out = String::new();
+        self.render_into(id, max_depth, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: NodeId, max_depth: usize, out: &mut String) {
+        use fmt::Write;
+        let n = &self.nodes[id];
+        let indent = "  ".repeat(n.depth);
+        let _ = writeln!(
+            out,
+            "{indent}[{:.2}, {:.2}] n={} mean={:.2}",
+            n.range.0,
+            n.range.1,
+            n.stats.count,
+            n.stats.mean()
+        );
+        if n.depth < max_depth {
+            if let Some(kids) = &n.children {
+                for &c in kids {
+                    self.render_into(c, max_depth, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<Item> {
+        (0..n).map(|i| ((i * 7 % n) as f64, i as u64)).collect()
+    }
+
+    #[test]
+    fn stats_merge_equals_direct() {
+        let data = items(100);
+        let (a, b) = data.split_at(37);
+        let merged = Stats::of(a).merge(&Stats::of(b));
+        let direct = Stats::of(&data);
+        assert_eq!(merged.count, direct.count);
+        assert_eq!(merged.min, direct.min);
+        assert_eq!(merged.max, direct.max);
+        assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+        assert!((merged.variance() - direct.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn children_partition_parent_content_based() {
+        let mut t = HETree::new(items(1000), Variant::ContentBased, 4, 10);
+        let root = t.root();
+        let kids = t.expand(root).to_vec();
+        assert_eq!(kids.len(), 4);
+        let total: usize = kids.iter().map(|&c| t.stats(c).count).sum();
+        assert_eq!(total, 1000);
+        // Equal counts.
+        for &c in &kids {
+            assert_eq!(t.stats(c).count, 250);
+        }
+        // Value-ordered and non-overlapping.
+        for w in kids.windows(2) {
+            assert!(t.range(w[0]).1 <= t.range(w[1]).0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn children_tile_range_based() {
+        let mut t = HETree::new(items(1000), Variant::RangeBased, 5, 10);
+        let root = t.root();
+        let (rlo, rhi) = t.range(root);
+        let kids = t.expand(root).to_vec();
+        assert_eq!(kids.len(), 5);
+        assert_eq!(t.range(kids[0]).0, rlo);
+        assert_eq!(t.range(kids[4]).1, rhi);
+        for w in kids.windows(2) {
+            assert!((t.range(w[0]).1 - t.range(w[1]).0).abs() < 1e-9);
+        }
+        let total: usize = kids.iter().map(|&c| t.stats(c).count).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn node_stats_consistent_with_items() {
+        let mut t = HETree::new(items(500), Variant::ContentBased, 3, 20);
+        let root = t.root();
+        for &c in &t.expand(root).to_vec() {
+            let direct = Stats::of(t.items(c));
+            assert_eq!(&direct, t.stats(c));
+        }
+    }
+
+    #[test]
+    fn ico_materializes_only_the_explored_path() {
+        let data = items(100_000);
+        let mut lazy = HETree::new(data.clone(), Variant::ContentBased, 4, 100);
+        // Drill down one path to a leaf.
+        let leaf = lazy.locate(37.0);
+        assert!(lazy.is_leaf(leaf));
+        let lazy_nodes = lazy.node_count();
+        let bulk = HETree::build(data, Variant::ContentBased, 4, 100);
+        assert!(
+            lazy_nodes * 10 < bulk.node_count(),
+            "ICO built {lazy_nodes} nodes, bulk {}",
+            bulk.node_count()
+        );
+    }
+
+    #[test]
+    fn expand_is_idempotent() {
+        let mut t = HETree::new(items(100), Variant::ContentBased, 2, 10);
+        let root = t.root();
+        let a = t.expand(root).to_vec();
+        let n = t.node_count();
+        let b = t.expand(root).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(t.node_count(), n);
+        assert_eq!(t.expansions(), 1);
+    }
+
+    #[test]
+    fn locate_finds_containing_leaf() {
+        let mut t = HETree::new(items(1000), Variant::RangeBased, 4, 25);
+        let leaf = t.locate(500.0);
+        let (lo, hi) = t.range(leaf);
+        assert!((lo..=hi).contains(&500.0));
+        assert!(t.is_leaf(leaf));
+        // Out-of-range values clamp.
+        let low = t.locate(-1e9);
+        assert_eq!(t.range(low).0, t.stats(t.root()).min);
+    }
+
+    #[test]
+    fn level_yields_a_complete_frontier() {
+        let mut t = HETree::new(items(10_000), Variant::ContentBased, 4, 50);
+        let frontier = t.level(2);
+        let total: usize = frontier.iter().map(|&c| t.stats(c).count).sum();
+        assert_eq!(total, 10_000);
+        assert!(frontier.iter().all(|&c| t.depth(c) <= 2));
+    }
+
+    #[test]
+    fn leaves_respect_capacity() {
+        let t = HETree::build(items(1234), Variant::ContentBased, 3, 40);
+        for id in 0..t.node_count() {
+            if t.children(id).is_some_and(|c| c.is_empty()) {
+                assert!(t.stats(id).count <= 40, "leaf {id} overflows");
+            }
+        }
+    }
+
+    #[test]
+    fn adapt_degree_preserves_data_and_changes_fanout() {
+        let t = HETree::build(items(1000), Variant::ContentBased, 2, 10);
+        assert_eq!(t.degree(), 2);
+        let mut t2 = t.adapt_degree(8);
+        assert_eq!(t2.degree(), 8);
+        assert_eq!(t2.len(), 1000);
+        let root = t2.root();
+        assert_eq!(t2.expand(root).len(), 8);
+        let total: usize = t2
+            .expand(root)
+            .to_vec()
+            .iter()
+            .map(|&c| t2.stats(c).count)
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn parent_links_are_consistent() {
+        let mut t = HETree::new(items(500), Variant::ContentBased, 3, 10);
+        let root = t.root();
+        for &c in &t.expand(root).to_vec() {
+            assert_eq!(t.parent(c), Some(root));
+            assert_eq!(t.depth(c), 1);
+        }
+        assert_eq!(t.parent(root), None);
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let t = HETree::build(vec![], Variant::ContentBased, 2, 10);
+        assert!(t.is_empty());
+        assert_eq!(t.node_count(), 1);
+        let mut one = HETree::new(vec![(5.0, 1)], Variant::RangeBased, 2, 10);
+        let leaf = one.locate(5.0);
+        assert_eq!(one.stats(leaf).count, 1);
+    }
+
+    #[test]
+    fn skewed_data_content_based_stays_balanced() {
+        // Zipf-ish: many duplicates at the low end.
+        let data: Vec<Item> = (0..10_000)
+            .map(|i| (((i % 100) as f64).powi(3), i as u64))
+            .collect();
+        let mut t = HETree::new(data, Variant::ContentBased, 4, 100);
+        let root = t.root();
+        let kids = t.expand(root).to_vec();
+        let counts: Vec<usize> = kids.iter().map(|&c| t.stats(c).count).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "content-based must balance: {counts:?}");
+    }
+
+    #[test]
+    fn skewed_data_range_based_varies() {
+        let data: Vec<Item> = (0..10_000)
+            .map(|i| (((i % 100) as f64).powi(3), i as u64))
+            .collect();
+        let mut t = HETree::new(data, Variant::RangeBased, 4, 100);
+        let root = t.root();
+        let kids = t.expand(root).to_vec();
+        let counts: Vec<usize> = kids.iter().map(|&c| t.stats(c).count).collect();
+        assert!(
+            counts[0] > counts[3],
+            "skew must show up in counts: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn cover_respects_budget_and_window() {
+        let mut t = HETree::new(items(10_000), Variant::RangeBased, 4, 50);
+        let frontier = t.cover(2000.0, 4000.0, 16);
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= 16);
+        // Every frontier node overlaps the window.
+        for &id in &frontier {
+            let (a, b) = t.range(id);
+            assert!(b >= 2000.0 && a <= 4000.0, "({a},{b}) outside window");
+        }
+        // Sorted by lower bound.
+        assert!(frontier
+            .windows(2)
+            .all(|w| t.range(w[0]).0 <= t.range(w[1]).0));
+    }
+
+    #[test]
+    fn cover_refines_with_budget() {
+        let mut t = HETree::new(items(10_000), Variant::ContentBased, 4, 50);
+        let coarse = t.cover(0.0, 10_000.0, 4);
+        let mut t2 = HETree::new(items(10_000), Variant::ContentBased, 4, 50);
+        let fine = t2.cover(0.0, 10_000.0, 64);
+        assert!(fine.len() > coarse.len());
+        assert!(fine.len() <= 64);
+        // Full-window covers account for every item.
+        let total: usize = fine.iter().map(|&id| t2.stats(id).count).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn cover_zoom_gives_finer_detail_per_unit() {
+        // Same budget, narrower window → smaller value intervals.
+        let mut t = HETree::new(items(100_000), Variant::RangeBased, 4, 100);
+        let wide = t.cover(0.0, 100_000.0, 16);
+        let wide_span: f64 = wide
+            .iter()
+            .map(|&id| t.range(id).1 - t.range(id).0)
+            .sum::<f64>()
+            / wide.len() as f64;
+        let narrow = t.cover(40_000.0, 45_000.0, 16);
+        let narrow_span: f64 = narrow
+            .iter()
+            .map(|&id| t.range(id).1 - t.range(id).0)
+            .sum::<f64>()
+            / narrow.len() as f64;
+        assert!(
+            narrow_span < wide_span / 2.0,
+            "zooming must refine: {narrow_span} vs {wide_span}"
+        );
+    }
+
+    #[test]
+    fn cover_outside_data_range_is_empty() {
+        let mut t = HETree::new(items(100), Variant::RangeBased, 2, 10);
+        assert!(t.cover(1e9, 2e9, 8).is_empty());
+    }
+
+    #[test]
+    fn render_outline_shows_counts() {
+        let mut t = HETree::new(items(100), Variant::ContentBased, 2, 25);
+        let root = t.root();
+        t.expand(root);
+        let s = t.render(root, 1);
+        assert!(s.contains("n=100"));
+        assert!(s.contains("n=50"));
+    }
+}

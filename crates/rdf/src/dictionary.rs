@@ -1,0 +1,169 @@
+//! Term dictionary: interning RDF terms to dense `u32` identifiers.
+//!
+//! Dictionary encoding is the standard first trick of every scalable RDF
+//! store the survey mentions (§4 calls for "data structures and indexes
+//! focusing on WoD tasks and data"): triples become fixed-width integer
+//! tuples, indexes become sorted integer arrays, and comparisons become
+//! integer comparisons. All of `wodex-store`, `wodex-sparql` and
+//! `wodex-graph` operate on [`TermId`]s and only materialize [`Term`]s at
+//! presentation time.
+
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A dense identifier for an interned [`Term`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A two-way dictionary between [`Term`]s and [`TermId`]s.
+///
+/// Ids are assigned densely in insertion order, so `TermId(k)` is always a
+/// valid index into the id→term table for `k < len()`.
+#[derive(Debug, Default, Clone)]
+pub struct TermDict {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl TermDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with capacity for `n` terms.
+    pub fn with_capacity(n: usize) -> Self {
+        TermDict {
+            terms: Vec::with_capacity(n),
+            ids: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Interns a term, returning its id. Idempotent: interning the same
+    /// term twice returns the same id.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(
+            u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"),
+        );
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Looks up the id of an already-interned term.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Looks up the term for an id. Panics if the id was not produced by
+    /// this dictionary.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Looks up the term for an id, returning `None` for foreign ids.
+    pub fn try_term(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Convenience: interns an IRI string.
+    pub fn intern_iri(&mut self, iri: &str) -> TermId {
+        self.intern(Term::iri(iri))
+    }
+
+    /// Convenience: looks up the id of an IRI string.
+    pub fn id_of_iri(&self, iri: &str) -> Option<TermId> {
+        self.id_of(&Term::iri(iri))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = TermDict::new();
+        let a = d.intern(Term::iri("http://e.org/a"));
+        let b = d.intern(Term::iri("http://e.org/b"));
+        let a2 = d.intern(Term::iri("http://e.org/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_term_lookup() {
+        let mut d = TermDict::new();
+        let terms = [
+            Term::iri("http://e.org/a"),
+            Term::blank("n1"),
+            Term::literal("plain"),
+            Term::Literal(Literal::lang_string("hi", "en")),
+            Term::integer(42),
+        ];
+        let ids: Vec<_> = terms.iter().cloned().map(|t| d.intern(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(d.term(*id), t);
+            assert_eq!(d.id_of(t), Some(*id));
+        }
+    }
+
+    #[test]
+    fn literals_with_different_tags_are_distinct() {
+        let mut d = TermDict::new();
+        let a = d.intern(Term::Literal(Literal::string("x")));
+        let b = d.intern(Term::Literal(Literal::lang_string("x", "en")));
+        let c = d.intern(Term::Literal(Literal::lang_string("x", "de")));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn try_term_handles_foreign_ids() {
+        let d = TermDict::new();
+        assert!(d.try_term(TermId(0)).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = TermDict::new();
+        d.intern_iri("http://e.org/1");
+        d.intern_iri("http://e.org/2");
+        let collected: Vec<_> = d.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+}

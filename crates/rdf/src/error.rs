@@ -1,0 +1,74 @@
+//! Error types for RDF parsing and processing.
+
+use std::fmt;
+
+/// Errors produced while parsing or processing RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax error at a specific line of an input document.
+    Syntax {
+        /// 1-based line number where the error was detected.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An IRI failed basic well-formedness checks.
+    InvalidIri(String),
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+    /// A literal's lexical form does not match its datatype.
+    InvalidLiteral {
+        /// The offending lexical form.
+        lexical: String,
+        /// The datatype IRI the form was checked against.
+        datatype: String,
+    },
+}
+
+impl RdfError {
+    /// Convenience constructor for syntax errors.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        RdfError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            RdfError::InvalidIri(iri) => write!(f, "invalid IRI: {iri}"),
+            RdfError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
+            RdfError::InvalidLiteral { lexical, datatype } => {
+                write!(f, "invalid literal {lexical:?} for datatype <{datatype}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = RdfError::syntax(7, "unexpected token");
+        assert_eq!(e.to_string(), "syntax error at line 7: unexpected token");
+        let e = RdfError::InvalidIri("not an iri".into());
+        assert!(e.to_string().contains("not an iri"));
+        let e = RdfError::UnknownPrefix("foaf".into());
+        assert!(e.to_string().contains("foaf"));
+        let e = RdfError::InvalidLiteral {
+            lexical: "abc".into(),
+            datatype: "http://www.w3.org/2001/XMLSchema#integer".into(),
+        };
+        assert!(e.to_string().contains("abc"));
+        assert!(e.to_string().contains("XMLSchema#integer"));
+    }
+}

@@ -1,0 +1,278 @@
+//! N-Triples parsing and serialization.
+//!
+//! N-Triples is the line-oriented exchange format of the Web of Data: one
+//! triple per line, full IRIs, no abbreviations. Because it is line-based it
+//! is also the format of choice for *streaming* ingestion — the dynamic
+//! setting of §2 where "a preprocessing phase is prevented" — so the parser
+//! here exposes both a whole-document API and a per-line API usable on a
+//! stream.
+
+use crate::error::RdfError;
+use crate::graph::Graph;
+use crate::term::{unescape_literal, BlankNode, Iri, Literal, Term};
+use crate::triple::Triple;
+
+/// Parses a complete N-Triples document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, RdfError> {
+    let mut g = Graph::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(t) = parse_line(line, i + 1)? {
+            g.insert(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Parses a single N-Triples line. Returns `Ok(None)` for blank lines and
+/// comments; errors carry the supplied 1-based `line_no`.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>, RdfError> {
+    let mut s = Scanner::new(line, line_no);
+    s.skip_ws();
+    if s.eof() || s.peek() == Some('#') {
+        return Ok(None);
+    }
+    let subject = s.term()?;
+    if !subject.is_resource() {
+        return Err(RdfError::syntax(line_no, "literal in subject position"));
+    }
+    s.skip_ws();
+    let predicate = s.term()?;
+    if !predicate.is_iri() {
+        return Err(RdfError::syntax(line_no, "predicate must be an IRI"));
+    }
+    s.skip_ws();
+    let object = s.term()?;
+    s.skip_ws();
+    if s.peek() != Some('.') {
+        return Err(RdfError::syntax(line_no, "expected '.' at end of triple"));
+    }
+    s.advance();
+    s.skip_ws();
+    if !s.eof() && s.peek() != Some('#') {
+        return Err(RdfError::syntax(line_no, "trailing content after '.'"));
+    }
+    Ok(Some(Triple::new(subject, predicate, object)))
+}
+
+/// Serializes a graph as an N-Triples document (sorted, one triple per
+/// line, trailing newline).
+pub fn serialize(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.iter() {
+        serialize_triple(t, &mut out);
+    }
+    out
+}
+
+/// Appends one triple in N-Triples syntax (with trailing newline).
+pub fn serialize_triple(t: &Triple, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "{} {} {} .", t.subject, t.predicate, t.object);
+}
+
+/// A minimal single-line scanner for N-Triples terms. Also reused by tests.
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str, line: usize) -> Self {
+        Scanner {
+            chars: s.chars().peekable(),
+            line,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn advance(&mut self) -> Option<char> {
+        self.chars.next()
+    }
+
+    fn eof(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c == ' ' || c == '\t') {
+            self.advance();
+        }
+    }
+
+    fn err(&self, msg: &str) -> RdfError {
+        RdfError::syntax(self.line, msg)
+    }
+
+    fn term(&mut self) -> Result<Term, RdfError> {
+        match self.peek() {
+            Some('<') => self.iri_ref().map(Term::Iri),
+            Some('_') => self.blank_node().map(Term::Blank),
+            Some('"') => self.literal().map(Term::Literal),
+            Some(c) => Err(self.err(&format!("unexpected character {c:?}"))),
+            None => Err(self.err("unexpected end of line")),
+        }
+    }
+
+    fn iri_ref(&mut self) -> Result<Iri, RdfError> {
+        self.advance(); // '<'
+        let mut s = String::new();
+        loop {
+            match self.advance() {
+                Some('>') => break,
+                Some(c) if c.is_whitespace() => return Err(self.err("whitespace inside IRI")),
+                Some(c) => s.push(c),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+        Iri::parse(s)
+    }
+
+    fn blank_node(&mut self) -> Result<BlankNode, RdfError> {
+        self.advance(); // '_'
+        if self.advance() != Some(':') {
+            return Err(self.err("expected ':' after '_' in blank node"));
+        }
+        // Labels are restricted to [A-Za-z0-9_-]: this keeps '.' free to act
+        // as the statement terminator without lookahead. (Full N-Triples
+        // also allows medial dots; every serializer in this workspace stays
+        // within the restricted alphabet.)
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            label.push(self.advance().unwrap());
+        }
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        Ok(BlankNode::new(label))
+    }
+
+    fn literal(&mut self) -> Result<Literal, RdfError> {
+        self.advance(); // '"'
+        let mut raw = String::new();
+        loop {
+            match self.advance() {
+                Some('\\') => {
+                    raw.push('\\');
+                    match self.advance() {
+                        Some(c) => raw.push(c),
+                        None => return Err(self.err("unterminated escape")),
+                    }
+                }
+                Some('"') => break,
+                Some(c) => raw.push(c),
+                None => return Err(self.err("unterminated literal")),
+            }
+        }
+        let lexical =
+            unescape_literal(&raw).ok_or_else(|| self.err("malformed escape in literal"))?;
+        match self.peek() {
+            Some('@') => {
+                self.advance();
+                let mut lang = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                    lang.push(self.advance().unwrap());
+                }
+                if lang.is_empty() {
+                    return Err(self.err("empty language tag"));
+                }
+                Ok(Literal::lang_string(lexical, lang))
+            }
+            Some('^') => {
+                self.advance();
+                if self.advance() != Some('^') {
+                    return Err(self.err("expected '^^' before datatype"));
+                }
+                let dt = self.iri_ref()?;
+                Ok(Literal::typed(lexical, dt))
+            }
+            _ => Ok(Literal::string(lexical)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::xsd;
+
+    #[test]
+    fn parse_simple_triple() {
+        let g = parse("<http://e.org/s> <http://e.org/p> <http://e.org/o> .\n").unwrap();
+        assert_eq!(g.len(), 1);
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.subject, Term::iri("http://e.org/s"));
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let doc = "# a comment\n\n<http://e.org/s> <http://e.org/p> \"x\" .\n   # indented\n";
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_typed_and_lang_literals() {
+        let doc = concat!(
+            "<http://e.org/s> <http://e.org/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "<http://e.org/s> <http://e.org/q> \"hallo\"@de .\n",
+        );
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 2);
+        let lits: Vec<_> = g.iter().filter_map(|t| t.object.as_literal()).collect();
+        assert!(lits
+            .iter()
+            .any(|l| l.datatype().is_some_and(|d| d.as_str() == xsd::INTEGER)));
+        assert!(lits.iter().any(|l| l.lang() == Some("de")));
+    }
+
+    #[test]
+    fn parse_blank_nodes() {
+        let doc = "_:a <http://e.org/p> _:b .\n";
+        let g = parse(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert!(t.subject.is_blank());
+        assert!(t.object.is_blank());
+    }
+
+    #[test]
+    fn parse_escapes_in_literals() {
+        let doc = "<http://e.org/s> <http://e.org/p> \"line\\nbreak \\\"q\\\"\" .\n";
+        let g = parse(doc).unwrap();
+        let lit = g.iter().next().unwrap().object.as_literal().unwrap();
+        assert_eq!(lit.lexical(), "line\nbreak \"q\"");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse("<http://e.org/s> <http://e.org/p> .\n").is_err());
+        assert!(parse("\"lit\" <http://e.org/p> <http://e.org/o> .\n").is_err());
+        assert!(parse("<http://e.org/s> _:b <http://e.org/o> .\n").is_err());
+        assert!(parse("<http://e.org/s> <http://e.org/p> <http://e.org/o>\n").is_err());
+        assert!(parse("<http://e.org/s> <http://e.org/p> <http://e.org/o> . junk\n").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let doc = "<http://e.org/s> <http://e.org/p> <http://e.org/o> .\nbad line\n";
+        match parse(doc) {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialize_parse() {
+        let doc = concat!(
+            "_:b0 <http://e.org/p> \"x\\ty\" .\n",
+            "<http://e.org/s> <http://e.org/p> \"3.5\"^^<http://www.w3.org/2001/XMLSchema#double> .\n",
+            "<http://e.org/s> <http://e.org/q> \"hi\"@en .\n",
+        );
+        let g = parse(doc).unwrap();
+        let out = serialize(&g);
+        let g2 = parse(&out).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Schema extraction: the RDFS class hierarchy.
+//!
+//! §3.5 of the survey is entirely about *ontology visualization* — class
+//! hierarchies drawn as node-link trees (OntoGraf, OWLViz, KC-Viz),
+//! geometric containment (CropCircles \[137\]), or hybrids (Knoocks \[88\]).
+//! All of them start from the same substrate implemented here: extract
+//! the `rdfs:subClassOf` hierarchy from a graph, count instances per
+//! class (directly and transitively), and expose it as a tree.
+
+use crate::graph::Graph;
+use crate::vocab::{rdf, rdfs};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node of the extracted class tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassNode {
+    /// The class IRI.
+    pub iri: String,
+    /// `rdfs:label` if present, else the IRI local name.
+    pub label: String,
+    /// Direct instances (`rdf:type` this class).
+    pub direct_instances: usize,
+    /// Instances of this class or any subclass.
+    pub transitive_instances: usize,
+    /// Child class indexes (into [`ClassHierarchy::nodes`]).
+    pub children: Vec<usize>,
+    /// Parent class index, `None` for roots.
+    pub parent: Option<usize>,
+    /// Depth from the root layer (roots = 0).
+    pub depth: usize,
+}
+
+/// The extracted class hierarchy (a forest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassHierarchy {
+    /// All class nodes; indexes are stable ids.
+    pub nodes: Vec<ClassNode>,
+    /// Indexes of the root classes.
+    pub roots: Vec<usize>,
+}
+
+impl ClassHierarchy {
+    /// Extracts the hierarchy from a graph: classes are the objects of
+    /// `rdf:type` plus both sides of `rdfs:subClassOf`; cycles are broken
+    /// by ignoring back-edges (first-seen parent wins).
+    pub fn extract(graph: &Graph) -> ClassHierarchy {
+        // Collect classes.
+        let mut classes: BTreeSet<String> = BTreeSet::new();
+        let mut sub_of: BTreeMap<String, String> = BTreeMap::new();
+        for t in graph.triples_for_predicate(rdfs::SUB_CLASS_OF) {
+            if let (Some(s), Some(o)) = (t.subject.as_iri(), t.object.as_iri()) {
+                classes.insert(s.as_str().to_string());
+                classes.insert(o.as_str().to_string());
+                // First-seen (BTree order) single inheritance; multiple
+                // parents collapse to one (trees render, DAGs don't).
+                sub_of
+                    .entry(s.as_str().to_string())
+                    .or_insert_with(|| o.as_str().to_string());
+            }
+        }
+        let mut direct: BTreeMap<String, usize> = BTreeMap::new();
+        for t in graph.triples_for_predicate(rdf::TYPE) {
+            if let Some(c) = t.object.as_iri() {
+                classes.insert(c.as_str().to_string());
+                *direct.entry(c.as_str().to_string()).or_insert(0) += 1;
+            }
+        }
+        // Break subclass cycles: walk each chain; a repeat marks a cycle —
+        // drop that link.
+        let mut cleaned: BTreeMap<String, String> = BTreeMap::new();
+        for (c, p) in &sub_of {
+            let mut seen = BTreeSet::new();
+            seen.insert(c.clone());
+            let mut cur = p.clone();
+            let mut cyclic = false;
+            while let Some(next) = sub_of.get(&cur) {
+                if !seen.insert(cur.clone()) {
+                    cyclic = true;
+                    break;
+                }
+                cur = next.clone();
+            }
+            if !cyclic || !seen.contains(p) {
+                cleaned.insert(c.clone(), p.clone());
+            }
+        }
+        // Labels.
+        let mut labels: BTreeMap<String, String> = BTreeMap::new();
+        for t in graph.triples_for_predicate(rdfs::LABEL) {
+            if let (Some(s), Some(l)) = (t.subject.as_iri(), t.object.as_literal()) {
+                if classes.contains(s.as_str()) {
+                    labels
+                        .entry(s.as_str().to_string())
+                        .or_insert_with(|| l.lexical().to_string());
+                }
+            }
+        }
+        // Index the nodes.
+        let index: BTreeMap<&String, usize> =
+            classes.iter().enumerate().map(|(i, c)| (c, i)).collect();
+        let mut nodes: Vec<ClassNode> = classes
+            .iter()
+            .map(|c| ClassNode {
+                iri: c.clone(),
+                label: labels
+                    .get(c)
+                    .cloned()
+                    .unwrap_or_else(|| crate::term::Iri::new(c.clone()).local_name().to_string()),
+                direct_instances: direct.get(c).copied().unwrap_or(0),
+                transitive_instances: 0,
+                children: Vec::new(),
+                parent: None,
+                depth: 0,
+            })
+            .collect();
+        for (c, p) in &cleaned {
+            let (ci, pi) = (index[c], index[p]);
+            if ci != pi {
+                nodes[ci].parent = Some(pi);
+                nodes[pi].children.push(ci);
+            }
+        }
+        let roots: Vec<usize> = (0..nodes.len())
+            .filter(|&i| nodes[i].parent.is_none())
+            .collect();
+        // Depths (BFS from roots) and transitive counts (post-order).
+        let mut order = Vec::new();
+        let mut stack: Vec<usize> = roots.clone();
+        while let Some(i) = stack.pop() {
+            order.push(i);
+            let d = nodes[i].depth;
+            for &c in nodes[i].children.clone().iter() {
+                nodes[c].depth = d + 1;
+                stack.push(c);
+            }
+        }
+        for &i in order.iter().rev() {
+            let kids_total: usize = nodes[i]
+                .children
+                .iter()
+                .map(|&c| nodes[c].transitive_instances)
+                .sum();
+            nodes[i].transitive_instances = nodes[i].direct_instances + kids_total;
+        }
+        ClassHierarchy { nodes, roots }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no classes were found.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Maximum depth (0 for a flat forest).
+    pub fn max_depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Looks up a class by IRI.
+    pub fn find(&self, iri: &str) -> Option<&ClassNode> {
+        self.nodes.iter().find(|n| n.iri == iri)
+    }
+
+    /// The transitive subclass closure of a class (including itself) —
+    /// the set RDFS inference would type-infer against.
+    pub fn subclass_closure(&self, iri: &str) -> Vec<&ClassNode> {
+        let Some(start) = self.nodes.iter().position(|n| n.iri == iri) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        while let Some(i) = stack.pop() {
+            out.push(&self.nodes[i]);
+            stack.extend(&self.nodes[i].children);
+        }
+        out
+    }
+
+    /// Renders an indented outline (the classic ontology-browser tree).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut stack: Vec<usize> = self.roots.iter().rev().copied().collect();
+        while let Some(i) = stack.pop() {
+            let n = &self.nodes[i];
+            let _ = writeln!(
+                out,
+                "{}{} ({} direct, {} total)",
+                "  ".repeat(n.depth),
+                n.label,
+                n.direct_instances,
+                n.transitive_instances
+            );
+            stack.extend(n.children.iter().rev());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::triple::Triple;
+
+    fn ontology() -> Graph {
+        let mut g = Graph::new();
+        let sub = |a: &str, b: &str| {
+            Triple::iri(
+                &format!("http://e.org/{a}"),
+                rdfs::SUB_CLASS_OF,
+                Term::iri(format!("http://e.org/{b}")),
+            )
+        };
+        g.insert(sub("City", "Settlement"));
+        g.insert(sub("Town", "Settlement"));
+        g.insert(sub("Settlement", "Place"));
+        g.insert(sub("Mountain", "Place"));
+        // Instances.
+        for (i, class) in ["City", "City", "Town", "Mountain", "Place"]
+            .iter()
+            .enumerate()
+        {
+            g.insert(Triple::iri(
+                &format!("http://e.org/x{i}"),
+                rdf::TYPE,
+                Term::iri(format!("http://e.org/{class}")),
+            ));
+        }
+        g.insert(Triple::iri(
+            "http://e.org/City",
+            rdfs::LABEL,
+            Term::literal("City!"),
+        ));
+        g
+    }
+
+    #[test]
+    fn extracts_tree_structure() {
+        let h = ClassHierarchy::extract(&ontology());
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.roots.len(), 1);
+        let place = h.find("http://e.org/Place").unwrap();
+        assert_eq!(place.depth, 0);
+        assert_eq!(place.children.len(), 2);
+        let city = h.find("http://e.org/City").unwrap();
+        assert_eq!(city.depth, 2);
+        assert_eq!(city.label, "City!");
+        assert_eq!(h.max_depth(), 2);
+    }
+
+    #[test]
+    fn instance_counts_direct_and_transitive() {
+        let h = ClassHierarchy::extract(&ontology());
+        let city = h.find("http://e.org/City").unwrap();
+        assert_eq!(city.direct_instances, 2);
+        assert_eq!(city.transitive_instances, 2);
+        let settlement = h.find("http://e.org/Settlement").unwrap();
+        assert_eq!(settlement.direct_instances, 0);
+        assert_eq!(settlement.transitive_instances, 3); // 2 cities + 1 town
+        let place = h.find("http://e.org/Place").unwrap();
+        assert_eq!(place.transitive_instances, 5);
+    }
+
+    #[test]
+    fn subclass_closure_includes_descendants() {
+        let h = ClassHierarchy::extract(&ontology());
+        let closure = h.subclass_closure("http://e.org/Settlement");
+        let iris: BTreeSet<&str> = closure.iter().map(|n| n.iri.as_str()).collect();
+        assert!(iris.contains("http://e.org/Settlement"));
+        assert!(iris.contains("http://e.org/City"));
+        assert!(iris.contains("http://e.org/Town"));
+        assert!(!iris.contains("http://e.org/Mountain"));
+        assert!(h.subclass_closure("http://e.org/Nope").is_empty());
+    }
+
+    #[test]
+    fn cycles_are_broken_not_looping() {
+        let mut g = ontology();
+        // A ⊑ B ⊑ A cycle.
+        g.insert(Triple::iri(
+            "http://e.org/A",
+            rdfs::SUB_CLASS_OF,
+            Term::iri("http://e.org/B"),
+        ));
+        g.insert(Triple::iri(
+            "http://e.org/B",
+            rdfs::SUB_CLASS_OF,
+            Term::iri("http://e.org/A"),
+        ));
+        let h = ClassHierarchy::extract(&g);
+        // Must terminate and include both classes somewhere.
+        assert!(h.find("http://e.org/A").is_some());
+        assert!(h.find("http://e.org/B").is_some());
+        // No infinite depth.
+        assert!(h.max_depth() < h.len());
+    }
+
+    #[test]
+    fn classes_without_subclassof_are_flat_roots() {
+        let mut g = Graph::new();
+        g.insert(Triple::iri(
+            "http://e.org/x",
+            rdf::TYPE,
+            Term::iri("http://e.org/Lone"),
+        ));
+        let h = ClassHierarchy::extract(&g);
+        assert_eq!(h.roots.len(), 1);
+        assert_eq!(h.nodes[0].direct_instances, 1);
+    }
+
+    #[test]
+    fn render_is_indented_by_depth() {
+        let h = ClassHierarchy::extract(&ontology());
+        let r = h.render();
+        assert!(r.contains("Place (1 direct, 5 total)"));
+        assert!(r.contains("  Settlement"));
+        assert!(r.contains("    City!"));
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_hierarchy() {
+        let h = ClassHierarchy::extract(&Graph::new());
+        assert!(h.is_empty());
+        assert_eq!(h.max_depth(), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Dataset statistics.
+//!
+//! Table 1's "Statistics" column marks systems that expose statistics about
+//! the visualized data (SynopsViz, ViCoMap). This module computes the
+//! standard dataset profile those systems surface: triple/resource counts,
+//! class and property frequencies, literal datatype distribution, and
+//! per-property numeric summaries. The profile also feeds the
+//! data-characteristic detection used by `wodex-viz` recommendation.
+
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::value::Value;
+use crate::vocab::rdf;
+use std::collections::BTreeMap;
+
+/// Summary statistics for a numeric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericSummary {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+}
+
+impl NumericSummary {
+    /// Computes a summary over a slice of values. Returns `None` for an
+    /// empty slice.
+    pub fn of(values: &[f64]) -> Option<NumericSummary> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(NumericSummary {
+            count,
+            min,
+            max,
+            mean,
+            variance,
+        })
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// A dataset profile: the statistics panel of a WoD visualization system.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetStats {
+    /// Total number of triples.
+    pub triple_count: usize,
+    /// Number of distinct subjects.
+    pub subject_count: usize,
+    /// Number of distinct predicates.
+    pub predicate_count: usize,
+    /// Number of distinct objects.
+    pub object_count: usize,
+    /// Number of literal objects.
+    pub literal_count: usize,
+    /// Instance counts per class IRI (from `rdf:type`).
+    pub class_counts: BTreeMap<String, usize>,
+    /// Usage counts per predicate IRI.
+    pub predicate_counts: BTreeMap<String, usize>,
+    /// Counts per literal effective-datatype IRI.
+    pub datatype_counts: BTreeMap<String, usize>,
+    /// Numeric summaries per predicate with ≥1 numeric object.
+    pub numeric_summaries: BTreeMap<String, NumericSummary>,
+}
+
+impl DatasetStats {
+    /// Profiles a graph in a single pass (plus per-predicate numeric
+    /// collection).
+    pub fn of(graph: &Graph) -> DatasetStats {
+        let mut stats = DatasetStats {
+            triple_count: graph.len(),
+            ..Default::default()
+        };
+        let mut subjects = std::collections::BTreeSet::new();
+        let mut predicates = std::collections::BTreeSet::new();
+        let mut objects = std::collections::BTreeSet::new();
+        let mut numeric: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for t in graph.iter() {
+            subjects.insert(&t.subject);
+            predicates.insert(&t.predicate);
+            objects.insert(&t.object);
+            if let Some(p) = t.predicate.as_iri() {
+                *stats
+                    .predicate_counts
+                    .entry(p.as_str().to_string())
+                    .or_insert(0) += 1;
+                if p.as_str() == rdf::TYPE {
+                    if let Some(class) = t.object.as_iri() {
+                        *stats
+                            .class_counts
+                            .entry(class.as_str().to_string())
+                            .or_insert(0) += 1;
+                    }
+                }
+                if let Term::Literal(l) = &t.object {
+                    stats.literal_count += 1;
+                    *stats
+                        .datatype_counts
+                        .entry(l.effective_datatype().to_string())
+                        .or_insert(0) += 1;
+                    if let Some(v) = Value::from_literal(l).as_f64() {
+                        numeric.entry(p.as_str().to_string()).or_default().push(v);
+                    }
+                }
+            }
+        }
+        stats.subject_count = subjects.len();
+        stats.predicate_count = predicates.len();
+        stats.object_count = objects.len();
+        for (p, vals) in numeric {
+            if let Some(s) = NumericSummary::of(&vals) {
+                stats.numeric_summaries.insert(p, s);
+            }
+        }
+        stats
+    }
+
+    /// Renders a compact human-readable report (the "statistics panel").
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "triples:    {}", self.triple_count);
+        let _ = writeln!(out, "subjects:   {}", self.subject_count);
+        let _ = writeln!(out, "predicates: {}", self.predicate_count);
+        let _ = writeln!(out, "objects:    {}", self.object_count);
+        let _ = writeln!(out, "literals:   {}", self.literal_count);
+        if !self.class_counts.is_empty() {
+            let _ = writeln!(out, "classes:");
+            for (c, n) in &self.class_counts {
+                let _ = writeln!(out, "  {} × {}", crate::vocab::abbreviate(c), n);
+            }
+        }
+        if !self.numeric_summaries.is_empty() {
+            let _ = writeln!(out, "numeric properties:");
+            for (p, s) in &self.numeric_summaries {
+                let _ = writeln!(
+                    out,
+                    "  {}: n={} min={:.3} max={:.3} mean={:.3} sd={:.3}",
+                    crate::vocab::abbreviate(p),
+                    s.count,
+                    s.min,
+                    s.max,
+                    s.mean,
+                    s.std_dev()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+    use crate::vocab::{rdfs, xsd};
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        for (i, pop) in [100.0, 200.0, 300.0].iter().enumerate() {
+            let s = format!("http://e.org/city{i}");
+            g.insert(Triple::iri(&s, rdf::TYPE, Term::iri("http://e.org/City")));
+            g.insert(Triple::iri(&s, rdfs::LABEL, Term::literal(format!("C{i}"))));
+            g.insert(Triple::iri(&s, "http://e.org/pop", Term::double(*pop)));
+        }
+        g.insert(Triple::iri(
+            "http://e.org/x",
+            rdf::TYPE,
+            Term::iri("http://e.org/Town"),
+        ));
+        g
+    }
+
+    #[test]
+    fn numeric_summary_basics() {
+        let s = NumericSummary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert!(NumericSummary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn profile_counts() {
+        let st = DatasetStats::of(&sample());
+        assert_eq!(st.triple_count, 10);
+        assert_eq!(st.subject_count, 4);
+        assert_eq!(st.predicate_count, 3);
+        assert_eq!(st.class_counts["http://e.org/City"], 3);
+        assert_eq!(st.class_counts["http://e.org/Town"], 1);
+        assert_eq!(st.predicate_counts[rdf::TYPE], 4);
+        assert_eq!(st.literal_count, 6);
+        assert_eq!(st.datatype_counts[xsd::STRING], 3);
+        assert_eq!(st.datatype_counts[xsd::DOUBLE], 3);
+    }
+
+    #[test]
+    fn numeric_summaries_per_predicate() {
+        let st = DatasetStats::of(&sample());
+        let s = &st.numeric_summaries["http://e.org/pop"];
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 200.0);
+        assert!(!st.numeric_summaries.contains_key(rdfs::LABEL));
+    }
+
+    #[test]
+    fn report_mentions_key_figures() {
+        let r = DatasetStats::of(&sample()).report();
+        assert!(r.contains("triples:    10"));
+        assert!(r.contains("City"));
+        assert!(r.contains("mean=200.000"));
+    }
+}

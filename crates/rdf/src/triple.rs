@@ -1,0 +1,90 @@
+//! RDF triples.
+
+use crate::term::{Iri, Term};
+use std::fmt;
+
+/// An RDF triple (statement): subject, predicate, object.
+///
+/// Subjects are IRIs or blank nodes, predicates are IRIs, objects may be any
+/// term. These constraints are enforced by the parsers; the struct itself
+/// stores plain [`Term`]s so that generalized triples (e.g. intermediate
+/// query results) can also be represented.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// The subject term.
+    pub subject: Term,
+    /// The predicate term.
+    pub predicate: Term,
+    /// The object term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple from three terms.
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Term>,
+        object: impl Into<Term>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+
+    /// Convenience constructor from IRI strings and an object term.
+    pub fn iri(subject: &str, predicate: &str, object: impl Into<Term>) -> Self {
+        Triple::new(Term::iri(subject), Term::iri(predicate), object.into())
+    }
+
+    /// True if the triple satisfies RDF's positional constraints
+    /// (resource subject, IRI predicate).
+    pub fn is_well_formed(&self) -> bool {
+        self.subject.is_resource() && self.predicate.is_iri()
+    }
+
+    /// The predicate as an IRI, if it is one.
+    pub fn predicate_iri(&self) -> Option<&Iri> {
+        self.predicate.as_iri()
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_ntriples_shaped() {
+        let t = Triple::iri("http://e.org/s", "http://e.org/p", Term::literal("o"));
+        assert_eq!(t.to_string(), "<http://e.org/s> <http://e.org/p> \"o\" .");
+    }
+
+    #[test]
+    fn well_formedness() {
+        let good = Triple::iri(
+            "http://e.org/s",
+            "http://e.org/p",
+            Term::iri("http://e.org/o"),
+        );
+        assert!(good.is_well_formed());
+        let bad_subject = Triple::new(
+            Term::literal("s"),
+            Term::iri("http://e.org/p"),
+            Term::literal("o"),
+        );
+        assert!(!bad_subject.is_well_formed());
+        let bad_pred = Triple::new(
+            Term::iri("http://e.org/s"),
+            Term::blank("p"),
+            Term::literal("o"),
+        );
+        assert!(!bad_pred.is_well_formed());
+    }
+}

@@ -1,0 +1,753 @@
+//! Turtle parsing and serialization (a practical subset).
+//!
+//! Turtle is the human-facing syntax of the Web of Data. The subset
+//! implemented here covers what LOD dumps and the surveyed tools actually
+//! exchange:
+//!
+//! * `@prefix` / `@base` directives (and SPARQL-style `PREFIX`/`BASE`),
+//! * prefixed names (`foaf:name`) and IRI references (`<...>`),
+//! * the `a` keyword for `rdf:type`,
+//! * predicate lists (`;`) and object lists (`,`),
+//! * blank node labels (`_:b`) and anonymous bnodes `[ ... ]`,
+//! * quoted literals with `@lang` / `^^datatype`, plus bare numeric
+//!   (`42`, `3.14`, `1e6`) and boolean (`true`/`false`) abbreviations.
+//!
+//! Collections `( ... )` are parsed into the standard `rdf:first/rdf:rest`
+//! encoding. Multi-line `"""..."""` strings are supported.
+
+use crate::error::RdfError;
+use crate::graph::Graph;
+use crate::term::{unescape_literal, BlankNode, Iri, Literal, Term};
+use crate::triple::Triple;
+use crate::vocab::{rdf, xsd};
+use std::collections::HashMap;
+
+/// Parses a Turtle document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, RdfError> {
+    Parser::new(input).parse_document()
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    prefixes: HashMap<String, String>,
+    base: String,
+    graph: Graph,
+    bnode_counter: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            src: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            prefixes: HashMap::new(),
+            base: String::new(),
+            graph: Graph::new(),
+            bnode_counter: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RdfError {
+        RdfError::syntax(self.line, msg.into())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if (c as char).is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), RdfError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {:?}, found {:?}",
+                c as char,
+                self.peek().map(|b| b as char)
+            )))
+        }
+    }
+
+    fn starts_with_keyword(&self, kw: &str) -> bool {
+        let bytes = kw.as_bytes();
+        if self.src.len() < self.pos + bytes.len() {
+            return false;
+        }
+        self.src[self.pos..self.pos + bytes.len()]
+            .iter()
+            .zip(bytes)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    fn parse_document(mut self) -> Result<Graph, RdfError> {
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                return Ok(self.graph);
+            }
+            if self.eat(b'@') {
+                if self.starts_with_keyword("prefix") {
+                    self.pos += 6;
+                    self.directive_prefix()?;
+                    self.skip_ws();
+                    self.expect(b'.')?;
+                } else if self.starts_with_keyword("base") {
+                    self.pos += 4;
+                    self.directive_base()?;
+                    self.skip_ws();
+                    self.expect(b'.')?;
+                } else {
+                    return Err(self.err("unknown directive"));
+                }
+                continue;
+            }
+            if self.starts_with_keyword("prefix ") || self.starts_with_keyword("prefix\t") {
+                self.pos += 6;
+                self.directive_prefix()?;
+                continue;
+            }
+            if self.starts_with_keyword("base ") || self.starts_with_keyword("base\t") {
+                self.pos += 4;
+                self.directive_base()?;
+                continue;
+            }
+            self.statement()?;
+        }
+    }
+
+    fn directive_prefix(&mut self) -> Result<(), RdfError> {
+        self.skip_ws();
+        let mut name = String::new();
+        while matches!(self.peek(), Some(c) if c != b':' && !(c as char).is_ascii_whitespace()) {
+            name.push(self.bump().unwrap() as char);
+        }
+        self.expect(b':')?;
+        self.skip_ws();
+        let iri = self.iri_ref()?;
+        self.prefixes.insert(name, iri.as_str().to_string());
+        Ok(())
+    }
+
+    fn directive_base(&mut self) -> Result<(), RdfError> {
+        self.skip_ws();
+        let iri = self.iri_ref()?;
+        self.base = iri.as_str().to_string();
+        Ok(())
+    }
+
+    fn statement(&mut self) -> Result<(), RdfError> {
+        let subject = self.subject()?;
+        self.skip_ws();
+        self.predicate_object_list(&subject)?;
+        self.skip_ws();
+        self.expect(b'.')?;
+        Ok(())
+    }
+
+    fn predicate_object_list(&mut self, subject: &Term) -> Result<(), RdfError> {
+        loop {
+            self.skip_ws();
+            let predicate = self.predicate()?;
+            loop {
+                self.skip_ws();
+                let object = self.object()?;
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.skip_ws();
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.skip_ws();
+            if !self.eat(b';') {
+                return Ok(());
+            }
+            self.skip_ws();
+            // Allow a dangling ';' before '.' or ']'.
+            if matches!(self.peek(), Some(b'.') | Some(b']')) || self.peek().is_none() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn subject(&mut self) -> Result<Term, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => Ok(Term::Iri(self.iri_ref()?)),
+            Some(b'_') => Ok(Term::Blank(self.blank_node_label()?)),
+            Some(b'[') => self.anon_bnode(),
+            Some(b'(') => self.collection(),
+            Some(_) => Ok(Term::Iri(self.prefixed_name()?)),
+            None => Err(self.err("unexpected end of input in subject")),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Term, RdfError> {
+        self.skip_ws();
+        // The `a` keyword.
+        if self.peek() == Some(b'a') {
+            let next = self.peek_at(1);
+            if next.is_none() || next.is_some_and(|c| (c as char).is_ascii_whitespace()) {
+                self.bump();
+                return Ok(Term::iri(rdf::TYPE));
+            }
+        }
+        match self.peek() {
+            Some(b'<') => Ok(Term::Iri(self.iri_ref()?)),
+            Some(_) => Ok(Term::Iri(self.prefixed_name()?)),
+            None => Err(self.err("unexpected end of input in predicate")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Term, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => Ok(Term::Iri(self.iri_ref()?)),
+            Some(b'_') => Ok(Term::Blank(self.blank_node_label()?)),
+            Some(b'[') => self.anon_bnode(),
+            Some(b'(') => self.collection(),
+            Some(b'"') | Some(b'\'') => Ok(Term::Literal(self.quoted_literal()?)),
+            Some(c) if c == b'+' || c == b'-' || (c as char).is_ascii_digit() => {
+                Ok(Term::Literal(self.numeric_literal()?))
+            }
+            Some(b't') | Some(b'f')
+                if self.starts_with_keyword("true") || self.starts_with_keyword("false") =>
+            {
+                let v = self.peek() == Some(b't');
+                self.pos += if v { 4 } else { 5 };
+                // Guard against prefixed names like false:x.
+                if matches!(self.peek(), Some(c) if c == b':' || (c as char).is_alphanumeric()) {
+                    return Err(self.err("bad boolean literal"));
+                }
+                Ok(Term::Literal(Literal::boolean(v)))
+            }
+            Some(_) => Ok(Term::Iri(self.prefixed_name()?)),
+            None => Err(self.err("unexpected end of input in object")),
+        }
+    }
+
+    fn fresh_bnode(&mut self) -> BlankNode {
+        self.bnode_counter += 1;
+        BlankNode::new(format!("genid{}", self.bnode_counter))
+    }
+
+    fn anon_bnode(&mut self) -> Result<Term, RdfError> {
+        self.expect(b'[')?;
+        let node = Term::Blank(self.fresh_bnode());
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(node);
+        }
+        self.predicate_object_list(&node)?;
+        self.skip_ws();
+        self.expect(b']')?;
+        Ok(node)
+    }
+
+    fn collection(&mut self) -> Result<Term, RdfError> {
+        self.expect(b'(')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(b')') {
+                break;
+            }
+            items.push(self.object()?);
+        }
+        if items.is_empty() {
+            return Ok(Term::iri(rdf::NIL));
+        }
+        let mut head = Term::iri(rdf::NIL);
+        for item in items.into_iter().rev() {
+            let node = Term::Blank(self.fresh_bnode());
+            self.graph
+                .insert(Triple::new(node.clone(), Term::iri(rdf::FIRST), item));
+            self.graph
+                .insert(Triple::new(node.clone(), Term::iri(rdf::REST), head));
+            head = node;
+        }
+        Ok(head)
+    }
+
+    fn iri_ref(&mut self) -> Result<Iri, RdfError> {
+        self.expect(b'<')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'>') => break,
+                Some(c) if (c as char).is_ascii_whitespace() => {
+                    return Err(self.err("whitespace inside IRI"))
+                }
+                Some(c) => s.push(c as char),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+        // Resolve against @base for relative IRIs (no scheme).
+        if !self.base.is_empty() && !s.contains("://") && !s.starts_with("urn:") {
+            s = format!("{}{}", self.base, s);
+        }
+        Iri::parse(s)
+    }
+
+    fn blank_node_label(&mut self) -> Result<BlankNode, RdfError> {
+        self.expect(b'_')?;
+        self.expect(b':')?;
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if (c as char).is_alphanumeric() || c == b'_' || c == b'-')
+        {
+            label.push(self.bump().unwrap() as char);
+        }
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        Ok(BlankNode::new(label))
+    }
+
+    fn prefixed_name(&mut self) -> Result<Iri, RdfError> {
+        let mut prefix = String::new();
+        while matches!(self.peek(), Some(c) if (c as char).is_alphanumeric() || c == b'_' || c == b'-' || c == b'.')
+        {
+            prefix.push(self.bump().unwrap() as char);
+        }
+        if !self.eat(b':') {
+            return Err(self.err(format!("expected prefixed name, got {prefix:?}")));
+        }
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| RdfError::UnknownPrefix(prefix.clone()))?
+            .clone();
+        let mut local = String::new();
+        while matches!(self.peek(), Some(c) if (c as char).is_alphanumeric() || c == b'_' || c == b'-')
+        {
+            local.push(self.bump().unwrap() as char);
+        }
+        Iri::parse(format!("{ns}{local}"))
+    }
+
+    fn quoted_literal(&mut self) -> Result<Literal, RdfError> {
+        let quote = self.bump().unwrap(); // '"' or '\''
+                                          // Long string form? ("""...""" / '''...''')
+        let long = self.peek() == Some(quote) && self.peek_at(1) == Some(quote);
+        if long {
+            self.bump();
+            self.bump();
+        }
+        let mut raw = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\\') => {
+                    raw.push('\\');
+                    match self.bump() {
+                        Some(c) => raw.push(c as char),
+                        None => return Err(self.err("unterminated escape")),
+                    }
+                }
+                Some(c) if c == quote => {
+                    if !long {
+                        break;
+                    }
+                    if self.peek() == Some(quote) && self.peek_at(1) == Some(quote) {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    raw.push(quote as char);
+                }
+                Some(c) => {
+                    if c == b'\n' && !long {
+                        return Err(self.err("newline in short literal"));
+                    }
+                    // Collect multibyte UTF-8 transparently.
+                    raw.push(c as char);
+                }
+                None => return Err(self.err("unterminated literal")),
+            }
+        }
+        // The byte-wise push above mangles multibyte chars; recover them by
+        // re-decoding from the original slice when non-ASCII is present.
+        let lexical = if raw.is_ascii() {
+            unescape_literal(&raw).ok_or_else(|| self.err("malformed escape"))?
+        } else {
+            let fixed = fix_utf8(&raw);
+            unescape_literal(&fixed).ok_or_else(|| self.err("malformed escape"))?
+        };
+        match self.peek() {
+            Some(b'@') => {
+                self.bump();
+                let mut lang = String::new();
+                while matches!(self.peek(), Some(c) if (c as char).is_ascii_alphanumeric() || c == b'-')
+                {
+                    lang.push(self.bump().unwrap() as char);
+                }
+                Ok(Literal::lang_string(lexical, lang))
+            }
+            Some(b'^') => {
+                self.bump();
+                self.expect(b'^')?;
+                self.skip_ws();
+                let dt = match self.peek() {
+                    Some(b'<') => self.iri_ref()?,
+                    _ => self.prefixed_name()?,
+                };
+                Ok(Literal::typed(lexical, dt))
+            }
+            _ => Ok(Literal::string(lexical)),
+        }
+    }
+
+    fn numeric_literal(&mut self) -> Result<Literal, RdfError> {
+        let mut s = String::new();
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            s.push(self.bump().unwrap() as char);
+        }
+        let mut is_double = false;
+        let mut is_decimal = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => s.push(self.bump().unwrap() as char),
+                b'.' => {
+                    // A '.' followed by a digit is a decimal point; otherwise
+                    // it terminates the statement.
+                    if self
+                        .peek_at(1)
+                        .is_some_and(|d| (d as char).is_ascii_digit())
+                    {
+                        is_decimal = true;
+                        s.push(self.bump().unwrap() as char);
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' => {
+                    is_double = true;
+                    s.push(self.bump().unwrap() as char);
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        s.push(self.bump().unwrap() as char);
+                    }
+                }
+                _ => break,
+            }
+        }
+        if is_double {
+            s.parse::<f64>()
+                .map(|_| Literal::typed(s.clone(), Iri::new(xsd::DOUBLE)))
+                .map_err(|_| self.err("bad double literal"))
+        } else if is_decimal {
+            s.parse::<f64>()
+                .map(|_| Literal::typed(s.clone(), Iri::new(xsd::DECIMAL)))
+                .map_err(|_| self.err("bad decimal literal"))
+        } else {
+            s.parse::<i64>()
+                .map(Literal::integer)
+                .map_err(|_| self.err("bad integer literal"))
+        }
+    }
+}
+
+/// Repairs a string whose multibyte UTF-8 sequences were pushed byte-wise
+/// as individual `char`s in the 0..=255 range.
+fn fix_utf8(s: &str) -> String {
+    let bytes: Vec<u8> = s.chars().map(|c| c as u32 as u8).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Serializes a graph as Turtle, grouping by subject and abbreviating with
+/// the [`crate::vocab::default_prefixes`] table plus any extra prefixes.
+pub fn serialize(graph: &Graph) -> String {
+    serialize_with_prefixes(graph, &[])
+}
+
+/// Serializes with additional `(prefix, namespace)` pairs.
+pub fn serialize_with_prefixes(graph: &Graph, extra: &[(String, String)]) -> String {
+    use std::fmt::Write;
+    let mut prefixes: Vec<(String, String)> = crate::vocab::default_prefixes()
+        .into_iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    prefixes.extend(extra.iter().cloned());
+
+    let abbrev = |iri: &str| -> String {
+        for (p, ns) in &prefixes {
+            if let Some(rest) = iri.strip_prefix(ns.as_str()) {
+                if !rest.is_empty()
+                    && rest
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                {
+                    return format!("{p}:{rest}");
+                }
+            }
+        }
+        format!("<{iri}>")
+    };
+    let term_str = |t: &Term| -> String {
+        match t {
+            Term::Iri(i) => {
+                if i.as_str() == rdf::TYPE {
+                    "a".to_string()
+                } else {
+                    abbrev(i.as_str())
+                }
+            }
+            Term::Blank(b) => format!("_:{}", b.label()),
+            Term::Literal(l) => {
+                let mut s = format!("\"{}\"", crate::term::escape_literal(l.lexical()));
+                if let Some(lang) = l.lang() {
+                    s.push('@');
+                    s.push_str(lang);
+                } else if let Some(dt) = l.datatype() {
+                    if dt.as_str() != xsd::STRING {
+                        s.push_str("^^");
+                        s.push_str(&abbrev(dt.as_str()));
+                    }
+                }
+                s
+            }
+        }
+    };
+
+    // Emit only the prefixes that are actually used.
+    let body = {
+        let mut body = String::new();
+        let mut current_subject: Option<&Term> = None;
+        for t in graph.iter() {
+            if current_subject == Some(&t.subject) {
+                let _ = write!(
+                    body,
+                    " ;\n    {} {}",
+                    term_str(&t.predicate),
+                    term_str(&t.object)
+                );
+            } else {
+                if current_subject.is_some() {
+                    body.push_str(" .\n");
+                }
+                let _ = write!(
+                    body,
+                    "{} {} {}",
+                    term_str(&t.subject),
+                    term_str(&t.predicate),
+                    term_str(&t.object)
+                );
+                current_subject = Some(&t.subject);
+            }
+        }
+        if current_subject.is_some() {
+            body.push_str(" .\n");
+        }
+        body
+    };
+    let mut out = String::new();
+    for (p, ns) in &prefixes {
+        if body.contains(&format!("{p}:")) {
+            let _ = writeln!(out, "@prefix {p}: <{ns}> .");
+        }
+    }
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{foaf, rdfs};
+
+    #[test]
+    fn parse_prefixes_and_a() {
+        let doc = r#"
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <http://e.org/> .
+ex:alice a foaf:Person ;
+    foaf:name "Alice" ;
+    foaf:knows ex:bob, ex:carol .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 4);
+        let alice = Term::iri("http://e.org/alice");
+        assert_eq!(g.types_of(&alice).len(), 1);
+        assert_eq!(g.triples_for_predicate(foaf::KNOWS).count(), 2);
+    }
+
+    #[test]
+    fn parse_numeric_and_boolean_abbreviations() {
+        let doc = r#"
+@prefix ex: <http://e.org/> .
+ex:x ex:i 42 ; ex:d 3.25 ; ex:e 1.5e3 ; ex:t true ; ex:f false ; ex:n -7 .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 6);
+        let vals: Vec<_> = g
+            .iter()
+            .filter_map(|t| t.object.as_literal())
+            .map(crate::Value::from_literal)
+            .collect();
+        assert!(vals.contains(&crate::Value::Integer(42)));
+        assert!(vals.contains(&crate::Value::Integer(-7)));
+        assert!(vals.contains(&crate::Value::Double(3.25)));
+        assert!(vals.contains(&crate::Value::Double(1500.0)));
+        assert!(vals.contains(&crate::Value::Boolean(true)));
+        assert!(vals.contains(&crate::Value::Boolean(false)));
+    }
+
+    #[test]
+    fn parse_anon_bnodes() {
+        let doc = r#"
+@prefix ex: <http://e.org/> .
+ex:s ex:p [ ex:q "inner" ] .
+[] ex:standalone "x" .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.iter().any(|t| t.object.is_blank()));
+    }
+
+    #[test]
+    fn parse_collections() {
+        let doc = r#"
+@prefix ex: <http://e.org/> .
+ex:s ex:list (1 2 3) .
+ex:s ex:empty () .
+"#;
+        let g = parse(doc).unwrap();
+        // list: 1 head triple + 3*(first,rest); empty: 1 triple to rdf:nil.
+        assert_eq!(g.triples_for_predicate(rdf::FIRST).count(), 3);
+        assert_eq!(g.triples_for_predicate(rdf::REST).count(), 3);
+        assert!(g
+            .iter()
+            .any(|t| t.object == Term::iri(rdf::NIL)
+                && t.predicate == Term::iri("http://e.org/empty")));
+    }
+
+    #[test]
+    fn parse_typed_literals_with_prefixed_datatype() {
+        let doc = r#"
+@prefix ex: <http://e.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s ex:p "2016-03-15"^^xsd:date .
+"#;
+        let g = parse(doc).unwrap();
+        let lit = g.iter().next().unwrap().object.as_literal().unwrap();
+        assert_eq!(lit.datatype().unwrap().as_str(), xsd::DATE);
+    }
+
+    #[test]
+    fn parse_long_strings() {
+        let doc =
+            "@prefix ex: <http://e.org/> .\nex:s ex:p \"\"\"multi\nline \"quoted\" text\"\"\" .\n";
+        let g = parse(doc).unwrap();
+        let lit = g.iter().next().unwrap().object.as_literal().unwrap();
+        assert!(lit.lexical().contains("multi\nline"));
+        assert!(lit.lexical().contains("\"quoted\""));
+    }
+
+    #[test]
+    fn parse_base_resolution() {
+        let doc = "@base <http://e.org/> .\n<s> <p> <o> .\n";
+        let g = parse(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.subject, Term::iri("http://e.org/s"));
+    }
+
+    #[test]
+    fn unknown_prefix_errors() {
+        let doc = "ex:s ex:p ex:o .\n";
+        assert!(matches!(parse(doc), Err(RdfError::UnknownPrefix(_))));
+    }
+
+    #[test]
+    fn sparql_style_directives() {
+        let doc = "PREFIX ex: <http://e.org/>\nex:s ex:p ex:o .\n";
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn serialize_groups_subjects_and_roundtrips() {
+        let mut g = Graph::new();
+        g.insert(Triple::iri(
+            "http://e.org/a",
+            rdf::TYPE,
+            Term::iri(foaf::PERSON),
+        ));
+        g.insert(Triple::iri(
+            "http://e.org/a",
+            rdfs::LABEL,
+            Term::literal("A"),
+        ));
+        g.insert(Triple::iri(
+            "http://e.org/a",
+            foaf::NAME,
+            Term::Literal(Literal::lang_string("Ah", "en")),
+        ));
+        g.insert(Triple::iri(
+            "http://e.org/b",
+            "http://e.org/score",
+            Term::integer(9),
+        ));
+        let ttl = serialize(&g);
+        assert!(ttl.contains("@prefix foaf:"));
+        assert!(ttl.contains(" a foaf:Person"));
+        assert!(ttl.contains(";"));
+        let g2 = parse(&ttl).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn serialize_unicode_literal_roundtrips() {
+        let mut g = Graph::new();
+        g.insert(Triple::iri(
+            "http://e.org/a",
+            rdfs::LABEL,
+            Term::literal("Αθήνα — ελληνικά"),
+        ));
+        let ttl = serialize(&g);
+        let g2 = parse(&ttl).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,336 @@
+//! Typed values extracted from RDF literals.
+//!
+//! The survey's Table 1 classifies systems by the *data types* they support:
+//! **N**umeric, **T**emporal, **S**patial, **H**ierarchical, **G**raph. The
+//! first two are per-literal properties; this module turns lexical forms
+//! into comparable typed values, including a small self-contained ISO-8601
+//! date/dateTime parser (epoch-based, proleptic Gregorian).
+
+use crate::term::Literal;
+use crate::vocab::xsd;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A typed value decoded from a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer (`xsd:integer`, `xsd:int`, `xsd:long`).
+    Integer(i64),
+    /// A floating-point number (`xsd:double`, `xsd:float`, `xsd:decimal`).
+    Double(f64),
+    /// A boolean.
+    Boolean(bool),
+    /// A calendar date, as days since the Unix epoch (1970-01-01).
+    Date(i64),
+    /// An instant, as seconds since the Unix epoch (UTC).
+    DateTime(i64),
+    /// A year (`xsd:gYear`).
+    Year(i32),
+    /// Any other literal, kept as text.
+    Text(String),
+}
+
+impl Value {
+    /// Decodes a literal into a typed value based on its effective
+    /// datatype. Unknown datatypes and malformed lexical forms fall back to
+    /// [`Value::Text`].
+    pub fn from_literal(lit: &Literal) -> Value {
+        let lex = lit.lexical();
+        match lit.effective_datatype() {
+            xsd::INTEGER | xsd::INT | xsd::LONG => lex
+                .trim()
+                .parse::<i64>()
+                .map(Value::Integer)
+                .unwrap_or_else(|_| Value::Text(lex.to_string())),
+            xsd::DOUBLE | xsd::FLOAT | xsd::DECIMAL => lex
+                .trim()
+                .parse::<f64>()
+                .map(Value::Double)
+                .unwrap_or_else(|_| Value::Text(lex.to_string())),
+            xsd::BOOLEAN => match lex.trim() {
+                "true" | "1" => Value::Boolean(true),
+                "false" | "0" => Value::Boolean(false),
+                _ => Value::Text(lex.to_string()),
+            },
+            xsd::DATE => parse_date(lex)
+                .map(Value::Date)
+                .unwrap_or_else(|| Value::Text(lex.to_string())),
+            xsd::DATE_TIME => parse_date_time(lex)
+                .map(Value::DateTime)
+                .unwrap_or_else(|| Value::Text(lex.to_string())),
+            xsd::G_YEAR => lex
+                .trim()
+                .parse::<i32>()
+                .map(Value::Year)
+                .unwrap_or_else(|_| Value::Text(lex.to_string())),
+            _ => Value::Text(lex.to_string()),
+        }
+    }
+
+    /// Numeric view: integers and doubles as `f64`; `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Temporal view: dates/dateTimes/years normalized to epoch **seconds**.
+    pub fn as_epoch_seconds(&self) -> Option<i64> {
+        match self {
+            Value::Date(days) => Some(days * 86_400),
+            Value::DateTime(secs) => Some(*secs),
+            Value::Year(y) => Some(days_from_civil(*y, 1, 1) * 86_400),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Integer`] / [`Value::Double`].
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Integer(_) | Value::Double(_))
+    }
+
+    /// True for [`Value::Date`] / [`Value::DateTime`] / [`Value::Year`].
+    pub fn is_temporal(&self) -> bool {
+        matches!(self, Value::Date(_) | Value::DateTime(_) | Value::Year(_))
+    }
+
+    /// A total comparison usable for ORDER BY: numerics compare by value,
+    /// temporals by instant, booleans false<true, text lexicographically;
+    /// across kinds, a fixed kind order applies.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn kind(v: &Value) -> u8 {
+            match v {
+                Value::Boolean(_) => 0,
+                Value::Integer(_) | Value::Double(_) => 1,
+                Value::Date(_) | Value::DateTime(_) | Value::Year(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (a, b) if a.is_numeric() && b.is_numeric() => a
+                .as_f64()
+                .unwrap()
+                .partial_cmp(&b.as_f64().unwrap())
+                .unwrap_or(Ordering::Equal),
+            (a, b) if a.is_temporal() && b.is_temporal() => a
+                .as_epoch_seconds()
+                .unwrap()
+                .cmp(&b.as_epoch_seconds().unwrap()),
+            (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) => kind(a).cmp(&kind(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Date(days) => {
+                let (y, m, d) = civil_from_days(*days);
+                write!(f, "{y:04}-{m:02}-{d:02}")
+            }
+            Value::DateTime(secs) => {
+                let days = secs.div_euclid(86_400);
+                let rem = secs.rem_euclid(86_400);
+                let (y, m, d) = civil_from_days(days);
+                write!(
+                    f,
+                    "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+                    rem / 3600,
+                    (rem % 3600) / 60,
+                    rem % 60
+                )
+            }
+            Value::Year(y) => write!(f, "{y}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date
+/// (Howard Hinnant's `days_from_civil` algorithm).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: (year, month, day) for an epoch day.
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+/// Parses `YYYY-MM-DD` to epoch days. Tolerates a trailing timezone marker.
+pub fn parse_date(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let s = s.strip_suffix('Z').unwrap_or(s);
+    let mut parts = s.splitn(3, '-');
+    // Handle a possible leading '-' for negative years.
+    let (neg, s0) = if let Some(rest) = s.strip_prefix('-') {
+        (true, rest)
+    } else {
+        (false, s)
+    };
+    if neg {
+        parts = s0.splitn(3, '-');
+    }
+    let y: i32 = parts.next()?.parse().ok()?;
+    let y = if neg { -y } else { y };
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+/// Parses `YYYY-MM-DDThh:mm:ss` (optionally suffixed with `Z` or a numeric
+/// offset, optionally with fractional seconds) to epoch seconds.
+pub fn parse_date_time(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (date_part, time_part) = s.split_once('T')?;
+    let days = parse_date(date_part)?;
+    // Strip timezone: Z, +hh:mm, -hh:mm.
+    let (time_str, offset) = if let Some(t) = time_part.strip_suffix('Z') {
+        (t, 0i64)
+    } else if let Some(pos) = time_part.rfind(['+', '-']) {
+        let (t, tz) = time_part.split_at(pos);
+        let sign = if tz.starts_with('-') { -1 } else { 1 };
+        let tz = &tz[1..];
+        let (th, tm) = tz.split_once(':')?;
+        let off = th.parse::<i64>().ok()? * 3600 + tm.parse::<i64>().ok()? * 60;
+        (t, sign * off)
+    } else {
+        (time_part, 0)
+    };
+    let mut it = time_str.splitn(3, ':');
+    let h: i64 = it.next()?.parse().ok()?;
+    let m: i64 = it.next()?.parse().ok()?;
+    let sec_str = it.next()?;
+    let sec: i64 = sec_str.split('.').next().and_then(|x| x.parse().ok())?;
+    if !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..61).contains(&sec) {
+        return None;
+    }
+    Some(days * 86_400 + h * 3600 + m * 60 + sec - offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Iri;
+
+    #[test]
+    fn civil_roundtrip_epoch() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(civil_from_days(11_017), (2000, 3, 1));
+    }
+
+    #[test]
+    fn civil_roundtrip_sweep() {
+        for z in (-1_000_000..1_000_000).step_by(997) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn parse_dates() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("2016-03-15"), Some(days_from_civil(2016, 3, 15)));
+        assert_eq!(parse_date("2016-13-15"), None);
+        assert_eq!(parse_date("garbage"), None);
+    }
+
+    #[test]
+    fn parse_date_times() {
+        assert_eq!(parse_date_time("1970-01-01T00:00:00Z"), Some(0));
+        assert_eq!(parse_date_time("1970-01-01T01:00:00Z"), Some(3600));
+        assert_eq!(parse_date_time("1970-01-01T00:00:00+01:00"), Some(-3600));
+        assert_eq!(parse_date_time("1970-01-01T00:00:00.5Z"), Some(0));
+        assert_eq!(parse_date_time("1970-01-01T25:00:00Z"), None);
+        assert_eq!(parse_date_time("not a time"), None);
+    }
+
+    #[test]
+    fn from_literal_decodes_types() {
+        assert_eq!(Value::from_literal(&Literal::integer(7)), Value::Integer(7));
+        assert_eq!(
+            Value::from_literal(&Literal::double(2.5)),
+            Value::Double(2.5)
+        );
+        assert_eq!(
+            Value::from_literal(&Literal::boolean(true)),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            Value::from_literal(&Literal::date(1970, 1, 2)),
+            Value::Date(1)
+        );
+        assert_eq!(
+            Value::from_literal(&Literal::string("hello")),
+            Value::Text("hello".into())
+        );
+        // Malformed lexical forms degrade to text instead of erroring.
+        assert_eq!(
+            Value::from_literal(&Literal::typed("NaNny", Iri::new(xsd::INTEGER))),
+            Value::Text("NaNny".into())
+        );
+    }
+
+    #[test]
+    fn numeric_and_temporal_views() {
+        assert_eq!(Value::Integer(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Double(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Date(2).as_epoch_seconds(), Some(172_800));
+        assert_eq!(Value::DateTime(5).as_epoch_seconds(), Some(5));
+        assert_eq!(Value::Year(1971).as_epoch_seconds(), Some(365 * 86_400));
+    }
+
+    #[test]
+    fn total_cmp_within_and_across_kinds() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Integer(1).total_cmp(&Value::Double(1.5)), Less);
+        assert_eq!(Value::Double(2.0).total_cmp(&Value::Integer(2)), Equal);
+        assert_eq!(Value::Date(0).total_cmp(&Value::DateTime(10)), Less);
+        assert_eq!(
+            Value::Text("a".into()).total_cmp(&Value::Text("b".into())),
+            Less
+        );
+        // Kind order: boolean < numeric < temporal < text.
+        assert_eq!(Value::Boolean(true).total_cmp(&Value::Integer(0)), Less);
+        assert_eq!(Value::Integer(9).total_cmp(&Value::Date(0)), Less);
+        assert_eq!(Value::Date(9).total_cmp(&Value::Text("".into())), Less);
+    }
+
+    #[test]
+    fn display_roundtrips_temporal() {
+        let v = Value::Date(days_from_civil(2016, 3, 15));
+        assert_eq!(v.to_string(), "2016-03-15");
+        let dt = Value::DateTime(parse_date_time("2016-03-15T12:30:45Z").unwrap());
+        assert_eq!(dt.to_string(), "2016-03-15T12:30:45Z");
+    }
+}

@@ -1,0 +1,222 @@
+//! Well-known RDF vocabularies used across the Web of Data.
+//!
+//! These are the vocabularies the surveyed systems build on: the RDF/RDFS/
+//! OWL core, XSD datatypes, FOAF (social data), the W3C Data Cube
+//! vocabulary `qb:` (statistical systems of §3.3: CubeViz, OpenCube,
+//! LDCE...), W3C Basic Geo `geo:` (geospatial systems: Map4rdf, Facete,
+//! SexTant...), and Dublin Core terms.
+
+/// Builds a full IRI string from a namespace and local name.
+pub fn iri(ns: &str, local: &str) -> String {
+    format!("{ns}{local}")
+}
+
+/// The RDF core vocabulary.
+pub mod rdf {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// `rdf:type`.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdf:langString` — the implicit datatype of language-tagged strings.
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    /// `rdf:Property`.
+    pub const PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+    /// `rdf:first` (collections).
+    pub const FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+    /// `rdf:rest` (collections).
+    pub const REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+    /// `rdf:nil` (collections).
+    pub const NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
+}
+
+/// The RDF Schema vocabulary.
+pub mod rdfs {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// `rdfs:label`.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:comment`.
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+    /// `rdfs:subClassOf`.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// `rdfs:subPropertyOf`.
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    /// `rdfs:domain`.
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    /// `rdfs:range`.
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    /// `rdfs:Class`.
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+    /// `rdfs:seeAlso`.
+    pub const SEE_ALSO: &str = "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:int`.
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    /// `xsd:long`.
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    /// `xsd:decimal`.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:float`.
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:date`.
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    /// `xsd:dateTime`.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    /// `xsd:gYear`.
+    pub const G_YEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+}
+
+/// OWL vocabulary (ontology systems of §3.5).
+pub mod owl {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    /// `owl:Class`.
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    /// `owl:ObjectProperty`.
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    /// `owl:DatatypeProperty`.
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+    /// `owl:sameAs` — the linking predicate of the Web of Data.
+    pub const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+    /// `owl:Thing`.
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+}
+
+/// FOAF vocabulary (social/person data).
+pub mod foaf {
+    /// Namespace IRI.
+    pub const NS: &str = "http://xmlns.com/foaf/0.1/";
+    /// `foaf:Person`.
+    pub const PERSON: &str = "http://xmlns.com/foaf/0.1/Person";
+    /// `foaf:name`.
+    pub const NAME: &str = "http://xmlns.com/foaf/0.1/name";
+    /// `foaf:knows`.
+    pub const KNOWS: &str = "http://xmlns.com/foaf/0.1/knows";
+}
+
+/// W3C RDF Data Cube vocabulary (`qb:`) — statistical multidimensional
+/// data, the substrate of the §3.3 cube systems.
+pub mod qb {
+    /// Namespace IRI.
+    pub const NS: &str = "http://purl.org/linked-data/cube#";
+    /// `qb:DataSet`.
+    pub const DATA_SET: &str = "http://purl.org/linked-data/cube#DataSet";
+    /// `qb:Observation`.
+    pub const OBSERVATION: &str = "http://purl.org/linked-data/cube#Observation";
+    /// `qb:dataSet` (observation → dataset).
+    pub const DATASET_PROP: &str = "http://purl.org/linked-data/cube#dataSet";
+    /// `qb:DimensionProperty`.
+    pub const DIMENSION_PROPERTY: &str = "http://purl.org/linked-data/cube#DimensionProperty";
+    /// `qb:MeasureProperty`.
+    pub const MEASURE_PROPERTY: &str = "http://purl.org/linked-data/cube#MeasureProperty";
+    /// `qb:structure`.
+    pub const STRUCTURE: &str = "http://purl.org/linked-data/cube#structure";
+}
+
+/// W3C Basic Geo vocabulary (geospatial systems of §3.3).
+pub mod geo {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2003/01/geo/wgs84_pos#";
+    /// `geo:lat`.
+    pub const LAT: &str = "http://www.w3.org/2003/01/geo/wgs84_pos#lat";
+    /// `geo:long`.
+    pub const LONG: &str = "http://www.w3.org/2003/01/geo/wgs84_pos#long";
+    /// `geo:Point`.
+    pub const POINT: &str = "http://www.w3.org/2003/01/geo/wgs84_pos#Point";
+}
+
+/// Dublin Core terms.
+pub mod dcterms {
+    /// Namespace IRI.
+    pub const NS: &str = "http://purl.org/dc/terms/";
+    /// `dcterms:title`.
+    pub const TITLE: &str = "http://purl.org/dc/terms/title";
+    /// `dcterms:created`.
+    pub const CREATED: &str = "http://purl.org/dc/terms/created";
+    /// `dcterms:subject`.
+    pub const SUBJECT: &str = "http://purl.org/dc/terms/subject";
+}
+
+/// The default prefix table used by the Turtle serializer and the
+/// human-facing term abbreviation helpers.
+pub fn default_prefixes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("rdf", rdf::NS),
+        ("rdfs", rdfs::NS),
+        ("xsd", xsd::NS),
+        ("owl", owl::NS),
+        ("foaf", foaf::NS),
+        ("qb", qb::NS),
+        ("geo", geo::NS),
+        ("dcterms", dcterms::NS),
+    ]
+}
+
+/// Abbreviates an IRI using the default prefixes, e.g.
+/// `http://...rdf-schema#label` → `rdfs:label`. Returns the full IRI in
+/// angle brackets when no prefix matches.
+pub fn abbreviate(iri: &str) -> String {
+    for (p, ns) in default_prefixes() {
+        if let Some(rest) = iri.strip_prefix(ns) {
+            if !rest.is_empty()
+                && rest
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
+                return format!("{p}:{rest}");
+            }
+        }
+    }
+    format!("<{iri}>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_builder_concatenates() {
+        assert_eq!(iri(rdfs::NS, "label"), rdfs::LABEL);
+        assert_eq!(iri(xsd::NS, "integer"), xsd::INTEGER);
+    }
+
+    #[test]
+    fn abbreviate_known_namespaces() {
+        assert_eq!(abbreviate(rdfs::LABEL), "rdfs:label");
+        assert_eq!(abbreviate(rdf::TYPE), "rdf:type");
+        assert_eq!(abbreviate(qb::OBSERVATION), "qb:Observation");
+        assert_eq!(
+            abbreviate("http://dbpedia.org/resource/Athens"),
+            "<http://dbpedia.org/resource/Athens>"
+        );
+    }
+
+    #[test]
+    fn abbreviate_rejects_nonlocal_suffixes() {
+        // A suffix with a slash is not a valid local name.
+        let weird = format!("{}a/b", rdfs::NS);
+        assert!(abbreviate(&weird).starts_with('<'));
+    }
+
+    #[test]
+    fn default_prefixes_are_unique() {
+        let p = default_prefixes();
+        let mut names: Vec<_> = p.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), p.len());
+    }
+}

@@ -1,0 +1,201 @@
+//! The §4 gap analysis, re-derived by query.
+//!
+//! The survey's discussion section makes quantified claims about the
+//! corpus. Each function here computes one of them *from the records*
+//! (experiments C1–C5 of `EXPERIMENTS.md`), so the claims are checkable
+//! rather than transcribed.
+
+use crate::corpus::{all_systems, table1_systems, table2_systems};
+use crate::model::Category;
+
+/// **C1** — "none of the \[generic\] systems, with the exceptions of
+/// SynopsViz and VizBoard cases, adopt approximation techniques."
+/// Returns the generic systems that *do* use approximation.
+pub fn c1_generic_systems_with_approximation() -> Vec<&'static str> {
+    table1_systems()
+        .iter()
+        .filter(|s| s.uses_approximation())
+        .map(|s| s.name)
+        .collect()
+}
+
+/// **C2** — "most of the existing systems (except for SynopsViz) do not
+/// exploit external memory during runtime." Returns the Table-1 systems
+/// with the Disk feature.
+pub fn c2_generic_systems_with_disk() -> Vec<&'static str> {
+    table1_systems()
+        .iter()
+        .filter(|s| s.features.disk)
+        .map(|s| s.name)
+        .collect()
+}
+
+/// **C3** — "an increasing number of recent systems focus on providing
+/// recommendation mechanisms." Returns, per period, the fraction of
+/// Table-1 systems with recommendation: (≤2012, ≥2013).
+pub fn c3_recommendation_trend() -> (f64, f64) {
+    let frac = |pred: &dyn Fn(u16) -> bool| {
+        let sys: Vec<_> = table1_systems()
+            .into_iter()
+            .filter(|s| pred(s.year))
+            .collect();
+        if sys.is_empty() {
+            return 0.0;
+        }
+        sys.iter().filter(|s| s.features.recommendation).count() as f64 / sys.len() as f64
+    };
+    (frac(&|y| y <= 2012), frac(&|y| y >= 2013))
+}
+
+/// **C4** — "although several systems offer sampling or aggregation
+/// mechanisms, most of these systems load the whole graph in main
+/// memory." Returns (graph systems with approximation, graph systems
+/// with runtime disk use, total).
+pub fn c4_graph_systems_memory_profile() -> (usize, usize, usize) {
+    let systems = table2_systems();
+    let approx = systems.iter().filter(|s| s.uses_approximation()).count();
+    let disk = systems.iter().filter(|s| s.features.disk).count();
+    (approx, disk, systems.len())
+}
+
+/// **C5** — the taxonomy: systems per §3 category.
+pub fn c5_taxonomy_counts() -> Vec<(Category, usize)> {
+    let systems = all_systems();
+    Category::all()
+        .into_iter()
+        .map(|c| (c, systems.iter().filter(|s| s.category == c).count()))
+        .collect()
+}
+
+/// A further §4 observation: feature prevalence across Table 2 (how many
+/// graph systems have each capability) — the input to the "modern WoD
+/// systems should adopt..." recommendations.
+pub fn table2_feature_prevalence() -> Vec<(&'static str, usize)> {
+    let systems = table2_systems();
+    let count =
+        |f: &dyn Fn(&crate::model::SystemEntry) -> bool| systems.iter().filter(|s| f(s)).count();
+    vec![
+        ("keyword", count(&|s| s.features.keyword)),
+        ("filter", count(&|s| s.features.filter)),
+        ("sampling", count(&|s| s.features.sampling)),
+        ("aggregation", count(&|s| s.features.aggregation)),
+        ("incremental", count(&|s| s.features.incremental)),
+        ("disk", count(&|s| s.features.disk)),
+    ]
+}
+
+/// Renders the full §4 analysis as a report.
+pub fn report() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Section 4 gap analysis, derived from the corpus ==\n"
+    );
+    let c1 = c1_generic_systems_with_approximation();
+    let _ = writeln!(
+        out,
+        "C1  generic systems using approximation: {:?} (paper: only SynopsViz & VizBoard)",
+        c1
+    );
+    let c2 = c2_generic_systems_with_disk();
+    let _ = writeln!(
+        out,
+        "C2  generic systems using disk at runtime: {:?} (paper: only SynopsViz)",
+        c2
+    );
+    let (early, late) = c3_recommendation_trend();
+    let _ = writeln!(
+        out,
+        "C3  recommendation adoption: {:.0}% of systems ≤2012 vs {:.0}% of systems ≥2013",
+        early * 100.0,
+        late * 100.0
+    );
+    let (approx, disk, total) = c4_graph_systems_memory_profile();
+    let _ = writeln!(
+        out,
+        "C4  graph systems: {approx}/{total} use approximation but only {disk}/{total} use disk"
+    );
+    let _ = writeln!(out, "C5  taxonomy:");
+    for (c, n) in c5_taxonomy_counts() {
+        let _ = writeln!(out, "      {:<48} {n}", c.title());
+    }
+    let _ = writeln!(out, "    Table-2 feature prevalence:");
+    for (f, n) in table2_feature_prevalence() {
+        let _ = writeln!(out, "      {f:<12} {n}/21");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_matches_the_papers_claim() {
+        let mut got = c1_generic_systems_with_approximation();
+        got.sort_unstable();
+        assert_eq!(got, vec!["SynopsViz", "VizBoard"]);
+    }
+
+    #[test]
+    fn c2_matches_the_papers_claim() {
+        assert_eq!(c2_generic_systems_with_disk(), vec!["SynopsViz"]);
+    }
+
+    #[test]
+    fn c3_shows_a_rising_trend() {
+        let (early, late) = c3_recommendation_trend();
+        assert!(
+            late > early,
+            "recommendation must be more common in recent systems: {early} vs {late}"
+        );
+        // ≥2013: LDVM, LDVizWiz, SynopsViz, Vis Wizard, LinkDaViz have it,
+        // Payola and ViCoMap do not → 5/7.
+        assert!((late - 5.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c4_most_graph_systems_are_memory_bound() {
+        let (approx, disk, total) = c4_graph_systems_memory_profile();
+        assert_eq!(total, 21);
+        assert!(approx >= 10, "several systems do sample/aggregate");
+        assert_eq!(disk, 3, "but only PGV, Cytospace, graphVizdb hit disk");
+        assert!(disk * 3 < approx, "the paper's point: approximation ≫ disk");
+    }
+
+    #[test]
+    fn c5_counts_cover_the_taxonomy() {
+        let counts = c5_taxonomy_counts();
+        assert_eq!(counts.len(), 6);
+        let total: usize = counts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, crate::corpus::all_systems().len());
+        let graph_based = counts
+            .iter()
+            .find(|(c, _)| *c == Category::GraphBased)
+            .unwrap()
+            .1;
+        assert_eq!(graph_based, 14); // 21 table-2 rows minus 7 ontology rows
+    }
+
+    #[test]
+    fn prevalence_is_consistent_with_c4() {
+        let prev: std::collections::HashMap<&str, usize> =
+            table2_feature_prevalence().into_iter().collect();
+        assert_eq!(prev["disk"], 3);
+        assert_eq!(prev["incremental"], 3); // PGV, Trisolda, ZoomRDF
+                                            // RDF-Gravity, IsaViz, RDF graph visualizer, GrOWL, Cytospace,
+                                            // FlexViz, Lodlive, graphVizdb.
+        assert_eq!(prev["keyword"], 8);
+        assert!(prev["sampling"] >= 9);
+    }
+
+    #[test]
+    fn report_mentions_every_claim() {
+        let r = report();
+        for c in ["C1", "C2", "C3", "C4", "C5"] {
+            assert!(r.contains(c), "report missing {c}");
+        }
+        assert!(r.contains("SynopsViz"));
+    }
+}

@@ -1,0 +1,510 @@
+//! The survey corpus: every system, transcribed from the paper.
+//!
+//! Tables 1 and 2 are transcribed **cell for cell** (the `render_*`
+//! functions in [`crate::table`] reproduce them; the tests there pin
+//! every checkmark). The remaining systems of §§3.1/3.3/3.5/3.6 carry
+//! category/year metadata so the taxonomy analysis (C5) can count them.
+
+use crate::model::{AppType, Category, DataType, Features, SystemEntry, VisType};
+
+macro_rules! feat {
+    ($($f:ident),* $(,)?) => {
+        Features { $($f: true,)* ..Features::default() }
+    };
+}
+
+use AppType::{Desktop, Mobile, Web};
+use Category::{Browser, DomainSpecific, Generic, GraphBased, Ontology};
+use DataType::{Hierarchical, Numeric, Spatial, Temporal};
+use VisType::{
+    Bubble, Chart, Circles, Map, ParallelCoords, Pie, Scatter, Streamgraph, Timeline, Tree, Treemap,
+};
+
+/// The 11 generic visualization systems of **Table 1**, in table order.
+pub fn table1_systems() -> Vec<SystemEntry> {
+    let e = |name, year, refs, data_types, vis_types, features| SystemEntry {
+        name,
+        year,
+        refs,
+        category: Generic,
+        domain: "generic",
+        data_types,
+        vis_types,
+        features,
+        app_type: Web,
+        in_table1: true,
+        in_table2: false,
+    };
+    vec![
+        e(
+            "Rhizomer",
+            2006,
+            &[30],
+            &[Numeric, Temporal, Spatial, Hierarchical, DataType::Graph],
+            &[Chart, Map, Treemap, Timeline],
+            feat!(recommendation),
+        ),
+        e(
+            "VizBoard",
+            2009,
+            &[135, 136, 109],
+            &[Numeric, Hierarchical],
+            &[Chart, Scatter, Treemap],
+            feat!(recommendation, preferences, sampling),
+        ),
+        e(
+            "LODWheel",
+            2011,
+            &[126],
+            &[Numeric, Spatial, DataType::Graph],
+            &[Chart, VisType::Graph, Map, Pie],
+            Features::default(),
+        ),
+        e(
+            "SemLens",
+            2011,
+            &[59],
+            &[Numeric],
+            &[Scatter],
+            feat!(preferences),
+        ),
+        e(
+            "LDVM",
+            2013,
+            &[29],
+            &[Spatial, Hierarchical, DataType::Graph],
+            &[Bubble, Map, Treemap, Tree],
+            feat!(recommendation),
+        ),
+        e(
+            "Payola",
+            2013,
+            &[84],
+            &[Numeric, Temporal, Spatial, Hierarchical, DataType::Graph],
+            &[Chart, Circles, VisType::Graph, Map, Treemap, Timeline, Tree],
+            Features::default(),
+        ),
+        e(
+            "LDVizWiz",
+            2014,
+            &[11],
+            &[Spatial, Hierarchical, DataType::Graph],
+            &[Map, Pie, Tree],
+            feat!(recommendation),
+        ),
+        e(
+            "SynopsViz",
+            2014,
+            &[26, 25],
+            &[Numeric, Temporal, Hierarchical],
+            &[Chart, Pie, Treemap, Timeline],
+            feat!(
+                recommendation,
+                preferences,
+                statistics,
+                aggregation,
+                incremental,
+                disk
+            ),
+        ),
+        e(
+            "Vis Wizard",
+            2014,
+            &[131],
+            &[Numeric, Temporal, Spatial],
+            &[Bubble, Chart, Map, Pie, ParallelCoords, Streamgraph],
+            feat!(recommendation, preferences),
+        ),
+        e(
+            "LinkDaViz",
+            2015,
+            &[129],
+            &[Numeric, Temporal, Spatial],
+            &[Bubble, Chart, Scatter, Map, Pie],
+            feat!(recommendation, preferences),
+        ),
+        e(
+            "ViCoMap",
+            2015,
+            &[112],
+            &[Numeric, Temporal, Spatial],
+            &[Map],
+            feat!(statistics),
+        ),
+    ]
+}
+
+/// The 21 graph-based visualization systems of **Table 2**, in table
+/// order. (LODWheel appears in both tables, as in the paper.)
+pub fn table2_systems() -> Vec<SystemEntry> {
+    let e = |name, year, refs, domain, app_type, features| {
+        let category = if domain == "ontology" {
+            Ontology
+        } else {
+            GraphBased
+        };
+        SystemEntry {
+            name,
+            year,
+            refs,
+            category,
+            domain,
+            data_types: &[DataType::Graph],
+            vis_types: &[VisType::Graph],
+            features,
+            app_type,
+            in_table1: false,
+            in_table2: true,
+        }
+    };
+    vec![
+        e(
+            "RDF-Gravity",
+            2003,
+            &[],
+            "generic",
+            Desktop,
+            feat!(keyword, filter),
+        ),
+        e(
+            "IsaViz",
+            2003,
+            &[108],
+            "generic",
+            Desktop,
+            feat!(keyword, filter),
+        ),
+        e(
+            "RDF graph visualizer",
+            2004,
+            &[115],
+            "generic",
+            Desktop,
+            feat!(keyword),
+        ),
+        e(
+            "GrOWL",
+            2007,
+            &[89],
+            "ontology",
+            Desktop,
+            feat!(keyword, filter, sampling),
+        ),
+        e(
+            "NodeTrix",
+            2007,
+            &[61],
+            "ontology",
+            Desktop,
+            feat!(aggregation),
+        ),
+        e(
+            "PGV",
+            2007,
+            &[36],
+            "generic",
+            Desktop,
+            feat!(incremental, disk),
+        ),
+        e(
+            "Fenfire",
+            2008,
+            &[54],
+            "generic",
+            Desktop,
+            Features::default(),
+        ),
+        e(
+            "Gephi",
+            2009,
+            &[15],
+            "generic",
+            Desktop,
+            feat!(filter, sampling, aggregation),
+        ),
+        e(
+            "Trisolda",
+            2010,
+            &[38],
+            "generic",
+            Desktop,
+            feat!(sampling, aggregation, incremental),
+        ),
+        e(
+            "Cytospace",
+            2010,
+            &[127],
+            "generic",
+            Desktop,
+            feat!(keyword, filter, sampling, aggregation, disk),
+        ),
+        e(
+            "FlexViz",
+            2010,
+            &[45],
+            "ontology",
+            Web,
+            feat!(keyword, filter),
+        ),
+        e(
+            "RelFinder",
+            2010,
+            &[58],
+            "generic",
+            Web,
+            Features::default(),
+        ),
+        e(
+            "ZoomRDF",
+            2010,
+            &[142],
+            "generic",
+            Desktop,
+            feat!(sampling, aggregation, incremental),
+        ),
+        e("KC-Viz", 2011, &[104], "ontology", Desktop, feat!(sampling)),
+        e(
+            "LODWheel",
+            2011,
+            &[126],
+            "generic",
+            Web,
+            feat!(filter, aggregation),
+        ),
+        e(
+            "GLOW",
+            2012,
+            &[64],
+            "ontology",
+            Desktop,
+            feat!(sampling, aggregation),
+        ),
+        e("Lodlive", 2012, &[31], "generic", Web, feat!(keyword)),
+        e(
+            "OntoTrix",
+            2013,
+            &[14],
+            "ontology",
+            Desktop,
+            feat!(sampling, aggregation),
+        ),
+        e(
+            "LODeX",
+            2014,
+            &[19],
+            "generic",
+            Web,
+            feat!(sampling, aggregation),
+        ),
+        e(
+            "VOWL 2",
+            2014,
+            &[100, 99],
+            "ontology",
+            Web,
+            Features::default(),
+        ),
+        e(
+            "graphVizdb",
+            2015,
+            &[23, 22],
+            "generic",
+            Web,
+            feat!(keyword, filter, sampling, disk),
+        ),
+    ]
+}
+
+/// The systems of §§3.1, 3.3, 3.5, 3.6 that appear outside the two
+/// tables (category metadata only — the survey tabulates no feature
+/// matrix for them).
+pub fn other_systems() -> Vec<SystemEntry> {
+    let e = |name, year, refs, category, app_type| SystemEntry {
+        name,
+        year,
+        refs,
+        category,
+        domain: "generic",
+        data_types: &[],
+        vis_types: &[],
+        features: Features::default(),
+        app_type,
+        in_table1: false,
+        in_table2: false,
+    };
+    vec![
+        // §3.1 browsers & exploratory systems.
+        e("Haystack", 2004, &[111], Browser, Desktop),
+        e("Noadster", 2005, &[113], Browser, Web),
+        e("Piggy Bank", 2005, &[66], Browser, Web),
+        e("Tabulator", 2006, &[21], Browser, Web),
+        e("/facet", 2006, &[62], Browser, Web),
+        e("Disco", 2007, &[], Browser, Web),
+        e("LENA", 2008, &[87], Browser, Web),
+        e("Humboldt", 2008, &[86], Browser, Web),
+        e("Explorator", 2009, &[7], Browser, Web),
+        e("Marbles", 2009, &[], Browser, Web),
+        e("URI Burner", 2009, &[], Browser, Web),
+        e("DBpedia Mobile", 2009, &[18], DomainSpecific, Mobile),
+        e("LESS", 2010, &[13], Browser, Web),
+        e("gFacet", 2010, &[57], Browser, Web),
+        e("VisiNav", 2010, &[53], Browser, Web),
+        e("Visor", 2011, &[110], Browser, Web),
+        e("Information Workbench", 2011, &[52], Browser, Web),
+        e("Who's Who", 2011, &[32], DomainSpecific, Mobile),
+        // §3.3 domain/vocabulary-specific systems.
+        e("Map4rdf", 2012, &[92], DomainSpecific, Web),
+        e("LinkedGeoData Browser", 2012, &[121], DomainSpecific, Web),
+        e("SexTant", 2013, &[20], DomainSpecific, Web),
+        e("CubeViz", 2013, &[43, 114], DomainSpecific, Web),
+        e("VISU", 2013, &[6], DomainSpecific, Web),
+        e("Facete", 2014, &[122], DomainSpecific, Web),
+        e("Spacetime", 2014, &[133], DomainSpecific, Web),
+        e("Payola Data Cube", 2014, &[60], DomainSpecific, Web),
+        e("OpenCube Toolkit", 2014, &[75], DomainSpecific, Web),
+        e("LDCE", 2014, &[79], DomainSpecific, Web),
+        e("Linked Statistical Maps", 2014, &[106], DomainSpecific, Web),
+        e("DBpedia Atlas", 2015, &[132], DomainSpecific, Web),
+        // §3.5 ontology systems outside Table 2.
+        e("CropCircles", 2006, &[137], Ontology, Desktop),
+        e("Knoocks", 2008, &[88], Ontology, Desktop),
+        // §3.6 libraries.
+        e(
+            "Sgvizler",
+            2012,
+            &[120],
+            Category::Library,
+            AppType::Library,
+        ),
+        e(
+            "Visualbox",
+            2013,
+            &[50],
+            Category::Library,
+            AppType::Library,
+        ),
+    ]
+}
+
+/// Every system in the corpus: Table 1 ∪ Table 2 ∪ the rest.
+pub fn all_systems() -> Vec<SystemEntry> {
+    let mut out = table1_systems();
+    out.extend(table2_systems());
+    out.extend(other_systems());
+    out
+}
+
+/// Looks up a system by (case-insensitive) name. Table entries shadow
+/// the metadata-only entries.
+pub fn find(name: &str) -> Option<SystemEntry> {
+    all_systems()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes_match_the_paper() {
+        assert_eq!(table1_systems().len(), 11);
+        assert_eq!(table2_systems().len(), 21);
+    }
+
+    #[test]
+    fn table1_is_sorted_by_year() {
+        let years: Vec<u16> = table1_systems().iter().map(|s| s.year).collect();
+        assert!(years.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn table2_is_sorted_by_year() {
+        let years: Vec<u16> = table2_systems().iter().map(|s| s.year).collect();
+        assert!(years.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn synopsviz_row_matches_paper() {
+        let s = find("SynopsViz").unwrap();
+        assert_eq!(s.year, 2014);
+        assert_eq!(s.data_type_codes(), "N, T, H");
+        assert_eq!(s.vis_type_codes(), "C, P, T, TL");
+        assert!(s.features.recommendation);
+        assert!(s.features.preferences);
+        assert!(s.features.statistics);
+        assert!(!s.features.sampling);
+        assert!(s.features.aggregation);
+        assert!(s.features.incremental);
+        assert!(s.features.disk);
+    }
+
+    #[test]
+    fn graphvizdb_row_matches_paper() {
+        let s = table2_systems()
+            .into_iter()
+            .find(|s| s.name == "graphVizdb")
+            .unwrap();
+        assert_eq!(s.year, 2015);
+        assert!(s.features.keyword && s.features.filter && s.features.sampling && s.features.disk);
+        assert!(!s.features.aggregation && !s.features.incremental);
+        assert_eq!(s.app_type, AppType::Web);
+    }
+
+    #[test]
+    fn lodwheel_appears_in_both_tables() {
+        let t1 = table1_systems()
+            .into_iter()
+            .filter(|s| s.name == "LODWheel")
+            .count();
+        let t2 = table2_systems()
+            .into_iter()
+            .filter(|s| s.name == "LODWheel")
+            .count();
+        assert_eq!((t1, t2), (1, 1));
+    }
+
+    #[test]
+    fn ontology_rows_of_table2_are_flagged() {
+        let onto: Vec<&str> = table2_systems()
+            .iter()
+            .filter(|s| s.domain == "ontology")
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(
+            onto,
+            vec!["GrOWL", "NodeTrix", "FlexViz", "KC-Viz", "GLOW", "OntoTrix", "VOWL 2"]
+        );
+    }
+
+    #[test]
+    fn names_are_unique_within_each_table() {
+        for systems in [table1_systems(), table2_systems()] {
+            let mut names: Vec<&str> = systems.iter().map(|s| s.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), systems.len());
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("gephi").is_some());
+        assert!(find("GEPHI").is_some());
+        assert!(find("NotASystem").is_none());
+    }
+
+    #[test]
+    fn corpus_has_all_categories() {
+        let systems = all_systems();
+        for c in Category::all() {
+            assert!(
+                systems.iter().any(|s| s.category == c),
+                "no systems in {c:?}"
+            );
+        }
+        assert!(systems.len() > 60);
+    }
+}

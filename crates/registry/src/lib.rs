@@ -1,0 +1,32 @@
+//! # wodex-registry — the survey corpus as a queryable artifact
+//!
+//! A survey's "evaluation" is its system matrices. This crate encodes
+//! every system catalogued by *Exploration and Visualization in the Web of
+//! Big Linked Data* (Bikakis & Sellis, LWDM/EDBT 2016) as typed records:
+//!
+//! * [`model`] — the schema: categories (§3's taxonomy), data types,
+//!   visualization types, feature flags (the columns of Tables 1 & 2).
+//! * [`corpus`] — the records themselves: all 11 generic visualization
+//!   systems of Table 1, all 21 graph-based systems of Table 2, and the
+//!   remaining systems of §§3.1, 3.3, 3.5, 3.6.
+//! * [`table`] — regenerates **Table 1** and **Table 2** as markdown,
+//!   cell-for-cell.
+//! * [`analysis`] — re-derives the quantified claims of the paper's §4
+//!   discussion (the C1–C5 experiments of `EXPERIMENTS.md`) from the
+//!   corpus by query, not by transcription.
+//! * [`capability`] — maps every feature column to the `wodex` module
+//!   that implements it, tying the survey to the reference
+//!   implementation.
+//! * [`rdf_export`] — publishes the corpus *as Linked Data*, so the whole
+//!   `wodex` stack can explore the survey that specified it.
+
+pub mod analysis;
+pub mod capability;
+pub mod corpus;
+pub mod model;
+pub mod rdf_export;
+pub mod table;
+
+pub use corpus::{all_systems, table1_systems, table2_systems};
+pub use model::{AppType, Category, DataType, SystemEntry, VisType};
+pub use table::{render_table1, render_table2};

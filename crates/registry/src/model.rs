@@ -1,0 +1,295 @@
+//! The schema of the survey corpus.
+
+/// The six system categories of the survey's §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// §3.1 Browsers & exploratory systems.
+    Browser,
+    /// §3.2 Generic visualization systems (Table 1).
+    Generic,
+    /// §3.3 Domain, vocabulary & device-specific systems.
+    DomainSpecific,
+    /// §3.4 Graph-based visualization systems (Table 2).
+    GraphBased,
+    /// §3.5 Ontology visualization systems.
+    Ontology,
+    /// §3.6 Visualization libraries.
+    Library,
+}
+
+impl Category {
+    /// All categories in section order.
+    pub fn all() -> [Category; 6] {
+        [
+            Category::Browser,
+            Category::Generic,
+            Category::DomainSpecific,
+            Category::GraphBased,
+            Category::Ontology,
+            Category::Library,
+        ]
+    }
+
+    /// The section heading used in the survey.
+    pub fn title(self) -> &'static str {
+        match self {
+            Category::Browser => "Browsers & Exploratory Systems",
+            Category::Generic => "Generic Visualization Systems",
+            Category::DomainSpecific => "Domain, Vocabulary & Device-specific Systems",
+            Category::GraphBased => "Graph-based Visualization Systems",
+            Category::Ontology => "Ontology Visualization Systems",
+            Category::Library => "Visualization Libraries",
+        }
+    }
+}
+
+/// Table 1's data-type legend: N, T, S, H, G.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// N: numeric.
+    Numeric,
+    /// T: temporal.
+    Temporal,
+    /// S: spatial.
+    Spatial,
+    /// H: hierarchical (tree).
+    Hierarchical,
+    /// G: graph (network).
+    Graph,
+}
+
+impl DataType {
+    /// The single-letter legend code used in Table 1.
+    pub fn code(self) -> &'static str {
+        match self {
+            DataType::Numeric => "N",
+            DataType::Temporal => "T",
+            DataType::Spatial => "S",
+            DataType::Hierarchical => "H",
+            DataType::Graph => "G",
+        }
+    }
+}
+
+/// Table 1's visualization-type legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VisType {
+    /// B: bubble chart.
+    Bubble,
+    /// C: chart.
+    Chart,
+    /// CI: circles.
+    Circles,
+    /// G: graph.
+    Graph,
+    /// M: map.
+    Map,
+    /// P: pie.
+    Pie,
+    /// PC: parallel coordinates.
+    ParallelCoords,
+    /// S: scatter.
+    Scatter,
+    /// SG: streamgraph.
+    Streamgraph,
+    /// T: treemap.
+    Treemap,
+    /// TL: timeline.
+    Timeline,
+    /// TR: tree.
+    Tree,
+}
+
+impl VisType {
+    /// The legend code used in Table 1.
+    pub fn code(self) -> &'static str {
+        match self {
+            VisType::Bubble => "B",
+            VisType::Chart => "C",
+            VisType::Circles => "CI",
+            VisType::Graph => "G",
+            VisType::Map => "M",
+            VisType::Pie => "P",
+            VisType::ParallelCoords => "PC",
+            VisType::Scatter => "S",
+            VisType::Streamgraph => "SG",
+            VisType::Treemap => "T",
+            VisType::Timeline => "TL",
+            VisType::Tree => "TR",
+        }
+    }
+}
+
+/// Application type (the last column of both tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppType {
+    /// Browser-based.
+    Web,
+    /// Desktop application.
+    Desktop,
+    /// Mobile application (device-specific systems of §3.3).
+    Mobile,
+    /// Embeddable library (§3.6).
+    Library,
+}
+
+impl AppType {
+    /// Display string as used in the tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppType::Web => "Web",
+            AppType::Desktop => "Desktop",
+            AppType::Mobile => "Mobile",
+            AppType::Library => "Library",
+        }
+    }
+}
+
+/// The feature flags — the checkmark columns of Tables 1 and 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Features {
+    /// Recommends visualization settings (Table 1 "Recomm.").
+    pub recommendation: bool,
+    /// User data/visual preference operations (Table 1 "Preferences").
+    pub preferences: bool,
+    /// Exposes statistics about visualized data (Table 1 "Statistics").
+    pub statistics: bool,
+    /// Sampling/filtering-based approximation ("Sampling").
+    pub sampling: bool,
+    /// Aggregation-based approximation ("Aggregation").
+    pub aggregation: bool,
+    /// Incremental/progressive computation ("Incr.").
+    pub incremental: bool,
+    /// Uses external memory at runtime ("Disk").
+    pub disk: bool,
+    /// Keyword search (Table 2 "Keyword").
+    pub keyword: bool,
+    /// Data filtering mechanisms (Table 2 "Filter").
+    pub filter: bool,
+}
+
+/// One surveyed system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemEntry {
+    /// System name as printed in the survey.
+    pub name: &'static str,
+    /// Release year (the tables' Year column).
+    pub year: u16,
+    /// Reference numbers in the survey's bibliography.
+    pub refs: &'static [u16],
+    /// Taxonomy category (§3).
+    pub category: Category,
+    /// Domain column value ("generic", "ontology", ...).
+    pub domain: &'static str,
+    /// Supported data types (Table 1).
+    pub data_types: &'static [DataType],
+    /// Provided visualization types (Table 1).
+    pub vis_types: &'static [VisType],
+    /// Feature flags.
+    pub features: Features,
+    /// Application type.
+    pub app_type: AppType,
+    /// Whether the system appears in Table 1.
+    pub in_table1: bool,
+    /// Whether the system appears in Table 2.
+    pub in_table2: bool,
+}
+
+impl SystemEntry {
+    /// True if the system uses any approximation technique (sampling or
+    /// aggregation) — the §4 scalability criterion.
+    pub fn uses_approximation(&self) -> bool {
+        self.features.sampling || self.features.aggregation
+    }
+
+    /// Data types as the table's comma-joined code string.
+    pub fn data_type_codes(&self) -> String {
+        self.data_types
+            .iter()
+            .map(|d| d.code())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Vis types as the table's comma-joined code string.
+    pub fn vis_type_codes(&self) -> String {
+        self.vis_types
+            .iter()
+            .map(|v| v.code())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let data: Vec<&str> = [
+            DataType::Numeric,
+            DataType::Temporal,
+            DataType::Spatial,
+            DataType::Hierarchical,
+            DataType::Graph,
+        ]
+        .iter()
+        .map(|d| d.code())
+        .collect();
+        let mut d = data.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), data.len());
+        let vis: Vec<&str> = [
+            VisType::Bubble,
+            VisType::Chart,
+            VisType::Circles,
+            VisType::Graph,
+            VisType::Map,
+            VisType::Pie,
+            VisType::ParallelCoords,
+            VisType::Scatter,
+            VisType::Streamgraph,
+            VisType::Treemap,
+            VisType::Timeline,
+            VisType::Tree,
+        ]
+        .iter()
+        .map(|v| v.code())
+        .collect();
+        let mut v = vis.clone();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), vis.len());
+    }
+
+    #[test]
+    fn category_titles_match_sections() {
+        assert!(Category::Generic.title().contains("Generic"));
+        assert_eq!(Category::all().len(), 6);
+    }
+
+    #[test]
+    fn approximation_predicate() {
+        let mut f = Features::default();
+        assert!(!f.recommendation);
+        f.sampling = true;
+        let e = SystemEntry {
+            name: "X",
+            year: 2015,
+            refs: &[],
+            category: Category::Generic,
+            domain: "generic",
+            data_types: &[DataType::Numeric],
+            vis_types: &[VisType::Chart],
+            features: f,
+            app_type: AppType::Web,
+            in_table1: false,
+            in_table2: false,
+        };
+        assert!(e.uses_approximation());
+        assert_eq!(e.data_type_codes(), "N");
+        assert_eq!(e.vis_type_codes(), "C");
+    }
+}

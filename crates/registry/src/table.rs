@@ -1,0 +1,253 @@
+//! Regenerating the survey's tables.
+//!
+//! These renderers produce the markdown form of Table 1 and Table 2 from
+//! the corpus records — the T1/T2 reproduction targets of
+//! `EXPERIMENTS.md`. Checkmarks, codes and column order follow the paper.
+
+use crate::corpus::{table1_systems, table2_systems};
+use crate::model::SystemEntry;
+
+fn check(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        ""
+    }
+}
+
+/// Renders a markdown table from a header and rows.
+fn markdown(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(&widths) {
+            let pad = w - cell.chars().count();
+            line.push(' ');
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad + 1));
+            line.push('|');
+        }
+        line.push('\n');
+        line
+    };
+    let mut out = fmt_row(
+        &header
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<String>>(),
+    );
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+/// **Table 1: Generic Visualization Systems** — regenerated from the
+/// corpus.
+pub fn render_table1() -> String {
+    let header = [
+        "System",
+        "Year",
+        "Data Types",
+        "Vis. Types",
+        "Recomm.",
+        "Preferences",
+        "Statistics",
+        "Sampling",
+        "Aggregation",
+        "Incr.",
+        "Disk",
+        "Domain",
+        "App. Type",
+    ];
+    let rows: Vec<Vec<String>> = table1_systems()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.year.to_string(),
+                s.data_type_codes(),
+                s.vis_type_codes(),
+                check(s.features.recommendation).into(),
+                check(s.features.preferences).into(),
+                check(s.features.statistics).into(),
+                check(s.features.sampling).into(),
+                check(s.features.aggregation).into(),
+                check(s.features.incremental).into(),
+                check(s.features.disk).into(),
+                s.domain.to_string(),
+                s.app_type.label().to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 1: Generic Visualization Systems\n\n");
+    out.push_str(&markdown(&header, &rows));
+    out.push_str(
+        "\nLegend — Data types: N numeric, T temporal, S spatial, H hierarchical, G graph.\n\
+         Vis. types: B bubble, C chart, CI circles, G graph, M map, P pie, PC parallel\n\
+         coordinates, S scatter, SG streamgraph, T treemap, TL timeline, TR tree.\n",
+    );
+    out
+}
+
+/// **Table 2: Graph-based Visualization Systems** — regenerated from the
+/// corpus.
+pub fn render_table2() -> String {
+    let header = [
+        "System",
+        "Year",
+        "Keyword",
+        "Filter",
+        "Sampling",
+        "Aggregation",
+        "Incr.",
+        "Disk",
+        "Domain",
+        "App. Type",
+    ];
+    let rows: Vec<Vec<String>> = table2_systems()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.year.to_string(),
+                check(s.features.keyword).into(),
+                check(s.features.filter).into(),
+                check(s.features.sampling).into(),
+                check(s.features.aggregation).into(),
+                check(s.features.incremental).into(),
+                check(s.features.disk).into(),
+                s.domain.to_string(),
+                s.app_type.label().to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 2: Graph-based Visualization Systems\n\n");
+    out.push_str(&markdown(&header, &rows));
+    out
+}
+
+/// A compact one-line summary per system (used by the `repro` binary's
+/// listing mode).
+pub fn summary_line(s: &SystemEntry) -> String {
+    let mut flags = Vec::new();
+    let f = &s.features;
+    for (on, label) in [
+        (f.recommendation, "rec"),
+        (f.preferences, "pref"),
+        (f.statistics, "stats"),
+        (f.sampling, "sample"),
+        (f.aggregation, "aggr"),
+        (f.incremental, "incr"),
+        (f.disk, "disk"),
+        (f.keyword, "kw"),
+        (f.filter, "filter"),
+    ] {
+        if on {
+            flags.push(label);
+        }
+    }
+    format!(
+        "{:<24} {} {:<10} [{}]",
+        s.name,
+        s.year,
+        s.domain,
+        flags.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eleven_rows_and_the_right_columns() {
+        let t = render_table1();
+        // Header + separator + 11 rows (+ title/legend lines).
+        let data_lines = t.lines().filter(|l| l.starts_with('|')).count();
+        assert_eq!(data_lines, 13);
+        assert!(t.contains("Rhizomer"));
+        assert!(t.contains("ViCoMap"));
+        assert!(t.contains("Recomm."));
+    }
+
+    #[test]
+    fn table1_synopsviz_row_has_six_checkmarks() {
+        let t = render_table1();
+        let row = t.lines().find(|l| l.contains("SynopsViz")).unwrap();
+        assert_eq!(row.matches('✓').count(), 6);
+        assert!(row.contains("N, T, H"));
+        assert!(row.contains("C, P, T, TL"));
+    }
+
+    #[test]
+    fn table1_approximation_columns_match_discussion() {
+        // §4: only SynopsViz and VizBoard adopt approximation techniques.
+        let t = render_table1();
+        for line in t.lines().filter(|l| l.starts_with('|')) {
+            let has_approx = {
+                let s = crate::corpus::table1_systems();
+                s.iter()
+                    .find(|e| line.contains(e.name))
+                    .map(|e| e.uses_approximation())
+            };
+            if let Some(approx) = has_approx {
+                let expected = line.contains("SynopsViz") || line.contains("VizBoard");
+                assert_eq!(approx, expected, "row: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_has_twentyone_rows() {
+        let t = render_table2();
+        let data_lines = t.lines().filter(|l| l.starts_with('|')).count();
+        assert_eq!(data_lines, 23);
+        assert!(t.contains("RDF-Gravity"));
+        assert!(t.contains("graphVizdb"));
+    }
+
+    #[test]
+    fn table2_disk_column_has_exactly_three_checks() {
+        // PGV, Cytospace, graphVizdb.
+        let systems = crate::corpus::table2_systems();
+        let disk: Vec<&str> = systems
+            .iter()
+            .filter(|s| s.features.disk)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(disk, vec!["PGV", "Cytospace", "graphVizdb"]);
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        for t in [render_table1(), render_table2()] {
+            let rows: Vec<&str> = t.lines().filter(|l| l.starts_with('|')).collect();
+            let cols = rows[0].matches('|').count();
+            assert!(rows.iter().all(|r| r.matches('|').count() == cols));
+        }
+    }
+
+    #[test]
+    fn summary_line_lists_flags() {
+        let s = crate::corpus::find("Gephi").unwrap();
+        let line = summary_line(&s);
+        assert!(line.contains("Gephi"));
+        assert!(line.contains("sample"));
+        assert!(line.contains("aggr"));
+        assert!(line.contains("filter"));
+        assert!(!line.contains("disk"));
+    }
+}

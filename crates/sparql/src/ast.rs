@@ -1,0 +1,237 @@
+//! The query AST.
+
+use wodex_rdf::Term;
+
+/// A variable name (without the `?`).
+pub type Var = String;
+
+/// A position in a triple pattern: a constant term or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermOrVar {
+    /// A constant RDF term.
+    Term(Term),
+    /// A variable.
+    Var(Var),
+}
+
+impl TermOrVar {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermOrVar::Var(v) => Some(v),
+            TermOrVar::Term(_) => None,
+        }
+    }
+}
+
+/// A triple pattern in a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermOrVar,
+    /// Predicate position.
+    pub p: TermOrVar,
+    /// Object position.
+    pub o: TermOrVar,
+}
+
+impl TriplePattern {
+    /// The variables used by this pattern.
+    pub fn vars(&self) -> Vec<&str> {
+        [&self.s, &self.p, &self.o]
+            .into_iter()
+            .filter_map(|t| t.as_var())
+            .collect()
+    }
+}
+
+/// A filter/projection expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(Var),
+    /// A constant term.
+    Const(Term),
+    /// Comparison: `=  !=  <  <=  >  >=` (by typed value).
+    Compare(Box<Expr>, CompareOp, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// `BOUND(?v)`.
+    Bound(Var),
+    /// `CONTAINS(str-expr, str-expr)`.
+    Contains(Box<Expr>, Box<Expr>),
+    /// `STRSTARTS(str-expr, str-expr)`.
+    StrStarts(Box<Expr>, Box<Expr>),
+    /// `LANG(expr)` — the language tag as a string.
+    Lang(Box<Expr>),
+    /// `STR(expr)` — the lexical/IRI string form.
+    Str(Box<Expr>),
+    /// `ISIRI(expr)`.
+    IsIri(Box<Expr>),
+    /// `ISLITERAL(expr)`.
+    IsLiteral(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An aggregate function over a group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)` or `COUNT(?v)`.
+    Count(Option<Var>),
+    /// `SUM(?v)`.
+    Sum(Var),
+    /// `AVG(?v)`.
+    Avg(Var),
+    /// `MIN(?v)`.
+    Min(Var),
+    /// `MAX(?v)`.
+    Max(Var),
+}
+
+/// One item in the SELECT clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// A plain variable.
+    Var(Var),
+    /// `(AGG(...) AS ?alias)`.
+    Aggregate(Aggregate, Var),
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// The query form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    /// `SELECT ...`
+    Select {
+        /// `SELECT *` when empty.
+        projections: Vec<Projection>,
+        /// `DISTINCT` flag.
+        distinct: bool,
+    },
+    /// `ASK { ... }`
+    Ask,
+    /// `DESCRIBE <iri>...` — the browsers' resource-expansion form:
+    /// returns every triple in which a listed resource appears.
+    Describe(Vec<Term>),
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT or ASK.
+    pub form: QueryForm,
+    /// The basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+    /// `OPTIONAL { ... }` blocks (left-joined after the required BGP).
+    pub optionals: Vec<Vec<TriplePattern>>,
+    /// `{ A } UNION { B } [UNION { C } ...]` blocks: each inner vec is one
+    /// alternative BGP; the query evaluates once per combination.
+    pub unions: Vec<Vec<Vec<TriplePattern>>>,
+    /// FILTER constraints (conjunctive).
+    pub filters: Vec<Expr>,
+    /// GROUP BY variables.
+    pub group_by: Vec<Var>,
+    /// ORDER BY keys.
+    pub order_by: Vec<(Var, SortDir)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: usize,
+}
+
+impl Query {
+    /// All variables mentioned in the BGP (required, optional, and union
+    /// alternatives), in first-occurrence order.
+    pub fn pattern_vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = Vec::new();
+        let push = |p: &TriplePattern, out: &mut Vec<Var>| {
+            for v in p.vars() {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.to_string());
+                }
+            }
+        };
+        for p in &self.patterns {
+            push(p, &mut out);
+        }
+        for block in &self.unions {
+            for alt in block {
+                for p in alt {
+                    push(p, &mut out);
+                }
+            }
+        }
+        for block in &self.optionals {
+            for p in block {
+                push(p, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_vars_dedup_in_order() {
+        let q = Query {
+            form: QueryForm::Ask,
+            patterns: vec![
+                TriplePattern {
+                    s: TermOrVar::Var("a".into()),
+                    p: TermOrVar::Term(Term::iri("http://e.org/p")),
+                    o: TermOrVar::Var("b".into()),
+                },
+                TriplePattern {
+                    s: TermOrVar::Var("b".into()),
+                    p: TermOrVar::Var("p".into()),
+                    o: TermOrVar::Var("a".into()),
+                },
+            ],
+            optionals: vec![],
+            unions: vec![],
+            filters: vec![],
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: 0,
+        };
+        assert_eq!(q.pattern_vars(), vec!["a", "b", "p"]);
+    }
+
+    #[test]
+    fn term_or_var_accessors() {
+        assert_eq!(TermOrVar::Var("x".into()).as_var(), Some("x"));
+        assert_eq!(TermOrVar::Term(Term::literal("l")).as_var(), None);
+    }
+}

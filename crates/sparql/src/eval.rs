@@ -1,0 +1,1120 @@
+//! The query evaluator.
+//!
+//! BGP evaluation compiles each triple pattern onto the store's
+//! permutation indexes. Join ordering is greedy: at each step the engine
+//! picks the remaining pattern with the most positions bound (constants +
+//! already-bound variables), breaking ties by the store's match count for
+//! the constant-only pattern — the classic selectivity heuristic. Filters
+//! are applied as soon as their variables are bound, and `LIMIT`-only
+//! queries terminate early.
+
+use crate::ast::*;
+use crate::parser::ParseError;
+use crate::results::{QueryResult, SolutionTable};
+use std::collections::HashMap;
+use wodex_rdf::{Term, TermId, Value};
+use wodex_store::{Pattern, TripleStore};
+
+/// Errors from parsing or evaluating a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The query was structurally invalid for evaluation.
+    Eval(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A partial solution: one optional term id per variable.
+type Row = Vec<Option<TermId>>;
+
+/// A projected output table: column names plus decoded rows.
+type TermTable = (Vec<String>, Vec<Vec<Option<Term>>>);
+
+/// Evaluates a parsed query against a store.
+pub fn evaluate(store: &TripleStore, q: &Query) -> Result<QueryResult, QueryError> {
+    let vars = q.pattern_vars();
+    let var_idx: HashMap<&str, usize> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
+
+    // Validate filter/projection variables.
+    for f in &q.filters {
+        for v in expr_vars(f) {
+            if !var_idx.contains_key(v.as_str()) {
+                return Err(QueryError::Eval(format!(
+                    "filter uses unbound variable ?{v}"
+                )));
+            }
+        }
+    }
+
+    if let QueryForm::Describe(resources) = &q.form {
+        return Ok(QueryResult::Described(describe(store, resources)));
+    }
+    let has_aggregates = match &q.form {
+        QueryForm::Select { projections, .. } => projections
+            .iter()
+            .any(|p| matches!(p, Projection::Aggregate(_, _))),
+        QueryForm::Ask | QueryForm::Describe(_) => false,
+    };
+    let ask = matches!(q.form, QueryForm::Ask);
+    // Early termination is safe when the row stream is the output stream.
+    let early_limit = if ask {
+        Some(1)
+    } else if q.group_by.is_empty()
+        && q.order_by.is_empty()
+        && !has_aggregates
+        && q.optionals.is_empty()
+        && q.unions.is_empty()
+        && !matches!(q.form, QueryForm::Select { distinct: true, .. })
+    {
+        q.limit.map(|l| l + q.offset)
+    } else {
+        None
+    };
+
+    // Split filters: those only over required/union variables run inside
+    // the join; those mentioning optional variables run after the left
+    // joins (unbound variables make them errors→false, per SPARQL).
+    let optional_vars: std::collections::HashSet<String> = q
+        .optionals
+        .iter()
+        .flatten()
+        .flat_map(|p| p.vars().into_iter().map(str::to_string))
+        .collect();
+    let (post_filters, bgp_filters): (Vec<&Expr>, Vec<&Expr>) = q
+        .filters
+        .iter()
+        .partition(|f| expr_vars(f).iter().any(|v| optional_vars.contains(v)));
+
+    // Expand UNION blocks into pattern combinations (bag union of rows).
+    let mut combos: Vec<Vec<TriplePattern>> = vec![q.patterns.clone()];
+    for block in &q.unions {
+        let mut next = Vec::with_capacity(combos.len() * block.len());
+        for combo in &combos {
+            for alt in block {
+                let mut c = combo.clone();
+                c.extend(alt.iter().cloned());
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let initial = vec![vec![None; vars.len()]];
+    for combo in &combos {
+        rows.extend(join_bgp(
+            store,
+            combo,
+            &bgp_filters,
+            initial.clone(),
+            &var_idx,
+            early_limit,
+        )?);
+    }
+    // Left-join each OPTIONAL block.
+    for block in &q.optionals {
+        let mut next = Vec::with_capacity(rows.len());
+        for row in rows {
+            let matched = join_bgp(store, block, &[], vec![row.clone()], &var_idx, None)?;
+            if matched.is_empty() {
+                next.push(row);
+            } else {
+                next.extend(matched);
+            }
+        }
+        rows = next;
+    }
+    // Residual filters (mentioning optional variables).
+    for f in &post_filters {
+        rows.retain(|row| {
+            eval_expr(store, f, row, &var_idx)
+                .and_then(effective_bool)
+                .unwrap_or(false)
+        });
+    }
+
+    if ask {
+        return Ok(QueryResult::Boolean(!rows.is_empty()));
+    }
+    let QueryForm::Select {
+        projections,
+        distinct,
+    } = &q.form
+    else {
+        unreachable!("ask handled above");
+    };
+
+    // Aggregation / grouping.
+    let (columns, mut out_rows): TermTable = if has_aggregates || !q.group_by.is_empty() {
+        aggregate_rows(store, q, projections, &var_idx, rows)?
+    } else {
+        let selected: Vec<String> = if projections.is_empty() {
+            vars.clone()
+        } else {
+            projections
+                .iter()
+                .map(|p| match p {
+                    Projection::Var(v) => Ok(v.clone()),
+                    Projection::Aggregate(_, _) => unreachable!("no aggregates here"),
+                })
+                .collect::<Result<_, QueryError>>()?
+        };
+        let idxs: Vec<usize> = selected
+            .iter()
+            .map(|v| {
+                var_idx.get(v.as_str()).copied().ok_or_else(|| {
+                    QueryError::Eval(format!("projected variable ?{v} not in pattern"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut out = Vec::with_capacity(rows.len());
+        // ORDER BY before projection so sort keys need not be selected.
+        let mut rows = rows;
+        sort_rows(store, q, &var_idx, &mut rows)?;
+        for row in rows {
+            out.push(
+                idxs.iter()
+                    .map(|&i| row[i].map(|id| store.term(id).clone()))
+                    .collect(),
+            );
+        }
+        (selected, out)
+    };
+
+    // For aggregated results, ORDER BY applies to output columns.
+    if (has_aggregates || !q.group_by.is_empty()) && !q.order_by.is_empty() {
+        let col_of: HashMap<&str, usize> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.as_str(), i))
+            .collect();
+        let keys: Vec<(usize, SortDir)> = q
+            .order_by
+            .iter()
+            .map(|(v, d)| {
+                col_of
+                    .get(v.as_str())
+                    .map(|&i| (i, *d))
+                    .ok_or_else(|| QueryError::Eval(format!("ORDER BY ?{v} not in output")))
+            })
+            .collect::<Result<_, _>>()?;
+        out_rows.sort_by(|a, b| compare_term_rows(a, b, &keys));
+    }
+
+    if *distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|r| seen.insert(format!("{r:?}")));
+    }
+    let rows: Vec<Vec<Option<Term>>> = out_rows
+        .into_iter()
+        .skip(q.offset)
+        .take(q.limit.unwrap_or(usize::MAX))
+        .collect();
+    Ok(QueryResult::Solutions(SolutionTable { columns, rows }))
+}
+
+/// DESCRIBE: every stored triple in which a listed resource appears as
+/// subject or object.
+fn describe(store: &TripleStore, resources: &[Term]) -> wodex_rdf::Graph {
+    let mut g = wodex_rdf::Graph::new();
+    for r in resources {
+        let Some(id) = store.id_of(r) else { continue };
+        for t in store.match_pattern(Pattern::any().with_s(id)) {
+            g.insert(store.decode(t));
+        }
+        for t in store.match_pattern(Pattern::any().with_o(id)) {
+            g.insert(store.decode(t));
+        }
+    }
+    g
+}
+
+/// Greedy-ordered BGP join with filter pushdown and optional early stop,
+/// starting from a set of initial (possibly partially bound) rows.
+fn join_bgp(
+    store: &TripleStore,
+    patterns: &[TriplePattern],
+    filters: &[&Expr],
+    initial: Vec<Row>,
+    var_idx: &HashMap<&str, usize>,
+    early_limit: Option<usize>,
+) -> Result<Vec<Row>, QueryError> {
+    if patterns.is_empty() {
+        return Ok(initial);
+    }
+    let nvars = var_idx.len();
+    // Precompute constant-only selectivity per pattern; a constant missing
+    // from the dictionary means zero matches overall.
+    let mut base_counts = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        match encode_pattern(store, p, &HashMap::new(), var_idx) {
+            Some(pat) => base_counts.push(store.count_pattern(pat)),
+            None => return Ok(Vec::new()),
+        }
+    }
+
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    // Variables bound by the initial rows count as bound for ordering.
+    let mut bound: Vec<bool> = (0..nvars)
+        .map(|i| initial.iter().any(|r| r[i].is_some()))
+        .collect();
+    let mut rows: Vec<Row> = initial;
+    let mut pending_filters: Vec<&Expr> = filters.to_vec();
+
+    while !remaining.is_empty() {
+        // Pick the most selective next pattern.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &pi)| {
+                let p = &patterns[pi];
+                let bound_positions = [&p.s, &p.p, &p.o]
+                    .into_iter()
+                    .filter(|t| match t {
+                        TermOrVar::Term(_) => true,
+                        TermOrVar::Var(v) => bound[var_idx[v.as_str()]],
+                    })
+                    .count();
+                // More bound positions first; then smaller base count.
+                (bound_positions, std::cmp::Reverse(base_counts[pi]))
+            })
+            .expect("remaining non-empty");
+        let pi = remaining.remove(pos);
+        let pattern = &patterns[pi];
+
+        let mut next_rows = Vec::new();
+        'rows: for row in &rows {
+            // Build the concrete pattern for this row.
+            let mut bindings: HashMap<usize, TermId> = HashMap::new();
+            for (i, b) in row.iter().enumerate() {
+                if let Some(id) = b {
+                    bindings.insert(i, *id);
+                }
+            }
+            let Some(pat) = encode_pattern(store, pattern, &bindings, var_idx) else {
+                continue;
+            };
+            for t in store.match_pattern(pat) {
+                let mut new_row = row.clone();
+                if !bind_row(&mut new_row, pattern, &t, var_idx) {
+                    continue;
+                }
+                next_rows.push(new_row);
+                if let Some(lim) = early_limit {
+                    // Only the final pattern's output is the row stream;
+                    // intermediate stages must not truncate.
+                    if remaining.is_empty() && pending_filters.is_empty() && next_rows.len() >= lim
+                    {
+                        break 'rows;
+                    }
+                }
+            }
+        }
+        rows = next_rows;
+        for v in pattern.vars() {
+            bound[var_idx[v]] = true;
+        }
+        // Apply filters whose variables are now bound.
+        pending_filters.retain(|f| {
+            let ready = expr_vars(f).iter().all(|v| bound[var_idx[v.as_str()]]);
+            if ready {
+                rows.retain(|row| {
+                    eval_expr(store, f, row, var_idx)
+                        .and_then(effective_bool)
+                        .unwrap_or(false)
+                });
+            }
+            !ready
+        });
+        if let Some(lim) = early_limit {
+            if remaining.is_empty() && pending_filters.is_empty() {
+                rows.truncate(lim);
+            }
+        }
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    Ok(rows)
+}
+
+/// Encodes a pattern with the given variable bindings; `None` when a
+/// constant is not in the dictionary (no matches possible).
+fn encode_pattern(
+    store: &TripleStore,
+    p: &TriplePattern,
+    bindings: &HashMap<usize, TermId>,
+    var_idx: &HashMap<&str, usize>,
+) -> Option<Pattern> {
+    let enc = |tv: &TermOrVar| -> Option<Option<TermId>> {
+        match tv {
+            TermOrVar::Term(t) => store.id_of(t).map(Some).map(Some).unwrap_or(None),
+            TermOrVar::Var(v) => Some(bindings.get(&var_idx[v.as_str()]).copied()),
+        }
+    };
+    Some(Pattern {
+        s: enc(&p.s)?,
+        p: enc(&p.p)?,
+        o: enc(&p.o)?,
+    })
+}
+
+/// Extends a row with the bindings a matched triple implies; false on a
+/// conflict (same variable bound to different ids within one pattern).
+fn bind_row(
+    row: &mut Row,
+    pattern: &TriplePattern,
+    t: &[u32; 3],
+    var_idx: &HashMap<&str, usize>,
+) -> bool {
+    for (tv, id) in [(&pattern.s, t[0]), (&pattern.p, t[1]), (&pattern.o, t[2])] {
+        if let TermOrVar::Var(v) = tv {
+            let i = var_idx[v.as_str()];
+            match row[i] {
+                Some(existing) if existing.0 != id => return false,
+                _ => row[i] = Some(TermId(id)),
+            }
+        }
+    }
+    true
+}
+
+/// Sorts rows in place by the query's ORDER BY keys (pattern variables).
+fn sort_rows(
+    store: &TripleStore,
+    q: &Query,
+    var_idx: &HashMap<&str, usize>,
+    rows: &mut [Row],
+) -> Result<(), QueryError> {
+    if q.order_by.is_empty() {
+        return Ok(());
+    }
+    let keys: Vec<(usize, SortDir)> = q
+        .order_by
+        .iter()
+        .map(|(v, d)| {
+            var_idx
+                .get(v.as_str())
+                .map(|&i| (i, *d))
+                .ok_or_else(|| QueryError::Eval(format!("ORDER BY ?{v} not in pattern")))
+        })
+        .collect::<Result<_, _>>()?;
+    rows.sort_by(|a, b| {
+        for &(i, dir) in &keys {
+            let va = a[i].map(|id| term_sort_value(store.term(id)));
+            let vb = b[i].map(|id| term_sort_value(store.term(id)));
+            let ord = match (va, vb) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(x), Some(y)) => x.total_cmp(&y),
+            };
+            let ord = if dir == SortDir::Desc {
+                ord.reverse()
+            } else {
+                ord
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+fn term_sort_value(t: &Term) -> Value {
+    match t {
+        Term::Literal(l) => Value::from_literal(l),
+        Term::Iri(i) => Value::Text(i.as_str().to_string()),
+        Term::Blank(b) => Value::Text(format!("_:{}", b.label())),
+    }
+}
+
+fn compare_term_rows(
+    a: &[Option<Term>],
+    b: &[Option<Term>],
+    keys: &[(usize, SortDir)],
+) -> std::cmp::Ordering {
+    for &(i, dir) in keys {
+        let va = a[i].as_ref().map(term_sort_value);
+        let vb = b[i].as_ref().map(term_sort_value);
+        let ord = match (va, vb) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => x.total_cmp(&y),
+        };
+        let ord = if dir == SortDir::Desc {
+            ord.reverse()
+        } else {
+            ord
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Groups rows and computes aggregates.
+fn aggregate_rows(
+    store: &TripleStore,
+    q: &Query,
+    projections: &[Projection],
+    var_idx: &HashMap<&str, usize>,
+    rows: Vec<Row>,
+) -> Result<TermTable, QueryError> {
+    // Validate projections: plain vars must be grouped.
+    for p in projections {
+        if let Projection::Var(v) = p {
+            if !q.group_by.contains(v) {
+                return Err(QueryError::Eval(format!(
+                    "?{v} must appear in GROUP BY to be selected alongside aggregates"
+                )));
+            }
+        }
+    }
+    let group_idxs: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|v| {
+            var_idx
+                .get(v.as_str())
+                .copied()
+                .ok_or_else(|| QueryError::Eval(format!("GROUP BY ?{v} not in pattern")))
+        })
+        .collect::<Result<_, _>>()?;
+    // Group rows.
+    let mut groups: Vec<(Vec<Option<TermId>>, Vec<Row>)> = Vec::new();
+    let mut index: HashMap<Vec<Option<TermId>>, usize> = HashMap::new();
+    for row in rows {
+        let key: Vec<Option<TermId>> = group_idxs.iter().map(|&i| row[i]).collect();
+        match index.get(&key) {
+            Some(&g) => groups[g].1.push(row),
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push((key, vec![row]));
+            }
+        }
+    }
+    // With no GROUP BY, aggregates run over one global group (possibly
+    // empty).
+    if q.group_by.is_empty() && groups.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let columns: Vec<String> = projections
+        .iter()
+        .map(|p| match p {
+            Projection::Var(v) => v.clone(),
+            Projection::Aggregate(_, alias) => alias.clone(),
+        })
+        .collect();
+
+    let numeric = |rows: &[Row], v: &str| -> Vec<f64> {
+        let i = var_idx[v];
+        rows.iter()
+            .filter_map(|r| r[i])
+            .filter_map(|id| match store.term(id) {
+                Term::Literal(l) => Value::from_literal(l).as_f64(),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for (key, grows) in &groups {
+        let mut out = Vec::with_capacity(projections.len());
+        for p in projections {
+            match p {
+                Projection::Var(v) => {
+                    let pos = q.group_by.iter().position(|g| g == v).expect("validated");
+                    out.push(key[pos].map(|id| store.term(id).clone()));
+                }
+                Projection::Aggregate(agg, _) => {
+                    let term = match agg {
+                        Aggregate::Count(None) => Some(Term::integer(grows.len() as i64)),
+                        Aggregate::Count(Some(v)) => {
+                            let i = *var_idx.get(v.as_str()).ok_or_else(|| {
+                                QueryError::Eval(format!("COUNT(?{v}) not in pattern"))
+                            })?;
+                            Some(Term::integer(
+                                grows.iter().filter(|r| r[i].is_some()).count() as i64,
+                            ))
+                        }
+                        Aggregate::Sum(v) => {
+                            let vals = numeric(grows, v);
+                            Some(Term::double(vals.iter().sum()))
+                        }
+                        Aggregate::Avg(v) => {
+                            let vals = numeric(grows, v);
+                            if vals.is_empty() {
+                                None
+                            } else {
+                                Some(Term::double(vals.iter().sum::<f64>() / vals.len() as f64))
+                            }
+                        }
+                        Aggregate::Min(v) => numeric(grows, v)
+                            .into_iter()
+                            .min_by(f64::total_cmp)
+                            .map(Term::double),
+                        Aggregate::Max(v) => numeric(grows, v)
+                            .into_iter()
+                            .max_by(f64::total_cmp)
+                            .map(Term::double),
+                    };
+                    out.push(term);
+                }
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok((columns, out_rows))
+}
+
+// ----- expressions -----
+
+/// The value domain of filter expressions.
+#[derive(Debug, Clone, PartialEq)]
+enum EvalValue {
+    Term(Term),
+    Bool(bool),
+    Str(String),
+}
+
+/// The variables an expression mentions.
+pub fn expr_vars(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_vars(e, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect_vars(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Var(v) | Expr::Bound(v) => out.push(v.clone()),
+        Expr::Const(_) => {}
+        Expr::Compare(a, _, b)
+        | Expr::And(a, b)
+        | Expr::Or(a, b)
+        | Expr::Contains(a, b)
+        | Expr::StrStarts(a, b) => {
+            collect_vars(a, out);
+            collect_vars(b, out);
+        }
+        Expr::Not(a) | Expr::Lang(a) | Expr::Str(a) | Expr::IsIri(a) | Expr::IsLiteral(a) => {
+            collect_vars(a, out)
+        }
+    }
+}
+
+fn eval_expr(
+    store: &TripleStore,
+    e: &Expr,
+    row: &Row,
+    var_idx: &HashMap<&str, usize>,
+) -> Option<EvalValue> {
+    match e {
+        Expr::Var(v) => {
+            let id = row[var_idx[v.as_str()]]?;
+            Some(EvalValue::Term(store.term(id).clone()))
+        }
+        Expr::Const(t) => Some(EvalValue::Term(t.clone())),
+        Expr::Bound(v) => Some(EvalValue::Bool(row[var_idx[v.as_str()]].is_some())),
+        Expr::Not(a) => {
+            let b = eval_expr(store, a, row, var_idx).and_then(effective_bool)?;
+            Some(EvalValue::Bool(!b))
+        }
+        Expr::And(a, b) => {
+            let va = eval_expr(store, a, row, var_idx).and_then(effective_bool)?;
+            if !va {
+                return Some(EvalValue::Bool(false));
+            }
+            let vb = eval_expr(store, b, row, var_idx).and_then(effective_bool)?;
+            Some(EvalValue::Bool(vb))
+        }
+        Expr::Or(a, b) => {
+            let va = eval_expr(store, a, row, var_idx).and_then(effective_bool)?;
+            if va {
+                return Some(EvalValue::Bool(true));
+            }
+            let vb = eval_expr(store, b, row, var_idx).and_then(effective_bool)?;
+            Some(EvalValue::Bool(vb))
+        }
+        Expr::Compare(a, op, b) => {
+            let va = eval_expr(store, a, row, var_idx)?;
+            let vb = eval_expr(store, b, row, var_idx)?;
+            compare(&va, &vb, *op).map(EvalValue::Bool)
+        }
+        Expr::Contains(a, b) => {
+            let sa = string_of(&eval_expr(store, a, row, var_idx)?)?;
+            let sb = string_of(&eval_expr(store, b, row, var_idx)?)?;
+            Some(EvalValue::Bool(sa.contains(&sb)))
+        }
+        Expr::StrStarts(a, b) => {
+            let sa = string_of(&eval_expr(store, a, row, var_idx)?)?;
+            let sb = string_of(&eval_expr(store, b, row, var_idx)?)?;
+            Some(EvalValue::Bool(sa.starts_with(&sb)))
+        }
+        Expr::Lang(a) => match eval_expr(store, a, row, var_idx)? {
+            EvalValue::Term(Term::Literal(l)) => {
+                Some(EvalValue::Str(l.lang().unwrap_or("").to_string()))
+            }
+            _ => None,
+        },
+        Expr::Str(a) => string_of(&eval_expr(store, a, row, var_idx)?).map(EvalValue::Str),
+        Expr::IsIri(a) => match eval_expr(store, a, row, var_idx)? {
+            EvalValue::Term(t) => Some(EvalValue::Bool(t.is_iri())),
+            _ => Some(EvalValue::Bool(false)),
+        },
+        Expr::IsLiteral(a) => match eval_expr(store, a, row, var_idx)? {
+            EvalValue::Term(t) => Some(EvalValue::Bool(t.is_literal())),
+            _ => Some(EvalValue::Bool(false)),
+        },
+    }
+}
+
+fn string_of(v: &EvalValue) -> Option<String> {
+    match v {
+        EvalValue::Str(s) => Some(s.clone()),
+        EvalValue::Bool(b) => Some(b.to_string()),
+        EvalValue::Term(Term::Literal(l)) => Some(l.lexical().to_string()),
+        EvalValue::Term(Term::Iri(i)) => Some(i.as_str().to_string()),
+        EvalValue::Term(Term::Blank(_)) => None,
+    }
+}
+
+fn effective_bool(v: EvalValue) -> Option<bool> {
+    match v {
+        EvalValue::Bool(b) => Some(b),
+        EvalValue::Str(s) => Some(!s.is_empty()),
+        EvalValue::Term(Term::Literal(l)) => match Value::from_literal(&l) {
+            Value::Boolean(b) => Some(b),
+            Value::Integer(i) => Some(i != 0),
+            Value::Double(d) => Some(d != 0.0 && !d.is_nan()),
+            Value::Text(s) => Some(!s.is_empty()),
+            _ => Some(true),
+        },
+        EvalValue::Term(_) => None,
+    }
+}
+
+fn compare(a: &EvalValue, b: &EvalValue, op: CompareOp) -> Option<bool> {
+    use std::cmp::Ordering;
+    let ord: Ordering = match (a, b) {
+        (EvalValue::Term(Term::Literal(la)), EvalValue::Term(Term::Literal(lb))) => {
+            let va = Value::from_literal(la);
+            let vb = Value::from_literal(lb);
+            // Incomparable kinds only support (in)equality.
+            let comparable = (va.is_numeric() && vb.is_numeric())
+                || (va.is_temporal() && vb.is_temporal())
+                || matches!((&va, &vb), (Value::Text(_), Value::Text(_)))
+                || matches!((&va, &vb), (Value::Boolean(_), Value::Boolean(_)));
+            if !comparable && !matches!(op, CompareOp::Eq | CompareOp::Ne) {
+                return None;
+            }
+            va.total_cmp(&vb)
+        }
+        (EvalValue::Str(x), EvalValue::Str(y)) => x.cmp(y),
+        (EvalValue::Str(x), EvalValue::Term(Term::Literal(l))) => x.as_str().cmp(l.lexical()),
+        (EvalValue::Term(Term::Literal(l)), EvalValue::Str(y)) => l.lexical().cmp(y.as_str()),
+        (EvalValue::Bool(x), EvalValue::Bool(y)) => x.cmp(y),
+        (EvalValue::Term(x), EvalValue::Term(y)) => {
+            // IRIs/bnodes: only (in)equality is meaningful.
+            if !matches!(op, CompareOp::Eq | CompareOp::Ne) {
+                return None;
+            }
+            if x == y {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        }
+        _ => return None,
+    };
+    Some(match op {
+        CompareOp::Eq => ord == Ordering::Equal,
+        CompareOp::Ne => ord != Ordering::Equal,
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::Le => ord != Ordering::Greater,
+        CompareOp::Gt => ord == Ordering::Greater,
+        CompareOp::Ge => ord != Ordering::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use wodex_rdf::vocab::{foaf, rdf, rdfs};
+    use wodex_rdf::{Graph, Triple};
+
+    fn store() -> TripleStore {
+        let mut g = Graph::new();
+        let people = [
+            ("alice", 30, "en"),
+            ("bob", 25, "en"),
+            ("carol", 35, "de"),
+            ("dave", 30, "de"),
+        ];
+        for (name, age, lang) in people {
+            let s = format!("http://e.org/{name}");
+            g.insert(Triple::iri(&s, rdf::TYPE, Term::iri(foaf::PERSON)));
+            g.insert(Triple::iri(
+                &s,
+                rdfs::LABEL,
+                Term::Literal(wodex_rdf::term::Literal::lang_string(name, lang)),
+            ));
+            g.insert(Triple::iri(&s, "http://e.org/age", Term::integer(age)));
+        }
+        g.insert(Triple::iri(
+            "http://e.org/alice",
+            foaf::KNOWS,
+            Term::iri("http://e.org/bob"),
+        ));
+        g.insert(Triple::iri(
+            "http://e.org/bob",
+            foaf::KNOWS,
+            Term::iri("http://e.org/carol"),
+        ));
+        TripleStore::from_graph(&g)
+    }
+
+    fn run(q: &str) -> QueryResult {
+        let st = store();
+        crate::query(&st, q).unwrap()
+    }
+
+    #[test]
+    fn select_star_counts_all_triples() {
+        let r = run("SELECT * WHERE { ?s ?p ?o }");
+        assert_eq!(r.table().unwrap().len(), 14);
+        assert_eq!(r.table().unwrap().columns, vec!["s", "p", "o"]);
+    }
+
+    #[test]
+    fn select_with_constant_predicate() {
+        let r = run("PREFIX ex: <http://e.org/> SELECT ?s ?age WHERE { ?s ex:age ?age }");
+        assert_eq!(r.table().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn join_over_shared_variable() {
+        let r = run("PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?a ?b WHERE { ?a foaf:knows ?b . ?b foaf:knows ?c }");
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 1); // alice knows bob, bob knows carol
+        assert_eq!(t.rows[0][0], Some(Term::iri("http://e.org/alice")));
+    }
+
+    #[test]
+    fn filter_numeric_comparison() {
+        let r = run("PREFIX ex: <http://e.org/> SELECT ?s WHERE { ?s ex:age ?a FILTER(?a >= 30) }");
+        assert_eq!(r.table().unwrap().len(), 3);
+        let r = run(
+            "PREFIX ex: <http://e.org/> SELECT ?s WHERE { ?s ex:age ?a FILTER(?a > 30 && ?a < 40) }",
+        );
+        assert_eq!(r.table().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn filter_string_functions() {
+        let r = run(
+            "SELECT ?s WHERE { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l \
+             FILTER(CONTAINS(STR(?l), \"ar\")) }",
+        );
+        assert_eq!(r.table().unwrap().len(), 1); // carol
+        let r = run(
+            "SELECT ?s WHERE { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l \
+             FILTER(LANG(?l) = \"de\") }",
+        );
+        assert_eq!(r.table().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filter_on_iris() {
+        let r = run("PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?a WHERE { ?a foaf:knows ?b FILTER(?b = <http://e.org/bob>) }");
+        assert_eq!(r.table().unwrap().len(), 1);
+        let r = run("SELECT ?s WHERE { ?s ?p ?o FILTER(ISLITERAL(?o)) }");
+        assert_eq!(r.table().unwrap().len(), 8); // 4 labels + 4 ages
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let r = run(
+            "PREFIX ex: <http://e.org/> SELECT ?s ?a WHERE { ?s ex:age ?a } ORDER BY DESC(?a) ?s LIMIT 2",
+        );
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0][1], Some(Term::integer(35)));
+        assert_eq!(t.rows[1][1], Some(Term::integer(30)));
+        // Tie on 30 broken by subject ascending: alice before dave.
+        assert_eq!(t.rows[1][0], Some(Term::iri("http://e.org/alice")));
+    }
+
+    #[test]
+    fn offset_pagination() {
+        let all = run("PREFIX ex: <http://e.org/> SELECT ?s WHERE { ?s ex:age ?a } ORDER BY ?s");
+        let page2 = run(
+            "PREFIX ex: <http://e.org/> SELECT ?s WHERE { ?s ex:age ?a } ORDER BY ?s LIMIT 2 OFFSET 2",
+        );
+        assert_eq!(
+            page2.table().unwrap().rows,
+            all.table().unwrap().rows[2..4].to_vec()
+        );
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let r = run("SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+        assert_eq!(r.table().unwrap().len(), 4); // type, label, age, knows
+    }
+
+    #[test]
+    fn group_by_unbound_variable_errors() {
+        let st = store();
+        let r = crate::query(
+            &st,
+            "PREFIX ex: <http://e.org/> SELECT ?lang (COUNT(*) AS ?n) \
+             WHERE { ?s ex:age ?a } GROUP BY ?lang",
+        );
+        assert!(matches!(r, Err(QueryError::Eval(_))));
+    }
+
+    #[test]
+    fn ungrouped_variable_next_to_aggregate_errors() {
+        let st = store();
+        let r = crate::query(
+            &st,
+            "PREFIX ex: <http://e.org/> SELECT ?s (COUNT(*) AS ?n) \
+             WHERE { ?s ex:age ?a } GROUP BY ?a",
+        );
+        assert!(matches!(r, Err(QueryError::Eval(_))));
+    }
+
+    #[test]
+    fn global_aggregates_without_group() {
+        let r = run(
+            "PREFIX ex: <http://e.org/> SELECT (COUNT(*) AS ?n) (AVG(?a) AS ?avg) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) (SUM(?a) AS ?sum) WHERE { ?s ex:age ?a }",
+        );
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows[0][0], Some(Term::integer(4)));
+        assert_eq!(t.rows[0][1], Some(Term::double(30.0)));
+        assert_eq!(t.rows[0][2], Some(Term::double(25.0)));
+        assert_eq!(t.rows[0][3], Some(Term::double(35.0)));
+        assert_eq!(t.rows[0][4], Some(Term::double(120.0)));
+    }
+
+    #[test]
+    fn group_by_class() {
+        let r = run(
+            "PREFIX ex: <http://e.org/> SELECT ?a (COUNT(*) AS ?n) WHERE { ?s ex:age ?a } GROUP BY ?a ORDER BY ?a",
+        );
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 3); // ages 25, 30, 35
+        assert_eq!(t.rows[1][1], Some(Term::integer(2))); // two thirty-year-olds
+    }
+
+    #[test]
+    fn ask_queries() {
+        assert_eq!(
+            run("ASK { <http://e.org/alice> <http://e.org/age> 30 }").boolean(),
+            Some(true)
+        );
+        assert_eq!(
+            run("ASK { <http://e.org/alice> <http://e.org/age> 99 }").boolean(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn unknown_constants_yield_empty_not_error() {
+        let r = run("SELECT * WHERE { ?s <http://nowhere/p> ?o }");
+        assert!(r.table().unwrap().is_empty());
+        assert_eq!(
+            run("ASK { ?s <http://nowhere/p> ?o }").boolean(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn same_variable_twice_in_pattern() {
+        // ?x knows ?x — nobody knows themselves here.
+        let r =
+            run("PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?x WHERE { ?x foaf:knows ?x }");
+        assert!(r.table().unwrap().is_empty());
+    }
+
+    #[test]
+    fn early_limit_matches_full_evaluation() {
+        let full = run("SELECT ?s WHERE { ?s ?p ?o }");
+        let limited = run("SELECT ?s WHERE { ?s ?p ?o } LIMIT 3");
+        assert_eq!(limited.table().unwrap().len(), 3);
+        assert!(full.table().unwrap().len() > 3);
+    }
+
+    #[test]
+    fn projecting_unknown_variable_errors() {
+        let st = store();
+        let r = crate::query(&st, "SELECT ?nope WHERE { ?s ?p ?o }");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn describe_returns_forward_and_backward_triples() {
+        let r = run("DESCRIBE <http://e.org/bob>");
+        let g = r.graph().unwrap();
+        // bob: type, label, age, knows carol (forward) + alice knows bob.
+        assert_eq!(g.len(), 5);
+        assert!(g
+            .iter()
+            .any(|t| t.subject == Term::iri("http://e.org/alice")));
+    }
+
+    #[test]
+    fn describe_multiple_resources_unions_descriptions() {
+        let both = run("DESCRIBE <http://e.org/alice> <http://e.org/bob>");
+        let one = run("DESCRIBE <http://e.org/alice>");
+        assert!(both.graph().unwrap().len() > one.graph().unwrap().len());
+    }
+
+    #[test]
+    fn describe_unknown_resource_is_empty_and_bad_syntax_errors() {
+        let r = run("DESCRIBE <http://nowhere/x>");
+        assert!(r.graph().unwrap().is_empty());
+        let st = store();
+        assert!(crate::query(&st, "DESCRIBE").is_err());
+        assert!(crate::query(&st, "DESCRIBE ?v WHERE { ?v ?p ?o }").is_err());
+    }
+
+    #[test]
+    fn optional_left_joins_and_keeps_unmatched_rows() {
+        // Everyone has an age; only alice and bob know someone.
+        let r = run(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             PREFIX ex: <http://e.org/>\n\
+             SELECT ?s ?friend WHERE { ?s ex:age ?a OPTIONAL { ?s foaf:knows ?friend } } ORDER BY ?s",
+        );
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 4);
+        let bound = t.rows.iter().filter(|r| r[1].is_some()).count();
+        assert_eq!(bound, 2, "alice and bob have friends");
+        let unbound = t.rows.iter().filter(|r| r[1].is_none()).count();
+        assert_eq!(unbound, 2, "carol and dave keep their rows");
+    }
+
+    #[test]
+    fn optional_with_bound_filter_emulates_negation() {
+        // People who know nobody: OPTIONAL + !BOUND.
+        let r = run("PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             PREFIX ex: <http://e.org/>\n\
+             SELECT ?s WHERE { ?s ex:age ?a OPTIONAL { ?s foaf:knows ?f } FILTER(!BOUND(?f)) }");
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 2); // carol, dave
+        assert!(t
+            .rows
+            .iter()
+            .all(|r| !r[0].as_ref().unwrap().to_string().contains("alice")));
+    }
+
+    #[test]
+    fn union_is_a_bag_union_of_alternatives() {
+        let r = run(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?x WHERE { { ?x foaf:knows <http://e.org/bob> } UNION { ?x foaf:knows <http://e.org/carol> } }",
+        );
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 2); // alice (→bob), bob (→carol)
+    }
+
+    #[test]
+    fn union_combines_with_required_patterns_and_filters() {
+        // Age of people reachable via either branch.
+        let r = run("PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             PREFIX ex: <http://e.org/>\n\
+             SELECT ?x ?a WHERE {\n\
+               ?x ex:age ?a .\n\
+               { ?x foaf:knows <http://e.org/bob> } UNION { ?x foaf:knows <http://e.org/carol> }\n\
+               FILTER(?a >= 25)\n\
+             } ORDER BY ?a");
+        let t = r.table().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0][1], Some(Term::integer(25))); // bob
+        assert_eq!(t.rows[1][1], Some(Term::integer(30))); // alice
+    }
+
+    #[test]
+    fn three_way_union_parses_and_evaluates() {
+        let r = run("PREFIX ex: <http://e.org/>\n\
+             SELECT ?x WHERE { { ?x ex:age 25 } UNION { ?x ex:age 30 } UNION { ?x ex:age 35 } }");
+        assert_eq!(r.table().unwrap().len(), 4); // bob + alice + dave + carol
+    }
+
+    #[test]
+    fn optional_inside_aggregation() {
+        let r = run("PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             PREFIX ex: <http://e.org/>\n\
+             SELECT (COUNT(?f) AS ?n) WHERE { ?s ex:age ?a OPTIONAL { ?s foaf:knows ?f } }");
+        // COUNT(?f) counts only bound cells.
+        assert_eq!(r.table().unwrap().rows[0][0], Some(Term::integer(2)));
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference() {
+        // Cross-check the greedy engine against a naive nested-loop join
+        // on a two-pattern query.
+        let st = store();
+        let q = parse_query(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             PREFIX ex: <http://e.org/>\n\
+             SELECT ?a ?b ?age WHERE { ?a foaf:knows ?b . ?b ex:age ?age }",
+        )
+        .unwrap();
+        let got = evaluate(&st, &q).unwrap();
+        // Naive: enumerate all knows-pairs, then all ages, match on ?b.
+        let knows = st.match_decoded(
+            st.encode_pattern(None, Some(&Term::iri(foaf::KNOWS)), None)
+                .unwrap(),
+        );
+        let ages = st.match_decoded(
+            st.encode_pattern(None, Some(&Term::iri("http://e.org/age")), None)
+                .unwrap(),
+        );
+        let mut expect = Vec::new();
+        for k in &knows {
+            for a in &ages {
+                if k.object == a.subject {
+                    expect.push((k.subject.clone(), k.object.clone(), a.object.clone()));
+                }
+            }
+        }
+        let table = got.table().unwrap();
+        assert_eq!(table.len(), expect.len());
+        for row in &table.rows {
+            let tuple = (
+                row[0].clone().unwrap(),
+                row[1].clone().unwrap(),
+                row[2].clone().unwrap(),
+            );
+            assert!(expect.contains(&tuple));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # wodex-sparql — a SPARQL-subset query engine
+//!
+//! Every WoD system the survey catalogs sits on a SPARQL endpoint: the
+//! generic systems bind visualizations to SELECT results (Sgvizler \[120\],
+//! Visualbox \[50\], VISU \[6\]), the browsers expand resources with DESCRIBE-
+//! like lookups, and §2's "query or API endpoints for online access" is
+//! the defining trait of the dynamic setting. This crate implements the
+//! practical subset those tools actually issue:
+//!
+//! * `SELECT` (with `DISTINCT`, projection or `*`), `ASK`, and
+//!   `DESCRIBE <iri>` (the browsers' resource-expansion form),
+//! * basic graph patterns with variables in any position,
+//! * `OPTIONAL { ... }` (left join; `!BOUND` gives negation) and
+//!   `{ A } UNION { B }` alternatives,
+//! * `FILTER` expressions: comparisons on typed values, logical
+//!   operators, `BOUND`, `CONTAINS`, `STRSTARTS`, `LANG`, `ISIRI`,
+//!   `ISLITERAL`, `STR`,
+//! * `GROUP BY` with `COUNT` / `SUM` / `AVG` / `MIN` / `MAX` aggregates,
+//! * `ORDER BY` (`ASC`/`DESC`), `LIMIT` / `OFFSET`,
+//! * `PREFIX` declarations and numeric/boolean literal abbreviations.
+//!
+//! The engine ([`eval`]) compiles BGPs onto the store's pattern indexes
+//! with greedy selectivity-based join ordering, applies filters as soon as
+//! their variables bind, and supports **early termination** for
+//! `LIMIT`-only queries — the incremental-result behaviour §2 asks of
+//! exploratory interfaces.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod results;
+
+pub use ast::{Aggregate, Expr, Query, QueryForm, TermOrVar, TriplePattern};
+pub use eval::{evaluate, QueryError};
+pub use parser::parse_query;
+pub use results::{QueryResult, SolutionTable};
+
+use wodex_store::TripleStore;
+
+/// Parses and evaluates a query in one call.
+pub fn query(store: &TripleStore, text: &str) -> Result<QueryResult, QueryError> {
+    let q = parse_query(text).map_err(QueryError::Parse)?;
+    evaluate(store, &q)
+}

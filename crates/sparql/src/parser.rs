@@ -1,0 +1,972 @@
+//! The SPARQL-subset parser: a hand-written tokenizer + recursive descent.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use wodex_rdf::term::Literal;
+use wodex_rdf::vocab::{rdf, xsd};
+use wodex_rdf::{Iri, Term};
+
+/// A parse error with a message and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Iri(String),
+    PName(String, String),
+    Var(String),
+    Str(String, Option<String>, Option<String>), // lexical, lang, datatype-iri
+    Num(String),
+    Ident(String), // keywords and 'a'
+    Punct(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek_byte() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                while let Some(c) = self.peek_byte() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// True if `<` at the current position opens an IRI (a `>` occurs
+    /// before any whitespace).
+    fn lt_is_iri(&self) -> bool {
+        let mut i = self.pos + 1;
+        while let Some(&c) = self.src.get(i) {
+            if c == b'>' {
+                return true;
+            }
+            if c.is_ascii_whitespace() {
+                return false;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let Some(c) = self.peek_byte() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'<' if self.lt_is_iri() => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek_byte() {
+                        Some(b'>') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(ch as char);
+                            self.pos += 1;
+                        }
+                        None => return Err(self.error("unterminated IRI")),
+                    }
+                }
+                Tok::Iri(s)
+            }
+            b'?' | b'$' => {
+                self.pos += 1;
+                let mut s = String::new();
+                while matches!(self.peek_byte(), Some(ch) if ch.is_ascii_alphanumeric() || ch == b'_')
+                {
+                    s.push(self.src[self.pos] as char);
+                    self.pos += 1;
+                }
+                if s.is_empty() {
+                    return Err(self.error("empty variable name"));
+                }
+                Tok::Var(s)
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek_byte() {
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.peek_byte() {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(ch) => s.push(ch as char),
+                                None => return Err(self.error("unterminated escape")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(ch) if ch == quote => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(ch as char);
+                            self.pos += 1;
+                        }
+                        None => return Err(self.error("unterminated string")),
+                    }
+                }
+                // Optional @lang or ^^dt.
+                let mut lang = None;
+                let mut dt = None;
+                if self.peek_byte() == Some(b'@') {
+                    self.pos += 1;
+                    let mut l = String::new();
+                    while matches!(self.peek_byte(), Some(ch) if ch.is_ascii_alphanumeric() || ch == b'-')
+                    {
+                        l.push(self.src[self.pos] as char);
+                        self.pos += 1;
+                    }
+                    lang = Some(l);
+                } else if self.peek_byte() == Some(b'^') {
+                    self.pos += 2; // ^^
+                    if self.peek_byte() == Some(b'<') {
+                        self.pos += 1;
+                        let mut iri = String::new();
+                        while let Some(ch) = self.peek_byte() {
+                            self.pos += 1;
+                            if ch == b'>' {
+                                break;
+                            }
+                            iri.push(ch as char);
+                        }
+                        dt = Some(iri);
+                    } else {
+                        // prefixed-name datatype: return as "prefix:local"
+                        // marker to be resolved by the parser.
+                        let mut pn = String::new();
+                        while matches!(self.peek_byte(), Some(ch) if ch.is_ascii_alphanumeric() || ch == b':' || ch == b'_')
+                        {
+                            pn.push(self.src[self.pos] as char);
+                            self.pos += 1;
+                        }
+                        dt = Some(format!("\u{1}{pn}")); // \u1 marks prefixed
+                    }
+                }
+                Tok::Str(s, lang, dt)
+            }
+            b'0'..=b'9' | b'+' | b'-' => {
+                let mut s = String::new();
+                s.push(c as char);
+                self.pos += 1;
+                while matches!(self.peek_byte(), Some(ch) if ch.is_ascii_digit() || ch == b'.' || ch == b'e' || ch == b'E')
+                {
+                    // A '.' not followed by a digit ends the number.
+                    if self.src[self.pos] == b'.'
+                        && !self
+                            .src
+                            .get(self.pos + 1)
+                            .is_some_and(|d| d.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    s.push(self.src[self.pos] as char);
+                    self.pos += 1;
+                }
+                Tok::Num(s)
+            }
+            b'{' | b'}' | b'(' | b')' | b'.' | b';' | b',' | b'*' => {
+                self.pos += 1;
+                Tok::Punct(match c {
+                    b'{' => "{",
+                    b'}' => "}",
+                    b'(' => "(",
+                    b')' => ")",
+                    b'.' => ".",
+                    b';' => ";",
+                    b',' => ",",
+                    _ => "*",
+                })
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Punct("=")
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Punct("!=")
+                } else {
+                    Tok::Punct("!")
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Punct("<=")
+                } else {
+                    Tok::Punct("<")
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Punct(">=")
+                } else {
+                    Tok::Punct(">")
+                }
+            }
+            b'&' => {
+                self.pos += 2;
+                Tok::Punct("&&")
+            }
+            b'|' => {
+                self.pos += 2;
+                Tok::Punct("||")
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while matches!(self.peek_byte(), Some(ch) if ch.is_ascii_alphanumeric() || ch == b'_' || ch == b'-')
+                {
+                    s.push(self.src[self.pos] as char);
+                    self.pos += 1;
+                }
+                if self.peek_byte() == Some(b':') {
+                    // prefixed name
+                    self.pos += 1;
+                    let mut local = String::new();
+                    while matches!(self.peek_byte(), Some(ch) if ch.is_ascii_alphanumeric() || ch == b'_' || ch == b'-')
+                    {
+                        local.push(self.src[self.pos] as char);
+                        self.pos += 1;
+                    }
+                    Tok::PName(s, local)
+                } else {
+                    Tok::Ident(s)
+                }
+            }
+            _ => return Err(self.error(format!("unexpected character {:?}", c as char))),
+        };
+        Ok(Some((tok, start)))
+    }
+}
+
+/// Parses a query string.
+pub fn parse_query(text: &str) -> Result<Query, ParseError> {
+    let mut lexer = Lexer::new(text);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next_tok()? {
+        toks.push(t);
+    }
+    Parser {
+        toks,
+        pos: 0,
+        prefixes: HashMap::new(),
+    }
+    .parse()
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.toks.get(self.pos).map(|t| t.1).unwrap_or(usize::MAX),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(x)) if *x == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn parse(mut self) -> Result<Query, ParseError> {
+        // Prologue.
+        while self.eat_kw("PREFIX") {
+            let (name, iri) = match (self.bump(), self.bump()) {
+                (Some(Tok::PName(p, local)), Some(Tok::Iri(iri))) if local.is_empty() => (p, iri),
+                other => return Err(self.error(format!("bad PREFIX declaration: {other:?}"))),
+            };
+            self.prefixes.insert(name, iri);
+        }
+        // Form.
+        let form = if self.eat_kw("SELECT") {
+            let distinct = self.eat_kw("DISTINCT");
+            let mut projections = Vec::new();
+            if !self.eat_punct("*") {
+                loop {
+                    match self.peek() {
+                        Some(Tok::Var(_)) => {
+                            if let Some(Tok::Var(v)) = self.bump() {
+                                projections.push(Projection::Var(v));
+                            }
+                        }
+                        Some(Tok::Punct("(")) => {
+                            self.bump();
+                            let agg = self.parse_aggregate()?;
+                            self.expect_kw("AS")?;
+                            let alias = match self.bump() {
+                                Some(Tok::Var(v)) => v,
+                                other => {
+                                    return Err(
+                                        self.error(format!("expected ?alias, got {other:?}"))
+                                    )
+                                }
+                            };
+                            self.expect_punct(")")?;
+                            projections.push(Projection::Aggregate(agg, alias));
+                        }
+                        _ => break,
+                    }
+                }
+                if projections.is_empty() {
+                    return Err(self.error("SELECT needs * or at least one projection"));
+                }
+            }
+            QueryForm::Select {
+                projections,
+                distinct,
+            }
+        } else if self.eat_kw("ASK") {
+            QueryForm::Ask
+        } else if self.eat_kw("DESCRIBE") {
+            let mut resources = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(Tok::Iri(_)) => {
+                        if let Some(Tok::Iri(iri)) = self.bump() {
+                            resources.push(Term::iri(iri));
+                        }
+                    }
+                    Some(Tok::PName(_, _)) => {
+                        if let Some(Tok::PName(pfx, local)) = self.bump() {
+                            resources.push(self.resolve_pname(&pfx, &local)?);
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if resources.is_empty() {
+                return Err(self.error("DESCRIBE needs at least one IRI"));
+            }
+            if self.peek().is_some() {
+                return Err(self.error("DESCRIBE takes only resource IRIs"));
+            }
+            return Ok(Query {
+                form: QueryForm::Describe(resources),
+                patterns: Vec::new(),
+                optionals: Vec::new(),
+                unions: Vec::new(),
+                filters: Vec::new(),
+                group_by: Vec::new(),
+                order_by: Vec::new(),
+                limit: None,
+                offset: 0,
+            });
+        } else {
+            return Err(self.error("expected SELECT, ASK or DESCRIBE"));
+        };
+        // WHERE { ... }
+        self.eat_kw("WHERE");
+        self.expect_punct("{")?;
+        let mut patterns = Vec::new();
+        let mut optionals = Vec::new();
+        let mut unions = Vec::new();
+        let mut filters = Vec::new();
+        while !self.eat_punct("}") {
+            if self.eat_kw("FILTER") {
+                self.expect_punct("(")?;
+                filters.push(self.parse_expr()?);
+                self.expect_punct(")")?;
+                self.eat_punct(".");
+                continue;
+            }
+            if self.eat_kw("OPTIONAL") {
+                optionals.push(self.parse_bgp_block()?);
+                self.eat_punct(".");
+                continue;
+            }
+            if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                // { A } UNION { B } [UNION { C } ...]
+                let mut alts = vec![self.parse_bgp_block()?];
+                while self.eat_kw("UNION") {
+                    alts.push(self.parse_bgp_block()?);
+                }
+                if alts.len() < 2 {
+                    return Err(self.error("a group pattern must be followed by UNION"));
+                }
+                unions.push(alts);
+                self.eat_punct(".");
+                continue;
+            }
+            // Triple (with ; and , continuation).
+            let s = self.parse_term_or_var(true)?;
+            loop {
+                let p = self.parse_term_or_var(true)?;
+                loop {
+                    let o = self.parse_term_or_var(false)?;
+                    patterns.push(TriplePattern {
+                        s: s.clone(),
+                        p: p.clone(),
+                        o,
+                    });
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                if !self.eat_punct(";") {
+                    break;
+                }
+                // A dangling ';' before '.' or '}'.
+                if matches!(self.peek(), Some(Tok::Punct(".")) | Some(Tok::Punct("}"))) {
+                    break;
+                }
+            }
+            self.eat_punct(".");
+        }
+        // Modifiers.
+        let mut group_by = Vec::new();
+        let mut order_by = Vec::new();
+        let mut limit = None;
+        let mut offset = 0;
+        loop {
+            if self.eat_kw("GROUP") {
+                self.expect_kw("BY")?;
+                while let Some(Tok::Var(_)) = self.peek() {
+                    if let Some(Tok::Var(v)) = self.bump() {
+                        group_by.push(v);
+                    }
+                }
+                if group_by.is_empty() {
+                    return Err(self.error("GROUP BY needs at least one variable"));
+                }
+            } else if self.eat_kw("ORDER") {
+                self.expect_kw("BY")?;
+                loop {
+                    if self.eat_kw("ASC") || self.eat_kw("DESC") {
+                        let dir = if matches!(self.toks[self.pos - 1].0, Tok::Ident(ref s) if s.eq_ignore_ascii_case("DESC"))
+                        {
+                            SortDir::Desc
+                        } else {
+                            SortDir::Asc
+                        };
+                        self.expect_punct("(")?;
+                        match self.bump() {
+                            Some(Tok::Var(v)) => order_by.push((v, dir)),
+                            other => {
+                                return Err(self.error(format!("expected ?var, got {other:?}")))
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    } else if let Some(Tok::Var(_)) = self.peek() {
+                        if let Some(Tok::Var(v)) = self.bump() {
+                            order_by.push((v, SortDir::Asc));
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if order_by.is_empty() {
+                    return Err(self.error("ORDER BY needs at least one key"));
+                }
+            } else if self.eat_kw("LIMIT") {
+                limit = Some(self.parse_usize()?);
+            } else if self.eat_kw("OFFSET") {
+                offset = self.parse_usize()?;
+            } else {
+                break;
+            }
+        }
+        if self.peek().is_some() {
+            return Err(self.error(format!("trailing tokens: {:?}", self.peek())));
+        }
+        Ok(Query {
+            form,
+            patterns,
+            optionals,
+            unions,
+            filters,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    /// Parses a braced BGP block `{ triples }` (used by OPTIONAL/UNION;
+    /// no nested groups or filters inside).
+    fn parse_bgp_block(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        self.expect_punct("{")?;
+        let mut patterns = Vec::new();
+        while !self.eat_punct("}") {
+            let s = self.parse_term_or_var(true)?;
+            loop {
+                let p = self.parse_term_or_var(true)?;
+                loop {
+                    let o = self.parse_term_or_var(false)?;
+                    patterns.push(TriplePattern {
+                        s: s.clone(),
+                        p: p.clone(),
+                        o,
+                    });
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                if !self.eat_punct(";") {
+                    break;
+                }
+                if matches!(self.peek(), Some(Tok::Punct(".")) | Some(Tok::Punct("}"))) {
+                    break;
+                }
+            }
+            self.eat_punct(".");
+        }
+        Ok(patterns)
+    }
+
+    fn parse_usize(&mut self) -> Result<usize, ParseError> {
+        match self.bump() {
+            Some(Tok::Num(s)) => s
+                .parse()
+                .map_err(|_| self.error(format!("bad number {s:?}"))),
+            other => Err(self.error(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn parse_aggregate(&mut self) -> Result<Aggregate, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s.to_ascii_uppercase(),
+            other => return Err(self.error(format!("expected aggregate, got {other:?}"))),
+        };
+        self.expect_punct("(")?;
+        let agg = match name.as_str() {
+            "COUNT" => {
+                if self.eat_punct("*") {
+                    Aggregate::Count(None)
+                } else {
+                    Aggregate::Count(Some(self.parse_var()?))
+                }
+            }
+            "SUM" => Aggregate::Sum(self.parse_var()?),
+            "AVG" => Aggregate::Avg(self.parse_var()?),
+            "MIN" => Aggregate::Min(self.parse_var()?),
+            "MAX" => Aggregate::Max(self.parse_var()?),
+            other => return Err(self.error(format!("unknown aggregate {other}"))),
+        };
+        self.expect_punct(")")?;
+        Ok(agg)
+    }
+
+    fn parse_var(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(v),
+            other => Err(self.error(format!("expected variable, got {other:?}"))),
+        }
+    }
+
+    fn resolve_pname(&self, prefix: &str, local: &str) -> Result<Term, ParseError> {
+        let ns = self.prefixes.get(prefix).ok_or_else(|| ParseError {
+            message: format!("unknown prefix {prefix:?}"),
+            offset: 0,
+        })?;
+        Ok(Term::iri(format!("{ns}{local}")))
+    }
+
+    fn literal_from_tok(
+        &self,
+        lex: String,
+        lang: Option<String>,
+        dt: Option<String>,
+    ) -> Result<Term, ParseError> {
+        if let Some(lang) = lang {
+            return Ok(Term::Literal(Literal::lang_string(lex, lang)));
+        }
+        if let Some(dt) = dt {
+            let iri = if let Some(pn) = dt.strip_prefix('\u{1}') {
+                let (p, l) = pn.split_once(':').ok_or_else(|| ParseError {
+                    message: format!("bad datatype {pn:?}"),
+                    offset: 0,
+                })?;
+                match self.resolve_pname(p, l)? {
+                    Term::Iri(i) => i,
+                    _ => unreachable!("resolve_pname returns IRIs"),
+                }
+            } else {
+                Iri::new(dt)
+            };
+            return Ok(Term::Literal(Literal::typed(lex, iri)));
+        }
+        Ok(Term::literal(lex))
+    }
+
+    fn parse_term_or_var(&mut self, _subject_position: bool) -> Result<TermOrVar, ParseError> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(TermOrVar::Var(v)),
+            Some(Tok::Iri(iri)) => Ok(TermOrVar::Term(Term::iri(iri))),
+            Some(Tok::PName(p, l)) => Ok(TermOrVar::Term(self.resolve_pname(&p, &l)?)),
+            Some(Tok::Ident(s)) if s == "a" => Ok(TermOrVar::Term(Term::iri(rdf::TYPE))),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => {
+                Ok(TermOrVar::Term(Term::Literal(Literal::boolean(true))))
+            }
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => {
+                Ok(TermOrVar::Term(Term::Literal(Literal::boolean(false))))
+            }
+            Some(Tok::Str(lex, lang, dt)) => {
+                Ok(TermOrVar::Term(self.literal_from_tok(lex, lang, dt)?))
+            }
+            Some(Tok::Num(s)) => Ok(TermOrVar::Term(number_term(&s))),
+            other => Err(self.error(format!("expected term or variable, got {other:?}"))),
+        }
+    }
+
+    // ----- expressions -----
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_punct("||") {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        while self.eat_punct("&&") {
+            let right = self.parse_unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        self.parse_relational()
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_primary()?;
+        let op = match self.peek() {
+            Some(Tok::Punct("=")) => Some(CompareOp::Eq),
+            Some(Tok::Punct("!=")) => Some(CompareOp::Ne),
+            Some(Tok::Punct("<")) => Some(CompareOp::Lt),
+            Some(Tok::Punct("<=")) => Some(CompareOp::Le),
+            Some(Tok::Punct(">")) => Some(CompareOp::Gt),
+            Some(Tok::Punct(">=")) => Some(CompareOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_primary()?;
+            Ok(Expr::Compare(Box::new(left), op, Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Punct("(")) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Var(_)) => {
+                if let Some(Tok::Var(v)) = self.bump() {
+                    Ok(Expr::Var(v))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Tok::Num(s)) => {
+                self.bump();
+                Ok(Expr::Const(number_term(&s)))
+            }
+            Some(Tok::Str(lex, lang, dt)) => {
+                self.bump();
+                Ok(Expr::Const(self.literal_from_tok(lex, lang, dt)?))
+            }
+            Some(Tok::Iri(iri)) => {
+                self.bump();
+                Ok(Expr::Const(Term::iri(iri)))
+            }
+            Some(Tok::PName(p, l)) => {
+                self.bump();
+                Ok(Expr::Const(self.resolve_pname(&p, &l)?))
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                let upper = name.to_ascii_uppercase();
+                match upper.as_str() {
+                    "TRUE" => return Ok(Expr::Const(Term::Literal(Literal::boolean(true)))),
+                    "FALSE" => return Ok(Expr::Const(Term::Literal(Literal::boolean(false)))),
+                    _ => {}
+                }
+                self.expect_punct("(")?;
+                let e = match upper.as_str() {
+                    "BOUND" => Expr::Bound(self.parse_var()?),
+                    "CONTAINS" => {
+                        let a = self.parse_expr()?;
+                        self.expect_punct(",")?;
+                        let b = self.parse_expr()?;
+                        Expr::Contains(Box::new(a), Box::new(b))
+                    }
+                    "STRSTARTS" => {
+                        let a = self.parse_expr()?;
+                        self.expect_punct(",")?;
+                        let b = self.parse_expr()?;
+                        Expr::StrStarts(Box::new(a), Box::new(b))
+                    }
+                    "LANG" => Expr::Lang(Box::new(self.parse_expr()?)),
+                    "STR" => Expr::Str(Box::new(self.parse_expr()?)),
+                    "ISIRI" | "ISURI" => Expr::IsIri(Box::new(self.parse_expr()?)),
+                    "ISLITERAL" => Expr::IsLiteral(Box::new(self.parse_expr()?)),
+                    other => return Err(self.error(format!("unknown function {other}"))),
+                };
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+/// Converts a numeric token to a typed literal term.
+fn number_term(s: &str) -> Term {
+    if s.contains(['.', 'e', 'E']) {
+        Term::Literal(Literal::typed(s, Iri::new(xsd::DOUBLE)))
+    } else {
+        Term::Literal(Literal::typed(s, Iri::new(xsd::INTEGER)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_select() {
+        let q = parse_query("SELECT * WHERE { ?s ?p ?o }").unwrap();
+        assert!(
+            matches!(q.form, QueryForm::Select { ref projections, .. } if projections.is_empty())
+        );
+        assert_eq!(q.patterns.len(), 1);
+    }
+
+    #[test]
+    fn parse_prefixes_and_a() {
+        let q = parse_query(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?n WHERE { ?x a foaf:Person . ?x foaf:name ?n }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(q.patterns[0].p, TermOrVar::Term(Term::iri(rdf::TYPE)));
+        assert_eq!(
+            q.patterns[1].p,
+            TermOrVar::Term(Term::iri("http://xmlns.com/foaf/0.1/name"))
+        );
+    }
+
+    #[test]
+    fn parse_predicate_and_object_lists() {
+        let q =
+            parse_query("PREFIX ex: <http://e.org/> SELECT * WHERE { ?x ex:p 1, 2 ; ex:q 3 . }")
+                .unwrap();
+        assert_eq!(q.patterns.len(), 3);
+        assert!(q.patterns.iter().all(|p| p.s == TermOrVar::Var("x".into())));
+    }
+
+    #[test]
+    fn parse_filter_comparison_and_logic() {
+        let q = parse_query("SELECT * WHERE { ?s ?p ?v FILTER(?v > 10 && ?v <= 20 || !(?v = 5)) }")
+            .unwrap();
+        assert_eq!(q.filters.len(), 1);
+        assert!(matches!(q.filters[0], Expr::Or(_, _)));
+    }
+
+    #[test]
+    fn parse_filter_functions() {
+        let q = parse_query(
+            "SELECT * WHERE { ?s ?p ?v FILTER(CONTAINS(STR(?v), \"abc\") && BOUND(?s) && ISIRI(?s)) }",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 1);
+    }
+
+    #[test]
+    fn parse_aggregates_and_group() {
+        let q = parse_query(
+            "SELECT ?c (COUNT(*) AS ?n) (AVG(?v) AS ?avg) WHERE { ?s ?p ?v . ?s a ?c } GROUP BY ?c",
+        )
+        .unwrap();
+        match &q.form {
+            QueryForm::Select { projections, .. } => {
+                assert_eq!(projections.len(), 3);
+                assert!(matches!(
+                    projections[1],
+                    Projection::Aggregate(Aggregate::Count(None), _)
+                ));
+            }
+            _ => panic!("expected select"),
+        }
+        assert_eq!(q.group_by, vec!["c"]);
+    }
+
+    #[test]
+    fn parse_order_limit_offset() {
+        let q = parse_query("SELECT ?v WHERE { ?s ?p ?v } ORDER BY DESC(?v) ?s LIMIT 10 OFFSET 5")
+            .unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.order_by[0], ("v".into(), SortDir::Desc));
+        assert_eq!(q.order_by[1], ("s".into(), SortDir::Asc));
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, 5);
+    }
+
+    #[test]
+    fn parse_ask() {
+        let q = parse_query("ASK { <http://e.org/a> <http://e.org/p> 5 }").unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+    }
+
+    #[test]
+    fn parse_typed_and_lang_literals() {
+        let q = parse_query(
+            "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+             SELECT * WHERE { ?s ?p \"2016-01-01\"^^xsd:date . ?s ?q \"hi\"@en }",
+        )
+        .unwrap();
+        let o0 = match &q.patterns[0].o {
+            TermOrVar::Term(Term::Literal(l)) => l.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(o0.datatype().unwrap().as_str(), xsd::DATE);
+        let o1 = match &q.patterns[1].o {
+            TermOrVar::Term(Term::Literal(l)) => l.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(o1.lang(), Some("en"));
+    }
+
+    #[test]
+    fn parse_distinct() {
+        let q = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o }").unwrap();
+        assert!(matches!(q.form, QueryForm::Select { distinct: true, .. }));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT WHERE { }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s ?p }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s ?p ?o } garbage").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s unknown:p ?o }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s ?p ?o FILTER(NOPE(?s)) }").is_err());
+    }
+
+    #[test]
+    fn iri_vs_less_than_disambiguation() {
+        let q = parse_query("SELECT * WHERE { ?s <http://e.org/p> ?v FILTER(?v < 10) }").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+        assert!(matches!(q.filters[0], Expr::Compare(_, CompareOp::Lt, _)));
+    }
+}

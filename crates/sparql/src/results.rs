@@ -1,0 +1,163 @@
+//! Query results.
+
+use wodex_rdf::Term;
+
+/// A solution table: named columns of optional terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionTable {
+    /// Column (variable) names, in projection order.
+    pub columns: Vec<String>,
+    /// Rows; cells are `None` for unbound variables.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl SolutionTable {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column index of a variable.
+    pub fn column(&self, var: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == var)
+    }
+
+    /// Iterates the terms of one column (unbound cells skipped).
+    pub fn column_terms<'a>(&'a self, var: &str) -> Box<dyn Iterator<Item = &'a Term> + 'a> {
+        match self.column(var) {
+            Some(i) => Box::new(self.rows.iter().filter_map(move |r| r[i].as_ref())),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Renders an ASCII table (the SPARQL-endpoint result view).
+    pub fn to_ascii(&self) -> String {
+        let cell = |t: &Option<Term>| match t {
+            Some(t) => t.to_string(),
+            None => String::new(),
+        };
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len() + 1).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(cell).collect())
+            .collect();
+        for row in &rendered {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" ?{c:<width$} |", width = *w - 1));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (c, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {c:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// The result of evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// SELECT result.
+    Solutions(SolutionTable),
+    /// ASK result.
+    Boolean(bool),
+    /// DESCRIBE result: the triples mentioning the described resources.
+    Described(wodex_rdf::Graph),
+}
+
+impl QueryResult {
+    /// The table, if this is a SELECT result.
+    pub fn table(&self) -> Option<&SolutionTable> {
+        match self {
+            QueryResult::Solutions(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is an ASK result.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            QueryResult::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The graph, if this is a DESCRIBE result.
+    pub fn graph(&self) -> Option<&wodex_rdf::Graph> {
+        match self {
+            QueryResult::Described(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SolutionTable {
+        SolutionTable {
+            columns: vec!["s".into(), "v".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://e.org/a")), Some(Term::integer(1))],
+                vec![Some(Term::iri("http://e.org/b")), None],
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column("v"), Some(1));
+        assert_eq!(t.column("nope"), None);
+        assert_eq!(t.column_terms("v").count(), 1);
+        assert_eq!(t.column_terms("nope").count(), 0);
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let s = table().to_ascii();
+        assert!(s.contains("?s"));
+        assert!(s.contains("?v"));
+        assert!(s.contains("<http://e.org/a>"));
+        // 1 header line + 2 rows + 3 separators.
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn query_result_variants() {
+        let r = QueryResult::Boolean(true);
+        assert_eq!(r.boolean(), Some(true));
+        assert!(r.table().is_none());
+        let r = QueryResult::Solutions(table());
+        assert!(r.table().is_some());
+        assert!(r.boolean().is_none());
+    }
+}

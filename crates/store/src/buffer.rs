@@ -1,0 +1,224 @@
+//! A buffer pool with LRU replacement.
+//!
+//! §4's gap analysis: most surveyed systems "initially load all the
+//! examined objects in main memory, assuming that the main memory is large
+//! enough". The buffer pool is the standard database answer — a fixed
+//! budget of page frames, demand paging, and LRU eviction — and is what
+//! lets the paged store ([`crate::paged`]) serve datasets larger than
+//! memory with memory use bounded by `capacity × page size` (experiment
+//! E5).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hit/miss/eviction counters for a pool.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from the pool.
+    pub hits: u64,
+    /// Requests that required a backend fetch.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in \[0, 1\]; 0 when no requests were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    data: Arc<Vec<u8>>,
+    stamp: u64,
+}
+
+struct Inner {
+    frames: HashMap<u32, Frame>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+/// A fixed-capacity page cache with LRU replacement.
+///
+/// The pool is deliberately decoupled from any backend: [`BufferPool::get`]
+/// takes a fetch closure, so the same pool serves file pages, in-memory
+/// "disk" pages in tests, and tile payloads in the prefetcher.
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages (min 1).
+    pub fn new(capacity: usize) -> BufferPool {
+        BufferPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                frames: HashMap::new(),
+                clock: 0,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Page capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Fetches a page, reading through `fetch` on a miss.
+    pub fn get(&self, page_id: u32, fetch: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(frame) = inner.frames.get_mut(&page_id) {
+            frame.stamp = clock;
+            let data = Arc::clone(&frame.data);
+            inner.stats.hits += 1;
+            return data;
+        }
+        inner.stats.misses += 1;
+        // Fetch outside the map borrow (still under the lock: the pool is a
+        // correctness structure here, not a concurrency benchmark).
+        let data = Arc::new(fetch());
+        if inner.frames.len() >= self.capacity {
+            // Evict the least-recently-used frame.
+            if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.stamp) {
+                inner.frames.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.frames.insert(
+            page_id,
+            Frame {
+                data: Arc::clone(&data),
+                stamp: clock,
+            },
+        );
+        data
+    }
+
+    /// True if the page is resident (does not touch recency or stats).
+    pub fn peek(&self, page_id: u32) -> bool {
+        self.inner.lock().frames.contains_key(&page_id)
+    }
+
+    /// Inserts a page without counting a demand miss — the prefetcher's
+    /// entry point. Does nothing if already resident.
+    pub fn preload(&self, page_id: u32, fetch: impl FnOnce() -> Vec<u8>) {
+        let mut inner = self.inner.lock();
+        if inner.frames.contains_key(&page_id) {
+            return;
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        let data = Arc::new(fetch());
+        if inner.frames.len() >= self.capacity {
+            if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.stamp) {
+                inner.frames.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.frames.insert(page_id, Frame { data, stamp: clock });
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Drops all resident pages and resets counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.stats = PoolStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let pool = BufferPool::new(4);
+        let a = pool.get(1, || vec![1]);
+        let b = pool.get(1, || panic!("must not refetch"));
+        assert_eq!(a, b);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let pool = BufferPool::new(2);
+        pool.get(1, || vec![1]);
+        pool.get(2, || vec![2]);
+        pool.get(1, || unreachable!()); // refresh 1
+        pool.get(3, || vec![3]); // evicts 2
+        assert!(pool.peek(1));
+        assert!(!pool.peek(2));
+        assert!(pool.peek(3));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let pool = BufferPool::new(8);
+        for i in 0..100 {
+            pool.get(i, || vec![i as u8]);
+        }
+        assert_eq!(pool.resident(), 8);
+        assert_eq!(pool.stats().evictions, 92);
+    }
+
+    #[test]
+    fn preload_counts_no_miss() {
+        let pool = BufferPool::new(4);
+        pool.preload(7, || vec![7]);
+        assert!(pool.peek(7));
+        assert_eq!(pool.stats().misses, 0);
+        pool.get(7, || panic!("preloaded"));
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let pool = BufferPool::new(4);
+        assert_eq!(pool.stats().hit_ratio(), 0.0);
+        pool.get(1, std::vec::Vec::new);
+        pool.get(1, std::vec::Vec::new);
+        pool.get(1, std::vec::Vec::new);
+        pool.get(2, std::vec::Vec::new);
+        assert_eq!(pool.stats().hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let pool = BufferPool::new(2);
+        pool.get(1, std::vec::Vec::new);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let pool = BufferPool::new(0);
+        pool.get(1, || vec![1]);
+        assert_eq!(pool.resident(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! A generic LRU result cache.
+//!
+//! §4: "*caching and prefetching techniques may be exploited*" [16, 33, 39,
+//! 70, 76, 83, 128]. The cache here is the memoization layer exploration
+//! sessions put in front of expensive operations (query evaluation, layout,
+//! HETree subtree construction): exploration revisits state constantly
+//! (zoom out after zoom in, back-navigation), so recency is the right
+//! eviction signal.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in \[0, 1\]; 0 when empty.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU map.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a key, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(key) {
+            Some((v, stamp)) => {
+                *stamp = clock;
+                self.stats.hits += 1;
+                Some(&*v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks membership without touching recency or stats.
+    pub fn peek(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry if full.
+    pub fn put(&mut self, key: K, value: V) {
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.clock));
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on a
+    /// miss.
+    pub fn get_or_insert_with(&mut self, key: K, compute: impl FnOnce() -> V) -> &V {
+        if self.get(&key).is_some() {
+            // Re-borrow to satisfy the borrow checker.
+            return &self.map.get(&key).unwrap().0;
+        }
+        let v = compute();
+        self.put(key.clone(), v);
+        &self.map.get(&key).unwrap().0
+    }
+
+    /// Empties the cache and resets counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_roundtrip() {
+        let mut c: LruCache<&str, i32> = LruCache::new(4);
+        assert!(c.get(&"a").is_none());
+        c.put("a", 1);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut c: LruCache<i32, i32> = LruCache::new(2);
+        c.put(1, 1);
+        c.put(2, 2);
+        c.get(&1); // 1 is now most recent
+        c.put(3, 3); // evicts 2
+        assert!(c.peek(&1));
+        assert!(!c.peek(&2));
+        assert!(c.peek(&3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn put_existing_does_not_evict() {
+        let mut c: LruCache<i32, i32> = LruCache::new(2);
+        c.put(1, 1);
+        c.put(2, 2);
+        c.put(1, 10); // update, no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&1), Some(&10));
+    }
+
+    #[test]
+    fn get_or_insert_with_computes_once() {
+        let mut c: LruCache<i32, i32> = LruCache::new(4);
+        let mut calls = 0;
+        let v = *c.get_or_insert_with(7, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(v, 42);
+        let v2 = *c.get_or_insert_with(7, || {
+            panic!("must not recompute");
+        });
+        assert_eq!(v2, 42);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn capacity_bounded_under_churn() {
+        let mut c: LruCache<u32, u32> = LruCache::new(16);
+        for i in 0..1000 {
+            c.put(i, i);
+        }
+        assert_eq!(c.len(), 16);
+        // The survivors are the 16 most recent.
+        for i in 984..1000 {
+            assert!(c.peek(&i));
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c: LruCache<i32, i32> = LruCache::new(4);
+        c.put(1, 1);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+}

@@ -1,0 +1,347 @@
+//! Adaptive indexing: database cracking.
+//!
+//! §2: "*The dynamic setting prevents modern systems from preprocessing the
+//! data. [...] In this context, an adaptive indexing approach \[67\] is used
+//! in \[144\], where the indexes are created incrementally and adaptively
+//! throughout exploration.*"
+//!
+//! [`CrackerColumn`] implements classic database cracking (Idreos et al.,
+//! CIDR 2007) over an `f64` column: each range query partitions only the
+//! piece(s) of the array its bounds fall into, recording the resulting
+//! pivots in a cracker index. Early queries pay a little (two partial
+//! partitions); the column converges toward sorted exactly where the user
+//! explores — ideal for the survey's exploration scenario, where "only a
+//! small fragment of data \[is\] accessed".
+//!
+//! Two baselines for experiment E4 live here too: [`ScanColumn`] (no
+//! index, O(n) per query) and [`SortedColumn`] (full upfront sort,
+//! O(log n + k) per query).
+
+use std::collections::BTreeMap;
+
+/// Total-ordered f64 key for the cracker index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct F64Key(f64);
+
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A column of `(value, row_id)` pairs indexed adaptively by cracking.
+#[derive(Debug, Clone)]
+pub struct CrackerColumn {
+    data: Vec<(f64, u32)>,
+    /// pivot value → split position: everything left of the position is
+    /// `< pivot`, everything at/right of it is `>= pivot`.
+    index: BTreeMap<F64Key, usize>,
+    /// Element moves performed by cracking so far (work accounting).
+    swaps: u64,
+}
+
+impl CrackerColumn {
+    /// Wraps a column; row ids are assigned by position.
+    pub fn new(values: &[f64]) -> CrackerColumn {
+        CrackerColumn {
+            data: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect(),
+            index: BTreeMap::new(),
+            swaps: 0,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of pieces the column is currently split into.
+    pub fn pieces(&self) -> usize {
+        self.index.len() + 1
+    }
+
+    /// Total element moves performed by cracking.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Cracks the column on `v`, returning the split position such that
+    /// `data[..pos] < v` and `data[pos..] >= v`. Idempotent per pivot.
+    pub fn crack(&mut self, v: f64) -> usize {
+        let key = F64Key(v);
+        if let Some(&pos) = self.index.get(&key) {
+            return pos;
+        }
+        // Locate the enclosing piece [lo, hi).
+        let lo = self
+            .index
+            .range(..key)
+            .next_back()
+            .map(|(_, &p)| p)
+            .unwrap_or(0);
+        let hi = self
+            .index
+            .range(key..)
+            .next()
+            .map(|(_, &p)| p)
+            .unwrap_or(self.data.len());
+        // Two-pointer partition of data[lo..hi] by `< v`.
+        let mut i = lo;
+        let mut j = hi;
+        while i < j {
+            if self.data[i].0 < v {
+                i += 1;
+            } else {
+                j -= 1;
+                self.data.swap(i, j);
+                self.swaps += 1;
+            }
+        }
+        self.index.insert(key, i);
+        i
+    }
+
+    /// Answers the half-open range query `[lo, hi)`, cracking as a side
+    /// effect. Returns the matching `(value, row_id)` pairs as a slice of
+    /// the (reorganized) column.
+    pub fn range(&mut self, lo: f64, hi: f64) -> &[(f64, u32)] {
+        if lo >= hi {
+            return &[];
+        }
+        let a = self.crack(lo);
+        let b = self.crack(hi);
+        &self.data[a..b]
+    }
+
+    /// Count-only variant of [`CrackerColumn::range`].
+    pub fn range_count(&mut self, lo: f64, hi: f64) -> usize {
+        self.range(lo, hi).len()
+    }
+
+    /// Validates internal invariants (test/debug helper): every recorded
+    /// pivot actually partitions the data.
+    pub fn check_invariants(&self) -> bool {
+        for (&F64Key(v), &pos) in &self.index {
+            if self.data[..pos].iter().any(|&(x, _)| x >= v) {
+                return false;
+            }
+            if self.data[pos..].iter().any(|&(x, _)| x < v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Baseline: unindexed column answered by full scans.
+#[derive(Debug, Clone)]
+pub struct ScanColumn {
+    data: Vec<(f64, u32)>,
+}
+
+impl ScanColumn {
+    /// Wraps a column.
+    pub fn new(values: &[f64]) -> ScanColumn {
+        ScanColumn {
+            data: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect(),
+        }
+    }
+
+    /// Scans for `[lo, hi)`.
+    pub fn range(&self, lo: f64, hi: f64) -> Vec<(f64, u32)> {
+        self.data
+            .iter()
+            .filter(|&&(v, _)| v >= lo && v < hi)
+            .copied()
+            .collect()
+    }
+
+    /// Count-only scan.
+    pub fn range_count(&self, lo: f64, hi: f64) -> usize {
+        self.data
+            .iter()
+            .filter(|&&(v, _)| v >= lo && v < hi)
+            .count()
+    }
+}
+
+/// Baseline: fully sorted column answered by binary search.
+#[derive(Debug, Clone)]
+pub struct SortedColumn {
+    data: Vec<(f64, u32)>,
+}
+
+impl SortedColumn {
+    /// Sorts the column upfront (the preprocessing the dynamic setting
+    /// disallows; here as the other endpoint of the E4 tradeoff).
+    pub fn new(values: &[f64]) -> SortedColumn {
+        let mut data: Vec<(f64, u32)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        data.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        SortedColumn { data }
+    }
+
+    /// Binary-searched `[lo, hi)` range.
+    pub fn range(&self, lo: f64, hi: f64) -> &[(f64, u32)] {
+        let a = self.data.partition_point(|&(v, _)| v < lo);
+        let b = self.data.partition_point(|&(v, _)| v < hi);
+        &self.data[a..b]
+    }
+
+    /// Count-only range.
+    pub fn range_count(&self, lo: f64, hi: f64) -> usize {
+        self.range(lo, hi).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic pseudo-random values without pulling rand in here.
+        let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 100_000) as f64 / 100.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crack_partitions_correctly() {
+        let vals = column(1000, 1);
+        let mut c = CrackerColumn::new(&vals);
+        let pos = c.crack(500.0);
+        assert!(c.data[..pos].iter().all(|&(v, _)| v < 500.0));
+        assert!(c.data[pos..].iter().all(|&(v, _)| v >= 500.0));
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn crack_is_idempotent() {
+        let vals = column(500, 2);
+        let mut c = CrackerColumn::new(&vals);
+        let p1 = c.crack(300.0);
+        let swaps = c.swaps();
+        let p2 = c.crack(300.0);
+        assert_eq!(p1, p2);
+        assert_eq!(c.swaps(), swaps, "repeat crack must do no work");
+    }
+
+    #[test]
+    fn range_matches_scan_baseline() {
+        let vals = column(2000, 3);
+        let scan = ScanColumn::new(&vals);
+        let mut crack = CrackerColumn::new(&vals);
+        for (lo, hi) in [(100.0, 200.0), (0.0, 999.0), (500.0, 501.0), (900.0, 950.0)] {
+            let mut got: Vec<_> = crack.range(lo, hi).to_vec();
+            let mut want = scan.range(lo, hi);
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got, want, "range [{lo},{hi})");
+            assert!(crack.check_invariants());
+        }
+    }
+
+    #[test]
+    fn range_matches_sorted_baseline() {
+        let vals = column(2000, 4);
+        let sorted = SortedColumn::new(&vals);
+        let mut crack = CrackerColumn::new(&vals);
+        for (lo, hi) in [(10.0, 50.0), (600.0, 800.0)] {
+            assert_eq!(crack.range_count(lo, hi), sorted.range_count(lo, hi));
+        }
+    }
+
+    #[test]
+    fn pieces_grow_with_distinct_queries() {
+        let vals = column(1000, 5);
+        let mut c = CrackerColumn::new(&vals);
+        assert_eq!(c.pieces(), 1);
+        c.range(100.0, 200.0);
+        assert_eq!(c.pieces(), 3);
+        c.range(300.0, 400.0);
+        assert_eq!(c.pieces(), 5);
+        c.range(100.0, 400.0); // both pivots known
+        assert_eq!(c.pieces(), 5);
+    }
+
+    #[test]
+    fn zoom_in_sequence_cracks_cheaper_each_time() {
+        // Exploration locality: each query nests inside the previous one,
+        // so cracking touches ever smaller pieces.
+        let vals = column(100_000, 6);
+        let mut c = CrackerColumn::new(&vals);
+        let mut last = u64::MAX;
+        let mut bounds = (0.0, 1000.0);
+        for _ in 0..5 {
+            let before = c.swaps();
+            c.range(bounds.0, bounds.1);
+            let work = c.swaps() - before;
+            assert!(work <= last, "work must shrink while zooming in");
+            last = work.max(1);
+            let mid = (bounds.0 + bounds.1) / 2.0;
+            let quarter = (bounds.1 - bounds.0) / 4.0;
+            bounds = (mid - quarter, mid + quarter);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges() {
+        let vals = column(100, 7);
+        let mut c = CrackerColumn::new(&vals);
+        assert!(c.range(5.0, 5.0).is_empty());
+        assert!(c.range(10.0, 5.0).is_empty());
+        let mut empty = CrackerColumn::new(&[]);
+        assert!(empty.range(0.0, 1.0).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sorted_column_range_bounds() {
+        let sorted = SortedColumn::new(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let r = sorted.range(2.0, 4.0);
+        assert_eq!(
+            r.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            vec![2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn row_ids_preserved_through_cracking() {
+        let vals = vec![30.0, 10.0, 20.0, 40.0];
+        let mut c = CrackerColumn::new(&vals);
+        let r: Vec<_> = c.range(15.0, 35.0).to_vec();
+        let mut ids: Vec<u32> = r.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2]); // rows of 30.0 and 20.0
+    }
+}

@@ -1,0 +1,100 @@
+//! Dictionary-encoded triples and match patterns.
+
+use wodex_rdf::TermId;
+
+/// A triple encoded as three dictionary ids: `[subject, predicate, object]`.
+pub type EncodedTriple = [u32; 3];
+
+/// Subject position in an [`EncodedTriple`].
+pub const S: usize = 0;
+/// Predicate position in an [`EncodedTriple`].
+pub const P: usize = 1;
+/// Object position in an [`EncodedTriple`].
+pub const O: usize = 2;
+
+/// A triple pattern: each position is either bound to a term id or a
+/// wildcard. This is the access-path primitive of the store; SPARQL BGPs
+/// compile down to sequences of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pattern {
+    /// Bound subject, or `None` for a wildcard.
+    pub s: Option<TermId>,
+    /// Bound predicate, or `None` for a wildcard.
+    pub p: Option<TermId>,
+    /// Bound object, or `None` for a wildcard.
+    pub o: Option<TermId>,
+}
+
+impl Pattern {
+    /// The fully-unbound pattern (matches everything).
+    pub fn any() -> Pattern {
+        Pattern::default()
+    }
+
+    /// Pattern with a bound subject.
+    pub fn with_s(mut self, s: TermId) -> Pattern {
+        self.s = Some(s);
+        self
+    }
+
+    /// Pattern with a bound predicate.
+    pub fn with_p(mut self, p: TermId) -> Pattern {
+        self.p = Some(p);
+        self
+    }
+
+    /// Pattern with a bound object.
+    pub fn with_o(mut self, o: TermId) -> Pattern {
+        self.o = Some(o);
+        self
+    }
+
+    /// True if the encoded triple matches this pattern.
+    pub fn matches(&self, t: &EncodedTriple) -> bool {
+        self.s.is_none_or(|v| v.0 == t[S])
+            && self.p.is_none_or(|v| v.0 == t[P])
+            && self.o.is_none_or(|v| v.0 == t[O])
+    }
+
+    /// Number of bound positions (0–3); higher is more selective.
+    pub fn bound_count(&self) -> usize {
+        usize::from(self.s.is_some())
+            + usize::from(self.p.is_some())
+            + usize::from(self.o.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_respects_bound_positions() {
+        let t: EncodedTriple = [1, 2, 3];
+        assert!(Pattern::any().matches(&t));
+        assert!(Pattern::any().with_s(TermId(1)).matches(&t));
+        assert!(!Pattern::any().with_s(TermId(9)).matches(&t));
+        assert!(Pattern::any()
+            .with_p(TermId(2))
+            .with_o(TermId(3))
+            .matches(&t));
+        assert!(!Pattern::any()
+            .with_p(TermId(2))
+            .with_o(TermId(4))
+            .matches(&t));
+    }
+
+    #[test]
+    fn bound_count() {
+        assert_eq!(Pattern::any().bound_count(), 0);
+        assert_eq!(Pattern::any().with_p(TermId(0)).bound_count(), 1);
+        assert_eq!(
+            Pattern::any()
+                .with_s(TermId(0))
+                .with_p(TermId(0))
+                .with_o(TermId(0))
+                .bound_count(),
+            3
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Sorted permutation indexes over encoded triples.
+//!
+//! Each index stores every triple reordered so that a bound prefix of the
+//! pattern becomes a contiguous run, found by two `partition_point` binary
+//! searches. Three permutations (SPO, POS, OSP) cover every single-bound
+//! and double-bound prefix:
+//!
+//! | bound          | index | prefix length |
+//! |----------------|-------|----------------|
+//! | s / s,p / s,p,o| SPO   | 1 / 2 / 3     |
+//! | p / p,o        | POS   | 1 / 2         |
+//! | o / o,s        | OSP   | 1 / 2         |
+//!
+//! The only pattern with no index prefix is `(?s, p, ?o)` with o bound and
+//! s bound — impossible (that's s,o which OSP serves via o then filter).
+
+use crate::encoded::EncodedTriple;
+
+/// The three component orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// subject, predicate, object.
+    Spo,
+    /// predicate, object, subject.
+    Pos,
+    /// object, subject, predicate.
+    Osp,
+}
+
+impl Order {
+    /// Reorders a stored-order triple into this index's key order.
+    pub fn key(self, t: &EncodedTriple) -> [u32; 3] {
+        match self {
+            Order::Spo => [t[0], t[1], t[2]],
+            Order::Pos => [t[1], t[2], t[0]],
+            Order::Osp => [t[2], t[0], t[1]],
+        }
+    }
+
+    /// Restores a key back to `[s, p, o]` order.
+    pub fn unkey(self, k: &[u32; 3]) -> EncodedTriple {
+        match self {
+            Order::Spo => [k[0], k[1], k[2]],
+            Order::Pos => [k[2], k[0], k[1]],
+            Order::Osp => [k[1], k[2], k[0]],
+        }
+    }
+}
+
+/// A sorted index in one component order.
+#[derive(Debug, Clone, Default)]
+pub struct SortedIndex {
+    order_keys: Vec<[u32; 3]>,
+}
+
+impl SortedIndex {
+    /// Builds an index over the triples in the given order. O(n log n).
+    pub fn build(order: Order, triples: &[EncodedTriple]) -> SortedIndex {
+        let mut order_keys: Vec<[u32; 3]> = triples.iter().map(|t| order.key(t)).collect();
+        order_keys.sort_unstable();
+        order_keys.dedup();
+        SortedIndex { order_keys }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.order_keys.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.order_keys.is_empty()
+    }
+
+    /// Merges a batch of new keys (already in this index's key order but
+    /// not necessarily sorted). O(n + m log m).
+    pub fn merge(&mut self, mut new_keys: Vec<[u32; 3]>) {
+        if new_keys.is_empty() {
+            return;
+        }
+        new_keys.sort_unstable();
+        new_keys.dedup();
+        let mut merged = Vec::with_capacity(self.order_keys.len() + new_keys.len());
+        let mut a = self.order_keys.iter().peekable();
+        let mut b = new_keys.iter().peekable();
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    merged.push(x);
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(y);
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(x);
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.order_keys = merged;
+    }
+
+    /// The contiguous run of keys matching the given bound prefix:
+    /// `prefix = [Some(a)]`, `[Some(a), Some(b)]`, or all three.
+    /// Returns a slice of keys in index order.
+    pub fn prefix_range(&self, k1: Option<u32>, k2: Option<u32>, k3: Option<u32>) -> &[[u32; 3]] {
+        debug_assert!(
+            !(k1.is_none() && (k2.is_some() || k3.is_some())),
+            "prefix must be left-anchored"
+        );
+        debug_assert!(!(k2.is_none() && k3.is_some()), "prefix must be contiguous");
+        let lo_key = [k1.unwrap_or(0), k2.unwrap_or(0), k3.unwrap_or(0)];
+        let lo = self.order_keys.partition_point(|k| *k < lo_key);
+        let hi = match (k1, k2, k3) {
+            (None, _, _) => self.order_keys.len(),
+            (Some(a), None, _) => self.order_keys.partition_point(|k| k[0] <= a),
+            (Some(a), Some(b), None) => self.order_keys.partition_point(|k| (k[0], k[1]) <= (a, b)),
+            (Some(a), Some(b), Some(c)) => self
+                .order_keys
+                .partition_point(|k| (k[0], k[1], k[2]) <= (a, b, c)),
+        };
+        &self.order_keys[lo..hi]
+    }
+
+    /// Iterates all keys in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32; 3]> {
+        self.order_keys.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples() -> Vec<EncodedTriple> {
+        vec![
+            [1, 10, 100],
+            [1, 10, 101],
+            [1, 11, 100],
+            [2, 10, 100],
+            [2, 12, 103],
+            [3, 10, 101],
+        ]
+    }
+
+    #[test]
+    fn key_unkey_roundtrip() {
+        let t = [7, 8, 9];
+        for order in [Order::Spo, Order::Pos, Order::Osp] {
+            assert_eq!(order.unkey(&order.key(&t)), t);
+        }
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let mut ts = triples();
+        ts.push([1, 10, 100]); // duplicate
+        let idx = SortedIndex::build(Order::Spo, &ts);
+        assert_eq!(idx.len(), 6);
+        let keys: Vec<_> = idx.iter().collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn prefix_range_one_bound() {
+        let idx = SortedIndex::build(Order::Spo, &triples());
+        let r = idx.prefix_range(Some(1), None, None);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|k| k[0] == 1));
+        assert!(idx.prefix_range(Some(9), None, None).is_empty());
+    }
+
+    #[test]
+    fn prefix_range_two_bound() {
+        let idx = SortedIndex::build(Order::Spo, &triples());
+        let r = idx.prefix_range(Some(1), Some(10), None);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|k| k[0] == 1 && k[1] == 10));
+    }
+
+    #[test]
+    fn prefix_range_exact() {
+        let idx = SortedIndex::build(Order::Spo, &triples());
+        assert_eq!(idx.prefix_range(Some(2), Some(12), Some(103)).len(), 1);
+        assert_eq!(idx.prefix_range(Some(2), Some(12), Some(999)).len(), 0);
+    }
+
+    #[test]
+    fn prefix_range_unbounded_is_all() {
+        let idx = SortedIndex::build(Order::Pos, &triples());
+        assert_eq!(idx.prefix_range(None, None, None).len(), 6);
+    }
+
+    #[test]
+    fn pos_order_groups_by_predicate() {
+        let idx = SortedIndex::build(Order::Pos, &triples());
+        let r = idx.prefix_range(Some(10), None, None);
+        assert_eq!(r.len(), 4);
+        for k in r {
+            let t = Order::Pos.unkey(k);
+            assert_eq!(t[1], 10);
+        }
+    }
+
+    #[test]
+    fn merge_interleaves_and_dedups() {
+        let mut idx = SortedIndex::build(Order::Spo, &triples());
+        idx.merge(vec![[0, 1, 2], [2, 11, 0], [1, 10, 100], [9, 9, 9]]);
+        assert_eq!(idx.len(), 9); // 6 + 4 new - 1 duplicate
+        let keys: Vec<_> = idx.iter().collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let mut idx = SortedIndex::build(Order::Spo, &triples());
+        let before = idx.len();
+        idx.merge(vec![]);
+        assert_eq!(idx.len(), before);
+    }
+}

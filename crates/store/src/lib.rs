@@ -1,0 +1,42 @@
+//! # wodex-store — a scalable triple store substrate
+//!
+//! §2 of the survey states the requirement this crate exists to satisfy:
+//! modern systems must "*efficiently and effectively handle billion-object
+//! dynamic datasets throughout an exploratory scenario*" on "*machines with
+//! limited computational and memory resources*", which rules out both
+//! preprocessing-everything and loading-everything-in-memory. The store
+//! therefore provides, from scratch:
+//!
+//! * **Dictionary-encoded triples** over [`wodex_rdf::TermDict`] — triples
+//!   are `[u32; 3]`, indexes are sorted integer arrays ([`encoded`]).
+//! * **SPO/POS/OSP permutation indexes** with binary-search range lookup
+//!   and a log-structured unsorted tail so that *streaming inserts* (the
+//!   "dynamic setting") do not force a full re-sort per triple
+//!   ([`index`], [`memstore`]).
+//! * A **paged disk store + buffer pool** with LRU eviction and I/O
+//!   accounting — the "Disk" feature column of Tables 1 & 2, and the
+//!   architecture the survey's §4 recommends (graphVizdb \[22\], GMine \[72\])
+//!   ([`paged`], [`buffer`]).
+//! * **Adaptive indexing (database cracking)** \[67\], applied to
+//!   exploration-driven range queries exactly as \[144\] proposes: the index
+//!   materializes incrementally as a side effect of the query sequence
+//!   ([`cracking`]).
+//! * An **LRU result cache** and an **exploration-aware prefetcher**
+//!   exploiting pan/zoom locality, per the §4 future direction
+//!   (caching/prefetching \[16, 39, 128\]) ([`cache`], [`prefetch`]).
+
+pub mod buffer;
+pub mod cache;
+pub mod cracking;
+pub mod encoded;
+pub mod index;
+pub mod memstore;
+pub mod paged;
+pub mod prefetch;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use cache::LruCache;
+pub use cracking::CrackerColumn;
+pub use encoded::{EncodedTriple, Pattern};
+pub use memstore::TripleStore;
+pub use paged::{MemBackend, PageBackend, PagedTripleStore};

@@ -1,0 +1,560 @@
+//! The in-memory triple store.
+//!
+//! [`TripleStore`] combines the term dictionary with the three permutation
+//! indexes and an *unsorted tail* for recent inserts. The tail is what
+//! makes the store usable in the survey's "dynamic setting": a streaming
+//! insert is an O(1) append, queries transparently scan the (small) tail,
+//! and once the tail exceeds a threshold it is merged into the sorted
+//! indexes in one O(n + m log m) pass — amortizing the sort the way a
+//! log-structured store amortizes compaction.
+
+use crate::encoded::{EncodedTriple, Pattern};
+use crate::index::{Order, SortedIndex};
+use wodex_rdf::{Graph, Term, TermDict, TermId, Triple};
+
+/// Default number of tail triples tolerated before an automatic merge.
+pub const DEFAULT_TAIL_LIMIT: usize = 64 * 1024;
+
+/// An indexed, dictionary-encoded triple store.
+#[derive(Debug, Default)]
+pub struct TripleStore {
+    dict: TermDict,
+    spo: SortedIndex,
+    pos: SortedIndex,
+    osp: SortedIndex,
+    tail: Vec<EncodedTriple>,
+    /// Tombstones: deleted triples still present in the sorted indexes,
+    /// filtered out of every read until the next compaction. This is the
+    /// standard log-structured answer to deletes — O(1) per delete, cost
+    /// deferred to the merge.
+    deleted: std::collections::BTreeSet<EncodedTriple>,
+    tail_limit: usize,
+    len: usize,
+}
+
+impl TripleStore {
+    /// Creates an empty store with the default tail threshold.
+    pub fn new() -> TripleStore {
+        TripleStore {
+            tail_limit: DEFAULT_TAIL_LIMIT,
+            ..Default::default()
+        }
+    }
+
+    /// Creates an empty store with a custom tail threshold (0 forces a
+    /// merge after every insert — useful in tests).
+    pub fn with_tail_limit(tail_limit: usize) -> TripleStore {
+        TripleStore {
+            tail_limit,
+            ..Default::default()
+        }
+    }
+
+    /// Builds a store from an RDF [`Graph`] in one bulk pass.
+    pub fn from_graph(graph: &Graph) -> TripleStore {
+        let mut store = TripleStore::new();
+        store.insert_graph(graph);
+        store.merge_tail();
+        store
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Interns a term (exposed so query engines can encode constants).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Looks up an already-interned term.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.dict.id_of(term)
+    }
+
+    /// Decodes a term id.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.dict.term(id)
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of triples currently in the unsorted tail.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Inserts one decoded triple (streaming path). Returns true if new.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let s = self.dict.intern(triple.subject.clone());
+        let p = self.dict.intern(triple.predicate.clone());
+        let o = self.dict.intern(triple.object.clone());
+        self.insert_encoded([s.0, p.0, o.0])
+    }
+
+    /// Inserts an already-encoded triple. Returns true if new.
+    pub fn insert_encoded(&mut self, t: EncodedTriple) -> bool {
+        if self.deleted.remove(&t) {
+            // Resurrect a tombstoned triple: it is still in the indexes.
+            self.len += 1;
+            return true;
+        }
+        if self.contains_encoded(&t) {
+            return false;
+        }
+        self.tail.push(t);
+        self.len += 1;
+        if self.tail.len() > self.tail_limit {
+            self.merge_tail();
+        }
+        true
+    }
+
+    /// Deletes a triple (tombstoned until the next merge). Returns true
+    /// if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.predicate),
+            self.dict.id_of(&triple.object),
+        ) else {
+            return false;
+        };
+        self.remove_encoded([s.0, p.0, o.0])
+    }
+
+    /// Deletes an encoded triple. Returns true if it was present.
+    pub fn remove_encoded(&mut self, t: EncodedTriple) -> bool {
+        if let Some(i) = self.tail.iter().position(|x| *x == t) {
+            self.tail.swap_remove(i);
+            self.len -= 1;
+            return true;
+        }
+        let k = Order::Spo.key(&t);
+        let in_sorted = !self
+            .spo
+            .prefix_range(Some(k[0]), Some(k[1]), Some(k[2]))
+            .is_empty();
+        if in_sorted && self.deleted.insert(t) {
+            self.len -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// Inserts every triple of a graph.
+    pub fn insert_graph(&mut self, graph: &Graph) -> usize {
+        let mut added = 0;
+        for t in graph.iter() {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Merges the tail into the three sorted indexes and compacts
+    /// tombstoned deletions out of them.
+    pub fn merge_tail(&mut self) {
+        if self.tail.is_empty() && self.deleted.is_empty() {
+            return;
+        }
+        if self.deleted.is_empty() {
+            let tail = std::mem::take(&mut self.tail);
+            self.spo
+                .merge(tail.iter().map(|t| Order::Spo.key(t)).collect());
+            self.pos
+                .merge(tail.iter().map(|t| Order::Pos.key(t)).collect());
+            self.osp
+                .merge(tail.iter().map(|t| Order::Osp.key(t)).collect());
+            return;
+        }
+        // Compaction path: rebuild the indexes without the tombstones.
+        let deleted = std::mem::take(&mut self.deleted);
+        let tail = std::mem::take(&mut self.tail);
+        let mut all: Vec<EncodedTriple> = self
+            .spo
+            .iter()
+            .map(|k| Order::Spo.unkey(k))
+            .filter(|t| !deleted.contains(t))
+            .collect();
+        all.extend(tail);
+        self.spo = SortedIndex::build(Order::Spo, &all);
+        self.pos = SortedIndex::build(Order::Pos, &all);
+        self.osp = SortedIndex::build(Order::Osp, &all);
+    }
+
+    /// Membership test on an encoded triple.
+    pub fn contains_encoded(&self, t: &EncodedTriple) -> bool {
+        if self.deleted.contains(t) {
+            return false;
+        }
+        let k = Order::Spo.key(t);
+        !self
+            .spo
+            .prefix_range(Some(k[0]), Some(k[1]), Some(k[2]))
+            .is_empty()
+            || self.tail.contains(t)
+    }
+
+    /// Membership test on a decoded triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.predicate),
+            self.dict.id_of(&triple.object),
+        ) else {
+            return false;
+        };
+        self.contains_encoded(&[s.0, p.0, o.0])
+    }
+
+    /// Matches a pattern, returning encoded triples.
+    ///
+    /// Selects the best index for the bound positions, binary-searches its
+    /// prefix run, post-filters where the bound set is not a prefix of any
+    /// permutation (`s+o`), and appends matching tail entries.
+    pub fn match_pattern(&self, pat: Pattern) -> Vec<EncodedTriple> {
+        let s = pat.s.map(|t| t.0);
+        let p = pat.p.map(|t| t.0);
+        let o = pat.o.map(|t| t.0);
+        let mut out: Vec<EncodedTriple> = match (s, p, o) {
+            // Full/partial SPO prefixes.
+            (Some(s), Some(p), Some(o)) => self
+                .spo
+                .prefix_range(Some(s), Some(p), Some(o))
+                .iter()
+                .map(|k| Order::Spo.unkey(k))
+                .collect(),
+            (Some(s), Some(p), None) => self
+                .spo
+                .prefix_range(Some(s), Some(p), None)
+                .iter()
+                .map(|k| Order::Spo.unkey(k))
+                .collect(),
+            (Some(s), None, None) => self
+                .spo
+                .prefix_range(Some(s), None, None)
+                .iter()
+                .map(|k| Order::Spo.unkey(k))
+                .collect(),
+            // POS prefixes.
+            (None, Some(p), Some(o)) => self
+                .pos
+                .prefix_range(Some(p), Some(o), None)
+                .iter()
+                .map(|k| Order::Pos.unkey(k))
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .prefix_range(Some(p), None, None)
+                .iter()
+                .map(|k| Order::Pos.unkey(k))
+                .collect(),
+            // OSP prefixes.
+            (None, None, Some(o)) => self
+                .osp
+                .prefix_range(Some(o), None, None)
+                .iter()
+                .map(|k| Order::Osp.unkey(k))
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .prefix_range(Some(o), Some(s), None)
+                .iter()
+                .map(|k| Order::Osp.unkey(k))
+                .collect(),
+            // Full scan.
+            (None, None, None) => self.spo.iter().map(|k| Order::Spo.unkey(k)).collect(),
+        };
+        if !self.deleted.is_empty() {
+            out.retain(|t| !self.deleted.contains(t));
+        }
+        out.extend(self.tail.iter().filter(|t| pat.matches(t)));
+        out
+    }
+
+    /// Counts matches without materializing decoded terms.
+    pub fn count_pattern(&self, pat: Pattern) -> usize {
+        self.match_pattern(pat).len()
+    }
+
+    /// Matches a pattern and decodes the results into [`Triple`]s.
+    pub fn match_decoded(&self, pat: Pattern) -> Vec<Triple> {
+        self.match_pattern(pat)
+            .into_iter()
+            .map(|t| self.decode(t))
+            .collect()
+    }
+
+    /// Decodes one encoded triple.
+    pub fn decode(&self, t: EncodedTriple) -> Triple {
+        Triple::new(
+            self.dict.term(TermId(t[0])).clone(),
+            self.dict.term(TermId(t[1])).clone(),
+            self.dict.term(TermId(t[2])).clone(),
+        )
+    }
+
+    /// Builds a pattern from optional decoded terms, returning `None` when
+    /// some constant is not in the dictionary (in which case the pattern
+    /// can match nothing).
+    pub fn encode_pattern(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Option<Pattern> {
+        let mut pat = Pattern::any();
+        if let Some(t) = s {
+            pat.s = Some(self.dict.id_of(t)?);
+        }
+        if let Some(t) = p {
+            pat.p = Some(self.dict.id_of(t)?);
+        }
+        if let Some(t) = o {
+            pat.o = Some(self.dict.id_of(t)?);
+        }
+        Some(pat)
+    }
+
+    /// All encoded triples in SPO order (tail merged first).
+    pub fn snapshot_sorted(&mut self) -> Vec<EncodedTriple> {
+        self.merge_tail();
+        self.spo.iter().map(|k| Order::Spo.unkey(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::vocab::{rdf, rdfs};
+
+    fn store() -> TripleStore {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            let s = format!("http://e.org/s{i}");
+            g.insert(Triple::iri(&s, rdf::TYPE, Term::iri("http://e.org/C")));
+            g.insert(Triple::iri(&s, rdfs::LABEL, Term::literal(format!("{i}"))));
+        }
+        TripleStore::from_graph(&g)
+    }
+
+    #[test]
+    fn bulk_build_counts() {
+        let st = store();
+        assert_eq!(st.len(), 20);
+        assert_eq!(st.tail_len(), 0);
+    }
+
+    #[test]
+    fn match_by_predicate() {
+        let st = store();
+        let p = st.id_of(&Term::iri(rdf::TYPE)).unwrap();
+        let r = st.match_pattern(Pattern::any().with_p(p));
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn match_by_subject_and_full() {
+        let st = store();
+        let s = st.id_of(&Term::iri("http://e.org/s3")).unwrap();
+        assert_eq!(st.match_pattern(Pattern::any().with_s(s)).len(), 2);
+        let p = st.id_of(&Term::iri(rdf::TYPE)).unwrap();
+        let o = st.id_of(&Term::iri("http://e.org/C")).unwrap();
+        let full = Pattern::any().with_s(s).with_p(p).with_o(o);
+        assert_eq!(st.match_pattern(full).len(), 1);
+    }
+
+    #[test]
+    fn match_by_object_and_so() {
+        let st = store();
+        let o = st.id_of(&Term::iri("http://e.org/C")).unwrap();
+        assert_eq!(st.match_pattern(Pattern::any().with_o(o)).len(), 10);
+        let s = st.id_of(&Term::iri("http://e.org/s3")).unwrap();
+        let so = Pattern::any().with_s(s).with_o(o);
+        assert_eq!(st.match_pattern(so).len(), 1);
+    }
+
+    #[test]
+    fn streaming_inserts_visible_before_merge() {
+        let mut st = TripleStore::new();
+        st.insert(&Triple::iri(
+            "http://e.org/a",
+            rdfs::LABEL,
+            Term::literal("A"),
+        ));
+        assert_eq!(st.tail_len(), 1);
+        let p = st.id_of(&Term::iri(rdfs::LABEL)).unwrap();
+        assert_eq!(st.match_pattern(Pattern::any().with_p(p)).len(), 1);
+        st.merge_tail();
+        assert_eq!(st.tail_len(), 0);
+        assert_eq!(st.match_pattern(Pattern::any().with_p(p)).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_inserts_rejected_in_both_regions() {
+        let mut st = TripleStore::with_tail_limit(1000);
+        let t = Triple::iri("http://e.org/a", rdfs::LABEL, Term::literal("A"));
+        assert!(st.insert(&t));
+        assert!(!st.insert(&t)); // duplicate in tail
+        st.merge_tail();
+        assert!(!st.insert(&t)); // duplicate in sorted region
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn auto_merge_at_tail_limit() {
+        let mut st = TripleStore::with_tail_limit(5);
+        for i in 0..20 {
+            st.insert(&Triple::iri(
+                &format!("http://e.org/s{i}"),
+                rdfs::LABEL,
+                Term::literal(format!("{i}")),
+            ));
+        }
+        assert!(st.tail_len() <= 5);
+        assert_eq!(st.len(), 20);
+        let p = st.id_of(&Term::iri(rdfs::LABEL)).unwrap();
+        assert_eq!(st.match_pattern(Pattern::any().with_p(p)).len(), 20);
+    }
+
+    #[test]
+    fn contains_decoded() {
+        let st = store();
+        assert!(st.contains(&Triple::iri(
+            "http://e.org/s0",
+            rdf::TYPE,
+            Term::iri("http://e.org/C")
+        )));
+        assert!(!st.contains(&Triple::iri(
+            "http://e.org/s0",
+            rdf::TYPE,
+            Term::iri("http://e.org/Nope")
+        )));
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let st = store();
+        let all = st.match_pattern(Pattern::any());
+        assert_eq!(all.len(), 20);
+        for t in all {
+            let decoded = st.decode(t);
+            assert!(st.contains(&decoded));
+        }
+    }
+
+    #[test]
+    fn encode_pattern_fails_for_unknown_constants() {
+        let st = store();
+        assert!(st
+            .encode_pattern(None, Some(&Term::iri("http://nope/")), None)
+            .is_none());
+        let pat = st
+            .encode_pattern(None, Some(&Term::iri(rdf::TYPE)), None)
+            .unwrap();
+        assert_eq!(pat.bound_count(), 1);
+    }
+
+    #[test]
+    fn remove_from_tail_and_from_sorted_region() {
+        let mut st = TripleStore::with_tail_limit(1000);
+        let a = Triple::iri("http://e.org/a", rdfs::LABEL, Term::literal("A"));
+        let b = Triple::iri("http://e.org/b", rdfs::LABEL, Term::literal("B"));
+        st.insert(&a);
+        st.merge_tail(); // a is now in the sorted region
+        st.insert(&b); // b stays in the tail
+        assert!(st.remove(&b), "tail delete");
+        assert!(st.remove(&a), "sorted-region delete (tombstone)");
+        assert_eq!(st.len(), 0);
+        assert!(!st.contains(&a));
+        assert!(!st.contains(&b));
+        let p = st.id_of(&Term::iri(rdfs::LABEL)).unwrap();
+        assert!(st.match_pattern(Pattern::any().with_p(p)).is_empty());
+        assert!(!st.remove(&a), "double delete is a no-op");
+    }
+
+    #[test]
+    fn deleted_triples_can_be_reinserted() {
+        let mut st = TripleStore::with_tail_limit(1000);
+        let t = Triple::iri("http://e.org/a", rdfs::LABEL, Term::literal("A"));
+        st.insert(&t);
+        st.merge_tail();
+        assert!(st.remove(&t));
+        assert!(st.insert(&t), "resurrection counts as a new insert");
+        assert!(st.contains(&t));
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.match_pattern(Pattern::any()).len(), 1);
+    }
+
+    #[test]
+    fn compaction_physically_drops_tombstones() {
+        let mut st = TripleStore::with_tail_limit(usize::MAX / 2);
+        for i in 0..50 {
+            st.insert(&Triple::iri(
+                &format!("http://e.org/s{i}"),
+                rdfs::LABEL,
+                Term::literal(format!("{i}")),
+            ));
+        }
+        st.merge_tail();
+        for i in 0..25 {
+            assert!(st.remove(&Triple::iri(
+                &format!("http://e.org/s{i}"),
+                rdfs::LABEL,
+                Term::literal(format!("{i}")),
+            )));
+        }
+        assert_eq!(st.len(), 25);
+        // snapshot_sorted triggers compaction.
+        let snapshot = st.snapshot_sorted();
+        assert_eq!(snapshot.len(), 25);
+        let p = st.id_of(&Term::iri(rdfs::LABEL)).unwrap();
+        assert_eq!(st.match_pattern(Pattern::any().with_p(p)).len(), 25);
+    }
+
+    #[test]
+    fn remove_unknown_triple_is_false() {
+        let mut st = store();
+        assert!(!st.remove(&Triple::iri(
+            "http://e.org/nope",
+            rdfs::LABEL,
+            Term::literal("x")
+        )));
+        assert_eq!(st.len(), 20);
+    }
+
+    #[test]
+    fn match_equals_naive_scan_on_random_patterns() {
+        // Cross-check every access path against the brute-force filter.
+        let st = store();
+        let all = st.match_pattern(Pattern::any());
+        let ids: Vec<u32> = (0..st.dict().len() as u32).collect();
+        for &s in &[None, Some(ids[0]), Some(ids[5])] {
+            for &p in &[None, Some(ids[1]), Some(ids[3])] {
+                for &o in &[None, Some(ids[2]), Some(ids[8])] {
+                    let pat = Pattern {
+                        s: s.map(TermId),
+                        p: p.map(TermId),
+                        o: o.map(TermId),
+                    };
+                    let mut got = st.match_pattern(pat);
+                    let mut want: Vec<_> = all.iter().filter(|t| pat.matches(t)).copied().collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "pattern {pat:?}");
+                }
+            }
+        }
+    }
+}

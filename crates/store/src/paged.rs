@@ -1,0 +1,419 @@
+//! A paged, disk-backed triple store.
+//!
+//! The survey's §4 singles out disk-based runtime access as the missing
+//! capability of WoD systems: "*systems should be integrated with disk
+//! structures, retrieving data dynamically during runtime*" (as graphVizdb
+//! \[22\], Oracle's sampling system \[127\] and GMine \[72\] do). This module is
+//! that architecture in miniature:
+//!
+//! * triples are dictionary-encoded and serialized into fixed-size pages
+//!   sorted in SPO order,
+//! * a small in-memory **page directory** maps each page to its first key,
+//! * range queries binary-search the directory and fetch only the touched
+//!   pages through a [`BufferPool`],
+//! * backends are pluggable: a real file ([`FileBackend`]) or an in-memory
+//!   "disk" with I/O accounting ([`MemBackend`]) for tests and benches.
+//!
+//! Memory use is `pool capacity × page size`, independent of dataset size —
+//! the property experiment E5 measures.
+
+use crate::buffer::BufferPool;
+use crate::encoded::EncodedTriple;
+use bytes::{Buf, BufMut};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Page size in bytes (8 KiB, the classic DBMS default).
+pub const PAGE_SIZE: usize = 8192;
+/// Bytes of page header (little-endian u32 triple count).
+pub const PAGE_HEADER: usize = 4;
+/// Triples per page.
+pub const TRIPLES_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER) / 12;
+
+/// Storage backend: a flat array of pages with read accounting.
+pub trait PageBackend {
+    /// Reads page `id` (must exist).
+    fn read_page(&self, id: u32) -> Vec<u8>;
+    /// Appends a page, returning its id.
+    fn append_page(&mut self, data: &[u8]) -> u32;
+    /// Number of pages.
+    fn page_count(&self) -> u32;
+    /// Number of physical reads performed so far.
+    fn reads(&self) -> u64;
+}
+
+/// An in-memory "disk": pages in a `Vec`, reads counted.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    pages: Vec<Vec<u8>>,
+    reads: AtomicU64,
+}
+
+impl MemBackend {
+    /// Creates an empty backend.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+}
+
+impl PageBackend for MemBackend {
+    fn read_page(&self, id: u32) -> Vec<u8> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.pages[id as usize].clone()
+    }
+
+    fn append_page(&mut self, data: &[u8]) -> u32 {
+        let id = self.pages.len() as u32;
+        self.pages.push(data.to_vec());
+        id
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+/// A file-backed page store.
+pub struct FileBackend {
+    file: parking_lot::Mutex<std::fs::File>,
+    pages: u32,
+    reads: AtomicU64,
+}
+
+impl FileBackend {
+    /// Creates (truncates) a page file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<FileBackend> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBackend {
+            file: parking_lot::Mutex::new(file),
+            pages: 0,
+            reads: AtomicU64::new(0),
+        })
+    }
+}
+
+impl PageBackend for FileBackend {
+    fn read_page(&self, id: u32) -> Vec<u8> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .expect("seek");
+        f.read_exact(&mut buf).expect("read page");
+        buf
+    }
+
+    fn append_page(&mut self, data: &[u8]) -> u32 {
+        let id = self.pages;
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .expect("seek");
+        let mut page = data.to_vec();
+        page.resize(PAGE_SIZE, 0);
+        f.write_all(&page).expect("write page");
+        self.pages += 1;
+        id
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+/// Serializes up to [`TRIPLES_PER_PAGE`] triples into one page image.
+pub fn encode_page(triples: &[EncodedTriple]) -> Vec<u8> {
+    assert!(triples.len() <= TRIPLES_PER_PAGE);
+    let mut buf = Vec::with_capacity(PAGE_SIZE);
+    buf.put_u32_le(triples.len() as u32);
+    for t in triples {
+        buf.put_u32_le(t[0]);
+        buf.put_u32_le(t[1]);
+        buf.put_u32_le(t[2]);
+    }
+    buf.resize(PAGE_SIZE, 0);
+    buf
+}
+
+/// Decodes a page image back into triples.
+pub fn decode_page(mut data: &[u8]) -> Vec<EncodedTriple> {
+    let n = data.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push([data.get_u32_le(), data.get_u32_le(), data.get_u32_le()]);
+    }
+    out
+}
+
+/// A read-only paged triple store in SPO order.
+pub struct PagedTripleStore<B: PageBackend> {
+    backend: B,
+    /// First key of each page, in page order.
+    directory: Vec<EncodedTriple>,
+    len: usize,
+}
+
+impl<B: PageBackend> PagedTripleStore<B> {
+    /// Bulk-loads sorted SPO triples into the backend.
+    ///
+    /// `triples` must be sorted; this is checked in debug builds.
+    pub fn bulk_load(mut backend: B, triples: &[EncodedTriple]) -> PagedTripleStore<B> {
+        debug_assert!(triples.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        let mut directory = Vec::new();
+        for chunk in triples.chunks(TRIPLES_PER_PAGE) {
+            directory.push(chunk[0]);
+            backend.append_page(&encode_page(chunk));
+        }
+        PagedTripleStore {
+            backend,
+            directory,
+            len: triples.len(),
+        }
+    }
+
+    /// Total triples stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no triples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> u32 {
+        self.backend.page_count()
+    }
+
+    /// Physical reads performed by the backend so far.
+    pub fn physical_reads(&self) -> u64 {
+        self.backend.reads()
+    }
+
+    /// Fetches and decodes one page through the pool.
+    fn page(&self, pool: &BufferPool, id: u32) -> Vec<EncodedTriple> {
+        let data = pool.get(id, || self.backend.read_page(id));
+        decode_page(&data)
+    }
+
+    /// All triples whose subject id lies in `[s_lo, s_hi]`, touching only
+    /// the pages that can contain them.
+    pub fn scan_subject_range(
+        &self,
+        pool: &BufferPool,
+        s_lo: u32,
+        s_hi: u32,
+    ) -> Vec<EncodedTriple> {
+        if self.directory.is_empty() || s_lo > s_hi {
+            return Vec::new();
+        }
+        // First page that can contain s_lo: the last page whose first key
+        // is <= [s_lo, 0, 0] (the run may start mid-page).
+        let lo_key = [s_lo, 0, 0];
+        let start = self
+            .directory
+            .partition_point(|k| *k <= lo_key)
+            .saturating_sub(1);
+        let mut out = Vec::new();
+        for id in start..self.directory.len() {
+            if self.directory[id][0] > s_hi {
+                break;
+            }
+            for t in self.page(pool, id as u32) {
+                if t[0] >= s_lo && t[0] <= s_hi {
+                    out.push(t);
+                } else if t[0] > s_hi {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// All triples for one subject id.
+    pub fn match_subject(&self, pool: &BufferPool, s: u32) -> Vec<EncodedTriple> {
+        self.scan_subject_range(pool, s, s)
+    }
+
+    /// Full scan (streams every page through the pool).
+    pub fn scan_all(&self, pool: &BufferPool) -> Vec<EncodedTriple> {
+        let mut out = Vec::with_capacity(self.len);
+        for id in 0..self.page_count() {
+            out.extend(self.page(pool, id));
+        }
+        out
+    }
+
+    /// The page ids a subject-range scan would touch — used by the
+    /// prefetcher to warm the pool ahead of a predicted viewport move.
+    pub fn pages_for_subject_range(&self, s_lo: u32, s_hi: u32) -> Vec<u32> {
+        if self.directory.is_empty() || s_lo > s_hi {
+            return Vec::new();
+        }
+        let lo_key = [s_lo, 0, 0];
+        let start = self
+            .directory
+            .partition_point(|k| *k <= lo_key)
+            .saturating_sub(1);
+        let mut out = Vec::new();
+        for id in start..self.directory.len() {
+            if self.directory[id][0] > s_hi {
+                break;
+            }
+            out.push(id as u32);
+        }
+        out
+    }
+
+    /// Preloads a set of pages into the pool without counting misses.
+    pub fn prefetch_pages(&self, pool: &BufferPool, pages: &[u32]) {
+        for &id in pages {
+            pool.preload(id, || self.backend.read_page(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_triples(n: u32) -> Vec<EncodedTriple> {
+        // Two triples per subject.
+        let mut v = Vec::new();
+        for s in 0..n {
+            v.push([s, 0, s * 2]);
+            v.push([s, 1, s * 2 + 1]);
+        }
+        v
+    }
+
+    #[test]
+    fn page_encode_decode_roundtrip() {
+        let ts = sorted_triples(100);
+        let page = encode_page(&ts[..TRIPLES_PER_PAGE.min(ts.len())]);
+        assert_eq!(page.len(), PAGE_SIZE);
+        let back = decode_page(&page);
+        assert_eq!(back, ts[..TRIPLES_PER_PAGE.min(ts.len())]);
+    }
+
+    #[test]
+    fn bulk_load_pages_and_lengths() {
+        let ts = sorted_triples(2000); // 4000 triples
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        assert_eq!(store.len(), 4000);
+        let expected_pages = 4000_usize.div_ceil(TRIPLES_PER_PAGE) as u32;
+        assert_eq!(store.page_count(), expected_pages);
+    }
+
+    #[test]
+    fn subject_range_scan_is_correct() {
+        let ts = sorted_triples(2000);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let pool = BufferPool::new(16);
+        let got = store.scan_subject_range(&pool, 100, 199);
+        assert_eq!(got.len(), 200);
+        assert!(got.iter().all(|t| t[0] >= 100 && t[0] <= 199));
+        // Against brute force.
+        let want: Vec<_> = ts
+            .iter()
+            .filter(|t| t[0] >= 100 && t[0] <= 199)
+            .copied()
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn windowed_scan_touches_few_pages() {
+        let ts = sorted_triples(50_000); // 100k triples, ~147 pages
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let pool = BufferPool::new(8);
+        store.scan_subject_range(&pool, 1000, 1100);
+        let reads = store.physical_reads();
+        assert!(
+            reads <= 3,
+            "a 100-subject window should touch ≤3 pages, read {reads}"
+        );
+    }
+
+    #[test]
+    fn full_scan_reads_every_page_once_with_big_pool() {
+        let ts = sorted_triples(5000);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let pool = BufferPool::new(1024);
+        let all = store.scan_all(&pool);
+        assert_eq!(all.len(), 10_000);
+        assert_eq!(store.physical_reads(), store.page_count() as u64);
+        // Second scan: all pages resident.
+        store.scan_all(&pool);
+        assert_eq!(store.physical_reads(), store.page_count() as u64);
+    }
+
+    #[test]
+    fn small_pool_rereads_under_repeated_scans() {
+        let ts = sorted_triples(5000);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let pool = BufferPool::new(2);
+        store.scan_all(&pool);
+        store.scan_all(&pool);
+        assert!(store.physical_reads() > store.page_count() as u64);
+    }
+
+    #[test]
+    fn match_subject_on_boundaries() {
+        let ts = sorted_triples(3000);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let pool = BufferPool::new(8);
+        assert_eq!(store.match_subject(&pool, 0).len(), 2);
+        assert_eq!(store.match_subject(&pool, 2999).len(), 2);
+        assert_eq!(store.match_subject(&pool, 3000).len(), 0);
+    }
+
+    #[test]
+    fn pages_for_range_matches_actual_touch_set() {
+        let ts = sorted_triples(20_000);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let pages = store.pages_for_subject_range(5000, 5500);
+        let pool = BufferPool::new(64);
+        store.scan_subject_range(&pool, 5000, 5500);
+        // The scan may stop early on the last page, so the predicted set is
+        // a superset within one page.
+        let reads = store.physical_reads();
+        assert!(pages.len() as u64 >= reads && pages.len() as u64 <= reads + 1);
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("wodex_pages_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pages");
+        let ts = sorted_triples(1000);
+        let backend = FileBackend::create(&path).unwrap();
+        let store = PagedTripleStore::bulk_load(backend, &ts);
+        let pool = BufferPool::new(4);
+        let got = store.scan_subject_range(&pool, 10, 20);
+        assert_eq!(got.len(), 22);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &[]);
+        let pool = BufferPool::new(4);
+        assert!(store.is_empty());
+        assert!(store.scan_subject_range(&pool, 0, 10).is_empty());
+        assert!(store.scan_all(&pool).is_empty());
+    }
+}

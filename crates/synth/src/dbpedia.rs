@@ -1,0 +1,239 @@
+//! DBpedia-like entity graph generator.
+//!
+//! Produces the shape of data that WoD browsers (§3.1) and generic
+//! visualization systems (§3.2) consume: typed entities with labels,
+//! numeric/temporal/spatial datatype properties, categorical properties
+//! with Zipf-skewed value usage, and inter-entity links with hub structure.
+
+use crate::dist::{Normal, Sampler, Uniform, Zipf};
+use rand::Rng;
+use wodex_rdf::term::Literal;
+use wodex_rdf::vocab::{dcterms, geo, rdf, rdfs};
+use wodex_rdf::{Graph, Term, Triple};
+
+/// Parameters for the entity graph generator.
+#[derive(Debug, Clone)]
+pub struct DbpediaConfig {
+    /// Number of entities.
+    pub entities: usize,
+    /// Namespace for minted IRIs.
+    pub namespace: String,
+    /// Entity classes, most frequent first (usage is Zipf over this list).
+    pub classes: Vec<&'static str>,
+    /// Number of categorical subject values (`dcterms:subject`).
+    pub categories: usize,
+    /// Average number of outgoing `ex:linksTo` edges per entity.
+    pub avg_links: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DbpediaConfig {
+    fn default() -> Self {
+        DbpediaConfig {
+            entities: 1000,
+            namespace: "http://dbp.example.org/".to_string(),
+            classes: vec!["City", "Person", "Organisation", "Country", "Film"],
+            categories: 50,
+            avg_links: 3.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Well-known generated property IRIs (relative to the configured
+/// namespace). Exposed so tests and experiments can query them.
+pub mod props {
+    /// Numeric property: population.
+    pub const POPULATION: &str = "ontology/population";
+    /// Numeric property: area (km²).
+    pub const AREA: &str = "ontology/area";
+    /// Temporal property: founding date.
+    pub const FOUNDING_DATE: &str = "ontology/foundingDate";
+    /// Object property: generic link between entities.
+    pub const LINKS_TO: &str = "ontology/linksTo";
+}
+
+/// Generates the entity graph.
+pub fn generate(cfg: &DbpediaConfig) -> Graph {
+    let mut rng = crate::rng(cfg.seed);
+    let mut g = Graph::new();
+    let ns = &cfg.namespace;
+    let class_zipf = Zipf::new(cfg.classes.len(), 1.0);
+    let cat_zipf = Zipf::new(cfg.categories.max(1), 1.0);
+    let link_zipf = Zipf::new(cfg.entities.max(1), 1.05);
+    let pop_dist = Zipf::new(1_000_000, 1.3);
+    let area_dist = Normal {
+        mean: 500.0,
+        std_dev: 180.0,
+    };
+    let lat = Uniform { lo: 34.0, hi: 42.0 };
+    let lon = Uniform { lo: 19.0, hi: 28.0 };
+
+    for i in 0..cfg.entities {
+        let s = format!("{ns}resource/E{i}");
+        let class_idx = class_zipf.sample_rank(&mut rng) - 1;
+        let class = cfg.classes[class_idx];
+        g.insert(Triple::iri(
+            &s,
+            rdf::TYPE,
+            Term::iri(format!("{ns}ontology/{class}")),
+        ));
+        g.insert(Triple::iri(
+            &s,
+            rdfs::LABEL,
+            Term::literal(format!("{class} {i}")),
+        ));
+        g.insert(Triple::iri(
+            &s,
+            dcterms::SUBJECT,
+            Term::iri(format!(
+                "{ns}category/C{}",
+                cat_zipf.sample_rank(&mut rng) - 1
+            )),
+        ));
+        // Numeric properties: population (heavy-tailed), area (normal).
+        g.insert(Triple::iri(
+            &s,
+            &format!("{ns}{}", props::POPULATION),
+            Term::integer(pop_dist.sample_rank(&mut rng) as i64 * 37),
+        ));
+        g.insert(Triple::iri(
+            &s,
+            &format!("{ns}{}", props::AREA),
+            Term::double((area_dist.sample(&mut rng).max(1.0) * 100.0).round() / 100.0),
+        ));
+        // Temporal property: founding date between 1800 and 2015.
+        let year = rng.random_range(1800..2016);
+        let month = rng.random_range(1..13u32);
+        let day = rng.random_range(1..29u32);
+        g.insert(Triple::iri(
+            &s,
+            &format!("{ns}{}", props::FOUNDING_DATE),
+            Term::Literal(Literal::date(year, month, day)),
+        ));
+        // Spatial coordinates for cities.
+        if class == "City" {
+            g.insert(Triple::iri(
+                &s,
+                geo::LAT,
+                Term::double((lat.sample(&mut rng) * 1e4).round() / 1e4),
+            ));
+            g.insert(Triple::iri(
+                &s,
+                geo::LONG,
+                Term::double((lon.sample(&mut rng) * 1e4).round() / 1e4),
+            ));
+        }
+        // Links with hub structure: targets drawn from a Zipf over ids.
+        let links = sample_poissonish(cfg.avg_links, &mut rng);
+        for _ in 0..links {
+            let t = link_zipf.sample_rank(&mut rng) - 1;
+            if t != i {
+                g.insert(Triple::iri(
+                    &s,
+                    &format!("{ns}{}", props::LINKS_TO),
+                    Term::iri(format!("{ns}resource/E{t}")),
+                ));
+            }
+        }
+    }
+    g
+}
+
+/// A cheap integer draw with the given mean: `floor(mean) + Bernoulli
+/// (frac)` plus a uniform ±1 jitter, clamped at zero. Close enough to
+/// Poisson for workload purposes without the full sampler.
+fn sample_poissonish<R: Rng>(mean: f64, rng: &mut R) -> usize {
+    let base = mean.floor() as i64;
+    let frac = mean - mean.floor();
+    let mut v = base + i64::from(rng.random_range(0.0..1.0) < frac);
+    v += rng.random_range(-1..=1);
+    v.max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::stats::DatasetStats;
+
+    fn small() -> Graph {
+        generate(&DbpediaConfig {
+            entities: 200,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(small(), small());
+    }
+
+    #[test]
+    fn every_entity_is_typed_and_labeled() {
+        let g = small();
+        let st = DatasetStats::of(&g);
+        let typed: usize = st.class_counts.values().sum();
+        assert_eq!(typed, 200);
+        assert_eq!(st.predicate_counts[rdfs::LABEL], 200);
+    }
+
+    #[test]
+    fn class_usage_is_skewed() {
+        let g = generate(&DbpediaConfig {
+            entities: 2000,
+            ..Default::default()
+        });
+        let st = DatasetStats::of(&g);
+        let ns = "http://dbp.example.org/ontology/";
+        let city = st.class_counts[&format!("{ns}City")];
+        let film = st
+            .class_counts
+            .get(&format!("{ns}Film"))
+            .copied()
+            .unwrap_or(0);
+        assert!(city > film * 2, "city={city}, film={film}");
+    }
+
+    #[test]
+    fn numeric_and_temporal_properties_present() {
+        let g = small();
+        let st = DatasetStats::of(&g);
+        let pop = format!("http://dbp.example.org/{}", props::POPULATION);
+        assert_eq!(st.numeric_summaries[&pop].count, 200);
+        assert!(st.datatype_counts.contains_key(wodex_rdf::vocab::xsd::DATE));
+    }
+
+    #[test]
+    fn cities_have_coordinates() {
+        let g = small();
+        let lat_count = g.triples_for_predicate(geo::LAT).count();
+        let city_count = g
+            .triples_for_predicate(rdf::TYPE)
+            .filter(|t| {
+                t.object
+                    .as_iri()
+                    .is_some_and(|i| i.as_str().ends_with("City"))
+            })
+            .count();
+        assert_eq!(lat_count, city_count);
+        assert!(lat_count > 0);
+    }
+
+    #[test]
+    fn links_have_hubs() {
+        let g = generate(&DbpediaConfig {
+            entities: 1500,
+            avg_links: 4.0,
+            ..Default::default()
+        });
+        let link = format!("http://dbp.example.org/{}", props::LINKS_TO);
+        let mut indeg = std::collections::HashMap::new();
+        for t in g.triples_for_predicate(&link) {
+            *indeg.entry(t.object.clone()).or_insert(0usize) += 1;
+        }
+        let max = indeg.values().copied().max().unwrap_or(0);
+        let mean = indeg.values().sum::<usize>() as f64 / indeg.len() as f64;
+        assert!(max as f64 > 8.0 * mean, "max={max}, mean={mean}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Geospatial POI generator.
+//!
+//! §3.3's geospatial systems (Map4rdf, Facete, SexTant, LinkedGeoData
+//! Browser, DBpedia Atlas) consume points-of-interest with WGS84
+//! coordinates. Real POI data is *clustered* — dense around settlements,
+//! sparse elsewhere — which is exactly the property that makes spatial
+//! indexing and viewport windowing (E10) non-trivial, so the generator
+//! produces a configurable number of Gaussian clusters plus uniform noise.
+
+use crate::dist::{Normal, Sampler, Uniform};
+use rand::Rng;
+use wodex_rdf::term::Literal;
+use wodex_rdf::vocab::{geo, rdf, rdfs};
+use wodex_rdf::{Graph, Term, Triple};
+
+/// A point with WGS84 coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poi {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Cluster index, or `None` for background noise.
+    pub cluster: Option<usize>,
+}
+
+/// Configuration for the POI generator.
+#[derive(Debug, Clone)]
+pub struct GeoConfig {
+    /// Number of points.
+    pub points: usize,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// Fraction of points that are uniform background noise (0..1).
+    pub noise_fraction: f64,
+    /// Bounding box (lat_min, lat_max, lon_min, lon_max).
+    pub bbox: (f64, f64, f64, f64),
+    /// Cluster standard deviation in degrees.
+    pub cluster_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig {
+            points: 1000,
+            clusters: 8,
+            noise_fraction: 0.15,
+            bbox: (34.0, 42.0, 19.0, 28.0),
+            cluster_std: 0.15,
+            seed: 11,
+        }
+    }
+}
+
+/// Generates raw POIs.
+pub fn points(cfg: &GeoConfig) -> Vec<Poi> {
+    let mut rng = crate::rng(cfg.seed);
+    let (lat_min, lat_max, lon_min, lon_max) = cfg.bbox;
+    let lat_u = Uniform {
+        lo: lat_min,
+        hi: lat_max,
+    };
+    let lon_u = Uniform {
+        lo: lon_min,
+        hi: lon_max,
+    };
+    // Cluster centers.
+    let centers: Vec<(f64, f64)> = (0..cfg.clusters)
+        .map(|_| (lat_u.sample(&mut rng), lon_u.sample(&mut rng)))
+        .collect();
+    let mut out = Vec::with_capacity(cfg.points);
+    for _ in 0..cfg.points {
+        if centers.is_empty() || rng.random_range(0.0..1.0) < cfg.noise_fraction {
+            out.push(Poi {
+                lat: lat_u.sample(&mut rng),
+                lon: lon_u.sample(&mut rng),
+                cluster: None,
+            });
+        } else {
+            let c = rng.random_range(0..centers.len());
+            let n = Normal {
+                mean: 0.0,
+                std_dev: cfg.cluster_std,
+            };
+            out.push(Poi {
+                lat: (centers[c].0 + n.sample(&mut rng)).clamp(lat_min, lat_max),
+                lon: (centers[c].1 + n.sample(&mut rng)).clamp(lon_min, lon_max),
+                cluster: Some(c),
+            });
+        }
+    }
+    out
+}
+
+/// Generates POIs as an RDF graph using the W3C Basic Geo vocabulary,
+/// optionally with a timestamp per point (time-evolving geospatial data,
+/// the SexTant/Spacetime workload).
+pub fn generate(cfg: &GeoConfig, namespace: &str, with_time: bool) -> Graph {
+    let pois = points(cfg);
+    let ts = if with_time {
+        crate::values::timestamps(pois.len(), 1_420_070_400, 365 * 86_400, cfg.seed ^ 0xABCD)
+    } else {
+        Vec::new()
+    };
+    let mut g = Graph::new();
+    for (i, p) in pois.iter().enumerate() {
+        let s = format!("{namespace}poi/P{i}");
+        g.insert(Triple::iri(&s, rdf::TYPE, Term::iri(geo::POINT)));
+        g.insert(Triple::iri(
+            &s,
+            rdfs::LABEL,
+            Term::literal(format!("POI {i}")),
+        ));
+        g.insert(Triple::iri(
+            &s,
+            geo::LAT,
+            Term::double((p.lat * 1e5).round() / 1e5),
+        ));
+        g.insert(Triple::iri(
+            &s,
+            geo::LONG,
+            Term::double((p.lon * 1e5).round() / 1e5),
+        ));
+        if with_time {
+            let secs = ts[i];
+            let days = secs.div_euclid(86_400);
+            let (y, m, d) = wodex_rdf::value::civil_from_days(days);
+            let rem = secs.rem_euclid(86_400);
+            g.insert(Triple::iri(
+                &s,
+                wodex_rdf::vocab::dcterms::CREATED,
+                Term::Literal(Literal::date_time(
+                    y,
+                    m,
+                    d,
+                    (rem / 3600) as u32,
+                    ((rem % 3600) / 60) as u32,
+                    (rem % 60) as u32,
+                )),
+            ));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_stay_in_bbox() {
+        let cfg = GeoConfig::default();
+        let ps = points(&cfg);
+        assert_eq!(ps.len(), 1000);
+        let (a, b, c, d) = cfg.bbox;
+        assert!(ps
+            .iter()
+            .all(|p| p.lat >= a && p.lat <= b && p.lon >= c && p.lon <= d));
+    }
+
+    #[test]
+    fn clustering_is_visible() {
+        // Points in clusters should be much closer to their cluster's
+        // centroid than random pairs are to each other.
+        let cfg = GeoConfig {
+            points: 2000,
+            noise_fraction: 0.0,
+            ..Default::default()
+        };
+        let ps = points(&cfg);
+        let mut sums: std::collections::HashMap<usize, (f64, f64, usize)> = Default::default();
+        for p in &ps {
+            let e = sums.entry(p.cluster.unwrap()).or_insert((0.0, 0.0, 0));
+            e.0 += p.lat;
+            e.1 += p.lon;
+            e.2 += 1;
+        }
+        let mut total_spread = 0.0;
+        for p in &ps {
+            let (la, lo, n) = sums[&p.cluster.unwrap()];
+            let (cl, co) = (la / n as f64, lo / n as f64);
+            total_spread += ((p.lat - cl).powi(2) + (p.lon - co).powi(2)).sqrt();
+        }
+        let mean_spread = total_spread / ps.len() as f64;
+        assert!(mean_spread < 0.5, "mean spread {mean_spread} too large");
+    }
+
+    #[test]
+    fn noise_fraction_honored_roughly() {
+        let cfg = GeoConfig {
+            points: 4000,
+            noise_fraction: 0.5,
+            ..Default::default()
+        };
+        let ps = points(&cfg);
+        let noise = ps.iter().filter(|p| p.cluster.is_none()).count();
+        assert!((1700..2300).contains(&noise), "noise={noise}");
+    }
+
+    #[test]
+    fn rdf_output_has_coordinates_and_time() {
+        let cfg = GeoConfig {
+            points: 50,
+            ..Default::default()
+        };
+        let g = generate(&cfg, "http://e.org/", true);
+        assert_eq!(g.triples_for_predicate(geo::LAT).count(), 50);
+        assert_eq!(g.triples_for_predicate(geo::LONG).count(), 50);
+        assert_eq!(
+            g.triples_for_predicate(wodex_rdf::vocab::dcterms::CREATED)
+                .count(),
+            50
+        );
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = GeoConfig::default();
+        assert_eq!(points(&cfg), points(&cfg));
+    }
+}

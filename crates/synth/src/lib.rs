@@ -1,0 +1,40 @@
+//! # wodex-synth — synthetic Linked-Data workload generators
+//!
+//! The survey's experiments concern *very large*, *heterogeneous*,
+//! *skewed* datasets (DBpedia, LinkedGeoData, statistical data cubes). No
+//! such dumps ship with this repository, so every experiment in
+//! `EXPERIMENTS.md` runs on synthetic data produced here. The generators
+//! are **seeded and deterministic**: the same parameters always produce the
+//! same dataset, making benchmarks and tests reproducible.
+//!
+//! What matters for the techniques under test is the *distribution shape* —
+//! degree skew for graphs, value skew for numeric columns, dimension
+//! cardinalities for cubes — not the identity of the entities, so each
+//! generator is parameterized along exactly those axes.
+//!
+//! * [`dist`] — Zipf / normal / exponential / mixture samplers.
+//! * [`values`] — raw numeric & temporal column generators.
+//! * [`dbpedia`] — DBpedia-like entity-centric RDF graphs.
+//! * [`cube`] — W3C Data Cube statistical datasets (§3.3 systems).
+//! * [`geo`] — clustered geospatial POIs (§3.3 systems).
+//! * [`netgen`] — network topologies (Barabási–Albert, Erdős–Rényi,
+//!   Watts–Strogatz) as edge lists and as RDF (§3.4 systems).
+
+pub mod cube;
+pub mod dbpedia;
+pub mod dist;
+pub mod geo;
+pub mod netgen;
+pub mod values;
+
+pub use dist::{Mixture, Sampler, Zipf};
+pub use netgen::EdgeList;
+
+/// Creates the workspace-standard seeded RNG for a generator.
+///
+/// All generators route their randomness through this so that a single
+/// `seed` parameter fully determines their output.
+pub fn rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,354 @@
+//! Network topology generators.
+//!
+//! The graph-based systems of §3.4 (and the hierarchical/bundling
+//! techniques of §4) are evaluated on graphs whose *degree distribution*
+//! drives the outcome: force-directed layout cost, coarsening quality and
+//! sampling fidelity all depend on skew. Three classic models cover the
+//! space:
+//!
+//! * **Barabási–Albert** — preferential attachment, power-law degrees; the
+//!   shape of real LOD link graphs.
+//! * **Erdős–Rényi** — independent edges, Poisson degrees; the "no hubs"
+//!   control.
+//! * **Watts–Strogatz** — ring + rewiring; high clustering, used for the
+//!   community-detection tests.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use wodex_rdf::vocab::{foaf, rdfs};
+use wodex_rdf::{Graph, Term, Triple};
+
+/// An undirected simple graph as an edge list over `0..n` node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Undirected edges, stored with `a < b`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    /// Creates an empty graph with `n` nodes.
+    pub fn empty(n: usize) -> EdgeList {
+        EdgeList {
+            nodes: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge, normalizing the orientation; self-loops are
+    /// ignored.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges.push((a, b));
+    }
+
+    /// Removes duplicate edges.
+    pub fn dedup(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Per-node degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.nodes];
+        for &(a, b) in &self.edges {
+            d[a as usize] += 1;
+            d[b as usize] += 1;
+        }
+        d
+    }
+
+    /// Converts to an RDF graph: nodes become `ex:node{i}` resources with
+    /// `rdfs:label`s, edges become `foaf:knows` triples.
+    pub fn to_rdf(&self, ns: &str) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..self.nodes {
+            g.insert(Triple::iri(
+                &format!("{ns}node{i}"),
+                rdfs::LABEL,
+                Term::literal(format!("node {i}")),
+            ));
+        }
+        for &(a, b) in &self.edges {
+            g.insert(Triple::iri(
+                &format!("{ns}node{a}"),
+                foaf::KNOWS,
+                Term::iri(format!("{ns}node{b}")),
+            ));
+        }
+        g
+    }
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches `m`
+/// edges to existing nodes with probability proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(n > m, "need more nodes than attachment edges");
+    let mut rng = crate::rng(seed);
+    let mut g = EdgeList::empty(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    // Seed clique over the first m+1 nodes.
+    for a in 0..=(m as u32) {
+        for b in (a + 1)..=(m as u32) {
+            g.add_edge(a, b);
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+    }
+    for v in (m + 1)..n {
+        let v = v as u32;
+        // A Vec with a linear dedup check keeps insertion order (and thus
+        // RNG consumption) deterministic; m is tiny.
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            g.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g.dedup();
+    g
+}
+
+/// Erdős–Rényi G(n, p): every pair is an edge independently with
+/// probability `p`. Uses geometric skipping so the cost is O(edges).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = crate::rng(seed);
+    let mut g = EdgeList::empty(n);
+    if p <= 0.0 || n < 2 {
+        return g;
+    }
+    // Iterate pair index k over the upper triangle via skip lengths.
+    let total_pairs = n * (n - 1) / 2;
+    let mut k: usize = 0;
+    let log_q = (1.0 - p).ln();
+    loop {
+        if p >= 1.0 {
+            if k >= total_pairs {
+                break;
+            }
+        } else {
+            let u: f64 = rng.random_range(f64::EPSILON..1.0);
+            let skip = (u.ln() / log_q).floor() as usize;
+            k = k.saturating_add(skip);
+            if k >= total_pairs {
+                break;
+            }
+        }
+        let (a, b) = pair_from_index(k, n);
+        g.add_edge(a as u32, b as u32);
+        k += 1;
+    }
+    g.dedup();
+    g
+}
+
+/// Maps a linear index into the upper triangle of an n×n matrix to (row,
+/// col) with row < col.
+fn pair_from_index(k: usize, n: usize) -> (usize, usize) {
+    // Row i owns (n-1-i) pairs. Find i by walking; n is small enough that
+    // the closed-form quadratic is not worth the float hazard.
+    let mut i = 0usize;
+    let mut rem = k;
+    loop {
+        let row_len = n - 1 - i;
+        if rem < row_len {
+            return (i, i + 1 + rem);
+        }
+        rem -= row_len;
+        i += 1;
+    }
+}
+
+/// Watts–Strogatz: ring lattice with `k` neighbours per side, each edge
+/// rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> EdgeList {
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+    let mut rng = crate::rng(seed);
+    let mut g = EdgeList::empty(n);
+    for i in 0..n {
+        for j in 1..=k {
+            let a = i as u32;
+            let b = ((i + j) % n) as u32;
+            if rng.random_range(0.0..1.0) < beta {
+                // Rewire the far endpoint to a uniform non-self target.
+                let mut t = rng.random_range(0..n as u32);
+                while t == a {
+                    t = rng.random_range(0..n as u32);
+                }
+                g.add_edge(a, t);
+            } else {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g.dedup();
+    g
+}
+
+/// A planted-partition graph: `communities` groups of equal size, dense
+/// inside (`p_in`), sparse across (`p_out`). Ground truth for the
+/// community-detection and abstraction-hierarchy tests (E8).
+pub fn planted_partition(
+    communities: usize,
+    per_community: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> (EdgeList, Vec<u32>) {
+    let n = communities * per_community;
+    let mut rng = crate::rng(seed);
+    let mut g = EdgeList::empty(n);
+    let labels: Vec<u32> = (0..n).map(|i| (i / per_community) as u32).collect();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = if labels[a] == labels[b] { p_in } else { p_out };
+            if rng.random_range(0.0..1.0) < p {
+                g.add_edge(a as u32, b as u32);
+            }
+        }
+    }
+    g.dedup();
+    (g, labels)
+}
+
+/// Shuffles node ids, relabeling edges — used to check that algorithms do
+/// not depend on generator ordering.
+pub fn shuffle_ids(g: &EdgeList, seed: u64) -> EdgeList {
+    let mut rng = crate::rng(seed);
+    let mut perm: Vec<u32> = (0..g.nodes as u32).collect();
+    perm.shuffle(&mut rng);
+    let mut out = EdgeList::empty(g.nodes);
+    for &(a, b) in &g.edges {
+        out.add_edge(perm[a as usize], perm[b as usize]);
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_has_expected_edge_count_and_skew() {
+        let g = barabasi_albert(2000, 3, 1);
+        assert_eq!(g.nodes, 2000);
+        // ~ m per new node plus the seed clique.
+        assert!(g.edges.len() >= 1990 * 3);
+        let mut d = g.degrees();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        // Power law: max degree far above the mean.
+        let mean = d.iter().sum::<usize>() as f64 / d.len() as f64;
+        assert!(
+            d[0] as f64 > 5.0 * mean,
+            "max {} should dwarf mean {mean}",
+            d[0]
+        );
+        // Minimum degree is m.
+        assert!(*d.last().unwrap() >= 3);
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 500;
+        let p = 0.02;
+        let g = erdos_renyi(n, p, 2);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.edges.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn er_handles_extremes() {
+        assert!(erdos_renyi(100, 0.0, 1).edges.is_empty());
+        let full = erdos_renyi(20, 1.0, 1);
+        assert_eq!(full.edges.len(), 190);
+    }
+
+    #[test]
+    fn pair_from_index_enumerates_upper_triangle() {
+        let n = 5;
+        let mut seen = Vec::new();
+        for k in 0..(n * (n - 1) / 2) {
+            seen.push(pair_from_index(k, n));
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(seen.iter().all(|&(a, b)| a < b && b < n));
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn ws_degree_is_regular_before_rewiring() {
+        let g = watts_strogatz(100, 3, 0.0, 3);
+        assert!(g.degrees().iter().all(|&d| d == 6));
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_count_roughly() {
+        let g = watts_strogatz(200, 2, 0.3, 4);
+        // Rewiring can create duplicates that dedup removes; stay close.
+        assert!(g.edges.len() > 350 && g.edges.len() <= 400);
+    }
+
+    #[test]
+    fn planted_partition_is_denser_inside() {
+        let (g, labels) = planted_partition(4, 25, 0.3, 0.01, 5);
+        let mut inside = 0;
+        let mut across = 0;
+        for &(a, b) in &g.edges {
+            if labels[a as usize] == labels[b as usize] {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > across * 2, "inside={inside}, across={across}");
+    }
+
+    #[test]
+    fn to_rdf_counts() {
+        let g = barabasi_albert(50, 2, 6);
+        let rdf = g.to_rdf("http://e.org/");
+        // One label per node plus one triple per edge.
+        assert_eq!(rdf.len(), 50 + g.edges.len());
+    }
+
+    #[test]
+    fn shuffle_preserves_structure() {
+        let g = barabasi_albert(300, 2, 7);
+        let s = shuffle_ids(&g, 8);
+        assert_eq!(s.edges.len(), g.edges.len());
+        let mut d1 = g.degrees();
+        let mut d2 = s.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2, "degree multiset must be invariant");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
+        assert_eq!(erdos_renyi(100, 0.05, 9), erdos_renyi(100, 0.05, 9));
+    }
+}

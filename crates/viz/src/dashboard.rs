@@ -1,0 +1,243 @@
+//! Dashboard composition (VizBoard \[135, 136\]).
+//!
+//! VizBoard "presents datasets in a dashboard-like, composite, and
+//! interactive visualization": several coordinated views in one canvas.
+//! [`compose`] lays child scenes into a grid, scaling and translating
+//! their marks; [`Brush`] implements the brushing-and-linking mechanism
+//! Vis Wizard \[131\] adds on top — a selection made in one view (a value
+//! interval) highlights the matching items in every linked view.
+
+use crate::scene::{Mark, Scene};
+
+/// Composes child scenes into a `cols`-wide grid on one canvas of
+/// `width × height`, preserving each child's aspect by uniform scaling.
+pub fn compose(title: &str, views: &[Scene], cols: usize, width: f64, height: f64) -> Scene {
+    assert!(cols >= 1);
+    let mut out = Scene::new(width, height, title);
+    if views.is_empty() {
+        return out;
+    }
+    let rows = views.len().div_ceil(cols);
+    let cell_w = width / cols as f64;
+    let cell_h = height / rows as f64;
+    for (i, view) in views.iter().enumerate() {
+        let ox = (i % cols) as f64 * cell_w;
+        let oy = (i / cols) as f64 * cell_h;
+        let scale = (cell_w / view.width).min(cell_h / view.height);
+        for m in &view.marks {
+            out.marks.push(transform(m, scale, ox, oy));
+        }
+        // A light cell border so views read as panels.
+        out.marks.push(Mark::Line {
+            points: vec![
+                (ox, oy),
+                (ox + cell_w, oy),
+                (ox + cell_w, oy + cell_h),
+                (ox, oy + cell_h),
+                (ox, oy),
+            ],
+            color: crate::scene::Color::GRAY,
+            width: 0.5,
+        });
+    }
+    out
+}
+
+fn transform(m: &Mark, s: f64, ox: f64, oy: f64) -> Mark {
+    match m {
+        Mark::Rect {
+            x,
+            y,
+            w,
+            h,
+            color,
+            label,
+        } => Mark::Rect {
+            x: x * s + ox,
+            y: y * s + oy,
+            w: w * s,
+            h: h * s,
+            color: *color,
+            label: label.clone(),
+        },
+        Mark::Circle {
+            cx,
+            cy,
+            r,
+            color,
+            label,
+        } => Mark::Circle {
+            cx: cx * s + ox,
+            cy: cy * s + oy,
+            r: (r * s).max(0.5),
+            color: *color,
+            label: label.clone(),
+        },
+        Mark::Line {
+            points,
+            color,
+            width,
+        } => Mark::Line {
+            points: points
+                .iter()
+                .map(|&(x, y)| (x * s + ox, y * s + oy))
+                .collect(),
+            color: *color,
+            width: (width * s).max(0.3),
+        },
+        Mark::Text {
+            x,
+            y,
+            text,
+            size,
+            color,
+        } => Mark::Text {
+            x: x * s + ox,
+            y: y * s + oy,
+            text: text.clone(),
+            size: (size * s).max(4.0),
+            color: *color,
+        },
+    }
+}
+
+/// A brushing-and-linking selection over a shared numeric field: items
+/// whose value falls in `[lo, hi]` are "brushed". Views register their
+/// items by (item id, value); the brush answers membership for all of
+/// them, so every linked view highlights the same subset.
+#[derive(Debug, Clone, Default)]
+pub struct Brush {
+    range: Option<(f64, f64)>,
+}
+
+impl Brush {
+    /// An empty (inactive) brush.
+    pub fn new() -> Brush {
+        Brush::default()
+    }
+
+    /// Sets the brushed interval (normalized so lo ≤ hi).
+    pub fn select(&mut self, lo: f64, hi: f64) {
+        self.range = Some(if lo <= hi { (lo, hi) } else { (hi, lo) });
+    }
+
+    /// Clears the brush.
+    pub fn clear(&mut self) {
+        self.range = None;
+    }
+
+    /// True if an interval is active.
+    pub fn is_active(&self) -> bool {
+        self.range.is_some()
+    }
+
+    /// True if the value is brushed (inactive brush selects everything).
+    pub fn contains(&self, value: f64) -> bool {
+        match self.range {
+            Some((lo, hi)) => value >= lo && value <= hi,
+            None => true,
+        }
+    }
+
+    /// Splits items into (brushed, unbrushed) index sets.
+    pub fn partition(&self, values: &[f64]) -> (Vec<usize>, Vec<usize>) {
+        let mut inside = Vec::new();
+        let mut outside = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if self.contains(v) {
+                inside.push(i);
+            } else {
+                outside.push(i);
+            }
+        }
+        (inside, outside)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charts;
+    use crate::scene::Color;
+
+    fn small_views() -> Vec<Scene> {
+        let bars = charts::bar_chart(
+            "a",
+            &[("x".to_string(), 1.0), ("y".to_string(), 2.0)],
+            200.0,
+            100.0,
+        );
+        let pie = charts::pie("b", &[("p".to_string(), 1.0)], 100.0, 100.0);
+        let scat = charts::scatter("c", &[(0.0, 0.0), (1.0, 1.0)], 200.0, 200.0, 10);
+        vec![bars, pie, scat]
+    }
+
+    #[test]
+    fn compose_keeps_all_marks_plus_borders() {
+        let views = small_views();
+        let total: usize = views.iter().map(Scene::mark_count).sum();
+        let dash = compose("dash", &views, 2, 800.0, 600.0);
+        assert_eq!(dash.mark_count(), total + views.len());
+        assert!(dash.in_bounds(1.0));
+    }
+
+    #[test]
+    fn compose_scales_into_cells() {
+        let views = small_views();
+        let dash = compose("dash", &views, 3, 900.0, 300.0);
+        // Every mark must land inside the canvas; the first view's marks
+        // inside the first cell (x < 300).
+        assert!(dash.in_bounds(1.0));
+        let first_view_rects: Vec<f64> = dash
+            .marks
+            .iter()
+            .filter_map(|m| match m {
+                Mark::Rect { x, w, .. } => Some(x + w),
+                _ => None,
+            })
+            .take(2)
+            .collect();
+        assert!(first_view_rects.iter().all(|&r| r <= 300.0 + 1.0));
+    }
+
+    #[test]
+    fn compose_empty_and_single() {
+        let dash = compose("empty", &[], 2, 100.0, 100.0);
+        assert_eq!(dash.mark_count(), 0);
+        let one = compose("one", &small_views()[..1], 1, 400.0, 400.0);
+        assert!(one.mark_count() > 0);
+    }
+
+    #[test]
+    fn transform_preserves_relative_geometry() {
+        let m = Mark::Circle {
+            cx: 10.0,
+            cy: 20.0,
+            r: 5.0,
+            color: Color::BLACK,
+            label: None,
+        };
+        let t = transform(&m, 2.0, 100.0, 200.0);
+        match t {
+            Mark::Circle { cx, cy, r, .. } => {
+                assert_eq!((cx, cy, r), (120.0, 240.0, 10.0));
+            }
+            _ => panic!("kind changed"),
+        }
+    }
+
+    #[test]
+    fn brush_membership_and_partition() {
+        let mut b = Brush::new();
+        assert!(b.contains(5.0), "inactive brush selects everything");
+        b.select(10.0, 3.0); // reversed bounds normalize
+        assert!(b.is_active());
+        assert!(b.contains(5.0));
+        assert!(!b.contains(11.0));
+        let (inside, outside) = b.partition(&[1.0, 5.0, 20.0]);
+        assert_eq!(inside, vec![1]);
+        assert_eq!(outside, vec![0, 2]);
+        b.clear();
+        assert!(b.contains(999.0));
+    }
+}

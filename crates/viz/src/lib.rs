@@ -1,0 +1,45 @@
+//! # wodex-viz — the visualization abstraction layer
+//!
+//! This crate is the "front half" of every system in the survey's Table 1:
+//! given data (usually a SPARQL result or a profiled RDF property), decide
+//! *what* to draw and *draw* it — scalably, through the abstractions of
+//! `wodex-approx` rather than one mark per record.
+//!
+//! * [`profile`] — data-characteristic detection: the **N**umeric /
+//!   **T**emporal / **S**patial / **H**ierarchical / **G**raph data-type
+//!   taxonomy of Table 1, derived automatically from values.
+//! * [`scene`] — a renderer-independent scene graph of marks.
+//! * [`charts`] — chart constructors (bar, histogram, line/timeline,
+//!   scatter, pie, treemap, geo scatter, node-link) that build scenes
+//!   whose mark count is bounded by bins/pixels, not records.
+//! * [`render`] — SVG and ASCII back ends.
+//! * [`recommend`] — **visualization recommendation**
+//!   (LinkDaViz \[129\], Vis Wizard \[131\], LDVizWiz \[11\]): rank chart types
+//!   by fitness for the profiled fields, with explanations.
+//! * [`prefs`] — user preferences (Table 1's "Preferences" column):
+//!   boosts/penalties folded into recommendation scores and a point
+//!   budget folded into chart construction.
+//! * [`dashboard`] — VizBoard-style \[135\] composite dashboards and the
+//!   brushing-and-linking selection of Vis Wizard \[131\].
+//! * [`ontology`] — the §3.5 ontology chart family: layered class trees,
+//!   CropCircles containment \[137\], sunbursts and nested treemaps over the
+//!   extracted `rdfs:subClassOf` hierarchy.
+//! * [`ldvm`] — the **Linked Data Visualization Model** \[29\] pipeline:
+//!   Source Data → Analytical Abstraction → Visualization Abstraction →
+//!   View, as a concrete, composable type.
+
+pub mod charts;
+pub mod dashboard;
+pub mod ldvm;
+pub mod ontology;
+pub mod prefs;
+pub mod profile;
+pub mod recommend;
+pub mod render;
+pub mod scene;
+
+pub use ldvm::LdvmPipeline;
+pub use prefs::UserPreferences;
+pub use profile::{DataKind, FieldProfile};
+pub use recommend::{recommend, Recommendation, VisKind};
+pub use scene::{Color, Mark, Scene};

@@ -1,0 +1,491 @@
+//! Ontology visualization (§3.5 of the survey).
+//!
+//! The survey catalogs three ways to draw a class hierarchy:
+//!
+//! * the dominant **node-link** paradigm (OntoGraf, OWLViz, VOWL, KC-Viz
+//!   ...) — [`class_tree`], a layered tree drawing;
+//! * **geometric containment** — CropCircles \[137\] "represent\[s\] the
+//!   class hierarchy as a set of concentric circles" — [`crop_circles`];
+//! * **space-filling partitions** — the treemap/sunburst family the LDVM
+//!   stack uses — [`nested_treemap`] and [`sunburst`].
+//!
+//! All four consume the extracted [`ClassHierarchy`] and size elements by
+//! transitive instance counts, so sparse branches stay visible and heavy
+//! branches dominate — the overview behaviour ontology browsers need.
+
+use crate::scene::{Color, Mark, Scene};
+use wodex_rdf::schema::ClassHierarchy;
+
+/// A layered node-link tree: depth → rows, siblings spread along x,
+/// parent centered over its children.
+pub fn class_tree(h: &ClassHierarchy, width: f64, height: f64) -> Scene {
+    let mut s = Scene::new(width, height, "class hierarchy");
+    if h.is_empty() {
+        return s;
+    }
+    // In-order x coordinates for leaves, parents centered.
+    let mut x = vec![0.0f64; h.len()];
+    let mut next_leaf = 0.0f64;
+    // Post-order walk.
+    fn assign(h: &ClassHierarchy, i: usize, x: &mut [f64], next_leaf: &mut f64) {
+        if h.nodes[i].children.is_empty() {
+            x[i] = *next_leaf;
+            *next_leaf += 1.0;
+        } else {
+            for &c in &h.nodes[i].children {
+                assign(h, c, x, next_leaf);
+            }
+            let kids = &h.nodes[i].children;
+            x[i] = kids.iter().map(|&c| x[c]).sum::<f64>() / kids.len() as f64;
+        }
+    }
+    for &r in &h.roots {
+        assign(h, r, &mut x, &mut next_leaf);
+    }
+    let cols = next_leaf.max(1.0);
+    let rows = (h.max_depth() + 1) as f64;
+    let sx = |v: f64| 30.0 + v / (cols - 1.0).max(1.0) * (width - 60.0);
+    let sy = |d: usize| 30.0 + d as f64 / (rows - 1.0).max(1.0) * (height - 60.0);
+    // Edges first.
+    for (i, n) in h.nodes.iter().enumerate() {
+        if let Some(p) = n.parent {
+            s.marks.push(Mark::Line {
+                points: vec![(sx(x[p]), sy(h.nodes[p].depth)), (sx(x[i]), sy(n.depth))],
+                color: Color::GRAY,
+                width: 0.8,
+            });
+        }
+    }
+    let max_w = h
+        .nodes
+        .iter()
+        .map(|n| n.transitive_instances)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    for (i, n) in h.nodes.iter().enumerate() {
+        let r = 3.0 + 8.0 * (n.transitive_instances as f64 / max_w).sqrt();
+        s.marks.push(Mark::Circle {
+            cx: sx(x[i]),
+            cy: sy(n.depth),
+            r,
+            color: Color::palette(n.depth),
+            label: Some(format!("{} ({})", n.label, n.transitive_instances)),
+        });
+        s.marks.push(Mark::Text {
+            x: sx(x[i]) + r + 2.0,
+            y: sy(n.depth) + 3.0,
+            text: truncate(&n.label, 14),
+            size: 8.0,
+            color: Color::BLACK,
+        });
+    }
+    s
+}
+
+/// CropCircles-style geometric containment: each class is a circle whose
+/// area tracks its transitive weight; children are packed on a ring
+/// inside their parent.
+pub fn crop_circles(h: &ClassHierarchy, width: f64, height: f64) -> Scene {
+    let mut s = Scene::new(width, height, "class containment (CropCircles)");
+    if h.is_empty() {
+        return s;
+    }
+    // Layout recursively: the forest packs into a virtual super-root.
+    let total: f64 = h
+        .roots
+        .iter()
+        .map(|&r| h.nodes[r].transitive_instances.max(1) as f64)
+        .sum();
+    let root_r = (width.min(height) / 2.0 - 10.0).max(10.0);
+    let cx = width / 2.0;
+    let cy = height / 2.0;
+    // (index, center, radius) accumulated.
+    let mut placed: Vec<(usize, f64, f64, f64)> = Vec::new();
+    place_children(h, &h.roots, cx, cy, root_r, total.max(1.0), &mut placed);
+    for (i, x, y, r) in placed {
+        let n = &h.nodes[i];
+        s.marks.push(Mark::Circle {
+            cx: x,
+            cy: y,
+            r,
+            color: Color::palette(n.depth),
+            label: Some(format!("{} ({})", n.label, n.transitive_instances)),
+        });
+    }
+    s
+}
+
+/// Packs `children` inside a circle at (cx, cy, radius): one child fills
+/// the disk alone; several sit on a ring, each with radius proportional
+/// to the square root of its weight share.
+fn place_children(
+    h: &ClassHierarchy,
+    children: &[usize],
+    cx: f64,
+    cy: f64,
+    radius: f64,
+    total_weight: f64,
+    out: &mut Vec<(usize, f64, f64, f64)>,
+) {
+    if children.is_empty() || radius < 1.0 {
+        return;
+    }
+    let k = children.len();
+    if k == 1 {
+        let i = children[0];
+        let r = radius * 0.85;
+        out.push((i, cx, cy, r));
+        let w: f64 = h.nodes[i]
+            .children
+            .iter()
+            .map(|&c| h.nodes[c].transitive_instances.max(1) as f64)
+            .sum();
+        place_children(h, &h.nodes[i].children, cx, cy, r, w.max(1.0), out);
+        return;
+    }
+    // Ring placement: centers on a ring of radius ring_r; child radius
+    // bounded by both its weight share and the ring spacing.
+    let ring_r = radius * 0.55;
+    let max_child_r = (radius - ring_r).min(ring_r * (std::f64::consts::PI / k as f64).sin());
+    for (j, &i) in children.iter().enumerate() {
+        let share = h.nodes[i].transitive_instances.max(1) as f64 / total_weight;
+        let r = (max_child_r * share.sqrt().max(0.25))
+            .min(max_child_r)
+            .max(1.0);
+        let a = std::f64::consts::TAU * j as f64 / k as f64;
+        let (x, y) = (cx + ring_r * a.cos(), cy + ring_r * a.sin());
+        out.push((i, x, y, r));
+        let w: f64 = h.nodes[i]
+            .children
+            .iter()
+            .map(|&c| h.nodes[c].transitive_instances.max(1) as f64)
+            .sum();
+        place_children(h, &h.nodes[i].children, x, y, r, w.max(1.0), out);
+    }
+}
+
+/// A sunburst: depth → ring, angular span ∝ transitive weight, drawn as
+/// sampled arc polylines.
+pub fn sunburst(h: &ClassHierarchy, width: f64, height: f64) -> Scene {
+    let mut s = Scene::new(width, height, "class sunburst");
+    if h.is_empty() {
+        return s;
+    }
+    let cx = width / 2.0;
+    let cy = height / 2.0;
+    let rings = (h.max_depth() + 2) as f64;
+    let ring_w = (width.min(height) / 2.0 - 10.0) / rings;
+    let total: f64 = h
+        .roots
+        .iter()
+        .map(|&r| h.nodes[r].transitive_instances.max(1) as f64)
+        .sum::<f64>()
+        .max(1.0);
+    // (index, start_angle, sweep) via DFS.
+    let mut segs: Vec<(usize, f64, f64)> = Vec::new();
+    let mut stack: Vec<(usize, f64, f64)> = Vec::new();
+    let mut a0 = 0.0;
+    for &r in &h.roots {
+        let sweep = h.nodes[r].transitive_instances.max(1) as f64 / total * std::f64::consts::TAU;
+        stack.push((r, a0, sweep));
+        a0 += sweep;
+    }
+    while let Some((i, start, sweep)) = stack.pop() {
+        segs.push((i, start, sweep));
+        let kid_total: f64 = h.nodes[i]
+            .children
+            .iter()
+            .map(|&c| h.nodes[c].transitive_instances.max(1) as f64)
+            .sum();
+        let mut a = start;
+        for &c in &h.nodes[i].children {
+            let frac = h.nodes[c].transitive_instances.max(1) as f64 / kid_total.max(1.0);
+            let child_sweep = sweep * frac;
+            stack.push((c, a, child_sweep));
+            a += child_sweep;
+        }
+    }
+    for (i, start, sweep) in segs {
+        let n = &h.nodes[i];
+        let r0 = ring_w * (n.depth as f64 + 1.0);
+        let r1 = r0 + ring_w * 0.9;
+        // Donut segment outline: inner arc → outer arc (reversed) → close.
+        let steps = ((sweep / 0.15).ceil() as usize).max(2);
+        let mut pts = Vec::with_capacity(2 * steps + 3);
+        for k in 0..=steps {
+            let a = start + sweep * k as f64 / steps as f64;
+            pts.push((cx + r0 * a.cos(), cy + r0 * a.sin()));
+        }
+        for k in (0..=steps).rev() {
+            let a = start + sweep * k as f64 / steps as f64;
+            pts.push((cx + r1 * a.cos(), cy + r1 * a.sin()));
+        }
+        pts.push(pts[0]);
+        s.marks.push(Mark::Line {
+            points: pts,
+            color: Color::palette(i),
+            width: 1.5,
+        });
+    }
+    s
+}
+
+/// A nested treemap: each class's rectangle contains its children,
+/// alternating split orientation by depth.
+pub fn nested_treemap(h: &ClassHierarchy, width: f64, height: f64) -> Scene {
+    let mut s = Scene::new(width, height, "class treemap");
+    if h.is_empty() {
+        return s;
+    }
+    let total: f64 = h
+        .roots
+        .iter()
+        .map(|&r| h.nodes[r].transitive_instances.max(1) as f64)
+        .sum::<f64>()
+        .max(1.0);
+    nest(
+        h,
+        &h.roots,
+        total,
+        (2.0, 16.0, width - 4.0, height - 18.0),
+        true,
+        &mut s,
+    );
+    s
+}
+
+fn nest(
+    h: &ClassHierarchy,
+    children: &[usize],
+    total: f64,
+    rect: (f64, f64, f64, f64),
+    horizontal: bool,
+    s: &mut Scene,
+) {
+    let (x, y, w, hgt) = rect;
+    if w < 2.0 || hgt < 2.0 {
+        return;
+    }
+    let mut pos = 0.0;
+    for &i in children {
+        let node = &h.nodes[i];
+        let frac = node.transitive_instances.max(1) as f64 / total;
+        let (rx, ry, rw, rh) = if horizontal {
+            (x + pos * w, y, frac * w, hgt)
+        } else {
+            (x, y + pos * hgt, w, frac * hgt)
+        };
+        s.marks.push(Mark::Rect {
+            x: rx,
+            y: ry,
+            w: rw,
+            h: rh,
+            color: Color::palette(node.depth),
+            label: Some(format!("{} ({})", node.label, node.transitive_instances)),
+        });
+        if rw > 36.0 && rh > 11.0 {
+            s.marks.push(Mark::Text {
+                x: rx + 2.0,
+                y: ry + 9.0,
+                text: truncate(&node.label, (rw / 7.0) as usize),
+                size: 8.0,
+                color: Color::BLACK,
+            });
+        }
+        let kid_total: f64 = node
+            .children
+            .iter()
+            .map(|&c| h.nodes[c].transitive_instances.max(1) as f64)
+            .sum();
+        if !node.children.is_empty() {
+            nest(
+                h,
+                &node.children,
+                kid_total.max(1.0),
+                (
+                    rx + 2.0,
+                    ry + 11.0,
+                    (rw - 4.0).max(0.0),
+                    (rh - 13.0).max(0.0),
+                ),
+                !horizontal,
+                s,
+            );
+        }
+        pos += frac;
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n.saturating_sub(1)).collect::<String>() + "…"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::vocab::{rdf, rdfs};
+    use wodex_rdf::{Graph, Term, Triple};
+
+    fn hierarchy() -> ClassHierarchy {
+        let mut g = Graph::new();
+        let sub = |a: &str, b: &str| {
+            Triple::iri(
+                &format!("http://e.org/{a}"),
+                rdfs::SUB_CLASS_OF,
+                Term::iri(format!("http://e.org/{b}")),
+            )
+        };
+        g.insert(sub("City", "Settlement"));
+        g.insert(sub("Town", "Settlement"));
+        g.insert(sub("Settlement", "Place"));
+        g.insert(sub("Mountain", "Place"));
+        for i in 0..20 {
+            let class = ["City", "City", "City", "Town", "Mountain"][i % 5];
+            g.insert(Triple::iri(
+                &format!("http://e.org/i{i}"),
+                rdf::TYPE,
+                Term::iri(format!("http://e.org/{class}")),
+            ));
+        }
+        ClassHierarchy::extract(&g)
+    }
+
+    #[test]
+    fn class_tree_draws_every_class_and_edge() {
+        let h = hierarchy();
+        let s = class_tree(&h, 640.0, 480.0);
+        let (_, circles, lines, texts) = s.mark_breakdown();
+        assert_eq!(circles, 5);
+        assert_eq!(lines, 4); // tree edges = n - roots
+        assert_eq!(texts, 5);
+        assert!(s.in_bounds(2.0));
+    }
+
+    #[test]
+    fn class_tree_layers_by_depth() {
+        let h = hierarchy();
+        let s = class_tree(&h, 640.0, 480.0);
+        // Root circles must be strictly above depth-2 circles.
+        let ys: Vec<(String, f64)> = s
+            .marks
+            .iter()
+            .filter_map(|m| match m {
+                Mark::Circle {
+                    cy, label: Some(l), ..
+                } => Some((l.clone(), *cy)),
+                _ => None,
+            })
+            .collect();
+        let y = |name: &str| ys.iter().find(|(l, _)| l.starts_with(name)).unwrap().1;
+        assert!(y("Place") < y("Settlement"));
+        assert!(y("Settlement") < y("City"));
+    }
+
+    #[test]
+    fn crop_circles_children_are_inside_parents() {
+        let h = hierarchy();
+        let s = crop_circles(&h, 500.0, 500.0);
+        let circles: Vec<(String, f64, f64, f64)> = s
+            .marks
+            .iter()
+            .filter_map(|m| match m {
+                Mark::Circle {
+                    cx,
+                    cy,
+                    r,
+                    label: Some(l),
+                    ..
+                } => Some((l.clone(), *cx, *cy, *r)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(circles.len(), 5);
+        let get = |name: &str| {
+            circles
+                .iter()
+                .find(|(l, ..)| l.starts_with(name))
+                .unwrap()
+                .clone()
+        };
+        let (_, px, py, pr) = get("Settlement");
+        for child in ["City", "Town"] {
+            let (_, cx, cy, cr) = get(child);
+            let d = ((cx - px).powi(2) + (cy - py).powi(2)).sqrt();
+            assert!(
+                d + cr <= pr + 1e-6,
+                "{child} circle (d={d}, r={cr}) escapes Settlement (r={pr})"
+            );
+        }
+        assert!(s.in_bounds(1.0));
+    }
+
+    #[test]
+    fn sunburst_sweeps_sum_to_full_circle_per_ring() {
+        let h = hierarchy();
+        let s = sunburst(&h, 400.0, 400.0);
+        // One closed polyline per class.
+        let (_, _, lines, _) = s.mark_breakdown();
+        assert_eq!(lines, 5);
+        assert!(s.in_bounds(1.0));
+        // Every segment polyline is closed.
+        for m in &s.marks {
+            if let Mark::Line { points, .. } = m {
+                assert_eq!(points.first(), points.last());
+            }
+        }
+    }
+
+    #[test]
+    fn nested_treemap_rects_nest_geometrically() {
+        let h = hierarchy();
+        let s = nested_treemap(&h, 600.0, 400.0);
+        let rects: Vec<(String, f64, f64, f64, f64)> = s
+            .marks
+            .iter()
+            .filter_map(|m| match m {
+                Mark::Rect {
+                    x,
+                    y,
+                    w,
+                    h,
+                    label: Some(l),
+                    ..
+                } => Some((l.clone(), *x, *y, *w, *h)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rects.len(), 5);
+        let get = |name: &str| {
+            rects
+                .iter()
+                .find(|(l, ..)| l.starts_with(name))
+                .cloned()
+                .unwrap()
+        };
+        let (_, px, py, pw, ph) = get("Place");
+        let (_, cx, cy, cw, ch) = get("City");
+        assert!(cx >= px - 1e-6 && cy >= py - 1e-6);
+        assert!(cx + cw <= px + pw + 1e-6 && cy + ch <= py + ph + 1e-6);
+        // Area ordering: City (12 instances) > Town (4).
+        let (_, _, _, tw, th) = get("Town");
+        assert!(cw * ch > tw * th);
+    }
+
+    #[test]
+    fn empty_hierarchy_renders_empty_scenes() {
+        let h = ClassHierarchy::extract(&Graph::new());
+        for s in [
+            class_tree(&h, 100.0, 100.0),
+            crop_circles(&h, 100.0, 100.0),
+            sunburst(&h, 100.0, 100.0),
+            nested_treemap(&h, 100.0, 100.0),
+        ] {
+            assert_eq!(s.mark_count(), 0);
+        }
+    }
+}

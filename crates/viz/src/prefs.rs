@@ -1,0 +1,132 @@
+//! User preferences and environment adaptation.
+//!
+//! Table 1's "Preferences" column marks systems that let the user shape
+//! the visualization (VizBoard, SemLens, SynopsViz, Vis Wizard,
+//! LinkDaViz), and §2 asks that systems "*automatically adjust their
+//! parameters by taking into account the environment setting (e.g., screen
+//! resolution, memory size)*". [`UserPreferences`] carries both: explicit
+//! chart-type boosts and data budgets, and an environment-derived default.
+
+use crate::recommend::{Recommendation, VisKind};
+use std::collections::HashMap;
+
+/// User + environment preferences applied across the pipeline.
+#[derive(Debug, Clone)]
+pub struct UserPreferences {
+    /// Additive score boosts (may be negative) per chart type.
+    pub boosts: HashMap<VisKind, f64>,
+    /// Maximum raw points a chart may draw before reduction kicks in.
+    pub max_points: usize,
+    /// Number of bins for distribution views.
+    pub bins: usize,
+    /// HETree-style abstraction fanout for multilevel views.
+    pub hierarchy_degree: usize,
+    /// Viewport width in scene units.
+    pub width: f64,
+    /// Viewport height in scene units.
+    pub height: f64,
+}
+
+impl Default for UserPreferences {
+    fn default() -> Self {
+        UserPreferences {
+            boosts: HashMap::new(),
+            max_points: 2000,
+            bins: 32,
+            hierarchy_degree: 4,
+            width: 640.0,
+            height: 480.0,
+        }
+    }
+}
+
+impl UserPreferences {
+    /// Derives budgets from a screen resolution and a memory budget in
+    /// MiB — the §2 environment-adaptation rule: point budget ≈ one per
+    /// horizontal pixel ×4 (M4), bins ≈ width/20, all clamped by memory.
+    pub fn for_environment(screen_w: u32, screen_h: u32, memory_mib: u32) -> UserPreferences {
+        let max_points_by_screen = (screen_w as usize) * 4;
+        let max_points_by_memory = (memory_mib as usize) * 1024; // ~16B/point
+        UserPreferences {
+            max_points: max_points_by_screen.min(max_points_by_memory).max(100),
+            bins: ((screen_w / 20) as usize).clamp(8, 256),
+            width: screen_w as f64,
+            height: screen_h as f64,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a chart-type boost (chainable).
+    pub fn boost(mut self, kind: VisKind, delta: f64) -> UserPreferences {
+        *self.boosts.entry(kind).or_insert(0.0) += delta;
+        self
+    }
+
+    /// Applies boosts to recommendations and re-sorts them, annotating
+    /// boosted entries.
+    pub fn apply(&self, mut recs: Vec<Recommendation>) -> Vec<Recommendation> {
+        for r in &mut recs {
+            if let Some(&b) = self.boosts.get(&r.kind) {
+                r.score = (r.score + b).clamp(0.0, 1.0);
+                r.reason = format!("{} [user preference {b:+.2}]", r.reason);
+            }
+        }
+        recs.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        recs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: VisKind, score: f64) -> Recommendation {
+        Recommendation {
+            kind,
+            score,
+            reason: "r".into(),
+        }
+    }
+
+    #[test]
+    fn boost_reorders_recommendations() {
+        let prefs = UserPreferences::default().boost(VisKind::Pie, 0.5);
+        let recs = vec![rec(VisKind::Bar, 0.8), rec(VisKind::Pie, 0.5)];
+        let out = prefs.apply(recs);
+        assert_eq!(out[0].kind, VisKind::Pie);
+        assert!(out[0].reason.contains("user preference"));
+    }
+
+    #[test]
+    fn negative_boost_demotes() {
+        let prefs = UserPreferences::default().boost(VisKind::Bar, -0.6);
+        let out = prefs.apply(vec![rec(VisKind::Bar, 0.8), rec(VisKind::Table, 0.3)]);
+        assert_eq!(out[0].kind, VisKind::Table);
+    }
+
+    #[test]
+    fn scores_stay_clamped() {
+        let prefs = UserPreferences::default()
+            .boost(VisKind::Bar, 5.0)
+            .boost(VisKind::Pie, -5.0);
+        let out = prefs.apply(vec![rec(VisKind::Bar, 0.8), rec(VisKind::Pie, 0.5)]);
+        assert_eq!(out[0].score, 1.0);
+        assert_eq!(out[1].score, 0.0);
+    }
+
+    #[test]
+    fn environment_budgets_scale_with_screen() {
+        let laptop = UserPreferences::for_environment(1280, 800, 4096);
+        let phone = UserPreferences::for_environment(360, 640, 512);
+        assert!(laptop.max_points > phone.max_points);
+        assert!(laptop.bins >= phone.bins);
+        assert_eq!(phone.width, 360.0);
+    }
+
+    #[test]
+    fn memory_caps_point_budget() {
+        // Huge screen, tiny memory: memory wins.
+        let p = UserPreferences::for_environment(10_000, 1000, 1);
+        assert_eq!(p.max_points, 1024);
+    }
+}

@@ -1,0 +1,346 @@
+//! Visualization recommendation.
+//!
+//! The survey's §4 highlights recommendation as the trend among recent
+//! generic systems: "*an increasing number of recent systems (e.g.,
+//! LinkDaViz, Vis Wizard, LDVizWiz, LDVM) focus on providing
+//! recommendation mechanisms \[which\] mainly recommend the most suitable
+//! visualization technique by considering the type of input data.*"
+//!
+//! [`recommend`] implements that mapping as a transparent rule table:
+//! every candidate chart type is scored against the profiled fields, and
+//! each score carries its *reason* — the explanation facility the survey
+//! asks of user-assisting systems.
+
+use crate::profile::{DataKind, FieldProfile};
+
+/// The chart-type vocabulary (the union of Table 1's "Vis. Types").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VisKind {
+    /// Bar chart.
+    Bar,
+    /// Histogram of a numeric column.
+    HistogramChart,
+    /// Line chart / timeline.
+    Line,
+    /// Scatter plot.
+    Scatter,
+    /// Pie chart.
+    Pie,
+    /// Treemap.
+    Treemap,
+    /// Geographic map.
+    Map,
+    /// Density heatmap.
+    Heatmap,
+    /// Node-link graph diagram.
+    NodeLink,
+    /// Plain table (always applicable fallback).
+    Table,
+}
+
+impl VisKind {
+    /// All kinds, for sweeps.
+    pub fn all() -> [VisKind; 10] {
+        [
+            VisKind::Bar,
+            VisKind::HistogramChart,
+            VisKind::Line,
+            VisKind::Scatter,
+            VisKind::Pie,
+            VisKind::Treemap,
+            VisKind::Map,
+            VisKind::Heatmap,
+            VisKind::NodeLink,
+            VisKind::Table,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VisKind::Bar => "bar chart",
+            VisKind::HistogramChart => "histogram",
+            VisKind::Line => "line chart / timeline",
+            VisKind::Scatter => "scatter plot",
+            VisKind::Pie => "pie chart",
+            VisKind::Treemap => "treemap",
+            VisKind::Map => "map",
+            VisKind::Heatmap => "heatmap",
+            VisKind::NodeLink => "node-link graph",
+            VisKind::Table => "table",
+        }
+    }
+}
+
+/// A scored recommendation with its explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The recommended chart type.
+    pub kind: VisKind,
+    /// Fitness score in \[0, 1\].
+    pub score: f64,
+    /// Why this chart fits (or what was penalized).
+    pub reason: String,
+}
+
+/// Scores every chart type against the given field profiles and returns
+/// recommendations sorted best-first. Only kinds scoring above zero are
+/// returned; `Table` is always present as the floor.
+pub fn recommend(fields: &[FieldProfile]) -> Vec<Recommendation> {
+    let has = |k: DataKind| fields.iter().any(|f| f.kind == k);
+    let count_of = |k: DataKind| fields.iter().filter(|f| f.kind == k).count();
+    let first = |k: DataKind| fields.iter().find(|f| f.kind == k);
+    let n_records = fields.iter().map(|f| f.count).max().unwrap_or(0);
+
+    let mut out: Vec<Recommendation> = Vec::new();
+    let mut push = |kind: VisKind, score: f64, reason: String| {
+        if score > 0.0 {
+            out.push(Recommendation {
+                kind,
+                score: score.min(1.0),
+                reason,
+            });
+        }
+    };
+
+    let numeric = count_of(DataKind::Numeric);
+    let categorical = first(DataKind::Categorical);
+    let temporal = has(DataKind::Temporal);
+    let spatial = count_of(DataKind::Spatial);
+
+    // Histogram: any numeric field; the bigger the data the better the
+    // fit (aggregation-first).
+    if numeric >= 1 {
+        let bonus = if n_records > 10_000 { 0.05 } else { 0.0 };
+        push(
+            VisKind::HistogramChart,
+            0.85 + bonus,
+            "numeric field: distribution via binning scales to any size".into(),
+        );
+    }
+    // Bar / pie / treemap: categorical (+ optional numeric measure).
+    if let Some(cat) = categorical {
+        let measure = if numeric >= 1 {
+            " with numeric measure"
+        } else {
+            " with counts"
+        };
+        push(
+            VisKind::Bar,
+            if numeric >= 1 { 0.9 } else { 0.8 },
+            format!("categorical field ({} values){measure}", cat.distinct),
+        );
+        if cat.distinct <= 6 {
+            push(
+                VisKind::Pie,
+                0.65,
+                format!(
+                    "categorical with only {} values: part-of-whole",
+                    cat.distinct
+                ),
+            );
+        } else {
+            push(
+                VisKind::Pie,
+                0.2,
+                format!("{} categories is too many slices for a pie", cat.distinct),
+            );
+        }
+        push(
+            VisKind::Treemap,
+            if cat.distinct > 12 { 0.7 } else { 0.5 },
+            "categorical weights as nested area".into(),
+        );
+    }
+    if has(DataKind::Hierarchical) {
+        push(
+            VisKind::Treemap,
+            0.9,
+            "hierarchical data: containment layout".into(),
+        );
+    }
+    // Line: temporal + numeric (or temporal alone as event counts).
+    if temporal {
+        push(
+            VisKind::Line,
+            if numeric >= 1 { 0.95 } else { 0.8 },
+            "temporal field: trend over time".into(),
+        );
+    }
+    // Scatter / heatmap: two numerics.
+    if numeric >= 2 {
+        let (scatter_score, scatter_reason) = if n_records > 50_000 {
+            (
+                0.55,
+                "two numeric fields, but at this size overplotting favors a heatmap".to_string(),
+            )
+        } else {
+            (0.9, "two numeric fields: correlation view".to_string())
+        };
+        push(VisKind::Scatter, scatter_score, scatter_reason);
+        push(
+            VisKind::Heatmap,
+            if n_records > 50_000 { 0.9 } else { 0.5 },
+            "two numeric fields binned to a density grid".into(),
+        );
+    }
+    // Map: a lat/long pair.
+    if spatial >= 2 {
+        push(
+            VisKind::Map,
+            0.95,
+            "latitude/longitude pair: geographic view".into(),
+        );
+    } else if spatial == 1 {
+        push(
+            VisKind::Map,
+            0.4,
+            "one coordinate present; the pair is needed for a full map".into(),
+        );
+    }
+    // Node-link: graph-shaped field.
+    if has(DataKind::Graph) {
+        push(
+            VisKind::NodeLink,
+            0.9,
+            "object property links resources: network view".into(),
+        );
+    }
+    // Table: always possible.
+    push(
+        VisKind::Table,
+        0.3,
+        "a table is always applicable (fallback)".into(),
+    );
+
+    // Deduplicate by kind keeping the max score.
+    out.sort_by(|a, b| {
+        a.kind
+            .cmp(&b.kind)
+            .then(b.score.partial_cmp(&a.score).expect("finite scores"))
+    });
+    out.dedup_by_key(|r| r.kind);
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::Value;
+
+    fn field(name: &str, kind: DataKind, count: usize, distinct: usize) -> FieldProfile {
+        FieldProfile {
+            name: name.into(),
+            kind,
+            count,
+            distinct,
+            numeric: None,
+        }
+    }
+
+    #[test]
+    fn numeric_alone_recommends_histogram_first() {
+        let f = [field("v", DataKind::Numeric, 1000, 900)];
+        let r = recommend(&f);
+        assert_eq!(r[0].kind, VisKind::HistogramChart);
+        assert!(r.iter().any(|x| x.kind == VisKind::Table));
+    }
+
+    #[test]
+    fn temporal_plus_numeric_recommends_line() {
+        let f = [
+            field("t", DataKind::Temporal, 500, 400),
+            field("v", DataKind::Numeric, 500, 400),
+        ];
+        let r = recommend(&f);
+        assert_eq!(r[0].kind, VisKind::Line);
+        assert!(r[0].score > 0.9);
+    }
+
+    #[test]
+    fn categorical_small_allows_pie_large_does_not() {
+        let small = [field("c", DataKind::Categorical, 100, 4)];
+        let r = recommend(&small);
+        let pie = r.iter().find(|x| x.kind == VisKind::Pie).unwrap();
+        assert!(pie.score > 0.5);
+        let large = [field("c", DataKind::Categorical, 100, 30)];
+        let r = recommend(&large);
+        let pie = r.iter().find(|x| x.kind == VisKind::Pie).unwrap();
+        assert!(pie.score < 0.3);
+        assert!(pie.reason.contains("too many"));
+    }
+
+    #[test]
+    fn two_numerics_small_scatter_large_heatmap() {
+        let small = [
+            field("x", DataKind::Numeric, 1000, 1000),
+            field("y", DataKind::Numeric, 1000, 1000),
+        ];
+        let r = recommend(&small);
+        let scatter = r.iter().find(|x| x.kind == VisKind::Scatter).unwrap();
+        let heat = r.iter().find(|x| x.kind == VisKind::Heatmap).unwrap();
+        assert!(scatter.score > heat.score);
+        let big = [
+            field("x", DataKind::Numeric, 1_000_000, 1000),
+            field("y", DataKind::Numeric, 1_000_000, 1000),
+        ];
+        let r = recommend(&big);
+        let scatter = r.iter().find(|x| x.kind == VisKind::Scatter).unwrap();
+        let heat = r.iter().find(|x| x.kind == VisKind::Heatmap).unwrap();
+        assert!(
+            heat.score > scatter.score,
+            "at 10^6 records the density view must win"
+        );
+    }
+
+    #[test]
+    fn spatial_pair_recommends_map() {
+        let f = [
+            field("lat", DataKind::Spatial, 100, 90),
+            field("long", DataKind::Spatial, 100, 95),
+        ];
+        let r = recommend(&f);
+        assert_eq!(r[0].kind, VisKind::Map);
+    }
+
+    #[test]
+    fn graph_field_recommends_node_link() {
+        let f = [field("links", DataKind::Graph, 500, 300)];
+        let r = recommend(&f);
+        assert_eq!(r[0].kind, VisKind::NodeLink);
+    }
+
+    #[test]
+    fn every_recommendation_has_a_reason_and_valid_score() {
+        let f = [
+            field("c", DataKind::Categorical, 100, 5),
+            field("v", DataKind::Numeric, 100, 80),
+            field("t", DataKind::Temporal, 100, 100),
+        ];
+        for r in recommend(&f) {
+            assert!(!r.reason.is_empty());
+            assert!((0.0..=1.0).contains(&r.score));
+        }
+    }
+
+    #[test]
+    fn recommendations_are_sorted_and_unique() {
+        let f = [
+            field("c", DataKind::Categorical, 100, 5),
+            field("v", DataKind::Numeric, 100, 80),
+        ];
+        let r = recommend(&f);
+        assert!(r.windows(2).all(|w| w[0].score >= w[1].score));
+        let kinds: std::collections::HashSet<_> = r.iter().map(|x| x.kind).collect();
+        assert_eq!(kinds.len(), r.len());
+    }
+
+    #[test]
+    fn end_to_end_with_detected_profiles() {
+        let values: Vec<Value> = (0..200).map(|i| Value::Double(i as f64)).collect();
+        let p = FieldProfile::detect("v", &values);
+        let r = recommend(&[p]);
+        assert_eq!(r[0].kind, VisKind::HistogramChart);
+    }
+}

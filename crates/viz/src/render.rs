@@ -1,0 +1,287 @@
+//! Scene renderers: SVG and ASCII back ends.
+//!
+//! The surveyed systems render to browsers; a library renders to strings.
+//! SVG is the portable vector target (viewable in any browser, diffable in
+//! tests); the ASCII canvas is the terminal preview used by the examples.
+
+use crate::scene::{Mark, Scene};
+
+/// Renders a scene to an SVG document string.
+pub fn to_svg(scene: &Scene) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(scene.marks.len() * 80 + 256);
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+        scene.width, scene.height, scene.width, scene.height
+    );
+    let _ = writeln!(out, "  <title>{}</title>", xml_escape(&scene.title));
+    for m in &scene.marks {
+        match m {
+            Mark::Rect {
+                x,
+                y,
+                w,
+                h,
+                color,
+                label,
+            } => {
+                let _ = write!(
+                    out,
+                    "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{}\"",
+                    color.hex()
+                );
+                match label {
+                    Some(l) => {
+                        let _ = writeln!(out, "><title>{}</title></rect>", xml_escape(l));
+                    }
+                    None => {
+                        let _ = writeln!(out, "/>");
+                    }
+                }
+            }
+            Mark::Circle {
+                cx,
+                cy,
+                r,
+                color,
+                label,
+            } => {
+                let _ = write!(
+                    out,
+                    "  <circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{}\"",
+                    color.hex()
+                );
+                match label {
+                    Some(l) => {
+                        let _ = writeln!(out, "><title>{}</title></circle>", xml_escape(l));
+                    }
+                    None => {
+                        let _ = writeln!(out, "/>");
+                    }
+                }
+            }
+            Mark::Line {
+                points,
+                color,
+                width,
+            } => {
+                let pts: Vec<String> = points
+                    .iter()
+                    .map(|&(x, y)| format!("{x:.2},{y:.2}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  <polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{width:.2}\"/>",
+                    pts.join(" "),
+                    color.hex()
+                );
+            }
+            Mark::Text {
+                x,
+                y,
+                text,
+                size,
+                color,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  <text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" fill=\"{}\">{}</text>",
+                    color.hex(),
+                    xml_escape(text)
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders a scene onto a `cols × rows` character canvas (terminal
+/// preview; aspect handled by the caller's cols/rows choice).
+pub fn to_ascii(scene: &Scene, cols: usize, rows: usize) -> String {
+    let mut canvas = vec![vec![' '; cols]; rows];
+    let sx = |x: f64| ((x / scene.width) * cols as f64) as isize;
+    let sy = |y: f64| ((y / scene.height) * rows as f64) as isize;
+    let put = |c: char, x: isize, y: isize, canvas: &mut Vec<Vec<char>>| {
+        if x >= 0 && (x as usize) < cols && y >= 0 && (y as usize) < rows {
+            canvas[y as usize][x as usize] = c;
+        }
+    };
+    for m in &scene.marks {
+        match m {
+            Mark::Rect { x, y, w, h, .. } => {
+                for cy in sy(*y)..=sy(y + h) {
+                    for cx in sx(*x)..=sx(x + w) {
+                        put('#', cx, cy, &mut canvas);
+                    }
+                }
+            }
+            Mark::Circle { cx, cy, .. } => {
+                put('o', sx(*cx), sy(*cy), &mut canvas);
+            }
+            Mark::Line { points, .. } => {
+                for w in points.windows(2) {
+                    draw_line(
+                        sx(w[0].0),
+                        sy(w[0].1),
+                        sx(w[1].0),
+                        sy(w[1].1),
+                        &mut canvas,
+                        cols,
+                        rows,
+                    );
+                }
+            }
+            Mark::Text { x, y, text, .. } => {
+                let (mut cx, cy) = (sx(*x), sy(*y));
+                for ch in text.chars() {
+                    put(ch, cx, cy, &mut canvas);
+                    cx += 1;
+                }
+            }
+        }
+    }
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Bresenham line rasterization with '.' pixels.
+fn draw_line(
+    mut x0: isize,
+    mut y0: isize,
+    x1: isize,
+    y1: isize,
+    canvas: &mut [Vec<char>],
+    cols: usize,
+    rows: usize,
+) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        if x0 >= 0 && (x0 as usize) < cols && y0 >= 0 && (y0 as usize) < rows {
+            let cell = &mut canvas[y0 as usize][x0 as usize];
+            if *cell == ' ' {
+                *cell = '.';
+            }
+        }
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Color, Mark, Scene};
+
+    fn scene() -> Scene {
+        let mut s = Scene::new(100.0, 100.0, "test & <scene>");
+        s.marks.push(Mark::Rect {
+            x: 10.0,
+            y: 10.0,
+            w: 30.0,
+            h: 20.0,
+            color: Color::new(255, 0, 0),
+            label: Some("a \"bar\"".into()),
+        });
+        s.marks.push(Mark::Circle {
+            cx: 70.0,
+            cy: 70.0,
+            r: 5.0,
+            color: Color::BLACK,
+            label: None,
+        });
+        s.marks.push(Mark::Line {
+            points: vec![(0.0, 0.0), (99.0, 99.0)],
+            color: Color::GRAY,
+            width: 1.0,
+        });
+        s.marks.push(Mark::Text {
+            x: 5.0,
+            y: 95.0,
+            text: "hi".into(),
+            size: 10.0,
+            color: Color::BLACK,
+        });
+        s
+    }
+
+    #[test]
+    fn svg_contains_all_marks_and_is_escaped() {
+        let svg = to_svg(&scene());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<text"));
+        assert!(svg.contains("test &amp; &lt;scene&gt;"));
+        assert!(svg.contains("a &quot;bar&quot;"));
+        assert!(svg.contains("#ff0000"));
+    }
+
+    #[test]
+    fn svg_mark_count_matches_scene() {
+        let svg = to_svg(&scene());
+        assert_eq!(svg.matches("<rect").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert_eq!(svg.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    fn ascii_renders_marks() {
+        let a = to_ascii(&scene(), 50, 25);
+        assert!(a.contains('#'), "rect fill missing");
+        assert!(a.contains('o'), "circle missing");
+        assert!(a.contains('.'), "line missing");
+        assert!(a.contains("hi"), "text missing");
+        assert_eq!(a.lines().count(), 25);
+    }
+
+    #[test]
+    fn ascii_clips_out_of_canvas_marks() {
+        let mut s = Scene::new(100.0, 100.0, "t");
+        s.marks.push(Mark::Circle {
+            cx: 500.0,
+            cy: 500.0,
+            r: 1.0,
+            color: Color::BLACK,
+            label: None,
+        });
+        let a = to_ascii(&s, 20, 10);
+        assert!(!a.contains('o'));
+    }
+
+    #[test]
+    fn empty_scene_renders_cleanly() {
+        let s = Scene::new(10.0, 10.0, "empty");
+        assert!(to_svg(&s).contains("</svg>"));
+        assert_eq!(to_ascii(&s, 5, 3), "\n\n\n");
+    }
+}

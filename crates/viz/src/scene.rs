@@ -1,0 +1,241 @@
+//! The renderer-independent scene graph.
+//!
+//! Charts produce a [`Scene`] of primitive [`Mark`]s; the [`crate::render`]
+//! back ends turn scenes into SVG or ASCII. Keeping this layer explicit is
+//! what makes visual output *unit-testable* — tests assert on marks, not
+//! pixels — and it is the "Visualization Abstraction" stage of the LDVM.
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red.
+    pub r: u8,
+    /// Green.
+    pub g: u8,
+    /// Blue.
+    pub b: u8,
+}
+
+impl Color {
+    /// Creates a color.
+    pub const fn new(r: u8, g: u8, b: u8) -> Color {
+        Color { r, g, b }
+    }
+
+    /// Black.
+    pub const BLACK: Color = Color::new(0, 0, 0);
+    /// Mid gray.
+    pub const GRAY: Color = Color::new(128, 128, 128);
+
+    /// The default categorical palette (ten distinguishable hues).
+    pub fn palette(i: usize) -> Color {
+        const P: [Color; 10] = [
+            Color::new(31, 119, 180),
+            Color::new(255, 127, 14),
+            Color::new(44, 160, 44),
+            Color::new(214, 39, 40),
+            Color::new(148, 103, 189),
+            Color::new(140, 86, 75),
+            Color::new(227, 119, 194),
+            Color::new(127, 127, 127),
+            Color::new(188, 189, 34),
+            Color::new(23, 190, 207),
+        ];
+        P[i % P.len()]
+    }
+
+    /// A sequential light→dark blue ramp for `t` in \[0, 1\] (heatmaps).
+    pub fn sequential(t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let lerp = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t) as u8;
+        Color::new(lerp(222, 8), lerp(235, 48), lerp(247, 107))
+    }
+
+    /// CSS hex form (`#rrggbb`).
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+/// A drawing primitive. Coordinates are in scene units with the origin at
+/// the top-left, x rightward, y downward.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mark {
+    /// A filled rectangle.
+    Rect {
+        /// Left edge.
+        x: f64,
+        /// Top edge.
+        y: f64,
+        /// Width.
+        w: f64,
+        /// Height.
+        h: f64,
+        /// Fill color.
+        color: Color,
+        /// Tooltip/label payload.
+        label: Option<String>,
+    },
+    /// A filled circle.
+    Circle {
+        /// Center x.
+        cx: f64,
+        /// Center y.
+        cy: f64,
+        /// Radius.
+        r: f64,
+        /// Fill color.
+        color: Color,
+        /// Tooltip/label payload.
+        label: Option<String>,
+    },
+    /// A polyline.
+    Line {
+        /// The points of the polyline.
+        points: Vec<(f64, f64)>,
+        /// Stroke color.
+        color: Color,
+        /// Stroke width.
+        width: f64,
+    },
+    /// A text label.
+    Text {
+        /// Anchor x.
+        x: f64,
+        /// Anchor y (baseline).
+        y: f64,
+        /// The text.
+        text: String,
+        /// Font size in scene units.
+        size: f64,
+        /// Text color.
+        color: Color,
+    },
+}
+
+/// A scene: a viewport plus an ordered list of marks (painter's order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// Viewport width in scene units.
+    pub width: f64,
+    /// Viewport height in scene units.
+    pub height: f64,
+    /// Scene title (rendered by back ends).
+    pub title: String,
+    /// The marks, back to front.
+    pub marks: Vec<Mark>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new(width: f64, height: f64, title: impl Into<String>) -> Scene {
+        Scene {
+            width,
+            height,
+            title: title.into(),
+            marks: Vec::new(),
+        }
+    }
+
+    /// Number of marks.
+    pub fn mark_count(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Counts marks of each primitive kind: (rects, circles, lines, texts).
+    pub fn mark_breakdown(&self) -> (usize, usize, usize, usize) {
+        let mut b = (0, 0, 0, 0);
+        for m in &self.marks {
+            match m {
+                Mark::Rect { .. } => b.0 += 1,
+                Mark::Circle { .. } => b.1 += 1,
+                Mark::Line { .. } => b.2 += 1,
+                Mark::Text { .. } => b.3 += 1,
+            }
+        }
+        b
+    }
+
+    /// True if every mark lies inside the viewport (with `slack` units of
+    /// tolerance) — the invariant chart constructors must maintain.
+    pub fn in_bounds(&self, slack: f64) -> bool {
+        let ok = |x: f64, y: f64| {
+            x >= -slack && x <= self.width + slack && y >= -slack && y <= self.height + slack
+        };
+        self.marks.iter().all(|m| match m {
+            Mark::Rect { x, y, w, h, .. } => ok(*x, *y) && ok(x + w, y + h),
+            Mark::Circle { cx, cy, r, .. } => ok(cx - r, cy - r) && ok(cx + r, cy + r),
+            Mark::Line { points, .. } => points.iter().all(|&(x, y)| ok(x, y)),
+            Mark::Text { x, y, .. } => ok(*x, *y),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_helpers() {
+        assert_eq!(Color::new(255, 0, 128).hex(), "#ff0080");
+        assert_ne!(Color::palette(0), Color::palette(1));
+        assert_eq!(Color::palette(0), Color::palette(10)); // wraps
+        let light = Color::sequential(0.0);
+        let dark = Color::sequential(1.0);
+        assert!(light.r > dark.r);
+        // Clamped.
+        assert_eq!(Color::sequential(-5.0), light);
+        assert_eq!(Color::sequential(5.0), dark);
+    }
+
+    #[test]
+    fn breakdown_counts_by_kind() {
+        let mut s = Scene::new(100.0, 100.0, "t");
+        s.marks.push(Mark::Rect {
+            x: 0.0,
+            y: 0.0,
+            w: 10.0,
+            h: 10.0,
+            color: Color::BLACK,
+            label: None,
+        });
+        s.marks.push(Mark::Circle {
+            cx: 5.0,
+            cy: 5.0,
+            r: 2.0,
+            color: Color::BLACK,
+            label: None,
+        });
+        s.marks.push(Mark::Text {
+            x: 0.0,
+            y: 0.0,
+            text: "x".into(),
+            size: 10.0,
+            color: Color::BLACK,
+        });
+        assert_eq!(s.mark_breakdown(), (1, 1, 0, 1));
+        assert_eq!(s.mark_count(), 3);
+    }
+
+    #[test]
+    fn in_bounds_detects_overflow() {
+        let mut s = Scene::new(100.0, 100.0, "t");
+        s.marks.push(Mark::Circle {
+            cx: 50.0,
+            cy: 50.0,
+            r: 10.0,
+            color: Color::BLACK,
+            label: None,
+        });
+        assert!(s.in_bounds(0.0));
+        s.marks.push(Mark::Circle {
+            cx: 99.0,
+            cy: 50.0,
+            r: 10.0,
+            color: Color::BLACK,
+            label: None,
+        });
+        assert!(!s.in_bounds(0.0));
+        assert!(s.in_bounds(10.0));
+    }
+}

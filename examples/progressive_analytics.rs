@@ -1,0 +1,91 @@
+//! Progressive analytics over a "dynamic" stream — the §2 setting where
+//! preprocessing is impossible: values arrive in chunks, estimates carry
+//! confidence intervals that tighten live, the histogram preview sharpens,
+//! and constant-memory sketches track frequencies and distinct counts.
+//!
+//! ```sh
+//! cargo run --release --example progressive_analytics
+//! ```
+
+use wodex::approx::progressive::{run_pipelined, ProgressiveAggregate, ProgressiveHistogram};
+use wodex::approx::sketch::{CountMin, HyperLogLog};
+use wodex::synth::values::{ChunkStream, Shape};
+
+fn main() {
+    let total = 2_000_000usize;
+    let chunk = 50_000usize;
+
+    // -- Progressive mean with CI -------------------------------------------
+    println!("== progressive mean over a {total}-value stream ==");
+    let mut agg = ProgressiveAggregate::with_total(total as u64);
+    let mut hist = ProgressiveHistogram::new(0.0, 1000.0, 40);
+    let mut shown = 0;
+    for chunk_vals in ChunkStream::new(Shape::Bimodal, total, chunk, 99) {
+        agg.push_chunk(&chunk_vals);
+        hist.push_chunk(&chunk_vals);
+        let e = agg.estimate();
+        if shown < 6 && (e.n as usize) % (total / 6).max(1) < chunk {
+            println!(
+                "  {:>7} values ({:>3.0}%): mean {:8.3} ± {:.3}",
+                e.n,
+                e.progress.unwrap_or(0.0) * 100.0,
+                e.mean,
+                e.ci95
+            );
+            shown += 1;
+        }
+        if e.converged(0.001) && shown == 0 {
+            println!("  converged to ±0.1% after {} values", e.n);
+            shown += 1;
+        }
+    }
+    let e = agg.estimate();
+    println!(
+        "  final: mean {:.3} ± {:.3} over {} values",
+        e.mean, e.ci95, e.n
+    );
+
+    // -- The histogram preview at the end -------------------------------------
+    let snapshot = hist.snapshot();
+    let scene = wodex::viz::charts::histogram("streamed bimodal column", &snapshot, 640.0, 320.0);
+    std::fs::write(
+        "progressive_histogram.svg",
+        wodex::viz::render::to_svg(&scene),
+    )
+    .expect("write svg");
+    println!("\nfinal histogram preview saved to progressive_histogram.svg");
+    println!("{}", wodex::viz::render::to_ascii(&scene, 72, 16));
+
+    // -- Pipelined producer/consumer ------------------------------------------
+    println!("== pipelined (two-thread) run ==");
+    let chunks: Vec<Vec<f64>> = ChunkStream::new(Shape::Normal, 500_000, 25_000, 5).collect();
+    let mut updates = 0;
+    let fin = run_pipelined(chunks, 500_000, |_| updates += 1);
+    println!(
+        "  {} estimate updates while ingesting; final mean {:.3} ± {:.3}",
+        updates, fin.mean, fin.ci95
+    );
+
+    // -- Constant-memory statistics --------------------------------------------
+    println!("\n== sketches over the same stream (constant memory) ==");
+    let mut cm = CountMin::with_error(0.001, 0.01);
+    let mut hll = HyperLogLog::new(12);
+    for vals in ChunkStream::new(Shape::Zipf, 1_000_000, 50_000, 3) {
+        for v in vals {
+            let key = (v as u64).to_le_bytes();
+            cm.add(&key);
+            hll.add(&key);
+        }
+    }
+    println!("  stream length (exact from CountMin):   {}", cm.total());
+    println!(
+        "  distinct values (HyperLogLog, ±1.6%):  {:.0}",
+        hll.estimate()
+    );
+    for rank in [1u64, 2, 10, 100] {
+        println!(
+            "  frequency of zipf rank {rank:>3} (CountMin): {}",
+            cm.estimate(&rank.to_le_bytes())
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: load a small Linked-Data document, profile it, let the
+//! framework recommend a chart, and render it — the full LDVM pipeline in
+//! twenty lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wodex::core::Explorer;
+use wodex::viz::render;
+
+const TTL: &str = r#"
+@prefix ex:   <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:athens  a ex:City ; rdfs:label "Athens"  ; ex:population 664046 ; ex:country ex:GR .
+ex:sparta  a ex:City ; rdfs:label "Sparta"  ; ex:population 35259  ; ex:country ex:GR .
+ex:rome    a ex:City ; rdfs:label "Rome"    ; ex:population 2873000; ex:country ex:IT .
+ex:milan   a ex:City ; rdfs:label "Milan"   ; ex:population 1352000; ex:country ex:IT .
+ex:naples  a ex:City ; rdfs:label "Naples"  ; ex:population 966144 ; ex:country ex:IT .
+ex:patras  a ex:City ; rdfs:label "Patras"  ; ex:population 213984 ; ex:country ex:GR .
+"#;
+
+fn main() {
+    // 1. Load.
+    let ex = Explorer::from_turtle(TTL).expect("valid turtle");
+    println!("=== dataset statistics ===\n{}", ex.stats().report());
+
+    // 2. Query (SPARQL subset).
+    let result = ex
+        .sparql(
+            "PREFIX ex: <http://example.org/>\n\
+             SELECT ?label ?pop WHERE {\n\
+               ?c ex:population ?pop .\n\
+               ?c <http://www.w3.org/2000/01/rdf-schema#label> ?label\n\
+               FILTER(?pop > 500000)\n\
+             } ORDER BY DESC(?pop)",
+        )
+        .expect("valid query");
+    println!(
+        "=== cities over 500k ===\n{}",
+        result.table().unwrap().to_ascii()
+    );
+
+    // 3. Recommend a visualization for the population property.
+    println!("=== recommendations for ex:population ===");
+    for r in ex.recommend("http://example.org/population").iter().take(3) {
+        println!("  {:<18} {:.2}  {}", r.kind.name(), r.score, r.reason);
+    }
+
+    // 4. Render the top pick (SVG written next to the binary, ASCII here).
+    let view = ex.visualize("http://example.org/population");
+    std::fs::write("quickstart.svg", &view.svg).expect("write svg");
+    println!("\n=== {} (saved to quickstart.svg) ===", view.kind.name());
+    println!("{}", render::to_ascii(&view.scene, 72, 20));
+
+    // 5. Details-on-demand for one resource.
+    let details = ex.details(&wodex::rdf::Term::iri("http://example.org/athens"));
+    println!("=== details ===\n{}", details.render());
+}

@@ -1,0 +1,188 @@
+//! `wodex` — the command-line face of the framework.
+//!
+//! ```text
+//! wodex stats     <file.{ttl,nt}>                 dataset profile
+//! wodex classes   <file>                          class hierarchy outline
+//! wodex facets    <file>                          facet values & counts
+//! wodex search    <file> <keywords…>              ranked keyword hits
+//! wodex query     <file> <sparql | @query.rq>     SPARQL-subset SELECT/ASK
+//! wodex recommend <file> <predicate>              ranked chart types
+//! wodex viz       <file> <predicate> [out.svg]    LDVM pipeline → SVG + ASCII
+//! wodex paths     <file> <iri-a> <iri-b>          RelFinder shortest paths
+//! wodex tables                                    the survey's Tables 1 & 2
+//! ```
+
+use wodex::core::Explorer;
+use wodex::rdf::Term;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return 2;
+    };
+    match cmd.as_str() {
+        "tables" => {
+            println!("{}", wodex::registry::render_table1());
+            println!("{}", wodex::registry::render_table2());
+            println!("{}", wodex::registry::analysis::report());
+            0
+        }
+        "stats" | "classes" | "facets" | "search" | "query" | "recommend" | "viz" | "paths" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("missing input file\n{}", usage());
+                return 2;
+            };
+            let ex = match load(path) {
+                Ok(ex) => ex,
+                Err(e) => {
+                    eprintln!("cannot load {path}: {e}");
+                    return 1;
+                }
+            };
+            dispatch(cmd, &ex, &args[2..])
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{}", usage());
+            2
+        }
+    }
+}
+
+fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
+    match cmd {
+        "stats" => {
+            print!("{}", ex.stats().report());
+            0
+        }
+        "classes" => {
+            let h = ex.class_hierarchy();
+            if h.is_empty() {
+                println!("no classes found");
+            } else {
+                print!("{}", h.render());
+            }
+            0
+        }
+        "facets" => {
+            let session = wodex::explore::ExplorationSession::new(ex.graph().clone());
+            for f in session.facets().facets() {
+                println!(
+                    "{} ({} values)",
+                    wodex::rdf::vocab::abbreviate(&f.predicate),
+                    f.cardinality
+                );
+                for (v, n) in session.facets().counts(&f.predicate).into_iter().take(8) {
+                    println!("  {n:>6}  {v}");
+                }
+            }
+            0
+        }
+        "search" => {
+            let q = rest.join(" ");
+            if q.is_empty() {
+                eprintln!("missing search keywords");
+                return 2;
+            }
+            for hit in ex.search(&q, 20) {
+                println!("{:7.3}  {}", hit.score, hit.subject);
+            }
+            0
+        }
+        "query" => {
+            let Some(arg) = rest.first() else {
+                eprintln!("missing query (inline text or @file.rq)");
+                return 2;
+            };
+            let text = if let Some(file) = arg.strip_prefix('@') {
+                match std::fs::read_to_string(file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {file}: {e}");
+                        return 1;
+                    }
+                }
+            } else {
+                rest.join(" ")
+            };
+            match ex.sparql(&text) {
+                Ok(wodex::sparql::QueryResult::Solutions(t)) => {
+                    print!("{}", t.to_ascii());
+                    println!("{} row(s)", t.len());
+                    0
+                }
+                Ok(wodex::sparql::QueryResult::Boolean(b)) => {
+                    println!("{b}");
+                    0
+                }
+                Ok(wodex::sparql::QueryResult::Described(g)) => {
+                    print!("{}", wodex::rdf::turtle::serialize(&g));
+                    0
+                }
+                Err(e) => {
+                    eprintln!("query error: {e}");
+                    1
+                }
+            }
+        }
+        "recommend" => {
+            let Some(pred) = rest.first() else {
+                eprintln!("missing predicate IRI");
+                return 2;
+            };
+            for r in ex.recommend(pred) {
+                println!("{:5.2}  {:<20} {}", r.score, r.kind.name(), r.reason);
+            }
+            0
+        }
+        "viz" => {
+            let Some(pred) = rest.first() else {
+                eprintln!("missing predicate IRI");
+                return 2;
+            };
+            let view = ex.visualize(pred);
+            let out = rest.get(1).cloned().unwrap_or_else(|| "wodex.svg".into());
+            if let Err(e) = std::fs::write(&out, &view.svg) {
+                eprintln!("cannot write {out}: {e}");
+                return 1;
+            }
+            println!("{} → {out}", view.kind.name());
+            println!("{}", wodex::viz::render::to_ascii(&view.scene, 76, 22));
+            0
+        }
+        "paths" => {
+            let (Some(a), Some(b)) = (rest.first(), rest.get(1)) else {
+                eprintln!("need two resource IRIs");
+                return 2;
+            };
+            let paths = ex.find_paths(&Term::iri(a.clone()), &Term::iri(b.clone()), 6, 5);
+            if paths.is_empty() {
+                println!("no connection within 6 hops");
+            }
+            for p in paths {
+                println!("[{} hops] {}", p.len(), p.render());
+            }
+            0
+        }
+        _ => unreachable!("dispatch called with validated command"),
+    }
+}
+
+fn load(path: &str) -> Result<Explorer, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if path.ends_with(".nt") {
+        Explorer::from_ntriples(&text).map_err(|e| e.to_string())
+    } else {
+        Explorer::from_turtle(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: wodex <stats|classes|facets|search|query|recommend|viz|paths> <file.{ttl,nt}> [args…]
+       wodex tables"
+}

@@ -1,0 +1,39 @@
+//! # wodex — Scalable Exploration & Visualization for the Web of Big Linked Data
+//!
+//! `wodex` is the umbrella crate of the workspace: it re-exports every
+//! subsystem so that examples, integration tests and downstream users can
+//! depend on a single crate.
+//!
+//! The workspace reproduces, as a working system, the survey *“Exploration
+//! and Visualization in the Web of Big Linked Data”* (Bikakis & Sellis,
+//! LWDM/EDBT 2016): a machine-readable registry of every surveyed system
+//! (regenerating the paper's Tables 1 and 2) plus a from-scratch reference
+//! implementation of every scalability technique the survey catalogs.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`rdf`] | `wodex-rdf` | RDF terms, graphs, Turtle/N-Triples, vocabularies, statistics |
+//! | [`synth`] | `wodex-synth` | Synthetic Linked-Data workload generators |
+//! | [`store`] | `wodex-store` | Dictionary-encoded triple store, disk paging, cracking, caching |
+//! | [`sparql`] | `wodex-sparql` | SPARQL-subset query engine |
+//! | [`approx`] | `wodex-approx` | Sampling, binning, clustering, progressive computation |
+//! | [`hetree`] | `wodex-hetree` | HETree hierarchical aggregation (SynopsViz model) |
+//! | [`graph`] | `wodex-graph` | Graph layouts, coarsening, abstraction hierarchies, bundling |
+//! | [`viz`] | `wodex-viz` | LDVM pipeline, charts, renderers, recommendation |
+//! | [`explore`] | `wodex-explore` | Facets, keyword search, browsing, sessions, guidance |
+//! | [`registry`] | `wodex-registry` | The survey corpus, taxonomy, Tables 1 & 2, gap analysis |
+//! | [`core`] | `wodex-core` | The unified `Explorer` façade |
+
+pub use wodex_approx as approx;
+pub use wodex_core as core;
+pub use wodex_explore as explore;
+pub use wodex_graph as graph;
+pub use wodex_hetree as hetree;
+pub use wodex_rdf as rdf;
+pub use wodex_registry as registry;
+pub use wodex_sparql as sparql;
+pub use wodex_store as store;
+pub use wodex_synth as synth;
+pub use wodex_viz as viz;

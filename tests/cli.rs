@@ -1,0 +1,134 @@
+//! End-to-end tests of the `wodex` CLI binary.
+
+use std::process::Command;
+
+const TTL: &str = r#"
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:City rdfs:subClassOf ex:Place .
+ex:athens a ex:City ; rdfs:label "Athens" ; ex:population 664046 ; ex:near ex:piraeus .
+ex:piraeus a ex:City ; rdfs:label "Piraeus" ; ex:population 163688 .
+ex:sparta a ex:City ; rdfs:label "Sparta" ; ex:population 35259 .
+"#;
+
+fn fixture() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wodex_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("demo.ttl");
+    std::fs::write(&path, TTL).unwrap();
+    path
+}
+
+fn wodex(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_wodex"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn stats_reports_profile() {
+    let f = fixture();
+    let (code, stdout, _) = wodex(&["stats", f.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("triples:"));
+    assert!(stdout.contains("population"));
+}
+
+#[test]
+fn classes_renders_hierarchy() {
+    let f = fixture();
+    let (code, stdout, _) = wodex(&["classes", f.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("Place"));
+    assert!(stdout.contains("  City"));
+}
+
+#[test]
+fn query_select_and_describe() {
+    let f = fixture();
+    let (code, stdout, _) = wodex(&[
+        "query",
+        f.to_str().unwrap(),
+        "SELECT ?l WHERE { ?c <http://example.org/population> ?p . \
+         ?c <http://www.w3.org/2000/01/rdf-schema#label> ?l FILTER(?p > 100000) } ORDER BY ?l",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("Athens"));
+    assert!(stdout.contains("Piraeus"));
+    assert!(!stdout.contains("Sparta"));
+    assert!(stdout.contains("2 row(s)"));
+
+    let (code, stdout, _) = wodex(&[
+        "query",
+        f.to_str().unwrap(),
+        "DESCRIBE <http://example.org/athens>",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("rdfs:label \"Athens\""));
+}
+
+#[test]
+fn search_ranks_hits() {
+    let f = fixture();
+    let (code, stdout, _) = wodex(&["search", f.to_str().unwrap(), "sparta"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("http://example.org/sparta"));
+}
+
+#[test]
+fn viz_writes_svg() {
+    let f = fixture();
+    let out = f.parent().unwrap().join("pop.svg");
+    let (code, stdout, _) = wodex(&[
+        "viz",
+        f.to_str().unwrap(),
+        "http://example.org/population",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("histogram"));
+    let svg = std::fs::read_to_string(&out).unwrap();
+    assert!(svg.starts_with("<svg"));
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn paths_finds_connections() {
+    let f = fixture();
+    let (code, stdout, _) = wodex(&[
+        "paths",
+        f.to_str().unwrap(),
+        "http://example.org/athens",
+        "http://example.org/piraeus",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("[1 hops]"));
+    assert!(stdout.contains("near"));
+}
+
+#[test]
+fn tables_regenerates_the_survey() {
+    let (code, stdout, _) = wodex(&["tables"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("SynopsViz"));
+    assert!(stdout.contains("graphVizdb"));
+    assert!(stdout.contains("C1"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (code, _, stderr) = wodex(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"));
+    let (code, _, _) = wodex(&["nonsense"]);
+    assert_eq!(code, 2);
+    let (code, _, stderr) = wodex(&["stats", "/no/such/file.ttl"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("cannot load"));
+}

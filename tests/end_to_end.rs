@@ -1,0 +1,151 @@
+//! Cross-crate integration: the full load → query → profile → recommend →
+//! abstract → render → explore flow over synthetic Linked Data.
+
+use wodex::core::Explorer;
+use wodex::rdf::vocab::rdf;
+use wodex::rdf::Term;
+use wodex::synth::dbpedia::{self, DbpediaConfig};
+use wodex::viz::recommend::VisKind;
+
+fn explorer(entities: usize) -> Explorer {
+    Explorer::from_graph(dbpedia::generate(&DbpediaConfig {
+        entities,
+        ..Default::default()
+    }))
+}
+
+#[test]
+fn sparql_aggregates_agree_with_statistics() {
+    let ex = explorer(400);
+    // AVG via SPARQL must equal the mean from the stats profiler.
+    let r = ex
+        .sparql(
+            "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+             SELECT (AVG(?p) AS ?avg) (COUNT(*) AS ?n) WHERE { ?s dbo:population ?p }",
+        )
+        .unwrap();
+    let t = r.table().unwrap();
+    let avg = t.rows[0][0]
+        .as_ref()
+        .and_then(|v| v.as_literal())
+        .map(wodex::rdf::Value::from_literal)
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    let stats = ex.stats();
+    let summary = &stats.numeric_summaries["http://dbp.example.org/ontology/population"];
+    assert!((avg - summary.mean).abs() < 1e-6);
+    assert_eq!(t.rows[0][1], Some(Term::integer(summary.count as i64)));
+}
+
+#[test]
+fn recommendation_matches_data_type_for_every_property_kind() {
+    let ex = explorer(400);
+    let cases = [
+        (
+            "http://dbp.example.org/ontology/population",
+            VisKind::HistogramChart,
+        ),
+        (
+            "http://dbp.example.org/ontology/foundingDate",
+            VisKind::Line,
+        ),
+        ("http://www.w3.org/2003/01/geo/wgs84_pos#lat", VisKind::Map),
+        ("http://dbp.example.org/ontology/linksTo", VisKind::NodeLink),
+        (rdf::TYPE, VisKind::Bar),
+    ];
+    for (pred, expected) in cases {
+        let v = ex.visualize(pred);
+        assert_eq!(v.kind, expected, "property {pred}");
+        assert!(v.svg.starts_with("<svg"));
+        assert!(v.scene.in_bounds(1.5), "marks overflow for {pred}");
+    }
+}
+
+#[test]
+fn scene_size_is_bounded_regardless_of_data_size() {
+    let small = explorer(100).visualize("http://dbp.example.org/ontology/population");
+    let large = explorer(3_000).visualize("http://dbp.example.org/ontology/population");
+    // 30× more records must not mean 30× more marks: binning bounds it.
+    assert!(large.scene.mark_count() <= small.scene.mark_count() + 2);
+}
+
+#[test]
+fn session_numbers_are_consistent_with_sparql() {
+    let mut ex = explorer(500);
+    ex.session()
+        .filter(rdf::TYPE, "http://dbp.example.org/ontology/City");
+    let session_count = ex.session().matching().len();
+    let r = ex
+        .sparql(
+            "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+             SELECT (COUNT(*) AS ?n) WHERE { ?s a dbo:City }",
+        )
+        .unwrap();
+    let n = match r.table().unwrap().rows[0][0] {
+        Some(ref t) => t
+            .as_literal()
+            .map(wodex::rdf::Value::from_literal)
+            .and_then(|v| v.as_f64())
+            .unwrap() as usize,
+        None => 0,
+    };
+    assert_eq!(session_count, n);
+}
+
+#[test]
+fn details_view_reflects_store_content() {
+    let ex = explorer(100);
+    let subject = Term::iri("http://dbp.example.org/resource/E5");
+    let view = ex.details(&subject);
+    let via_store = ex
+        .store()
+        .encode_pattern(Some(&subject), None, None)
+        .map(|p| ex.store().count_pattern(p))
+        .unwrap_or(0);
+    assert_eq!(
+        view.rows.iter().filter(|r| r.forward).count(),
+        via_store,
+        "resource view must show exactly the stored forward triples"
+    );
+}
+
+#[test]
+fn hetree_covers_exactly_the_propertys_values() {
+    let ex = explorer(300);
+    let mut t = ex.hetree(
+        "http://dbp.example.org/ontology/area",
+        wodex::hetree::Variant::ContentBased,
+    );
+    assert_eq!(t.len(), 300);
+    let frontier = t.level(2);
+    let total: usize = frontier.iter().map(|&c| t.stats(c).count).sum();
+    assert_eq!(total, 300, "every value appears exactly once in a frontier");
+}
+
+#[test]
+fn graph_view_weights_conserve_nodes() {
+    let ex = explorer(300);
+    let gv = ex.graph_view();
+    let total: usize = gv
+        .hierarchy
+        .roots()
+        .into_iter()
+        .map(|r| gv.hierarchy.weight(r))
+        .sum();
+    assert_eq!(total, gv.adjacency.node_count());
+    assert_eq!(gv.nodes.len(), gv.adjacency.node_count());
+}
+
+#[test]
+fn turtle_roundtrip_preserves_the_whole_synthetic_dataset() {
+    let g = dbpedia::generate(&DbpediaConfig {
+        entities: 150,
+        ..Default::default()
+    });
+    let ttl = wodex::rdf::turtle::serialize(&g);
+    let back = wodex::rdf::turtle::parse(&ttl).expect("own output parses");
+    assert_eq!(g, back);
+    let nt = wodex::rdf::ntriples::serialize(&g);
+    let back = wodex::rdf::ntriples::parse(&nt).expect("own output parses");
+    assert_eq!(g, back);
+}

@@ -1,0 +1,337 @@
+//! Cross-crate property-based tests (proptest): the invariants DESIGN.md
+//! commits to, exercised on generated inputs.
+
+use proptest::prelude::*;
+use wodex::approx::binning::{BinningStrategy, Histogram};
+use wodex::graph::spatial::{QuadTree, Rect};
+use wodex::hetree::{HETree, Variant};
+use wodex::rdf::term::Literal;
+use wodex::rdf::{Graph, Term, TermDict, Triple};
+use wodex::store::cracking::{CrackerColumn, SortedColumn};
+use wodex::store::{Pattern, TripleStore};
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://e.org/{s}"))),
+        "[a-z0-9]{1,6}".prop_map(Term::blank),
+        any::<i64>().prop_map(Term::integer),
+        // Literals with escapes and unicode.
+        "\\PC{0,20}".prop_map(Term::literal),
+        ("\\PC{0,12}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(Literal::lang_string(s, l))),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    ("[a-z]{1,6}", "[a-z]{1,4}", arb_term()).prop_map(|(s, p, o)| {
+        Triple::new(
+            Term::iri(format!("http://e.org/s/{s}")),
+            Term::iri(format!("http://e.org/p/{p}")),
+            o,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dictionary_roundtrips_any_term(terms in proptest::collection::vec(arb_term(), 1..50)) {
+        let mut d = TermDict::new();
+        let ids: Vec<_> = terms.iter().cloned().map(|t| d.intern(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(d.term(*id), t);
+            prop_assert_eq!(d.id_of(t), Some(*id));
+        }
+    }
+
+    #[test]
+    fn ntriples_roundtrips_any_graph(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+        let g: Graph = triples.into_iter().collect();
+        let nt = wodex::rdf::ntriples::serialize(&g);
+        let back = wodex::rdf::ntriples::parse(&nt).expect("own serialization parses");
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn turtle_roundtrips_any_graph(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+        let g: Graph = triples.into_iter().collect();
+        let ttl = wodex::rdf::turtle::serialize(&g);
+        let back = wodex::rdf::turtle::parse(&ttl).expect("own serialization parses");
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn store_pattern_match_equals_naive_filter(
+        triples in proptest::collection::vec(arb_triple(), 1..60),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let g: Graph = triples.into_iter().collect();
+        let store = TripleStore::from_graph(&g);
+        let all = store.match_pattern(Pattern::any());
+        // Pick one existing triple and probe all 8 bound/unbound combos.
+        let probe = all[pick.index(all.len())];
+        for mask in 0..8u8 {
+            let pat = Pattern {
+                s: (mask & 1 != 0).then_some(wodex::rdf::TermId(probe[0])),
+                p: (mask & 2 != 0).then_some(wodex::rdf::TermId(probe[1])),
+                o: (mask & 4 != 0).then_some(wodex::rdf::TermId(probe[2])),
+            };
+            let mut got = store.match_pattern(pat);
+            let mut want: Vec<_> = all.iter().filter(|t| pat.matches(t)).copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn cracking_agrees_with_sorted_baseline(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        queries in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..12),
+    ) {
+        let sorted = SortedColumn::new(&values);
+        let mut cracked = CrackerColumn::new(&values);
+        for (a, b) in queries {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(cracked.range_count(lo, hi), sorted.range_count(lo, hi));
+            prop_assert!(cracked.check_invariants());
+        }
+    }
+
+    #[test]
+    fn binning_partitions_cover_and_are_disjoint(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..500),
+        k in 1usize..32,
+    ) {
+        for strategy in [
+            BinningStrategy::EqualWidth,
+            BinningStrategy::EqualFrequency,
+            BinningStrategy::VarianceMinimizing,
+        ] {
+            let h = Histogram::build(&values, k, strategy);
+            prop_assert_eq!(h.total(), values.len(), "{:?}", strategy);
+            // Bins tile: each bin's hi equals the next bin's lo.
+            for w in h.bins.windows(2) {
+                prop_assert!(w[0].hi <= w[1].lo + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quadtree_query_equals_brute_force(
+        pts in proptest::collection::vec((0f32..100.0, 0f32..100.0), 1..200),
+        window in (0f32..100.0, 0f32..100.0, 0f32..100.0, 0f32..100.0),
+    ) {
+        let layout = wodex::graph::layout::Layout {
+            positions: pts.iter().map(|&(x, y)| wodex::graph::layout::Point::new(x, y)).collect(),
+        };
+        let qt = QuadTree::from_layout(&layout);
+        let w = Rect::new(window.0, window.1, window.2, window.3);
+        let (mut got, _) = qt.query(&w);
+        got.sort_by_key(|&(_, id)| id);
+        let want: Vec<u32> = layout
+            .positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| w.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got.iter().map(|&(_, id)| id).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn hetree_frontier_partitions_items(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..400),
+        degree in 2usize..6,
+        depth in 0usize..4,
+    ) {
+        let items: Vec<(f64, u64)> = values.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+        let mut t = HETree::new(items, Variant::ContentBased, degree, 10);
+        let frontier = t.level(depth);
+        let total: usize = frontier.iter().map(|&c| t.stats(c).count).sum();
+        prop_assert_eq!(total, values.len());
+        // Stats of every frontier node agree with direct computation.
+        for &c in &frontier {
+            let direct = wodex::hetree::Stats::of(t.items(c));
+            prop_assert_eq!(&direct, t.stats(c));
+        }
+    }
+
+    #[test]
+    fn reservoir_size_invariant(n in 1usize..2000, k in 1usize..64) {
+        let mut rng = wodex::synth::rng(n as u64);
+        let mut r = wodex::approx::sampling::Reservoir::new(k);
+        r.extend(0..n, &mut rng);
+        prop_assert_eq!(r.sample().len(), k.min(n));
+        prop_assert!(r.sample().iter().all(|&x| x < n));
+    }
+}
+
+fn arb_ttl_junk() -> impl Strategy<Value = String> {
+    // Arbitrary printable text with Turtle-ish punctuation sprinkled in.
+    proptest::collection::vec(
+        prop_oneof![
+            "\\PC{0,12}",
+            Just("@prefix ex: <http://e.org/> .".to_string()),
+            Just("ex:s ex:p".to_string()),
+            Just("\"lit".to_string()),
+            Just("<http://e.org/x>".to_string()),
+            Just("{ } ( ) ; , .".to_string()),
+            Just("\\\\u12".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parsers_never_panic_on_junk(input in arb_ttl_junk()) {
+        // Errors are fine; panics are not.
+        let _ = wodex::rdf::turtle::parse(&input);
+        let _ = wodex::rdf::ntriples::parse(&input);
+        let _ = wodex::sparql::parse_query(&input);
+    }
+
+    #[test]
+    fn insert_delete_sequences_keep_store_consistent(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..12, 0u32..4, 0u32..12), 1..80),
+        tail_limit in 0usize..16,
+    ) {
+        // Mirror a TripleStore against a BTreeSet of decoded triples.
+        let mut store = TripleStore::with_tail_limit(tail_limit);
+        let mut model: std::collections::BTreeSet<(u32, u32, u32)> = Default::default();
+        let term_s = |i: u32| Term::iri(format!("http://e.org/s{i}"));
+        let term_p = |i: u32| Term::iri(format!("http://e.org/p{i}"));
+        let term_o = |i: u32| Term::iri(format!("http://e.org/o{i}"));
+        for (insert, s, p, o) in ops {
+            let t = Triple::new(term_s(s), term_p(p), term_o(o));
+            if insert {
+                let added = store.insert(&t);
+                prop_assert_eq!(added, model.insert((s, p, o)));
+            } else {
+                let removed = store.remove(&t);
+                prop_assert_eq!(removed, model.remove(&(s, p, o)));
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+        // Final state: every model triple present, every pattern count right.
+        for &(s, p, o) in &model {
+            prop_assert!(store.contains(&Triple::new(term_s(s), term_p(p), term_o(o))));
+        }
+        let all = store.match_pattern(Pattern::any());
+        prop_assert_eq!(all.len(), model.len());
+        for p in 0..4u32 {
+            let pat = store
+                .encode_pattern(None, Some(&term_p(p)), None)
+                .map(|pat| store.count_pattern(pat))
+                .unwrap_or(0);
+            let want = model.iter().filter(|&&(_, mp, _)| mp == p).count();
+            prop_assert_eq!(pat, want);
+        }
+    }
+
+    #[test]
+    fn sparql_single_pattern_equals_store_match(
+        triples in proptest::collection::vec((0u32..8, 0u32..4, 0u32..8), 1..60),
+        probe_p in 0u32..4,
+    ) {
+        let g: Graph = triples
+            .iter()
+            .map(|&(s, p, o)| {
+                Triple::new(
+                    Term::iri(format!("http://e.org/s{s}")),
+                    Term::iri(format!("http://e.org/p{p}")),
+                    Term::iri(format!("http://e.org/o{o}")),
+                )
+            })
+            .collect();
+        let store = TripleStore::from_graph(&g);
+        let q = format!(
+            "SELECT ?s ?o WHERE {{ ?s <http://e.org/p{probe_p}> ?o }}"
+        );
+        let result = wodex::sparql::query(&store, &q).expect("valid query");
+        let got = result.table().expect("select").len();
+        let want = g
+            .triples_for_predicate(&format!("http://e.org/p{probe_p}"))
+            .count();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fisheye_is_radially_monotone_and_bounded(
+        pts in proptest::collection::vec((0f32..500.0, 0f32..500.0), 2..80),
+        focus in (0f32..500.0, 0f32..500.0),
+        d in 0f32..8.0,
+    ) {
+        let layout = wodex::graph::layout::Layout {
+            positions: pts
+                .iter()
+                .map(|&(x, y)| wodex::graph::layout::Point::new(x, y))
+                .collect(),
+        };
+        let f = wodex::graph::layout::Point::new(focus.0, focus.1);
+        let out = wodex::graph::fisheye::fisheye(&layout, f, d, 250.0);
+        // Bounded: nothing inside the lens leaves it; outside untouched.
+        for (orig, moved) in layout.positions.iter().zip(&out.positions) {
+            let r = orig.dist(&f);
+            if r >= 250.0 {
+                prop_assert_eq!(orig, moved);
+            } else {
+                prop_assert!(moved.dist(&f) <= 250.0 + 1e-2);
+            }
+        }
+        // Monotone: radial order is preserved within the lens.
+        let mut idx: Vec<usize> = (0..layout.positions.len())
+            .filter(|&i| layout.positions[i].dist(&f) < 250.0)
+            .collect();
+        idx.sort_by(|&a, &b| {
+            layout.positions[a].dist(&f).total_cmp(&layout.positions[b].dist(&f))
+        });
+        for w in idx.windows(2) {
+            prop_assert!(
+                out.positions[w[0]].dist(&f) <= out.positions[w[1]].dist(&f) + 1e-2
+            );
+        }
+    }
+
+    #[test]
+    fn class_hierarchy_weights_are_consistent(
+        links in proptest::collection::vec((0u32..12, 0u32..12), 0..20),
+        instances in proptest::collection::vec(0u32..12, 0..40),
+    ) {
+        let mut g = Graph::new();
+        for &(a, b) in &links {
+            if a != b {
+                g.insert(Triple::new(
+                    Term::iri(format!("http://e.org/C{a}")),
+                    Term::iri(wodex::rdf::vocab::rdfs::SUB_CLASS_OF),
+                    Term::iri(format!("http://e.org/C{b}")),
+                ));
+            }
+        }
+        for (i, &c) in instances.iter().enumerate() {
+            g.insert(Triple::new(
+                Term::iri(format!("http://e.org/i{i}")),
+                Term::iri(wodex::rdf::vocab::rdf::TYPE),
+                Term::iri(format!("http://e.org/C{c}")),
+            ));
+        }
+        let h = wodex::rdf::ClassHierarchy::extract(&g);
+        // Root transitive weights sum to the total instance count.
+        let total: usize = h.roots.iter().map(|&r| h.nodes[r].transitive_instances).sum();
+        prop_assert_eq!(total, instances.len());
+        // Every node's transitive count ≥ its direct count, and equals
+        // direct + children's transitive.
+        for n in &h.nodes {
+            let kids: usize = n
+                .children
+                .iter()
+                .map(|&c| h.nodes[c].transitive_instances)
+                .sum();
+            prop_assert_eq!(n.transitive_instances, n.direct_instances + kids);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The survey's scalability contracts, checked as invariants: output and
+//! memory bounded by display/budget quantities, work bounded by what the
+//! user explores.
+
+use wodex::approx::binning::{BinningStrategy, Histogram};
+use wodex::graph::adjacency::Adjacency;
+use wodex::graph::hierarchy::{AbstractionHierarchy, HierarchyView};
+use wodex::graph::spatial::{QuadTree, Rect};
+use wodex::hetree::{HETree, Variant};
+use wodex::store::buffer::BufferPool;
+use wodex::store::paged::{MemBackend, PagedTripleStore, TRIPLES_PER_PAGE};
+use wodex::synth::netgen;
+use wodex::synth::values::{column, Shape};
+
+#[test]
+fn histogram_size_is_display_bounded() {
+    for n in [1_000usize, 100_000] {
+        let col = column(Shape::Zipf, n, 1);
+        let h = Histogram::build(&col, 48, BinningStrategy::EqualFrequency);
+        assert!(h.bins.len() <= 48);
+        assert_eq!(h.total(), n);
+    }
+}
+
+#[test]
+fn paged_store_memory_is_pool_bounded() {
+    // 200k triples, a pool of 16 pages: resident memory never exceeds the
+    // pool whatever the access pattern.
+    let triples: Vec<[u32; 3]> = (0..200_000u32).map(|i| [i / 10, 0, i]).collect();
+    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples);
+    let pool = BufferPool::new(16);
+    store.scan_all(&pool);
+    assert_eq!(pool.resident(), 16);
+    store.scan_subject_range(&pool, 100, 5000);
+    assert!(pool.resident() <= 16);
+    assert!(store.page_count() as usize > 16 * 10, "dataset ≫ pool");
+}
+
+#[test]
+fn windowed_io_is_result_bounded_not_data_bounded() {
+    let small: Vec<[u32; 3]> = (0..50_000u32).map(|i| [i / 10, 0, i]).collect();
+    let large: Vec<[u32; 3]> = (0..500_000u32).map(|i| [i / 10, 0, i]).collect();
+    let reads_for = |triples: &[[u32; 3]]| {
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), triples);
+        let pool = BufferPool::new(8);
+        store.scan_subject_range(&pool, 1000, 1050);
+        store.physical_reads()
+    };
+    let r_small = reads_for(&small);
+    let r_large = reads_for(&large);
+    // Same window, 10× the data: reads must not grow with data size.
+    assert!(
+        r_large <= r_small + 1,
+        "window reads grew with dataset: {r_small} -> {r_large}"
+    );
+}
+
+#[test]
+fn hetree_ico_work_tracks_exploration_depth() {
+    let items: Vec<(f64, u64)> = column(Shape::Normal, 200_000, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i as u64))
+        .collect();
+    let mut t = HETree::new(items, Variant::ContentBased, 4, 100);
+    let n0 = t.node_count();
+    t.locate(500.0); // one drill path
+    let after_one = t.node_count();
+    t.locate(510.0); // mostly the same path
+    let after_two = t.node_count();
+    assert_eq!(n0, 1);
+    // One path in a degree-4 tree of 200k/100 leaves: depth ≈ log4(2000) ≈ 6,
+    // so ~6 expansions × 4 children ≈ 25 nodes.
+    assert!(after_one < 50, "one path materialized {after_one} nodes");
+    assert!(
+        after_two - after_one <= after_one,
+        "a nearby drill must reuse the path"
+    );
+}
+
+#[test]
+fn hierarchy_overview_is_constant_size_while_base_grows() {
+    for n in [2_000usize, 10_000] {
+        let el = netgen::barabasi_albert(n, 3, 5);
+        let g = Adjacency::from_edges(el.nodes, &el.edges);
+        let h = AbstractionHierarchy::build(g, 12, 1);
+        let view = HierarchyView::new(&h);
+        assert!(
+            view.visible().len() <= 24,
+            "overview of n={n} graph has {} elements",
+            view.visible().len()
+        );
+    }
+}
+
+#[test]
+fn quadtree_visits_scale_with_window_not_extent() {
+    let lay = wodex::graph::layout::random(50_000, 1_000.0, 3);
+    let qt = QuadTree::from_layout(&lay);
+    let (_, tiny) = qt.query(&Rect::new(0.0, 0.0, 10.0, 10.0));
+    let (_, huge) = qt.query(&Rect::new(0.0, 0.0, 1_000.0, 1_000.0));
+    assert!(tiny * 20 < huge, "tiny window visited {tiny}, full {huge}");
+}
+
+#[test]
+fn page_capacity_constant_is_consistent() {
+    // 12 bytes per triple + 4-byte header in an 8 KiB page.
+    assert_eq!(TRIPLES_PER_PAGE, (8192 - 4) / 12);
+}
+
+#[test]
+fn m4_line_chart_never_exceeds_four_points_per_pixel() {
+    let pts: Vec<(f64, f64)> = (0..500_000)
+        .map(|i| (i as f64, ((i * 37) % 1000) as f64))
+        .collect();
+    let ds = wodex::viz::charts::m4_downsample(&pts, 800);
+    assert!(ds.len() <= 800 * 4);
+    // The envelope (global min/max) must survive.
+    let max = ds.iter().map(|&(_, y)| y).fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(max, 999.0);
+}
