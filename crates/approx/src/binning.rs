@@ -67,6 +67,24 @@ impl Bin {
             self.sum / self.count as f64
         }
     }
+
+    /// Merges another partial bin over the same interval into this one.
+    fn absorb(&mut self, o: &Bin) {
+        if o.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.count = o.count;
+            self.sum = o.sum;
+            self.min = o.min;
+            self.max = o.max;
+        } else {
+            self.count += o.count;
+            self.sum += o.sum;
+            self.min = self.min.min(o.min);
+            self.max = self.max.max(o.max);
+        }
+    }
 }
 
 /// The 1-D binning strategies.
@@ -112,10 +130,25 @@ impl Histogram {
             BinningStrategy::EqualFrequency => equal_frequency_edges(&sorted, k),
             BinningStrategy::VarianceMinimizing => variance_minimizing_edges(&sorted, k),
         };
-        let mut bins: Vec<Bin> = edges.windows(2).map(|w| Bin::empty(w[0], w[1])).collect();
-        for &v in &sorted {
-            let i = locate(&edges, v);
-            bins[i].add(v);
+        // Parallel counting: per-chunk partial histograms merged in chunk
+        // order. Chunk boundaries depend only on input length, so bin sums
+        // associate identically at every thread count.
+        let empty_bins =
+            || -> Vec<Bin> { edges.windows(2).map(|w| Bin::empty(w[0], w[1])).collect() };
+        let chunk = wodex_exec::chunk_size(sorted.len());
+        let partials = wodex_exec::par_chunks(&sorted, chunk, |_, vals| {
+            let mut bins = empty_bins();
+            for &v in vals {
+                let i = locate(&edges, v);
+                bins[i].add(v);
+            }
+            bins
+        });
+        let mut bins = empty_bins();
+        for part in partials {
+            for (b, p) in bins.iter_mut().zip(&part) {
+                b.absorb(p);
+            }
         }
         Histogram { bins, strategy }
     }
@@ -253,12 +286,28 @@ pub fn grid2d(points: &[(f64, f64)], cols: usize, rows: usize) -> Vec<GridCell> 
     }
     let wx = if x1 > x0 { x1 - x0 } else { 1.0 };
     let wy = if y1 > y0 { y1 - y0 } else { 1.0 };
-    let mut counts = vec![0usize; cols * rows];
-    for &(x, y) in points {
-        let c = (((x - x0) / wx * cols as f64) as usize).min(cols - 1);
-        let r = (((y - y0) / wy * rows as f64) as usize).min(rows - 1);
-        counts[r * cols + c] += 1;
-    }
+    // Parallel counting: per-chunk count grids merged by integer addition
+    // (commutative, so any merge order gives the same cells).
+    let counts = wodex_exec::par_chunks(
+        points,
+        wodex_exec::chunk_size(points.len()),
+        |_, pts| {
+            let mut counts = vec![0usize; cols * rows];
+            for &(x, y) in pts {
+                let c = (((x - x0) / wx * cols as f64) as usize).min(cols - 1);
+                let r = (((y - y0) / wy * rows as f64) as usize).min(rows - 1);
+                counts[r * cols + c] += 1;
+            }
+            counts
+        },
+    )
+    .into_iter()
+    .fold(vec![0usize; cols * rows], |mut acc, part| {
+        for (a, v) in acc.iter_mut().zip(part) {
+            *a += v;
+        }
+        acc
+    });
     counts
         .into_iter()
         .enumerate()

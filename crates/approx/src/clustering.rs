@@ -11,8 +11,7 @@
 //! * [`agglomerative`] — average-linkage hierarchical clustering, cut at
 //!   `k` clusters; also the basis of dendrogram-style graph hierarchies.
 
-use rand::Rng;
-use rand::SeedableRng;
+use wodex_synth::rng::{Rng, SeedableRng};
 
 /// A k-means result.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +39,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMea
     let dim = points[0].len();
     assert!(points.iter().all(|p| p.len() == dim), "ragged input");
     let k = k.min(points.len());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = wodex_synth::rng::StdRng::seed_from_u64(seed);
 
     // Farthest-first seeding.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
@@ -63,30 +62,47 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMea
 
     let mut assignment = vec![0usize; points.len()];
     let mut iterations = 0;
+    let chunk = wodex_exec::chunk_size(points.len());
     for _ in 0..max_iter {
         iterations += 1;
-        // Assign.
-        let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let (best, _) = centroids
+        // Assign: each point's nearest centroid is independent of every
+        // other point's, so the step parallelizes over points and the
+        // result is identical at any thread count.
+        let next: Vec<usize> = wodex_exec::par_map(points, |p| {
+            centroids
                 .iter()
                 .enumerate()
                 .map(|(j, c)| (j, sq_dist(p, c)))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("k >= 1");
-            if assignment[i] != best {
-                assignment[i] = best;
-                changed = true;
+                .expect("k >= 1")
+                .0
+        });
+        let changed = next != assignment;
+        assignment = next;
+        // Update: per-chunk partial sums, merged in chunk order. The
+        // chunk decomposition depends only on input length, so the float
+        // additions associate the same way at every thread count.
+        let partials = wodex_exec::par_chunks(points, chunk, |ci, pts| {
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            let base = ci * chunk;
+            for (off, p) in pts.iter().enumerate() {
+                let a = assignment[base + off];
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
             }
-        }
-        // Update.
+            (sums, counts)
+        });
         let mut sums = vec![vec![0.0; dim]; k];
         let mut counts = vec![0usize; k];
-        for (i, p) in points.iter().enumerate() {
-            let a = assignment[i];
-            counts[a] += 1;
-            for (s, &x) in sums[a].iter_mut().zip(p) {
-                *s += x;
+        for (ps, pc) in partials {
+            for j in 0..k {
+                counts[j] += pc[j];
+                for (s, &x) in sums[j].iter_mut().zip(&ps[j]) {
+                    *s += x;
+                }
             }
         }
         for j in 0..k {
@@ -101,11 +117,15 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMea
             break;
         }
     }
-    let inertia = points
-        .iter()
-        .zip(&assignment)
-        .map(|(p, &a)| sq_dist(p, &centroids[a]))
-        .sum();
+    let inertia = wodex_exec::par_chunks(points, chunk, |ci, pts| {
+        let base = ci * chunk;
+        pts.iter()
+            .enumerate()
+            .map(|(off, p)| sq_dist(p, &centroids[assignment[base + off]]))
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum();
     KMeans {
         centroids,
         assignment,

@@ -11,7 +11,7 @@
 //!   CLT confidence intervals, fed chunk by chunk.
 //! * [`ProgressiveHistogram`] — progressive equal-width histogram over
 //!   fixed edges (the imMens-style additive bin update).
-//! * [`run_pipelined`] — a crossbeam two-thread pipeline: a producer
+//! * [`run_pipelined`] — a bounded two-thread pipeline: a producer
 //!   streams chunks while the consumer folds estimates (the §2 parallel-
 //!   architecture note, in its simplest honest form).
 
@@ -215,7 +215,7 @@ pub fn run_pipelined(
     total: u64,
     mut on_estimate: impl FnMut(&ProgressiveEstimate),
 ) -> ProgressiveEstimate {
-    let (tx, rx) = crossbeam::channel::bounded::<Vec<f64>>(4);
+    let (tx, rx) = wodex_exec::channel::bounded::<Vec<f64>>(4);
     let producer = std::thread::spawn(move || {
         for c in chunks {
             if tx.send(c).is_err() {

@@ -14,7 +14,7 @@
 //!   greedily spreads samples across the value domain so the *plotted*
 //!   shape survives reduction.
 
-use rand::Rng;
+use wodex_synth::rng::Rng;
 use std::collections::HashMap;
 
 /// Uniform reservoir sampling (algorithm R): maintains a uniform sample of
@@ -164,10 +164,10 @@ pub fn visualization_aware(values: &[f64], k: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use wodex_synth::rng::SeedableRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> wodex_synth::rng::StdRng {
+        wodex_synth::rng::StdRng::seed_from_u64(seed)
     }
 
     #[test]

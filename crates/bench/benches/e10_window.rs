@@ -1,5 +1,5 @@
 //! E10 — quadtree viewport windowing vs linear filtering.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_graph::layout::random;
 use wodex_graph::spatial::{QuadTree, Rect};

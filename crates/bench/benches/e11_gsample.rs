@@ -1,5 +1,5 @@
 //! E11 — graph sampling strategies at fixed rate.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_bench::workloads;
 use wodex_graph::sample;

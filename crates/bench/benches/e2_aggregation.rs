@@ -1,5 +1,5 @@
 //! E2 — binning strategies: cost and output size.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_approx::binning::{grid2d, BinningStrategy, Histogram};
 use wodex_bench::workloads;

@@ -1,5 +1,5 @@
 //! E3 — progressive aggregation: chunked vs one-shot.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_approx::progressive::ProgressiveAggregate;
 use wodex_bench::workloads;

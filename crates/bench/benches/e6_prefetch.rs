@@ -1,5 +1,5 @@
 //! E6 — tile prefetching under a pan trace.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_store::prefetch::TilePrefetcher;
 

@@ -1,6 +1,6 @@
 //! T1/T2 — table regeneration and corpus analysis (cheap by design;
 //! benched to keep the artifact-generation path exercised).
-use criterion::{criterion_group, criterion_main, Criterion};
+use wodex_bench::crit::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

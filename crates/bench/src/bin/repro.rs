@@ -4,6 +4,7 @@
 //! * `repro claims`  — the §4 gap analysis (C1–C5), derived by query.
 //! * `repro map`     — the feature→module capability cross-reference.
 //! * `repro e1` ... `repro e14` — one experiment.
+//! * `repro bench-pr1` — serial-vs-parallel timings → `BENCH_PR1.json`.
 //! * `repro all` (default) — everything, in `EXPERIMENTS.md` order.
 
 use wodex_bench::experiments;
@@ -38,6 +39,11 @@ fn main() {
                 println!("{}", wodex_registry::table::summary_line(&s));
             }
         }
+        "bench-pr1" => {
+            let json = wodex_bench::parbench::report();
+            std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+            print!("{json}");
+        }
         "all" => {
             println!("{}", wodex_registry::render_table1());
             println!("{}", wodex_registry::render_table2());
@@ -49,7 +55,9 @@ fn main() {
             if let Some((_, f)) = experiments_by_id.iter().find(|(k, _)| *k == id) {
                 print!("{}", f());
             } else {
-                eprintln!("unknown target {id:?}; use table1|table2|claims|map|list|all|e1..e15");
+                eprintln!(
+                    "unknown target {id:?}; use table1|table2|claims|map|list|bench-pr1|all|e1..e15"
+                );
                 std::process::exit(2);
             }
         }

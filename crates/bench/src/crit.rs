@@ -1,0 +1,269 @@
+//! Vendored criterion-compatible micro-benchmark harness.
+//!
+//! The build environment has no registry access, so `criterion` cannot be a
+//! dependency. This module reimplements the thin slice of its API that the
+//! `benches/` files use — `Criterion` with builder config, benchmark
+//! groups, `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — over plain `std::time` measurement. The
+//! benches themselves only had to swap their import line.
+//!
+//! Measurement model: per benchmark, warm up for `warm_up_time`, then take
+//! up to `sample_size` timed samples, stopping early once
+//! `measurement_time` is exhausted. Mean, min, and max are printed in a
+//! criterion-style line.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Harness configuration and entry point (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the sampling time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus an optional parameter,
+/// rendered `name/param` (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named collection of benchmarks sharing the group's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            samples: Vec::new(),
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let full = format!("{}/{}", self.name, id.id);
+        if b.samples.is_empty() {
+            println!("{full:<56} (no samples)");
+            return;
+        }
+        let n = b.samples.len() as u32;
+        let mean = b.samples.iter().sum::<Duration>() / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{full:<56} time: [{} {} {}]  ({n} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+        );
+    }
+}
+
+/// Times closures (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Warms up, then samples `routine`, recording one duration per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        self.samples.clear();
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Renders a duration with criterion-style units.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::crit::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("shim");
+        let mut ran = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        let id = BenchmarkId::new("layout", 500);
+        assert_eq!(id.id, "layout/500");
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(12)).ends_with("s"));
+    }
+}

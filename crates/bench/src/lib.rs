@@ -11,7 +11,9 @@
 //! roughly what factor, and where crossovers fall — per the reproduction
 //! contract in `DESIGN.md`.
 
+pub mod crit;
 pub mod experiments;
+pub mod parbench;
 pub mod workloads;
 
 /// Formats a duration in adaptive units.

@@ -1,0 +1,140 @@
+//! Serial-vs-parallel timings for the wodex-exec wiring (PR 1).
+//!
+//! [`report`] times each parallelized subsystem — pattern scan, BGP join,
+//! force-directed layout, k-means — once at 1 thread and once at 4
+//! threads (via [`wodex_exec::with_thread_override`], so the ambient
+//! `WODEX_THREADS` is irrelevant) and renders the result as JSON for
+//! `BENCH_PR1.json`. Times are the minimum of three runs.
+//!
+//! The speedup numbers are whatever the host delivers: on a single-core
+//! container the parallel runs cannot beat serial and the JSON will say
+//! so honestly (`host_cpus` records what was available).
+
+use std::time::Instant;
+
+use wodex_exec::with_thread_override;
+use wodex_store::Pattern;
+
+const RUNS: usize = 3;
+const PARALLEL_THREADS: usize = 4;
+
+fn best_of<R>(f: impl Fn() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Timing {
+    name: &'static str,
+    items: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn time_both<R>(name: &'static str, items: usize, f: impl Fn() -> R) -> Timing {
+    let serial_ms = with_thread_override(1, || best_of(&f));
+    let parallel_ms = with_thread_override(PARALLEL_THREADS, || best_of(&f));
+    Timing {
+        name,
+        items,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+/// Runs the four workloads and returns the `BENCH_PR1.json` document.
+pub fn report() -> String {
+    let mut timings = Vec::new();
+
+    // Pattern scan over ≥100k triples, with deletions so the filtering
+    // par_chunks path (not just the par_map decode) is measured.
+    let mut store = crate::workloads::dbpedia_store(12_000);
+    store.merge_tail();
+    let victims: Vec<_> = store
+        .match_pattern(Pattern::any())
+        .into_iter()
+        .step_by(97)
+        .collect();
+    for t in victims {
+        store.remove_encoded(t);
+    }
+    let triples = store.len();
+    let pred = store
+        .id_of(&wodex_rdf::Term::iri(
+            "http://dbp.example.org/ontology/population",
+        ))
+        .expect("population predicate exists");
+    timings.push(time_both("pattern_scan", triples, || {
+        store.match_pattern(Pattern::any()).len() + store.count_pattern(Pattern::any().with_p(pred))
+    }));
+
+    // BGP join + FILTER over the same store.
+    let q = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+             SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p . \
+             FILTER(?p > 100) }";
+    timings.push(time_both("bgp_join", triples, || {
+        wodex_sparql::query(&store, q).expect("query runs")
+    }));
+
+    // Force-directed layout on a 50k-node scale-free graph.
+    let g = crate::workloads::ba_graph(50_000);
+    timings.push(time_both("fr_layout", g.node_count(), || {
+        wodex_graph::layout::fruchterman_reingold(
+            &g,
+            wodex_graph::layout::FrParams {
+                iterations: 5,
+                ..Default::default()
+            },
+        )
+    }));
+
+    // k-means over 100k 4-d points.
+    let points: Vec<Vec<f64>> = {
+        use wodex_synth::rng::Rng;
+        let mut rng = wodex_synth::rng(17);
+        (0..100_000)
+            .map(|_| (0..4).map(|_| rng.random_range(0.0..100.0)).collect())
+            .collect()
+    };
+    timings.push(time_both("kmeans", points.len(), || {
+        wodex_approx::clustering::kmeans(&points, 16, 5, 3)
+    }));
+
+    render(&timings)
+}
+
+fn render(timings: &[Timing]) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wodex-exec serial vs parallel\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"parallel_threads\": {PARALLEL_THREADS},\n"));
+    out.push_str(&format!("  \"runs_per_point\": {RUNS},\n"));
+    if host_cpus < PARALLEL_THREADS {
+        out.push_str(&format!(
+            "  \"note\": \"host exposes only {host_cpus} CPU(s); {PARALLEL_THREADS} \
+             threads cannot beat serial here, so speedups below reflect pure \
+             scheduling overhead, not the contract\",\n"
+        ));
+    }
+    out.push_str("  \"workloads\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let speedup = t.serial_ms / t.parallel_ms;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"items\": {}, \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            t.name,
+            t.items,
+            t.serial_ms,
+            t.parallel_ms,
+            speedup,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

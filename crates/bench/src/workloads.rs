@@ -61,7 +61,7 @@ pub fn zoom_sequence(steps: usize) -> Vec<(f64, f64)> {
 /// A uniformly random range-query sequence over `[0, 1000)` (the
 /// no-locality control for E4).
 pub fn random_ranges(steps: usize, seed: u64) -> Vec<(f64, f64)> {
-    use rand::Rng;
+    use wodex_synth::rng::Rng;
     let mut rng = wodex_synth::rng(seed);
     (0..steps)
         .map(|_| {

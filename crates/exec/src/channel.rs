@@ -1,0 +1,43 @@
+//! Bounded channels for pipeline-style parallelism.
+//!
+//! A thin veneer over `std::sync::mpsc::sync_channel`, kept in this crate
+//! so pipeline code (e.g. `wodex-approx`'s progressive computation) has one
+//! place to get its channels from — the role crossbeam's `bounded` played
+//! before the workspace went registry-free.
+
+pub use std::sync::mpsc::{Receiver, RecvError, SendError, SyncSender as Sender, TryRecvError};
+
+/// Creates a bounded channel with capacity `cap`.
+///
+/// Sends block once `cap` messages are in flight, which is exactly the
+/// back-pressure a progressive producer/consumer pipeline wants: the
+/// producer cannot run unboundedly ahead of the consumer.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::sync_channel(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_channel_round_trips_in_order() {
+        let (tx, rx) = bounded::<u32>(4);
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_blocks_at_capacity() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        assert!(tx.try_send(2).is_err());
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(2).is_ok());
+    }
+}

@@ -1,0 +1,490 @@
+//! # wodex-exec — std-only deterministic parallel execution
+//!
+//! The survey's central constraint is serving exploration-driven workloads
+//! over very large datasets on limited resources (PAPER.md §2). This crate
+//! is the workspace's answer at the execution layer: a scoped worker pool
+//! built **only** on `std::thread::scope` and `std::sync` — the build
+//! environment has no registry access, so rayon/crossbeam are not options.
+//!
+//! ## Operations
+//!
+//! * [`par_map`] — map a function over a slice, preserving order.
+//! * [`par_chunks`] — map a function over fixed-size chunks of a slice,
+//!   one result per chunk, in chunk order.
+//! * [`par_fold`] — fold each chunk to an accumulator, then merge the
+//!   accumulators **in chunk order**.
+//! * [`channel::bounded`] — a bounded SPSC/MPSC channel (wraps
+//!   `std::sync::mpsc::sync_channel`) for pipeline-style producers.
+//!
+//! ## Determinism contract
+//!
+//! Every operation produces results that are **byte-identical regardless of
+//! thread count**, because:
+//!
+//! 1. The chunk decomposition is a function of the *input length only* —
+//!    never of the thread count. `WODEX_THREADS=1` and `WODEX_THREADS=64`
+//!    process exactly the same chunks.
+//! 2. Chunk results are merged in chunk index order, not completion order.
+//! 3. Workers claim chunk *indices* from an atomic counter; which worker
+//!    computes a chunk never affects what the chunk computes.
+//!
+//! This means the serial path is defined as "the same chunked computation
+//! on one thread", so floating-point reductions ([`par_fold`]) associate
+//! identically at every thread count.
+//!
+//! ## Thread count
+//!
+//! [`num_threads`] resolves, in order: a thread-local override installed by
+//! [`with_thread_override`] (used by equivalence tests so parallel test
+//! binaries don't race on the environment), the `WODEX_THREADS` environment
+//! variable, then `std::thread::available_parallelism()`.
+//!
+//! ## Observability
+//!
+//! Each call records items processed and wall time into global counters;
+//! [`stats`] snapshots them and [`reset_stats`] clears them.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+pub mod channel;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the effective thread count pinned to `n` on this thread.
+///
+/// The override is thread-local, so concurrent tests can pin different
+/// counts without racing on `WODEX_THREADS`. Restores the previous
+/// override on exit (including on panic-free early return).
+pub fn with_thread_override<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The effective worker count for parallel operations started on this
+/// thread: override, else `WODEX_THREADS`, else available parallelism.
+///
+/// The environment lookup happens once per process: `env::var` takes a
+/// global lock and `available_parallelism` is a syscall, and nested
+/// serial `par_*` calls from inside worker threads would otherwise pay
+/// both on every invocation (measured at ~5µs under contention — enough
+/// to dominate fine-grained query paths).
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    static AMBIENT: OnceLock<usize> = OnceLock::new();
+    *AMBIENT.get_or_init(|| {
+        if let Ok(s) = std::env::var("WODEX_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, usize::from)
+    })
+}
+
+/// Minimum items per chunk; below this, parallel dispatch costs more than
+/// it saves for typical per-item work in this workspace.
+const MIN_CHUNK: usize = 256;
+/// Target number of chunks for large inputs (load-balancing granularity).
+const TARGET_CHUNKS: usize = 64;
+
+/// The chunk size used for `len` items. A function of the input length
+/// **only** — never the thread count — which is what makes results
+/// identical across thread counts.
+pub fn chunk_size(len: usize) -> usize {
+    len.div_ceil(TARGET_CHUNKS).max(MIN_CHUNK)
+}
+
+#[derive(Default)]
+struct OpCounters {
+    calls: AtomicU64,
+    parallel_calls: AtomicU64,
+    items: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl OpCounters {
+    fn record(&self, items: usize, parallel: bool, start: Instant) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if parallel {
+            self.parallel_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        self.items.fetch_add(items as u64, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> OpStats {
+        OpStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            parallel_calls: self.parallel_calls.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            nanos: self.nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.parallel_calls.store(0, Ordering::Relaxed);
+        self.items.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+static MAP_COUNTERS: OpCounters = OpCounters {
+    calls: AtomicU64::new(0),
+    parallel_calls: AtomicU64::new(0),
+    items: AtomicU64::new(0),
+    nanos: AtomicU64::new(0),
+};
+static CHUNK_COUNTERS: OpCounters = OpCounters {
+    calls: AtomicU64::new(0),
+    parallel_calls: AtomicU64::new(0),
+    items: AtomicU64::new(0),
+    nanos: AtomicU64::new(0),
+};
+static FOLD_COUNTERS: OpCounters = OpCounters {
+    calls: AtomicU64::new(0),
+    parallel_calls: AtomicU64::new(0),
+    items: AtomicU64::new(0),
+    nanos: AtomicU64::new(0),
+};
+
+/// A snapshot of one operation's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Total invocations.
+    pub calls: u64,
+    /// Invocations that actually spawned worker threads.
+    pub parallel_calls: u64,
+    /// Total items processed.
+    pub items: u64,
+    /// Total wall-clock nanoseconds across invocations.
+    pub nanos: u64,
+}
+
+/// A snapshot of all execution-layer counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// [`par_map`] counters.
+    pub map: OpStats,
+    /// [`par_chunks`] counters.
+    pub chunks: OpStats,
+    /// [`par_fold`] counters.
+    pub fold: OpStats,
+}
+
+/// Snapshots the global timing counters.
+pub fn stats() -> ExecStats {
+    ExecStats {
+        map: MAP_COUNTERS.snapshot(),
+        chunks: CHUNK_COUNTERS.snapshot(),
+        fold: FOLD_COUNTERS.snapshot(),
+    }
+}
+
+/// Clears the global timing counters.
+pub fn reset_stats() {
+    MAP_COUNTERS.reset();
+    CHUNK_COUNTERS.reset();
+    FOLD_COUNTERS.reset();
+}
+
+/// Unwraps a completed chunk slot. Slots are written exactly once by the
+/// worker that claimed the chunk; the scope joins all workers (propagating
+/// panics) before slots are read, so a `None` here is unreachable.
+fn take_slot<R>(slot: Mutex<Option<R>>) -> R {
+    slot.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .expect("worker completed this chunk")
+}
+
+/// Runs `work(chunk_index)` for every chunk index in `0..nchunks` across
+/// `threads` scoped workers. Indices are claimed from an atomic counter,
+/// so assignment is dynamic but the set of computations is fixed.
+///
+/// Panics from `work` propagate to the caller when the scope joins.
+fn run_chunked<W: Fn(usize) + Sync>(nchunks: usize, threads: usize, work: W) {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= nchunks {
+                    break;
+                }
+                work(i);
+            });
+        }
+    });
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Deterministic: output is identical at every thread count (see the
+/// crate-level determinism contract). Empty input returns an empty vec
+/// without touching the pool. Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let start = Instant::now();
+    if n == 0 {
+        MAP_COUNTERS.record(0, false, start);
+        return Vec::new();
+    }
+    let chunk = chunk_size(n);
+    let nchunks = n.div_ceil(chunk);
+    let threads = num_threads().min(nchunks);
+    if threads <= 1 {
+        // Same chunk decomposition, one thread: identical results by
+        // construction (map has no cross-item state, so a plain pass
+        // over each chunk in order is the chunked computation).
+        let mut out = Vec::with_capacity(n);
+        for c in items.chunks(chunk) {
+            out.extend(c.iter().map(&f));
+        }
+        MAP_COUNTERS.record(n, false, start);
+        return out;
+    }
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+    run_chunked(nchunks, threads, |i| {
+        let lo = i * chunk;
+        let hi = (lo + chunk).min(n);
+        let v: Vec<R> = items[lo..hi].iter().map(&f).collect();
+        *slots[i].lock().unwrap() = Some(v);
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(take_slot(slot));
+    }
+    MAP_COUNTERS.record(n, true, start);
+    out
+}
+
+/// Applies `f` to fixed-size chunks of `items` in parallel, returning one
+/// result per chunk in chunk order. `f` receives the chunk index and the
+/// chunk slice. `chunk` must be non-zero.
+///
+/// Unlike [`par_map`], the caller controls the chunk size — callers that
+/// need a specific partition (e.g. index sub-ranges) derive it from the
+/// input length to stay deterministic.
+pub fn par_chunks<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be non-zero");
+    let n = items.len();
+    let start = Instant::now();
+    if n == 0 {
+        CHUNK_COUNTERS.record(0, false, start);
+        return Vec::new();
+    }
+    let nchunks = n.div_ceil(chunk);
+    let threads = num_threads().min(nchunks);
+    if threads <= 1 {
+        let out = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+        CHUNK_COUNTERS.record(n, false, start);
+        return out;
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+    run_chunked(nchunks, threads, |i| {
+        let lo = i * chunk;
+        let hi = (lo + chunk).min(n);
+        *slots[i].lock().unwrap() = Some(f(i, &items[lo..hi]));
+    });
+    let out = slots.into_iter().map(take_slot).collect();
+    CHUNK_COUNTERS.record(n, true, start);
+    out
+}
+
+/// Folds `items` in parallel: each chunk folds into its own accumulator
+/// (seeded by `init`), then accumulators merge **in chunk order**.
+///
+/// Because the chunk decomposition depends only on the input length, the
+/// association order of `merge` — and therefore any floating-point result —
+/// is identical at every thread count.
+pub fn par_fold<T, A, I, F, M>(items: &[T], init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let n = items.len();
+    let start = Instant::now();
+    if n == 0 {
+        FOLD_COUNTERS.record(0, false, start);
+        return init();
+    }
+    let chunk = chunk_size(n);
+    let accs = {
+        let nchunks = n.div_ceil(chunk);
+        let threads = num_threads().min(nchunks);
+        if threads <= 1 {
+            let out: Vec<A> = items
+                .chunks(chunk)
+                .map(|c| c.iter().fold(init(), &fold))
+                .collect();
+            FOLD_COUNTERS.record(n, false, start);
+            out
+        } else {
+            let slots: Vec<Mutex<Option<A>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+            run_chunked(nchunks, threads, |i| {
+                let lo = i * chunk;
+                let hi = (lo + chunk).min(n);
+                let acc = items[lo..hi].iter().fold(init(), &fold);
+                *slots[i].lock().unwrap() = Some(acc);
+            });
+            let out = slots.into_iter().map(take_slot).collect();
+            FOLD_COUNTERS.record(n, true, start);
+            out
+        }
+    };
+    let mut accs = accs.into_iter();
+    let first = accs.next().expect("at least one chunk");
+    accs.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = with_thread_override(4, || par_map(&items, |&x| x * 2));
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..5000).map(|i| i as f64 * 0.37).collect();
+        let one = with_thread_override(1, || par_map(&items, |&x| x.sin() * x.cos()));
+        let four = with_thread_override(4, || par_map(&items, |&x| x.sin() * x.cos()));
+        let eight = with_thread_override(8, || par_map(&items, |&x| x.sin() * x.cos()));
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = with_thread_override(4, || par_map(&items, |&x| x));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_item() {
+        let out = with_thread_override(4, || par_map(&[41], |&x: &i32| x + 1));
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn par_map_panic_propagates() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let res = std::panic::catch_unwind(|| {
+            with_thread_override(4, || {
+                par_map(&items, |&x| {
+                    assert!(x != 7777, "boom");
+                    x
+                })
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn par_map_panic_propagates_serially_too() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let res = std::panic::catch_unwind(|| {
+            with_thread_override(1, || {
+                par_map(&items, |&x| {
+                    assert!(x != 7777, "boom");
+                    x
+                })
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn par_chunks_covers_input_in_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let sums = with_thread_override(4, || {
+            par_chunks(&items, 64, |i, c| (i, c.iter().sum::<usize>()))
+        });
+        assert_eq!(sums.len(), 1000usize.div_ceil(64));
+        assert!(sums.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        let total: usize = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_fold_float_sums_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..50_000).map(|i| (i as f64).sqrt() * 0.001).collect();
+        let run = || par_fold(&items, || 0.0f64, |a, &x| a + x, |a, b| a + b);
+        let one = with_thread_override(1, run);
+        let four = with_thread_override(4, run);
+        assert_eq!(one.to_bits(), four.to_bits());
+    }
+
+    #[test]
+    fn par_fold_empty_returns_init() {
+        let items: Vec<u32> = Vec::new();
+        let out = par_fold(&items, || 17u32, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(out, 17);
+    }
+
+    #[test]
+    fn thread_override_nests_and_restores() {
+        with_thread_override(4, || {
+            assert_eq!(num_threads(), 4);
+            with_thread_override(2, || assert_eq!(num_threads(), 2));
+            assert_eq!(num_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn chunking_ignores_thread_count() {
+        let a = with_thread_override(1, || chunk_size(100_000));
+        let b = with_thread_override(16, || chunk_size(100_000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        reset_stats();
+        let items: Vec<u32> = (0..4096).collect();
+        let _ = with_thread_override(2, || par_map(&items, |&x| x));
+        let s = stats();
+        assert!(s.map.calls >= 1);
+        assert!(s.map.items >= 4096);
+        reset_stats();
+    }
+}

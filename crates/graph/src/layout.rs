@@ -10,8 +10,7 @@
 //! spatial index and renderers.
 
 use crate::adjacency::Adjacency;
-use rand::Rng;
-use rand::SeedableRng;
+use wodex_synth::rng::{Rng, SeedableRng};
 
 /// A 2-D position.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -101,7 +100,7 @@ impl Layout {
 
 /// Uniformly random positions in `[0, size]²` — the usual FR seed.
 pub fn random(n: usize, size: f32, seed: u64) -> Layout {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = wodex_synth::rng::StdRng::seed_from_u64(seed);
     Layout {
         positions: (0..n)
             .map(|_| Point::new(rng.random_range(0.0..=size), rng.random_range(0.0..=size)))
@@ -188,14 +187,13 @@ pub fn fruchterman_reingold_from(
     let mut temp = size * params.initial_temperature;
     let cool = temp / params.iterations.max(1) as f32;
     let cell = (2.0 * k).max(1e-3);
-    let mut disp = vec![Point::default(); n];
+    let ids: Vec<u32> = (0..n as u32).collect();
 
     for _ in 0..params.iterations {
-        for d in &mut disp {
-            *d = Point::default();
-        }
         // Repulsion via uniform grid: only nearby pairs interact, which is
-        // the standard O(n) approximation for FR.
+        // the standard O(n) approximation for FR. Buckets are built once
+        // per iteration (cheap, serial); their contents are in node-id
+        // order, so every node's force sum has a fixed association order.
         let cols = (size / cell).ceil().max(1.0) as i64;
         let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
             std::collections::HashMap::new();
@@ -211,51 +209,55 @@ pub fn fruchterman_reingold_from(
                 .or_default()
                 .push(v);
         }
-        for (&(cx, cy), nodes) in &buckets {
+        // Per-node force accumulation is independent of every other
+        // node's, so it parallelizes over nodes; partitions merge in node
+        // order, keeping iterations identical at every thread count.
+        let positions = &layout.positions;
+        let disp: Vec<Point> = wodex_exec::par_map(&ids, |&v| {
+            let pv = positions[v as usize];
+            let (cx, cy) = key(&pv);
+            let mut d_acc = Point::default();
+            // Repulsion from the 3×3 cell neighborhood, in (dx, dy) then
+            // bucket order.
             for dx in -1..=1 {
                 for dy in -1..=1 {
                     let Some(other) = buckets.get(&(cx + dx, cy + dy)) else {
                         continue;
                     };
-                    for &v in nodes {
-                        for &w in other {
-                            if v == w {
-                                continue;
-                            }
-                            let pv = layout.positions[v as usize];
-                            let pw = layout.positions[w as usize];
-                            let mut ddx = pv.x - pw.x;
-                            let mut ddy = pv.y - pw.y;
-                            let mut d = (ddx * ddx + ddy * ddy).sqrt();
-                            if d < 1e-6 {
-                                // Coincident nodes: deterministic nudge.
-                                ddx = 0.01 * ((v as f32) - (w as f32)).signum();
-                                ddy = 0.013;
-                                d = 0.016;
-                            }
-                            let f = k * k / d;
-                            disp[v as usize].x += ddx / d * f;
-                            disp[v as usize].y += ddy / d * f;
+                    for &w in other {
+                        if v == w {
+                            continue;
                         }
+                        let pw = positions[w as usize];
+                        let mut ddx = pv.x - pw.x;
+                        let mut ddy = pv.y - pw.y;
+                        let mut d = (ddx * ddx + ddy * ddy).sqrt();
+                        if d < 1e-6 {
+                            // Coincident nodes: deterministic nudge.
+                            ddx = 0.01 * ((v as f32) - (w as f32)).signum();
+                            ddy = 0.013;
+                            d = 0.016;
+                        }
+                        let f = k * k / d;
+                        d_acc.x += ddx / d * f;
+                        d_acc.y += ddy / d * f;
                     }
                 }
             }
-        }
-        // Attraction along edges.
-        for (a, b) in graph.edges() {
-            let pa = layout.positions[a as usize];
-            let pb = layout.positions[b as usize];
-            let ddx = pa.x - pb.x;
-            let ddy = pa.y - pb.y;
-            let d = (ddx * ddx + ddy * ddy).sqrt().max(1e-6);
-            let f = d * d / k;
-            let fx = ddx / d * f;
-            let fy = ddy / d * f;
-            disp[a as usize].x -= fx;
-            disp[a as usize].y -= fy;
-            disp[b as usize].x += fx;
-            disp[b as usize].y += fy;
-        }
+            // Attraction along incident edges (the force is symmetric, so
+            // summing over each endpoint's neighbor list applies exactly
+            // the per-edge pulls of the classic formulation).
+            for &w in graph.neighbors(v) {
+                let pw = positions[w as usize];
+                let ddx = pv.x - pw.x;
+                let ddy = pv.y - pw.y;
+                let d = (ddx * ddx + ddy * ddy).sqrt().max(1e-6);
+                let f = d * d / k;
+                d_acc.x -= ddx / d * f;
+                d_acc.y -= ddy / d * f;
+            }
+            d_acc
+        });
         // Apply displacements, capped by temperature, clamped to frame.
         for (v, d) in disp.iter().enumerate().take(n) {
             let len = (d.x * d.x + d.y * d.y).sqrt().max(1e-9);

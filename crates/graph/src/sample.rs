@@ -14,9 +14,7 @@
 //!   structure best, which is what experiment E11 checks.
 
 use crate::adjacency::Adjacency;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
+use wodex_synth::rng::{Rng, SeedableRng, SliceRandom};
 
 /// A sampled subgraph: the adjacency plus the original id of each node.
 #[derive(Debug, Clone)]
@@ -33,7 +31,7 @@ pub fn node_sample(graph: &Adjacency, rate: f64, seed: u64) -> SampledGraph {
     assert!((0.0..=1.0).contains(&rate));
     let n = graph.node_count();
     let k = ((n as f64 * rate).ceil() as usize).min(n);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = wodex_synth::rng::StdRng::seed_from_u64(seed);
     let mut ids: Vec<u32> = (0..n as u32).collect();
     ids.shuffle(&mut rng);
     let mut keep: Vec<u32> = ids.into_iter().take(k).collect();
@@ -49,7 +47,7 @@ pub fn node_sample(graph: &Adjacency, rate: f64, seed: u64) -> SampledGraph {
 /// endpoints.
 pub fn edge_sample(graph: &Adjacency, rate: f64, seed: u64) -> SampledGraph {
     assert!((0.0..=1.0).contains(&rate));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = wodex_synth::rng::StdRng::seed_from_u64(seed);
     let mut edges: Vec<(u32, u32)> = graph.edges().collect();
     edges.shuffle(&mut rng);
     let k = ((edges.len() as f64 * rate).ceil() as usize).min(edges.len());
@@ -77,7 +75,7 @@ pub fn forest_fire(graph: &Adjacency, rate: f64, p_f: f64, seed: u64) -> Sampled
     assert!((0.0..1.0).contains(&p_f), "p_f must be in [0,1)");
     let n = graph.node_count();
     let target = ((n as f64 * rate).ceil() as usize).min(n);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = wodex_synth::rng::StdRng::seed_from_u64(seed);
     let mut burned = vec![false; n];
     let mut burned_count = 0usize;
     let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();

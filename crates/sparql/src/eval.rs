@@ -138,9 +138,10 @@ pub fn evaluate(store: &TripleStore, q: &Query) -> Result<QueryResult, QueryErro
         }
         rows = next;
     }
-    // Residual filters (mentioning optional variables).
+    // Residual filters (mentioning optional variables), evaluated in
+    // parallel over the solution table (order-preserving keep flags).
     for f in &post_filters {
-        rows.retain(|row| {
+        retain_parallel(&mut rows, |row| {
             eval_expr(store, f, row, &var_idx)
                 .and_then(effective_bool)
                 .unwrap_or(false)
@@ -181,17 +182,16 @@ pub fn evaluate(store: &TripleStore, q: &Query) -> Result<QueryResult, QueryErro
                 })
             })
             .collect::<Result<_, _>>()?;
-        let mut out = Vec::with_capacity(rows.len());
         // ORDER BY before projection so sort keys need not be selected.
         let mut rows = rows;
         sort_rows(store, q, &var_idx, &mut rows)?;
-        for row in rows {
-            out.push(
-                idxs.iter()
-                    .map(|&i| row[i].map(|id| store.term(id).clone()))
-                    .collect(),
-            );
-        }
+        // Final decode: term materialization is per-row independent, so
+        // it runs in parallel partitions merged in row order.
+        let out = wodex_exec::par_map(&rows, |row| {
+            idxs.iter()
+                .map(|&i| row[i].map(|id| store.term(id).clone()))
+                .collect()
+        });
         (selected, out)
     };
 
@@ -241,6 +241,15 @@ fn describe(store: &TripleStore, resources: &[Term]) -> wodex_rdf::Graph {
         }
     }
     g
+}
+
+/// `Vec::retain`, with the predicate evaluated in parallel: keep flags are
+/// computed per partition and applied in row order, so the surviving rows
+/// are identical at every thread count.
+fn retain_parallel<T: Sync>(rows: &mut Vec<T>, pred: impl Fn(&T) -> bool + Sync) {
+    let keep = wodex_exec::par_map(rows.as_slice(), |row| pred(row));
+    let mut flags = keep.into_iter();
+    rows.retain(|_| flags.next().expect("one flag per row"));
 }
 
 /// Greedy-ordered BGP join with filter pushdown and optional early stop,
@@ -296,9 +305,8 @@ fn join_bgp(
         let pi = remaining.remove(pos);
         let pattern = &patterns[pi];
 
-        let mut next_rows = Vec::new();
-        'rows: for row in &rows {
-            // Build the concrete pattern for this row.
+        // Extends one solution row with every store match of the pattern.
+        let probe = |row: &Row| -> Vec<Row> {
             let mut bindings: HashMap<usize, TermId> = HashMap::new();
             for (i, b) in row.iter().enumerate() {
                 if let Some(id) = b {
@@ -306,33 +314,51 @@ fn join_bgp(
                 }
             }
             let Some(pat) = encode_pattern(store, pattern, &bindings, var_idx) else {
-                continue;
+                return Vec::new();
             };
+            let mut extended = Vec::new();
             for t in store.match_pattern(pat) {
                 let mut new_row = row.clone();
-                if !bind_row(&mut new_row, pattern, &t, var_idx) {
-                    continue;
+                if bind_row(&mut new_row, pattern, &t, var_idx) {
+                    extended.push(new_row);
                 }
-                next_rows.push(new_row);
-                if let Some(lim) = early_limit {
-                    // Only the final pattern's output is the row stream;
-                    // intermediate stages must not truncate.
-                    if remaining.is_empty() && pending_filters.is_empty() && next_rows.len() >= lim
-                    {
+            }
+            extended
+        };
+        // Only the final pattern's output is the row stream; intermediate
+        // stages must not truncate.
+        let truncating = early_limit.is_some() && remaining.is_empty() && pending_filters.is_empty();
+        rows = if truncating {
+            // Serial probe with early stop: no point extending further rows
+            // once the limit's worth of solutions exists. The parallel path
+            // followed by `truncate` would return the same rows (partitions
+            // merge in row order), just with wasted work.
+            let lim = early_limit.expect("truncating implies a limit");
+            let mut next_rows = Vec::new();
+            'rows: for row in &rows {
+                for new_row in probe(row) {
+                    next_rows.push(new_row);
+                    if next_rows.len() >= lim {
                         break 'rows;
                     }
                 }
             }
-        }
-        rows = next_rows;
+            next_rows
+        } else {
+            // Parallel probe of the solution table: per-row extension lists
+            // are computed in partitions and flattened in row order, so the
+            // join output is identical at every thread count.
+            wodex_exec::par_map(&rows, probe).into_iter().flatten().collect()
+        };
         for v in pattern.vars() {
             bound[var_idx[v]] = true;
         }
-        // Apply filters whose variables are now bound.
+        // Apply filters whose variables are now bound (parallel,
+        // order-preserving keep flags).
         pending_filters.retain(|f| {
             let ready = expr_vars(f).iter().all(|v| bound[var_idx[v.as_str()]]);
             if ready {
-                rows.retain(|row| {
+                retain_parallel(&mut rows, |row| {
                     eval_expr(store, f, row, var_idx)
                         .and_then(effective_bool)
                         .unwrap_or(false)

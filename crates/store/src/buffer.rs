@@ -8,7 +8,7 @@
 //! memory with memory use bounded by `capacity × page size` (experiment
 //! E5).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -76,12 +76,12 @@ impl BufferPool {
 
     /// Number of resident pages.
     pub fn resident(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.inner.lock().unwrap().frames.len()
     }
 
     /// Fetches a page, reading through `fetch` on a miss.
     pub fn get(&self, page_id: u32, fetch: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(frame) = inner.frames.get_mut(&page_id) {
@@ -113,13 +113,13 @@ impl BufferPool {
 
     /// True if the page is resident (does not touch recency or stats).
     pub fn peek(&self, page_id: u32) -> bool {
-        self.inner.lock().frames.contains_key(&page_id)
+        self.inner.lock().unwrap().frames.contains_key(&page_id)
     }
 
     /// Inserts a page without counting a demand miss — the prefetcher's
     /// entry point. Does nothing if already resident.
     pub fn preload(&self, page_id: u32, fetch: impl FnOnce() -> Vec<u8>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if inner.frames.contains_key(&page_id) {
             return;
         }
@@ -137,12 +137,12 @@ impl BufferPool {
 
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        self.inner.lock().unwrap().stats
     }
 
     /// Drops all resident pages and resets counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.frames.clear();
         inner.stats = PoolStats::default();
     }

@@ -218,74 +218,82 @@ impl TripleStore {
         self.contains_encoded(&[s.0, p.0, o.0])
     }
 
+    /// The contiguous index run serving a pattern's bound positions, plus
+    /// the key order needed to restore `[s, p, o]` component order.
+    ///
+    /// Selects the best index for the bound positions and binary-searches
+    /// its prefix run; `s+o` (the one bound set that is not a prefix of
+    /// any permutation) goes through OSP's `o, s` prefix.
+    fn index_run(&self, s: Option<u32>, p: Option<u32>, o: Option<u32>) -> (&[[u32; 3]], Order) {
+        match (s, p, o) {
+            // Full/partial SPO prefixes.
+            (Some(s), Some(p), Some(o)) => (
+                self.spo.prefix_range(Some(s), Some(p), Some(o)),
+                Order::Spo,
+            ),
+            (Some(s), Some(p), None) => (self.spo.prefix_range(Some(s), Some(p), None), Order::Spo),
+            (Some(s), None, None) => (self.spo.prefix_range(Some(s), None, None), Order::Spo),
+            // POS prefixes.
+            (None, Some(p), Some(o)) => (self.pos.prefix_range(Some(p), Some(o), None), Order::Pos),
+            (None, Some(p), None) => (self.pos.prefix_range(Some(p), None, None), Order::Pos),
+            // OSP prefixes.
+            (None, None, Some(o)) => (self.osp.prefix_range(Some(o), None, None), Order::Osp),
+            (Some(s), None, Some(o)) => (self.osp.prefix_range(Some(o), Some(s), None), Order::Osp),
+            // Full scan.
+            (None, None, None) => (self.spo.prefix_range(None, None, None), Order::Spo),
+        }
+    }
+
     /// Matches a pattern, returning encoded triples.
     ///
-    /// Selects the best index for the bound positions, binary-searches its
-    /// prefix run, post-filters where the bound set is not a prefix of any
-    /// permutation (`s+o`), and appends matching tail entries.
+    /// The index run is decoded (and, when deletions exist, filtered) in
+    /// parallel partitions merged in index order, then matching tail
+    /// entries are appended — so results are identical to a serial scan at
+    /// every thread count.
     pub fn match_pattern(&self, pat: Pattern) -> Vec<EncodedTriple> {
         let s = pat.s.map(|t| t.0);
         let p = pat.p.map(|t| t.0);
         let o = pat.o.map(|t| t.0);
-        let mut out: Vec<EncodedTriple> = match (s, p, o) {
-            // Full/partial SPO prefixes.
-            (Some(s), Some(p), Some(o)) => self
-                .spo
-                .prefix_range(Some(s), Some(p), Some(o))
-                .iter()
-                .map(|k| Order::Spo.unkey(k))
-                .collect(),
-            (Some(s), Some(p), None) => self
-                .spo
-                .prefix_range(Some(s), Some(p), None)
-                .iter()
-                .map(|k| Order::Spo.unkey(k))
-                .collect(),
-            (Some(s), None, None) => self
-                .spo
-                .prefix_range(Some(s), None, None)
-                .iter()
-                .map(|k| Order::Spo.unkey(k))
-                .collect(),
-            // POS prefixes.
-            (None, Some(p), Some(o)) => self
-                .pos
-                .prefix_range(Some(p), Some(o), None)
-                .iter()
-                .map(|k| Order::Pos.unkey(k))
-                .collect(),
-            (None, Some(p), None) => self
-                .pos
-                .prefix_range(Some(p), None, None)
-                .iter()
-                .map(|k| Order::Pos.unkey(k))
-                .collect(),
-            // OSP prefixes.
-            (None, None, Some(o)) => self
-                .osp
-                .prefix_range(Some(o), None, None)
-                .iter()
-                .map(|k| Order::Osp.unkey(k))
-                .collect(),
-            (Some(s), None, Some(o)) => self
-                .osp
-                .prefix_range(Some(o), Some(s), None)
-                .iter()
-                .map(|k| Order::Osp.unkey(k))
-                .collect(),
-            // Full scan.
-            (None, None, None) => self.spo.iter().map(|k| Order::Spo.unkey(k)).collect(),
+        let (run, order) = self.index_run(s, p, o);
+        let mut out: Vec<EncodedTriple> = if self.deleted.is_empty() {
+            wodex_exec::par_map(run, |k| order.unkey(k))
+        } else {
+            wodex_exec::par_chunks(run, wodex_exec::chunk_size(run.len()), |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|k| order.unkey(k))
+                    .filter(|t| !self.deleted.contains(t))
+                    .collect::<Vec<EncodedTriple>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
         };
-        if !self.deleted.is_empty() {
-            out.retain(|t| !self.deleted.contains(t));
-        }
         out.extend(self.tail.iter().filter(|t| pat.matches(t)));
         out
     }
 
-    /// Counts matches without materializing decoded terms.
+    /// Counts matches without materializing result triples.
+    ///
+    /// With no deletions the indexed part is just the run length; with
+    /// deletions it is a parallel fold over the run. Either way the count
+    /// equals `match_pattern(pat).len()` without allocating the results.
     pub fn count_pattern(&self, pat: Pattern) -> usize {
-        self.match_pattern(pat).len()
+        let s = pat.s.map(|t| t.0);
+        let p = pat.p.map(|t| t.0);
+        let o = pat.o.map(|t| t.0);
+        let (run, order) = self.index_run(s, p, o);
+        let indexed = if self.deleted.is_empty() {
+            run.len()
+        } else {
+            wodex_exec::par_fold(
+                run,
+                || 0usize,
+                |acc, k| acc + usize::from(!self.deleted.contains(&order.unkey(k))),
+                |a, b| a + b,
+            )
+        };
+        indexed + self.tail.iter().filter(|t| pat.matches(t)).count()
     }
 
     /// Matches a pattern and decodes the results into [`Triple`]s.

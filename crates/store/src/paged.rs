@@ -19,7 +19,6 @@
 
 use crate::buffer::BufferPool;
 use crate::encoded::EncodedTriple;
-use bytes::{Buf, BufMut};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -79,7 +78,7 @@ impl PageBackend for MemBackend {
 
 /// A file-backed page store.
 pub struct FileBackend {
-    file: parking_lot::Mutex<std::fs::File>,
+    file: std::sync::Mutex<std::fs::File>,
     pages: u32,
     reads: AtomicU64,
 }
@@ -94,7 +93,7 @@ impl FileBackend {
             .truncate(true)
             .open(path)?;
         Ok(FileBackend {
-            file: parking_lot::Mutex::new(file),
+            file: std::sync::Mutex::new(file),
             pages: 0,
             reads: AtomicU64::new(0),
         })
@@ -105,7 +104,7 @@ impl PageBackend for FileBackend {
     fn read_page(&self, id: u32) -> Vec<u8> {
         self.reads.fetch_add(1, Ordering::Relaxed);
         let mut buf = vec![0u8; PAGE_SIZE];
-        let mut f = self.file.lock();
+        let mut f = self.file.lock().unwrap();
         f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
             .expect("seek");
         f.read_exact(&mut buf).expect("read page");
@@ -114,7 +113,7 @@ impl PageBackend for FileBackend {
 
     fn append_page(&mut self, data: &[u8]) -> u32 {
         let id = self.pages;
-        let mut f = self.file.lock();
+        let mut f = self.file.lock().unwrap();
         f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
             .expect("seek");
         let mut page = data.to_vec();
@@ -137,22 +136,28 @@ impl PageBackend for FileBackend {
 pub fn encode_page(triples: &[EncodedTriple]) -> Vec<u8> {
     assert!(triples.len() <= TRIPLES_PER_PAGE);
     let mut buf = Vec::with_capacity(PAGE_SIZE);
-    buf.put_u32_le(triples.len() as u32);
+    buf.extend_from_slice(&(triples.len() as u32).to_le_bytes());
     for t in triples {
-        buf.put_u32_le(t[0]);
-        buf.put_u32_le(t[1]);
-        buf.put_u32_le(t[2]);
+        buf.extend_from_slice(&t[0].to_le_bytes());
+        buf.extend_from_slice(&t[1].to_le_bytes());
+        buf.extend_from_slice(&t[2].to_le_bytes());
     }
     buf.resize(PAGE_SIZE, 0);
     buf
 }
 
 /// Decodes a page image back into triples.
-pub fn decode_page(mut data: &[u8]) -> Vec<EncodedTriple> {
-    let n = data.get_u32_le() as usize;
+pub fn decode_page(data: &[u8]) -> Vec<EncodedTriple> {
+    let mut at = 0usize;
+    let mut next_u32 = || {
+        let v = u32::from_le_bytes(data[at..at + 4].try_into().expect("4-byte field"));
+        at += 4;
+        v
+    };
+    let n = next_u32() as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push([data.get_u32_le(), data.get_u32_le(), data.get_u32_le()]);
+        out.push([next_u32(), next_u32(), next_u32()]);
     }
     out
 }

@@ -6,7 +6,7 @@
 //! with Zipf-skewed value usage, and inter-entity links with hub structure.
 
 use crate::dist::{Normal, Sampler, Uniform, Zipf};
-use rand::Rng;
+use crate::rng::Rng;
 use wodex_rdf::term::Literal;
 use wodex_rdf::vocab::{dcterms, geo, rdf, rdfs};
 use wodex_rdf::{Graph, Term, Triple};
@@ -148,7 +148,7 @@ fn sample_poissonish<R: Rng>(mean: f64, rng: &mut R) -> usize {
     let base = mean.floor() as i64;
     let frac = mean - mean.floor();
     let mut v = base + i64::from(rng.random_range(0.0..1.0) < frac);
-    v += rng.random_range(-1..=1);
+    v += rng.random_range(-1..=1i64);
     v.max(0) as usize
 }
 

@@ -7,7 +7,7 @@
 //! cumulative weights), normal (Box–Muller), exponential (inverse CDF), and
 //! mixtures.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A sampler producing `f64` draws from some distribution.
 pub trait Sampler {
@@ -26,11 +26,11 @@ pub trait Sampler {
 /// Object-safe adapter over [`Sampler`], used by [`Mixture`] to hold
 /// heterogeneous components.
 trait DynSampler: Send + Sync {
-    fn sample_dyn(&self, rng: &mut dyn rand::RngCore) -> f64;
+    fn sample_dyn(&self, rng: &mut dyn crate::rng::RngCore) -> f64;
 }
 
 impl<S: Sampler + Send + Sync> DynSampler for S {
-    fn sample_dyn(&self, mut rng: &mut dyn rand::RngCore) -> f64 {
+    fn sample_dyn(&self, mut rng: &mut dyn crate::rng::RngCore) -> f64 {
         self.sample(&mut rng)
     }
 }

@@ -8,7 +8,7 @@
 //! produces a configurable number of Gaussian clusters plus uniform noise.
 
 use crate::dist::{Normal, Sampler, Uniform};
-use rand::Rng;
+use crate::rng::Rng;
 use wodex_rdf::term::Literal;
 use wodex_rdf::vocab::{geo, rdf, rdfs};
 use wodex_rdf::{Graph, Term, Triple};

@@ -19,12 +19,15 @@
 //! * [`geo`] — clustered geospatial POIs (§3.3 systems).
 //! * [`netgen`] — network topologies (Barabási–Albert, Erdős–Rényi,
 //!   Watts–Strogatz) as edge lists and as RDF (§3.4 systems).
+//! * [`rng`] — vendored SplitMix64/xorshift generators (no registry access
+//!   in the build environment, so `rand` cannot be a dependency).
 
 pub mod cube;
 pub mod dbpedia;
 pub mod dist;
 pub mod geo;
 pub mod netgen;
+pub mod rng;
 pub mod values;
 
 pub use dist::{Mixture, Sampler, Zipf};
@@ -34,7 +37,7 @@ pub use netgen::EdgeList;
 ///
 /// All generators route their randomness through this so that a single
 /// `seed` parameter fully determines their output.
-pub fn rng(seed: u64) -> rand::rngs::StdRng {
-    use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> rng::StdRng {
+    use rng::SeedableRng;
+    rng::StdRng::seed_from_u64(seed)
 }

@@ -13,8 +13,7 @@
 //! * **Watts–Strogatz** — ring + rewiring; high clustering, used for the
 //!   community-detection tests.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::{Rng, SliceRandom};
 use wodex_rdf::vocab::{foaf, rdfs};
 use wodex_rdf::{Graph, Term, Triple};
 

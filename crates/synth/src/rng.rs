@@ -1,0 +1,299 @@
+//! Vendored pseudo-random number generation.
+//!
+//! The build environment has no registry access, so the workspace cannot
+//! depend on the `rand` crate. This module provides the small slice of its
+//! API that the generators actually use — `random_range` over integer and
+//! float ranges, `shuffle`, and a seedable deterministic generator — on top
+//! of a SplitMix64 core. Streams are fixed by construction: the same seed
+//! always yields the same sequence, on every platform and thread count.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// Panics on an empty range.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value from the range using `rng`.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u128;
+                // Unbiased-enough multiply-shift: maps 64 random bits onto
+                // [0, span) with bias < span / 2^64.
+                let off = ((rng.next_u64() as u128 * span) >> 64) as $u;
+                (self.start as $u).wrapping_add(off) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as $u;
+                (lo as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i32 => u32, u32 => u32, i64 => u64, u64 => u64, usize => u64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * unit;
+        if v < self.end {
+            v
+        } else {
+            // Rounding pushed us onto the open bound; step back inside.
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        (lo + (hi - lo) * unit).clamp(lo, hi)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        let v = self.start + (self.end - self.start) * unit;
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f32> {
+    type Output = f32;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 / ((1u32 << 24) - 1) as f32;
+        (lo + (hi - lo) * unit).clamp(lo, hi)
+    }
+}
+
+/// A generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a seed; equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace-standard generator: SplitMix64.
+///
+/// Fast, passes BigCrush on its output stream, and — crucial here — tiny
+/// enough to vendor. One `u64` of state; each draw advances by the golden
+/// ratio and mixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xorshift64*: a second independent stream family, used where a cheap
+/// decorrelated generator is handy (e.g. per-chunk jitter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl SeedableRng for XorShift64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        XorShift64 {
+            state: seed | 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RngCore for XorShift64 {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// In-place slice shuffling (Fisher–Yates).
+pub trait SliceRandom {
+    /// Uniformly permutes the slice using `rng`.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample(rng);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Mirrors `rand::rngs` so call sites can keep a familiar path.
+pub mod rngs {
+    pub use super::{StdRng, XorShift64};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-1i64..=1);
+            assert!((-1..=1).contains(&w));
+            let u: usize = rng.random_range(0..7usize);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut edge = [false; 3];
+        for _ in 0..1000 {
+            edge[(rng.random_range(-1..=1i64) + 1) as usize] = true;
+        }
+        assert!(edge.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            let w: f32 = rng.random_range(0.0..=100.0f32);
+            assert!((0.0..=100.0f32).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_central() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_is_seed_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_ne!(a, (0..50).collect::<Vec<_>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_range_sampling() {
+        let mut base = StdRng::seed_from_u64(11);
+        let dyn_rng: &mut dyn RngCore = &mut base;
+        fn draw<R: Rng>(mut rng: R) -> f64 {
+            rng.random_range(0.0..1.0)
+        }
+        let v = draw(dyn_rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn xorshift_differs_from_splitmix() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = XorShift64::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline verification gate: release build, workspace tests, lints.
+# The workspace must build with zero registry access (no external deps),
+# so everything runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (workspace)"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

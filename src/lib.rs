@@ -25,8 +25,10 @@
 //! | [`explore`] | `wodex-explore` | Facets, keyword search, browsing, sessions, guidance |
 //! | [`registry`] | `wodex-registry` | The survey corpus, taxonomy, Tables 1 & 2, gap analysis |
 //! | [`core`] | `wodex-core` | The unified `Explorer` façade |
+//! | [`exec`] | `wodex-exec` | Std-only scoped worker pool (deterministic parallelism) |
 
 pub use wodex_approx as approx;
+pub use wodex_exec as exec;
 pub use wodex_core as core;
 pub use wodex_explore as explore;
 pub use wodex_graph as graph;

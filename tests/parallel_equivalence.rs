@@ -1,0 +1,151 @@
+//! Serial-vs-parallel equivalence: the wodex-exec determinism contract.
+//!
+//! Every parallel path in the workspace must produce *byte-identical*
+//! output regardless of thread count, because chunk decomposition depends
+//! only on input length and partial results merge in chunk order. These
+//! tests run each parallelized subsystem at 1 thread and at 4 threads via
+//! [`wodex::exec::with_thread_override`] and compare outputs exactly —
+//! including float bit patterns, where associativity would betray any
+//! thread-count-dependent merge order.
+
+use wodex::exec::with_thread_override;
+use wodex::store::{Pattern, TripleStore};
+use wodex::synth::dbpedia::{self, DbpediaConfig};
+
+fn dbpedia_store(entities: usize) -> TripleStore {
+    TripleStore::from_graph(&dbpedia::generate(&DbpediaConfig {
+        entities,
+        ..Default::default()
+    }))
+}
+
+/// Runs `f` at 1 thread and at 4 threads and asserts equal results.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let serial = with_thread_override(1, &f);
+    let parallel = with_thread_override(4, &f);
+    assert_eq!(serial, parallel, "output depends on thread count");
+}
+
+#[test]
+fn pattern_scan_and_count_are_thread_invariant() {
+    let mut store = dbpedia_store(300);
+    store.merge_tail();
+    // Delete a slice of triples so the deletion-filtering parallel path
+    // (par_chunks + ordered flatten) is exercised, not just par_map.
+    let victims: Vec<_> = store
+        .match_pattern(Pattern::any())
+        .into_iter()
+        .step_by(7)
+        .take(200)
+        .collect();
+    for t in victims {
+        store.remove_encoded(t);
+    }
+    let pred = store
+        .id_of(&wodex::rdf::Term::iri(
+            "http://dbp.example.org/ontology/population",
+        ))
+        .expect("generator emits population triples");
+    for pat in [
+        Pattern::any(),
+        Pattern::any().with_p(pred),
+        Pattern::any().with_s(pred),
+    ] {
+        assert_thread_invariant(|| store.match_pattern(pat));
+        assert_thread_invariant(|| store.count_pattern(pat));
+    }
+}
+
+#[test]
+fn sparql_query_results_are_thread_invariant() {
+    let store = dbpedia_store(300);
+    let queries = [
+        // BGP join + FILTER + ORDER BY: parallel probe, parallel filter,
+        // parallel decode.
+        "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+         SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p . \
+         FILTER(?p > 1000) } ORDER BY ?p",
+        // Aggregate over a join.
+        "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+         SELECT (COUNT(*) AS ?n) (AVG(?p) AS ?avg) WHERE { \
+         ?s dbo:population ?p }",
+        // LIMIT exercises the serial early-break path.
+        "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+         SELECT ?s WHERE { ?s a dbo:City } LIMIT 5",
+    ];
+    for q in queries {
+        assert_thread_invariant(|| wodex::sparql::query(&store, q).expect("query runs"));
+    }
+}
+
+#[test]
+fn layout_positions_are_bit_identical_across_thread_counts() {
+    let el = wodex::synth::netgen::barabasi_albert(400, 3, 7);
+    let g = wodex::graph::adjacency::Adjacency::from_edges(el.nodes, &el.edges);
+    assert_thread_invariant(|| {
+        let layout = wodex::graph::layout::fruchterman_reingold(
+            &g,
+            wodex::graph::layout::FrParams {
+                iterations: 30,
+                ..Default::default()
+            },
+        );
+        // Compare exact bit patterns: float sums must associate the same
+        // way at every thread count.
+        layout
+            .positions
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn kmeans_is_bit_identical_across_thread_counts() {
+    use wodex::synth::rng::Rng;
+    let mut rng = wodex::synth::rng(11);
+    let points: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| (0..4).map(|_| rng.random_range(0.0..100.0)).collect())
+        .collect();
+    assert_thread_invariant(|| {
+        let r = wodex::approx::clustering::kmeans(&points, 8, 25, 3);
+        (
+            r.assignment,
+            r.inertia.to_bits(),
+            r.centroids
+                .iter()
+                .map(|c| c.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        )
+    });
+}
+
+#[test]
+fn binning_is_thread_invariant() {
+    use wodex::approx::binning::{grid2d, BinningStrategy, Histogram};
+    use wodex::synth::rng::Rng;
+    let mut rng = wodex::synth::rng(23);
+    let values: Vec<f64> = (0..20_000).map(|_| rng.random_range(0.0..1.0)).collect();
+    for strategy in [
+        BinningStrategy::EqualWidth,
+        BinningStrategy::EqualFrequency,
+        BinningStrategy::VarianceMinimizing,
+    ] {
+        assert_thread_invariant(|| Histogram::build(&values, 32, strategy));
+    }
+    let points: Vec<(f64, f64)> = values
+        .chunks(2)
+        .map(|c| (c[0], c[1]))
+        .collect();
+    assert_thread_invariant(|| grid2d(&points, 16, 16));
+}
+
+#[test]
+fn exec_primitives_are_thread_invariant_on_floats() {
+    // Direct check on par_fold: a float sum whose association depends on
+    // the chunk decomposition, never on the thread count.
+    let xs: Vec<f64> = (0..100_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    assert_thread_invariant(|| {
+        wodex::exec::par_fold(&xs, || 0.0f64, |a, x| a + x, |a, b| a + b).to_bits()
+    });
+}

@@ -1,7 +1,12 @@
-//! Cross-crate property-based tests (proptest): the invariants DESIGN.md
-//! commits to, exercised on generated inputs.
+//! Cross-crate randomized property tests: the invariants DESIGN.md commits
+//! to, exercised on seeded generated inputs.
+//!
+//! Formerly written with proptest; the build environment has no registry
+//! access, so each property now runs a fixed number of seeded cases drawn
+//! from the vendored RNG (`wodex::synth::rng`). Same invariants, fully
+//! deterministic inputs: case `i` of a test always sees the same generator
+//! stream, so any failure reproduces exactly on re-run.
 
-use proptest::prelude::*;
 use wodex::approx::binning::{BinningStrategy, Histogram};
 use wodex::graph::spatial::{QuadTree, Rect};
 use wodex::hetree::{HETree, Variant};
@@ -9,67 +14,111 @@ use wodex::rdf::term::Literal;
 use wodex::rdf::{Graph, Term, TermDict, Triple};
 use wodex::store::cracking::{CrackerColumn, SortedColumn};
 use wodex::store::{Pattern, TripleStore};
+use wodex::synth::rng::{Rng, RngCore, StdRng};
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://e.org/{s}"))),
-        "[a-z0-9]{1,6}".prop_map(Term::blank),
-        any::<i64>().prop_map(Term::integer),
-        // Literals with escapes and unicode.
-        "\\PC{0,20}".prop_map(Term::literal),
-        ("\\PC{0,12}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(Literal::lang_string(s, l))),
-    ]
+/// Number of generated cases per property.
+const CASES: u64 = 64;
+
+/// Runs `body` once per case with a distinct seeded generator.
+fn for_each_case(test_tag: u64, body: impl Fn(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = wodex::synth::rng(test_tag * 10_007 + case);
+        body(&mut rng);
+    }
 }
 
-fn arb_triple() -> impl Strategy<Value = Triple> {
-    ("[a-z]{1,6}", "[a-z]{1,4}", arb_term()).prop_map(|(s, p, o)| {
-        Triple::new(
-            Term::iri(format!("http://e.org/s/{s}")),
-            Term::iri(format!("http://e.org/p/{p}")),
-            o,
-        )
-    })
+fn lowercase(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = rng.random_range(lo..=hi);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26u32) as u8) as char)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Arbitrary printable text, with some non-ASCII sprinkled in (the role
+/// proptest's `\PC` regex class played).
+fn printable(rng: &mut StdRng, max: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '.', ',', ';', ':', '"', '\'', '\\', '<', '>',
+        '{', '}', '(', ')', '#', '@', 'é', 'π', '火', '∞', '☂', 'ß', '−', '\t',
+    ];
+    let len = rng.random_range(0..=max);
+    (0..len)
+        .map(|_| POOL[rng.random_range(0..POOL.len())])
+        .collect()
+}
 
-    #[test]
-    fn dictionary_roundtrips_any_term(terms in proptest::collection::vec(arb_term(), 1..50)) {
+fn arb_term(rng: &mut StdRng) -> Term {
+    match rng.random_range(0..5u32) {
+        0 => Term::iri(format!("http://e.org/{}", lowercase(rng, 1, 8))),
+        1 => Term::blank(lowercase(rng, 1, 6)),
+        2 => Term::integer(rng.next_u64() as i64),
+        3 => Term::literal(printable(rng, 20)),
+        _ => {
+            let s = printable(rng, 12);
+            let l = lowercase(rng, 2, 2);
+            Term::Literal(Literal::lang_string(s, l))
+        }
+    }
+}
+
+fn arb_triple(rng: &mut StdRng) -> Triple {
+    let s = lowercase(rng, 1, 6);
+    let p = lowercase(rng, 1, 4);
+    let o = arb_term(rng);
+    Triple::new(
+        Term::iri(format!("http://e.org/s/{s}")),
+        Term::iri(format!("http://e.org/p/{p}")),
+        o,
+    )
+}
+
+fn arb_triples(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<Triple> {
+    let n = rng.random_range(lo..=hi);
+    (0..n).map(|_| arb_triple(rng)).collect()
+}
+
+#[test]
+fn dictionary_roundtrips_any_term() {
+    for_each_case(1, |rng| {
+        let n = rng.random_range(1..50usize);
+        let terms: Vec<Term> = (0..n).map(|_| arb_term(rng)).collect();
         let mut d = TermDict::new();
         let ids: Vec<_> = terms.iter().cloned().map(|t| d.intern(t)).collect();
         for (t, id) in terms.iter().zip(&ids) {
-            prop_assert_eq!(d.term(*id), t);
-            prop_assert_eq!(d.id_of(t), Some(*id));
+            assert_eq!(d.term(*id), t);
+            assert_eq!(d.id_of(t), Some(*id));
         }
-    }
+    });
+}
 
-    #[test]
-    fn ntriples_roundtrips_any_graph(triples in proptest::collection::vec(arb_triple(), 0..40)) {
-        let g: Graph = triples.into_iter().collect();
+#[test]
+fn ntriples_roundtrips_any_graph() {
+    for_each_case(2, |rng| {
+        let g: Graph = arb_triples(rng, 0, 40).into_iter().collect();
         let nt = wodex::rdf::ntriples::serialize(&g);
         let back = wodex::rdf::ntriples::parse(&nt).expect("own serialization parses");
-        prop_assert_eq!(g, back);
-    }
+        assert_eq!(g, back);
+    });
+}
 
-    #[test]
-    fn turtle_roundtrips_any_graph(triples in proptest::collection::vec(arb_triple(), 0..40)) {
-        let g: Graph = triples.into_iter().collect();
+#[test]
+fn turtle_roundtrips_any_graph() {
+    for_each_case(3, |rng| {
+        let g: Graph = arb_triples(rng, 0, 40).into_iter().collect();
         let ttl = wodex::rdf::turtle::serialize(&g);
         let back = wodex::rdf::turtle::parse(&ttl).expect("own serialization parses");
-        prop_assert_eq!(g, back);
-    }
+        assert_eq!(g, back);
+    });
+}
 
-    #[test]
-    fn store_pattern_match_equals_naive_filter(
-        triples in proptest::collection::vec(arb_triple(), 1..60),
-        pick in any::<prop::sample::Index>(),
-    ) {
-        let g: Graph = triples.into_iter().collect();
+#[test]
+fn store_pattern_match_equals_naive_filter() {
+    for_each_case(4, |rng| {
+        let g: Graph = arb_triples(rng, 1, 60).into_iter().collect();
         let store = TripleStore::from_graph(&g);
         let all = store.match_pattern(Pattern::any());
         // Pick one existing triple and probe all 8 bound/unbound combos.
-        let probe = all[pick.index(all.len())];
+        let probe = all[rng.random_range(0..all.len())];
         for mask in 0..8u8 {
             let pat = Pattern {
                 s: (mask & 1 != 0).then_some(wodex::rdf::TermId(probe[0])),
@@ -80,53 +129,71 @@ proptest! {
             let mut want: Vec<_> = all.iter().filter(|t| pat.matches(t)).copied().collect();
             got.sort_unstable();
             want.sort_unstable();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cracking_agrees_with_sorted_baseline(
-        values in proptest::collection::vec(-1e6f64..1e6, 1..300),
-        queries in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..12),
-    ) {
+#[test]
+fn cracking_agrees_with_sorted_baseline() {
+    for_each_case(5, |rng| {
+        let n = rng.random_range(1..300usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.random_range(-1e6..1e6)).collect();
         let sorted = SortedColumn::new(&values);
         let mut cracked = CrackerColumn::new(&values);
-        for (a, b) in queries {
+        let q = rng.random_range(1..12usize);
+        for _ in 0..q {
+            let a: f64 = rng.random_range(-1e6..1e6);
+            let b: f64 = rng.random_range(-1e6..1e6);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert_eq!(cracked.range_count(lo, hi), sorted.range_count(lo, hi));
-            prop_assert!(cracked.check_invariants());
+            assert_eq!(cracked.range_count(lo, hi), sorted.range_count(lo, hi));
+            assert!(cracked.check_invariants());
         }
-    }
+    });
+}
 
-    #[test]
-    fn binning_partitions_cover_and_are_disjoint(
-        values in proptest::collection::vec(-1e4f64..1e4, 1..500),
-        k in 1usize..32,
-    ) {
+#[test]
+fn binning_partitions_cover_and_are_disjoint() {
+    for_each_case(6, |rng| {
+        let n = rng.random_range(1..500usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.random_range(-1e4..1e4)).collect();
+        let k = rng.random_range(1..32usize);
         for strategy in [
             BinningStrategy::EqualWidth,
             BinningStrategy::EqualFrequency,
             BinningStrategy::VarianceMinimizing,
         ] {
             let h = Histogram::build(&values, k, strategy);
-            prop_assert_eq!(h.total(), values.len(), "{:?}", strategy);
+            assert_eq!(h.total(), values.len(), "{strategy:?}");
             // Bins tile: each bin's hi equals the next bin's lo.
             for w in h.bins.windows(2) {
-                prop_assert!(w[0].hi <= w[1].lo + 1e-9);
+                assert!(w[0].hi <= w[1].lo + 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn quadtree_query_equals_brute_force(
-        pts in proptest::collection::vec((0f32..100.0, 0f32..100.0), 1..200),
-        window in (0f32..100.0, 0f32..100.0, 0f32..100.0, 0f32..100.0),
-    ) {
+#[test]
+fn quadtree_query_equals_brute_force() {
+    for_each_case(7, |rng| {
+        let n = rng.random_range(1..200usize);
         let layout = wodex::graph::layout::Layout {
-            positions: pts.iter().map(|&(x, y)| wodex::graph::layout::Point::new(x, y)).collect(),
+            positions: (0..n)
+                .map(|_| {
+                    wodex::graph::layout::Point::new(
+                        rng.random_range(0.0..100.0f32),
+                        rng.random_range(0.0..100.0f32),
+                    )
+                })
+                .collect(),
         };
         let qt = QuadTree::from_layout(&layout);
-        let w = Rect::new(window.0, window.1, window.2, window.3);
+        let w = Rect::new(
+            rng.random_range(0.0..100.0f32),
+            rng.random_range(0.0..100.0f32),
+            rng.random_range(0.0..100.0f32),
+            rng.random_range(0.0..100.0f32),
+        );
         let (mut got, _) = qt.query(&w);
         got.sort_by_key(|&(_, id)| id);
         let want: Vec<u32> = layout
@@ -136,70 +203,92 @@ proptest! {
             .filter(|(_, p)| w.contains(p))
             .map(|(i, _)| i as u32)
             .collect();
-        prop_assert_eq!(got.iter().map(|&(_, id)| id).collect::<Vec<_>>(), want);
-    }
+        assert_eq!(got.iter().map(|&(_, id)| id).collect::<Vec<_>>(), want);
+    });
+}
 
-    #[test]
-    fn hetree_frontier_partitions_items(
-        values in proptest::collection::vec(-1e3f64..1e3, 1..400),
-        degree in 2usize..6,
-        depth in 0usize..4,
-    ) {
-        let items: Vec<(f64, u64)> = values.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+#[test]
+fn hetree_frontier_partitions_items() {
+    for_each_case(8, |rng| {
+        let n = rng.random_range(1..400usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.random_range(-1e3..1e3)).collect();
+        let degree = rng.random_range(2..6usize);
+        let depth = rng.random_range(0..4usize);
+        let items: Vec<(f64, u64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u64))
+            .collect();
         let mut t = HETree::new(items, Variant::ContentBased, degree, 10);
         let frontier = t.level(depth);
         let total: usize = frontier.iter().map(|&c| t.stats(c).count).sum();
-        prop_assert_eq!(total, values.len());
+        assert_eq!(total, values.len());
         // Stats of every frontier node agree with direct computation.
         for &c in &frontier {
             let direct = wodex::hetree::Stats::of(t.items(c));
-            prop_assert_eq!(&direct, t.stats(c));
+            assert_eq!(&direct, t.stats(c));
         }
-    }
+    });
+}
 
-    #[test]
-    fn reservoir_size_invariant(n in 1usize..2000, k in 1usize..64) {
-        let mut rng = wodex::synth::rng(n as u64);
+#[test]
+fn reservoir_size_invariant() {
+    for_each_case(9, |rng| {
+        let n = rng.random_range(1..2000usize);
+        let k = rng.random_range(1..64usize);
+        let mut sample_rng = wodex::synth::rng(n as u64);
         let mut r = wodex::approx::sampling::Reservoir::new(k);
-        r.extend(0..n, &mut rng);
-        prop_assert_eq!(r.sample().len(), k.min(n));
-        prop_assert!(r.sample().iter().all(|&x| x < n));
-    }
+        r.extend(0..n, &mut sample_rng);
+        assert_eq!(r.sample().len(), k.min(n));
+        assert!(r.sample().iter().all(|&x| x < n));
+    });
 }
 
-fn arb_ttl_junk() -> impl Strategy<Value = String> {
-    // Arbitrary printable text with Turtle-ish punctuation sprinkled in.
-    proptest::collection::vec(
-        prop_oneof![
-            "\\PC{0,12}",
-            Just("@prefix ex: <http://e.org/> .".to_string()),
-            Just("ex:s ex:p".to_string()),
-            Just("\"lit".to_string()),
-            Just("<http://e.org/x>".to_string()),
-            Just("{ } ( ) ; , .".to_string()),
-            Just("\\\\u12".to_string()),
-        ],
-        0..12,
-    )
-    .prop_map(|parts| parts.join(" "))
+/// Arbitrary text with Turtle-ish fragments sprinkled in.
+fn arb_ttl_junk(rng: &mut StdRng) -> String {
+    let n = rng.random_range(0..12usize);
+    let parts: Vec<String> = (0..n)
+        .map(|_| match rng.random_range(0..7u32) {
+            0 => printable(rng, 12),
+            1 => "@prefix ex: <http://e.org/> .".to_string(),
+            2 => "ex:s ex:p".to_string(),
+            3 => "\"lit".to_string(),
+            4 => "<http://e.org/x>".to_string(),
+            5 => "{ } ( ) ; , .".to_string(),
+            _ => "\\u12".to_string(),
+        })
+        .collect();
+    parts.join(" ")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn parsers_never_panic_on_junk(input in arb_ttl_junk()) {
+#[test]
+fn parsers_never_panic_on_junk() {
+    for_each_case(10, |rng| {
+        let input = arb_ttl_junk(rng);
         // Errors are fine; panics are not.
         let _ = wodex::rdf::turtle::parse(&input);
         let _ = wodex::rdf::ntriples::parse(&input);
         let _ = wodex::sparql::parse_query(&input);
-    }
+    });
+}
 
-    #[test]
-    fn insert_delete_sequences_keep_store_consistent(
-        ops in proptest::collection::vec((any::<bool>(), 0u32..12, 0u32..4, 0u32..12), 1..80),
-        tail_limit in 0usize..16,
-    ) {
+#[test]
+fn insert_delete_sequences_keep_store_consistent() {
+    for_each_case(11, |rng| {
+        let ops: Vec<(bool, u32, u32, u32)> = {
+            let n = rng.random_range(1..80usize);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.random_range(0..2u32) == 0,
+                        rng.random_range(0..12u32),
+                        rng.random_range(0..4u32),
+                        rng.random_range(0..12u32),
+                    )
+                })
+                .collect()
+        };
+        let tail_limit = rng.random_range(0..16usize);
         // Mirror a TripleStore against a BTreeSet of decoded triples.
         let mut store = TripleStore::with_tail_limit(tail_limit);
         let mut model: std::collections::BTreeSet<(u32, u32, u32)> = Default::default();
@@ -210,77 +299,82 @@ proptest! {
             let t = Triple::new(term_s(s), term_p(p), term_o(o));
             if insert {
                 let added = store.insert(&t);
-                prop_assert_eq!(added, model.insert((s, p, o)));
+                assert_eq!(added, model.insert((s, p, o)));
             } else {
                 let removed = store.remove(&t);
-                prop_assert_eq!(removed, model.remove(&(s, p, o)));
+                assert_eq!(removed, model.remove(&(s, p, o)));
             }
-            prop_assert_eq!(store.len(), model.len());
+            assert_eq!(store.len(), model.len());
         }
         // Final state: every model triple present, every pattern count right.
         for &(s, p, o) in &model {
-            prop_assert!(store.contains(&Triple::new(term_s(s), term_p(p), term_o(o))));
+            assert!(store.contains(&Triple::new(term_s(s), term_p(p), term_o(o))));
         }
         let all = store.match_pattern(Pattern::any());
-        prop_assert_eq!(all.len(), model.len());
+        assert_eq!(all.len(), model.len());
         for p in 0..4u32 {
             let pat = store
                 .encode_pattern(None, Some(&term_p(p)), None)
                 .map(|pat| store.count_pattern(pat))
                 .unwrap_or(0);
             let want = model.iter().filter(|&&(_, mp, _)| mp == p).count();
-            prop_assert_eq!(pat, want);
+            assert_eq!(pat, want);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sparql_single_pattern_equals_store_match(
-        triples in proptest::collection::vec((0u32..8, 0u32..4, 0u32..8), 1..60),
-        probe_p in 0u32..4,
-    ) {
-        let g: Graph = triples
-            .iter()
-            .map(|&(s, p, o)| {
+#[test]
+fn sparql_single_pattern_equals_store_match() {
+    for_each_case(12, |rng| {
+        let n = rng.random_range(1..60usize);
+        let g: Graph = (0..n)
+            .map(|_| {
                 Triple::new(
-                    Term::iri(format!("http://e.org/s{s}")),
-                    Term::iri(format!("http://e.org/p{p}")),
-                    Term::iri(format!("http://e.org/o{o}")),
+                    Term::iri(format!("http://e.org/s{}", rng.random_range(0..8u32))),
+                    Term::iri(format!("http://e.org/p{}", rng.random_range(0..4u32))),
+                    Term::iri(format!("http://e.org/o{}", rng.random_range(0..8u32))),
                 )
             })
             .collect();
+        let probe_p = rng.random_range(0..4u32);
         let store = TripleStore::from_graph(&g);
-        let q = format!(
-            "SELECT ?s ?o WHERE {{ ?s <http://e.org/p{probe_p}> ?o }}"
-        );
+        let q = format!("SELECT ?s ?o WHERE {{ ?s <http://e.org/p{probe_p}> ?o }}");
         let result = wodex::sparql::query(&store, &q).expect("valid query");
         let got = result.table().expect("select").len();
         let want = g
             .triples_for_predicate(&format!("http://e.org/p{probe_p}"))
             .count();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn fisheye_is_radially_monotone_and_bounded(
-        pts in proptest::collection::vec((0f32..500.0, 0f32..500.0), 2..80),
-        focus in (0f32..500.0, 0f32..500.0),
-        d in 0f32..8.0,
-    ) {
+#[test]
+fn fisheye_is_radially_monotone_and_bounded() {
+    for_each_case(13, |rng| {
+        let n = rng.random_range(2..80usize);
         let layout = wodex::graph::layout::Layout {
-            positions: pts
-                .iter()
-                .map(|&(x, y)| wodex::graph::layout::Point::new(x, y))
+            positions: (0..n)
+                .map(|_| {
+                    wodex::graph::layout::Point::new(
+                        rng.random_range(0.0..500.0f32),
+                        rng.random_range(0.0..500.0f32),
+                    )
+                })
                 .collect(),
         };
-        let f = wodex::graph::layout::Point::new(focus.0, focus.1);
+        let f = wodex::graph::layout::Point::new(
+            rng.random_range(0.0..500.0f32),
+            rng.random_range(0.0..500.0f32),
+        );
+        let d = rng.random_range(0.0..8.0f32);
         let out = wodex::graph::fisheye::fisheye(&layout, f, d, 250.0);
         // Bounded: nothing inside the lens leaves it; outside untouched.
         for (orig, moved) in layout.positions.iter().zip(&out.positions) {
             let r = orig.dist(&f);
             if r >= 250.0 {
-                prop_assert_eq!(orig, moved);
+                assert_eq!(orig, moved);
             } else {
-                prop_assert!(moved.dist(&f) <= 250.0 + 1e-2);
+                assert!(moved.dist(&f) <= 250.0 + 1e-2);
             }
         }
         // Monotone: radial order is preserved within the lens.
@@ -288,20 +382,29 @@ proptest! {
             .filter(|&i| layout.positions[i].dist(&f) < 250.0)
             .collect();
         idx.sort_by(|&a, &b| {
-            layout.positions[a].dist(&f).total_cmp(&layout.positions[b].dist(&f))
+            layout.positions[a]
+                .dist(&f)
+                .total_cmp(&layout.positions[b].dist(&f))
         });
         for w in idx.windows(2) {
-            prop_assert!(
-                out.positions[w[0]].dist(&f) <= out.positions[w[1]].dist(&f) + 1e-2
-            );
+            assert!(out.positions[w[0]].dist(&f) <= out.positions[w[1]].dist(&f) + 1e-2);
         }
-    }
+    });
+}
 
-    #[test]
-    fn class_hierarchy_weights_are_consistent(
-        links in proptest::collection::vec((0u32..12, 0u32..12), 0..20),
-        instances in proptest::collection::vec(0u32..12, 0..40),
-    ) {
+#[test]
+fn class_hierarchy_weights_are_consistent() {
+    for_each_case(14, |rng| {
+        let links: Vec<(u32, u32)> = {
+            let n = rng.random_range(0..20usize);
+            (0..n)
+                .map(|_| (rng.random_range(0..12u32), rng.random_range(0..12u32)))
+                .collect()
+        };
+        let instances: Vec<u32> = {
+            let n = rng.random_range(0..40usize);
+            (0..n).map(|_| rng.random_range(0..12u32)).collect()
+        };
         let mut g = Graph::new();
         for &(a, b) in &links {
             if a != b {
@@ -321,8 +424,12 @@ proptest! {
         }
         let h = wodex::rdf::ClassHierarchy::extract(&g);
         // Root transitive weights sum to the total instance count.
-        let total: usize = h.roots.iter().map(|&r| h.nodes[r].transitive_instances).sum();
-        prop_assert_eq!(total, instances.len());
+        let total: usize = h
+            .roots
+            .iter()
+            .map(|&r| h.nodes[r].transitive_instances)
+            .sum();
+        assert_eq!(total, instances.len());
         // Every node's transitive count ≥ its direct count, and equals
         // direct + children's transitive.
         for n in &h.nodes {
@@ -331,7 +438,7 @@ proptest! {
                 .iter()
                 .map(|&c| h.nodes[c].transitive_instances)
                 .sum();
-            prop_assert_eq!(n.transitive_instances, n.direct_instances + kids);
+            assert_eq!(n.transitive_instances, n.direct_instances + kids);
         }
-    }
+    });
 }
