@@ -8,14 +8,14 @@ use wodex_store::paged::{MemBackend, PagedTripleStore};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_disk");
     let triples = workloads::tiled_triples(5_000, 100);
-    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples);
+    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples).expect("in-memory load");
     for &pool_pages in &[8usize, 64, 1024] {
         g.bench_with_input(
             BenchmarkId::new("window_scan", pool_pages),
             &pool_pages,
             |b, &pp| {
                 let pool = BufferPool::new(pp);
-                b.iter(|| black_box(store.scan_subject_range(&pool, 2000, 2020).len()));
+                b.iter(|| black_box(store.scan_subject_range(&pool, 2000, 2020).unwrap().len()));
             },
         );
         g.bench_with_input(
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
             &pool_pages,
             |b, &pp| {
                 let pool = BufferPool::new(pp);
-                b.iter(|| black_box(store.scan_all(&pool).len()));
+                b.iter(|| black_box(store.scan_all(&pool).unwrap().len()));
             },
         );
     }

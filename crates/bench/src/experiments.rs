@@ -165,16 +165,18 @@ pub fn e5_disk() -> String {
     let mut out =
         String::from("E5  paged store: physical reads per access pattern (500k triples)\n");
     let triples = workloads::tiled_triples(5_000, 100);
-    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples);
+    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples).expect("in-memory load");
     let pages = store.page_count();
     let _ = writeln!(out, "  {} triples in {pages} pages of 8 KiB", store.len());
     for &pool_pages in &[8usize, 64, 1024] {
         let pool = BufferPool::new(pool_pages);
         let before = store.physical_reads();
-        store.scan_subject_range(&pool, 2000, 2020); // ~0.4% window
+        store
+            .scan_subject_range(&pool, 2000, 2020) // ~0.4% window
+            .expect("fault-free scan");
         let window_reads = store.physical_reads() - before;
         let before = store.physical_reads();
-        store.scan_all(&pool);
+        store.scan_all(&pool).expect("fault-free scan");
         let full_reads = store.physical_reads() - before;
         let _ = writeln!(
             out,

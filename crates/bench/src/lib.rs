@@ -13,6 +13,7 @@
 
 pub mod crit;
 pub mod experiments;
+pub mod faultbench;
 pub mod parbench;
 pub mod workloads;
 

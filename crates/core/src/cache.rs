@@ -5,47 +5,60 @@
 //! of the interaction loop, and exploration revisits views constantly
 //! (back-navigation, toggling between chart types). [`ViewCache`] puts
 //! the workspace's LRU cache in front of the LDVM pipeline.
+//!
+//! The cache is interior-mutable: every method takes `&self`, so one
+//! cache can serve concurrent readers behind a shared reference. The
+//! lock recovers from poisoning — a render that panicked on another
+//! thread must not take the whole cache down with it (an LRU map is
+//! valid after any interrupted sequence of its operations).
 
 use crate::explorer::Explorer;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use wodex_store::cache::{CacheStats, LruCache};
 use wodex_viz::ldvm::View;
 use wodex_viz::recommend::VisKind;
 
 /// An LRU cache of rendered views keyed by `(predicate, chart kind)`.
 pub struct ViewCache {
-    cache: LruCache<(String, Option<VisKind>), View>,
+    cache: Mutex<LruCache<(String, Option<VisKind>), View>>,
 }
 
 impl ViewCache {
     /// Creates a cache holding at most `capacity` views.
     pub fn new(capacity: usize) -> ViewCache {
         ViewCache {
-            cache: LruCache::new(capacity),
+            cache: Mutex::new(LruCache::new(capacity)),
         }
     }
 
+    fn lock(&self) -> MutexGuard<'_, LruCache<(String, Option<VisKind>), View>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the cached view or runs the pipeline and caches the result.
-    pub fn view(&mut self, ex: &Explorer, predicate: &str, kind: Option<VisKind>) -> View {
+    pub fn view(&self, ex: &Explorer, predicate: &str, kind: Option<VisKind>) -> View {
         let key = (predicate.to_string(), kind);
-        if let Some(v) = self.cache.get(&key) {
+        if let Some(v) = self.lock().get(&key) {
             return v.clone();
         }
+        // Render outside the lock: a slow (or panicking) pipeline must
+        // not block other threads' cache hits.
         let v = match kind {
             Some(k) => ex.visualize_as(predicate, k),
             None => ex.visualize(predicate),
         };
-        self.cache.put(key, v.clone());
+        self.lock().put(key, v.clone());
         v
     }
 
     /// Cache counters (hits/misses/evictions).
     pub fn stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.lock().stats()
     }
 
     /// Drops every cached view — call after the underlying data changes.
-    pub fn invalidate(&mut self) {
-        self.cache.clear();
+    pub fn invalidate(&self) {
+        self.lock().clear();
     }
 }
 
@@ -66,7 +79,7 @@ mod tests {
     #[test]
     fn second_request_is_a_hit_with_identical_view() {
         let ex = explorer();
-        let mut cache = ViewCache::new(8);
+        let cache = ViewCache::new(8);
         let a = cache.view(&ex, POP, None);
         let b = cache.view(&ex, POP, None);
         assert_eq!(a.svg, b.svg);
@@ -77,7 +90,7 @@ mod tests {
     #[test]
     fn kind_is_part_of_the_key() {
         let ex = explorer();
-        let mut cache = ViewCache::new(8);
+        let cache = ViewCache::new(8);
         cache.view(&ex, POP, None);
         cache.view(&ex, POP, Some(VisKind::Line));
         assert_eq!(cache.stats().misses, 2);
@@ -88,7 +101,7 @@ mod tests {
     #[test]
     fn capacity_evicts_and_invalidate_clears() {
         let ex = explorer();
-        let mut cache = ViewCache::new(1);
+        let cache = ViewCache::new(1);
         cache.view(&ex, POP, None);
         cache.view(&ex, "http://dbp.example.org/ontology/area", None);
         cache.view(&ex, POP, None); // evicted → miss again
@@ -103,7 +116,7 @@ mod tests {
         // A/B/A/B toggling between two chart types — the back-navigation
         // pattern caching exists for.
         let ex = explorer();
-        let mut cache = ViewCache::new(8);
+        let cache = ViewCache::new(8);
         for _ in 0..5 {
             cache.view(&ex, POP, Some(VisKind::HistogramChart));
             cache.view(&ex, POP, Some(VisKind::Line));
@@ -112,5 +125,43 @@ mod tests {
         assert_eq!(s.misses, 2);
         assert_eq!(s.hits, 8);
         assert!(s.hit_ratio() > 0.75);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let ex = explorer();
+        let cache = ViewCache::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let v = cache.view(&ex, POP, None);
+                    assert!(v.svg.contains("<svg"));
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 4);
+        assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn recovers_from_a_poisoned_lock() {
+        let ex = explorer();
+        let cache = ViewCache::new(8);
+        cache.view(&ex, POP, None);
+        let poisoned = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = cache.cache.lock().unwrap();
+                    panic!("render blew up while holding the lock");
+                })
+                .join()
+                .is_err()
+        });
+        assert!(poisoned);
+        // The cache keeps serving — and the pre-panic entry survived.
+        let v = cache.view(&ex, POP, None);
+        assert!(v.svg.contains("<svg"));
+        assert_eq!(cache.stats().hits, 1);
     }
 }

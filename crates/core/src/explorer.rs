@@ -1,5 +1,7 @@
 //! The [`Explorer`] façade.
 
+use crate::WodexError;
+use wodex_approx::sampling::Reservoir;
 use wodex_explore::session::ExplorationSession;
 use wodex_explore::ResourceView;
 use wodex_graph::adjacency::Adjacency;
@@ -8,12 +10,69 @@ use wodex_graph::layout::{self, FrParams};
 use wodex_hetree::{HETree, Variant};
 use wodex_rdf::stats::DatasetStats;
 use wodex_rdf::{Graph, RdfError, Term, Value};
-use wodex_sparql::{QueryError, QueryResult};
-use wodex_store::TripleStore;
+use wodex_sparql::{Budget, BudgetedResult, Degraded, QueryError, QueryResult};
+use wodex_store::{
+    BufferPool, EncodedTriple, MemBackend, PagedTripleStore, Pattern, PoolStats, TripleStore,
+};
+use wodex_synth::rng::{SeedableRng, StdRng};
 use wodex_viz::ldvm::{LdvmPipeline, View};
 use wodex_viz::profile::FieldProfile;
 use wodex_viz::recommend::{Recommendation, VisKind};
 use wodex_viz::UserPreferences;
+
+/// Rows kept by the reservoir when a budgeted visualization degrades.
+const DEGRADED_VIEW_SAMPLE: usize = 512;
+
+/// Buffer-pool capacity (pages) backing [`Explorer::disk_view`].
+const DISK_VIEW_POOL_PAGES: usize = 64;
+
+/// A disk-backed scan handle over the dataset (see
+/// [`Explorer::disk_view`]).
+///
+/// All reads go through the checksummed, retrying paged path, so every
+/// method returns `Result` — a fault that survives the retry policy
+/// surfaces as a typed [`WodexError::Store`] instead of a panic.
+pub struct DiskView {
+    paged: PagedTripleStore<MemBackend>,
+    pool: BufferPool,
+}
+
+impl DiskView {
+    /// Number of triples on the paged store.
+    pub fn len(&self) -> usize {
+        self.paged.len()
+    }
+
+    /// True if no triples were materialized.
+    pub fn is_empty(&self) -> bool {
+        self.paged.len() == 0
+    }
+
+    /// Number of 8 KiB pages backing the store.
+    pub fn page_count(&self) -> u32 {
+        self.paged.page_count()
+    }
+
+    /// Every triple, read back through the buffer pool.
+    pub fn scan_all(&self) -> Result<Vec<EncodedTriple>, WodexError> {
+        Ok(self.paged.scan_all(&self.pool)?)
+    }
+
+    /// All triples of one encoded subject.
+    pub fn match_subject(&self, subject: u32) -> Result<Vec<EncodedTriple>, WodexError> {
+        Ok(self.paged.match_subject(&self.pool, subject)?)
+    }
+
+    /// Retry/giveup counters accumulated by the paged read path.
+    pub fn retry_stats(&self) -> wodex_store::RetrySnapshot {
+        self.paged.retry_stats()
+    }
+
+    /// Buffer-pool hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
 
 /// A ready-to-render abstraction view of the dataset's link graph.
 pub struct GraphView {
@@ -346,6 +405,104 @@ impl Explorer {
         wodex_explore::relfind::find_paths(&self.graph, a, b, max_hops, max_paths)
     }
 
+    /// Runs a SPARQL-subset query under a [`Budget`].
+    ///
+    /// Over-budget evaluation does not error: the result comes back
+    /// flagged [`Degraded`] with the reason and a coverage estimate.
+    /// With an unlimited budget the result is bit-identical to
+    /// [`Explorer::sparql`].
+    pub fn sparql_budgeted(
+        &self,
+        query: &str,
+        budget: &Budget,
+    ) -> Result<BudgetedResult, WodexError> {
+        Ok(wodex_sparql::query_budgeted(&self.store, query, budget)?)
+    }
+
+    /// Like [`Explorer::visualize`] under a [`Budget`].
+    ///
+    /// Within budget this is exactly `visualize`. When the budget trips
+    /// while the property's values are being gathered, the pipeline is
+    /// skipped and a histogram is rendered from a uniform reservoir
+    /// sample of the rows inspected so far — the §4 approximation-first
+    /// fallback — with the [`Degraded`] flag carrying
+    /// `coverage = sample / total`.
+    pub fn visualize_budgeted(&self, predicate: &str, budget: &Budget) -> (View, Option<Degraded>) {
+        if budget.is_unlimited() {
+            return (self.visualize(predicate), None);
+        }
+        let total = self
+            .store
+            .id_of(&Term::iri(predicate))
+            .map(|p| self.store.count_pattern(Pattern::any().with_p(p)))
+            .unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(0x5eed_0b5e_55ed_u64);
+        let mut reservoir: Reservoir<f64> = Reservoir::new(DEGRADED_VIEW_SAMPLE);
+        let mut tripped = None;
+        for t in self.graph.triples_for_predicate(predicate) {
+            if let Some(reason) = budget.exceeded() {
+                tripped = Some(reason);
+                break;
+            }
+            budget.charge_rows(1);
+            let Some(v) = t.object.as_literal().map(Value::from_literal) else {
+                continue;
+            };
+            if let Some(x) = v
+                .as_f64()
+                .or_else(|| v.as_epoch_seconds().map(|s| s as f64))
+            {
+                reservoir.offer(x, &mut rng);
+            }
+        }
+        let Some(reason) = tripped else {
+            return (self.visualize(predicate), None);
+        };
+        let sample = reservoir.into_sample();
+        let coverage = if total == 0 {
+            0.0
+        } else {
+            (sample.len() as f64 / total as f64).min(1.0)
+        };
+        let hist = wodex_approx::binning::Histogram::build(
+            &sample,
+            self.prefs.bins,
+            wodex_approx::binning::BinningStrategy::EqualWidth,
+        );
+        let title = format!(
+            "{} (degraded: {} of {} values)",
+            wodex_rdf::Iri::new(predicate).local_name(),
+            sample.len(),
+            total
+        );
+        let scene =
+            wodex_viz::charts::histogram(&title, &hist, self.prefs.width, self.prefs.height);
+        let svg = wodex_viz::render::to_svg(&scene);
+        let view = View {
+            kind: VisKind::HistogramChart,
+            scene,
+            svg,
+            recommendations: Vec::new(),
+        };
+        (view, Some(Degraded { reason, coverage }))
+    }
+
+    /// Materializes the dataset onto the fault-tolerant paged storage
+    /// path and returns a handle for disk-backed scans.
+    ///
+    /// Page reads are checksummed and retried with backoff; errors that
+    /// survive retry surface as typed [`WodexError::Store`] values
+    /// instead of panics.
+    pub fn disk_view(&self) -> Result<DiskView, WodexError> {
+        let mut triples = self.store.match_pattern(Pattern::any());
+        triples.sort_unstable();
+        let paged = PagedTripleStore::bulk_load(MemBackend::new(), &triples)?;
+        Ok(DiskView {
+            paged,
+            pool: BufferPool::new(DISK_VIEW_POOL_PAGES),
+        })
+    }
+
     /// Builds the abstraction-hierarchy view of the dataset's link graph
     /// (graphVizdb/ASK-GraphView style).
     pub fn graph_view(&self) -> GraphView {
@@ -525,6 +682,78 @@ mod tests {
     fn visualize_query_rejects_ask() {
         let ex = explorer();
         assert!(ex.visualize_query("ASK { ?s ?p ?o }").is_err());
+    }
+
+    #[test]
+    fn sparql_budgeted_unlimited_matches_sparql() {
+        let ex = explorer();
+        let q = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                 SELECT ?s ?p WHERE { ?s dbo:population ?p }";
+        let plain = ex.sparql(q).unwrap();
+        let budgeted = ex.sparql_budgeted(q, &wodex_sparql::Budget::unlimited()).unwrap();
+        assert!(budgeted.degraded.is_none());
+        assert_eq!(
+            plain.table().unwrap().rows,
+            budgeted.result.table().unwrap().rows
+        );
+    }
+
+    #[test]
+    fn sparql_budgeted_row_cap_degrades() {
+        let ex = explorer();
+        let budget = wodex_sparql::Budget::unlimited().with_row_cap(10);
+        let b = ex
+            .sparql_budgeted(
+                "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                 SELECT ?s ?p WHERE { ?s dbo:population ?p }",
+                &budget,
+            )
+            .unwrap();
+        let d = b.degraded.expect("10-row cap over 300 rows must trip");
+        assert!(d.coverage < 1.0);
+        assert!(b.result.table().unwrap().len() < 300);
+    }
+
+    #[test]
+    fn visualize_budgeted_generous_budget_is_identical() {
+        let ex = explorer();
+        let budget = wodex_sparql::Budget::unlimited().with_row_cap(1_000_000);
+        let (v, degraded) =
+            ex.visualize_budgeted("http://dbp.example.org/ontology/population", &budget);
+        assert!(degraded.is_none());
+        assert_eq!(
+            v.svg,
+            ex.visualize("http://dbp.example.org/ontology/population").svg
+        );
+    }
+
+    #[test]
+    fn visualize_budgeted_expired_deadline_samples() {
+        let ex = explorer();
+        let budget = wodex_sparql::Budget::unlimited().with_row_cap(50);
+        let (v, degraded) =
+            ex.visualize_budgeted("http://dbp.example.org/ontology/population", &budget);
+        let d = degraded.expect("50-row cap over 300 values must degrade");
+        assert!(d.coverage > 0.0 && d.coverage < 1.0);
+        assert_eq!(v.kind, VisKind::HistogramChart);
+        assert!(v.svg.contains("<svg"));
+        assert!(v.scene.in_bounds(1.0));
+    }
+
+    #[test]
+    fn disk_view_round_trips_the_store() {
+        let ex = explorer();
+        let dv = ex.disk_view().unwrap();
+        assert_eq!(dv.len(), ex.store().len());
+        assert!(dv.page_count() >= 1);
+        let all = dv.scan_all().unwrap();
+        assert_eq!(all.len(), ex.store().len());
+        let s = all[0][0];
+        let per_subject = dv.match_subject(s).unwrap();
+        assert!(!per_subject.is_empty());
+        assert!(per_subject.iter().all(|t| t[0] == s));
+        assert_eq!(dv.retry_stats().giveups, 0);
+        assert!(dv.pool_stats().misses > 0);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! ```
 
 mod cache;
+mod error;
 mod explorer;
 
 pub use cache::ViewCache;
-pub use explorer::{Explorer, GraphView};
+pub use error::WodexError;
+pub use explorer::{DiskView, Explorer, GraphView};
+pub use wodex_sparql::{Budget, BudgetedResult, DegradeReason, Degraded};

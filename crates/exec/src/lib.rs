@@ -46,8 +46,9 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
+use wodex_resilience::{Budget, DegradeReason};
 
 pub mod channel;
 
@@ -322,6 +323,130 @@ where
     out
 }
 
+/// The result of a budget-aware parallel operation: the longest completed
+/// *prefix* of the full computation, plus why (if) it stopped early.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial<R> {
+    /// Results for the first [`Partial::completed`] input items, in input
+    /// order. When `interrupted` is `None` this is the full result and is
+    /// byte-identical to [`par_map`] on the same input.
+    pub value: Vec<R>,
+    /// How many input items the value covers.
+    pub completed: usize,
+    /// Why the computation stopped early, if it did.
+    pub interrupted: Option<DegradeReason>,
+}
+
+impl<R> Partial<R> {
+    /// Fraction of the input covered, in \[0, 1\] (1 for empty input).
+    pub fn coverage(&self, total: usize) -> f64 {
+        if total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / total as f64
+        }
+    }
+}
+
+/// [`par_map`] under a [`Budget`]: workers poll the budget before claiming
+/// each chunk and stop cooperatively once it is exceeded, returning the
+/// longest completed prefix instead of the full map.
+///
+/// An unlimited budget routes through [`par_map`] unchanged, so the
+/// fault-free/unbudgeted path keeps the crate's determinism contract
+/// bit-for-bit. Under an active budget the *content* of the returned
+/// prefix is still deterministic (same chunk decomposition, results merged
+/// in chunk order); only its *length* can vary for wall-clock budgets,
+/// which is inherent to deadlines.
+///
+/// Each completed chunk charges its item count to the budget's row
+/// dimension, so row caps bind without any cooperation from `f`.
+pub fn par_map_budgeted<T, R, F>(items: &[T], budget: &Budget, f: F) -> Partial<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if budget.is_unlimited() {
+        return Partial {
+            value: par_map(items, f),
+            completed: n,
+            interrupted: None,
+        };
+    }
+    let start = Instant::now();
+    if n == 0 {
+        MAP_COUNTERS.record(0, false, start);
+        return Partial {
+            value: Vec::new(),
+            completed: 0,
+            interrupted: budget.exceeded(),
+        };
+    }
+    let chunk = chunk_size(n);
+    let nchunks = n.div_ceil(chunk);
+    let threads = num_threads().min(nchunks);
+    let stop_reason: Mutex<Option<DegradeReason>> = Mutex::new(None);
+    let note_stop = |r: DegradeReason| {
+        let mut g = stop_reason.lock().unwrap_or_else(PoisonError::into_inner);
+        g.get_or_insert(r);
+    };
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for c in items.chunks(chunk) {
+            if let Some(r) = budget.exceeded() {
+                note_stop(r);
+                break;
+            }
+            out.extend(c.iter().map(&f));
+            budget.charge_rows(c.len() as u64);
+        }
+        MAP_COUNTERS.record(out.len(), false, start);
+        let completed = out.len();
+        return Partial {
+            value: out,
+            completed,
+            interrupted: stop_reason.into_inner().unwrap_or_else(PoisonError::into_inner),
+        };
+    }
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+    run_chunked(nchunks, threads, |i| {
+        if let Some(r) = budget.exceeded() {
+            note_stop(r);
+            return;
+        }
+        let lo = i * chunk;
+        let hi = (lo + chunk).min(n);
+        let v: Vec<R> = items[lo..hi].iter().map(&f).collect();
+        budget.charge_rows(v.len() as u64);
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+    });
+    // Keep the longest contiguous prefix: a later chunk may have finished
+    // after an earlier one was skipped, but a result with holes is not a
+    // meaningful partial answer for an order-preserving map.
+    let mut out = Vec::new();
+    let mut interrupted = stop_reason.into_inner().unwrap_or_else(PoisonError::into_inner);
+    for slot in slots {
+        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(v) => out.extend(v),
+            None => {
+                // A hole with no recorded reason means a worker skipped the
+                // chunk after another already noted the stop; re-check.
+                interrupted = interrupted.or_else(|| budget.exceeded());
+                break;
+            }
+        }
+    }
+    MAP_COUNTERS.record(out.len(), true, start);
+    let completed = out.len();
+    Partial {
+        value: out,
+        completed,
+        interrupted,
+    }
+}
+
 /// Folds `items` in parallel: each chunk folds into its own accumulator
 /// (seeded by `init`), then accumulators merge **in chunk order**.
 ///
@@ -475,6 +600,74 @@ mod tests {
         let a = with_thread_override(1, || chunk_size(100_000));
         let b = with_thread_override(16, || chunk_size(100_000));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budgeted_map_with_unlimited_budget_matches_par_map() {
+        let items: Vec<u64> = (0..20_000).collect();
+        let budget = Budget::unlimited();
+        let full = with_thread_override(4, || par_map(&items, |&x| x * 3));
+        let part = with_thread_override(4, || par_map_budgeted(&items, &budget, |&x| x * 3));
+        assert_eq!(part.value, full);
+        assert_eq!(part.completed, items.len());
+        assert_eq!(part.interrupted, None);
+        assert_eq!(part.coverage(items.len()), 1.0);
+    }
+
+    #[test]
+    fn budgeted_map_row_cap_returns_a_prefix() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let budget = Budget::unlimited().with_row_cap(5_000);
+        let part = with_thread_override(4, || par_map_budgeted(&items, &budget, |&x| x + 1));
+        assert_eq!(part.interrupted, Some(DegradeReason::RowCapExceeded));
+        assert!(part.completed < items.len());
+        assert!(part.completed > 0, "at least one chunk should land");
+        // The partial value is a prefix of the full map.
+        let expect: Vec<u64> = (0..part.completed as u64).map(|x| x + 1).collect();
+        assert_eq!(part.value, expect);
+        assert!(part.coverage(items.len()) < 1.0);
+    }
+
+    #[test]
+    fn budgeted_map_expired_deadline_stops_immediately() {
+        let items: Vec<u64> = (0..50_000).collect();
+        let budget = Budget::unlimited().with_expired_deadline();
+        let part = with_thread_override(4, || par_map_budgeted(&items, &budget, |&x| x));
+        assert_eq!(part.interrupted, Some(DegradeReason::DeadlineExceeded));
+        assert_eq!(part.completed, 0);
+    }
+
+    #[test]
+    fn budgeted_map_cancellation_is_observed() {
+        let items: Vec<u64> = (0..50_000).collect();
+        let budget = Budget::unlimited().with_row_cap(u64::MAX);
+        budget.cancel();
+        let part = with_thread_override(4, || par_map_budgeted(&items, &budget, |&x| x));
+        assert_eq!(part.interrupted, Some(DegradeReason::Cancelled));
+        assert_eq!(part.completed, 0);
+    }
+
+    #[test]
+    fn budgeted_map_serial_and_parallel_agree_on_row_cap_prefix_shape() {
+        let items: Vec<u64> = (0..60_000).collect();
+        let cap = 10_000;
+        let serial = {
+            let b = Budget::unlimited().with_row_cap(cap);
+            with_thread_override(1, || par_map_budgeted(&items, &b, |&x| x))
+        };
+        let parallel = {
+            let b = Budget::unlimited().with_row_cap(cap);
+            with_thread_override(4, || par_map_budgeted(&items, &b, |&x| x))
+        };
+        // Both stop for the same reason with a whole number of chunks, and
+        // both values are prefixes of the input.
+        assert_eq!(serial.interrupted, Some(DegradeReason::RowCapExceeded));
+        assert_eq!(parallel.interrupted, Some(DegradeReason::RowCapExceeded));
+        let chunk = chunk_size(items.len());
+        assert_eq!(serial.completed % chunk, 0);
+        assert_eq!(parallel.completed % chunk, 0);
+        assert_eq!(serial.value[..], items[..serial.completed]);
+        assert_eq!(parallel.value[..], items[..parallel.completed]);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Retry with capped exponential backoff.
+//!
+//! Transient disk faults (flaky reads, torn reads caught by checksum) are
+//! the common case in the fault model; the paged store absorbs them with a
+//! bounded retry loop rather than surfacing every blip to the query layer.
+//! Backoff doubles from `base_delay` up to `max_delay` — deterministic (no
+//! jitter) so chaos tests are reproducible — and every outcome is counted
+//! in [`RetryStats`], the per-operation observability the resilience layer
+//! reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How hard to retry a transient fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        // Tuned for an in-process "disk": microsecond-scale backoff keeps
+        // the chaos suite fast while still exercising the schedule.
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the pre-resilience behaviour.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based).
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+
+    /// Runs `op` up to `max_attempts` times, sleeping between attempts.
+    ///
+    /// `op` receives the 1-based attempt number. An error for which
+    /// `is_transient` returns false aborts immediately; a transient error
+    /// on the final attempt is handed to `exhausted` so the caller can
+    /// wrap it (e.g. into `StoreError::RetriesExhausted`). Every attempt,
+    /// retry, recovery and giveup is recorded in `stats`.
+    pub fn run<T, E>(
+        &self,
+        stats: &RetryStats,
+        is_transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+        exhausted: impl FnOnce(u32, E) -> E,
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let mut retried = false;
+        for attempt in 1..=attempts {
+            stats.attempts.fetch_add(1, Ordering::Relaxed);
+            match op(attempt) {
+                Ok(v) => {
+                    if retried {
+                        stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(v);
+                }
+                Err(e) if is_transient(&e) && attempt < attempts => {
+                    stats.retries.fetch_add(1, Ordering::Relaxed);
+                    retried = true;
+                    std::thread::sleep(self.delay_for(attempt));
+                }
+                Err(e) => {
+                    stats.giveups.fetch_add(1, Ordering::Relaxed);
+                    return Err(if is_transient(&e) {
+                        exhausted(attempts, e)
+                    } else {
+                        e
+                    });
+                }
+            }
+        }
+        unreachable!("loop returns on every path");
+    }
+}
+
+/// Lock-free retry counters (shared by concurrent readers of one store).
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    /// Operations attempted (every try, including firsts).
+    pub attempts: AtomicU64,
+    /// Transient failures that were retried.
+    pub retries: AtomicU64,
+    /// Operations that succeeded only after at least one retry.
+    pub recoveries: AtomicU64,
+    /// Operations that failed permanently (transient exhausted or
+    /// non-transient error).
+    pub giveups: AtomicU64,
+}
+
+impl RetryStats {
+    /// A zeroed counter set.
+    pub fn new() -> RetryStats {
+        RetryStats::default()
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> RetrySnapshot {
+        RetrySnapshot {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            giveups: self.giveups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of [`RetryStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetrySnapshot {
+    /// See [`RetryStats::attempts`].
+    pub attempts: u64,
+    /// See [`RetryStats::retries`].
+    pub retries: u64,
+    /// See [`RetryStats::recoveries`].
+    pub recoveries: u64,
+    /// See [`RetryStats::giveups`].
+    pub giveups: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[derive(Debug, PartialEq)]
+    enum E {
+        Soft,
+        Hard,
+        Exhausted(u32),
+    }
+
+    fn soft(e: &E) -> bool {
+        matches!(e, E::Soft)
+    }
+
+    #[test]
+    fn first_try_success_records_one_attempt() {
+        let stats = RetryStats::new();
+        let r: Result<i32, E> = RetryPolicy::default().run(
+            &stats,
+            soft,
+            |_| Ok(42),
+            |n, _| E::Exhausted(n),
+        );
+        assert_eq!(r, Ok(42));
+        let s = stats.snapshot();
+        assert_eq!((s.attempts, s.retries, s.recoveries, s.giveups), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn transient_then_success_counts_a_recovery() {
+        let stats = RetryStats::new();
+        let fails = Cell::new(2u32);
+        let r: Result<i32, E> = RetryPolicy::default().run(
+            &stats,
+            soft,
+            |_| {
+                if fails.get() > 0 {
+                    fails.set(fails.get() - 1);
+                    Err(E::Soft)
+                } else {
+                    Ok(7)
+                }
+            },
+            |n, _| E::Exhausted(n),
+        );
+        assert_eq!(r, Ok(7));
+        let s = stats.snapshot();
+        assert_eq!((s.attempts, s.retries, s.recoveries, s.giveups), (3, 2, 1, 0));
+    }
+
+    #[test]
+    fn persistent_transient_exhausts_with_wrapper() {
+        let stats = RetryStats::new();
+        let r: Result<i32, E> = RetryPolicy::default().run(
+            &stats,
+            soft,
+            |_| Err(E::Soft),
+            |n, _| E::Exhausted(n),
+        );
+        assert_eq!(r, Err(E::Exhausted(4)));
+        let s = stats.snapshot();
+        assert_eq!((s.attempts, s.retries, s.giveups), (4, 3, 1));
+    }
+
+    #[test]
+    fn hard_error_aborts_immediately() {
+        let stats = RetryStats::new();
+        let r: Result<i32, E> =
+            RetryPolicy::default().run(&stats, soft, |_| Err(E::Hard), |n, _| E::Exhausted(n));
+        assert_eq!(r, Err(E::Hard));
+        assert_eq!(stats.snapshot().attempts, 1);
+        assert_eq!(stats.snapshot().giveups, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_micros(500),
+        };
+        assert_eq!(p.delay_for(1), Duration::from_micros(100));
+        assert_eq!(p.delay_for(2), Duration::from_micros(200));
+        assert_eq!(p.delay_for(3), Duration::from_micros(400));
+        assert_eq!(p.delay_for(4), Duration::from_micros(500)); // capped
+        assert_eq!(p.delay_for(30), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn attempt_numbers_are_one_based() {
+        let stats = RetryStats::new();
+        let seen = std::cell::RefCell::new(Vec::new());
+        let _: Result<(), E> = RetryPolicy::default().run(
+            &stats,
+            soft,
+            |a| {
+                seen.borrow_mut().push(a);
+                Err(E::Soft)
+            },
+            |n, _| E::Exhausted(n),
+        );
+        assert_eq!(*seen.borrow(), vec![1, 2, 3, 4]);
+    }
+}

@@ -13,6 +13,7 @@ use crate::parser::ParseError;
 use crate::results::{QueryResult, SolutionTable};
 use std::collections::HashMap;
 use wodex_rdf::{Term, TermId, Value};
+use wodex_resilience::{Budget, DegradeReason, Degraded};
 use wodex_store::{Pattern, TripleStore};
 
 /// Errors from parsing or evaluating a query.
@@ -41,8 +42,100 @@ type Row = Vec<Option<TermId>>;
 /// A projected output table: column names plus decoded rows.
 type TermTable = (Vec<String>, Vec<Vec<Option<Term>>>);
 
-/// Evaluates a parsed query against a store.
+/// A query result that may be a budget-degraded partial answer.
+#[derive(Debug)]
+pub struct BudgetedResult {
+    /// The (possibly partial) result. Every row in a degraded table is a
+    /// genuine solution of the query — degradation shrinks the answer, it
+    /// never fabricates rows.
+    pub result: QueryResult,
+    /// `Some` when the budget cut evaluation short, with the reason and
+    /// the estimated fraction of the search space that was covered.
+    pub degraded: Option<Degraded>,
+}
+
+/// When a budget trips mid-join, the surviving bindings are sampled down
+/// to this many rows so the remaining stages can finish in bounded "grace"
+/// work — the SynopsViz/HETree stance of completing a coarser answer
+/// instead of failing.
+const DEGRADED_SAMPLE_ROWS: usize = 512;
+
+/// Degradation bookkeeping threaded through the evaluation stages.
+struct DegradeState {
+    reason: Option<DegradeReason>,
+    coverage: f64,
+}
+
+impl DegradeState {
+    fn new() -> DegradeState {
+        DegradeState {
+            reason: None,
+            coverage: 1.0,
+        }
+    }
+
+    /// True once a budget dimension has tripped — later stages run in
+    /// grace mode (serial, over the sampled rows, no further checks).
+    fn active(&self) -> bool {
+        self.reason.is_some()
+    }
+
+    /// Records the first trip and folds the stage's completed fraction
+    /// into the running coverage estimate.
+    fn trip(&mut self, reason: DegradeReason, stage_coverage: f64) {
+        self.reason.get_or_insert(reason);
+        self.coverage *= stage_coverage.clamp(0.0, 1.0);
+    }
+
+    /// Samples `rows` down to the grace-mode bound, folding the sampling
+    /// fraction into coverage.
+    fn sample(&mut self, rows: &mut Vec<Row>) {
+        if rows.len() > DEGRADED_SAMPLE_ROWS {
+            self.coverage *= DEGRADED_SAMPLE_ROWS as f64 / rows.len() as f64;
+            rows.truncate(DEGRADED_SAMPLE_ROWS);
+        }
+    }
+
+    fn into_degraded(self) -> Option<Degraded> {
+        self.reason.map(|reason| Degraded {
+            reason,
+            coverage: self.coverage,
+        })
+    }
+}
+
+/// Evaluates a parsed query against a store with no budget.
 pub fn evaluate(store: &TripleStore, q: &Query) -> Result<QueryResult, QueryError> {
+    static UNLIMITED: Budget = Budget::unlimited();
+    evaluate_budgeted(store, q, &UNLIMITED).map(|b| b.result)
+}
+
+/// Evaluates a parsed query under a [`Budget`].
+///
+/// With an unlimited budget this is exactly [`evaluate`] — the same code
+/// paths run, so results are bit-identical. Under an active budget the
+/// join stages poll the budget at `wodex-exec` chunk granularity; when a
+/// dimension trips, the surviving bindings are sampled down and the
+/// remaining stages complete over the sample, yielding a sound subset of
+/// the true answer flagged [`Degraded`]`{ reason, coverage }`.
+pub fn evaluate_budgeted(
+    store: &TripleStore,
+    q: &Query,
+    budget: &Budget,
+) -> Result<BudgetedResult, QueryError> {
+    let mut deg = DegradeState::new();
+    evaluate_inner(store, q, budget, &mut deg).map(|result| BudgetedResult {
+        result,
+        degraded: deg.into_degraded(),
+    })
+}
+
+fn evaluate_inner(
+    store: &TripleStore,
+    q: &Query,
+    budget: &Budget,
+    deg: &mut DegradeState,
+) -> Result<QueryResult, QueryError> {
     let vars = q.pattern_vars();
     let var_idx: HashMap<&str, usize> = vars
         .iter()
@@ -123,13 +216,26 @@ pub fn evaluate(store: &TripleStore, q: &Query) -> Result<QueryResult, QueryErro
             initial.clone(),
             &var_idx,
             early_limit,
+            budget,
+            deg,
         )?);
     }
     // Left-join each OPTIONAL block.
     for block in &q.optionals {
+        let total = rows.len();
         let mut next = Vec::with_capacity(rows.len());
-        for row in rows {
-            let matched = join_bgp(store, block, &[], vec![row.clone()], &var_idx, None)?;
+        for (i, row) in rows.into_iter().enumerate() {
+            // One budget poll per left-joined row; on a trip the processed
+            // prefix survives (every kept row is fully left-joined — a row
+            // kept *without* attempting the join could wrongly report its
+            // optional variables unbound).
+            if !deg.active() && !budget.is_unlimited() {
+                if let Some(reason) = budget.exceeded() {
+                    deg.trip(reason, i as f64 / total.max(1) as f64);
+                    break;
+                }
+            }
+            let matched = join_bgp(store, block, &[], vec![row.clone()], &var_idx, None, budget, deg)?;
             if matched.is_empty() {
                 next.push(row);
             } else {
@@ -137,6 +243,9 @@ pub fn evaluate(store: &TripleStore, q: &Query) -> Result<QueryResult, QueryErro
             }
         }
         rows = next;
+        if deg.active() {
+            deg.sample(&mut rows);
+        }
     }
     // Residual filters (mentioning optional variables), evaluated in
     // parallel over the solution table (order-preserving keep flags).
@@ -186,12 +295,24 @@ pub fn evaluate(store: &TripleStore, q: &Query) -> Result<QueryResult, QueryErro
         let mut rows = rows;
         sort_rows(store, q, &var_idx, &mut rows)?;
         // Final decode: term materialization is per-row independent, so
-        // it runs in parallel partitions merged in row order.
-        let out = wodex_exec::par_map(&rows, |row| {
+        // it runs in parallel partitions merged in row order. Under an
+        // active budget the decode itself is interruptible (it can be the
+        // dominant cost for SELECT * over a large store).
+        let decode = |row: &Row| -> Vec<Option<Term>> {
             idxs.iter()
                 .map(|&i| row[i].map(|id| store.term(id).clone()))
                 .collect()
-        });
+        };
+        let out = if budget.is_unlimited() || deg.active() {
+            wodex_exec::par_map(&rows, decode)
+        } else {
+            let total = rows.len();
+            let part = wodex_exec::par_map_budgeted(&rows, budget, decode);
+            if let Some(reason) = part.interrupted {
+                deg.trip(reason, part.coverage(total));
+            }
+            part.value
+        };
         (selected, out)
     };
 
@@ -254,6 +375,13 @@ fn retain_parallel<T: Sync>(rows: &mut Vec<T>, pred: impl Fn(&T) -> bool + Sync)
 
 /// Greedy-ordered BGP join with filter pushdown and optional early stop,
 /// starting from a set of initial (possibly partially bound) rows.
+///
+/// Budget handling: with an unlimited budget the probe stages are the
+/// PR-1 parallel paths, untouched. Under an active budget each stage runs
+/// through [`wodex_exec::par_map_budgeted`]; on a trip the completed
+/// prefix of bindings is sampled down and the remaining patterns join in
+/// grace mode — every emitted row is still a real solution.
+#[allow(clippy::too_many_arguments)]
 fn join_bgp(
     store: &TripleStore,
     patterns: &[TriplePattern],
@@ -261,6 +389,8 @@ fn join_bgp(
     initial: Vec<Row>,
     var_idx: &HashMap<&str, usize>,
     early_limit: Option<usize>,
+    budget: &Budget,
+    deg: &mut DegradeState,
 ) -> Result<Vec<Row>, QueryError> {
     if patterns.is_empty() {
         return Ok(initial);
@@ -334,8 +464,16 @@ fn join_bgp(
             // followed by `truncate` would return the same rows (partitions
             // merge in row order), just with wasted work.
             let lim = early_limit.expect("truncating implies a limit");
+            let budgeted = !budget.is_unlimited() && !deg.active();
+            let total = rows.len();
             let mut next_rows = Vec::new();
-            'rows: for row in &rows {
+            'rows: for (i, row) in rows.iter().enumerate() {
+                if budgeted {
+                    if let Some(reason) = budget.exceeded() {
+                        deg.trip(reason, i as f64 / total.max(1) as f64);
+                        break 'rows;
+                    }
+                }
                 for new_row in probe(row) {
                     next_rows.push(new_row);
                     if next_rows.len() >= lim {
@@ -344,11 +482,25 @@ fn join_bgp(
                 }
             }
             next_rows
-        } else {
+        } else if budget.is_unlimited() || deg.active() {
             // Parallel probe of the solution table: per-row extension lists
             // are computed in partitions and flattened in row order, so the
-            // join output is identical at every thread count.
+            // join output is identical at every thread count. (Grace mode
+            // also lands here: the sampled rows finish without more
+            // checks, so a tripped deadline cannot starve the answer to
+            // nothing.)
             wodex_exec::par_map(&rows, probe).into_iter().flatten().collect()
+        } else {
+            let total = rows.len();
+            let part = wodex_exec::par_map_budgeted(&rows, budget, probe);
+            let interrupted = part.interrupted;
+            let stage_cov = part.coverage(total);
+            let mut flat: Vec<Row> = part.value.into_iter().flatten().collect();
+            if let Some(reason) = interrupted {
+                deg.trip(reason, stage_cov);
+                deg.sample(&mut flat);
+            }
+            flat
         };
         for v in pattern.vars() {
             bound[var_idx[v]] = true;
@@ -1101,6 +1253,96 @@ mod tests {
              SELECT (COUNT(?f) AS ?n) WHERE { ?s ex:age ?a OPTIONAL { ?s foaf:knows ?f } }");
         // COUNT(?f) counts only bound cells.
         assert_eq!(r.table().unwrap().rows[0][0], Some(Term::integer(2)));
+    }
+
+    /// A store big enough that budget chunking actually engages.
+    fn big_store(subjects: u32) -> TripleStore {
+        let mut g = Graph::new();
+        for i in 0..subjects {
+            let s = format!("http://e.org/n{i}");
+            g.insert(Triple::iri(&s, rdf::TYPE, Term::iri(foaf::PERSON)));
+            g.insert(Triple::iri(&s, "http://e.org/age", Term::integer((i % 80) as i64)));
+        }
+        TripleStore::from_graph(&g)
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_plain_query() {
+        let st = big_store(2000);
+        let text = "PREFIX ex: <http://e.org/> SELECT ?s ?a WHERE { ?s ex:age ?a FILTER(?a > 40) }";
+        let plain = crate::query(&st, text).unwrap();
+        let budget = Budget::unlimited();
+        let budgeted = crate::query_budgeted(&st, text, &budget).unwrap();
+        assert!(budgeted.degraded.is_none());
+        assert_eq!(
+            plain.table().unwrap().rows,
+            budgeted.result.table().unwrap().rows
+        );
+    }
+
+    #[test]
+    fn expired_deadline_degrades_instead_of_erroring() {
+        let st = big_store(2000);
+        let budget = Budget::unlimited().with_expired_deadline();
+        let r = crate::query_budgeted(&st, "SELECT ?s WHERE { ?s ?p ?o }", &budget).unwrap();
+        let d = r.degraded.expect("must be flagged degraded");
+        assert_eq!(d.reason, DegradeReason::DeadlineExceeded);
+        assert!(d.coverage < 1.0);
+        // The (possibly empty) result is still well-formed.
+        assert!(r.result.table().is_some());
+    }
+
+    #[test]
+    fn row_cap_yields_a_sound_subset_of_the_full_answer() {
+        let st = big_store(3000);
+        let text = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+        let full: std::collections::HashSet<String> = crate::query(&st, text)
+            .unwrap()
+            .table()
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let budget = Budget::unlimited().with_row_cap(500);
+        let r = crate::query_budgeted(&st, text, &budget).unwrap();
+        let d = r.degraded.expect("row cap must trip on 6000 triples");
+        assert_eq!(d.reason, DegradeReason::RowCapExceeded);
+        assert!(d.coverage > 0.0 && d.coverage < 1.0);
+        let table = r.result.table().unwrap();
+        assert!(!table.rows.is_empty(), "degraded, not empty");
+        assert!(table.rows.len() < full.len());
+        for row in &table.rows {
+            assert!(
+                full.contains(&format!("{row:?}")),
+                "degraded rows must be real solutions"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_flag_degrades_every_form() {
+        let st = big_store(500);
+        let budget = Budget::unlimited().with_row_cap(u64::MAX);
+        budget.cancel();
+        let r = crate::query_budgeted(&st, "SELECT ?s WHERE { ?s ?p ?o }", &budget).unwrap();
+        assert_eq!(
+            r.degraded.expect("cancelled").reason,
+            DegradeReason::Cancelled
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_degrade() {
+        let st = big_store(300);
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::from_secs(600));
+        let text = "PREFIX ex: <http://e.org/> SELECT ?s WHERE { ?s ex:age ?a }";
+        let r = crate::query_budgeted(&st, text, &budget).unwrap();
+        assert!(r.degraded.is_none());
+        assert_eq!(
+            r.result.table().unwrap().len(),
+            crate::query(&st, text).unwrap().table().unwrap().len()
+        );
     }
 
     #[test]

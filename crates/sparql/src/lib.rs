@@ -31,9 +31,10 @@ pub mod parser;
 pub mod results;
 
 pub use ast::{Aggregate, Expr, Query, QueryForm, TermOrVar, TriplePattern};
-pub use eval::{evaluate, QueryError};
+pub use eval::{evaluate, evaluate_budgeted, BudgetedResult, QueryError};
 pub use parser::parse_query;
 pub use results::{QueryResult, SolutionTable};
+pub use wodex_resilience::{Budget, DegradeReason, Degraded};
 
 use wodex_store::TripleStore;
 
@@ -41,4 +42,19 @@ use wodex_store::TripleStore;
 pub fn query(store: &TripleStore, text: &str) -> Result<QueryResult, QueryError> {
     let q = parse_query(text).map_err(QueryError::Parse)?;
     evaluate(store, &q)
+}
+
+/// Parses and evaluates a query under a [`Budget`] in one call.
+///
+/// Over-budget evaluation does not error: the result comes back flagged
+/// [`Degraded`] with the reason and an estimate of the fraction of the
+/// search space covered. An unlimited budget gives results bit-identical
+/// to [`query`].
+pub fn query_budgeted(
+    store: &TripleStore,
+    text: &str,
+    budget: &Budget,
+) -> Result<BudgetedResult, QueryError> {
+    let q = parse_query(text).map_err(QueryError::Parse)?;
+    evaluate_budgeted(store, &q, budget)
 }

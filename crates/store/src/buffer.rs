@@ -7,10 +7,15 @@
 //! lets the paged store ([`crate::paged`]) serve datasets larger than
 //! memory with memory use bounded by `capacity × page size` (experiment
 //! E5).
+//!
+//! Fetch closures are fallible: a miss whose backend read fails caches
+//! nothing and propagates the error, so the pool never holds a frame it
+//! did not fully fetch. Locks recover from poisoning — a panicking reader
+//! cannot take the whole pool down with it.
 
-use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Hit/miss/eviction counters for a pool.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +74,13 @@ impl BufferPool {
         }
     }
 
+    /// Locks the pool state, recovering from poison: the inner map is
+    /// always structurally consistent (mutations never panic mid-update),
+    /// so an abandoned lock is safe to reuse.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Page capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -76,24 +88,29 @@ impl BufferPool {
 
     /// Number of resident pages.
     pub fn resident(&self) -> usize {
-        self.inner.lock().unwrap().frames.len()
+        self.lock().frames.len()
     }
 
-    /// Fetches a page, reading through `fetch` on a miss.
-    pub fn get(&self, page_id: u32, fetch: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
-        let mut inner = self.inner.lock().unwrap();
+    /// Fetches a page, reading through `fetch` on a miss. A failed fetch
+    /// caches nothing — the page stays absent and the error propagates.
+    pub fn get<E>(
+        &self,
+        page_id: u32,
+        fetch: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> Result<Arc<Vec<u8>>, E> {
+        let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(frame) = inner.frames.get_mut(&page_id) {
             frame.stamp = clock;
             let data = Arc::clone(&frame.data);
             inner.stats.hits += 1;
-            return data;
+            return Ok(data);
         }
         inner.stats.misses += 1;
         // Fetch outside the map borrow (still under the lock: the pool is a
         // correctness structure here, not a concurrency benchmark).
-        let data = Arc::new(fetch());
+        let data = Arc::new(fetch()?);
         if inner.frames.len() >= self.capacity {
             // Evict the least-recently-used frame.
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.stamp) {
@@ -108,24 +125,35 @@ impl BufferPool {
                 stamp: clock,
             },
         );
-        data
+        Ok(data)
     }
 
     /// True if the page is resident (does not touch recency or stats).
     pub fn peek(&self, page_id: u32) -> bool {
-        self.inner.lock().unwrap().frames.contains_key(&page_id)
+        self.lock().frames.contains_key(&page_id)
+    }
+
+    /// Drops one page if resident (without counting an eviction) — used
+    /// when a cached page turns out to be corrupt and must be re-read.
+    pub fn evict(&self, page_id: u32) {
+        self.lock().frames.remove(&page_id);
     }
 
     /// Inserts a page without counting a demand miss — the prefetcher's
-    /// entry point. Does nothing if already resident.
-    pub fn preload(&self, page_id: u32, fetch: impl FnOnce() -> Vec<u8>) {
-        let mut inner = self.inner.lock().unwrap();
+    /// entry point. Does nothing if already resident; a failed fetch
+    /// caches nothing and returns the error.
+    pub fn preload<E>(
+        &self,
+        page_id: u32,
+        fetch: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> Result<(), E> {
+        let mut inner = self.lock();
         if inner.frames.contains_key(&page_id) {
-            return;
+            return Ok(());
         }
         inner.clock += 1;
         let clock = inner.clock;
-        let data = Arc::new(fetch());
+        let data = Arc::new(fetch()?);
         if inner.frames.len() >= self.capacity {
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.stamp) {
                 inner.frames.remove(&victim);
@@ -133,16 +161,17 @@ impl BufferPool {
             }
         }
         inner.frames.insert(page_id, Frame { data, stamp: clock });
+        Ok(())
     }
 
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().unwrap().stats
+        self.lock().stats
     }
 
     /// Drops all resident pages and resets counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.frames.clear();
         inner.stats = PoolStats::default();
     }
@@ -151,13 +180,19 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::convert::Infallible;
+
+    /// An infallible fetch, for tests that only exercise caching.
+    fn ok(bytes: Vec<u8>) -> impl FnOnce() -> Result<Vec<u8>, Infallible> {
+        move || Ok(bytes)
+    }
 
     #[test]
     fn hit_after_miss() {
         let pool = BufferPool::new(4);
-        let a = pool.get(1, || vec![1]);
-        let b = pool.get(1, || panic!("must not refetch"));
-        assert_eq!(a, b);
+        let a = pool.get(1, ok(vec![1])).unwrap();
+        let b = pool.get(1, || -> Result<_, Infallible> { panic!("must not refetch") });
+        assert_eq!(a, b.unwrap());
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
     }
@@ -165,10 +200,11 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         let pool = BufferPool::new(2);
-        pool.get(1, || vec![1]);
-        pool.get(2, || vec![2]);
-        pool.get(1, || unreachable!()); // refresh 1
-        pool.get(3, || vec![3]); // evicts 2
+        pool.get(1, ok(vec![1])).unwrap();
+        pool.get(2, ok(vec![2])).unwrap();
+        pool.get(1, || -> Result<_, Infallible> { unreachable!() })
+            .unwrap(); // refresh 1
+        pool.get(3, ok(vec![3])).unwrap(); // evicts 2
         assert!(pool.peek(1));
         assert!(!pool.peek(2));
         assert!(pool.peek(3));
@@ -179,37 +215,68 @@ mod tests {
     fn capacity_is_bounded() {
         let pool = BufferPool::new(8);
         for i in 0..100 {
-            pool.get(i, || vec![i as u8]);
+            pool.get(i, ok(vec![i as u8])).unwrap();
         }
         assert_eq!(pool.resident(), 8);
         assert_eq!(pool.stats().evictions, 92);
     }
 
     #[test]
+    fn failed_fetch_caches_nothing() {
+        let pool = BufferPool::new(4);
+        let r: Result<_, &str> = pool.get(9, || Err("disk gone"));
+        assert_eq!(r.unwrap_err(), "disk gone");
+        assert!(!pool.peek(9));
+        // The miss was counted, and a later successful fetch works.
+        assert_eq!(pool.stats().misses, 1);
+        pool.get(9, ok(vec![9])).unwrap();
+        assert!(pool.peek(9));
+    }
+
+    #[test]
+    fn evict_drops_a_resident_page() {
+        let pool = BufferPool::new(4);
+        pool.get(5, ok(vec![5])).unwrap();
+        assert!(pool.peek(5));
+        pool.evict(5);
+        assert!(!pool.peek(5));
+        assert_eq!(pool.stats().evictions, 0, "manual evict is not an LRU eviction");
+    }
+
+    #[test]
     fn preload_counts_no_miss() {
         let pool = BufferPool::new(4);
-        pool.preload(7, || vec![7]);
+        pool.preload(7, ok(vec![7])).unwrap();
         assert!(pool.peek(7));
         assert_eq!(pool.stats().misses, 0);
-        pool.get(7, || panic!("preloaded"));
+        pool.get(7, || -> Result<_, Infallible> { panic!("preloaded") })
+            .unwrap();
         assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn failed_preload_is_reported_and_caches_nothing() {
+        let pool = BufferPool::new(4);
+        let r: Result<(), &str> = pool.preload(3, || Err("flaky"));
+        assert!(r.is_err());
+        assert!(!pool.peek(3));
     }
 
     #[test]
     fn hit_ratio() {
         let pool = BufferPool::new(4);
         assert_eq!(pool.stats().hit_ratio(), 0.0);
-        pool.get(1, std::vec::Vec::new);
-        pool.get(1, std::vec::Vec::new);
-        pool.get(1, std::vec::Vec::new);
-        pool.get(2, std::vec::Vec::new);
+        pool.get(1, ok(Vec::new())).unwrap();
+        pool.get(1, ok(Vec::new())).unwrap();
+        pool.get(1, ok(Vec::new())).unwrap();
+        pool.get(2, ok(Vec::new())).unwrap();
         assert_eq!(pool.stats().hit_ratio(), 0.5);
     }
 
     #[test]
     fn clear_resets() {
         let pool = BufferPool::new(2);
-        pool.get(1, std::vec::Vec::new);
+        pool.get(1, ok(Vec::new())).unwrap();
         pool.clear();
         assert_eq!(pool.resident(), 0);
         assert_eq!(pool.stats(), PoolStats::default());
@@ -218,7 +285,7 @@ mod tests {
     #[test]
     fn zero_capacity_clamped_to_one() {
         let pool = BufferPool::new(0);
-        pool.get(1, || vec![1]);
+        pool.get(1, ok(vec![1])).unwrap();
         assert_eq!(pool.resident(), 1);
     }
 }

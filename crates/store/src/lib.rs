@@ -25,10 +25,17 @@
 //!   exploiting pan/zoom locality, per the §4 future direction
 //!   (caching/prefetching \[16, 39, 128\]) ([`cache`], [`prefetch`]).
 
+//!
+//! The disk path is **fault-tolerant**: page reads return typed
+//! [`StoreError`]s instead of panicking, every page carries a checksum,
+//! transient faults are retried with capped backoff, and a deterministic
+//! [`fault::FaultBackend`] injects failures for chaos testing.
+
 pub mod buffer;
 pub mod cache;
 pub mod cracking;
 pub mod encoded;
+pub mod fault;
 pub mod index;
 pub mod memstore;
 pub mod paged;
@@ -38,5 +45,7 @@ pub use buffer::{BufferPool, PoolStats};
 pub use cache::LruCache;
 pub use cracking::CrackerColumn;
 pub use encoded::{EncodedTriple, Pattern};
+pub use fault::{FaultBackend, FaultConfig, FaultSnapshot};
 pub use memstore::TripleStore;
-pub use paged::{MemBackend, PageBackend, PagedTripleStore};
+pub use paged::{FileBackend, MemBackend, PageBackend, PagedTripleStore};
+pub use wodex_resilience::{RetrySnapshot, StoreError};

@@ -7,12 +7,18 @@
 //! that architecture in miniature:
 //!
 //! * triples are dictionary-encoded and serialized into fixed-size pages
-//!   sorted in SPO order,
+//!   sorted in SPO order, each page carrying a 64-bit checksum so torn or
+//!   corrupt pages are *detected* instead of decoded into garbage,
 //! * a small in-memory **page directory** maps each page to its first key,
 //! * range queries binary-search the directory and fetch only the touched
 //!   pages through a [`BufferPool`],
-//! * backends are pluggable: a real file ([`FileBackend`]) or an in-memory
-//!   "disk" with I/O accounting ([`MemBackend`]) for tests and benches.
+//! * backends are pluggable: a real file ([`FileBackend`]), an in-memory
+//!   "disk" with I/O accounting ([`MemBackend`]) for tests and benches, or
+//!   a fault-injecting wrapper ([`crate::fault::FaultBackend`]) for chaos
+//!   testing,
+//! * every read is fallible: backends return [`StoreError`], transient
+//!   faults are retried under a [`RetryPolicy`] with capped exponential
+//!   backoff, and what cannot be retried surfaces as a typed error.
 //!
 //! Memory use is `pool capacity × page size`, independent of dataset size —
 //! the property experiment E5 measures.
@@ -21,20 +27,26 @@ use crate::buffer::BufferPool;
 use crate::encoded::EncodedTriple;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError};
+use wodex_resilience::{page_checksum, RetryPolicy, RetrySnapshot, RetryStats, StoreError};
 
 /// Page size in bytes (8 KiB, the classic DBMS default).
 pub const PAGE_SIZE: usize = 8192;
-/// Bytes of page header (little-endian u32 triple count).
-pub const PAGE_HEADER: usize = 4;
+/// Bytes of page header: little-endian u64 checksum, then u32 triple count.
+pub const PAGE_HEADER: usize = 12;
 /// Triples per page.
 pub const TRIPLES_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER) / 12;
 
 /// Storage backend: a flat array of pages with read accounting.
+///
+/// Reads and appends are fallible — a backend may sit on a real disk (or a
+/// fault-injecting wrapper), so "page cannot be produced" is a value, not a
+/// panic.
 pub trait PageBackend {
-    /// Reads page `id` (must exist).
-    fn read_page(&self, id: u32) -> Vec<u8>;
+    /// Reads page `id`.
+    fn read_page(&self, id: u32) -> Result<Vec<u8>, StoreError>;
     /// Appends a page, returning its id.
-    fn append_page(&mut self, data: &[u8]) -> u32;
+    fn append_page(&mut self, data: &[u8]) -> Result<u32, StoreError>;
     /// Number of pages.
     fn page_count(&self) -> u32;
     /// Number of physical reads performed so far.
@@ -56,15 +68,21 @@ impl MemBackend {
 }
 
 impl PageBackend for MemBackend {
-    fn read_page(&self, id: u32) -> Vec<u8> {
+    fn read_page(&self, id: u32) -> Result<Vec<u8>, StoreError> {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.pages[id as usize].clone()
+        self.pages
+            .get(id as usize)
+            .cloned()
+            .ok_or(StoreError::NoSuchPage {
+                page: id,
+                pages: self.pages.len() as u32,
+            })
     }
 
-    fn append_page(&mut self, data: &[u8]) -> u32 {
+    fn append_page(&mut self, data: &[u8]) -> Result<u32, StoreError> {
         let id = self.pages.len() as u32;
         self.pages.push(data.to_vec());
-        id
+        Ok(id)
     }
 
     fn page_count(&self) -> u32 {
@@ -101,26 +119,56 @@ impl FileBackend {
 }
 
 impl PageBackend for FileBackend {
-    fn read_page(&self, id: u32) -> Vec<u8> {
+    fn read_page(&self, id: u32) -> Result<Vec<u8>, StoreError> {
+        if id >= self.pages {
+            return Err(StoreError::NoSuchPage {
+                page: id,
+                pages: self.pages,
+            });
+        }
         self.reads.fetch_add(1, Ordering::Relaxed);
         let mut buf = vec![0u8; PAGE_SIZE];
-        let mut f = self.file.lock().unwrap();
+        // A panicked holder cannot have left the file position in a state
+        // we rely on (every op re-seeks), so recovering from poison is safe.
+        let mut f = self.file.lock().unwrap_or_else(PoisonError::into_inner);
         f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
-            .expect("seek");
-        f.read_exact(&mut buf).expect("read page");
-        buf
+            .map_err(|e| StoreError::Io {
+                op: "seek",
+                detail: e.to_string(),
+            })?;
+        f.read_exact(&mut buf).map_err(|e| match e.kind() {
+            // A short read of an existing page is a torn/interrupted read:
+            // the bytes may well be there on the next attempt.
+            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::Interrupted => {
+                StoreError::Transient {
+                    op: "read_page",
+                    detail: e.to_string(),
+                }
+            }
+            _ => StoreError::Io {
+                op: "read_page",
+                detail: e.to_string(),
+            },
+        })?;
+        Ok(buf)
     }
 
-    fn append_page(&mut self, data: &[u8]) -> u32 {
+    fn append_page(&mut self, data: &[u8]) -> Result<u32, StoreError> {
         let id = self.pages;
-        let mut f = self.file.lock().unwrap();
+        let mut f = self.file.lock().unwrap_or_else(PoisonError::into_inner);
         f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
-            .expect("seek");
+            .map_err(|e| StoreError::Io {
+                op: "seek",
+                detail: e.to_string(),
+            })?;
         let mut page = data.to_vec();
         page.resize(PAGE_SIZE, 0);
-        f.write_all(&page).expect("write page");
+        f.write_all(&page).map_err(|e| StoreError::Io {
+            op: "write_page",
+            detail: e.to_string(),
+        })?;
         self.pages += 1;
-        id
+        Ok(id)
     }
 
     fn page_count(&self) -> u32 {
@@ -132,10 +180,13 @@ impl PageBackend for FileBackend {
     }
 }
 
-/// Serializes up to [`TRIPLES_PER_PAGE`] triples into one page image.
+/// Serializes up to [`TRIPLES_PER_PAGE`] triples into one page image:
+/// `[checksum: u64][count: u32][count × 12-byte triples][zero padding]`.
+/// The checksum covers everything after itself (count, triples, padding).
 pub fn encode_page(triples: &[EncodedTriple]) -> Vec<u8> {
     assert!(triples.len() <= TRIPLES_PER_PAGE);
     let mut buf = Vec::with_capacity(PAGE_SIZE);
+    buf.extend_from_slice(&[0u8; 8]); // checksum slot, filled below
     buf.extend_from_slice(&(triples.len() as u32).to_le_bytes());
     for t in triples {
         buf.extend_from_slice(&t[0].to_le_bytes());
@@ -143,23 +194,61 @@ pub fn encode_page(triples: &[EncodedTriple]) -> Vec<u8> {
         buf.extend_from_slice(&t[2].to_le_bytes());
     }
     buf.resize(PAGE_SIZE, 0);
+    let sum = page_checksum(&buf[8..]);
+    buf[..8].copy_from_slice(&sum.to_le_bytes());
     buf
 }
 
-/// Decodes a page image back into triples.
-pub fn decode_page(data: &[u8]) -> Vec<EncodedTriple> {
-    let mut at = 0usize;
-    let mut next_u32 = || {
-        let v = u32::from_le_bytes(data[at..at + 4].try_into().expect("4-byte field"));
-        at += 4;
-        v
-    };
-    let n = next_u32() as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push([next_u32(), next_u32(), next_u32()]);
+/// Validates a page image without decoding it.
+///
+/// Checks the length and the stored checksum against the page body; a
+/// failure reports *what* is wrong so the caller can wrap it into
+/// [`StoreError::Corrupt`] with the page id. This runs once per backend
+/// fetch — pages already resident in the pool were verified on entry.
+pub fn verify_page(data: &[u8]) -> Result<(), String> {
+    if data.len() < PAGE_HEADER {
+        return Err(format!("short page: {} bytes", data.len()));
     }
-    out
+    let stored = u64::from_le_bytes(data[..8].try_into().expect("8-byte checksum"));
+    let actual = page_checksum(&data[8..]);
+    if stored != actual {
+        return Err(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates and decodes a page image back into triples.
+pub fn decode_page(data: &[u8]) -> Result<Vec<EncodedTriple>, String> {
+    verify_page(data)?;
+    Ok(decode_page_unchecked(data))
+}
+
+/// Iterates a page image's triples without allocating — the scan paths
+/// stream this straight into their output vectors, skipping the
+/// per-page intermediate `Vec` an eager decode would cost.
+///
+/// Performs no checksum validation; callers obtain `data` from the
+/// buffer pool, which only admits [`verify_page`]-clean fetches.
+pub fn page_triples(data: &[u8]) -> impl Iterator<Item = EncodedTriple> + '_ {
+    let field = |at: usize| u32::from_le_bytes(data[at..at + 4].try_into().expect("4-byte field"));
+    let n = if data.len() < PAGE_HEADER {
+        0
+    } else {
+        (field(8) as usize).min(TRIPLES_PER_PAGE)
+    };
+    (0..n).map(move |i| {
+        let at = PAGE_HEADER + i * 12;
+        [field(at), field(at + 4), field(at + 8)]
+    })
+}
+
+/// Decodes a page image without checksum validation — the fault-free fast
+/// path for pages already verified, and the baseline for measuring the
+/// checksum's overhead (bench `bench-pr2`).
+pub fn decode_page_unchecked(data: &[u8]) -> Vec<EncodedTriple> {
+    page_triples(data).collect()
 }
 
 /// A read-only paged triple store in SPO order.
@@ -168,24 +257,38 @@ pub struct PagedTripleStore<B: PageBackend> {
     /// First key of each page, in page order.
     directory: Vec<EncodedTriple>,
     len: usize,
+    policy: RetryPolicy,
+    retry_stats: RetryStats,
 }
 
 impl<B: PageBackend> PagedTripleStore<B> {
-    /// Bulk-loads sorted SPO triples into the backend.
+    /// Bulk-loads sorted SPO triples into the backend with the default
+    /// retry policy.
     ///
     /// `triples` must be sorted; this is checked in debug builds.
-    pub fn bulk_load(mut backend: B, triples: &[EncodedTriple]) -> PagedTripleStore<B> {
+    pub fn bulk_load(backend: B, triples: &[EncodedTriple]) -> Result<PagedTripleStore<B>, StoreError> {
+        PagedTripleStore::bulk_load_with_policy(backend, triples, RetryPolicy::default())
+    }
+
+    /// [`PagedTripleStore::bulk_load`] with an explicit retry policy.
+    pub fn bulk_load_with_policy(
+        mut backend: B,
+        triples: &[EncodedTriple],
+        policy: RetryPolicy,
+    ) -> Result<PagedTripleStore<B>, StoreError> {
         debug_assert!(triples.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
         let mut directory = Vec::new();
         for chunk in triples.chunks(TRIPLES_PER_PAGE) {
             directory.push(chunk[0]);
-            backend.append_page(&encode_page(chunk));
+            backend.append_page(&encode_page(chunk))?;
         }
-        PagedTripleStore {
+        Ok(PagedTripleStore {
             backend,
             directory,
             len: triples.len(),
-        }
+            policy,
+            retry_stats: RetryStats::new(),
+        })
     }
 
     /// Total triples stored.
@@ -208,10 +311,42 @@ impl<B: PageBackend> PagedTripleStore<B> {
         self.backend.reads()
     }
 
-    /// Fetches and decodes one page through the pool.
-    fn page(&self, pool: &BufferPool, id: u32) -> Vec<EncodedTriple> {
-        let data = pool.get(id, || self.backend.read_page(id));
-        decode_page(&data)
+    /// Retry counters accumulated across all page reads.
+    pub fn retry_stats(&self) -> RetrySnapshot {
+        self.retry_stats.snapshot()
+    }
+
+    /// The backend, for fault/injection inspection in tests.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Reads one page from the backend and checksum-verifies it. This is
+    /// the only route by which bytes enter the buffer pool, so every
+    /// pooled page is already validated and the hot (pool-hit) path can
+    /// decode without re-hashing 8 KiB per access.
+    fn fetch_verified(&self, id: u32) -> Result<Vec<u8>, StoreError> {
+        let data = self.backend.read_page(id)?;
+        verify_page(&data).map_err(|detail| StoreError::Corrupt { page: id, detail })?;
+        Ok(data)
+    }
+
+    /// Fetches one validated page image through the pool, retrying
+    /// transient faults under the store's policy. A fetch that fails
+    /// verification caches nothing, so the next attempt re-reads the
+    /// backend (a torn read heals; real on-disk rot keeps failing and
+    /// exhausts the retries).
+    fn page_bytes(&self, pool: &BufferPool, id: u32) -> Result<Arc<Vec<u8>>, StoreError> {
+        self.policy.run(
+            &self.retry_stats,
+            StoreError::is_transient,
+            |_attempt| pool.get(id, || self.fetch_verified(id)),
+            |attempts, last| StoreError::RetriesExhausted {
+                op: "read_page",
+                attempts,
+                last: last.to_string(),
+            },
+        )
     }
 
     /// All triples whose subject id lies in `[s_lo, s_hi]`, touching only
@@ -221,9 +356,9 @@ impl<B: PageBackend> PagedTripleStore<B> {
         pool: &BufferPool,
         s_lo: u32,
         s_hi: u32,
-    ) -> Vec<EncodedTriple> {
+    ) -> Result<Vec<EncodedTriple>, StoreError> {
         if self.directory.is_empty() || s_lo > s_hi {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // First page that can contain s_lo: the last page whose first key
         // is <= [s_lo, 0, 0] (the run may start mid-page).
@@ -237,29 +372,31 @@ impl<B: PageBackend> PagedTripleStore<B> {
             if self.directory[id][0] > s_hi {
                 break;
             }
-            for t in self.page(pool, id as u32) {
+            let data = self.page_bytes(pool, id as u32)?;
+            for t in page_triples(&data) {
                 if t[0] >= s_lo && t[0] <= s_hi {
                     out.push(t);
                 } else if t[0] > s_hi {
-                    return out;
+                    return Ok(out);
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// All triples for one subject id.
-    pub fn match_subject(&self, pool: &BufferPool, s: u32) -> Vec<EncodedTriple> {
+    pub fn match_subject(&self, pool: &BufferPool, s: u32) -> Result<Vec<EncodedTriple>, StoreError> {
         self.scan_subject_range(pool, s, s)
     }
 
     /// Full scan (streams every page through the pool).
-    pub fn scan_all(&self, pool: &BufferPool) -> Vec<EncodedTriple> {
+    pub fn scan_all(&self, pool: &BufferPool) -> Result<Vec<EncodedTriple>, StoreError> {
         let mut out = Vec::with_capacity(self.len);
         for id in 0..self.page_count() {
-            out.extend(self.page(pool, id));
+            let data = self.page_bytes(pool, id)?;
+            out.extend(page_triples(&data));
         }
-        out
+        Ok(out)
     }
 
     /// The page ids a subject-range scan would touch — used by the
@@ -284,9 +421,15 @@ impl<B: PageBackend> PagedTripleStore<B> {
     }
 
     /// Preloads a set of pages into the pool without counting misses.
+    ///
+    /// Prefetching is speculation: a page that cannot be read right now is
+    /// simply skipped (the demand path will retry it properly), so faults
+    /// here never surface.
     pub fn prefetch_pages(&self, pool: &BufferPool, pages: &[u32]) {
         for &id in pages {
-            pool.preload(id, || self.backend.read_page(id));
+            // Verify before caching: an unverified speculative page must
+            // never be served to a later demand read.
+            let _ = pool.preload(id, || self.fetch_verified(id));
         }
     }
 }
@@ -310,14 +453,31 @@ mod tests {
         let ts = sorted_triples(100);
         let page = encode_page(&ts[..TRIPLES_PER_PAGE.min(ts.len())]);
         assert_eq!(page.len(), PAGE_SIZE);
-        let back = decode_page(&page);
+        let back = decode_page(&page).unwrap();
         assert_eq!(back, ts[..TRIPLES_PER_PAGE.min(ts.len())]);
+    }
+
+    #[test]
+    fn corrupt_page_fails_checksum() {
+        let ts = sorted_triples(10);
+        let mut page = encode_page(&ts);
+        assert!(decode_page(&page).is_ok());
+        page[PAGE_HEADER + 5] ^= 0x10; // flip one payload bit
+        let err = decode_page(&page).unwrap_err();
+        assert!(err.contains("checksum"), "unexpected defect: {err}");
+        // The unchecked decoder still parses (garbage in, garbage out).
+        let _ = decode_page_unchecked(&page);
+    }
+
+    #[test]
+    fn short_page_is_a_defect_not_a_panic() {
+        assert!(decode_page(&[0u8; 4]).is_err());
     }
 
     #[test]
     fn bulk_load_pages_and_lengths() {
         let ts = sorted_triples(2000); // 4000 triples
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts).unwrap();
         assert_eq!(store.len(), 4000);
         let expected_pages = 4000_usize.div_ceil(TRIPLES_PER_PAGE) as u32;
         assert_eq!(store.page_count(), expected_pages);
@@ -326,9 +486,9 @@ mod tests {
     #[test]
     fn subject_range_scan_is_correct() {
         let ts = sorted_triples(2000);
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts).unwrap();
         let pool = BufferPool::new(16);
-        let got = store.scan_subject_range(&pool, 100, 199);
+        let got = store.scan_subject_range(&pool, 100, 199).unwrap();
         assert_eq!(got.len(), 200);
         assert!(got.iter().all(|t| t[0] >= 100 && t[0] <= 199));
         // Against brute force.
@@ -343,9 +503,9 @@ mod tests {
     #[test]
     fn windowed_scan_touches_few_pages() {
         let ts = sorted_triples(50_000); // 100k triples, ~147 pages
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts).unwrap();
         let pool = BufferPool::new(8);
-        store.scan_subject_range(&pool, 1000, 1100);
+        store.scan_subject_range(&pool, 1000, 1100).unwrap();
         let reads = store.physical_reads();
         assert!(
             reads <= 3,
@@ -356,43 +516,43 @@ mod tests {
     #[test]
     fn full_scan_reads_every_page_once_with_big_pool() {
         let ts = sorted_triples(5000);
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts).unwrap();
         let pool = BufferPool::new(1024);
-        let all = store.scan_all(&pool);
+        let all = store.scan_all(&pool).unwrap();
         assert_eq!(all.len(), 10_000);
         assert_eq!(store.physical_reads(), store.page_count() as u64);
         // Second scan: all pages resident.
-        store.scan_all(&pool);
+        store.scan_all(&pool).unwrap();
         assert_eq!(store.physical_reads(), store.page_count() as u64);
     }
 
     #[test]
     fn small_pool_rereads_under_repeated_scans() {
         let ts = sorted_triples(5000);
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts).unwrap();
         let pool = BufferPool::new(2);
-        store.scan_all(&pool);
-        store.scan_all(&pool);
+        store.scan_all(&pool).unwrap();
+        store.scan_all(&pool).unwrap();
         assert!(store.physical_reads() > store.page_count() as u64);
     }
 
     #[test]
     fn match_subject_on_boundaries() {
         let ts = sorted_triples(3000);
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts).unwrap();
         let pool = BufferPool::new(8);
-        assert_eq!(store.match_subject(&pool, 0).len(), 2);
-        assert_eq!(store.match_subject(&pool, 2999).len(), 2);
-        assert_eq!(store.match_subject(&pool, 3000).len(), 0);
+        assert_eq!(store.match_subject(&pool, 0).unwrap().len(), 2);
+        assert_eq!(store.match_subject(&pool, 2999).unwrap().len(), 2);
+        assert_eq!(store.match_subject(&pool, 3000).unwrap().len(), 0);
     }
 
     #[test]
     fn pages_for_range_matches_actual_touch_set() {
         let ts = sorted_triples(20_000);
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &ts).unwrap();
         let pages = store.pages_for_subject_range(5000, 5500);
         let pool = BufferPool::new(64);
-        store.scan_subject_range(&pool, 5000, 5500);
+        store.scan_subject_range(&pool, 5000, 5500).unwrap();
         // The scan may stop early on the last page, so the predicted set is
         // a superset within one page.
         let reads = store.physical_reads();
@@ -406,19 +566,41 @@ mod tests {
         let path = dir.join("test.pages");
         let ts = sorted_triples(1000);
         let backend = FileBackend::create(&path).unwrap();
-        let store = PagedTripleStore::bulk_load(backend, &ts);
+        let store = PagedTripleStore::bulk_load(backend, &ts).unwrap();
         let pool = BufferPool::new(4);
-        let got = store.scan_subject_range(&pool, 10, 20);
+        let got = store.scan_subject_range(&pool, 10, 20).unwrap();
         assert_eq!(got.len(), 22);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn file_backend_out_of_range_read_is_typed() {
+        let dir = std::env::temp_dir().join(format!("wodex_pages_oor_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oor.pages");
+        let backend = FileBackend::create(&path).unwrap();
+        assert!(matches!(
+            backend.read_page(0),
+            Err(StoreError::NoSuchPage { page: 0, pages: 0 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_backend_out_of_range_read_is_typed() {
+        let b = MemBackend::new();
+        assert!(matches!(
+            b.read_page(3),
+            Err(StoreError::NoSuchPage { page: 3, pages: 0 })
+        ));
+    }
+
+    #[test]
     fn empty_store() {
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), &[]);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), &[]).unwrap();
         let pool = BufferPool::new(4);
         assert!(store.is_empty());
-        assert!(store.scan_subject_range(&pool, 0, 10).is_empty());
-        assert!(store.scan_all(&pool).is_empty());
+        assert!(store.scan_subject_range(&pool, 0, 10).unwrap().is_empty());
+        assert!(store.scan_all(&pool).unwrap().is_empty());
     }
 }

@@ -68,14 +68,33 @@ impl<V: Clone> TilePrefetcher<V> {
     /// when it is not resident. Returns the payload and then prefetches
     /// predicted tiles.
     pub fn request(&mut self, tile: Tile, mut fetch: impl FnMut(Tile) -> V) -> V {
-        let value = if self.cache.get(&tile).is_some() {
-            self.stats.demand_hits += 1;
-            self.cache.get(&tile).cloned().expect("just checked")
-        } else {
-            self.stats.demand_misses += 1;
-            let v = fetch(tile);
-            self.cache.put(tile, v.clone());
-            v
+        match self.try_request(tile, |t| Ok::<V, std::convert::Infallible>(fetch(t))) {
+            Ok(v) => v,
+        }
+    }
+
+    /// Fallible [`TilePrefetcher::request`]: a failed *demand* fetch
+    /// propagates its error (nothing is cached); a failed *speculative*
+    /// fetch is dropped silently — prefetching is best-effort, and the
+    /// demand path will retry the tile properly if it is ever needed.
+    pub fn try_request<E>(
+        &mut self,
+        tile: Tile,
+        mut fetch: impl FnMut(Tile) -> Result<V, E>,
+    ) -> Result<V, E> {
+        // Single lookup: get-then-get on the LRU would bump recency twice
+        // and TOCTOU-races against any future interior mutability.
+        let value = match self.cache.get(&tile).cloned() {
+            Some(v) => {
+                self.stats.demand_hits += 1;
+                v
+            }
+            None => {
+                self.stats.demand_misses += 1;
+                let v = fetch(tile)?;
+                self.cache.put(tile, v.clone());
+                v
+            }
         };
         self.history.push(tile);
         if self.history.len() > 8 {
@@ -83,12 +102,13 @@ impl<V: Clone> TilePrefetcher<V> {
         }
         for t in self.predict() {
             if !self.cache.peek(&t) {
-                let v = fetch(t);
-                self.cache.put(t, v);
-                self.stats.prefetched += 1;
+                if let Ok(v) = fetch(t) {
+                    self.cache.put(t, v);
+                    self.stats.prefetched += 1;
+                }
             }
         }
-        value
+        Ok(value)
     }
 
     /// Predicts the next tiles by extrapolating the last movement vector.
@@ -165,6 +185,33 @@ mod tests {
         let mut pf: TilePrefetcher<String> = TilePrefetcher::new(4, 1);
         let v = pf.request((3, 4), |t| format!("{},{}", t.0, t.1));
         assert_eq!(v, "3,4");
+    }
+
+    #[test]
+    fn demand_fetch_error_propagates_and_caches_nothing() {
+        let mut pf: TilePrefetcher<i64> = TilePrefetcher::new(8, 2);
+        let r = pf.try_request((0, 0), |_| Err::<i64, &str>("disk gone"));
+        assert_eq!(r, Err("disk gone"));
+        // Next demand for the same tile is a miss — nothing was cached.
+        let v = pf.try_request((0, 0), |_| Ok::<_, &str>(9)).unwrap();
+        assert_eq!(v, 9);
+        assert_eq!(pf.stats().demand_hits, 0);
+        assert_eq!(pf.stats().demand_misses, 2);
+    }
+
+    #[test]
+    fn speculative_fetch_errors_are_swallowed() {
+        let mut pf: TilePrefetcher<i64> = TilePrefetcher::new(64, 3);
+        pf.try_request((0, 0), |t| Ok::<_, &str>(t.0)).unwrap();
+        // Second request establishes momentum; speculative fetches fail.
+        let v = pf
+            .try_request((1, 0), |t| if t == (1, 0) { Ok(1) } else { Err("flaky") })
+            .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(pf.stats().prefetched, 0);
+        // A later demand for the never-prefetched tile still works.
+        let v = pf.try_request((2, 0), |_| Ok::<_, &str>(2)).unwrap();
+        assert_eq!(v, 2);
     }
 
     #[test]

@@ -14,4 +14,17 @@ cargo test --workspace -q --offline
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> chaos fault sweep (3 seeds x fault rates 0-20%)"
+for seed in 1 42 20160315; do
+    echo "    WODEX_FAULT_SEED=$seed"
+    WODEX_FAULT_SEED=$seed cargo test -q --offline --test chaos
+done
+
+echo "==> repro bench-pr2 (fault-free overhead gate <= 10%)"
+cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr2
+grep -q '"gate_ok": true' BENCH_PR2.json || {
+    echo "verify: FAIL — resilience overhead exceeds the 10% gate (see BENCH_PR2.json)"
+    exit 1
+}
+
 echo "verify: OK"

@@ -35,6 +35,7 @@ pub use wodex_graph as graph;
 pub use wodex_hetree as hetree;
 pub use wodex_rdf as rdf;
 pub use wodex_registry as registry;
+pub use wodex_resilience as resilience;
 pub use wodex_sparql as sparql;
 pub use wodex_store as store;
 pub use wodex_synth as synth;

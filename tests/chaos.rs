@@ -1,0 +1,231 @@
+//! Chaos property suite: the fault-tolerance contract of the disk path
+//! and the graceful-degradation contract of budgeted evaluation.
+//!
+//! Every case is seeded (set `WODEX_FAULT_SEED` to reproduce a sweep;
+//! `scripts/verify.sh` runs three seeds) and sweeps injected fault rates
+//! from 0 to 20%. The invariants:
+//!
+//! 1. **No panics, ever.** Any failure surfaces as a typed
+//!    [`StoreError`] — reaching an `assert!` below means the process
+//!    survived the fault.
+//! 2. **No silent corruption.** A scan that returns `Ok` under injected
+//!    torn reads is byte-identical to the fault-free baseline — the
+//!    per-page checksums catch every tear before it decodes.
+//! 3. **Fault rate 0 is the identity.** A `FaultBackend` injecting
+//!    nothing is bit-identical to the bare backend, at every thread
+//!    count — the same determinism contract `parallel_equivalence.rs`
+//!    checks for the fault-free engine.
+//! 4. **Budgets degrade, they don't break.** Over-budget queries return
+//!    flagged partial results whose rows are a subset of the full
+//!    answer.
+
+use wodex::exec::with_thread_override;
+use wodex::resilience::{Budget, DegradeReason, StoreError};
+use wodex::sparql;
+use wodex::store::buffer::BufferPool;
+use wodex::store::fault::{FaultBackend, FaultConfig};
+use wodex::store::paged::{MemBackend, PagedTripleStore};
+use wodex::store::TripleStore;
+use wodex::synth::dbpedia::{self, DbpediaConfig};
+use wodex::synth::rng::{Rng, SeedableRng, StdRng};
+
+/// Base seed for the sweep; override with `WODEX_FAULT_SEED=<n>`.
+fn base_seed() -> u64 {
+    std::env::var("WODEX_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+const FAULT_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// A subject-sorted synthetic dataset (~44 pages at 8 triples/subject).
+fn triples(n: u32) -> Vec<[u32; 3]> {
+    let mut v: Vec<[u32; 3]> = (0..n).map(|i| [i / 8, i % 5, i]).collect();
+    v.sort_unstable();
+    v
+}
+
+fn faulty_store(
+    data: &[[u32; 3]],
+    seed: u64,
+    rate: f64,
+) -> PagedTripleStore<FaultBackend<MemBackend>> {
+    let backend = FaultBackend::new(MemBackend::new(), FaultConfig::chaos(seed, rate));
+    PagedTripleStore::bulk_load(backend, data).expect("bulk_load writes are fault-free")
+}
+
+/// Allowed failure under transient/torn chaos: only retry exhaustion —
+/// never `Io`, `NoSuchPage`, or a raw `Corrupt` escaping the retry loop.
+fn assert_typed(e: &StoreError) {
+    assert!(
+        matches!(e, StoreError::RetriesExhausted { .. }),
+        "chaos must surface as RetriesExhausted, got: {e}"
+    );
+}
+
+#[test]
+fn disk_scans_survive_chaos_or_fail_typed() {
+    let data = triples(20_000);
+    let plain =
+        PagedTripleStore::bulk_load(MemBackend::new(), &data).expect("fault-free bulk_load");
+    let pool = BufferPool::new(8);
+    let baseline_all = plain.scan_all(&pool).expect("fault-free scan");
+    let baseline_window = plain
+        .scan_subject_range(&pool, 100, 160)
+        .expect("fault-free scan");
+
+    for case in 0..3u64 {
+        let seed = base_seed().wrapping_add(case);
+        for &rate in &FAULT_RATES {
+            let store = faulty_store(&data, seed, rate);
+            // A tiny pool forces real (injected) backend reads on every
+            // scan instead of serving from cache.
+            let pool = BufferPool::new(4);
+            match store.scan_all(&pool) {
+                Ok(v) => assert_eq!(v, baseline_all, "silent corruption at rate {rate}"),
+                Err(e) => {
+                    assert!(rate > 0.0, "fault-free scan must not fail");
+                    assert_typed(&e);
+                }
+            }
+            match store.scan_subject_range(&pool, 100, 160) {
+                Ok(v) => assert_eq!(v, baseline_window),
+                Err(e) => assert_typed(&e),
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x51CA);
+            for _ in 0..5 {
+                let s = rng.random_range(0u32..20_000 / 8);
+                match store.match_subject(&pool, s) {
+                    Ok(v) => assert!(v.iter().all(|t| t[0] == s)),
+                    Err(e) => assert_typed(&e),
+                }
+            }
+            if rate >= 0.10 {
+                // The injector really fired; the retry loop healed (or
+                // typed-failed) every one of those faults above.
+                assert!(
+                    store.backend().fault_stats().total() > 0,
+                    "rate {rate} injected nothing"
+                );
+            }
+            if rate == 0.0 {
+                assert_eq!(store.backend().fault_stats().total(), 0);
+                assert_eq!(store.retry_stats().retries, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_rate_zero_is_bit_identical_at_every_thread_count() {
+    let data = triples(8_000);
+    let plain =
+        PagedTripleStore::bulk_load(MemBackend::new(), &data).expect("fault-free bulk_load");
+    let quiet = faulty_store(&data, base_seed(), 0.0);
+    for threads in [1, 4] {
+        let (a, b) = with_thread_override(threads, || {
+            let pa = BufferPool::new(16);
+            let pb = BufferPool::new(16);
+            (
+                plain.scan_all(&pa).expect("fault-free"),
+                quiet.scan_all(&pb).expect("rate 0 injects nothing"),
+            )
+        });
+        assert_eq!(a, b, "idle FaultBackend changed bytes at {threads} threads");
+    }
+}
+
+#[test]
+fn sticky_corruption_exhausts_retries_with_typed_errors() {
+    let data = triples(20_000);
+    let config = FaultConfig {
+        sticky_corrupt_rate: 0.3,
+        ..FaultConfig::quiet(base_seed())
+    };
+    let backend = FaultBackend::new(MemBackend::new(), config);
+    let store = PagedTripleStore::bulk_load(backend, &data).expect("writes are fault-free");
+    let pool = BufferPool::new(4);
+    // 30% of pages are permanently torn: the full scan must hit one,
+    // exhaust its retries, and report it — not panic, not return bytes.
+    let err = store.scan_all(&pool).expect_err("sticky pages cannot heal");
+    assert_typed(&err);
+    assert!(store.retry_stats().giveups >= 1);
+    // Pages the injector left alone still read fine. Pick a subject
+    // whose 8 triples sit strictly inside one healthy page.
+    let healthy = (0..store.page_count()).find(|&p| !store.backend().is_sticky_corrupt(p));
+    if let Some(p) = healthy {
+        let tpp = wodex::store::paged::TRIPLES_PER_PAGE as u32;
+        let s = (p * tpp + 16) / 8; // triples [s*8, s*8+8) ⊂ page p
+        assert!(store.match_subject(&pool, s).is_ok());
+    }
+}
+
+/// One budgeted-query chaos case: a random budget against a fixed query
+/// set. Returns the number of degraded results observed.
+fn budget_case(store: &TripleStore, full_rows: &[Vec<Option<wodex::rdf::Term>>], rng: &mut StdRng) -> usize {
+    const Q: &str = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                     SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p }";
+    let kind = rng.random_range(0u32..5);
+    let budget = match kind {
+        0 => Budget::unlimited(),
+        1 => Budget::unlimited().with_row_cap(rng.random_range(1u64..50)),
+        2 => Budget::unlimited().with_expired_deadline(),
+        3 => Budget::unlimited().with_deadline(std::time::Duration::from_secs(60)),
+        _ => {
+            let b = Budget::unlimited();
+            b.cancel();
+            b
+        }
+    };
+    let out = sparql::query_budgeted(store, Q, &budget).expect("budgets never error");
+    let rows = &out.result.table().expect("SELECT").rows;
+    // Soundness: every degraded row is a row of the full answer.
+    assert!(
+        rows.iter().all(|r| full_rows.contains(r)),
+        "degraded result fabricated a row"
+    );
+    match (kind, &out.degraded) {
+        // Unlimited and generous-deadline budgets must not degrade and
+        // must be bit-identical to the plain evaluation.
+        (0 | 3, d) => {
+            assert!(d.is_none(), "in-budget query flagged degraded: {d:?}");
+            assert_eq!(rows, full_rows);
+        }
+        (2, Some(d)) => assert_eq!(d.reason, DegradeReason::DeadlineExceeded),
+        (4, Some(d)) => assert_eq!(d.reason, DegradeReason::Cancelled),
+        (1, Some(d)) => {
+            assert_eq!(d.reason, DegradeReason::RowCapExceeded);
+            assert!(rows.len() < full_rows.len());
+        }
+        (_, None) => panic!("tripped budget came back un-flagged"),
+        _ => unreachable!(),
+    }
+    if let Some(d) = &out.degraded {
+        assert!((0.0..=1.0).contains(&d.coverage), "coverage {}", d.coverage);
+    }
+    usize::from(out.degraded.is_some())
+}
+
+#[test]
+fn budgeted_queries_degrade_soundly_never_panic() {
+    let store = TripleStore::from_graph(&dbpedia::generate(&DbpediaConfig {
+        entities: 400,
+        ..Default::default()
+    }));
+    let full = sparql::query(
+        &store,
+        "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+         SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p }",
+    )
+    .expect("full query");
+    let full_rows = full.table().expect("SELECT").rows.clone();
+    assert!(full_rows.len() >= 100, "need a non-trivial answer");
+
+    let mut rng = StdRng::seed_from_u64(base_seed() ^ 0xB0D6E7);
+    let mut degraded = 0;
+    for _ in 0..24 {
+        degraded += budget_case(&store, &full_rows, &mut rng);
+    }
+    assert!(degraded >= 5, "sweep never exercised degradation");
+}

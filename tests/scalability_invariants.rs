@@ -27,11 +27,13 @@ fn paged_store_memory_is_pool_bounded() {
     // 200k triples, a pool of 16 pages: resident memory never exceeds the
     // pool whatever the access pattern.
     let triples: Vec<[u32; 3]> = (0..200_000u32).map(|i| [i / 10, 0, i]).collect();
-    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples);
+    let store = PagedTripleStore::bulk_load(MemBackend::new(), &triples).expect("in-memory load");
     let pool = BufferPool::new(16);
-    store.scan_all(&pool);
+    store.scan_all(&pool).expect("fault-free scan");
     assert_eq!(pool.resident(), 16);
-    store.scan_subject_range(&pool, 100, 5000);
+    store
+        .scan_subject_range(&pool, 100, 5000)
+        .expect("fault-free scan");
     assert!(pool.resident() <= 16);
     assert!(store.page_count() as usize > 16 * 10, "dataset ≫ pool");
 }
@@ -41,9 +43,11 @@ fn windowed_io_is_result_bounded_not_data_bounded() {
     let small: Vec<[u32; 3]> = (0..50_000u32).map(|i| [i / 10, 0, i]).collect();
     let large: Vec<[u32; 3]> = (0..500_000u32).map(|i| [i / 10, 0, i]).collect();
     let reads_for = |triples: &[[u32; 3]]| {
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), triples);
+        let store = PagedTripleStore::bulk_load(MemBackend::new(), triples).expect("in-memory load");
         let pool = BufferPool::new(8);
-        store.scan_subject_range(&pool, 1000, 1050);
+        store
+            .scan_subject_range(&pool, 1000, 1050)
+            .expect("fault-free scan");
         store.physical_reads()
     };
     let r_small = reads_for(&small);
@@ -104,8 +108,9 @@ fn quadtree_visits_scale_with_window_not_extent() {
 
 #[test]
 fn page_capacity_constant_is_consistent() {
-    // 12 bytes per triple + 4-byte header in an 8 KiB page.
-    assert_eq!(TRIPLES_PER_PAGE, (8192 - 4) / 12);
+    // 12 bytes per triple behind a 12-byte header (8-byte checksum +
+    // 4-byte count) in an 8 KiB page.
+    assert_eq!(TRIPLES_PER_PAGE, (8192 - 12) / 12);
 }
 
 #[test]
