@@ -15,6 +15,7 @@ pub mod crit;
 pub mod experiments;
 pub mod faultbench;
 pub mod parbench;
+pub mod servebench;
 pub mod workloads;
 
 /// Formats a duration in adaptive units.

@@ -1,0 +1,396 @@
+//! Load generator for the `wodex-serve` HTTP layer (PR 3).
+//!
+//! [`report`] boots an in-process [`Server`] over a synthetic DBpedia-like
+//! graph and drives it two ways:
+//!
+//! 1. **Closed loop** — N concurrent clients (default 64), each issuing
+//!    its next request only after the previous response completes, over a
+//!    seeded mix of `/sparql`, `/explore/*`, `/viz/*`, and `/stats`
+//!    traffic. Reports throughput and p50/p95/p99 latency. The gate:
+//!    **zero dropped connections** — every request gets a complete,
+//!    well-formed HTTP response (ISSUE acceptance: ≥64 concurrent
+//!    connections, no drops).
+//! 2. **Open burst** — a deliberately tiny server (one worker, one queue
+//!    slot) hit by a burst whose arrivals don't wait for completions.
+//!    The gate: overload produces `503` + `Retry-After` (admission
+//!    control sheds; it never queues without bound and never drops).
+//!
+//! Environment overrides: `WODEX_SERVE_CONNS` (closed-loop clients),
+//! `WODEX_SERVE_REQS` (requests per client), `WODEX_SERVE_ENTITIES`
+//! (dataset size).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use wodex_core::Explorer;
+use wodex_serve::{RunningServer, ServeConfig, Server};
+use wodex_synth::rng::Rng;
+
+const POP: &str = "http://dbp.example.org/ontology/population";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One request's outcome as seen by a client.
+struct Outcome {
+    status: u16,
+    latency: Duration,
+    retry_after: bool,
+}
+
+/// Sends one request and reads the full response (the server closes the
+/// connection). `None` means a dropped connection: connect/write/read
+/// failure or an unparseable response.
+fn roundtrip(addr: SocketAddr, raw: &str) -> Option<Outcome> {
+    let start = Instant::now();
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+    s.write_all(raw.as_bytes()).ok()?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).ok()?;
+    let latency = start.elapsed();
+    let head = std::str::from_utf8(&buf[..buf.len().min(512)]).ok()?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    // A complete response carries the full head; chunked bodies end with
+    // the terminal chunk — both imply the final CRLFCRLF arrived.
+    if !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        return None;
+    }
+    Some(Outcome {
+        status,
+        latency,
+        retry_after: head.to_ascii_lowercase().contains("retry-after:"),
+    })
+}
+
+fn get(addr: SocketAddr, target: &str) -> Option<Outcome> {
+    roundtrip(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> Option<Outcome> {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Draws the next request from the seeded mix and performs it.
+/// `session` is this client's own exploration session token.
+fn one_request<R: Rng>(addr: SocketAddr, session: &str, rng: &mut R) -> Option<Outcome> {
+    match rng.random_range(0..10u32) {
+        0..=2 => post(
+            addr,
+            "/sparql",
+            &format!("SELECT ?s ?v WHERE {{ ?s <{POP}> ?v }}"),
+        ),
+        3 => post(addr, "/sparql", "ASK { ?s ?p ?o }"),
+        4 => get(addr, &format!("/explore/overview?session={session}")),
+        5 => get(addr, &format!("/explore/facets?session={session}")),
+        6 => {
+            let lo = rng.random_range(0..500_000u64);
+            get(
+                addr,
+                &format!("/explore/zoom?session={session}&predicate={POP}&lo={lo}&hi=1e12"),
+            )
+        }
+        7 => get(addr, &format!("/explore/hits?session={session}&q=city&limit=10")),
+        8 => get(addr, &format!("/viz/hist?predicate={POP}&bins=16")),
+        _ => get(addr, "/stats"),
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted_ms.len() as f64 * p).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+struct ClosedLoopResult {
+    requests: u64,
+    dropped: u64,
+    errors: u64,
+    shed: u64,
+    elapsed: Duration,
+    latencies_ms: Vec<f64>,
+}
+
+/// The closed loop: each of `conns` clients opens a session, then issues
+/// `reqs_per_conn` mixed requests back-to-back.
+fn closed_loop(addr: SocketAddr, conns: usize, reqs_per_conn: usize) -> ClosedLoopResult {
+    let dropped = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let (dropped, errors, shed) = (&dropped, &errors, &shed);
+                scope.spawn(move || {
+                    let mut rng = wodex_synth::rng(0x5E47E + c as u64);
+                    let mut lats = Vec::with_capacity(reqs_per_conn + 1);
+                    let open_start = Instant::now();
+                    let session = open_session(addr);
+                    if session.is_empty() {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        lats.push(open_start.elapsed().as_secs_f64() * 1e3);
+                    }
+                    for _ in 0..reqs_per_conn {
+                        match one_request(addr, &session, &mut rng) {
+                            Some(o) => {
+                                lats.push(o.latency.as_secs_f64() * 1e3);
+                                // A 503 with Retry-After is admission control
+                                // doing its job, not a failure.
+                                if o.status == 503 && o.retry_after {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                } else if o.status != 200 {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            None => {
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies_ms.extend(h.join().expect("client thread"));
+        }
+    });
+    let elapsed = start.elapsed();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    ClosedLoopResult {
+        requests: latencies_ms.len() as u64,
+        dropped: dropped.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        elapsed,
+        latencies_ms,
+    }
+}
+
+/// Opens a session and returns its token, honouring `Retry-After` by
+/// backing off and retrying when the open itself is shed. Returns an
+/// empty string only after persistent failure.
+fn open_session(addr: SocketAddr) -> String {
+    let raw = "POST /explore/open HTTP/1.1\r\nHost: b\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    for attempt in 0..5 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(100 * attempt));
+        }
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+        if s.write_all(raw.as_bytes()).is_err() {
+            continue;
+        }
+        let mut buf = Vec::new();
+        if s.read_to_end(&mut buf).is_err() {
+            continue;
+        }
+        let text = String::from_utf8_lossy(&buf);
+        if let Some(token) = text
+            .split("\"session\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+        {
+            return token.to_string();
+        }
+    }
+    String::new()
+}
+
+struct BurstResult {
+    requests: u64,
+    served: u64,
+    shed: u64,
+    shed_with_retry_after: u64,
+    dropped: u64,
+}
+
+/// The open burst: `n` one-shot clients fire simultaneously at a server
+/// with one worker and a one-slot queue. Arrivals don't wait for
+/// completions, so most of the burst must be shed — with `Retry-After`,
+/// never by dropping the connection.
+fn open_burst(addr: SocketAddr, n: usize) -> BurstResult {
+    let served = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let shed_ra = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..n {
+            let (served, shed, shed_ra, dropped) = (&served, &shed, &shed_ra, &dropped);
+            scope.spawn(move || match get(addr, "/healthz") {
+                Some(o) if o.status == 200 => {
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(o) if o.status == 503 => {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                    if o.retry_after {
+                        shed_ra.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Some(_) | None => {
+                    dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    BurstResult {
+        requests: n as u64,
+        served: served.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        shed_with_retry_after: shed_ra.load(Ordering::Relaxed),
+        dropped: dropped.load(Ordering::Relaxed),
+    }
+}
+
+fn boot(explorer: Explorer, cfg: ServeConfig) -> RunningServer {
+    Server::bind(explorer, cfg).expect("bind ephemeral port").spawn()
+}
+
+/// Runs both phases and returns the `BENCH_PR3.json` document.
+pub fn report() -> String {
+    let conns = env_usize("WODEX_SERVE_CONNS", 64);
+    let reqs_per_conn = env_usize("WODEX_SERVE_REQS", 8);
+    let entities = env_usize("WODEX_SERVE_ENTITIES", 1_000);
+
+    // Phase 1 — closed loop on a production-shaped config. The queue is
+    // sized to the client count: a closed loop never has more than
+    // `conns` requests outstanding, so nothing is shed and the
+    // dropped-connection gate is meaningful.
+    let graph = crate::workloads::dbpedia_graph(entities);
+    let server = boot(
+        Explorer::from_graph(graph),
+        ServeConfig {
+            queue_depth: conns.max(64),
+            session_capacity: conns.max(64) * 2,
+            // A closed loop has at most `conns` requests outstanding;
+            // queued requests are still live, so give them time instead
+            // of shedding a backlog the clients are actively waiting on.
+            max_queue_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        },
+    );
+    let closed = closed_loop(server.addr(), conns, reqs_per_conn);
+    let shed_during_closed = server.state().counters.shed_total();
+    server.shutdown().expect("clean shutdown");
+
+    // Phase 2 — open burst against a tiny server to prove the shedding
+    // path: one worker, one queue slot.
+    let burst_n = (conns * 2).max(32);
+    let graph = crate::workloads::dbpedia_graph(200);
+    let server = boot(
+        Explorer::from_graph(graph),
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let burst = open_burst(server.addr(), burst_n);
+    server.shutdown().expect("clean shutdown");
+
+    let throughput = closed.requests as f64 / closed.elapsed.as_secs_f64().max(1e-9);
+    let p50 = percentile(&closed.latencies_ms, 0.50);
+    let p95 = percentile(&closed.latencies_ms, 0.95);
+    let p99 = percentile(&closed.latencies_ms, 0.99);
+
+    // Gates: the closed loop drops nothing and errors nothing (shedding
+    // with Retry-After is permitted back-pressure, not failure); the
+    // burst drops nothing and every shed response carried Retry-After.
+    let gate_ok = closed.dropped == 0
+        && closed.errors == 0
+        && burst.dropped == 0
+        && burst.shed == burst.shed_with_retry_after
+        && burst.served + burst.shed == burst.requests;
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"wodex-serve admission control and streaming under load\",\n",
+            "  \"gate_ok\": {gate_ok},\n",
+            "  \"closed_loop\": {{\n",
+            "    \"connections\": {conns},\n",
+            "    \"requests\": {requests},\n",
+            "    \"dropped_connections\": {dropped},\n",
+            "    \"error_responses\": {errors},\n",
+            "    \"shed_responses_observed\": {shed_observed},\n",
+            "    \"shed_responses_server\": {shed_closed},\n",
+            "    \"elapsed_s\": {elapsed:.3},\n",
+            "    \"throughput_rps\": {throughput:.1},\n",
+            "    \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}}\n",
+            "  }},\n",
+            "  \"open_burst\": {{\n",
+            "    \"requests\": {burst_requests},\n",
+            "    \"served\": {burst_served},\n",
+            "    \"shed_503\": {burst_shed},\n",
+            "    \"shed_with_retry_after\": {burst_shed_ra},\n",
+            "    \"dropped_connections\": {burst_dropped}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        gate_ok = gate_ok,
+        conns = conns,
+        requests = closed.requests,
+        dropped = closed.dropped,
+        errors = closed.errors,
+        shed_observed = closed.shed,
+        shed_closed = shed_during_closed,
+        elapsed = closed.elapsed.as_secs_f64(),
+        throughput = throughput,
+        p50 = p50,
+        p95 = p95,
+        p99 = p99,
+        burst_requests = burst.requests,
+        burst_served = burst.served,
+        burst_shed = burst.shed,
+        burst_shed_ra = burst.shed_with_retry_after,
+        burst_dropped = burst.dropped,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn tiny_closed_loop_completes_without_drops() {
+        let graph = crate::workloads::dbpedia_graph(60);
+        let server = boot(Explorer::from_graph(graph), ServeConfig::default());
+        let r = closed_loop(server.addr(), 4, 3);
+        server.shutdown().expect("clean shutdown");
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.requests, 4 * (3 + 1)); // +1: each client's open
+        assert!(r.latencies_ms.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -129,7 +129,7 @@ impl GraphView {
 /// The unified framework: one value that loads a dataset and exposes
 /// every capability of the workspace.
 pub struct Explorer {
-    graph: Graph,
+    graph: std::sync::Arc<Graph>,
     store: TripleStore,
     pipeline: LdvmPipeline,
     session: ExplorationSession,
@@ -139,10 +139,11 @@ pub struct Explorer {
 impl Explorer {
     /// Loads from an in-memory [`Graph`].
     pub fn from_graph(graph: Graph) -> Explorer {
+        let graph = std::sync::Arc::new(graph);
         let store = TripleStore::from_graph(&graph);
         let prefs = UserPreferences::default();
-        let pipeline = LdvmPipeline::new(graph.clone()).with_prefs(prefs.clone());
-        let session = ExplorationSession::new(graph.clone());
+        let pipeline = LdvmPipeline::new((*graph).clone()).with_prefs(prefs.clone());
+        let session = ExplorationSession::shared(std::sync::Arc::clone(&graph));
         Explorer {
             graph,
             store,
@@ -165,13 +166,19 @@ impl Explorer {
     /// Replaces the preferences (re-wires the LDVM pipeline).
     pub fn with_prefs(mut self, prefs: UserPreferences) -> Explorer {
         self.prefs = prefs.clone();
-        self.pipeline = LdvmPipeline::new(self.graph.clone()).with_prefs(prefs);
+        self.pipeline = LdvmPipeline::new((*self.graph).clone()).with_prefs(prefs);
         self
     }
 
     /// The loaded graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The shared graph handle. Servers open further
+    /// [`ExplorationSession`]s from this without copying the dataset.
+    pub fn shared_graph(&self) -> std::sync::Arc<Graph> {
+        std::sync::Arc::clone(&self.graph)
     }
 
     /// The dictionary-encoded store.

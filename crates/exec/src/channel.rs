@@ -5,7 +5,9 @@
 //! place to get its channels from — the role crossbeam's `bounded` played
 //! before the workspace went registry-free.
 
-pub use std::sync::mpsc::{Receiver, RecvError, SendError, SyncSender as Sender, TryRecvError};
+pub use std::sync::mpsc::{
+    Receiver, RecvError, SendError, SyncSender as Sender, TryRecvError, TrySendError,
+};
 
 /// Creates a bounded channel with capacity `cap`.
 ///

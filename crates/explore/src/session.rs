@@ -13,6 +13,7 @@ use crate::browse::ResourceView;
 use crate::facets::FacetEngine;
 use crate::search::{Hit, SearchIndex};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use wodex_rdf::{Graph, Term, Value};
 
 /// One step of an exploration session.
@@ -65,16 +66,28 @@ impl std::fmt::Display for Operation {
 }
 
 /// A live exploration session over one graph.
+///
+/// The graph is held behind an [`Arc`], so a server hosting thousands of
+/// concurrent sessions over the same loaded dataset pays for the facet
+/// engine and search index per session, never for another copy of the
+/// triples.
 pub struct ExplorationSession {
-    graph: Graph,
+    graph: Arc<Graph>,
     facets: FacetEngine,
     search: SearchIndex,
     log: Vec<Operation>,
 }
 
 impl ExplorationSession {
-    /// Opens a session (builds the facet engine and search index).
+    /// Opens a session over an owned graph (wraps it in an [`Arc`]).
     pub fn new(graph: Graph) -> ExplorationSession {
+        ExplorationSession::shared(Arc::new(graph))
+    }
+
+    /// Opens a session over a shared graph handle — the multi-session
+    /// form: every session built from the same `Arc` reads the same
+    /// triples without cloning them.
+    pub fn shared(graph: Arc<Graph>) -> ExplorationSession {
         let facets = FacetEngine::new(&graph);
         let search = SearchIndex::build(&graph);
         ExplorationSession {
@@ -88,6 +101,11 @@ impl ExplorationSession {
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The shared graph handle (cheap to clone into further sessions).
+    pub fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// The facet engine (counts reflect the session's filters).
@@ -315,6 +333,16 @@ mod tests {
         assert!(t.contains("1. filter"));
         assert!(t.contains("2. zoom"));
         assert!(t.contains("resources match"));
+    }
+
+    #[test]
+    fn shared_sessions_reuse_one_graph() {
+        let g = Arc::new(graph());
+        let a = ExplorationSession::shared(Arc::clone(&g));
+        let b = ExplorationSession::shared(a.shared_graph());
+        // Three handles (local + two sessions), one graph.
+        assert_eq!(Arc::strong_count(&g), 3);
+        assert_eq!(a.overview(), b.overview());
     }
 
     #[test]

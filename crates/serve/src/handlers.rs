@@ -1,0 +1,625 @@
+//! Endpoint handlers.
+//!
+//! | Endpoint | Method | Purpose |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness |
+//! | `/stats` | GET | server + store + exec + session counters |
+//! | `/sparql` | POST | budgeted query, chunked SPARQL-JSON streaming |
+//! | `/explore/open` | GET/POST | open a session, returns its token |
+//! | `/explore/overview` | GET | class → instance counts (streamed) |
+//! | `/explore/facets` | GET | facet predicates and cardinalities |
+//! | `/explore/filter` | GET | apply a facet filter |
+//! | `/explore/zoom` | GET | apply a numeric range restriction |
+//! | `/explore/search` | GET | apply a keyword restriction |
+//! | `/explore/hits` | GET | stateless ranked keyword preview |
+//! | `/explore/details` | GET | resource view (details-on-demand) |
+//! | `/explore/undo` | GET | undo the last operation |
+//! | `/explore/trace` | GET | the session narrative (text) |
+//! | `/viz/recommend` | GET | ranked chart recommendations |
+//! | `/viz/chart` | GET | budgeted LDVM pipeline → SVG |
+//! | `/viz/hist` | GET | budgeted histogram, bins streamed |
+//! | `/admin/shutdown` | POST | graceful stop |
+//!
+//! Degraded (budget-tripped) answers are **not** errors: `/sparql` and
+//! `/viz/hist` report them in HTTP trailers after the streamed body
+//! (`X-Wodex-Degraded`, `X-Wodex-Rows`), `/viz/chart` in a response
+//! header — the body stays a well-formed partial answer.
+
+use crate::http::{read_request, write_response, ChunkedWriter, ParseError, Request};
+use crate::server::{wake, AppState};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use wodex_rdf::{Term, Value};
+use wodex_sparql::results::json_string as js;
+use wodex_sparql::{Budget, Degraded, QueryResult};
+
+/// Entries per chunk when streaming overview rows / histogram bins.
+const STREAM_GROUP: usize = 16;
+
+/// Serves one connection: parse, route, respond, close.
+pub(crate) fn handle(state: &AppState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut out = stream;
+    match read_request(&mut reader) {
+        Ok(req) => route(state, &req, &mut out),
+        Err(ParseError::Malformed(why)) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            error_json(&mut out, 400, "Bad Request", why);
+        }
+        // Peer closed early or the read timed out: nothing to answer.
+        Err(ParseError::Closed) | Err(ParseError::Io(_)) => {}
+    }
+    let _ = out.shutdown(std::net::Shutdown::Both);
+}
+
+fn route(state: &AppState, req: &Request, out: &mut TcpStream) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state, out),
+        ("GET", "/stats") => stats(state, out),
+        ("POST", "/sparql") => sparql(state, req, out),
+        ("GET", "/explore/open") | ("POST", "/explore/open") => explore_open(state, out),
+        ("GET", "/explore/overview") => explore_overview(state, req, out),
+        ("GET", "/explore/facets") => explore_facets(state, req, out),
+        ("GET", "/explore/filter") => explore_filter(state, req, out),
+        ("GET", "/explore/zoom") => explore_zoom(state, req, out),
+        ("GET", "/explore/search") => explore_search(state, req, out),
+        ("GET", "/explore/hits") => explore_hits(state, req, out),
+        ("GET", "/explore/details") => explore_details(state, req, out),
+        ("GET", "/explore/undo") => explore_undo(state, req, out),
+        ("GET", "/explore/trace") => explore_trace(state, req, out),
+        ("GET", "/viz/recommend") => viz_recommend(state, req, out),
+        ("GET", "/viz/chart") => viz_chart(state, req, out),
+        ("GET", "/viz/hist") => viz_hist(state, req, out),
+        ("POST", "/admin/shutdown") => admin_shutdown(state, out),
+        _ => {
+            state.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            error_json(out, 404, "Not Found", "no such endpoint");
+        }
+    }
+}
+
+/// Writes `{"error": why}` with the given status.
+fn error_json(out: &mut TcpStream, status: u16, reason: &str, why: &str) {
+    let body = format!("{{\"error\":{}}}", js(why));
+    let _ = write_response(out, status, reason, "application/json", &[], body.as_bytes());
+}
+
+fn bad_request(state: &AppState, out: &mut TcpStream, why: &str) {
+    state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+    error_json(out, 400, "Bad Request", why);
+}
+
+/// The per-request budget: the config's deadline/row cap, optionally
+/// tightened (never widened) by `deadline_ms` / `row_cap` parameters.
+fn request_budget(state: &AppState, req: &Request) -> Budget {
+    let cfg = &state.cfg;
+    let deadline = req
+        .param("deadline_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .map_or(cfg.deadline, |d| d.min(cfg.deadline));
+    let rows = req
+        .param("row_cap")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(cfg.row_cap, |r| {
+            if cfg.row_cap == 0 {
+                r
+            } else {
+                r.min(cfg.row_cap)
+            }
+        });
+    let mut b = Budget::unlimited().with_deadline(deadline);
+    if rows > 0 {
+        b = b.with_row_cap(rows);
+    }
+    b
+}
+
+/// The trailer value describing how (or whether) a response degraded.
+fn degraded_trailer(d: &Option<Degraded>) -> String {
+    match d {
+        None => "none".to_string(),
+        Some(d) => format!("{};coverage={:.3}", d.reason, d.coverage),
+    }
+}
+
+/// A finite float for JSON (`null` when not representable).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn healthz(state: &AppState, out: &mut TcpStream) {
+    let body = format!(
+        "{{\"status\":\"ok\",\"triples\":{},\"uptime_ms\":{}}}",
+        state.explorer.store().len(),
+        state.started.elapsed().as_millis()
+    );
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+fn stats(state: &AppState, out: &mut TcpStream) {
+    let c = &state.counters;
+    let s = state.sessions.stats();
+    let x = wodex_exec::stats();
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+    let body = format!(
+        concat!(
+            "{{\"requests\":{{\"accepted\":{},\"admitted\":{},\"completed\":{},",
+            "\"shed_queue_full\":{},\"shed_queue_wait\":{},\"bad_requests\":{},",
+            "\"not_found\":{},\"degraded\":{},\"inflight\":{}}},",
+            "\"sessions\":{{\"active\":{},\"opened\":{},\"evicted\":{},\"expired\":{}}},",
+            "\"store\":{{\"triples\":{},\"subjects\":{},\"predicates\":{}}},",
+            "\"exec\":{{\"map_calls\":{},\"map_items\":{},\"fold_calls\":{}}},",
+            "\"config\":{{\"workers\":{},\"queue_depth\":{},\"deadline_ms\":{},\"row_cap\":{}}},",
+            "\"uptime_ms\":{}}}"
+        ),
+        load(&c.accepted),
+        load(&c.admitted),
+        load(&c.completed),
+        load(&c.shed_queue_full),
+        load(&c.shed_queue_wait),
+        load(&c.bad_requests),
+        load(&c.not_found),
+        load(&c.degraded),
+        state.inflight.load(Ordering::Relaxed),
+        s.active,
+        s.opened,
+        s.evicted,
+        s.expired,
+        state.dataset.triples,
+        state.dataset.subjects,
+        state.dataset.predicates,
+        x.map.calls,
+        x.map.items,
+        x.fold.calls,
+        state.cfg.effective_workers(),
+        state.cfg.queue_depth,
+        state.cfg.deadline.as_millis(),
+        state.cfg.row_cap,
+        state.started.elapsed().as_millis()
+    );
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+/// `POST /sparql` — evaluates the body (or `query` parameter) under the
+/// request budget and streams the SPARQL 1.1 JSON result in chunks:
+/// first the head, then `stream_rows`-sized groups of solution rows,
+/// then the tail, then trailers carrying the degradation verdict. The
+/// reassembled body is byte-identical to `QueryResult::to_json`.
+fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let text = if req.body.is_empty() {
+        req.param("query").unwrap_or("").to_string()
+    } else {
+        String::from_utf8_lossy(&req.body).into_owned()
+    };
+    if text.trim().is_empty() {
+        bad_request(state, out, "empty query (send it as the POST body)");
+        return;
+    }
+    let budget = request_budget(state, req);
+    let budgeted = match state.explorer.sparql_budgeted(&text, &budget) {
+        Ok(b) => b,
+        Err(e) => {
+            bad_request(state, out, &e.to_string());
+            return;
+        }
+    };
+    if budgeted.degraded.is_some() {
+        state.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let trailers = ["X-Wodex-Degraded", "X-Wodex-Rows"];
+    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &trailers)
+    else {
+        return;
+    };
+    let rows_sent: usize;
+    let write_ok = match &budgeted.result {
+        QueryResult::Solutions(t) => {
+            rows_sent = t.len();
+            stream_table(&mut cw, t, state.cfg.stream_rows)
+        }
+        other => {
+            rows_sent = 0;
+            cw.chunk(other.to_json().as_bytes())
+        }
+    };
+    if write_ok.is_ok() {
+        let _ = cw.finish(&[
+            ("X-Wodex-Degraded", degraded_trailer(&budgeted.degraded)),
+            ("X-Wodex-Rows", rows_sent.to_string()),
+        ]);
+    }
+}
+
+/// Streams a solution table as head / row-group / tail chunks.
+fn stream_table(
+    cw: &mut ChunkedWriter<&mut TcpStream>,
+    t: &wodex_sparql::SolutionTable,
+    group: usize,
+) -> std::io::Result<()> {
+    cw.chunk(t.json_head().as_bytes())?;
+    let group = group.max(1);
+    let mut buf = String::new();
+    for start in (0..t.len()).step_by(group) {
+        buf.clear();
+        for i in start..(start + group).min(t.len()) {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&t.json_row(i));
+        }
+        cw.chunk(buf.as_bytes())?;
+    }
+    cw.chunk(t.json_tail().as_bytes())
+}
+
+fn explore_open(state: &AppState, out: &mut TcpStream) {
+    let token = state.sessions.open();
+    let body = format!("{{\"session\":{}}}", js(&token));
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+/// Resolves the `session` parameter, answering 400/404 on failure.
+fn with_session<R>(
+    state: &AppState,
+    req: &Request,
+    out: &mut TcpStream,
+    f: impl FnOnce(&mut wodex_explore::ExplorationSession) -> R,
+) -> Option<R> {
+    let Some(token) = req.param("session") else {
+        bad_request(state, out, "missing session parameter");
+        return None;
+    };
+    match state.sessions.with(token, f) {
+        Some(r) => Some(r),
+        None => {
+            state.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            error_json(out, 404, "Not Found", "unknown or expired session");
+            None
+        }
+    }
+}
+
+/// `GET /explore/overview` — class sizes, streamed progressively so the
+/// first classes render before the tail of a wide ontology arrives.
+fn explore_overview(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(overview) = with_session(state, req, out, |s| s.overview()) else {
+        return;
+    };
+    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &[]) else {
+        return;
+    };
+    let _ = cw.chunk(b"{\"classes\":[");
+    let mut buf = String::new();
+    let mut ok = true;
+    for (gi, group) in overview.chunks(STREAM_GROUP).enumerate() {
+        buf.clear();
+        for (i, (class, count)) in group.iter().enumerate() {
+            if gi > 0 || i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&format!("{{\"class\":{},\"count\":{count}}}", js(class)));
+        }
+        if cw.chunk(buf.as_bytes()).is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        let _ = cw.chunk(format!("],\"total\":{}}}", overview.len()).as_bytes());
+        let _ = cw.finish(&[]);
+    }
+}
+
+fn explore_facets(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(body) = with_session(state, req, out, |s| {
+        let mut parts = Vec::new();
+        for f in s.facets().facets() {
+            parts.push(format!(
+                "{{\"predicate\":{},\"cardinality\":{}}}",
+                js(&f.predicate),
+                f.cardinality
+            ));
+        }
+        format!("{{\"facets\":[{}]}}", parts.join(","))
+    }) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+/// The `{matching, operations}` summary every mutating session op returns.
+fn session_summary(s: &mut wodex_explore::ExplorationSession) -> String {
+    format!(
+        "{{\"matching\":{},\"operations\":{}}}",
+        s.matching().len(),
+        s.log().len()
+    )
+}
+
+fn explore_filter(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let (Some(predicate), Some(value)) = (req.param("predicate"), req.param("value")) else {
+        bad_request(state, out, "need predicate and value parameters");
+        return;
+    };
+    let (predicate, value) = (predicate.to_string(), value.to_string());
+    let Some(body) = with_session(state, req, out, move |s| {
+        s.filter(&predicate, &value);
+        session_summary(s)
+    }) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+fn explore_zoom(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let (Some(predicate), Some(lo), Some(hi)) = (
+        req.param("predicate"),
+        req.param("lo").and_then(|v| v.parse::<f64>().ok()),
+        req.param("hi").and_then(|v| v.parse::<f64>().ok()),
+    ) else {
+        bad_request(state, out, "need predicate, numeric lo and hi parameters");
+        return;
+    };
+    let predicate = predicate.to_string();
+    let Some(body) = with_session(state, req, out, move |s| {
+        s.zoom(&predicate, lo, hi);
+        session_summary(s)
+    }) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+fn explore_search(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(q) = req.param("q") else {
+        bad_request(state, out, "need a q parameter");
+        return;
+    };
+    let q = q.to_string();
+    let Some(body) = with_session(state, req, out, move |s| {
+        s.search(&q);
+        session_summary(s)
+    }) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+fn explore_hits(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(q) = req.param("q") else {
+        bad_request(state, out, "need a q parameter");
+        return;
+    };
+    let limit = req
+        .param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10)
+        .min(1000);
+    let q = q.to_string();
+    let Some(body) = with_session(state, req, out, move |s| {
+        let mut parts = Vec::new();
+        for h in s.search_preview(&q, limit) {
+            parts.push(format!(
+                "{{\"subject\":{},\"score\":{}}}",
+                js(&h.subject.to_string()),
+                json_f64(h.score)
+            ));
+        }
+        format!("{{\"hits\":[{}]}}", parts.join(","))
+    }) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+fn explore_details(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(iri) = req.param("iri") else {
+        bad_request(state, out, "need an iri parameter");
+        return;
+    };
+    let resource = Term::iri(iri.to_string());
+    let Some(body) = with_session(state, req, out, move |s| {
+        let v = s.details(&resource);
+        let mut rows = Vec::new();
+        for r in &v.rows {
+            rows.push(format!(
+                "{{\"predicate\":{},\"value\":{},\"forward\":{}}}",
+                js(&r.predicate),
+                js(&r.value.to_string()),
+                r.forward
+            ));
+        }
+        format!(
+            "{{\"resource\":{},\"label\":{},\"rows\":[{}]}}",
+            js(&v.resource.to_string()),
+            v.label.as_deref().map_or("null".to_string(), js),
+            rows.join(",")
+        )
+    }) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+fn explore_undo(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(body) = with_session(state, req, out, |s| {
+        let undone = s.undo().map(|op| op.to_string());
+        format!(
+            "{{\"undone\":{},\"matching\":{}}}",
+            undone.as_deref().map_or("null".to_string(), js),
+            s.matching().len()
+        )
+    }) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+fn explore_trace(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(body) = with_session(state, req, out, |s| s.trace()) else {
+        return;
+    };
+    let _ = write_response(out, 200, "OK", "text/plain", &[], body.as_bytes());
+}
+
+fn viz_recommend(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(predicate) = req.param("predicate") else {
+        bad_request(state, out, "need a predicate parameter");
+        return;
+    };
+    let mut parts = Vec::new();
+    for r in state.explorer.recommend(predicate) {
+        parts.push(format!(
+            "{{\"kind\":{},\"score\":{},\"reason\":{}}}",
+            js(r.kind.name()),
+            json_f64(r.score),
+            js(&r.reason)
+        ));
+    }
+    let body = format!("{{\"recommendations\":[{}]}}", parts.join(","));
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+/// `GET /viz/chart` — the LDVM pipeline under the request budget; the
+/// degradation verdict rides a response header (it is known before the
+/// SVG is written).
+fn viz_chart(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(predicate) = req.param("predicate") else {
+        bad_request(state, out, "need a predicate parameter");
+        return;
+    };
+    let budget = request_budget(state, req);
+    let (view, degraded) = state.explorer.visualize_budgeted(predicate, &budget);
+    if degraded.is_some() {
+        state.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let verdict = degraded_trailer(&degraded);
+    let _ = write_response(
+        out,
+        200,
+        "OK",
+        "image/svg+xml",
+        &[
+            ("X-Wodex-Degraded", verdict.as_str()),
+            ("X-Wodex-Chart", view.kind.name()),
+        ],
+        view.svg.as_bytes(),
+    );
+}
+
+/// `GET /viz/hist` — histogram bins, streamed as they are serialized;
+/// under budget pressure the histogram covers the scanned prefix and the
+/// trailer reports the coverage.
+fn viz_hist(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let Some(predicate) = req.param("predicate") else {
+        bad_request(state, out, "need a predicate parameter");
+        return;
+    };
+    let bins = req
+        .param("bins")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16)
+        .clamp(1, 256);
+    let budget = request_budget(state, req);
+    let mut values = Vec::new();
+    let mut scanned = 0usize;
+    let mut tripped = None;
+    for t in state.explorer.graph().triples_for_predicate(predicate) {
+        if let Some(reason) = budget.exceeded() {
+            tripped = Some(reason);
+            break;
+        }
+        scanned += 1;
+        budget.charge_rows(1);
+        if let Some(x) = t
+            .object
+            .as_literal()
+            .map(Value::from_literal)
+            .and_then(|v| v.as_f64().or_else(|| v.as_epoch_seconds().map(|s| s as f64)))
+        {
+            values.push(x);
+        }
+    }
+    let total = state
+        .explorer
+        .graph()
+        .triples_for_predicate(predicate)
+        .count();
+    let degraded = tripped.map(|reason| Degraded {
+        reason,
+        coverage: if total == 0 {
+            1.0
+        } else {
+            scanned as f64 / total as f64
+        },
+    });
+    if degraded.is_some() {
+        state.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let hist = wodex_approx::binning::Histogram::build(
+        &values,
+        bins,
+        wodex_approx::binning::BinningStrategy::EqualWidth,
+    );
+    let trailers = ["X-Wodex-Degraded", "X-Wodex-Rows"];
+    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &trailers)
+    else {
+        return;
+    };
+    let _ = cw.chunk(format!("{{\"predicate\":{},\"bins\":[", js(predicate)).as_bytes());
+    let mut buf = String::new();
+    let mut ok = true;
+    for (gi, group) in hist.bins.chunks(STREAM_GROUP).enumerate() {
+        buf.clear();
+        for (i, b) in group.iter().enumerate() {
+            if gi > 0 || i > 0 {
+                buf.push(',');
+            }
+            let mean = if b.count > 0 {
+                b.sum / b.count as f64
+            } else {
+                f64::NAN
+            };
+            buf.push_str(&format!(
+                "{{\"lo\":{},\"hi\":{},\"count\":{},\"mean\":{}}}",
+                json_f64(b.lo),
+                json_f64(b.hi),
+                b.count,
+                json_f64(mean)
+            ));
+        }
+        if cw.chunk(buf.as_bytes()).is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        let _ = cw.chunk(format!("],\"values\":{}}}", values.len()).as_bytes());
+        let _ = cw.finish(&[
+            ("X-Wodex-Degraded", degraded_trailer(&degraded)),
+            ("X-Wodex-Rows", values.len().to_string()),
+        ]);
+    }
+}
+
+/// `POST /admin/shutdown` — acknowledges, then flags the accept loop and
+/// wakes it. In-flight and queued requests still complete (the worker
+/// pool drains before `Server::run` returns).
+fn admin_shutdown(state: &AppState, out: &mut TcpStream) {
+    let body = b"{\"status\":\"shutting down\"}";
+    let _ = write_response(out, 200, "OK", "application/json", &[], body);
+    state.shutdown.store(true, Ordering::SeqCst);
+    wake(state.local_addr);
+}

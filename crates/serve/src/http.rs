@@ -1,0 +1,374 @@
+//! Minimal HTTP/1.1 on `std::io` — request parsing, fixed responses, and
+//! chunked `Transfer-Encoding` writing with trailers.
+//!
+//! The parser accepts exactly what the serving layer needs: a request
+//! line, headers, and an optional `Content-Length` body, all under hard
+//! size limits so a hostile peer cannot make a worker allocate without
+//! bound. Responses always carry `Connection: close`; one connection is
+//! one request, which keeps the admission-control accounting exact (an
+//! admitted connection is one unit of work).
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line plus all headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body (`POST /sparql` query text).
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, e.g. `/explore/filter`.
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The socket failed or timed out before a full request arrived.
+    Io(io::Error),
+    /// The peer closed without sending anything (not an error worth a
+    /// response — e.g. a health prober connecting and hanging up).
+    Closed,
+    /// The bytes are not a well-formed HTTP/1.1 request, with a reason.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> ParseError {
+        ParseError::Io(e)
+    }
+}
+
+/// Decodes `%XX` escapes; in query strings `+` additionally means space.
+pub fn percent_decode(s: &str, plus_is_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| -> Option<u8> {
+                    match b {
+                        b'0'..=b'9' => Some(b - b'0'),
+                        b'a'..=b'f' => Some(b - b'a' + 10),
+                        b'A'..=b'F' => Some(b - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push(h << 4 | l);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into a decoded path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k, true), percent_decode(v, true)),
+            None => (percent_decode(kv, true), String::new()),
+        })
+        .collect();
+    (percent_decode(path, false), params)
+}
+
+/// Reads one request from `reader`.
+///
+/// Blocks until a full head (and body, if declared) arrives, the
+/// configured socket timeout fires, or a size limit trips.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+    // Request line; skip leading blank lines per RFC 9112 §2.2.
+    let request_line = loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ParseError::Closed);
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::Malformed("request head too large"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if !trimmed.is_empty() {
+            break trimmed.to_string();
+        }
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed("bad request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("eof inside headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::Malformed("request head too large"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ParseError::Malformed("bad header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Body.
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    if let Some(parsed) = content_length {
+        let len = parsed.map_err(|_| ParseError::Malformed("bad content-length"))?;
+        if len > MAX_BODY_BYTES {
+            return Err(ParseError::Malformed("body too large"));
+        }
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    }
+    let (path, query) = parse_target(target);
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Writes a complete non-chunked response and flushes it.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    )?;
+    for (k, v) in extra_headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A chunked-transfer response in progress.
+///
+/// Every [`ChunkedWriter::chunk`] call flushes one HTTP chunk to the
+/// socket, so the client sees bytes while the server is still producing
+/// later chunks — the progressive-delivery behaviour §2 of the survey
+/// asks of exploratory interfaces. Trailers declared at construction are
+/// sent after the terminal chunk; the serving layer uses them to attach
+/// degradation metadata that is only known once streaming ends.
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+    chunks_written: u64,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the status line and headers, declaring chunked encoding
+    /// and the trailer names that [`ChunkedWriter::finish`] may send.
+    pub fn start(
+        mut w: W,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        trailer_names: &[&str],
+    ) -> io::Result<ChunkedWriter<W>> {
+        write!(
+            w,
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
+        )?;
+        if !trailer_names.is_empty() {
+            write!(w, "Trailer: {}\r\n", trailer_names.join(", "))?;
+        }
+        w.write_all(b"\r\n")?;
+        w.flush()?;
+        Ok(ChunkedWriter {
+            w,
+            chunks_written: 0,
+        })
+    }
+
+    /// Emits one chunk and flushes it to the socket. Empty input is
+    /// skipped (a zero-length chunk would terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()?;
+        self.chunks_written += 1;
+        Ok(())
+    }
+
+    /// Number of chunks emitted so far.
+    pub fn chunks_written(&self) -> u64 {
+        self.chunks_written
+    }
+
+    /// Terminates the stream, emitting `trailers` after the final chunk.
+    pub fn finish(mut self, trailers: &[(&str, String)]) -> io::Result<()> {
+        self.w.write_all(b"0\r\n")?;
+        for (k, v) in trailers {
+            write!(self.w, "{k}: {v}\r\n")?;
+        }
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /explore/filter?session=s1&value=a%20b&q=x+y HTTP/1.1\r\nHost: h\r\nX-Thing: v\r\n\r\n";
+        let r = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/explore/filter");
+        assert_eq!(r.param("session"), Some("s1"));
+        assert_eq!(r.param("value"), Some("a b"));
+        assert_eq!(r.param("q"), Some("x y"));
+        assert_eq!(r.header("x-thing"), Some("v"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body() {
+        let raw = b"POST /sparql HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let r = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b"nonsense\r\n\r\n"[..])),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b""[..])),
+            Err(ParseError::Closed)
+        ));
+        let huge = format!("GET /x HTTP/1.1\r\nA: {}\r\n\r\n", "y".repeat(32 * 1024));
+        assert!(matches!(
+            read_request(&mut BufReader::new(huge.as_bytes())),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_edge_cases() {
+        assert_eq!(percent_decode("a%2Fb", false), "a/b");
+        assert_eq!(percent_decode("bad%zz", false), "bad%zz");
+        assert_eq!(percent_decode("trunc%2", false), "trunc%2");
+        assert_eq!(percent_decode("a+b", true), "a b");
+        assert_eq!(percent_decode("a+b", false), "a+b");
+    }
+
+    #[test]
+    fn simple_response_has_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "text/plain", &[("X-A", "1")], b"hi").unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.contains("X-A: 1\r\n"));
+        assert!(s.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn chunked_stream_with_trailers() {
+        let mut out = Vec::new();
+        let mut cw =
+            ChunkedWriter::start(&mut out, 200, "OK", "application/json", &["X-Degraded"]).unwrap();
+        cw.chunk(b"abc").unwrap();
+        cw.chunk(b"").unwrap(); // skipped, must not terminate
+        cw.chunk(b"defgh").unwrap();
+        assert_eq!(cw.chunks_written(), 2);
+        cw.finish(&[("X-Degraded", "none".to_string())]).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Transfer-Encoding: chunked"));
+        assert!(s.contains("Trailer: X-Degraded"));
+        assert!(s.contains("3\r\nabc\r\n"));
+        assert!(s.contains("5\r\ndefgh\r\n"));
+        assert!(s.ends_with("0\r\nX-Degraded: none\r\n\r\n"));
+    }
+}

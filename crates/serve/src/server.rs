@@ -1,0 +1,354 @@
+//! The server: accept loop, bounded worker pool, admission control.
+//!
+//! ## Threading model
+//!
+//! One accept thread plus a fixed pool of worker threads connected by a
+//! bounded [`wodex_exec::channel`]. The channel *is* the admission
+//! queue: its capacity is the only place a waiting connection can exist,
+//! so memory under overload is bounded by construction.
+//!
+//! ## Admission control
+//!
+//! Two gates, both of which shed with `503 Service Unavailable` +
+//! `Retry-After` instead of queueing without bound:
+//!
+//! 1. **Queue depth** — the accept thread `try_send`s each connection;
+//!    a full queue means every worker is busy and the backlog is at
+//!    capacity, so the connection is refused immediately (the accept
+//!    thread never blocks on a slow pipeline).
+//! 2. **Queue deadline** — a worker that dequeues a connection which
+//!    already waited longer than `max_queue_wait` sheds it rather than
+//!    serving a request whose client has likely given up (the classic
+//!    overload spiral of serving only dead requests).
+//!
+//! Admitted requests then run under a `wodex_resilience::Budget`
+//! (deadline + row cap), so one expensive query degrades to a partial
+//! answer rather than occupying a worker indefinitely.
+
+use crate::handlers;
+use crate::sessions::SessionManager;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use wodex_core::Explorer;
+use wodex_exec::channel::{self, TrySendError};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (0 = `wodex_exec::num_threads()`, min 2).
+    pub workers: usize,
+    /// Connections that may wait for a worker before shedding starts.
+    pub queue_depth: usize,
+    /// Per-request budget deadline.
+    pub deadline: Duration,
+    /// Per-request budget row cap (0 = uncapped).
+    pub row_cap: u64,
+    /// Longest a connection may sit in the queue before it is shed.
+    pub max_queue_wait: Duration,
+    /// `Retry-After` seconds advertised on 503 responses.
+    pub retry_after_secs: u32,
+    /// Live session cap (LRU beyond this).
+    pub session_capacity: usize,
+    /// Session idle expiry.
+    pub session_ttl: Duration,
+    /// Socket read timeout (slow/idle clients release workers after this).
+    pub read_timeout: Duration,
+    /// Solution rows per streamed chunk on `/sparql`.
+    pub stream_rows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            deadline: Duration::from_secs(2),
+            row_cap: 1_000_000,
+            max_queue_wait: Duration::from_secs(1),
+            retry_after_secs: 1,
+            session_capacity: 256,
+            session_ttl: Duration::from_secs(600),
+            read_timeout: Duration::from_secs(10),
+            stream_rows: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective worker-thread count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            wodex_exec::num_threads().max(2)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Monotonic request counters (all relaxed atomics; exact enough for
+/// operational visibility, free of locks on the hot path).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Connections accepted by the listener.
+    pub accepted: AtomicU64,
+    /// Connections handed to the worker pool.
+    pub admitted: AtomicU64,
+    /// Requests fully served (any status).
+    pub completed: AtomicU64,
+    /// Connections shed with 503 at the queue-depth gate.
+    pub shed_queue_full: AtomicU64,
+    /// Connections shed with 503 at the queue-deadline gate.
+    pub shed_queue_wait: AtomicU64,
+    /// 400 responses.
+    pub bad_requests: AtomicU64,
+    /// 404 responses.
+    pub not_found: AtomicU64,
+    /// Responses whose budget tripped (partial/degraded answers).
+    pub degraded: AtomicU64,
+}
+
+impl Counters {
+    /// Total 503 responses across both shedding gates.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full.load(Ordering::Relaxed) + self.shed_queue_wait.load(Ordering::Relaxed)
+    }
+}
+
+/// Dataset shape, precomputed at bind time so `/stats` never walks the
+/// graph on the request path.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSummary {
+    /// Total triples.
+    pub triples: usize,
+    /// Distinct subjects.
+    pub subjects: usize,
+    /// Distinct predicates.
+    pub predicates: usize,
+}
+
+/// Shared state every worker sees.
+pub struct AppState {
+    /// The loaded dataset and all derived engines.
+    pub explorer: Explorer,
+    /// Precomputed dataset shape for `/stats`.
+    pub dataset: DatasetSummary,
+    /// Token-keyed exploration sessions.
+    pub sessions: SessionManager,
+    /// The instance's tunables.
+    pub cfg: ServeConfig,
+    /// Request counters.
+    pub counters: Counters,
+    /// Requests currently being parsed/served by workers.
+    pub inflight: AtomicUsize,
+    /// Set to stop the accept loop.
+    pub shutdown: AtomicBool,
+    /// The bound address (workers use it to wake the accept loop).
+    pub local_addr: SocketAddr,
+    /// Server start instant (uptime reporting).
+    pub started: Instant,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+}
+
+/// One unit of queued work: an accepted connection plus its enqueue time.
+struct Conn {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state over `explorer`.
+    pub fn bind(explorer: Explorer, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let sessions = SessionManager::new(
+            explorer.shared_graph(),
+            cfg.session_capacity,
+            cfg.session_ttl,
+        );
+        let stats = explorer.stats();
+        let dataset = DatasetSummary {
+            triples: stats.triple_count,
+            subjects: stats.subject_count,
+            predicates: stats.predicate_count,
+        };
+        let state = Arc::new(AppState {
+            explorer,
+            dataset,
+            sessions,
+            cfg,
+            counters: Counters::default(),
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            started: Instant::now(),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// The shared state (counters, shutdown flag).
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown.
+    ///
+    /// Spawns the worker pool in a scope, so returning implies every
+    /// worker has drained and joined.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state;
+        let workers = state.cfg.effective_workers();
+        let (tx, rx) = channel::bounded::<Conn>(state.cfg.queue_depth.max(1));
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = &rx;
+                let state = &state;
+                scope.spawn(move || loop {
+                    let conn = {
+                        let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    let Ok(conn) = conn else {
+                        break; // Channel closed: accept loop is gone.
+                    };
+                    state.inflight.fetch_add(1, Ordering::Relaxed);
+                    if conn.enqueued.elapsed() > state.cfg.max_queue_wait {
+                        state
+                            .counters
+                            .shed_queue_wait
+                            .fetch_add(1, Ordering::Relaxed);
+                        shed(&state.cfg, conn.stream);
+                    } else {
+                        handlers::handle(state, conn.stream);
+                        state.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    state.inflight.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            for incoming in self.listener.incoming() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else {
+                    continue; // Transient accept error; keep serving.
+                };
+                state.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(Conn {
+                    stream,
+                    enqueued: Instant::now(),
+                }) {
+                    Ok(()) => {
+                        state.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(conn)) => {
+                        state
+                            .counters
+                            .shed_queue_full
+                            .fetch_add(1, Ordering::Relaxed);
+                        shed(&state.cfg, conn.stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            drop(tx); // Workers drain the queue, then exit.
+        });
+        Ok(())
+    }
+
+    /// Spawns [`Server::run`] on a background thread.
+    pub fn spawn(self) -> RunningServer {
+        let addr = self.addr();
+        let state = self.state();
+        let handle = std::thread::spawn(move || self.run());
+        RunningServer {
+            addr,
+            state,
+            handle,
+        }
+    }
+}
+
+/// A server running on a background thread (tests, benches, the CLI).
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (counters etc.).
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Requests shutdown, wakes the accept loop, and joins every thread.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        match self.handle.join() {
+            Ok(r) => r,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Wakes a server's accept loop so it re-checks the shutdown flag;
+/// handlers call this after `/admin/shutdown` sets the flag.
+pub(crate) fn wake(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// Writes the overload response and closes the connection. Never blocks
+/// the caller for long: the write timeout bounds a wedged peer.
+///
+/// The client's request bytes are deliberately drained before the socket
+/// drops: closing with unread data in the receive buffer makes TCP send
+/// a reset, which can destroy the in-flight 503 before the client reads
+/// it — turning a clean shed into a dropped connection.
+fn shed(cfg: &ServeConfig, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let retry = cfg.retry_after_secs.to_string();
+    let body = format!(
+        "{{\"error\":\"server at capacity\",\"retry_after_secs\":{retry}}}"
+    );
+    let _ = crate::http::write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        "application/json",
+        &[("Retry-After", retry.as_str())],
+        body.as_bytes(),
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Non-blocking: consumes what has already arrived without ever
+    // stalling the accept thread behind a slow peer.
+    let _ = stream.set_nonblocking(true);
+    let mut scratch = [0u8; 4096];
+    for _ in 0..16 {
+        match std::io::Read::read(&mut stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}

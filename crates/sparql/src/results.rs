@@ -2,6 +2,61 @@
 
 use wodex_rdf::Term;
 
+/// Appends `s` to `out` as a JSON string body (no surrounding quotes),
+/// escaping per RFC 8259.
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` as a quoted, escaped JSON string — shared by every layer that
+/// emits JSON (the results serializer here, the serving layer's
+/// endpoints, the benchmark reports).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    json_escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// One RDF term in SPARQL 1.1 Query Results JSON form: an object with
+/// `type` (`uri` / `literal` / `bnode`), `value`, and for literals the
+/// optional `xml:lang` or `datatype` member.
+pub fn term_to_json(term: &Term) -> String {
+    match term {
+        Term::Iri(i) => format!("{{\"type\":\"uri\",\"value\":{}}}", json_string(i.as_str())),
+        Term::Blank(b) => format!(
+            "{{\"type\":\"bnode\",\"value\":{}}}",
+            json_string(b.label())
+        ),
+        Term::Literal(l) => {
+            let mut out = String::from("{\"type\":\"literal\",\"value\":");
+            out.push_str(&json_string(l.lexical()));
+            if let Some(lang) = l.lang() {
+                out.push_str(",\"xml:lang\":");
+                out.push_str(&json_string(lang));
+            } else if let Some(dt) = l.datatype() {
+                out.push_str(",\"datatype\":");
+                out.push_str(&json_string(dt.as_str()));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
 /// A solution table: named columns of optional terms.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolutionTable {
@@ -33,6 +88,60 @@ impl SolutionTable {
             Some(i) => Box::new(self.rows.iter().filter_map(move |r| r[i].as_ref())),
             None => Box::new(std::iter::empty()),
         }
+    }
+
+    /// The opening fragment of the SPARQL 1.1 JSON document, up to and
+    /// including the `"bindings":[` bracket. Streaming producers emit
+    /// this first, then [`SolutionTable::json_row`] per row (comma-
+    /// separated), then [`SolutionTable::json_tail`]; the concatenation
+    /// is byte-identical to [`SolutionTable::to_json`].
+    pub fn json_head(&self) -> String {
+        let mut out = String::from("{\"head\":{\"vars\":[");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(c));
+        }
+        out.push_str("]},\"results\":{\"bindings\":[");
+        out
+    }
+
+    /// Row `i` as one SPARQL-JSON binding object (unbound cells are
+    /// omitted, per the W3C format).
+    pub fn json_row(&self, i: usize) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, cell) in self.columns.iter().zip(&self.rows[i]) {
+            let Some(term) = cell else { continue };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&json_string(name));
+            out.push(':');
+            out.push_str(&term_to_json(term));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The closing fragment matching [`SolutionTable::json_head`].
+    pub fn json_tail(&self) -> &'static str {
+        "]}}"
+    }
+
+    /// The whole table in SPARQL 1.1 Query Results JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = self.json_head();
+        for i in 0..self.rows.len() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&self.json_row(i));
+        }
+        out.push_str(self.json_tail());
+        out
     }
 
     /// Renders an ASCII table (the SPARQL-endpoint result view).
@@ -115,6 +224,21 @@ impl QueryResult {
             _ => None,
         }
     }
+
+    /// The result in SPARQL 1.1 Query Results JSON format: the bindings
+    /// document for SELECT, the `"boolean"` document for ASK. DESCRIBE
+    /// has no W3C JSON form; as an extension it becomes
+    /// `{"head":{},"graph":"<turtle>"}`.
+    pub fn to_json(&self) -> String {
+        match self {
+            QueryResult::Solutions(t) => t.to_json(),
+            QueryResult::Boolean(b) => format!("{{\"head\":{{}},\"boolean\":{b}}}"),
+            QueryResult::Described(g) => format!(
+                "{{\"head\":{{}},\"graph\":{}}}",
+                json_string(&wodex_rdf::turtle::serialize(g))
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +273,75 @@ mod tests {
         assert!(s.contains("<http://e.org/a>"));
         // 1 header line + 2 rows + 3 separators.
         assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn json_select_covers_types_and_unbound() {
+        use wodex_rdf::{Iri, Literal};
+        let t = SolutionTable {
+            columns: vec!["s".into(), "v".into()],
+            rows: vec![
+                vec![
+                    Some(Term::iri("http://e.org/a")),
+                    Some(Term::Literal(Literal::lang_string("Athens", "en"))),
+                ],
+                vec![Some(Term::blank("b0")), None],
+                vec![
+                    Some(Term::Literal(Literal::typed(
+                        "42",
+                        Iri::new("http://www.w3.org/2001/XMLSchema#integer"),
+                    ))),
+                    Some(Term::literal("plain \"quoted\"\n")),
+                ],
+            ],
+        };
+        let j = t.to_json();
+        assert!(j.starts_with("{\"head\":{\"vars\":[\"s\",\"v\"]},\"results\":{\"bindings\":["));
+        assert!(j.ends_with("]}}"));
+        assert!(j.contains("{\"type\":\"uri\",\"value\":\"http://e.org/a\"}"));
+        assert!(j.contains("\"xml:lang\":\"en\""));
+        assert!(j.contains("{\"type\":\"bnode\",\"value\":\"b0\"}"));
+        assert!(j.contains("\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""));
+        // Escaping: the quote and newline survive as JSON escapes.
+        assert!(j.contains("plain \\\"quoted\\\"\\n"));
+        // Unbound cell omitted: the second binding has only ?s.
+        assert!(j.contains("[{\"s\":{\"type\":\"uri\""));
+        assert!(!j.contains("\"v\":null"));
+    }
+
+    #[test]
+    fn json_streamed_fragments_reassemble_to_to_json() {
+        let t = table();
+        let mut streamed = t.json_head();
+        for i in 0..t.len() {
+            if i > 0 {
+                streamed.push(',');
+            }
+            streamed.push_str(&t.json_row(i));
+        }
+        streamed.push_str(t.json_tail());
+        assert_eq!(streamed, t.to_json());
+    }
+
+    #[test]
+    fn json_boolean_and_empty_table() {
+        assert_eq!(
+            QueryResult::Boolean(false).to_json(),
+            "{\"head\":{},\"boolean\":false}"
+        );
+        let empty = SolutionTable {
+            columns: vec!["x".into()],
+            rows: vec![],
+        };
+        assert_eq!(
+            empty.to_json(),
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}"
+        );
+    }
+
+    #[test]
+    fn json_control_characters_escape_as_unicode() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
     }
 
     #[test]

@@ -27,4 +27,52 @@ grep -q '"gate_ok": true' BENCH_PR2.json || {
     exit 1
 }
 
+echo "==> wodex serve smoke test (boot, /healthz, budgeted /sparql, clean stop)"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/smoke.ttl" <<'TTL'
+@prefix ex: <http://example.org/> .
+ex:a ex:population 100 . ex:b ex:population 200 . ex:c ex:population 300 .
+TTL
+./target/release/wodex serve "$SMOKE_DIR/smoke.ttl" --workers 2 \
+    > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+    PORT=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$SMOKE_DIR/serve.log")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "verify: FAIL — wodex serve never reported its port"; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/healthz" | grep -q '"status":"ok"' || {
+    echo "verify: FAIL — /healthz did not answer ok"
+    exit 1
+}
+SPARQL_OUT=$(curl -sf -d 'SELECT ?s ?v WHERE { ?s <http://example.org/population> ?v }' \
+    "http://127.0.0.1:$PORT/sparql?deadline_ms=2000")
+echo "$SPARQL_OUT" | grep -q '"bindings":\[' || {
+    echo "verify: FAIL — /sparql did not return SPARQL JSON (got: $SPARQL_OUT)"
+    exit 1
+}
+curl -sf -X POST "http://127.0.0.1:$PORT/admin/shutdown" > /dev/null || {
+    echo "verify: FAIL — /admin/shutdown refused"
+    exit 1
+}
+wait "$SERVE_PID" || { echo "verify: FAIL — wodex serve exited non-zero"; exit 1; }
+grep -q "shut down cleanly" "$SMOKE_DIR/serve.log" || {
+    echo "verify: FAIL — wodex serve did not shut down cleanly"
+    exit 1
+}
+
+echo "==> repro bench-pr3 (serving layer: zero drops, shed = 503 + Retry-After)"
+WODEX_SERVE_CONNS=16 WODEX_SERVE_REQS=4 WODEX_SERVE_ENTITIES=300 \
+    cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr3
+for key in '"gate_ok": true' '"throughput_rps"' '"p50"' '"p95"' '"p99"' \
+           '"dropped_connections": 0'; do
+    grep -q "$key" BENCH_PR3.json || {
+        echo "verify: FAIL — BENCH_PR3.json missing or failing: $key"
+        exit 1
+    }
+done
+
 echo "verify: OK"

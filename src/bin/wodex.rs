@@ -9,11 +9,15 @@
 //! wodex recommend <file> <predicate>              ranked chart types
 //! wodex viz       <file> <predicate> [out.svg]    LDVM pipeline → SVG + ASCII
 //! wodex paths     <file> <iri-a> <iri-b>          RelFinder shortest paths
+//! wodex serve     <file> [--port N] [--workers N] [--queue N]
+//!                        [--deadline-ms N] [--sessions N]
+//!                                                 HTTP serving layer
 //! wodex tables                                    the survey's Tables 1 & 2
 //! ```
 
 use wodex::core::Explorer;
 use wodex::rdf::Term;
+use wodex::serve::{ServeConfig, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +36,20 @@ fn run(args: &[String]) -> i32 {
             println!("{}", wodex::registry::render_table2());
             println!("{}", wodex::registry::analysis::report());
             0
+        }
+        "serve" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("missing input file\n{}", usage());
+                return 2;
+            };
+            let ex = match load(path) {
+                Ok(ex) => ex,
+                Err(e) => {
+                    eprintln!("cannot load {path}: {e}");
+                    return 1;
+                }
+            };
+            serve(ex, &args[2..])
         }
         "stats" | "classes" | "facets" | "search" | "query" | "recommend" | "viz" | "paths" => {
             let Some(path) = args.get(1) else {
@@ -70,7 +88,7 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
             0
         }
         "facets" => {
-            let session = wodex::explore::ExplorationSession::new(ex.graph().clone());
+            let session = wodex::explore::ExplorationSession::shared(ex.shared_graph());
             for f in session.facets().facets() {
                 println!(
                     "{} ({} values)",
@@ -173,6 +191,56 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
     }
 }
 
+/// `wodex serve` — boots the HTTP serving layer over the loaded dataset
+/// and blocks until `POST /admin/shutdown`.
+fn serve(ex: Explorer, rest: &[String]) -> i32 {
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let value = rest.get(i + 1);
+        let parsed = match (flag, value) {
+            ("--port", Some(v)) => v.parse::<u16>().map(|p| {
+                cfg.addr = format!("127.0.0.1:{p}");
+            }),
+            ("--workers", Some(v)) => v.parse::<usize>().map(|n| cfg.workers = n),
+            ("--queue", Some(v)) => v.parse::<usize>().map(|n| cfg.queue_depth = n),
+            ("--deadline-ms", Some(v)) => v.parse::<u64>().map(|n| {
+                cfg.deadline = std::time::Duration::from_millis(n);
+            }),
+            ("--sessions", Some(v)) => v.parse::<usize>().map(|n| cfg.session_capacity = n),
+            _ => {
+                eprintln!("unknown or incomplete serve flag {flag:?}\n{}", usage());
+                return 2;
+            }
+        };
+        if parsed.is_err() {
+            eprintln!("bad value for {flag}");
+            return 2;
+        }
+        i += 2;
+    }
+    let server = match Server::bind(ex, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return 1;
+        }
+    };
+    println!("listening on http://{}", server.addr());
+    println!("endpoints: /healthz /stats /sparql /explore/* /viz/* (POST /admin/shutdown to stop)");
+    match server.run() {
+        Ok(()) => {
+            println!("shut down cleanly");
+            0
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            1
+        }
+    }
+}
+
 fn load(path: &str) -> Result<Explorer, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     if path.ends_with(".nt") {
@@ -184,5 +252,6 @@ fn load(path: &str) -> Result<Explorer, String> {
 
 fn usage() -> &'static str {
     "usage: wodex <stats|classes|facets|search|query|recommend|viz|paths> <file.{ttl,nt}> [args…]
+       wodex serve <file.{ttl,nt}> [--port N] [--workers N] [--queue N] [--deadline-ms N] [--sessions N]
        wodex tables"
 }

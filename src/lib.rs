@@ -26,6 +26,8 @@
 //! | [`registry`] | `wodex-registry` | The survey corpus, taxonomy, Tables 1 & 2, gap analysis |
 //! | [`core`] | `wodex-core` | The unified `Explorer` façade |
 //! | [`exec`] | `wodex-exec` | Std-only scoped worker pool (deterministic parallelism) |
+//! | [`resilience`] | `wodex-resilience` | Typed store errors, retries, checksums, query budgets |
+//! | [`serve`] | `wodex-serve` | HTTP serving layer: admission control, sessions, streaming |
 
 pub use wodex_approx as approx;
 pub use wodex_exec as exec;
@@ -36,6 +38,7 @@ pub use wodex_hetree as hetree;
 pub use wodex_rdf as rdf;
 pub use wodex_registry as registry;
 pub use wodex_resilience as resilience;
+pub use wodex_serve as serve;
 pub use wodex_sparql as sparql;
 pub use wodex_store as store;
 pub use wodex_synth as synth;

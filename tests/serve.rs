@@ -1,0 +1,443 @@
+//! Integration tests of the `wodex-serve` HTTP layer: every endpoint,
+//! progressive chunked streaming, admission-control shedding, recovery,
+//! and clean shutdown — all against a real socket on an ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use wodex::core::Explorer;
+use wodex::serve::{RunningServer, ServeConfig, Server};
+use wodex::synth::dbpedia::{self, DbpediaConfig};
+
+const POP: &str = "http://dbp.example.org/ontology/population";
+
+fn explorer() -> Explorer {
+    let g = dbpedia::generate(&DbpediaConfig {
+        entities: 120,
+        ..Default::default()
+    });
+    Explorer::from_graph(g)
+}
+
+fn boot(cfg: ServeConfig) -> RunningServer {
+    Server::bind(explorer(), cfg).expect("bind").spawn()
+}
+
+/// A fully read, parsed HTTP response.
+#[derive(Debug)]
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    /// De-chunked (or plain) body bytes.
+    body: Vec<u8>,
+    /// Number of chunks on the wire (0 for non-chunked responses).
+    chunks: usize,
+    /// Trailers after the terminal chunk.
+    trailers: Vec<(String, String)>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .chain(self.trailers.iter())
+            .find(|(k, _)| k.to_ascii_lowercase() == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends `raw` and reads the connection to EOF (the server always
+/// closes), then parses status, headers, body, chunks, and trailers.
+fn raw_request(addr: SocketAddr, raw: &[u8]) -> Response {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    s.write_all(raw).expect("send");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read");
+    parse_response(&buf)
+}
+
+fn parse_response(buf: &[u8]) -> Response {
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete head");
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let mut rest = &buf[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v.contains("chunked"));
+    if !chunked {
+        return Response {
+            status,
+            headers,
+            body: rest.to_vec(),
+            chunks: 0,
+            trailers: Vec::new(),
+        };
+    }
+    // De-chunk.
+    let mut body = Vec::new();
+    let mut chunks = 0usize;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size_str = String::from_utf8_lossy(&rest[..line_end]);
+        let size = usize::from_str_radix(size_str.trim(), 16).expect("hex chunk size");
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            break;
+        }
+        body.extend_from_slice(&rest[..size]);
+        chunks += 1;
+        rest = &rest[size + 2..]; // skip chunk CRLF
+    }
+    // Trailers until the blank line.
+    let trailers = String::from_utf8_lossy(rest)
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body,
+        chunks,
+        trailers,
+    }
+}
+
+fn get(addr: SocketAddr, target: &str) -> Response {
+    raw_request(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: wodex\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> Response {
+    raw_request(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: wodex\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Pulls `"key":<number>` or `"key":"string"` out of a flat JSON response
+/// (enough for these assertions without a parser dependency).
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let rest = &body[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next().map(|s| s.to_string())
+    } else {
+        rest.split([',', '}', ']'])
+            .next()
+            .map(|s| s.trim().to_string())
+    }
+}
+
+#[test]
+fn every_endpoint_answers() {
+    let rs = boot(ServeConfig::default());
+    let addr = rs.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\":\"ok\""));
+
+    // Session lifecycle: open → overview → facets → filter → zoom →
+    // search → hits → details → undo → trace.
+    let open = post(addr, "/explore/open", "");
+    assert_eq!(open.status, 200);
+    let token = json_str(&open.text(), "session").expect("token");
+
+    let overview = get(addr, &format!("/explore/overview?session={token}"));
+    assert_eq!(overview.status, 200);
+    assert!(overview.chunks >= 2, "overview streams progressively");
+    assert!(overview.text().contains("\"class\""));
+
+    let facets = get(addr, &format!("/explore/facets?session={token}"));
+    assert!(facets.text().contains("\"predicate\""));
+
+    let filter = get(
+        addr,
+        &format!(
+            "/explore/filter?session={token}&predicate=http%3A%2F%2Fwww.w3.org%2F1999%2F02%2F22-rdf-syntax-ns%23type&value=http%3A%2F%2Fdbp.example.org%2Fontology%2FCity"
+        ),
+    );
+    assert_eq!(filter.status, 200);
+    let after_filter: usize = json_str(&filter.text(), "matching").unwrap().parse().unwrap();
+    assert!(after_filter > 0 && after_filter < 120);
+
+    let zoom = get(
+        addr,
+        &format!("/explore/zoom?session={token}&predicate={POP}&lo=0&hi=1e12"),
+    );
+    assert_eq!(zoom.status, 200);
+    assert_eq!(
+        json_str(&zoom.text(), "operations").unwrap(),
+        "2",
+        "filter + zoom logged"
+    );
+
+    let search = get(addr, &format!("/explore/search?session={token}&q=city"));
+    assert_eq!(search.status, 200);
+
+    let hits = get(addr, &format!("/explore/hits?session={token}&q=city&limit=5"));
+    assert!(hits.text().contains("\"hits\""));
+
+    let details = get(
+        addr,
+        &format!("/explore/details?session={token}&iri=http%3A%2F%2Fdbp.example.org%2Fresource%2FE0"),
+    );
+    assert!(details.text().contains("\"rows\""));
+
+    let undo = get(addr, &format!("/explore/undo?session={token}"));
+    assert!(undo.text().contains("\"undone\":\"search"));
+
+    let trace = get(addr, &format!("/explore/trace?session={token}"));
+    assert!(trace.text().contains("resources match"));
+
+    // Viz endpoints.
+    let rec = get(addr, &format!("/viz/recommend?predicate={POP}"));
+    assert!(rec.text().contains("\"recommendations\""));
+
+    let chart = get(addr, &format!("/viz/chart?predicate={POP}"));
+    assert_eq!(chart.status, 200);
+    assert!(chart.text().contains("<svg"));
+    assert_eq!(chart.header("X-Wodex-Degraded"), Some("none"));
+
+    let hist = get(addr, &format!("/viz/hist?predicate={POP}&bins=8"));
+    assert_eq!(hist.status, 200);
+    assert!(hist.text().contains("\"lo\""));
+    assert_eq!(hist.header("X-Wodex-Degraded"), Some("none"));
+
+    // SPARQL ASK.
+    let ask = post(addr, "/sparql", "ASK { ?s ?p ?o }");
+    assert_eq!(ask.status, 200);
+    assert_eq!(ask.text(), "{\"head\":{},\"boolean\":true}");
+
+    // Stats reflect the traffic.
+    let stats = get(addr, "/stats");
+    assert_eq!(stats.status, 200);
+    // `completed` increments after the response socket closes, so the
+    // last few requests may not have landed yet — compare loosely.
+    let completed: u64 = json_str(&stats.text(), "completed").unwrap().parse().unwrap();
+    assert!(completed >= 10, "completed={completed}");
+    assert_eq!(
+        json_str(&stats.text(), "triples").unwrap(),
+        json_str(&health.text(), "triples").unwrap()
+    );
+
+    // Errors: unknown path, unknown session, bad query, missing params.
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(get(addr, "/explore/overview?session=zzz").status, 404);
+    assert_eq!(get(addr, "/explore/overview").status, 400);
+    assert_eq!(post(addr, "/sparql", "SELECT garbage {{{").status, 400);
+    assert_eq!(post(addr, "/sparql", "").status, 400);
+
+    rs.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn sparql_streams_chunks_that_reassemble_to_the_plain_answer() {
+    let cfg = ServeConfig {
+        stream_rows: 8,
+        ..Default::default()
+    };
+    let rs = boot(cfg);
+    let addr = rs.addr();
+    let query = format!("SELECT ?s ?p WHERE {{ ?s <{POP}> ?p }} ORDER BY ?s");
+
+    let resp = post(addr, "/sparql", &query);
+    assert_eq!(resp.status, 200);
+    // Progressive delivery: head + ceil(120/8) row groups + tail.
+    assert!(
+        resp.chunks >= 10,
+        "expected many chunks, got {}",
+        resp.chunks
+    );
+    assert_eq!(resp.header("X-Wodex-Degraded"), Some("none"));
+    assert_eq!(resp.header("X-Wodex-Rows"), Some("120"));
+
+    // The reassembled body is byte-identical to the non-streamed answer.
+    let expected = explorer()
+        .sparql(&query)
+        .expect("direct evaluation")
+        .to_json();
+    assert_eq!(resp.text(), expected);
+
+    rs.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn budget_tripped_queries_degrade_in_trailers_not_errors() {
+    let rs = boot(ServeConfig::default());
+    let addr = rs.addr();
+    // A full scan (~900 rows here) is wide enough that the row cap trips
+    // mid-evaluation; budget polling is chunk-granular.
+    let query = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+
+    let resp = post(addr, "/sparql?row_cap=10", query);
+    assert_eq!(resp.status, 200, "degradation is not an error");
+    let verdict = resp.header("X-Wodex-Degraded").expect("trailer");
+    assert!(
+        verdict.starts_with("row cap exceeded;coverage="),
+        "got {verdict:?}"
+    );
+    // The partial body is still well-formed SPARQL JSON.
+    let body = resp.text();
+    assert!(body.starts_with("{\"head\":{\"vars\":[\"s\",\"p\",\"o\"]}"));
+    assert!(body.ends_with("]}}"));
+
+    let hist = get(addr, &format!("/viz/hist?predicate={POP}&row_cap=10"));
+    let verdict = hist.header("X-Wodex-Degraded").expect("trailer");
+    assert!(verdict.contains("coverage="), "got {verdict:?}");
+
+    rs.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn overload_sheds_503_with_retry_after_then_recovers() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(10),
+        max_queue_wait: Duration::from_secs(30),
+        ..Default::default()
+    };
+    let rs = boot(cfg);
+    let addr = rs.addr();
+    let st = rs.state();
+    use std::sync::atomic::Ordering;
+    let wait_until = |what: &str, cond: &dyn Fn() -> bool| {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting: {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    // Occupy the single worker: a partial request blocks its read until
+    // more bytes arrive. Poll the in-process counters so the hold is
+    // deterministic, not a sleep-and-hope race.
+    let mut hold_a = TcpStream::connect(addr).expect("hold a");
+    hold_a.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    wait_until("worker picked up hold a", &|| {
+        st.inflight.load(Ordering::Relaxed) == 1
+    });
+    // Fill the one-slot queue with a second partial request.
+    let mut hold_b = TcpStream::connect(addr).expect("hold b");
+    hold_b.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    wait_until("hold b admitted to the queue", &|| {
+        st.counters.admitted.load(Ordering::Relaxed) == 2
+    });
+    assert_eq!(st.counters.completed.load(Ordering::Relaxed), 0);
+
+    // The next request must be refused immediately — never queued
+    // without bound, never a dropped connection.
+    let shed = get(addr, "/healthz");
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("Retry-After"), Some("1"));
+    assert!(shed.text().contains("retry_after_secs"));
+
+    // Honouring Retry-After after the load clears gets served again.
+    drop(hold_a);
+    drop(hold_b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = get(addr, "/healthz");
+        if r.status == 200 {
+            break;
+        }
+        assert_eq!(r.status, 503);
+        assert!(Instant::now() < deadline, "server did not recover in time");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let stats = get(addr, "/stats");
+    let shed_count: u64 = json_str(&stats.text(), "shed_queue_full")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(shed_count >= 1);
+
+    rs.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn admin_shutdown_stops_the_server() {
+    let rs = boot(ServeConfig::default());
+    let addr = rs.addr();
+    let resp = post(addr, "/admin/shutdown", "");
+    assert_eq!(resp.status, 200);
+    // The accept loop exits; the join below must not hang.
+    rs.shutdown().expect("clean shutdown");
+    // A fresh connection is refused (or reset) once the listener is gone.
+    std::thread::sleep(Duration::from_millis(100));
+    let gone = TcpStream::connect(addr);
+    if let Ok(mut s) = gone {
+        // Listener sockets can linger briefly; a write must then fail.
+        let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut buf = Vec::new();
+        let n = s.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "no server should answer after shutdown");
+    }
+}
+
+#[test]
+fn sessions_are_isolated_and_concurrent() {
+    let rs = boot(ServeConfig::default());
+    let addr = rs.addr();
+    let t1 = json_str(&post(addr, "/explore/open", "").text(), "session").unwrap();
+    let t2 = json_str(&post(addr, "/explore/open", "").text(), "session").unwrap();
+    assert_ne!(t1, t2);
+    get(
+        addr,
+        &format!("/explore/filter?session={t1}&predicate=http%3A%2F%2Fwww.w3.org%2F1999%2F02%2F22-rdf-syntax-ns%23type&value=http%3A%2F%2Fdbp.example.org%2Fontology%2FCity"),
+    );
+    // Session 2 is untouched by session 1's filter.
+    let ops2 = json_str(
+        &get(addr, &format!("/explore/search?session={t2}&q=city")).text(),
+        "operations",
+    )
+    .unwrap();
+    assert_eq!(ops2, "1");
+    // Concurrent hammering from several clients neither hangs nor drops.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let token = [&t1, &t2][i % 2].clone();
+            std::thread::spawn(move || {
+                get(addr, &format!("/explore/overview?session={token}")).status
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("no panic"), 200);
+    }
+    rs.shutdown().expect("clean shutdown");
+}
