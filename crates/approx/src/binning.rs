@@ -288,19 +288,15 @@ pub fn grid2d(points: &[(f64, f64)], cols: usize, rows: usize) -> Vec<GridCell> 
     let wy = if y1 > y0 { y1 - y0 } else { 1.0 };
     // Parallel counting: per-chunk count grids merged by integer addition
     // (commutative, so any merge order gives the same cells).
-    let counts = wodex_exec::par_chunks(
-        points,
-        wodex_exec::chunk_size(points.len()),
-        |_, pts| {
-            let mut counts = vec![0usize; cols * rows];
-            for &(x, y) in pts {
-                let c = (((x - x0) / wx * cols as f64) as usize).min(cols - 1);
-                let r = (((y - y0) / wy * rows as f64) as usize).min(rows - 1);
-                counts[r * cols + c] += 1;
-            }
-            counts
-        },
-    )
+    let counts = wodex_exec::par_chunks(points, wodex_exec::chunk_size(points.len()), |_, pts| {
+        let mut counts = vec![0usize; cols * rows];
+        for &(x, y) in pts {
+            let c = (((x - x0) / wx * cols as f64) as usize).min(cols - 1);
+            let r = (((y - y0) / wy * rows as f64) as usize).min(rows - 1);
+            counts[r * cols + c] += 1;
+        }
+        counts
+    })
     .into_iter()
     .fold(vec![0usize; cols * rows], |mut acc, part| {
         for (a, v) in acc.iter_mut().zip(part) {

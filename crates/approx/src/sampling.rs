@@ -14,8 +14,8 @@
 //!   greedily spreads samples across the value domain so the *plotted*
 //!   shape survives reduction.
 
-use wodex_synth::rng::Rng;
 use std::collections::HashMap;
+use wodex_synth::rng::Rng;
 
 /// Uniform reservoir sampling (algorithm R): maintains a uniform sample of
 /// size `k` over a stream of unknown length.

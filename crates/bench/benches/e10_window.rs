@@ -1,6 +1,6 @@
 //! E10 — quadtree viewport windowing vs linear filtering.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_graph::layout::random;
 use wodex_graph::spatial::{QuadTree, Rect};
 

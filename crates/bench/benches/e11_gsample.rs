@@ -1,6 +1,6 @@
 //! E11 — graph sampling strategies at fixed rate.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_graph::sample;
 

@@ -1,6 +1,6 @@
 //! E12 — profiling + recommendation over a realistic dataset.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_viz::ldvm::LdvmPipeline;
 use wodex_viz::profile::profile_graph;

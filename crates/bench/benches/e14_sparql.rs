@@ -1,6 +1,6 @@
 //! E14 — SPARQL-subset engine query shapes.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 
 const FILTER_Q: &str = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\

@@ -1,6 +1,6 @@
 //! E15 — streaming ingest: tail-limit ablation.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 
 fn bench(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! E1 — sampling vs full scan for mean estimation.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_approx::sampling::Reservoir;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_synth::values::Shape;
 

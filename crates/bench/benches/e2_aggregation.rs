@@ -1,7 +1,7 @@
 //! E2 — binning strategies: cost and output size.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_approx::binning::{grid2d, BinningStrategy, Histogram};
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_synth::values::Shape;
 

@@ -1,7 +1,7 @@
 //! E3 — progressive aggregation: chunked vs one-shot.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wodex_approx::progressive::ProgressiveAggregate;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_synth::values::Shape;
 

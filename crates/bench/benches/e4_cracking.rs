@@ -1,6 +1,6 @@
 //! E4 — adaptive indexing: crack vs scan vs sort for k queries.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_store::cracking::{CrackerColumn, ScanColumn, SortedColumn};
 use wodex_synth::values::Shape;

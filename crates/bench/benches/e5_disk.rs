@@ -1,6 +1,6 @@
 //! E5 — paged store scans under varying buffer-pool budgets.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_store::buffer::BufferPool;
 use wodex_store::paged::{MemBackend, PagedTripleStore};

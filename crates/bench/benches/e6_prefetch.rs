@@ -1,6 +1,6 @@
 //! E6 — tile prefetching under a pan trace.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_store::prefetch::TilePrefetcher;
 
 fn trace() -> Vec<(i64, i64)> {

@@ -1,6 +1,6 @@
 //! E7 — HETree: bulk vs ICO construction; C vs R variants.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_hetree::{HETree, Variant};
 use wodex_synth::values::Shape;

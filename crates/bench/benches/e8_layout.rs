@@ -1,6 +1,6 @@
 //! E8 — flat force-directed vs multilevel vs hierarchy abstraction.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_bench::workloads;
 use wodex_graph::coarsen::multilevel_layout;
 use wodex_graph::hierarchy::AbstractionHierarchy;

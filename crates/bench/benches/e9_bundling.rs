@@ -1,6 +1,6 @@
 //! E9 — force-directed edge bundling cost vs subdivision cycles.
-use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wodex_graph::bundling::{bundle, BundleParams};
 use wodex_graph::layout::Point;
 

@@ -1,7 +1,7 @@
 //! T1/T2 — table regeneration and corpus analysis (cheap by design;
 //! benched to keep the artifact-generation path exercised).
-use wodex_bench::crit::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wodex_bench::crit::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");

@@ -7,6 +7,7 @@
 //! * `repro bench-pr1` — serial-vs-parallel timings → `BENCH_PR1.json`.
 //! * `repro bench-pr2` — fault-free resilience overhead → `BENCH_PR2.json`.
 //! * `repro bench-pr3` — HTTP serving layer under load → `BENCH_PR3.json`.
+//! * `repro bench-pr4` — observability instrumented overhead → `BENCH_PR4.json`.
 //! * `repro all` (default) — everything, in `EXPERIMENTS.md` order.
 
 use wodex_bench::experiments;
@@ -56,6 +57,11 @@ fn main() {
             std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
             print!("{json}");
         }
+        "bench-pr4" => {
+            let json = wodex_bench::obsbench::report();
+            std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+            print!("{json}");
+        }
         "all" => {
             println!("{}", wodex_registry::render_table1());
             println!("{}", wodex_registry::render_table2());
@@ -68,7 +74,7 @@ fn main() {
                 print!("{}", f());
             } else {
                 eprintln!(
-                    "unknown target {id:?}; use table1|table2|claims|map|list|bench-pr1|bench-pr2|bench-pr3|all|e1..e15"
+                    "unknown target {id:?}; use table1|table2|claims|map|list|bench-pr1|bench-pr2|bench-pr3|bench-pr4|all|e1..e15"
                 );
                 std::process::exit(2);
             }

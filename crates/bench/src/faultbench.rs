@@ -153,7 +153,9 @@ pub fn report() -> String {
 fn render(pairs: &[Pair]) -> String {
     let gate_ok = pairs.iter().all(|p| p.overhead_pct() <= GATE_PCT);
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"wodex-resilience fault-free overhead (fallible path vs PR 1)\",\n");
+    out.push_str(
+        "  \"bench\": \"wodex-resilience fault-free overhead (fallible path vs PR 1)\",\n",
+    );
     out.push_str(&format!("  \"runs_per_point\": {RUNS},\n"));
     out.push_str(&format!("  \"gate_pct\": {GATE_PCT:.1},\n"));
     out.push_str(&format!("  \"gate_ok\": {gate_ok},\n"));

@@ -14,6 +14,7 @@
 pub mod crit;
 pub mod experiments;
 pub mod faultbench;
+pub mod obsbench;
 pub mod parbench;
 pub mod servebench;
 pub mod workloads;

@@ -1,0 +1,177 @@
+//! Instrumented-path overhead of the observability layer (PR 4).
+//!
+//! [`report`] times the PR 4 code — global-registry counter mirrors in
+//! the buffer pool and SPARQL evaluator, and per-stage query tracing —
+//! against the *same binary* with recording switched off through
+//! [`wodex_obs::set_enabled`] (and a [`QueryTrace::disabled`] handle),
+//! which is the closest reachable stand-in for the PR 3 path: identical
+//! machine code, every metric call reduced to one relaxed atomic load.
+//! Observability is supposed to be free enough to leave on in
+//! production: the gate in `scripts/verify.sh` requires the measured
+//! overhead to stay ≤ 5%. Times are the minimum of several runs
+//! (minimum, not mean: noise on a shared host only ever adds time).
+
+use std::time::Instant;
+
+use wodex_sparql::{Budget, QueryTrace};
+use wodex_store::buffer::BufferPool;
+use wodex_store::paged::{MemBackend, PagedTripleStore};
+
+const RUNS: usize = 7;
+
+/// Overhead at or below this (percent) passes the gate.
+pub const GATE_PCT: f64 = 5.0;
+
+/// Re-enables metric recording even if a measurement panics, so the
+/// kill switch never leaks into other benches or tests.
+struct EnableGuard;
+
+impl Drop for EnableGuard {
+    fn drop(&mut self) {
+        wodex_obs::set_enabled(true);
+    }
+}
+
+fn best_of<R>(f: impl Fn() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Times `f` twice over: once with recording off (baseline), once with
+/// it on (instrumented). The disabled run goes first so the instrumented
+/// run cannot borrow its cache warmth.
+fn paired<R>(f: impl Fn() -> R) -> (f64, f64) {
+    let _guard = EnableGuard;
+    wodex_obs::set_enabled(false);
+    let baseline = best_of(&f);
+    wodex_obs::set_enabled(true);
+    let instrumented = best_of(&f);
+    (baseline, instrumented)
+}
+
+struct Pair {
+    name: &'static str,
+    items: usize,
+    baseline_ms: f64,
+    instrumented_ms: f64,
+}
+
+impl Pair {
+    fn overhead_pct(&self) -> f64 {
+        (self.instrumented_ms / self.baseline_ms - 1.0) * 100.0
+    }
+}
+
+/// Runs the paired workloads and returns the `BENCH_PR4.json` document.
+pub fn report() -> String {
+    let mut pairs = Vec::new();
+
+    // E5 — cold paged scan: a pool smaller than the dataset, so every
+    // page pays a lookup-miss-fetch triple of counter bumps. This is the
+    // densest metric traffic per unit of real work in the store.
+    let triples = crate::workloads::tiled_triples(5_000, 100);
+    let store =
+        PagedTripleStore::bulk_load(MemBackend::new(), &triples).expect("in-memory bulk load");
+    let (b, i) = paired(|| {
+        let pool = BufferPool::new(64);
+        store.scan_all(&pool).expect("fault-free scan").len()
+    });
+    pairs.push(Pair {
+        name: "e5_full_scan_cold",
+        items: triples.len(),
+        baseline_ms: b,
+        instrumented_ms: i,
+    });
+
+    // E5 — warm window scan: the exploration hot path. Every access is a
+    // pool hit, so the counter mirror is the *only* thing the
+    // instrumented run adds per page.
+    let warm = BufferPool::new(64);
+    store
+        .scan_subject_range(&warm, 2000, 2100)
+        .expect("fault-free scan");
+    let window = store
+        .scan_subject_range(&warm, 2000, 2100)
+        .expect("fault-free scan")
+        .len();
+    let (b, i) = paired(|| {
+        store
+            .scan_subject_range(&warm, 2000, 2100)
+            .expect("fault-free scan")
+            .len()
+    });
+    pairs.push(Pair {
+        name: "e5_window_scan_warm",
+        items: window,
+        baseline_ms: b,
+        instrumented_ms: i,
+    });
+
+    // E14 — SPARQL BGP join + filter, fully traced: per-query counter
+    // mirrors plus a live QueryTrace with spans around every stage.
+    let qstore = crate::workloads::dbpedia_store(6_000);
+    let q = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+             SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p . \
+             FILTER(?p > 100) }";
+    let items = qstore.len();
+    let budget = Budget::unlimited();
+    let (b, i) = paired(|| {
+        let trace = if wodex_obs::enabled() {
+            QueryTrace::new()
+        } else {
+            QueryTrace::disabled()
+        };
+        let out = wodex_sparql::query_traced(&qstore, q, &budget, &trace).expect("query runs");
+        assert!(out.degraded.is_none(), "unlimited budget must not trip");
+        out
+    });
+    pairs.push(Pair {
+        name: "e14_bgp_join_traced",
+        items,
+        baseline_ms: b,
+        instrumented_ms: i,
+    });
+
+    render(&pairs)
+}
+
+fn render(pairs: &[Pair]) -> String {
+    let gate_ok = pairs.iter().all(|p| p.overhead_pct() <= GATE_PCT);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wodex-obs instrumented overhead (metrics + tracing vs PR 3)\",\n");
+    out.push_str(&format!("  \"runs_per_point\": {RUNS},\n"));
+    out.push_str(&format!("  \"gate_pct\": {GATE_PCT:.1},\n"));
+    out.push_str(&format!("  \"gate_ok\": {gate_ok},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, p) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"items\": {}, \"baseline_ms\": {:.3}, \
+             \"instrumented_ms\": {:.3}, \"overhead_pct\": {:.2}}}{}\n",
+            p.name,
+            p.items,
+            p.baseline_ms,
+            p.instrumented_ms,
+            p.overhead_pct(),
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_kill_switch_is_restored_after_pairing() {
+        let (b, i) = paired(|| 1 + 1);
+        assert!(b.is_finite() && i.is_finite());
+        assert!(wodex_obs::enabled(), "pairing must leave recording on");
+    }
+}

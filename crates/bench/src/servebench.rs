@@ -104,7 +104,10 @@ fn one_request<R: Rng>(addr: SocketAddr, session: &str, rng: &mut R) -> Option<O
                 &format!("/explore/zoom?session={session}&predicate={POP}&lo={lo}&hi=1e12"),
             )
         }
-        7 => get(addr, &format!("/explore/hits?session={session}&q=city&limit=10")),
+        7 => get(
+            addr,
+            &format!("/explore/hits?session={session}&q=city&limit=10"),
+        ),
         8 => get(addr, &format!("/viz/hist?predicate={POP}&bins=16")),
         _ => get(addr, "/stats"),
     }
@@ -191,7 +194,8 @@ fn closed_loop(addr: SocketAddr, conns: usize, reqs_per_conn: usize) -> ClosedLo
 /// backing off and retrying when the open itself is shed. Returns an
 /// empty string only after persistent failure.
 fn open_session(addr: SocketAddr) -> String {
-    let raw = "POST /explore/open HTTP/1.1\r\nHost: b\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    let raw =
+        "POST /explore/open HTTP/1.1\r\nHost: b\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
     for attempt in 0..5 {
         if attempt > 0 {
             std::thread::sleep(Duration::from_millis(100 * attempt));
@@ -265,7 +269,9 @@ fn open_burst(addr: SocketAddr, n: usize) -> BurstResult {
 }
 
 fn boot(explorer: Explorer, cfg: ServeConfig) -> RunningServer {
-    Server::bind(explorer, cfg).expect("bind ephemeral port").spawn()
+    Server::bind(explorer, cfg)
+        .expect("bind ephemeral port")
+        .spawn()
 }
 
 /// Runs both phases and returns the `BENCH_PR3.json` document.

@@ -11,16 +11,70 @@
 //! lock recovers from poisoning — a render that panicked on another
 //! thread must not take the whole cache down with it (an LRU map is
 //! valid after any interrupted sequence of its operations).
+//!
+//! Concurrent misses of the *same* key are **single-flight**: the first
+//! caller renders, every simultaneous caller waits for that one result
+//! instead of duplicating the pipeline run. (N sessions opening the same
+//! popular view at once is the common stampede; without coalescing they
+//! would all pay the render and the last `put` would win.)
 
 use crate::explorer::Explorer;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use wodex_store::cache::{CacheStats, LruCache};
 use wodex_viz::ldvm::View;
 use wodex_viz::recommend::VisKind;
 
+type Key = (String, Option<VisKind>);
+
+/// The shared state of one in-progress render.
+enum FlightResult {
+    Pending,
+    Ready(View),
+    /// The renderer panicked; waiters retry (and may render themselves).
+    Aborted,
+}
+
+struct Flight {
+    result: Mutex<FlightResult>,
+    cv: Condvar,
+}
+
+/// Removes the flight from the map when the renderer is done — and, if
+/// it unwound before publishing, marks the flight aborted so waiters
+/// wake up and retry instead of blocking forever.
+struct FlightGuard<'a> {
+    cache: &'a ViewCache,
+    key: &'a Key,
+    flight: &'a Arc<Flight>,
+    published: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            let mut r = self
+                .flight
+                .result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *r = FlightResult::Aborted;
+            self.flight.cv.notify_all();
+        }
+        self.cache
+            .flights
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(self.key);
+    }
+}
+
 /// An LRU cache of rendered views keyed by `(predicate, chart kind)`.
 pub struct ViewCache {
-    cache: Mutex<LruCache<(String, Option<VisKind>), View>>,
+    cache: Mutex<LruCache<Key, View>>,
+    flights: Mutex<HashMap<Key, Arc<Flight>>>,
+    renders: AtomicU64,
 }
 
 impl ViewCache {
@@ -28,32 +82,109 @@ impl ViewCache {
     pub fn new(capacity: usize) -> ViewCache {
         ViewCache {
             cache: Mutex::new(LruCache::new(capacity)),
+            flights: Mutex::new(HashMap::new()),
+            renders: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, LruCache<(String, Option<VisKind>), View>> {
+    fn lock(&self) -> MutexGuard<'_, LruCache<Key, View>> {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Returns the cached view or runs the pipeline and caches the result.
+    ///
+    /// Concurrent callers missing on the same key share one pipeline run.
     pub fn view(&self, ex: &Explorer, predicate: &str, kind: Option<VisKind>) -> View {
         let key = (predicate.to_string(), kind);
-        if let Some(v) = self.lock().get(&key) {
-            return v.clone();
+        loop {
+            if let Some(v) = self.lock().get(&key) {
+                return v.clone();
+            }
+            // Claim the key's flight or join the one in progress.
+            let (flight, renderer) = {
+                let mut flights = self.flights.lock().unwrap_or_else(PoisonError::into_inner);
+                match flights.get(&key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(Flight {
+                            result: Mutex::new(FlightResult::Pending),
+                            cv: Condvar::new(),
+                        });
+                        flights.insert(key.clone(), Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if renderer {
+                return self.render_flight(ex, predicate, kind, &key, &flight);
+            }
+            // Wait for the renderer to publish.
+            let mut r = flight.result.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                match &*r {
+                    FlightResult::Pending => {
+                        r = flight.cv.wait(r).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    FlightResult::Ready(v) => return v.clone(),
+                    FlightResult::Aborted => break, // Renderer panicked: retry.
+                }
+            }
         }
-        // Render outside the lock: a slow (or panicking) pipeline must
-        // not block other threads' cache hits.
-        let v = match kind {
-            Some(k) => ex.visualize_as(predicate, k),
-            None => ex.visualize(predicate),
+    }
+
+    /// The winning caller's path: render outside every lock (a slow or
+    /// panicking pipeline must not block cache hits), publish to the
+    /// cache and to waiters.
+    fn render_flight(
+        &self,
+        ex: &Explorer,
+        predicate: &str,
+        kind: Option<VisKind>,
+        key: &Key,
+        flight: &Arc<Flight>,
+    ) -> View {
+        let mut guard = FlightGuard {
+            cache: self,
+            key,
+            flight,
+            published: false,
         };
-        self.lock().put(key, v.clone());
+        // Lost-race re-check: the previous flight may have completed
+        // between this caller's miss and its claim. `peek_value` skips
+        // the stats, so the call still accounts exactly one miss.
+        let cached = self.lock().peek_value(key).cloned();
+        let v = match cached {
+            Some(v) => v,
+            None => {
+                let v = match kind {
+                    Some(k) => ex.visualize_as(predicate, k),
+                    None => ex.visualize(predicate),
+                };
+                self.renders.fetch_add(1, Ordering::Relaxed);
+                self.lock().put(key.clone(), v.clone());
+                v
+            }
+        };
+        {
+            let mut r = flight.result.lock().unwrap_or_else(PoisonError::into_inner);
+            *r = FlightResult::Ready(v.clone());
+            flight.cv.notify_all();
+        }
+        guard.published = true;
+        drop(guard); // Removes the flight from the map.
         v
     }
 
     /// Cache counters (hits/misses/evictions).
     pub fn stats(&self) -> CacheStats {
         self.lock().stats()
+    }
+
+    /// Pipeline runs performed on behalf of this cache — with
+    /// single-flight, at most one per key per cache generation no matter
+    /// how many callers miss concurrently.
+    pub fn renders(&self) -> u64 {
+        self.renders.load(Ordering::Relaxed)
     }
 
     /// Drops every cached view — call after the underlying data changes.
@@ -85,6 +216,7 @@ mod tests {
         assert_eq!(a.svg, b.svg);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(cache.renders(), 1);
     }
 
     #[test]
@@ -142,6 +274,31 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 4);
         assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn concurrent_misses_share_one_render() {
+        // The stampede regression: N threads miss the same cold key at
+        // once; single-flight must run the pipeline exactly once.
+        let ex = explorer();
+        let cache = ViewCache::new(8);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let v = cache.view(&ex, POP, None);
+                    assert!(v.svg.contains("<svg"));
+                });
+            }
+        });
+        assert_eq!(
+            cache.renders(),
+            1,
+            "concurrent misses of one key must coalesce into one render"
+        );
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
     }
 
     #[test]

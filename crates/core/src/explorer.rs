@@ -426,6 +426,24 @@ impl Explorer {
         Ok(wodex_sparql::query_budgeted(&self.store, query, budget)?)
     }
 
+    /// [`Explorer::sparql_budgeted`] recording per-stage timings (parse,
+    /// plan, BGP probe, filter, decode) into `trace`. Pass
+    /// [`wodex_sparql::QueryTrace::disabled`] to make this exactly
+    /// `sparql_budgeted` — disabled traces never read the clock.
+    pub fn sparql_traced(
+        &self,
+        query: &str,
+        budget: &Budget,
+        trace: &wodex_sparql::QueryTrace,
+    ) -> Result<BudgetedResult, WodexError> {
+        Ok(wodex_sparql::query_traced(
+            &self.store,
+            query,
+            budget,
+            trace,
+        )?)
+    }
+
     /// Like [`Explorer::visualize`] under a [`Budget`].
     ///
     /// Within budget this is exactly `visualize`. When the budget trips
@@ -697,7 +715,9 @@ mod tests {
         let q = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
                  SELECT ?s ?p WHERE { ?s dbo:population ?p }";
         let plain = ex.sparql(q).unwrap();
-        let budgeted = ex.sparql_budgeted(q, &wodex_sparql::Budget::unlimited()).unwrap();
+        let budgeted = ex
+            .sparql_budgeted(q, &wodex_sparql::Budget::unlimited())
+            .unwrap();
         assert!(budgeted.degraded.is_none());
         assert_eq!(
             plain.table().unwrap().rows,
@@ -730,7 +750,8 @@ mod tests {
         assert!(degraded.is_none());
         assert_eq!(
             v.svg,
-            ex.visualize("http://dbp.example.org/ontology/population").svg
+            ex.visualize("http://dbp.example.org/ontology/population")
+                .svg
         );
     }
 

@@ -41,13 +41,17 @@
 //!
 //! ## Observability
 //!
-//! Each call records items processed and wall time into global counters;
-//! [`stats`] snapshots them and [`reset_stats`] clears them.
+//! Each call records items processed and wall time into the process-global
+//! [`wodex_obs`] registry (family `wodex_exec_*`, one series per `op`
+//! label); [`stats`] snapshots them and [`reset_stats`] clears them.
+//! [`run_chunked`] additionally counts tasks spawned and observes each
+//! worker's spawn-to-first-claim latency as a queue-wait histogram.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
+use wodex_obs::{Counter, Histogram};
 use wodex_resilience::{Budget, DegradeReason};
 
 pub mod channel;
@@ -111,60 +115,97 @@ pub fn chunk_size(len: usize) -> usize {
     len.div_ceil(TARGET_CHUNKS).max(MIN_CHUNK)
 }
 
-#[derive(Default)]
-struct OpCounters {
-    calls: AtomicU64,
-    parallel_calls: AtomicU64,
-    items: AtomicU64,
-    nanos: AtomicU64,
+/// Registry handles for one operation (`op` label: map / chunks / fold).
+/// Registered once via [`exec_metrics`]; recording is atomics-only.
+struct OpMetrics {
+    calls: Arc<Counter>,
+    parallel_calls: Arc<Counter>,
+    items: Arc<Counter>,
+    duration: Arc<Histogram>,
 }
 
-impl OpCounters {
-    fn record(&self, items: usize, parallel: bool, start: Instant) {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        if parallel {
-            self.parallel_calls.fetch_add(1, Ordering::Relaxed);
+impl OpMetrics {
+    fn new(op: &'static str) -> OpMetrics {
+        let r = wodex_obs::global();
+        OpMetrics {
+            calls: r.counter_with(
+                "wodex_exec_calls_total",
+                "Invocations of an exec-layer parallel operation",
+                &[("op", op)],
+            ),
+            parallel_calls: r.counter_with(
+                "wodex_exec_parallel_calls_total",
+                "Invocations that actually spawned worker threads",
+                &[("op", op)],
+            ),
+            items: r.counter_with(
+                "wodex_exec_items_total",
+                "Items processed by an exec-layer parallel operation",
+                &[("op", op)],
+            ),
+            duration: r.duration_histogram(
+                "wodex_exec_op_seconds",
+                "Wall time of one exec-layer parallel operation call",
+                &[("op", op)],
+            ),
         }
-        self.items.fetch_add(items as u64, Ordering::Relaxed);
-        self.nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn record(&self, items: usize, parallel: bool, start: Instant) {
+        self.calls.inc();
+        if parallel {
+            self.parallel_calls.inc();
+        }
+        self.items.add(items as u64);
+        self.duration.observe(start.elapsed().as_nanos() as u64);
     }
 
     fn snapshot(&self) -> OpStats {
         OpStats {
-            calls: self.calls.load(Ordering::Relaxed),
-            parallel_calls: self.parallel_calls.load(Ordering::Relaxed),
-            items: self.items.load(Ordering::Relaxed),
-            nanos: self.nanos.load(Ordering::Relaxed),
+            calls: self.calls.get(),
+            parallel_calls: self.parallel_calls.get(),
+            items: self.items.get(),
+            nanos: self.duration.sum(),
         }
     }
 
     fn reset(&self) {
-        self.calls.store(0, Ordering::Relaxed);
-        self.parallel_calls.store(0, Ordering::Relaxed);
-        self.items.store(0, Ordering::Relaxed);
-        self.nanos.store(0, Ordering::Relaxed);
+        self.calls.reset();
+        self.parallel_calls.reset();
+        self.items.reset();
+        self.duration.reset();
     }
 }
 
-static MAP_COUNTERS: OpCounters = OpCounters {
-    calls: AtomicU64::new(0),
-    parallel_calls: AtomicU64::new(0),
-    items: AtomicU64::new(0),
-    nanos: AtomicU64::new(0),
-};
-static CHUNK_COUNTERS: OpCounters = OpCounters {
-    calls: AtomicU64::new(0),
-    parallel_calls: AtomicU64::new(0),
-    items: AtomicU64::new(0),
-    nanos: AtomicU64::new(0),
-};
-static FOLD_COUNTERS: OpCounters = OpCounters {
-    calls: AtomicU64::new(0),
-    parallel_calls: AtomicU64::new(0),
-    items: AtomicU64::new(0),
-    nanos: AtomicU64::new(0),
-};
+struct ExecMetrics {
+    map: OpMetrics,
+    chunks: OpMetrics,
+    fold: OpMetrics,
+    tasks_spawned: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+}
+
+/// The exec layer's registry handles, registered on first use.
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        ExecMetrics {
+            map: OpMetrics::new("map"),
+            chunks: OpMetrics::new("chunks"),
+            fold: OpMetrics::new("fold"),
+            tasks_spawned: r.counter(
+                "wodex_exec_tasks_spawned_total",
+                "Worker tasks spawned by the scoped pool",
+            ),
+            queue_wait: r.duration_histogram(
+                "wodex_exec_task_queue_seconds",
+                "Latency from pool dispatch to a worker claiming its first chunk",
+                &[],
+            ),
+        }
+    })
+}
 
 /// A snapshot of one operation's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,18 +233,20 @@ pub struct ExecStats {
 
 /// Snapshots the global timing counters.
 pub fn stats() -> ExecStats {
+    let m = exec_metrics();
     ExecStats {
-        map: MAP_COUNTERS.snapshot(),
-        chunks: CHUNK_COUNTERS.snapshot(),
-        fold: FOLD_COUNTERS.snapshot(),
+        map: m.map.snapshot(),
+        chunks: m.chunks.snapshot(),
+        fold: m.fold.snapshot(),
     }
 }
 
 /// Clears the global timing counters.
 pub fn reset_stats() {
-    MAP_COUNTERS.reset();
-    CHUNK_COUNTERS.reset();
-    FOLD_COUNTERS.reset();
+    let m = exec_metrics();
+    m.map.reset();
+    m.chunks.reset();
+    m.fold.reset();
 }
 
 /// Unwraps a completed chunk slot. Slots are written exactly once by the
@@ -221,15 +264,21 @@ fn take_slot<R>(slot: Mutex<Option<R>>) -> R {
 ///
 /// Panics from `work` propagate to the caller when the scope joins.
 fn run_chunked<W: Fn(usize) + Sync>(nchunks: usize, threads: usize, work: W) {
+    let m = exec_metrics();
+    m.tasks_spawned.add(threads as u64);
+    let dispatched = Instant::now();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= nchunks {
-                    break;
+            s.spawn(|| {
+                m.queue_wait.observe(dispatched.elapsed().as_nanos() as u64);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= nchunks {
+                        break;
+                    }
+                    work(i);
                 }
-                work(i);
             });
         }
     });
@@ -249,7 +298,7 @@ where
     let n = items.len();
     let start = Instant::now();
     if n == 0 {
-        MAP_COUNTERS.record(0, false, start);
+        exec_metrics().map.record(0, false, start);
         return Vec::new();
     }
     let chunk = chunk_size(n);
@@ -263,7 +312,7 @@ where
         for c in items.chunks(chunk) {
             out.extend(c.iter().map(&f));
         }
-        MAP_COUNTERS.record(n, false, start);
+        exec_metrics().map.record(n, false, start);
         return out;
     }
     let slots: Vec<Mutex<Option<Vec<R>>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
@@ -277,7 +326,7 @@ where
     for slot in slots {
         out.extend(take_slot(slot));
     }
-    MAP_COUNTERS.record(n, true, start);
+    exec_metrics().map.record(n, true, start);
     out
 }
 
@@ -298,7 +347,7 @@ where
     let n = items.len();
     let start = Instant::now();
     if n == 0 {
-        CHUNK_COUNTERS.record(0, false, start);
+        exec_metrics().chunks.record(0, false, start);
         return Vec::new();
     }
     let nchunks = n.div_ceil(chunk);
@@ -309,7 +358,7 @@ where
             .enumerate()
             .map(|(i, c)| f(i, c))
             .collect();
-        CHUNK_COUNTERS.record(n, false, start);
+        exec_metrics().chunks.record(n, false, start);
         return out;
     }
     let slots: Vec<Mutex<Option<R>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
@@ -319,7 +368,7 @@ where
         *slots[i].lock().unwrap() = Some(f(i, &items[lo..hi]));
     });
     let out = slots.into_iter().map(take_slot).collect();
-    CHUNK_COUNTERS.record(n, true, start);
+    exec_metrics().chunks.record(n, true, start);
     out
 }
 
@@ -377,7 +426,7 @@ where
     }
     let start = Instant::now();
     if n == 0 {
-        MAP_COUNTERS.record(0, false, start);
+        exec_metrics().map.record(0, false, start);
         return Partial {
             value: Vec::new(),
             completed: 0,
@@ -402,12 +451,14 @@ where
             out.extend(c.iter().map(&f));
             budget.charge_rows(c.len() as u64);
         }
-        MAP_COUNTERS.record(out.len(), false, start);
+        exec_metrics().map.record(out.len(), false, start);
         let completed = out.len();
         return Partial {
             value: out,
             completed,
-            interrupted: stop_reason.into_inner().unwrap_or_else(PoisonError::into_inner),
+            interrupted: stop_reason
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner),
         };
     }
     let slots: Vec<Mutex<Option<Vec<R>>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
@@ -426,7 +477,9 @@ where
     // after an earlier one was skipped, but a result with holes is not a
     // meaningful partial answer for an order-preserving map.
     let mut out = Vec::new();
-    let mut interrupted = stop_reason.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let mut interrupted = stop_reason
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     for slot in slots {
         match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
             Some(v) => out.extend(v),
@@ -438,7 +491,7 @@ where
             }
         }
     }
-    MAP_COUNTERS.record(out.len(), true, start);
+    exec_metrics().map.record(out.len(), true, start);
     let completed = out.len();
     Partial {
         value: out,
@@ -464,7 +517,7 @@ where
     let n = items.len();
     let start = Instant::now();
     if n == 0 {
-        FOLD_COUNTERS.record(0, false, start);
+        exec_metrics().fold.record(0, false, start);
         return init();
     }
     let chunk = chunk_size(n);
@@ -476,7 +529,7 @@ where
                 .chunks(chunk)
                 .map(|c| c.iter().fold(init(), &fold))
                 .collect();
-            FOLD_COUNTERS.record(n, false, start);
+            exec_metrics().fold.record(n, false, start);
             out
         } else {
             let slots: Vec<Mutex<Option<A>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
@@ -487,7 +540,7 @@ where
                 *slots[i].lock().unwrap() = Some(acc);
             });
             let out = slots.into_iter().map(take_slot).collect();
-            FOLD_COUNTERS.record(n, true, start);
+            exec_metrics().fold.record(n, true, start);
             out
         }
     };

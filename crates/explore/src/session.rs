@@ -16,6 +16,20 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use wodex_rdf::{Graph, Term, Value};
 
+/// Counts one session operation in the global registry (series
+/// `wodex_explore_ops_total{op=...}`). Handles are interned by the
+/// registry, so the per-call cost after the first is one map probe under
+/// a short lock — session ops are user-interaction-rate, not hot-path.
+fn count_op(op: &'static str) {
+    wodex_obs::global()
+        .counter_with(
+            "wodex_explore_ops_total",
+            "Exploration session operations by kind",
+            &[("op", op)],
+        )
+        .inc();
+}
+
 /// One step of an exploration session.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Operation {
@@ -121,6 +135,7 @@ impl ExplorationSession {
     /// **Overview**: class → instance counts, largest first (the entry
     /// point of the mantra).
     pub fn overview(&self) -> Vec<(String, usize)> {
+        count_op("overview");
         let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
         for t in self
             .graph
@@ -137,6 +152,7 @@ impl ExplorationSession {
 
     /// **Filter**: select a facet value.
     pub fn filter(&mut self, predicate: &str, value: &str) {
+        count_op("filter");
         self.facets.select(predicate, value);
         self.log.push(Operation::Filter {
             predicate: predicate.to_string(),
@@ -146,6 +162,7 @@ impl ExplorationSession {
 
     /// **Zoom**: restrict a numeric property to a range.
     pub fn zoom(&mut self, predicate: &str, lo: f64, hi: f64) {
+        count_op("zoom");
         self.log.push(Operation::Zoom {
             predicate: predicate.to_string(),
             lo,
@@ -155,6 +172,7 @@ impl ExplorationSession {
 
     /// **Search**: add a keyword restriction.
     pub fn search(&mut self, query: &str) {
+        count_op("search");
         self.log.push(Operation::Search {
             query: query.to_string(),
         });
@@ -162,16 +180,19 @@ impl ExplorationSession {
 
     /// Raw keyword lookup without changing session state.
     pub fn search_preview(&self, query: &str, limit: usize) -> Vec<Hit> {
+        count_op("search_preview");
         self.search.search(query, limit)
     }
 
     /// **Details-on-demand**: the resource view (stateless).
     pub fn details(&self, resource: &Term) -> ResourceView {
+        count_op("details");
         ResourceView::of(&self.graph, resource)
     }
 
     /// Undoes the last operation (replays the log).
     pub fn undo(&mut self) -> Option<Operation> {
+        count_op("undo");
         let undone = self.log.pop()?;
         // Rebuild facet selections from the remaining log.
         self.facets.clear();

@@ -7,8 +7,8 @@
 //! the hierarchy module uses both.
 
 use crate::adjacency::Adjacency;
-use wodex_synth::rng::{SeedableRng, SliceRandom};
 use std::collections::HashMap;
+use wodex_synth::rng::{SeedableRng, SliceRandom};
 
 /// Asynchronous label propagation. Each node repeatedly adopts the most
 /// frequent label among its neighbors (ties broken toward the smallest

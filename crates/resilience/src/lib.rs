@@ -28,7 +28,7 @@ pub mod checksum;
 pub mod error;
 pub mod retry;
 
-pub use budget::{Budget, Degraded, DegradeReason};
+pub use budget::{Budget, DegradeReason, Degraded};
 pub use checksum::page_checksum;
 pub use error::StoreError;
 pub use retry::{RetryPolicy, RetrySnapshot, RetryStats};

@@ -9,7 +9,50 @@
 //! reports.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+use wodex_obs::Counter;
+
+/// Global registry mirrors of every [`RetryStats`] in the process: the
+/// per-instance stats stay authoritative for a single store's callers,
+/// while these feed `/metrics` and the cross-layer conservation invariant
+/// `retries == attempts - ops`.
+struct RetryMetrics {
+    ops: Arc<Counter>,
+    attempts: Arc<Counter>,
+    retries: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    giveups: Arc<Counter>,
+}
+
+fn retry_metrics() -> &'static RetryMetrics {
+    static METRICS: OnceLock<RetryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        RetryMetrics {
+            ops: r.counter(
+                "wodex_retry_ops_total",
+                "Retry-wrapped operations started (first tries)",
+            ),
+            attempts: r.counter(
+                "wodex_retry_attempts_total",
+                "Individual attempts across retry-wrapped operations",
+            ),
+            retries: r.counter(
+                "wodex_retry_retries_total",
+                "Transient failures that were retried",
+            ),
+            recoveries: r.counter(
+                "wodex_retry_recoveries_total",
+                "Operations that succeeded only after at least one retry",
+            ),
+            giveups: r.counter(
+                "wodex_retry_giveups_total",
+                "Operations that failed permanently",
+            ),
+        }
+    })
+}
 
 /// How hard to retry a transient fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,24 +107,31 @@ impl RetryPolicy {
         mut op: impl FnMut(u32) -> Result<T, E>,
         exhausted: impl FnOnce(u32, E) -> E,
     ) -> Result<T, E> {
+        let m = retry_metrics();
         let attempts = self.max_attempts.max(1);
         let mut retried = false;
+        stats.ops.fetch_add(1, Ordering::Relaxed);
+        m.ops.inc();
         for attempt in 1..=attempts {
             stats.attempts.fetch_add(1, Ordering::Relaxed);
+            m.attempts.inc();
             match op(attempt) {
                 Ok(v) => {
                     if retried {
                         stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                        m.recoveries.inc();
                     }
                     return Ok(v);
                 }
                 Err(e) if is_transient(&e) && attempt < attempts => {
                     stats.retries.fetch_add(1, Ordering::Relaxed);
+                    m.retries.inc();
                     retried = true;
                     std::thread::sleep(self.delay_for(attempt));
                 }
                 Err(e) => {
                     stats.giveups.fetch_add(1, Ordering::Relaxed);
+                    m.giveups.inc();
                     return Err(if is_transient(&e) {
                         exhausted(attempts, e)
                     } else {
@@ -97,6 +147,9 @@ impl RetryPolicy {
 /// Lock-free retry counters (shared by concurrent readers of one store).
 #[derive(Debug, Default)]
 pub struct RetryStats {
+    /// Retry-wrapped operations started (exactly one per [`RetryPolicy::run`]
+    /// call — the "first tries"). `retries == attempts - ops` always holds.
+    pub ops: AtomicU64,
     /// Operations attempted (every try, including firsts).
     pub attempts: AtomicU64,
     /// Transient failures that were retried.
@@ -117,6 +170,7 @@ impl RetryStats {
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> RetrySnapshot {
         RetrySnapshot {
+            ops: self.ops.load(Ordering::Relaxed),
             attempts: self.attempts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
@@ -128,6 +182,8 @@ impl RetryStats {
 /// A plain-value snapshot of [`RetryStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetrySnapshot {
+    /// See [`RetryStats::ops`].
+    pub ops: u64,
     /// See [`RetryStats::attempts`].
     pub attempts: u64,
     /// See [`RetryStats::retries`].
@@ -157,15 +213,14 @@ mod tests {
     #[test]
     fn first_try_success_records_one_attempt() {
         let stats = RetryStats::new();
-        let r: Result<i32, E> = RetryPolicy::default().run(
-            &stats,
-            soft,
-            |_| Ok(42),
-            |n, _| E::Exhausted(n),
-        );
+        let r: Result<i32, E> =
+            RetryPolicy::default().run(&stats, soft, |_| Ok(42), |n, _| E::Exhausted(n));
         assert_eq!(r, Ok(42));
         let s = stats.snapshot();
-        assert_eq!((s.attempts, s.retries, s.recoveries, s.giveups), (1, 0, 0, 0));
+        assert_eq!(
+            (s.attempts, s.retries, s.recoveries, s.giveups),
+            (1, 0, 0, 0)
+        );
     }
 
     #[test]
@@ -187,18 +242,17 @@ mod tests {
         );
         assert_eq!(r, Ok(7));
         let s = stats.snapshot();
-        assert_eq!((s.attempts, s.retries, s.recoveries, s.giveups), (3, 2, 1, 0));
+        assert_eq!(
+            (s.attempts, s.retries, s.recoveries, s.giveups),
+            (3, 2, 1, 0)
+        );
     }
 
     #[test]
     fn persistent_transient_exhausts_with_wrapper() {
         let stats = RetryStats::new();
-        let r: Result<i32, E> = RetryPolicy::default().run(
-            &stats,
-            soft,
-            |_| Err(E::Soft),
-            |n, _| E::Exhausted(n),
-        );
+        let r: Result<i32, E> =
+            RetryPolicy::default().run(&stats, soft, |_| Err(E::Soft), |n, _| E::Exhausted(n));
         assert_eq!(r, Err(E::Exhausted(4)));
         let s = stats.snapshot();
         assert_eq!((s.attempts, s.retries, s.giveups), (4, 3, 1));

@@ -33,7 +33,7 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 use wodex_rdf::{Term, Value};
 use wodex_sparql::results::json_string as js;
-use wodex_sparql::{Budget, Degraded, QueryResult};
+use wodex_sparql::{Budget, Degraded, QueryResult, QueryTrace, Stage};
 
 /// Entries per chunk when streaming overview rows / histogram bins.
 const STREAM_GROUP: usize = 16;
@@ -50,7 +50,7 @@ pub(crate) fn handle(state: &AppState, stream: TcpStream) {
     match read_request(&mut reader) {
         Ok(req) => route(state, &req, &mut out),
         Err(ParseError::Malformed(why)) => {
-            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            state.counters.inc_bad_request();
             error_json(&mut out, 400, "Bad Request", why);
         }
         // Peer closed early or the read timed out: nothing to answer.
@@ -63,6 +63,7 @@ fn route(state: &AppState, req: &Request, out: &mut TcpStream) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state, out),
         ("GET", "/stats") => stats(state, out),
+        ("GET", "/metrics") => metrics(out),
         ("POST", "/sparql") => sparql(state, req, out),
         ("GET", "/explore/open") | ("POST", "/explore/open") => explore_open(state, out),
         ("GET", "/explore/overview") => explore_overview(state, req, out),
@@ -79,7 +80,7 @@ fn route(state: &AppState, req: &Request, out: &mut TcpStream) {
         ("GET", "/viz/hist") => viz_hist(state, req, out),
         ("POST", "/admin/shutdown") => admin_shutdown(state, out),
         _ => {
-            state.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            state.counters.inc_not_found();
             error_json(out, 404, "Not Found", "no such endpoint");
         }
     }
@@ -88,11 +89,18 @@ fn route(state: &AppState, req: &Request, out: &mut TcpStream) {
 /// Writes `{"error": why}` with the given status.
 fn error_json(out: &mut TcpStream, status: u16, reason: &str, why: &str) {
     let body = format!("{{\"error\":{}}}", js(why));
-    let _ = write_response(out, status, reason, "application/json", &[], body.as_bytes());
+    let _ = write_response(
+        out,
+        status,
+        reason,
+        "application/json",
+        &[],
+        body.as_bytes(),
+    );
 }
 
 fn bad_request(state: &AppState, out: &mut TcpStream, why: &str) {
-    state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+    state.counters.inc_bad_request();
     error_json(out, 400, "Bad Request", why);
 }
 
@@ -146,6 +154,21 @@ fn healthz(state: &AppState, out: &mut TcpStream) {
         state.started.elapsed().as_millis()
     );
     let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+}
+
+/// `GET /metrics` — the process-wide registry in Prometheus text
+/// exposition format 0.0.4. One scrape covers every layer that has run
+/// in this process (serve, exec, store, sparql, explore, retry).
+fn metrics(out: &mut TcpStream) {
+    let body = wodex_obs::render_prometheus(wodex_obs::global());
+    let _ = write_response(
+        out,
+        200,
+        "OK",
+        "text/plain; version=0.0.4; charset=utf-8",
+        &[],
+        body.as_bytes(),
+    );
 }
 
 fn stats(state: &AppState, out: &mut TcpStream) {
@@ -208,7 +231,8 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
         return;
     }
     let budget = request_budget(state, req);
-    let budgeted = match state.explorer.sparql_budgeted(&text, &budget) {
+    let trace = QueryTrace::new();
+    let budgeted = match state.explorer.sparql_traced(&text, &budget, &trace) {
         Ok(b) => b,
         Err(e) => {
             bad_request(state, out, &e.to_string());
@@ -216,13 +240,27 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
         }
     };
     if budgeted.degraded.is_some() {
-        state.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        state.counters.inc_degraded();
     }
-    let trailers = ["X-Wodex-Degraded", "X-Wodex-Rows"];
-    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &trailers)
-    else {
+    // The engine stages are done, so their timings can ride a response
+    // header; serialization is still ahead and rides a trailer.
+    let trace_header = trace.header_value();
+    let trailers = [
+        "X-Wodex-Degraded",
+        "X-Wodex-Rows",
+        "X-Wodex-Trace-Serialize",
+    ];
+    let Ok(mut cw) = ChunkedWriter::start(
+        &mut *out,
+        200,
+        "OK",
+        "application/json",
+        &[("X-Wodex-Trace", trace_header.as_str())],
+        &trailers,
+    ) else {
         return;
     };
+    let serialize_span = trace.span(Stage::Serialize);
     let rows_sent: usize;
     let write_ok = match &budgeted.result {
         QueryResult::Solutions(t) => {
@@ -234,10 +272,16 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
             cw.chunk(other.to_json().as_bytes())
         }
     };
+    drop(serialize_span);
+    trace.add_items(Stage::Serialize, rows_sent as u64);
     if write_ok.is_ok() {
         let _ = cw.finish(&[
             ("X-Wodex-Degraded", degraded_trailer(&budgeted.degraded)),
             ("X-Wodex-Rows", rows_sent.to_string()),
+            (
+                "X-Wodex-Trace-Serialize",
+                format!("{}us", trace.stage_nanos(Stage::Serialize) / 1_000),
+            ),
         ]);
     }
 }
@@ -284,7 +328,7 @@ fn with_session<R>(
     match state.sessions.with(token, f) {
         Some(r) => Some(r),
         None => {
-            state.counters.not_found.fetch_add(1, Ordering::Relaxed);
+            state.counters.inc_not_found();
             error_json(out, 404, "Not Found", "unknown or expired session");
             None
         }
@@ -297,7 +341,8 @@ fn explore_overview(state: &AppState, req: &Request, out: &mut TcpStream) {
     let Some(overview) = with_session(state, req, out, |s| s.overview()) else {
         return;
     };
-    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &[]) else {
+    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &[], &[])
+    else {
         return;
     };
     let _ = cw.chunk(b"{\"classes\":[");
@@ -503,7 +548,7 @@ fn viz_chart(state: &AppState, req: &Request, out: &mut TcpStream) {
     let budget = request_budget(state, req);
     let (view, degraded) = state.explorer.visualize_budgeted(predicate, &budget);
     if degraded.is_some() {
-        state.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        state.counters.inc_degraded();
     }
     let verdict = degraded_trailer(&degraded);
     let _ = write_response(
@@ -547,7 +592,10 @@ fn viz_hist(state: &AppState, req: &Request, out: &mut TcpStream) {
             .object
             .as_literal()
             .map(Value::from_literal)
-            .and_then(|v| v.as_f64().or_else(|| v.as_epoch_seconds().map(|s| s as f64)))
+            .and_then(|v| {
+                v.as_f64()
+                    .or_else(|| v.as_epoch_seconds().map(|s| s as f64))
+            })
         {
             values.push(x);
         }
@@ -566,7 +614,7 @@ fn viz_hist(state: &AppState, req: &Request, out: &mut TcpStream) {
         },
     });
     if degraded.is_some() {
-        state.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        state.counters.inc_degraded();
     }
     let hist = wodex_approx::binning::Histogram::build(
         &values,
@@ -574,7 +622,7 @@ fn viz_hist(state: &AppState, req: &Request, out: &mut TcpStream) {
         wodex_approx::binning::BinningStrategy::EqualWidth,
     );
     let trailers = ["X-Wodex-Degraded", "X-Wodex-Rows"];
-    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &trailers)
+    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &[], &trailers)
     else {
         return;
     };

@@ -238,17 +238,24 @@ pub struct ChunkedWriter<W: Write> {
 impl<W: Write> ChunkedWriter<W> {
     /// Writes the status line and headers, declaring chunked encoding
     /// and the trailer names that [`ChunkedWriter::finish`] may send.
+    /// `extra_headers` are emitted before the blank line — metadata
+    /// known *before* streaming starts (trailers carry what is only
+    /// known after).
     pub fn start(
         mut w: W,
         status: u16,
         reason: &str,
         content_type: &str,
+        extra_headers: &[(&str, &str)],
         trailer_names: &[&str],
     ) -> io::Result<ChunkedWriter<W>> {
         write!(
             w,
             "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
         )?;
+        for (k, v) in extra_headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
         if !trailer_names.is_empty() {
             write!(w, "Trailer: {}\r\n", trailer_names.join(", "))?;
         }
@@ -357,8 +364,15 @@ mod tests {
     #[test]
     fn chunked_stream_with_trailers() {
         let mut out = Vec::new();
-        let mut cw =
-            ChunkedWriter::start(&mut out, 200, "OK", "application/json", &["X-Degraded"]).unwrap();
+        let mut cw = ChunkedWriter::start(
+            &mut out,
+            200,
+            "OK",
+            "application/json",
+            &[("X-Extra", "e1")],
+            &["X-Degraded"],
+        )
+        .unwrap();
         cw.chunk(b"abc").unwrap();
         cw.chunk(b"").unwrap(); // skipped, must not terminate
         cw.chunk(b"defgh").unwrap();
@@ -366,6 +380,7 @@ mod tests {
         cw.finish(&[("X-Degraded", "none".to_string())]).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("Transfer-Encoding: chunked"));
+        assert!(s.contains("X-Extra: e1\r\n"));
         assert!(s.contains("Trailer: X-Degraded"));
         assert!(s.contains("3\r\nabc\r\n"));
         assert!(s.contains("5\r\ndefgh\r\n"));

@@ -31,8 +31,8 @@
 //!
 //! [`ExplorationSession`]: wodex_explore::ExplorationSession
 
-pub mod http;
 mod handlers;
+pub mod http;
 pub mod server;
 pub mod sessions;
 

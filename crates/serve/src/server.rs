@@ -29,10 +29,75 @@ use crate::handlers;
 use crate::sessions::SessionManager;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 use wodex_core::Explorer;
 use wodex_exec::channel::{self, TrySendError};
+use wodex_obs::{Counter, Histogram};
+
+/// Global-registry handles for the serving layer. The per-instance
+/// [`Counters`] stay authoritative for `/stats` and the admission tests;
+/// these series feed the `/metrics` exposition, where every server in
+/// the process aggregates into one scrape.
+pub(crate) struct ServeMetrics {
+    pub(crate) accepted: Arc<Counter>,
+    pub(crate) admitted: Arc<Counter>,
+    pub(crate) served: Arc<Counter>,
+    pub(crate) shed_queue_full: Arc<Counter>,
+    pub(crate) shed_queue_wait: Arc<Counter>,
+    pub(crate) bad_requests: Arc<Counter>,
+    pub(crate) not_found: Arc<Counter>,
+    pub(crate) degraded: Arc<Counter>,
+    pub(crate) queue_wait: Arc<Histogram>,
+    pub(crate) request_seconds: Arc<Histogram>,
+}
+
+pub(crate) fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        ServeMetrics {
+            accepted: r.counter(
+                "wodex_serve_accepted_total",
+                "Connections accepted by the listener",
+            ),
+            admitted: r.counter(
+                "wodex_serve_admitted_total",
+                "Connections handed to the worker pool",
+            ),
+            served: r.counter(
+                "wodex_serve_served_total",
+                "Requests fully served (any status)",
+            ),
+            shed_queue_full: r.counter_with(
+                "wodex_serve_shed_total",
+                "Connections shed with 503 by admission gate",
+                &[("gate", "queue_full")],
+            ),
+            shed_queue_wait: r.counter_with(
+                "wodex_serve_shed_total",
+                "Connections shed with 503 by admission gate",
+                &[("gate", "queue_wait")],
+            ),
+            bad_requests: r.counter("wodex_serve_bad_requests_total", "400 responses"),
+            not_found: r.counter("wodex_serve_not_found_total", "404 responses"),
+            degraded: r.counter(
+                "wodex_serve_degraded_total",
+                "Responses whose budget tripped (partial answers)",
+            ),
+            queue_wait: r.duration_histogram(
+                "wodex_serve_queue_wait_seconds",
+                "Time an admitted connection waited for a worker",
+                &[],
+            ),
+            request_seconds: r.duration_histogram(
+                "wodex_serve_request_seconds",
+                "Wall time serving one admitted request",
+                &[],
+            ),
+        }
+    })
+}
 
 /// Tunables for one server instance.
 #[derive(Debug, Clone)]
@@ -117,6 +182,50 @@ impl Counters {
     pub fn shed_total(&self) -> u64 {
         self.shed_queue_full.load(Ordering::Relaxed) + self.shed_queue_wait.load(Ordering::Relaxed)
     }
+
+    // Each increment bumps the instance field (authoritative for /stats
+    // and the admission tests) and mirrors into the global registry so
+    // `/metrics` sees the same event. Both are single relaxed atomics.
+
+    pub(crate) fn inc_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().accepted.inc();
+    }
+
+    pub(crate) fn inc_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().admitted.inc();
+    }
+
+    pub(crate) fn inc_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().served.inc();
+    }
+
+    pub(crate) fn inc_shed_queue_full(&self) {
+        self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().shed_queue_full.inc();
+    }
+
+    pub(crate) fn inc_shed_queue_wait(&self) {
+        self.shed_queue_wait.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().shed_queue_wait.inc();
+    }
+
+    pub(crate) fn inc_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().bad_requests.inc();
+    }
+
+    pub(crate) fn inc_not_found(&self) {
+        self.not_found.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().not_found.inc();
+    }
+
+    pub(crate) fn inc_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().degraded.inc();
+    }
 }
 
 /// Dataset shape, precomputed at bind time so `/stats` never walks the
@@ -168,6 +277,11 @@ struct Conn {
 impl Server {
     /// Binds the listener and prepares shared state over `explorer`.
     pub fn bind(explorer: Explorer, cfg: ServeConfig) -> std::io::Result<Server> {
+        // Touch the serve and exec metric families up front so a
+        // `/metrics` scrape of a freshly bound server already exposes
+        // them at zero instead of omitting the series.
+        let _ = serve_metrics();
+        let _ = wodex_exec::stats();
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let sessions = SessionManager::new(
@@ -227,15 +341,18 @@ impl Server {
                         break; // Channel closed: accept loop is gone.
                     };
                     state.inflight.fetch_add(1, Ordering::Relaxed);
-                    if conn.enqueued.elapsed() > state.cfg.max_queue_wait {
-                        state
-                            .counters
-                            .shed_queue_wait
-                            .fetch_add(1, Ordering::Relaxed);
+                    let waited = conn.enqueued.elapsed();
+                    serve_metrics().queue_wait.observe(waited.as_nanos() as u64);
+                    if waited > state.cfg.max_queue_wait {
+                        state.counters.inc_shed_queue_wait();
                         shed(&state.cfg, conn.stream);
                     } else {
+                        let served_at = Instant::now();
                         handlers::handle(state, conn.stream);
-                        state.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        serve_metrics()
+                            .request_seconds
+                            .observe(served_at.elapsed().as_nanos() as u64);
+                        state.counters.inc_completed();
                     }
                     state.inflight.fetch_sub(1, Ordering::Relaxed);
                 });
@@ -247,19 +364,16 @@ impl Server {
                 let Ok(stream) = incoming else {
                     continue; // Transient accept error; keep serving.
                 };
-                state.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                state.counters.inc_accepted();
                 match tx.try_send(Conn {
                     stream,
                     enqueued: Instant::now(),
                 }) {
                     Ok(()) => {
-                        state.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                        state.counters.inc_admitted();
                     }
                     Err(TrySendError::Full(conn)) => {
-                        state
-                            .counters
-                            .shed_queue_full
-                            .fetch_add(1, Ordering::Relaxed);
+                        state.counters.inc_shed_queue_full();
                         shed(&state.cfg, conn.stream);
                     }
                     Err(TrySendError::Disconnected(_)) => break,
@@ -329,9 +443,7 @@ pub(crate) fn wake(addr: SocketAddr) {
 fn shed(cfg: &ServeConfig, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let retry = cfg.retry_after_secs.to_string();
-    let body = format!(
-        "{{\"error\":\"server at capacity\",\"retry_after_secs\":{retry}}}"
-    );
+    let body = format!("{{\"error\":\"server at capacity\",\"retry_after_secs\":{retry}}}");
     let _ = crate::http::write_response(
         &mut stream,
         503,

@@ -209,8 +209,10 @@ mod tests {
     fn session_state_persists_across_requests() {
         let m = SessionManager::new(graph(), 8, Duration::from_secs(60));
         let t = m.open();
-        m.with(&t, |s| s.filter(wodex_rdf::vocab::rdf::TYPE, "http://e.org/Thing"))
-            .unwrap();
+        m.with(&t, |s| {
+            s.filter(wodex_rdf::vocab::rdf::TYPE, "http://e.org/Thing")
+        })
+        .unwrap();
         let log_len = m.with(&t, |s| s.log().len()).unwrap();
         assert_eq!(log_len, 1);
     }

@@ -12,9 +12,44 @@ use crate::ast::*;
 use crate::parser::ParseError;
 use crate::results::{QueryResult, SolutionTable};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use wodex_obs::{Counter, QueryTrace, Stage};
 use wodex_rdf::{Term, TermId, Value};
 use wodex_resilience::{Budget, DegradeReason, Degraded};
 use wodex_store::{Pattern, TripleStore};
+
+/// Global registry series for the query engine.
+struct SparqlMetrics {
+    queries: Arc<Counter>,
+    degraded: Arc<Counter>,
+    rows_probed: Arc<Counter>,
+    rows_decoded: Arc<Counter>,
+}
+
+fn sparql_metrics() -> &'static SparqlMetrics {
+    static METRICS: OnceLock<SparqlMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        SparqlMetrics {
+            queries: r.counter(
+                "wodex_sparql_queries_total",
+                "Queries evaluated (all forms, budgeted or not)",
+            ),
+            degraded: r.counter(
+                "wodex_sparql_degraded_total",
+                "Queries whose budget tripped and returned a partial answer",
+            ),
+            rows_probed: r.counter(
+                "wodex_sparql_rows_probed_total",
+                "Binding rows produced by BGP index probes",
+            ),
+            rows_decoded: r.counter(
+                "wodex_sparql_rows_decoded_total",
+                "Result rows materialized from term ids to lexical forms",
+            ),
+        }
+    })
+}
 
 /// Errors from parsing or evaluating a query.
 #[derive(Debug)]
@@ -123,11 +158,32 @@ pub fn evaluate_budgeted(
     q: &Query,
     budget: &Budget,
 ) -> Result<BudgetedResult, QueryError> {
+    evaluate_traced(store, q, budget, &QueryTrace::disabled())
+}
+
+/// [`evaluate_budgeted`] with a caller-supplied [`QueryTrace`] recording
+/// per-stage timings and counts. The untraced entry points pass a
+/// disabled trace, so tracing support costs them one branch per span
+/// site and nothing else.
+pub fn evaluate_traced(
+    store: &TripleStore,
+    q: &Query,
+    budget: &Budget,
+    trace: &QueryTrace,
+) -> Result<BudgetedResult, QueryError> {
+    let m = sparql_metrics();
+    m.queries.inc();
     let mut deg = DegradeState::new();
-    evaluate_inner(store, q, budget, &mut deg).map(|result| BudgetedResult {
+    let out = evaluate_inner(store, q, budget, &mut deg, trace).map(|result| BudgetedResult {
         result,
         degraded: deg.into_degraded(),
-    })
+    });
+    if let Ok(b) = &out {
+        if b.degraded.is_some() {
+            m.degraded.inc();
+        }
+    }
+    out
 }
 
 fn evaluate_inner(
@@ -135,7 +191,9 @@ fn evaluate_inner(
     q: &Query,
     budget: &Budget,
     deg: &mut DegradeState,
+    trace: &QueryTrace,
 ) -> Result<QueryResult, QueryError> {
+    let plan_span = trace.span(Stage::Plan);
     let vars = q.pattern_vars();
     let var_idx: HashMap<&str, usize> = vars
         .iter()
@@ -206,6 +264,7 @@ fn evaluate_inner(
         }
         combos = next;
     }
+    drop(plan_span);
     let mut rows: Vec<Row> = Vec::new();
     let initial = vec![vec![None; vars.len()]];
     for combo in &combos {
@@ -218,6 +277,7 @@ fn evaluate_inner(
             early_limit,
             budget,
             deg,
+            trace,
         )?);
     }
     // Left-join each OPTIONAL block.
@@ -235,7 +295,17 @@ fn evaluate_inner(
                     break;
                 }
             }
-            let matched = join_bgp(store, block, &[], vec![row.clone()], &var_idx, None, budget, deg)?;
+            let matched = join_bgp(
+                store,
+                block,
+                &[],
+                vec![row.clone()],
+                &var_idx,
+                None,
+                budget,
+                deg,
+                trace,
+            )?;
             if matched.is_empty() {
                 next.push(row);
             } else {
@@ -250,6 +320,7 @@ fn evaluate_inner(
     // Residual filters (mentioning optional variables), evaluated in
     // parallel over the solution table (order-preserving keep flags).
     for f in &post_filters {
+        let _filter_span = trace.span(Stage::Filter);
         retain_parallel(&mut rows, |row| {
             eval_expr(store, f, row, &var_idx)
                 .and_then(effective_bool)
@@ -303,6 +374,7 @@ fn evaluate_inner(
                 .map(|&i| row[i].map(|id| store.term(id).clone()))
                 .collect()
         };
+        let decode_span = trace.span(Stage::Decode);
         let out = if budget.is_unlimited() || deg.active() {
             wodex_exec::par_map(&rows, decode)
         } else {
@@ -313,6 +385,9 @@ fn evaluate_inner(
             }
             part.value
         };
+        trace.add_items(Stage::Decode, out.len() as u64);
+        sparql_metrics().rows_decoded.add(out.len() as u64);
+        drop(decode_span);
         (selected, out)
     };
 
@@ -391,6 +466,7 @@ fn join_bgp(
     early_limit: Option<usize>,
     budget: &Budget,
     deg: &mut DegradeState,
+    trace: &QueryTrace,
 ) -> Result<Vec<Row>, QueryError> {
     if patterns.is_empty() {
         return Ok(initial);
@@ -398,6 +474,7 @@ fn join_bgp(
     let nvars = var_idx.len();
     // Precompute constant-only selectivity per pattern; a constant missing
     // from the dictionary means zero matches overall.
+    let plan_span = trace.span(Stage::Plan);
     let mut base_counts = Vec::with_capacity(patterns.len());
     for p in patterns {
         match encode_pattern(store, p, &HashMap::new(), var_idx) {
@@ -405,6 +482,7 @@ fn join_bgp(
             None => return Ok(Vec::new()),
         }
     }
+    drop(plan_span);
 
     let mut remaining: Vec<usize> = (0..patterns.len()).collect();
     // Variables bound by the initial rows count as bound for ordering.
@@ -457,7 +535,9 @@ fn join_bgp(
         };
         // Only the final pattern's output is the row stream; intermediate
         // stages must not truncate.
-        let truncating = early_limit.is_some() && remaining.is_empty() && pending_filters.is_empty();
+        let truncating =
+            early_limit.is_some() && remaining.is_empty() && pending_filters.is_empty();
+        let probe_span = trace.span(Stage::BgpProbe);
         rows = if truncating {
             // Serial probe with early stop: no point extending further rows
             // once the limit's worth of solutions exists. The parallel path
@@ -489,7 +569,10 @@ fn join_bgp(
             // also lands here: the sampled rows finish without more
             // checks, so a tripped deadline cannot starve the answer to
             // nothing.)
-            wodex_exec::par_map(&rows, probe).into_iter().flatten().collect()
+            wodex_exec::par_map(&rows, probe)
+                .into_iter()
+                .flatten()
+                .collect()
         } else {
             let total = rows.len();
             let part = wodex_exec::par_map_budgeted(&rows, budget, probe);
@@ -502,6 +585,9 @@ fn join_bgp(
             }
             flat
         };
+        drop(probe_span);
+        trace.add_items(Stage::BgpProbe, rows.len() as u64);
+        sparql_metrics().rows_probed.add(rows.len() as u64);
         for v in pattern.vars() {
             bound[var_idx[v]] = true;
         }
@@ -510,6 +596,7 @@ fn join_bgp(
         pending_filters.retain(|f| {
             let ready = expr_vars(f).iter().all(|v| bound[var_idx[v.as_str()]]);
             if ready {
+                let _filter_span = trace.span(Stage::Filter);
                 retain_parallel(&mut rows, |row| {
                     eval_expr(store, f, row, var_idx)
                         .and_then(effective_bool)
@@ -1261,7 +1348,11 @@ mod tests {
         for i in 0..subjects {
             let s = format!("http://e.org/n{i}");
             g.insert(Triple::iri(&s, rdf::TYPE, Term::iri(foaf::PERSON)));
-            g.insert(Triple::iri(&s, "http://e.org/age", Term::integer((i % 80) as i64)));
+            g.insert(Triple::iri(
+                &s,
+                "http://e.org/age",
+                Term::integer((i % 80) as i64),
+            ));
         }
         TripleStore::from_graph(&g)
     }

@@ -31,9 +31,10 @@ pub mod parser;
 pub mod results;
 
 pub use ast::{Aggregate, Expr, Query, QueryForm, TermOrVar, TriplePattern};
-pub use eval::{evaluate, evaluate_budgeted, BudgetedResult, QueryError};
+pub use eval::{evaluate, evaluate_budgeted, evaluate_traced, BudgetedResult, QueryError};
 pub use parser::parse_query;
 pub use results::{QueryResult, SolutionTable};
+pub use wodex_obs::{QueryTrace, Stage};
 pub use wodex_resilience::{Budget, DegradeReason, Degraded};
 
 use wodex_store::TripleStore;
@@ -57,4 +58,21 @@ pub fn query_budgeted(
 ) -> Result<BudgetedResult, QueryError> {
     let q = parse_query(text).map_err(QueryError::Parse)?;
     evaluate_budgeted(store, &q, budget)
+}
+
+/// [`query_budgeted`] recording per-stage timings into `trace`: the parse
+/// stage is timed here, the evaluation stages (plan, BGP probe, filter,
+/// decode) inside the engine. Serialization is the caller's stage — the
+/// engine never sees the output bytes.
+pub fn query_traced(
+    store: &TripleStore,
+    text: &str,
+    budget: &Budget,
+    trace: &QueryTrace,
+) -> Result<BudgetedResult, QueryError> {
+    let q = {
+        let _parse_span = trace.span(Stage::Parse);
+        parse_query(text).map_err(QueryError::Parse)?
+    };
+    evaluate_traced(store, &q, budget, trace)
 }

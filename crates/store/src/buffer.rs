@@ -15,7 +15,44 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use wodex_obs::Counter;
+
+/// Global registry mirrors shared by every pool in the process. The
+/// per-instance [`PoolStats`] stay authoritative for one pool's callers;
+/// these feed `/metrics` and the conservation invariant
+/// `hits + misses == lookups`.
+struct PoolMetrics {
+    lookups: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        PoolMetrics {
+            lookups: r.counter(
+                "wodex_store_pool_lookups_total",
+                "Buffer-pool page requests (hits + misses)",
+            ),
+            hits: r.counter(
+                "wodex_store_pool_hits_total",
+                "Buffer-pool requests served from resident frames",
+            ),
+            misses: r.counter(
+                "wodex_store_pool_misses_total",
+                "Buffer-pool requests that required a backend fetch",
+            ),
+            evictions: r.counter(
+                "wodex_store_pool_evictions_total",
+                "Frames evicted by LRU replacement",
+            ),
+        }
+    })
+}
 
 /// Hit/miss/eviction counters for a pool.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -98,16 +135,20 @@ impl BufferPool {
         page_id: u32,
         fetch: impl FnOnce() -> Result<Vec<u8>, E>,
     ) -> Result<Arc<Vec<u8>>, E> {
+        let m = pool_metrics();
         let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
+        m.lookups.inc();
         if let Some(frame) = inner.frames.get_mut(&page_id) {
             frame.stamp = clock;
             let data = Arc::clone(&frame.data);
             inner.stats.hits += 1;
+            m.hits.inc();
             return Ok(data);
         }
         inner.stats.misses += 1;
+        m.misses.inc();
         // Fetch outside the map borrow (still under the lock: the pool is a
         // correctness structure here, not a concurrency benchmark).
         let data = Arc::new(fetch()?);
@@ -116,6 +157,7 @@ impl BufferPool {
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.stamp) {
                 inner.frames.remove(&victim);
                 inner.stats.evictions += 1;
+                m.evictions.inc();
             }
         }
         inner.frames.insert(
@@ -158,6 +200,7 @@ impl BufferPool {
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.stamp) {
                 inner.frames.remove(&victim);
                 inner.stats.evictions += 1;
+                pool_metrics().evictions.inc();
             }
         }
         inner.frames.insert(page_id, Frame { data, stamp: clock });
@@ -191,7 +234,9 @@ mod tests {
     fn hit_after_miss() {
         let pool = BufferPool::new(4);
         let a = pool.get(1, ok(vec![1])).unwrap();
-        let b = pool.get(1, || -> Result<_, Infallible> { panic!("must not refetch") });
+        let b = pool.get(1, || -> Result<_, Infallible> {
+            panic!("must not refetch")
+        });
         assert_eq!(a, b.unwrap());
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
@@ -240,7 +285,11 @@ mod tests {
         assert!(pool.peek(5));
         pool.evict(5);
         assert!(!pool.peek(5));
-        assert_eq!(pool.stats().evictions, 0, "manual evict is not an LRU eviction");
+        assert_eq!(
+            pool.stats().evictions,
+            0,
+            "manual evict is not an LRU eviction"
+        );
     }
 
     #[test]

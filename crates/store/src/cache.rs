@@ -95,6 +95,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.contains_key(key)
     }
 
+    /// Looks up a key without touching recency or stats — for callers
+    /// that already accounted the lookup and only need the value (e.g.
+    /// a single-flight re-check after losing a race).
+    pub fn peek_value(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
     /// Inserts a value, evicting the least-recently-used entry if full.
     pub fn put(&mut self, key: K, value: V) {
         self.clock += 1;

@@ -227,10 +227,9 @@ impl TripleStore {
     fn index_run(&self, s: Option<u32>, p: Option<u32>, o: Option<u32>) -> (&[[u32; 3]], Order) {
         match (s, p, o) {
             // Full/partial SPO prefixes.
-            (Some(s), Some(p), Some(o)) => (
-                self.spo.prefix_range(Some(s), Some(p), Some(o)),
-                Order::Spo,
-            ),
+            (Some(s), Some(p), Some(o)) => {
+                (self.spo.prefix_range(Some(s), Some(p), Some(o)), Order::Spo)
+            }
             (Some(s), Some(p), None) => (self.spo.prefix_range(Some(s), Some(p), None), Order::Spo),
             (Some(s), None, None) => (self.spo.prefix_range(Some(s), None, None), Order::Spo),
             // POS prefixes.

@@ -27,8 +27,37 @@ use crate::buffer::BufferPool;
 use crate::encoded::EncodedTriple;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError};
+use wodex_obs::Counter;
 use wodex_resilience::{page_checksum, RetryPolicy, RetrySnapshot, RetryStats, StoreError};
+
+/// Global registry series for the paged store's backend traffic.
+struct StoreMetrics {
+    backend_fetches: Arc<Counter>,
+    checksum_verifies: Arc<Counter>,
+    checksum_failures: Arc<Counter>,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        StoreMetrics {
+            backend_fetches: r.counter(
+                "wodex_store_backend_fetches_total",
+                "Page reads issued to a storage backend (one per pool miss attempt)",
+            ),
+            checksum_verifies: r.counter(
+                "wodex_store_checksum_verifies_total",
+                "Page checksum verifications performed on backend fetches",
+            ),
+            checksum_failures: r.counter(
+                "wodex_store_checksum_failures_total",
+                "Backend fetches rejected by checksum verification",
+            ),
+        }
+    })
+}
 
 /// Page size in bytes (8 KiB, the classic DBMS default).
 pub const PAGE_SIZE: usize = 8192;
@@ -266,7 +295,10 @@ impl<B: PageBackend> PagedTripleStore<B> {
     /// retry policy.
     ///
     /// `triples` must be sorted; this is checked in debug builds.
-    pub fn bulk_load(backend: B, triples: &[EncodedTriple]) -> Result<PagedTripleStore<B>, StoreError> {
+    pub fn bulk_load(
+        backend: B,
+        triples: &[EncodedTriple],
+    ) -> Result<PagedTripleStore<B>, StoreError> {
         PagedTripleStore::bulk_load_with_policy(backend, triples, RetryPolicy::default())
     }
 
@@ -326,8 +358,14 @@ impl<B: PageBackend> PagedTripleStore<B> {
     /// pooled page is already validated and the hot (pool-hit) path can
     /// decode without re-hashing 8 KiB per access.
     fn fetch_verified(&self, id: u32) -> Result<Vec<u8>, StoreError> {
+        let m = store_metrics();
+        m.backend_fetches.inc();
         let data = self.backend.read_page(id)?;
-        verify_page(&data).map_err(|detail| StoreError::Corrupt { page: id, detail })?;
+        m.checksum_verifies.inc();
+        verify_page(&data).map_err(|detail| {
+            m.checksum_failures.inc();
+            StoreError::Corrupt { page: id, detail }
+        })?;
         Ok(data)
     }
 
@@ -385,7 +423,11 @@ impl<B: PageBackend> PagedTripleStore<B> {
     }
 
     /// All triples for one subject id.
-    pub fn match_subject(&self, pool: &BufferPool, s: u32) -> Result<Vec<EncodedTriple>, StoreError> {
+    pub fn match_subject(
+        &self,
+        pool: &BufferPool,
+        s: u32,
+    ) -> Result<Vec<EncodedTriple>, StoreError> {
         self.scan_subject_range(pool, s, s)
     }
 

@@ -10,9 +10,39 @@
 //! predicted tiles into an LRU tile cache.
 
 use crate::cache::LruCache;
+use std::sync::{Arc, OnceLock};
+use wodex_obs::Counter;
 
 /// A tile coordinate (1-D exploration uses `y = 0`).
 pub type Tile = (i64, i64);
+
+/// Global registry mirrors shared by every prefetcher in the process.
+struct PrefetchMetrics {
+    demand_hits: Arc<Counter>,
+    demand_misses: Arc<Counter>,
+    prefetched: Arc<Counter>,
+}
+
+fn prefetch_metrics() -> &'static PrefetchMetrics {
+    static METRICS: OnceLock<PrefetchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        PrefetchMetrics {
+            demand_hits: r.counter(
+                "wodex_store_prefetch_demand_hits_total",
+                "Demand tile requests served from the prefetch cache",
+            ),
+            demand_misses: r.counter(
+                "wodex_store_prefetch_demand_misses_total",
+                "Demand tile requests that fetched synchronously",
+            ),
+            prefetched: r.counter(
+                "wodex_store_prefetch_speculative_total",
+                "Tiles preloaded speculatively along the movement vector",
+            ),
+        }
+    })
+}
 
 /// Prefetcher counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -84,13 +114,16 @@ impl<V: Clone> TilePrefetcher<V> {
     ) -> Result<V, E> {
         // Single lookup: get-then-get on the LRU would bump recency twice
         // and TOCTOU-races against any future interior mutability.
+        let m = prefetch_metrics();
         let value = match self.cache.get(&tile).cloned() {
             Some(v) => {
                 self.stats.demand_hits += 1;
+                m.demand_hits.inc();
                 v
             }
             None => {
                 self.stats.demand_misses += 1;
+                m.demand_misses.inc();
                 let v = fetch(tile)?;
                 self.cache.put(tile, v.clone());
                 v
@@ -105,6 +138,7 @@ impl<V: Clone> TilePrefetcher<V> {
                 if let Ok(v) = fetch(t) {
                     self.cache.put(t, v);
                     self.stats.prefetched += 1;
+                    m.prefetched.inc();
                 }
             }
         }

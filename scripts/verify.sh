@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -54,6 +57,12 @@ echo "$SPARQL_OUT" | grep -q '"bindings":\[' || {
     echo "verify: FAIL — /sparql did not return SPARQL JSON (got: $SPARQL_OUT)"
     exit 1
 }
+# No `grep -q` here: the scrape is large, and -q exiting at the first
+# match would SIGPIPE curl and trip pipefail despite the match.
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep '^wodex_serve_accepted_total' > /dev/null || {
+    echo "verify: FAIL — /metrics did not expose wodex_serve_accepted_total"
+    exit 1
+}
 curl -sf -X POST "http://127.0.0.1:$PORT/admin/shutdown" > /dev/null || {
     echo "verify: FAIL — /admin/shutdown refused"
     exit 1
@@ -74,5 +83,12 @@ for key in '"gate_ok": true' '"throughput_rps"' '"p50"' '"p95"' '"p99"' \
         exit 1
     }
 done
+
+echo "==> repro bench-pr4 (observability instrumented overhead gate <= 5%)"
+cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr4
+grep -q '"gate_ok": true' BENCH_PR4.json || {
+    echo "verify: FAIL — observability overhead exceeds the 5% gate (see BENCH_PR4.json)"
+    exit 1
+}
 
 echo "verify: OK"

@@ -6,6 +6,7 @@
 //! wodex facets    <file>                          facet values & counts
 //! wodex search    <file> <keywords…>              ranked keyword hits
 //! wodex query     <file> <sparql | @query.rq>     SPARQL-subset SELECT/ASK
+//! wodex explain   <file> <sparql | @query.rq>     per-stage query trace
 //! wodex recommend <file> <predicate>              ranked chart types
 //! wodex viz       <file> <predicate> [out.svg]    LDVM pipeline → SVG + ASCII
 //! wodex paths     <file> <iri-a> <iri-b>          RelFinder shortest paths
@@ -51,7 +52,8 @@ fn run(args: &[String]) -> i32 {
             };
             serve(ex, &args[2..])
         }
-        "stats" | "classes" | "facets" | "search" | "query" | "recommend" | "viz" | "paths" => {
+        "stats" | "classes" | "facets" | "search" | "query" | "explain" | "recommend" | "viz"
+        | "paths" => {
             let Some(path) = args.get(1) else {
                 eprintln!("missing input file\n{}", usage());
                 return 2;
@@ -113,20 +115,9 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
             0
         }
         "query" => {
-            let Some(arg) = rest.first() else {
-                eprintln!("missing query (inline text or @file.rq)");
-                return 2;
-            };
-            let text = if let Some(file) = arg.strip_prefix('@') {
-                match std::fs::read_to_string(file) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("cannot read {file}: {e}");
-                        return 1;
-                    }
-                }
-            } else {
-                rest.join(" ")
+            let text = match query_text(rest) {
+                Ok(t) => t,
+                Err(code) => return code,
             };
             match ex.sparql(&text) {
                 Ok(wodex::sparql::QueryResult::Solutions(t)) => {
@@ -140,6 +131,34 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
                 }
                 Ok(wodex::sparql::QueryResult::Described(g)) => {
                     print!("{}", wodex::rdf::turtle::serialize(&g));
+                    0
+                }
+                Err(e) => {
+                    eprintln!("query error: {e}");
+                    1
+                }
+            }
+        }
+        "explain" => {
+            let text = match query_text(rest) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let trace = wodex::sparql::QueryTrace::new();
+            match ex.sparql_traced(&text, &wodex::sparql::Budget::unlimited(), &trace) {
+                Ok(b) => {
+                    let rows = match &b.result {
+                        wodex::sparql::QueryResult::Solutions(t) => t.len(),
+                        _ => 0,
+                    };
+                    print!("{}", trace.render_table());
+                    println!("rows: {rows}");
+                    println!(
+                        "degraded: {}",
+                        b.degraded
+                            .map(|d| format!("{};coverage={:.3}", d.reason, d.coverage))
+                            .unwrap_or_else(|| "none".to_string())
+                    );
                     0
                 }
                 Err(e) => {
@@ -191,6 +210,22 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
     }
 }
 
+/// Resolves a query argument: inline text or `@file.rq`.
+fn query_text(rest: &[String]) -> Result<String, i32> {
+    let Some(arg) = rest.first() else {
+        eprintln!("missing query (inline text or @file.rq)");
+        return Err(2);
+    };
+    if let Some(file) = arg.strip_prefix('@') {
+        std::fs::read_to_string(file).map_err(|e| {
+            eprintln!("cannot read {file}: {e}");
+            1
+        })
+    } else {
+        Ok(rest.join(" "))
+    }
+}
+
 /// `wodex serve` — boots the HTTP serving layer over the loaded dataset
 /// and blocks until `POST /admin/shutdown`.
 fn serve(ex: Explorer, rest: &[String]) -> i32 {
@@ -228,7 +263,7 @@ fn serve(ex: Explorer, rest: &[String]) -> i32 {
         }
     };
     println!("listening on http://{}", server.addr());
-    println!("endpoints: /healthz /stats /sparql /explore/* /viz/* (POST /admin/shutdown to stop)");
+    println!("endpoints: /healthz /stats /metrics /sparql /explore/* /viz/* (POST /admin/shutdown to stop)");
     match server.run() {
         Ok(()) => {
             println!("shut down cleanly");
@@ -251,7 +286,7 @@ fn load(path: &str) -> Result<Explorer, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: wodex <stats|classes|facets|search|query|recommend|viz|paths> <file.{ttl,nt}> [args…]
+    "usage: wodex <stats|classes|facets|search|query|explain|recommend|viz|paths> <file.{ttl,nt}> [args…]
        wodex serve <file.{ttl,nt}> [--port N] [--workers N] [--queue N] [--deadline-ms N] [--sessions N]
        wodex tables"
 }

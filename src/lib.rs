@@ -28,13 +28,15 @@
 //! | [`exec`] | `wodex-exec` | Std-only scoped worker pool (deterministic parallelism) |
 //! | [`resilience`] | `wodex-resilience` | Typed store errors, retries, checksums, query budgets |
 //! | [`serve`] | `wodex-serve` | HTTP serving layer: admission control, sessions, streaming |
+//! | [`obs`] | `wodex-obs` | Metrics registry, query tracing, Prometheus exposition |
 
 pub use wodex_approx as approx;
-pub use wodex_exec as exec;
 pub use wodex_core as core;
+pub use wodex_exec as exec;
 pub use wodex_explore as explore;
 pub use wodex_graph as graph;
 pub use wodex_hetree as hetree;
+pub use wodex_obs as obs;
 pub use wodex_rdf as rdf;
 pub use wodex_registry as registry;
 pub use wodex_resilience as resilience;

@@ -163,7 +163,11 @@ fn sticky_corruption_exhausts_retries_with_typed_errors() {
 
 /// One budgeted-query chaos case: a random budget against a fixed query
 /// set. Returns the number of degraded results observed.
-fn budget_case(store: &TripleStore, full_rows: &[Vec<Option<wodex::rdf::Term>>], rng: &mut StdRng) -> usize {
+fn budget_case(
+    store: &TripleStore,
+    full_rows: &[Vec<Option<wodex::rdf::Term>>],
+    rng: &mut StdRng,
+) -> usize {
     const Q: &str = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
                      SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p }";
     let kind = rng.random_range(0u32..5);

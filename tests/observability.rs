@@ -1,0 +1,278 @@
+//! Conservation invariants of the observability layer (PR 4).
+//!
+//! Metrics are only trustworthy if the accounting conserves: every
+//! lookup is a hit or a miss, every accepted connection is served or
+//! shed, every attempt beyond an operation's first try is a retry, and
+//! stage timings never exceed the wall clock that contains them. Each
+//! test drives a real subsystem from 8 threads and checks the equation
+//! on global-registry *deltas*, so the suite stays valid no matter how
+//! many counters earlier tests already accumulated.
+//!
+//! The registry is process-global, so tests that read deltas serialize
+//! on [`TEST_LOCK`]; within one test the driven subsystem still runs
+//! fully concurrent.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use wodex::core::Explorer;
+use wodex::resilience::{RetryPolicy, RetryStats};
+use wodex::serve::{ServeConfig, Server};
+use wodex::sparql::{Budget, QueryTrace, Stage};
+use wodex::synth::dbpedia::{self, DbpediaConfig};
+
+/// Serializes tests that compare global-counter deltas.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+const THREADS: usize = 8;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter(name: &str) -> u64 {
+    *wodex::obs::global()
+        .counter_values()
+        .get(name)
+        .unwrap_or(&0)
+}
+
+fn explorer(entities: usize) -> Explorer {
+    Explorer::from_graph(dbpedia::generate(&DbpediaConfig {
+        entities,
+        ..Default::default()
+    }))
+}
+
+#[test]
+fn pool_lookups_conserve_under_concurrent_scans() {
+    let _guard = lock();
+    let ex = explorer(200);
+    let dv = ex.disk_view().expect("disk view");
+    let before = (
+        counter("wodex_store_pool_lookups_total"),
+        counter("wodex_store_pool_hits_total"),
+        counter("wodex_store_pool_misses_total"),
+    );
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let dv = &dv;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    let all = dv.scan_all().expect("scan");
+                    assert!(!all.is_empty());
+                    // Point reads mixed in so hits and misses interleave.
+                    let subject = all[(t * 31 + round * 7) % all.len()][0];
+                    let per = dv.match_subject(subject).expect("match");
+                    assert!(!per.is_empty());
+                }
+            });
+        }
+    });
+    let lookups = counter("wodex_store_pool_lookups_total") - before.0;
+    let hits = counter("wodex_store_pool_hits_total") - before.1;
+    let misses = counter("wodex_store_pool_misses_total") - before.2;
+    assert!(lookups > 0, "the scans must have gone through the pool");
+    assert!(misses > 0, "a cold pool must miss at least once");
+    assert_eq!(
+        hits + misses,
+        lookups,
+        "every pool lookup must resolve to exactly one hit or miss"
+    );
+    // The per-instance stats tell the same story for this pool alone.
+    let s = dv.pool_stats();
+    assert!(s.hits + s.misses > 0);
+}
+
+#[test]
+fn accepted_connections_are_served_or_shed() {
+    let _guard = lock();
+    let before_accepted = counter("wodex_serve_accepted_total");
+    let before_served = counter("wodex_serve_served_total");
+    let before_shed_full = counter("wodex_serve_shed_total{gate=\"queue_full\"}");
+    let before_shed_wait = counter("wodex_serve_shed_total{gate=\"queue_wait\"}");
+    // A deliberately narrow server so some of the burst gets shed.
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 2,
+        ..Default::default()
+    };
+    let server = Server::bind(explorer(80), cfg).expect("bind").spawn();
+    let addr = server.addr();
+    let shed_seen = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let shed_seen = &shed_seen;
+            scope.spawn(move || {
+                for _ in 0..12 {
+                    let Ok(mut s) = TcpStream::connect(addr) else {
+                        continue;
+                    };
+                    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+                    s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                        .expect("send");
+                    let mut buf = Vec::new();
+                    s.read_to_end(&mut buf).expect("read");
+                    if buf.starts_with(b"HTTP/1.1 503") {
+                        shed_seen.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        assert!(buf.starts_with(b"HTTP/1.1 200"));
+                    }
+                }
+            });
+        }
+    });
+    // Shutdown joins every worker, so all accounting is final after it.
+    server.shutdown().expect("clean shutdown");
+    let accepted = counter("wodex_serve_accepted_total") - before_accepted;
+    let served = counter("wodex_serve_served_total") - before_served;
+    let shed = (counter("wodex_serve_shed_total{gate=\"queue_full\"}") - before_shed_full)
+        + (counter("wodex_serve_shed_total{gate=\"queue_wait\"}") - before_shed_wait);
+    assert_eq!(
+        accepted,
+        (THREADS * 12) as u64,
+        "every client connection must be accepted"
+    );
+    assert_eq!(
+        served + shed,
+        accepted,
+        "every accepted connection must be served or shed, never dropped"
+    );
+    assert_eq!(
+        shed,
+        shed_seen.load(Ordering::Relaxed),
+        "server-side shed count must match the 503s clients observed"
+    );
+}
+
+#[test]
+fn retries_equal_attempts_minus_first_tries() {
+    let _guard = lock();
+    let before_ops = counter("wodex_retry_ops_total");
+    let before_attempts = counter("wodex_retry_attempts_total");
+    let before_retries = counter("wodex_retry_retries_total");
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+    };
+    let stats = RetryStats::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (policy, stats) = (&policy, &stats);
+            scope.spawn(move || {
+                for i in 0..50u32 {
+                    // A mix of immediate successes, recoveries after one
+                    // or two transient failures, and permanent giveups.
+                    let fail_first = (t as u32 + i) % 4; // 0..=3 failures
+                    let calls = std::cell::Cell::new(0u32);
+                    let _ = policy.run(
+                        stats,
+                        |_e: &&str| true,
+                        |_attempt| {
+                            let c = calls.get() + 1;
+                            calls.set(c);
+                            if c > fail_first {
+                                Ok(c)
+                            } else {
+                                Err("transient")
+                            }
+                        },
+                        |_, e| e,
+                    );
+                }
+            });
+        }
+    });
+    let snap = stats.snapshot();
+    assert_eq!(snap.ops, (THREADS * 50) as u64);
+    assert_eq!(
+        snap.retries,
+        snap.attempts - snap.ops,
+        "per-instance: every attempt beyond an op's first try is a retry"
+    );
+    let ops = counter("wodex_retry_ops_total") - before_ops;
+    let attempts = counter("wodex_retry_attempts_total") - before_attempts;
+    let retries = counter("wodex_retry_retries_total") - before_retries;
+    assert_eq!(ops, snap.ops);
+    assert_eq!(
+        retries,
+        attempts - ops,
+        "global mirror: retries == attempts - first tries"
+    );
+}
+
+#[test]
+fn stage_times_never_exceed_wall_time() {
+    let _guard = lock();
+    let ex = explorer(150);
+    let trace = QueryTrace::new();
+    let b = ex
+        .sparql_traced(
+            "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+             SELECT ?s ?p WHERE { ?s dbo:population ?p . FILTER(?p > 1000) }",
+            &Budget::unlimited(),
+            &trace,
+        )
+        .expect("query");
+    assert!(!b.result.table().expect("solutions").rows.is_empty());
+    // Add a caller-side serialize span, as the HTTP layer does.
+    {
+        let _span = trace.span(Stage::Serialize);
+        let _ = b.result.to_json();
+    }
+    let snap = trace.snapshot();
+    assert!(
+        snap.measured_nanos() <= snap.wall_nanos,
+        "serial stage spans must sum to at most the wall clock: {} > {}",
+        snap.measured_nanos(),
+        snap.wall_nanos
+    );
+    assert!(trace.stage_nanos(Stage::BgpProbe) > 0, "probe stage timed");
+    assert!(trace.stage_nanos(Stage::Decode) > 0, "decode stage timed");
+    let header = trace.header_value();
+    assert!(header.contains("bgp_probe="), "header: {header}");
+    // A disabled trace records nothing at all.
+    let off = QueryTrace::disabled();
+    {
+        let _span = off.span(Stage::Parse);
+    }
+    assert_eq!(off.snapshot().measured_nanos(), 0);
+}
+
+#[test]
+fn traced_queries_feed_the_sparql_counters() {
+    let _guard = lock();
+    let before_q = counter("wodex_sparql_queries_total");
+    let before_probed = counter("wodex_sparql_rows_probed_total");
+    let before_decoded = counter("wodex_sparql_rows_decoded_total");
+    let ex = explorer(100);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let ex = &ex;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let r = ex
+                        .sparql_budgeted(
+                            "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+                             SELECT ?s WHERE { ?s dbo:population ?p }",
+                            &Budget::unlimited(),
+                        )
+                        .expect("query");
+                    assert!(r.degraded.is_none());
+                }
+            });
+        }
+    });
+    let queries = counter("wodex_sparql_queries_total") - before_q;
+    let probed = counter("wodex_sparql_rows_probed_total") - before_probed;
+    let decoded = counter("wodex_sparql_rows_decoded_total") - before_decoded;
+    assert_eq!(queries, (THREADS * 3) as u64);
+    assert_eq!(probed, (THREADS * 3 * 100) as u64);
+    assert!(
+        decoded <= probed,
+        "a query cannot decode more rows than its probes produced"
+    );
+}

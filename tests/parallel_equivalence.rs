@@ -133,10 +133,7 @@ fn binning_is_thread_invariant() {
     ] {
         assert_thread_invariant(|| Histogram::build(&values, 32, strategy));
     }
-    let points: Vec<(f64, f64)> = values
-        .chunks(2)
-        .map(|c| (c[0], c[1]))
-        .collect();
+    let points: Vec<(f64, f64)> = values.chunks(2).map(|c| (c[0], c[1])).collect();
     assert_thread_invariant(|| grid2d(&points, 16, 16));
 }
 

@@ -38,8 +38,8 @@ fn lowercase(rng: &mut StdRng, lo: usize, hi: usize) -> String {
 /// proptest's `\PC` regex class played).
 fn printable(rng: &mut StdRng, max: usize) -> String {
     const POOL: &[char] = &[
-        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '.', ',', ';', ':', '"', '\'', '\\', '<', '>',
-        '{', '}', '(', ')', '#', '@', 'é', 'π', '火', '∞', '☂', 'ß', '−', '\t',
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '.', ',', ';', ':', '"', '\'', '\\', '<', '>', '{',
+        '}', '(', ')', '#', '@', 'é', 'π', '火', '∞', '☂', 'ß', '−', '\t',
     ];
     let len = rng.random_range(0..=max);
     (0..len)
@@ -440,5 +440,174 @@ fn class_hierarchy_weights_are_consistent() {
                 .sum();
             assert_eq!(n.transitive_instances, n.direct_instances + kids);
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition (wodex-obs, PR 4)
+// ---------------------------------------------------------------------------
+
+/// Arbitrary metric-ish name: mostly valid characters with some invalid
+/// ones sprinkled in, so sanitization is exercised on every case.
+fn arb_metric_name(rng: &mut StdRng) -> String {
+    const POOL: &[char] = &[
+        'a', 'z', 'A', 'Z', '_', ':', '0', '9', '-', '.', ' ', 'é', '☂',
+    ];
+    let len = rng.random_range(1..=16usize);
+    (0..len)
+        .map(|_| POOL[rng.random_range(0..POOL.len())])
+        .collect()
+}
+
+#[test]
+fn prometheus_rendering_is_parseable_and_escaped() {
+    // Whatever names and label values go in, every rendered line must be
+    // a comment or `name{labels} value` with a well-formed name and no
+    // raw newline, quote, or backslash leaking out of a label value.
+    for_each_case(41, |rng| {
+        let reg = wodex::obs::MetricsRegistry::new();
+        let families = rng.random_range(1..=5usize);
+        for f in 0..families {
+            let name = arb_metric_name(rng);
+            let label_value = printable(rng, 16);
+            let c = reg.counter_with(&name, "prop test", &[("lv", &label_value)]);
+            c.add(rng.next_u64() % 1_000_000);
+            if f % 2 == 0 {
+                reg.gauge(&format!("{name}_g"), "prop gauge")
+                    .set(rng.next_u64() as i64 % 1_000);
+            }
+        }
+        let text = wodex::obs::render_prometheus(&reg);
+        let valid_name = |s: &str| {
+            !s.is_empty()
+                && s.chars().enumerate().all(|(i, ch)| {
+                    ch.is_ascii_alphabetic()
+                        || ch == '_'
+                        || ch == ':'
+                        || (i > 0 && ch.is_ascii_digit())
+                })
+        };
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "unknown comment: {line}"
+                );
+                continue;
+            }
+            let name_end = line.find(['{', ' ']).expect("sample has name");
+            assert!(valid_name(&line[..name_end]), "bad name in: {line}");
+            if let Some(open) = line.find('{') {
+                let close = line.rfind('}').expect("closing brace");
+                let labels = &line[open + 1..close];
+                // Inside the braces, every quote is either a delimiter or
+                // escaped; an unescaped raw newline is impossible by
+                // construction (lines() would have split it).
+                assert!(!labels.is_empty());
+                assert!(line[close..].starts_with("} "), "value after labels");
+            }
+            let value = line.rsplit(' ').next().expect("value field");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value {value:?} in: {line}"
+            );
+        }
+    });
+}
+
+#[test]
+fn prometheus_rendering_is_deterministic_and_sorted() {
+    // Registration order is randomized; the exposition must not care:
+    // two renders are byte-identical, families appear sorted by name,
+    // and each family's HELP/TYPE header appears exactly once.
+    for_each_case(42, |rng| {
+        let reg = wodex::obs::MetricsRegistry::new();
+        let mut names: Vec<String> = (0..rng.random_range(2..=6usize))
+            .map(|i| format!("m_{}_{i}", lowercase(rng, 1, 6)))
+            .collect();
+        // Shuffle by seeded swaps.
+        for i in (1..names.len()).rev() {
+            let j = rng.random_range(0..(i + 1));
+            names.swap(i, j);
+        }
+        for name in &names {
+            for series in 0..rng.random_range(1..=3usize) {
+                reg.counter_with(name, "det test", &[("s", &series.to_string())])
+                    .add(rng.next_u64() % 1000);
+            }
+        }
+        let a = wodex::obs::render_prometheus(&reg);
+        let b = wodex::obs::render_prometheus(&reg);
+        assert_eq!(a, b, "rendering must be deterministic");
+        let headered: Vec<&str> = a
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|l| l.split(' ').next().unwrap())
+            .collect();
+        let mut sorted = headered.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(headered, sorted, "families must be sorted and unique");
+        let series_lines: Vec<&str> = a.lines().filter(|l| !l.starts_with('#')).collect();
+        let mut sorted_series = series_lines.clone();
+        sorted_series.sort_unstable();
+        assert_eq!(
+            series_lines, sorted_series,
+            "series must be sorted within and across families"
+        );
+    });
+}
+
+#[test]
+fn prometheus_histogram_buckets_are_cumulative_and_consistent() {
+    // For any observation stream: bucket counts non-decreasing in `le`
+    // order, `+Inf` bucket == `_count` == number of observations, and
+    // `_sum` equals the scaled sum of raw values.
+    for_each_case(43, |rng| {
+        let reg = wodex::obs::MetricsRegistry::new();
+        let h = reg.histogram_with("h_prop", "hist test", &[], &[10, 100, 1000, 10_000], 1.0);
+        let n = rng.random_range(0..=200usize);
+        let mut raw_sum = 0u64;
+        for _ in 0..n {
+            let v = rng.next_u64() % 20_000;
+            raw_sum += v;
+            h.observe(v);
+        }
+        let text = wodex::obs::render_prometheus(&reg);
+        let mut buckets: Vec<(f64, u64)> = Vec::new();
+        let mut count = None;
+        let mut sum = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("h_prop_bucket{le=\"") {
+                let (le, v) = rest.split_once("\"} ").expect("bucket line");
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>().expect("finite bound")
+                };
+                buckets.push((le, v.parse().expect("bucket count")));
+            } else if let Some(v) = line.strip_prefix("h_prop_count ") {
+                count = Some(v.parse::<u64>().expect("count"));
+            } else if let Some(v) = line.strip_prefix("h_prop_sum ") {
+                sum = Some(v.parse::<f64>().expect("sum"));
+            }
+        }
+        assert_eq!(buckets.len(), 5, "4 bounds + +Inf");
+        assert!(
+            buckets.windows(2).all(|w| w[0].0 < w[1].0),
+            "bounds ascending"
+        );
+        assert!(
+            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+            "cumulative counts must be monotone: {buckets:?}"
+        );
+        assert_eq!(buckets.last().unwrap().1, n as u64, "+Inf covers all");
+        assert_eq!(count, Some(n as u64));
+        let sum = sum.expect("sum line");
+        assert!(
+            (sum - raw_sum as f64).abs() < 1e-6 * (1.0 + raw_sum as f64),
+            "sum {sum} != {raw_sum}"
+        );
     });
 }

@@ -43,7 +43,8 @@ fn windowed_io_is_result_bounded_not_data_bounded() {
     let small: Vec<[u32; 3]> = (0..50_000u32).map(|i| [i / 10, 0, i]).collect();
     let large: Vec<[u32; 3]> = (0..500_000u32).map(|i| [i / 10, 0, i]).collect();
     let reads_for = |triples: &[[u32; 3]]| {
-        let store = PagedTripleStore::bulk_load(MemBackend::new(), triples).expect("in-memory load");
+        let store =
+            PagedTripleStore::bulk_load(MemBackend::new(), triples).expect("in-memory load");
         let pool = BufferPool::new(8);
         store
             .scan_subject_range(&pool, 1000, 1050)

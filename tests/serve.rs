@@ -189,7 +189,10 @@ fn every_endpoint_answers() {
         ),
     );
     assert_eq!(filter.status, 200);
-    let after_filter: usize = json_str(&filter.text(), "matching").unwrap().parse().unwrap();
+    let after_filter: usize = json_str(&filter.text(), "matching")
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(after_filter > 0 && after_filter < 120);
 
     let zoom = get(
@@ -206,12 +209,17 @@ fn every_endpoint_answers() {
     let search = get(addr, &format!("/explore/search?session={token}&q=city"));
     assert_eq!(search.status, 200);
 
-    let hits = get(addr, &format!("/explore/hits?session={token}&q=city&limit=5"));
+    let hits = get(
+        addr,
+        &format!("/explore/hits?session={token}&q=city&limit=5"),
+    );
     assert!(hits.text().contains("\"hits\""));
 
     let details = get(
         addr,
-        &format!("/explore/details?session={token}&iri=http%3A%2F%2Fdbp.example.org%2Fresource%2FE0"),
+        &format!(
+            "/explore/details?session={token}&iri=http%3A%2F%2Fdbp.example.org%2Fresource%2FE0"
+        ),
     );
     assert!(details.text().contains("\"rows\""));
 
@@ -245,7 +253,10 @@ fn every_endpoint_answers() {
     assert_eq!(stats.status, 200);
     // `completed` increments after the response socket closes, so the
     // last few requests may not have landed yet — compare loosely.
-    let completed: u64 = json_str(&stats.text(), "completed").unwrap().parse().unwrap();
+    let completed: u64 = json_str(&stats.text(), "completed")
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(completed >= 10, "completed={completed}");
     assert_eq!(
         json_str(&stats.text(), "triples").unwrap(),
