@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod faultbench;
 pub mod obsbench;
 pub mod parbench;
+pub mod planbench;
 pub mod servebench;
 pub mod workloads;
 

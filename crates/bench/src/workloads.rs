@@ -30,6 +30,56 @@ pub fn dbpedia_graph(entities: usize) -> wodex_rdf::Graph {
     })
 }
 
+/// A Zipf-skewed citation graph: `entities` nodes each typed into a
+/// small `Hub` / mid-sized `Mid` / large `Node` class by rank, with
+/// `out_degree` `cites` edges whose *targets* follow a Zipf(`exponent`)
+/// rank distribution (low-rank entities soak up most in-links) and an
+/// integer `weight` property per node. The heavy skew is the join
+/// planner's stress case: base pattern counts are nearly useless, so
+/// join-order and operator choices hinge on per-position distinct
+/// counts.
+pub fn zipf_store(entities: usize, out_degree: usize, exponent: f64, seed: u64) -> TripleStore {
+    use wodex_rdf::vocab::rdf;
+    use wodex_rdf::{Term, Triple};
+    use wodex_synth::dist::Zipf;
+
+    let ns = "http://zipf.example.org/";
+    let zipf = Zipf::new(entities, exponent);
+    let mut rng = wodex_synth::rng(seed);
+    let mut g = wodex_rdf::Graph::new();
+    let hubs = (entities / 100).max(1);
+    let mids = (entities / 10).max(1);
+    for i in 0..entities {
+        let s = format!("{ns}e{i}");
+        let class = if i < hubs {
+            "Hub"
+        } else if i < hubs + mids {
+            "Mid"
+        } else {
+            "Node"
+        };
+        g.insert(Triple::iri(
+            &s,
+            rdf::TYPE,
+            Term::iri(format!("{ns}cls/{class}")),
+        ));
+        g.insert(Triple::iri(
+            &s,
+            &format!("{ns}weight"),
+            Term::integer((i % 101) as i64),
+        ));
+        for _ in 0..out_degree {
+            let target = zipf.sample_rank(&mut rng) - 1;
+            g.insert(Triple::iri(
+                &s,
+                &format!("{ns}cites"),
+                Term::iri(format!("{ns}e{target}")),
+            ));
+        }
+    }
+    TripleStore::from_graph(&g)
+}
+
 /// Sorted encoded triples shaped like a laid-out graph partitioned into
 /// spatial tiles: subject = tile id, object = node id — the disk layout
 /// of a graphVizdb-style store (E5/E10).
@@ -82,6 +132,23 @@ mod tests {
         assert_eq!(ba_graph(100).node_count(), 100);
         assert!(dbpedia_store(50).len() > 200);
         assert_eq!(tiled_triples(10, 5).len(), 50);
+    }
+
+    #[test]
+    fn zipf_store_is_seeded_and_skewed() {
+        let a = zipf_store(200, 4, 1.1, 9);
+        let b = zipf_store(200, 4, 1.1, 9);
+        assert_eq!(a.len(), b.len(), "same seed, same graph");
+        // type + weight per entity, plus deduplicated cites edges.
+        assert!(a.len() > 200 * 2 && a.len() <= 200 * 6);
+        // Rank 0 must be a far heavier citation target than a tail rank.
+        let hits = |id: usize| {
+            let cites = wodex_rdf::Term::iri("http://zipf.example.org/cites");
+            let target = wodex_rdf::Term::iri(format!("http://zipf.example.org/e{id}"));
+            a.encode_pattern(None, Some(&cites), Some(&target))
+                .map_or(0, |p| a.match_pattern(p).len())
+        };
+        assert!(hits(0) > 10 * hits(190).max(1), "in-degree must be skewed");
     }
 
     #[test]

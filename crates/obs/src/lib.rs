@@ -43,7 +43,7 @@ pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, DURATION_BUCKETS_NS,
 };
 pub use prom::{escape_help, escape_label_value, render_prometheus, sanitize_metric_name};
-pub use trace::{QueryTrace, SpanGuard, Stage, TraceSnapshot};
+pub use trace::{PlanStepTrace, QueryTrace, SpanGuard, Stage, TraceSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

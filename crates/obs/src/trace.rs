@@ -13,7 +13,23 @@
 //! one branch on a bool.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One executed plan step: operator, pattern summary, and estimated vs.
+/// actual output cardinality. Collected per-trace so `wodex explain` can
+/// show how well the planner's cost model predicted reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStepTrace {
+    /// Operator name (`scan`, `merge_join`, `hash_join`, `nl_join`, …).
+    pub op: &'static str,
+    /// Human-readable pattern / step description.
+    pub detail: String,
+    /// Planner's estimated output rows for this step.
+    pub est_rows: u64,
+    /// Rows the step actually produced.
+    pub actual_rows: u64,
+}
 
 /// The fixed query pipeline stages, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +96,9 @@ pub struct QueryTrace {
     start: Instant,
     nanos: [AtomicU64; NSTAGES],
     items: [AtomicU64; NSTAGES],
+    /// Executed plan steps in execution order (empty when the greedy
+    /// non-planned path ran, or the trace is disabled).
+    plan_steps: Mutex<Vec<PlanStepTrace>>,
 }
 
 impl QueryTrace {
@@ -90,6 +109,7 @@ impl QueryTrace {
             start: Instant::now(),
             nanos: Default::default(),
             items: Default::default(),
+            plan_steps: Mutex::new(Vec::new()),
         }
     }
 
@@ -102,6 +122,7 @@ impl QueryTrace {
             start: Instant::now(),
             nanos: Default::default(),
             items: Default::default(),
+            plan_steps: Mutex::new(Vec::new()),
         }
     }
 
@@ -156,6 +177,46 @@ impl QueryTrace {
     /// Wall-clock nanoseconds since the trace was created.
     pub fn total_nanos(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Appends one executed plan step (no-op on a disabled trace). Steps
+    /// accumulate in call order, which the executor guarantees is plan
+    /// order.
+    pub fn record_plan_step(&self, step: PlanStepTrace) {
+        if self.enabled {
+            self.plan_steps.lock().unwrap().push(step);
+        }
+    }
+
+    /// The executed plan steps recorded so far (empty when the greedy
+    /// path ran or the trace is disabled).
+    pub fn plan_steps(&self) -> Vec<PlanStepTrace> {
+        self.plan_steps.lock().unwrap().clone()
+    }
+
+    /// An ASCII table of executed plan steps with estimated vs. actual
+    /// output rows per step, or the empty string when no plan steps were
+    /// recorded (single-pattern / greedy queries). Rendered by
+    /// `wodex explain` below the stage table.
+    pub fn render_plan_table(&self) -> String {
+        let steps = self.plan_steps();
+        if steps.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str("step  op          est_rows  actual_rows  detail\n");
+        out.push_str("----  ----------  --------  -----------  ------\n");
+        for (i, st) in steps.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<4}  {:<10}  {:>8}  {:>11}  {}\n",
+                i + 1,
+                st.op,
+                st.est_rows,
+                st.actual_rows,
+                st.detail,
+            ));
+        }
+        out
     }
 
     /// A plain-value copy of the trace.
@@ -341,6 +402,44 @@ mod tests {
         t.record_nanos(Stage::Parse, 12_000);
         t.add_items(Stage::Decode, 40);
         assert_eq!(t.header_value(), "parse=12us;decode=3us/40");
+    }
+
+    #[test]
+    fn plan_steps_record_in_order_and_render() {
+        let t = QueryTrace::new();
+        t.record_plan_step(PlanStepTrace {
+            op: "scan",
+            detail: "?s :p ?o".into(),
+            est_rows: 100,
+            actual_rows: 97,
+        });
+        t.record_plan_step(PlanStepTrace {
+            op: "hash_join",
+            detail: "?s :q ?v".into(),
+            est_rows: 10,
+            actual_rows: 42,
+        });
+        let steps = t.plan_steps();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].op, "scan");
+        assert_eq!(steps[1].actual_rows, 42);
+        let table = t.render_plan_table();
+        assert!(table.contains("est_rows"));
+        assert!(table.contains("hash_join"));
+        assert!(table.contains("97"));
+    }
+
+    #[test]
+    fn disabled_trace_drops_plan_steps() {
+        let t = QueryTrace::disabled();
+        t.record_plan_step(PlanStepTrace {
+            op: "scan",
+            detail: String::new(),
+            est_rows: 1,
+            actual_rows: 1,
+        });
+        assert!(t.plan_steps().is_empty());
+        assert_eq!(t.render_plan_table(), "");
     }
 
     #[test]

@@ -243,8 +243,19 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
         state.counters.inc_degraded();
     }
     // The engine stages are done, so their timings can ride a response
-    // header; serialization is still ahead and rides a trailer.
+    // header; serialization is still ahead and rides a trailer. Planned
+    // queries additionally report per-step estimated vs. actual rows.
     let trace_header = trace.header_value();
+    let plan_header = trace
+        .plan_steps()
+        .iter()
+        .map(|s| format!("{}:est={}:act={}", s.op, s.est_rows, s.actual_rows))
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut headers: Vec<(&str, &str)> = vec![("X-Wodex-Trace", trace_header.as_str())];
+    if !plan_header.is_empty() {
+        headers.push(("X-Wodex-Plan", plan_header.as_str()));
+    }
     let trailers = [
         "X-Wodex-Degraded",
         "X-Wodex-Rows",
@@ -255,7 +266,7 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
         200,
         "OK",
         "application/json",
-        &[("X-Wodex-Trace", trace_header.as_str())],
+        &headers,
         &trailers,
     ) else {
         return;

@@ -10,6 +10,7 @@
 
 use crate::ast::*;
 use crate::parser::ParseError;
+use crate::plan::{compile_filters, planned_join, CompiledFilter, CompiledPattern};
 use crate::results::{QueryResult, SolutionTable};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -19,14 +20,14 @@ use wodex_resilience::{Budget, DegradeReason, Degraded};
 use wodex_store::{Pattern, TripleStore};
 
 /// Global registry series for the query engine.
-struct SparqlMetrics {
+pub(crate) struct SparqlMetrics {
     queries: Arc<Counter>,
     degraded: Arc<Counter>,
-    rows_probed: Arc<Counter>,
+    pub(crate) rows_probed: Arc<Counter>,
     rows_decoded: Arc<Counter>,
 }
 
-fn sparql_metrics() -> &'static SparqlMetrics {
+pub(crate) fn sparql_metrics() -> &'static SparqlMetrics {
     static METRICS: OnceLock<SparqlMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let r = wodex_obs::global();
@@ -72,7 +73,7 @@ impl std::fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// A partial solution: one optional term id per variable.
-type Row = Vec<Option<TermId>>;
+pub(crate) type Row = Vec<Option<TermId>>;
 
 /// A projected output table: column names plus decoded rows.
 type TermTable = (Vec<String>, Vec<Vec<Option<Term>>>);
@@ -96,7 +97,7 @@ pub struct BudgetedResult {
 const DEGRADED_SAMPLE_ROWS: usize = 512;
 
 /// Degradation bookkeeping threaded through the evaluation stages.
-struct DegradeState {
+pub(crate) struct DegradeState {
     reason: Option<DegradeReason>,
     coverage: f64,
 }
@@ -111,20 +112,20 @@ impl DegradeState {
 
     /// True once a budget dimension has tripped — later stages run in
     /// grace mode (serial, over the sampled rows, no further checks).
-    fn active(&self) -> bool {
+    pub(crate) fn active(&self) -> bool {
         self.reason.is_some()
     }
 
     /// Records the first trip and folds the stage's completed fraction
     /// into the running coverage estimate.
-    fn trip(&mut self, reason: DegradeReason, stage_coverage: f64) {
+    pub(crate) fn trip(&mut self, reason: DegradeReason, stage_coverage: f64) {
         self.reason.get_or_insert(reason);
         self.coverage *= stage_coverage.clamp(0.0, 1.0);
     }
 
     /// Samples `rows` down to the grace-mode bound, folding the sampling
     /// fraction into coverage.
-    fn sample(&mut self, rows: &mut Vec<Row>) {
+    pub(crate) fn sample(&mut self, rows: &mut Vec<Row>) {
         if rows.len() > DEGRADED_SAMPLE_ROWS {
             self.coverage *= DEGRADED_SAMPLE_ROWS as f64 / rows.len() as f64;
             rows.truncate(DEGRADED_SAMPLE_ROWS);
@@ -136,6 +137,22 @@ impl DegradeState {
             reason,
             coverage: self.coverage,
         })
+    }
+}
+
+/// Evaluation knobs, threaded through every entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Use the cost-based planner ([`crate::plan`]) for multi-pattern
+    /// groups (the default). When `false`, every group runs the greedy
+    /// index-nested-loop path — kept as the reference implementation
+    /// for equivalence tests and planner benchmarks.
+    pub use_planner: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { use_planner: true }
     }
 }
 
@@ -171,13 +188,25 @@ pub fn evaluate_traced(
     budget: &Budget,
     trace: &QueryTrace,
 ) -> Result<BudgetedResult, QueryError> {
+    evaluate_with(store, q, budget, trace, EvalOptions::default())
+}
+
+/// [`evaluate_traced`] with explicit [`EvalOptions`].
+pub fn evaluate_with(
+    store: &TripleStore,
+    q: &Query,
+    budget: &Budget,
+    trace: &QueryTrace,
+    opts: EvalOptions,
+) -> Result<BudgetedResult, QueryError> {
     let m = sparql_metrics();
     m.queries.inc();
     let mut deg = DegradeState::new();
-    let out = evaluate_inner(store, q, budget, &mut deg, trace).map(|result| BudgetedResult {
-        result,
-        degraded: deg.into_degraded(),
-    });
+    let out =
+        evaluate_inner(store, q, budget, &mut deg, trace, opts).map(|result| BudgetedResult {
+            result,
+            degraded: deg.into_degraded(),
+        });
     if let Ok(b) = &out {
         if b.degraded.is_some() {
             m.degraded.inc();
@@ -192,6 +221,7 @@ fn evaluate_inner(
     budget: &Budget,
     deg: &mut DegradeState,
     trace: &QueryTrace,
+    opts: EvalOptions,
 ) -> Result<QueryResult, QueryError> {
     let plan_span = trace.span(Stage::Plan);
     let vars = q.pattern_vars();
@@ -268,17 +298,33 @@ fn evaluate_inner(
     let mut rows: Vec<Row> = Vec::new();
     let initial = vec![vec![None; vars.len()]];
     for combo in &combos {
-        rows.extend(join_bgp(
-            store,
-            combo,
-            &bgp_filters,
-            initial.clone(),
-            &var_idx,
-            early_limit,
-            budget,
-            deg,
-            trace,
-        )?);
+        // Multi-pattern groups go through the cost-based planner; the
+        // greedy path stays for single patterns (where there is nothing
+        // to order) and as the reference engine when the planner is off.
+        if opts.use_planner && combo.len() >= 2 {
+            rows.extend(planned_join(
+                store,
+                combo,
+                &bgp_filters,
+                &var_idx,
+                early_limit,
+                budget,
+                deg,
+                trace,
+            ));
+        } else {
+            rows.extend(join_bgp(
+                store,
+                combo,
+                &bgp_filters,
+                initial.clone(),
+                &var_idx,
+                early_limit,
+                budget,
+                deg,
+                trace,
+            )?);
+        }
     }
     // Left-join each OPTIONAL block.
     for block in &q.optionals {
@@ -442,7 +488,7 @@ fn describe(store: &TripleStore, resources: &[Term]) -> wodex_rdf::Graph {
 /// `Vec::retain`, with the predicate evaluated in parallel: keep flags are
 /// computed per partition and applied in row order, so the surviving rows
 /// are identical at every thread count.
-fn retain_parallel<T: Sync>(rows: &mut Vec<T>, pred: impl Fn(&T) -> bool + Sync) {
+pub(crate) fn retain_parallel<T: Sync>(rows: &mut Vec<T>, pred: impl Fn(&T) -> bool + Sync) {
     let keep = wodex_exec::par_map(rows.as_slice(), |row| pred(row));
     let mut flags = keep.into_iter();
     rows.retain(|_| flags.next().expect("one flag per row"));
@@ -472,16 +518,23 @@ fn join_bgp(
         return Ok(initial);
     }
     let nvars = var_idx.len();
-    // Precompute constant-only selectivity per pattern; a constant missing
-    // from the dictionary means zero matches overall.
+    // Compile patterns and filters once: constants intern a single time
+    // and variables resolve to row positions, so the per-row probe below
+    // touches only positional arrays. A constant missing from the
+    // dictionary means zero matches overall.
     let plan_span = trace.span(Stage::Plan);
-    let mut base_counts = Vec::with_capacity(patterns.len());
-    for p in patterns {
-        match encode_pattern(store, p, &HashMap::new(), var_idx) {
-            Some(pat) => base_counts.push(store.count_pattern(pat)),
-            None => return Ok(Vec::new()),
-        }
-    }
+    let compiled: Option<Vec<CompiledPattern>> = patterns
+        .iter()
+        .map(|p| CompiledPattern::compile(store, p, var_idx))
+        .collect();
+    let Some(compiled) = compiled else {
+        return Ok(Vec::new());
+    };
+    let base_counts: Vec<usize> = compiled
+        .iter()
+        .map(|c| store.count_pattern(c.base()))
+        .collect();
+    let mut pending_filters: Vec<CompiledFilter<'_>> = compile_filters(store, filters, var_idx);
     drop(plan_span);
 
     let mut remaining: Vec<usize> = (0..patterns.len()).collect();
@@ -490,7 +543,6 @@ fn join_bgp(
         .map(|i| initial.iter().any(|r| r[i].is_some()))
         .collect();
     let mut rows: Vec<Row> = initial;
-    let mut pending_filters: Vec<&Expr> = filters.to_vec();
 
     while !remaining.is_empty() {
         // Pick the most selective next pattern.
@@ -512,22 +564,13 @@ fn join_bgp(
             .expect("remaining non-empty");
         let pi = remaining.remove(pos);
         let pattern = &patterns[pi];
+        let cp = &compiled[pi];
 
         // Extends one solution row with every store match of the pattern.
         let probe = |row: &Row| -> Vec<Row> {
-            let mut bindings: HashMap<usize, TermId> = HashMap::new();
-            for (i, b) in row.iter().enumerate() {
-                if let Some(id) = b {
-                    bindings.insert(i, *id);
-                }
-            }
-            let Some(pat) = encode_pattern(store, pattern, &bindings, var_idx) else {
-                return Vec::new();
-            };
             let mut extended = Vec::new();
-            for t in store.match_pattern(pat) {
-                let mut new_row = row.clone();
-                if bind_row(&mut new_row, pattern, &t, var_idx) {
+            for t in store.match_pattern(cp.fill(row)) {
+                if let Some(new_row) = cp.bind(row, &t) {
                     extended.push(new_row);
                 }
             }
@@ -594,14 +637,10 @@ fn join_bgp(
         // Apply filters whose variables are now bound (parallel,
         // order-preserving keep flags).
         pending_filters.retain(|f| {
-            let ready = expr_vars(f).iter().all(|v| bound[var_idx[v.as_str()]]);
+            let ready = f.vars.iter().all(|&v| bound[v]);
             if ready {
                 let _filter_span = trace.span(Stage::Filter);
-                retain_parallel(&mut rows, |row| {
-                    eval_expr(store, f, row, var_idx)
-                        .and_then(effective_bool)
-                        .unwrap_or(false)
-                });
+                retain_parallel(&mut rows, |row| f.matches(store, row, var_idx));
             }
             !ready
         });
@@ -615,47 +654,6 @@ fn join_bgp(
         }
     }
     Ok(rows)
-}
-
-/// Encodes a pattern with the given variable bindings; `None` when a
-/// constant is not in the dictionary (no matches possible).
-fn encode_pattern(
-    store: &TripleStore,
-    p: &TriplePattern,
-    bindings: &HashMap<usize, TermId>,
-    var_idx: &HashMap<&str, usize>,
-) -> Option<Pattern> {
-    let enc = |tv: &TermOrVar| -> Option<Option<TermId>> {
-        match tv {
-            TermOrVar::Term(t) => store.id_of(t).map(Some).map(Some).unwrap_or(None),
-            TermOrVar::Var(v) => Some(bindings.get(&var_idx[v.as_str()]).copied()),
-        }
-    };
-    Some(Pattern {
-        s: enc(&p.s)?,
-        p: enc(&p.p)?,
-        o: enc(&p.o)?,
-    })
-}
-
-/// Extends a row with the bindings a matched triple implies; false on a
-/// conflict (same variable bound to different ids within one pattern).
-fn bind_row(
-    row: &mut Row,
-    pattern: &TriplePattern,
-    t: &[u32; 3],
-    var_idx: &HashMap<&str, usize>,
-) -> bool {
-    for (tv, id) in [(&pattern.s, t[0]), (&pattern.p, t[1]), (&pattern.o, t[2])] {
-        if let TermOrVar::Var(v) = tv {
-            let i = var_idx[v.as_str()];
-            match row[i] {
-                Some(existing) if existing.0 != id => return false,
-                _ => row[i] = Some(TermId(id)),
-            }
-        }
-    }
-    true
 }
 
 /// Sorts rows in place by the query's ORDER BY keys (pattern variables).
@@ -856,7 +854,7 @@ fn aggregate_rows(
 
 /// The value domain of filter expressions.
 #[derive(Debug, Clone, PartialEq)]
-enum EvalValue {
+pub(crate) enum EvalValue {
     Term(Term),
     Bool(bool),
     Str(String),
@@ -889,7 +887,7 @@ fn collect_vars(e: &Expr, out: &mut Vec<String>) {
     }
 }
 
-fn eval_expr(
+pub(crate) fn eval_expr(
     store: &TripleStore,
     e: &Expr,
     row: &Row,
@@ -965,7 +963,7 @@ fn string_of(v: &EvalValue) -> Option<String> {
     }
 }
 
-fn effective_bool(v: EvalValue) -> Option<bool> {
+pub(crate) fn effective_bool(v: EvalValue) -> Option<bool> {
     match v {
         EvalValue::Bool(b) => Some(b),
         EvalValue::Str(s) => Some(!s.is_empty()),

@@ -19,20 +19,29 @@
 //! * `ORDER BY` (`ASC`/`DESC`), `LIMIT` / `OFFSET`,
 //! * `PREFIX` declarations and numeric/boolean literal abbreviations.
 //!
-//! The engine ([`eval`]) compiles BGPs onto the store's pattern indexes
-//! with greedy selectivity-based join ordering, applies filters as soon as
-//! their variables bind, and supports **early termination** for
-//! `LIMIT`-only queries — the incremental-result behaviour §2 asks of
-//! exploratory interfaces.
+//! The engine ([`eval`]) compiles BGPs onto the store's pattern indexes,
+//! applies filters as soon as their variables bind, and supports **early
+//! termination** for `LIMIT`-only queries — the incremental-result
+//! behaviour §2 asks of exploratory interfaces. Multi-pattern groups are
+//! ordered by the cost-based planner ([`plan`]): join orders are costed
+//! with the store's O(1) cardinality statistics, each step picks a
+//! batched merge or hash join (falling back to per-row index probes),
+//! and plans are cached by abstract query shape. The greedy path remains
+//! as the reference engine ([`eval::EvalOptions`]).
 
 pub mod ast;
 pub mod eval;
 pub mod parser;
+pub mod plan;
 pub mod results;
 
 pub use ast::{Aggregate, Expr, Query, QueryForm, TermOrVar, TriplePattern};
-pub use eval::{evaluate, evaluate_budgeted, evaluate_traced, BudgetedResult, QueryError};
+pub use eval::{
+    evaluate, evaluate_budgeted, evaluate_traced, evaluate_with, BudgetedResult, EvalOptions,
+    QueryError,
+};
 pub use parser::parse_query;
+pub use plan::{plan_cache_stats, Plan, PlanOp, PlanStep};
 pub use results::{QueryResult, SolutionTable};
 pub use wodex_obs::{QueryTrace, Stage};
 pub use wodex_resilience::{Budget, DegradeReason, Degraded};

@@ -1,0 +1,1246 @@
+//! Cost-based BGP planning.
+//!
+//! The greedy evaluator in [`crate::eval`] orders joins by "most bound
+//! positions, then smallest base count" and extends bindings with one
+//! store probe per row. That is robust but leaves two costs on the
+//! table for multi-pattern groups:
+//!
+//! * **Join order** is chosen without cardinality arithmetic — a
+//!   pattern with a huge base count but a highly selective shared
+//!   variable is indistinguishable from a genuinely expensive one.
+//!   This planner costs candidate orders with the store's O(1)
+//!   statistics ([`wodex_store::StoreStats`], prefix-range estimates)
+//!   and picks the cheapest connected extension at every step.
+//! * **Per-row probe overhead** — the greedy probe re-encodes the
+//!   pattern and walks the store's binary-search indexes once per
+//!   binding row. For a join step whose right side fits in memory it is
+//!   cheaper to materialize that side *once* (optionally already sorted
+//!   by the join key, straight off an SPO/POS/OSP run) and then join in
+//!   batches: a galloping merge against the sorted run, or a hash join
+//!   that builds the smaller side and probes the larger in
+//!   [`wodex_exec`] chunks.
+//!
+//! Plans are cached by *shape*: the key abstracts constants to
+//! [`ShapeSlot::Const`] and renumbers variables by first occurrence, so
+//! every query of the form `?a p1 C1 . ?a p2 ?b` shares one cached plan
+//! regardless of which constants or variable names it uses. The key
+//! also carries the store revision — any mutation bumps it
+//! ([`TripleStore::revision`]), so stale plans age out of the LRU
+//! naturally instead of being invalidated in place.
+//!
+//! Execution preserves the evaluator's budget contract bit for bit:
+//! every operator polls the [`Budget`] at `wodex-exec` chunk
+//! granularity, a trip records the stage's completed fraction, samples
+//! the surviving rows, and lets the remaining steps finish in grace
+//! mode — every emitted row is a genuine solution (PR 2 semantics).
+
+use crate::ast::{CompareOp, Expr, TermOrVar, TriplePattern};
+use crate::eval::{
+    effective_bool, eval_expr, expr_vars, retain_parallel, sparql_metrics, DegradeState, Row,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use wodex_obs::{Counter, Histogram, PlanStepTrace, QueryTrace, Stage};
+use wodex_rdf::{Term, TermId, Value};
+use wodex_resilience::Budget;
+use wodex_store::cache::CacheStats;
+use wodex_store::{EncodedTriple, LruCache, Pattern, TripleStore};
+
+/// Cached plans kept across queries (per process).
+const PLAN_CACHE_CAP: usize = 256;
+
+/// Below this many input rows a batched join cannot pay for
+/// materializing its right side — per-row index probes win.
+const MIN_BATCH_INPUT: usize = 64;
+
+/// A batched join materializes its whole right side; if that side is
+/// estimated at more than this many triples *per input row*, scanning
+/// it costs more than probing the index once per row.
+const MAX_RIGHT_BLOWUP: usize = 16;
+
+// ----- metrics -----
+
+/// Global registry series for the planner.
+struct PlanMetrics {
+    built: Arc<Counter>,
+    cache_lookups: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    /// Rows produced per executed operator kind, see [`op_kind_index`].
+    rows: [Arc<Counter>; 4],
+    /// Per-join-step q-error (max(est,actual)/min(est,actual)), ×100.
+    qerror: Arc<Histogram>,
+}
+
+fn plan_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = wodex_obs::global();
+        let rows = |op: &'static str| {
+            r.counter_with(
+                "wodex_plan_rows_total",
+                "Binding rows produced per planned operator",
+                &[("op", op)],
+            )
+        };
+        PlanMetrics {
+            built: r.counter(
+                "wodex_plan_built_total",
+                "Query plans constructed (cache misses that reached the builder)",
+            ),
+            cache_lookups: r.counter("wodex_plan_cache_lookups_total", "Plan cache lookups"),
+            cache_hits: r.counter("wodex_plan_cache_hits_total", "Plan cache hits"),
+            cache_misses: r.counter("wodex_plan_cache_misses_total", "Plan cache misses"),
+            rows: [
+                rows("scan"),
+                rows("merge_join"),
+                rows("hash_join"),
+                rows("nested_loop"),
+            ],
+            qerror: r.histogram_with(
+                "wodex_plan_qerror_x100",
+                "Estimated-vs-actual cardinality ratio per join step (x100; 100 = exact)",
+                &[],
+                &[100, 200, 400, 800, 1600, 6400, 25600, 102400],
+                0.01,
+            ),
+        }
+    })
+}
+
+// ----- compiled patterns -----
+
+/// One pattern position after constant resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// A constant, already interned — encoded exactly once per query
+    /// instead of once per probed row.
+    Const(TermId),
+    /// A variable, by global index into the query's `Row`.
+    Var(usize),
+}
+
+/// A triple pattern with constants pre-encoded and variables resolved
+/// to row indexes. This is the per-row hot-path representation: `fill`
+/// and `bind` touch only positional arrays, never a name map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CompiledPattern {
+    slots: [Slot; 3],
+}
+
+impl CompiledPattern {
+    /// Compiles a pattern; `None` when a constant is not in the
+    /// dictionary (the whole group can have no matches).
+    pub(crate) fn compile(
+        store: &TripleStore,
+        p: &TriplePattern,
+        var_idx: &HashMap<&str, usize>,
+    ) -> Option<CompiledPattern> {
+        let slot = |tv: &TermOrVar| -> Option<Slot> {
+            match tv {
+                TermOrVar::Term(t) => store.id_of(t).map(Slot::Const),
+                TermOrVar::Var(v) => Some(Slot::Var(var_idx[v.as_str()])),
+            }
+        };
+        Some(CompiledPattern {
+            slots: [slot(&p.s)?, slot(&p.p)?, slot(&p.o)?],
+        })
+    }
+
+    /// The constant-only pattern (variables unconstrained).
+    pub(crate) fn base(&self) -> Pattern {
+        let enc = |s: Slot| match s {
+            Slot::Const(id) => Some(id),
+            Slot::Var(_) => None,
+        };
+        Pattern {
+            s: enc(self.slots[0]),
+            p: enc(self.slots[1]),
+            o: enc(self.slots[2]),
+        }
+    }
+
+    /// The pattern with constants and the row's bound variables filled.
+    pub(crate) fn fill(&self, row: &Row) -> Pattern {
+        let enc = |s: Slot| match s {
+            Slot::Const(id) => Some(id),
+            Slot::Var(i) => row[i],
+        };
+        Pattern {
+            s: enc(self.slots[0]),
+            p: enc(self.slots[1]),
+            o: enc(self.slots[2]),
+        }
+    }
+
+    /// Extends `row` with the bindings `t` implies; `None` on a
+    /// conflict (same variable matched to different ids).
+    pub(crate) fn bind(&self, row: &Row, t: &EncodedTriple) -> Option<Row> {
+        let mut new_row = row.clone();
+        for (slot, id) in self.slots.iter().zip(t) {
+            if let Slot::Var(i) = slot {
+                match new_row[*i] {
+                    Some(existing) if existing.0 != *id => return None,
+                    _ => new_row[*i] = Some(TermId(*id)),
+                }
+            }
+        }
+        Some(new_row)
+    }
+
+    /// The first pattern position holding variable `v`, if any.
+    fn position_of(&self, v: usize) -> Option<usize> {
+        self.slots.iter().position(|s| *s == Slot::Var(v))
+    }
+
+    /// Global indexes of the variables this pattern mentions (deduped).
+    fn var_indexes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Var(i) => Some(*i),
+                Slot::Const(_) => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+// ----- compiled filters -----
+
+/// One conjunct of a FILTER, specialized where the expression shape
+/// allows constant work to be hoisted out of the per-row loop.
+#[derive(Debug)]
+enum FilterKind<'q> {
+    /// `?v = <iri>` / `?v != <iri>` (or flipped): dictionary interning
+    /// makes term equality id equality, so the constant is interned
+    /// once and each row costs one integer compare. `id` is `None`
+    /// when the constant is not in the dictionary (nothing can equal
+    /// it — equality is always false, inequality true for bound rows).
+    IdEq {
+        var: usize,
+        id: Option<TermId>,
+        negate: bool,
+    },
+    /// `?v OP literal` (or flipped): the constant's [`Value`] is
+    /// parsed once; each row does one `Value::from_literal` on its own
+    /// term plus a comparison, replicating `eval::compare`'s
+    /// literal/literal and term/term arms exactly.
+    ValueCmp {
+        var: usize,
+        op: CompareOp,
+        value: Value,
+        /// True when the constant is the *left* operand.
+        flipped: bool,
+    },
+    /// Anything else: the general recursive evaluator.
+    General(&'q Expr),
+}
+
+/// A FILTER compiled for repeated application: the variables it needs
+/// (for readiness, matching the greedy evaluator's gating on the whole
+/// expression) plus its conjuncts, each possibly specialized.
+#[derive(Debug)]
+pub(crate) struct CompiledFilter<'q> {
+    /// Global indexes of every variable the original expression
+    /// mentions. The filter runs only once all are bound — identical
+    /// gating to the uncompiled path, including the case of a variable
+    /// that never binds in this pattern combination (the filter then
+    /// never runs, same as before).
+    pub(crate) vars: Vec<usize>,
+    conjuncts: Vec<FilterKind<'q>>,
+}
+
+/// Splits a top-level conjunction into its conjuncts. Sound because
+/// `eval::eval_expr` maps an error (`None`) in either operand of `&&`
+/// to an overall error, and the caller maps errors to `false` — i.e.
+/// `unwrap_or(false)` of the conjunction equals the AND of the
+/// `unwrap_or(false)` of the conjuncts.
+fn split_conjuncts<'q>(e: &'q Expr, out: &mut Vec<&'q Expr>) {
+    if let Expr::And(a, b) = e {
+        split_conjuncts(a, out);
+        split_conjuncts(b, out);
+    } else {
+        out.push(e);
+    }
+}
+
+impl<'q> CompiledFilter<'q> {
+    pub(crate) fn compile(
+        store: &TripleStore,
+        e: &'q Expr,
+        var_idx: &HashMap<&str, usize>,
+    ) -> CompiledFilter<'q> {
+        let vars: Vec<usize> = expr_vars(e).iter().map(|v| var_idx[v.as_str()]).collect();
+        let mut exprs = Vec::new();
+        split_conjuncts(e, &mut exprs);
+        let conjuncts = exprs
+            .into_iter()
+            .map(|c| FilterKind::compile(store, c, var_idx))
+            .collect();
+        CompiledFilter { vars, conjuncts }
+    }
+
+    /// Evaluates the filter on a row with every `vars` entry bound.
+    pub(crate) fn matches(
+        &self,
+        store: &TripleStore,
+        row: &Row,
+        var_idx: &HashMap<&str, usize>,
+    ) -> bool {
+        self.conjuncts
+            .iter()
+            .all(|c| c.matches(store, row, var_idx))
+    }
+}
+
+impl<'q> FilterKind<'q> {
+    fn compile(store: &TripleStore, e: &'q Expr, var_idx: &HashMap<&str, usize>) -> FilterKind<'q> {
+        if let Expr::Compare(a, op, b) = e {
+            let parts = match (a.as_ref(), b.as_ref()) {
+                (Expr::Var(v), Expr::Const(t)) => Some((v, *op, t, false)),
+                (Expr::Const(t), Expr::Var(v)) => Some((v, *op, t, true)),
+                _ => None,
+            };
+            if let Some((v, op, t, flipped)) = parts {
+                let var = var_idx[v.as_str()];
+                match t {
+                    Term::Iri(_) | Term::Blank(_)
+                        if matches!(op, CompareOp::Eq | CompareOp::Ne) =>
+                    {
+                        return FilterKind::IdEq {
+                            var,
+                            id: store.id_of(t),
+                            negate: op == CompareOp::Ne,
+                        };
+                    }
+                    Term::Literal(l) => {
+                        return FilterKind::ValueCmp {
+                            var,
+                            op,
+                            value: Value::from_literal(l),
+                            flipped,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+        }
+        FilterKind::General(e)
+    }
+
+    fn matches(&self, store: &TripleStore, row: &Row, var_idx: &HashMap<&str, usize>) -> bool {
+        match self {
+            FilterKind::IdEq { var, id, negate } => match row[*var] {
+                // Unbound: the comparison errors, errors are false —
+                // for both `=` and `!=`.
+                None => false,
+                Some(rid) => (Some(rid) == *id) != *negate,
+            },
+            FilterKind::ValueCmp {
+                var,
+                op,
+                value,
+                flipped,
+            } => {
+                let Some(rid) = row[*var] else { return false };
+                match store.term(rid) {
+                    Term::Literal(l) => {
+                        let rv = Value::from_literal(l);
+                        let comparable = (rv.is_numeric() && value.is_numeric())
+                            || (rv.is_temporal() && value.is_temporal())
+                            || matches!((&rv, value), (Value::Text(_), Value::Text(_)))
+                            || matches!((&rv, value), (Value::Boolean(_), Value::Boolean(_)));
+                        if !comparable && !matches!(op, CompareOp::Eq | CompareOp::Ne) {
+                            return false;
+                        }
+                        let mut ord = rv.total_cmp(value);
+                        if *flipped {
+                            ord = ord.reverse();
+                        }
+                        op_holds(*op, ord)
+                    }
+                    // IRI/bnode vs literal: only (in)equality is
+                    // meaningful, and they are never equal.
+                    _ => matches!(op, CompareOp::Ne),
+                }
+            }
+            FilterKind::General(e) => eval_expr(store, e, row, var_idx)
+                .and_then(effective_bool)
+                .unwrap_or(false),
+        }
+    }
+}
+
+fn op_holds(op: CompareOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        CompareOp::Eq => ord == Ordering::Equal,
+        CompareOp::Ne => ord != Ordering::Equal,
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::Le => ord != Ordering::Greater,
+        CompareOp::Gt => ord == Ordering::Greater,
+        CompareOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Compiles a filter list, resolving every constant once.
+pub(crate) fn compile_filters<'q>(
+    store: &TripleStore,
+    filters: &[&'q Expr],
+    var_idx: &HashMap<&str, usize>,
+) -> Vec<CompiledFilter<'q>> {
+    filters
+        .iter()
+        .map(|f| CompiledFilter::compile(store, f, var_idx))
+        .collect()
+}
+
+// ----- plan shapes and the cache key -----
+
+/// One pattern position in a plan-cache key: constants are abstracted
+/// (any constant in this position keys the same), variables are
+/// renumbered by first occurrence within the pattern group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeSlot {
+    /// Some constant (which one does not change the join structure).
+    Const,
+    /// The `n`-th distinct variable of the group, in first-occurrence
+    /// order.
+    Var(u16),
+}
+
+/// Plan-cache key: store revision plus the group's abstract shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    revision: u64,
+    shape: Vec<[ShapeSlot; 3]>,
+}
+
+/// Computes the abstract shape of a pattern group, plus the variable
+/// names in local (first-occurrence) order so a cached plan's local
+/// variable ids can be translated back to any query's global indexes.
+fn combo_shape(combo: &[TriplePattern]) -> (Vec<[ShapeSlot; 3]>, Vec<String>) {
+    let mut names: Vec<String> = Vec::new();
+    let mut shape = Vec::with_capacity(combo.len());
+    for p in combo {
+        let mut slot = |tv: &TermOrVar| match tv {
+            TermOrVar::Term(_) => ShapeSlot::Const,
+            TermOrVar::Var(v) => {
+                let i = names.iter().position(|n| n == v).unwrap_or_else(|| {
+                    names.push(v.clone());
+                    names.len() - 1
+                });
+                ShapeSlot::Var(i as u16)
+            }
+        };
+        shape.push([slot(&p.s), slot(&p.p), slot(&p.o)]);
+    }
+    (shape, names)
+}
+
+// ----- plans -----
+
+/// The join operator a plan step runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOp {
+    /// First step: materialize the pattern's matches.
+    Scan,
+    /// One shared variable sitting on the pattern's natural index sort
+    /// position: materialize the right side already sorted by the join
+    /// key (straight off an index run, zero sort) and join each row by
+    /// galloping into the sorted run.
+    MergeJoin {
+        /// Local id of the join variable.
+        var: u16,
+        /// Triple position (0/1/2) the right side is sorted by.
+        right_pos: usize,
+    },
+    /// Shared variables without a usable sort order: build a hash table
+    /// on the smaller side, probe the larger in parallel batches.
+    HashJoin {
+        /// Local ids of the join variables.
+        keys: Vec<u16>,
+    },
+    /// No shared variable: per-row index probe (degenerates to a cross
+    /// product constrained only by the pattern's constants).
+    NestedLoop,
+}
+
+impl PlanOp {
+    /// Stable operator label, as surfaced in traces and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::Scan => "scan",
+            PlanOp::MergeJoin { .. } => "merge_join",
+            PlanOp::HashJoin { .. } => "hash_join",
+            PlanOp::NestedLoop => "nested_loop",
+        }
+    }
+}
+
+/// Index into [`PlanMetrics::rows`] for an *executed* operator label
+/// (which may differ from the planned one after a runtime downgrade).
+fn op_kind_index(op: &str) -> usize {
+    match op {
+        "scan" => 0,
+        "merge_join" => 1,
+        "hash_join" => 2,
+        _ => 3,
+    }
+}
+
+/// One step of a plan: which pattern joins next, with which operator,
+/// and the planner's output-cardinality estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index into the pattern group.
+    pub pattern: usize,
+    /// The operator.
+    pub op: PlanOp,
+    /// Estimated rows after this step (from store statistics).
+    pub est_rows: u64,
+}
+
+/// A join order plus per-step operators for one pattern-group shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Steps in execution order; every pattern appears exactly once.
+    pub steps: Vec<PlanStep>,
+}
+
+/// Builds a plan for `shape` against the store's current statistics.
+///
+/// Ordering is greedy smallest-estimated-output-first over *connected*
+/// candidates (patterns sharing a bound variable), falling back to the
+/// full candidate set when nothing connects (a genuine cross product).
+/// The estimate for joining pattern `P` into an intermediate of `L`
+/// rows is `L · |P| / Π min(|P|, d(v))` over each shared variable `v`,
+/// where `|P|` is the pattern's constant-only match estimate and
+/// `d(v)` the store's distinct-value count for the position `v`
+/// occupies — the classic independence/containment assumption, using
+/// only O(1) statistics.
+fn build_plan(store: &TripleStore, shape: &[[ShapeSlot; 3]], compiled: &[CompiledPattern]) -> Plan {
+    let stats = store.stats();
+    let bases: Vec<f64> = compiled
+        .iter()
+        .map(|c| store.estimate_pattern(c.base()) as f64)
+        .collect();
+    let nlocals = shape
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            ShapeSlot::Var(v) => Some(*v as usize + 1),
+            ShapeSlot::Const => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut bound = vec![false; nlocals];
+    let mut remaining: Vec<usize> = (0..shape.len()).collect();
+    let mut steps = Vec::with_capacity(shape.len());
+    let mut current_rows = 1.0f64;
+
+    while !remaining.is_empty() {
+        let first = steps.is_empty();
+        let shared = |i: usize| -> Vec<u16> {
+            let mut out: Vec<u16> = shape[i]
+                .iter()
+                .filter_map(|s| match s {
+                    ShapeSlot::Var(v) if bound[*v as usize] => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+        let estimate = |i: usize| -> f64 {
+            let mut est = if first {
+                bases[i]
+            } else {
+                current_rows * bases[i]
+            };
+            for v in shared(i) {
+                let pos = shape[i]
+                    .iter()
+                    .position(|s| *s == ShapeSlot::Var(v))
+                    .expect("shared variable occurs in pattern");
+                let d = stats
+                    .distinct_at(pos)
+                    .min(bases[i].max(1.0) as usize)
+                    .max(1);
+                est /= d as f64;
+            }
+            est
+        };
+        // Prefer connected extensions; cross products only when forced.
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| !shared(i).is_empty())
+            .collect();
+        let pool: &[usize] = if !first && !connected.is_empty() {
+            &connected
+        } else {
+            &remaining
+        };
+        let mut best = pool[0];
+        let mut best_est = estimate(best);
+        for &i in &pool[1..] {
+            let e = estimate(i);
+            if e < best_est {
+                best = i;
+                best_est = e;
+            }
+        }
+        remaining.retain(|&i| i != best);
+
+        let op = if first {
+            PlanOp::Scan
+        } else {
+            let sh = shared(best);
+            if sh.is_empty() {
+                PlanOp::NestedLoop
+            } else if sh.len() == 1 {
+                match merge_position(store, &shape[best], sh[0]) {
+                    Some(pos) => PlanOp::MergeJoin {
+                        var: sh[0],
+                        right_pos: pos,
+                    },
+                    None => PlanOp::HashJoin { keys: sh },
+                }
+            } else {
+                PlanOp::HashJoin { keys: sh }
+            }
+        };
+        for s in &shape[best] {
+            if let ShapeSlot::Var(v) = s {
+                bound[*v as usize] = true;
+            }
+        }
+        current_rows = best_est.max(0.0);
+        steps.push(PlanStep {
+            pattern: best,
+            op,
+            est_rows: current_rows.round() as u64,
+        });
+    }
+    Plan { steps }
+}
+
+/// Whether a merge join on local variable `var` can read the right
+/// pattern's matches pre-sorted straight off an index run: the store's
+/// unsorted tail must be empty and the join variable must sit on the
+/// run's natural sort position for the pattern's constant shape.
+fn merge_position(store: &TripleStore, pshape: &[ShapeSlot; 3], var: u16) -> Option<usize> {
+    if store.tail_len() != 0 {
+        return None;
+    }
+    let natural = TripleStore::natural_position(
+        pshape[0] == ShapeSlot::Const,
+        pshape[1] == ShapeSlot::Const,
+        pshape[2] == ShapeSlot::Const,
+    )?;
+    (pshape[natural] == ShapeSlot::Var(var)).then_some(natural)
+}
+
+// ----- the plan cache -----
+
+fn plan_cache() -> &'static Mutex<LruCache<PlanKey, Arc<Plan>>> {
+    static CACHE: OnceLock<Mutex<LruCache<PlanKey, Arc<Plan>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(LruCache::new(PLAN_CACHE_CAP)))
+}
+
+/// Snapshot of the process-wide plan cache counters (hits, misses,
+/// evictions) — exposed for invariant tests and `explain` tooling.
+pub fn plan_cache_stats() -> CacheStats {
+    plan_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .stats()
+}
+
+/// Looks up (or builds and caches) the plan for a pattern group.
+fn plan_for(
+    store: &TripleStore,
+    shape: Vec<[ShapeSlot; 3]>,
+    compiled: &[CompiledPattern],
+) -> Arc<Plan> {
+    let m = plan_metrics();
+    m.cache_lookups.inc();
+    let key = PlanKey {
+        revision: store.revision(),
+        shape,
+    };
+    if let Some(plan) = plan_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&key)
+    {
+        m.cache_hits.inc();
+        return Arc::clone(plan);
+    }
+    m.cache_misses.inc();
+    // Build outside the lock: statistics reads can take microseconds on
+    // a cold store and must not serialize concurrent queries.
+    let plan = Arc::new(build_plan(store, &key.shape, compiled));
+    m.built.inc();
+    plan_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .put(key, Arc::clone(&plan));
+    plan
+}
+
+// ----- execution -----
+
+/// Plans and executes one pattern combination. Same contract as the
+/// greedy `join_bgp`: starts from the all-unbound row, applies `filters`
+/// as soon as their variables bind, honors `early_limit` on the final
+/// step, and degrades under `budget` exactly like the greedy path
+/// (trip → sample → grace).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn planned_join(
+    store: &TripleStore,
+    combo: &[TriplePattern],
+    filters: &[&Expr],
+    var_idx: &HashMap<&str, usize>,
+    early_limit: Option<usize>,
+    budget: &Budget,
+    deg: &mut DegradeState,
+    trace: &QueryTrace,
+) -> Vec<Row> {
+    let plan_span = trace.span(Stage::Plan);
+    let compiled: Option<Vec<CompiledPattern>> = combo
+        .iter()
+        .map(|p| CompiledPattern::compile(store, p, var_idx))
+        .collect();
+    let Some(compiled) = compiled else {
+        // A constant missing from the dictionary: no matches possible.
+        return Vec::new();
+    };
+    let (shape, local_names) = combo_shape(combo);
+    let local_to_global: Vec<usize> = local_names.iter().map(|n| var_idx[n.as_str()]).collect();
+    let plan = plan_for(store, shape, &compiled);
+    let mut pending = compile_filters(store, filters, var_idx);
+    drop(plan_span);
+
+    let m = plan_metrics();
+    let nvars = var_idx.len();
+    let mut rows: Vec<Row> = vec![vec![None; nvars]];
+    let mut bound = vec![false; nvars];
+
+    for (step_no, step) in plan.steps.iter().enumerate() {
+        let cp = &compiled[step.pattern];
+        // Plans are cached by shape, so the *actual* input cardinality
+        // can differ wildly from the one the plan was built for. A
+        // batched join is only executed when the live row count can pay
+        // for materializing the right side; otherwise the step
+        // downgrades to per-row index probes (which is what the greedy
+        // engine always does, so the downgrade can never be a
+        // regression).
+        let batch_ok = |rows: &[Row]| {
+            rows.len() >= MIN_BATCH_INPUT
+                && store.estimate_pattern(cp.base()) <= rows.len().saturating_mul(MAX_RIGHT_BLOWUP)
+        };
+        let probe_span = trace.span(Stage::BgpProbe);
+        let (next, op_used): (Vec<Row>, &'static str) = match &step.op {
+            PlanOp::Scan => (probe_step(store, cp, rows, budget, deg), "scan"),
+            PlanOp::NestedLoop => (probe_step(store, cp, rows, budget, deg), "nested_loop"),
+            PlanOp::MergeJoin { var, right_pos } if batch_ok(&rows) => (
+                merge_join(
+                    store,
+                    cp,
+                    rows,
+                    local_to_global[*var as usize],
+                    *right_pos,
+                    budget,
+                    deg,
+                ),
+                "merge_join",
+            ),
+            PlanOp::HashJoin { keys } if batch_ok(&rows) => {
+                let kg: Vec<usize> = keys.iter().map(|&k| local_to_global[k as usize]).collect();
+                (hash_join(store, cp, rows, &kg, budget, deg), "hash_join")
+            }
+            PlanOp::MergeJoin { .. } | PlanOp::HashJoin { .. } => {
+                (probe_step(store, cp, rows, budget, deg), "nested_loop")
+            }
+        };
+        rows = next;
+        drop(probe_span);
+        trace.add_items(Stage::BgpProbe, rows.len() as u64);
+        sparql_metrics().rows_probed.add(rows.len() as u64);
+        m.rows[op_kind_index(op_used)].add(rows.len() as u64);
+        let est = step.est_rows.max(1);
+        let actual = (rows.len() as u64).max(1);
+        m.qerror.observe(est.max(actual) * 100 / est.min(actual));
+        if trace.is_enabled() {
+            trace.record_plan_step(PlanStepTrace {
+                op: op_used,
+                detail: fmt_pattern(&combo[step.pattern]),
+                est_rows: step.est_rows,
+                actual_rows: rows.len() as u64,
+            });
+        }
+
+        for v in cp.var_indexes() {
+            bound[v] = true;
+        }
+        pending.retain(|f| {
+            let ready = f.vars.iter().all(|&v| bound[v]);
+            if ready {
+                let _filter_span = trace.span(Stage::Filter);
+                retain_parallel(&mut rows, |row| f.matches(store, row, var_idx));
+            }
+            !ready
+        });
+        if let Some(lim) = early_limit {
+            if step_no + 1 == plan.steps.len() && pending.is_empty() {
+                rows.truncate(lim);
+            }
+        }
+        if rows.is_empty() {
+            return rows;
+        }
+    }
+    rows
+}
+
+/// Per-row index probe — the scan / nested-loop operator. Identical
+/// budget semantics to the greedy stage: parallel over the row table,
+/// chunk-granular polling, trip → completed prefix → sample.
+fn probe_step(
+    store: &TripleStore,
+    cp: &CompiledPattern,
+    rows: Vec<Row>,
+    budget: &Budget,
+    deg: &mut DegradeState,
+) -> Vec<Row> {
+    let probe = |row: &Row| -> Vec<Row> {
+        let mut extended = Vec::new();
+        for t in store.match_pattern(cp.fill(row)) {
+            if let Some(new_row) = cp.bind(row, &t) {
+                extended.push(new_row);
+            }
+        }
+        extended
+    };
+    if budget.is_unlimited() || deg.active() {
+        wodex_exec::par_map(&rows, probe)
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        let total = rows.len();
+        let part = wodex_exec::par_map_budgeted(&rows, budget, probe);
+        let interrupted = part.interrupted;
+        let stage_cov = part.coverage(total);
+        let mut flat: Vec<Row> = part.value.into_iter().flatten().collect();
+        if let Some(reason) = interrupted {
+            deg.trip(reason, stage_cov);
+            deg.sample(&mut flat);
+        }
+        flat
+    }
+}
+
+/// Merge join: materialize the right side once, pre-sorted by the join
+/// key straight off an index run (the planner guaranteed the natural
+/// sort position and an empty tail), then for each row gallop into the
+/// sorted run by binary search. Left row order is preserved, so output
+/// order matches the per-row-probe operators'.
+fn merge_join(
+    store: &TripleStore,
+    cp: &CompiledPattern,
+    rows: Vec<Row>,
+    join_var: usize,
+    right_pos: usize,
+    budget: &Budget,
+    deg: &mut DegradeState,
+) -> Vec<Row> {
+    let right = store.match_pattern_sorted_by(cp.base(), right_pos);
+    let probe = |row: &Row| -> Vec<Row> {
+        let Some(key) = row[join_var] else {
+            // Join variable unbound (cannot happen for plans built from
+            // the shape, but stay correct): the run does not constrain
+            // it — fall back to a plain probe.
+            let mut extended = Vec::new();
+            for t in store.match_pattern(cp.fill(row)) {
+                if let Some(new_row) = cp.bind(row, &t) {
+                    extended.push(new_row);
+                }
+            }
+            return extended;
+        };
+        let start = right.partition_point(|t| t[right_pos] < key.0);
+        let mut extended = Vec::new();
+        for t in &right[start..] {
+            if t[right_pos] != key.0 {
+                break;
+            }
+            if let Some(new_row) = cp.bind(row, t) {
+                extended.push(new_row);
+            }
+        }
+        extended
+    };
+    if budget.is_unlimited() || deg.active() {
+        wodex_exec::par_map(&rows, probe)
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        let total = rows.len();
+        let part = wodex_exec::par_map_budgeted(&rows, budget, probe);
+        let interrupted = part.interrupted;
+        let stage_cov = part.coverage(total);
+        let mut flat: Vec<Row> = part.value.into_iter().flatten().collect();
+        if let Some(reason) = interrupted {
+            deg.trip(reason, stage_cov);
+            deg.sample(&mut flat);
+        }
+        flat
+    }
+}
+
+/// Hash join: materialize the right side once, build a hash table on
+/// the smaller side, probe the larger in parallel batches.
+fn hash_join(
+    store: &TripleStore,
+    cp: &CompiledPattern,
+    rows: Vec<Row>,
+    keys: &[usize],
+    budget: &Budget,
+    deg: &mut DegradeState,
+) -> Vec<Row> {
+    let right = store.match_pattern(cp.base());
+    let key_positions: Vec<usize> = keys
+        .iter()
+        .map(|&v| cp.position_of(v).expect("join key occurs in pattern"))
+        .collect();
+    let triple_key =
+        |t: &EncodedTriple| -> Vec<u32> { key_positions.iter().map(|&p| t[p]).collect() };
+    let row_key =
+        |row: &Row| -> Option<Vec<u32>> { keys.iter().map(|&v| row[v].map(|id| id.0)).collect() };
+
+    if rows.len() <= right.len() {
+        // Build on the binding rows, probe the triples. Output is
+        // grouped by right triple in scan order — deterministic at
+        // every thread count (the map is only ever looked up).
+        let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(k) = row_key(row) {
+                table.entry(k).or_default().push(i);
+            }
+        }
+        let probe = |t: &EncodedTriple| -> Vec<Row> {
+            let mut extended = Vec::new();
+            if let Some(idxs) = table.get(&triple_key(t)) {
+                for &i in idxs {
+                    if let Some(new_row) = cp.bind(&rows[i], t) {
+                        extended.push(new_row);
+                    }
+                }
+            }
+            extended
+        };
+        if budget.is_unlimited() || deg.active() {
+            wodex_exec::par_map(&right, probe)
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            let total = right.len();
+            let part = wodex_exec::par_map_budgeted(&right, budget, probe);
+            let interrupted = part.interrupted;
+            let stage_cov = part.coverage(total);
+            let mut flat: Vec<Row> = part.value.into_iter().flatten().collect();
+            if let Some(reason) = interrupted {
+                deg.trip(reason, stage_cov);
+                deg.sample(&mut flat);
+            }
+            flat
+        }
+    } else {
+        // Build on the triples, probe the rows (preserves row order).
+        let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for (i, t) in right.iter().enumerate() {
+            table.entry(triple_key(t)).or_default().push(i);
+        }
+        let probe = |row: &Row| -> Vec<Row> {
+            let Some(k) = row_key(row) else {
+                return Vec::new();
+            };
+            let mut extended = Vec::new();
+            if let Some(idxs) = table.get(&k) {
+                for &i in idxs {
+                    if let Some(new_row) = cp.bind(row, &right[i]) {
+                        extended.push(new_row);
+                    }
+                }
+            }
+            extended
+        };
+        if budget.is_unlimited() || deg.active() {
+            wodex_exec::par_map(&rows, probe)
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            let total = rows.len();
+            let part = wodex_exec::par_map_budgeted(&rows, budget, probe);
+            let interrupted = part.interrupted;
+            let stage_cov = part.coverage(total);
+            let mut flat: Vec<Row> = part.value.into_iter().flatten().collect();
+            if let Some(reason) = interrupted {
+                deg.trip(reason, stage_cov);
+                deg.sample(&mut flat);
+            }
+            flat
+        }
+    }
+}
+
+fn fmt_tv(tv: &TermOrVar) -> String {
+    match tv {
+        TermOrVar::Var(v) => format!("?{v}"),
+        TermOrVar::Term(t) => t.to_string(),
+    }
+}
+
+fn fmt_pattern(p: &TriplePattern) -> String {
+    format!("{} {} {}", fmt_tv(&p.s), fmt_tv(&p.p), fmt_tv(&p.o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::vocab::{foaf, rdf};
+    use wodex_rdf::{Graph, Triple};
+
+    fn store() -> TripleStore {
+        let mut g = Graph::new();
+        for i in 0..40u32 {
+            let s = format!("http://e.org/n{i}");
+            g.insert(Triple::iri(&s, rdf::TYPE, Term::iri(foaf::PERSON)));
+            g.insert(Triple::iri(
+                &s,
+                "http://e.org/age",
+                Term::integer((i % 7) as i64),
+            ));
+            g.insert(Triple::iri(
+                &s,
+                foaf::KNOWS,
+                Term::iri(format!("http://e.org/n{}", (i + 1) % 40)),
+            ));
+        }
+        TripleStore::from_graph(&g)
+    }
+
+    fn pat(s: &str, p: &str, o: &str) -> TriplePattern {
+        let tv = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                TermOrVar::Var(v.to_string())
+            } else {
+                TermOrVar::Term(Term::iri(x))
+            }
+        };
+        TriplePattern {
+            s: tv(s),
+            p: tv(p),
+            o: tv(o),
+        }
+    }
+
+    fn var_map(names: &[&'static str]) -> HashMap<&'static str, usize> {
+        names.iter().enumerate().map(|(i, n)| (*n, i)).collect()
+    }
+
+    #[test]
+    fn shape_abstracts_constants_and_renumbers_vars() {
+        let a = [
+            pat("?x", foaf::KNOWS, "?y"),
+            pat("?y", rdf::TYPE, foaf::PERSON),
+        ];
+        let b = [
+            pat("?p", foaf::KNOWS, "?q"),
+            pat("?q", rdf::TYPE, "http://other/class"),
+        ];
+        let (sa, na) = combo_shape(&a);
+        let (sb, nb) = combo_shape(&b);
+        assert_eq!(sa, sb, "same structure, different names/constants");
+        assert_eq!(na, vec!["x", "y"]);
+        assert_eq!(nb, vec!["p", "q"]);
+    }
+
+    #[test]
+    fn planner_starts_from_the_most_selective_pattern() {
+        let st = store();
+        let vm = var_map(&["x", "y"]);
+        // age=?y has 40 matches but knows joins; type scan has 40 too.
+        // A constant-subject pattern has 3 matches — must go first.
+        let combo = [
+            pat("?x", foaf::KNOWS, "?y"),
+            pat("http://e.org/n3", foaf::KNOWS, "?x"),
+        ];
+        let compiled: Vec<CompiledPattern> = combo
+            .iter()
+            .map(|p| CompiledPattern::compile(&st, p, &vm).unwrap())
+            .collect();
+        let (shape, _) = combo_shape(&combo);
+        let plan = build_plan(&st, &shape, &compiled);
+        assert_eq!(plan.steps[0].pattern, 1, "selective pattern scans first");
+        assert_eq!(plan.steps[0].op, PlanOp::Scan);
+        assert_ne!(plan.steps[1].op, PlanOp::NestedLoop, "shared var joins");
+    }
+
+    #[test]
+    fn merge_join_requires_natural_position_and_empty_tail() {
+        let mut st = store();
+        // (?x <p> ?y): only p bound, so the POS run is naturally sorted
+        // by o (position 2) — where Var(1) sits: merge-joinable on ?y
+        // but not on ?x.
+        let shape = [ShapeSlot::Var(0), ShapeSlot::Const, ShapeSlot::Var(1)];
+        assert_eq!(TripleStore::natural_position(false, true, false), Some(2));
+        assert_eq!(merge_position(&st, &shape, 1), Some(2));
+        assert_eq!(
+            merge_position(&st, &shape, 0),
+            None,
+            "?x is not on the sort position"
+        );
+        // An unsorted tail disables the zero-sort guarantee.
+        st.insert(&Triple::iri(
+            "http://e.org/extra",
+            "http://e.org/p",
+            Term::iri("http://e.org/n0"),
+        ));
+        assert!(st.tail_len() > 0, "insert lands in the tail");
+        assert_eq!(merge_position(&st, &shape, 1), None);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_same_shape_and_misses_on_mutation() {
+        let st = store();
+        let vm = var_map(&["x", "y"]);
+        let combo = [pat("?x", foaf::KNOWS, "?y"), pat("?y", foaf::KNOWS, "?x")];
+        let compiled: Vec<CompiledPattern> = combo
+            .iter()
+            .map(|p| CompiledPattern::compile(&st, p, &vm).unwrap())
+            .collect();
+        let (shape, _) = combo_shape(&combo);
+        let before = plan_cache_stats();
+        let p1 = plan_for(&st, shape.clone(), &compiled);
+        let p2 = plan_for(&st, shape.clone(), &compiled);
+        let after = plan_cache_stats();
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "second lookup returns the cached plan"
+        );
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses + 1);
+        // A different store revision must not reuse the plan.
+        let st2 = store();
+        assert_ne!(st.revision(), st2.revision());
+        let _p3 = plan_for(&st2, shape, &compiled);
+        let last = plan_cache_stats();
+        assert_eq!(last.misses, after.misses + 1, "new revision is a new key");
+    }
+
+    #[test]
+    fn compiled_filter_id_eq_matches_general_semantics() {
+        let st = store();
+        let vm = var_map(&["x"]);
+        let target = Term::iri("http://e.org/n5");
+        let expr = Expr::Compare(
+            Box::new(Expr::Var("x".into())),
+            CompareOp::Eq,
+            Box::new(Expr::Const(target.clone())),
+        );
+        let cf = CompiledFilter::compile(&st, &expr, &vm);
+        assert!(matches!(cf.conjuncts[0], FilterKind::IdEq { .. }));
+        let id5 = st.id_of(&target).unwrap();
+        let other = st.id_of(&Term::iri("http://e.org/n6")).unwrap();
+        assert!(cf.matches(&st, &vec![Some(id5)], &vm));
+        assert!(!cf.matches(&st, &vec![Some(other)], &vm));
+        assert!(
+            !cf.matches(&st, &vec![None], &vm),
+            "unbound is an error → false"
+        );
+        // != with an unknown IRI: every bound row passes, unbound fails.
+        let expr_ne = Expr::Compare(
+            Box::new(Expr::Var("x".into())),
+            CompareOp::Ne,
+            Box::new(Expr::Const(Term::iri("http://nowhere/x"))),
+        );
+        let cf_ne = CompiledFilter::compile(&st, &expr_ne, &vm);
+        assert!(cf_ne.matches(&st, &vec![Some(id5)], &vm));
+        assert!(!cf_ne.matches(&st, &vec![None], &vm));
+    }
+
+    #[test]
+    fn compiled_filter_value_cmp_matches_general_semantics() {
+        let st = store();
+        let vm = var_map(&["a"]);
+        let ge3 = Expr::Compare(
+            Box::new(Expr::Var("a".into())),
+            CompareOp::Ge,
+            Box::new(Expr::Const(Term::integer(3))),
+        );
+        let ge3 = CompiledFilter::compile(&st, &ge3, &vm);
+        assert!(matches!(ge3.conjuncts[0], FilterKind::ValueCmp { .. }));
+        let id_of_age = |n: i64| st.id_of(&Term::integer(n)).unwrap();
+        assert!(ge3.matches(&st, &vec![Some(id_of_age(4))], &vm));
+        assert!(!ge3.matches(&st, &vec![Some(id_of_age(2))], &vm));
+        // Flipped: 3 <= ?a is the same predicate.
+        let flipped = Expr::Compare(
+            Box::new(Expr::Const(Term::integer(3))),
+            CompareOp::Le,
+            Box::new(Expr::Var("a".into())),
+        );
+        let flipped = CompiledFilter::compile(&st, &flipped, &vm);
+        assert!(flipped.matches(&st, &vec![Some(id_of_age(4))], &vm));
+        assert!(!flipped.matches(&st, &vec![Some(id_of_age(2))], &vm));
+        // Ordering against a non-literal term is an error → false; `!=`
+        // against a non-literal is true (never equal).
+        let iri = st.id_of(&Term::iri("http://e.org/n1")).unwrap();
+        assert!(!ge3.matches(&st, &vec![Some(iri)], &vm));
+        let ne = Expr::Compare(
+            Box::new(Expr::Var("a".into())),
+            CompareOp::Ne,
+            Box::new(Expr::Const(Term::integer(3))),
+        );
+        let ne = CompiledFilter::compile(&st, &ne, &vm);
+        assert!(ne.matches(&st, &vec![Some(iri)], &vm));
+    }
+
+    #[test]
+    fn conjunction_splits_and_each_conjunct_specializes() {
+        let st = store();
+        let vm = var_map(&["a", "x"]);
+        let e = Expr::And(
+            Box::new(Expr::Compare(
+                Box::new(Expr::Var("a".into())),
+                CompareOp::Gt,
+                Box::new(Expr::Const(Term::integer(1))),
+            )),
+            Box::new(Expr::Compare(
+                Box::new(Expr::Var("x".into())),
+                CompareOp::Eq,
+                Box::new(Expr::Const(Term::iri("http://e.org/n5"))),
+            )),
+        );
+        let cf = CompiledFilter::compile(&st, &e, &vm);
+        assert_eq!(cf.conjuncts.len(), 2);
+        assert!(matches!(cf.conjuncts[0], FilterKind::ValueCmp { .. }));
+        assert!(matches!(cf.conjuncts[1], FilterKind::IdEq { .. }));
+        assert_eq!(
+            cf.vars,
+            vec![0, 1],
+            "readiness gates on the whole expression"
+        );
+    }
+}

@@ -46,6 +46,6 @@ pub use cache::LruCache;
 pub use cracking::CrackerColumn;
 pub use encoded::{EncodedTriple, Pattern};
 pub use fault::{FaultBackend, FaultConfig, FaultSnapshot};
-pub use memstore::TripleStore;
+pub use memstore::{StoreStats, TripleStore};
 pub use paged::{FileBackend, MemBackend, PageBackend, PagedTripleStore};
 pub use wodex_resilience::{RetrySnapshot, StoreError};

@@ -10,10 +10,45 @@
 
 use crate::encoded::{EncodedTriple, Pattern};
 use crate::index::{Order, SortedIndex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use wodex_rdf::{Graph, Term, TermDict, TermId, Triple};
 
 /// Default number of tail triples tolerated before an automatic merge.
 pub const DEFAULT_TAIL_LIMIT: usize = 64 * 1024;
+
+/// Cheap cardinality statistics a query planner can cost join orders with.
+///
+/// Derived from the sorted permutation indexes in one cached O(n) pass:
+/// the distinct count for a position is the number of first-component runs
+/// of the index whose key order leads with that position (SPO for
+/// subjects, POS for predicates, OSP for objects). Tail triples and
+/// tombstones are not folded in, so the counts are *estimates*, off by at
+/// most the (bounded) tail length — which is exactly the precision a cost
+/// model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Triples in the sorted region (tombstones still included).
+    pub indexed_triples: usize,
+    /// Estimated distinct terms per triple position: `[s, p, o]`.
+    pub distinct: [usize; 3],
+}
+
+impl StoreStats {
+    /// Estimated distinct values at `position` (0 = s, 1 = p, 2 = o),
+    /// never below 1 so it is always a safe divisor.
+    pub fn distinct_at(&self, position: usize) -> usize {
+        self.distinct[position].max(1)
+    }
+}
+
+/// Monotone revision source shared by all stores; revision 0 is reserved
+/// for freshly `Default`-constructed (empty) stores.
+static NEXT_REVISION: AtomicU64 = AtomicU64::new(1);
+
+fn next_revision() -> u64 {
+    NEXT_REVISION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An indexed, dictionary-encoded triple store.
 #[derive(Debug, Default)]
@@ -30,6 +65,12 @@ pub struct TripleStore {
     deleted: std::collections::BTreeSet<EncodedTriple>,
     tail_limit: usize,
     len: usize,
+    /// Lazily computed [`StoreStats`], reset on every mutation.
+    stats: OnceLock<StoreStats>,
+    /// Process-unique content revision, bumped on every mutation. Caches
+    /// keyed on `(revision, ...)` (e.g. the SPARQL plan cache) go stale
+    /// automatically when the store changes.
+    rev: u64,
 }
 
 impl TripleStore {
@@ -101,11 +142,20 @@ impl TripleStore {
         self.insert_encoded([s.0, p.0, o.0])
     }
 
+    /// Invalidates derived state after a mutation: cached statistics are
+    /// recomputed on next use and the revision moves so plan caches keyed
+    /// on it go stale.
+    fn touch(&mut self) {
+        self.stats = OnceLock::new();
+        self.rev = next_revision();
+    }
+
     /// Inserts an already-encoded triple. Returns true if new.
     pub fn insert_encoded(&mut self, t: EncodedTriple) -> bool {
         if self.deleted.remove(&t) {
             // Resurrect a tombstoned triple: it is still in the indexes.
             self.len += 1;
+            self.touch();
             return true;
         }
         if self.contains_encoded(&t) {
@@ -113,6 +163,7 @@ impl TripleStore {
         }
         self.tail.push(t);
         self.len += 1;
+        self.touch();
         if self.tail.len() > self.tail_limit {
             self.merge_tail();
         }
@@ -137,6 +188,7 @@ impl TripleStore {
         if let Some(i) = self.tail.iter().position(|x| *x == t) {
             self.tail.swap_remove(i);
             self.len -= 1;
+            self.touch();
             return true;
         }
         let k = Order::Spo.key(&t);
@@ -146,6 +198,7 @@ impl TripleStore {
             .is_empty();
         if in_sorted && self.deleted.insert(t) {
             self.len -= 1;
+            self.touch();
             return true;
         }
         false
@@ -168,6 +221,9 @@ impl TripleStore {
         if self.tail.is_empty() && self.deleted.is_empty() {
             return;
         }
+        // Logical content is unchanged, but the stats estimates (computed
+        // from the sorted region only) move as the tail folds in.
+        self.touch();
         if self.deleted.is_empty() {
             let tail = std::mem::take(&mut self.tail);
             self.spo
@@ -338,6 +394,106 @@ impl TripleStore {
     pub fn snapshot_sorted(&mut self) -> Vec<EncodedTriple> {
         self.merge_tail();
         self.spo.iter().map(|k| Order::Spo.unkey(k)).collect()
+    }
+
+    /// Process-unique content revision; bumps on every mutation. Two
+    /// observations of the same revision from the same store guarantee
+    /// identical contents, so it is a sound cache key component.
+    pub fn revision(&self) -> u64 {
+        self.rev
+    }
+
+    /// Cardinality statistics for the planner, computed on first use and
+    /// cached until the next mutation.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.get_or_init(|| {
+            fn leading_runs(index: &SortedIndex) -> usize {
+                let mut n = 0usize;
+                let mut last = None;
+                for k in index.iter() {
+                    if last != Some(k[0]) {
+                        n += 1;
+                        last = Some(k[0]);
+                    }
+                }
+                n
+            }
+            StoreStats {
+                indexed_triples: self.spo.len(),
+                distinct: [
+                    leading_runs(&self.spo),
+                    leading_runs(&self.pos),
+                    leading_runs(&self.osp),
+                ],
+            }
+        })
+    }
+
+    /// Cheap cardinality estimate for a pattern: the indexed run length
+    /// (two binary searches, tombstones *not* subtracted) plus matching
+    /// tail entries. An upper bound on [`TripleStore::count_pattern`],
+    /// exact while no deletions are pending.
+    pub fn estimate_pattern(&self, pat: Pattern) -> usize {
+        let (run, _) = self.index_run(pat.s.map(|t| t.0), pat.p.map(|t| t.0), pat.o.map(|t| t.0));
+        run.len() + self.tail.iter().filter(|t| pat.matches(t)).count()
+    }
+
+    /// The triple position (0 = s, 1 = p, 2 = o) whose values the index
+    /// run for this bound shape is naturally sorted by — the first
+    /// *unbound* component in the selected index's key order. `None` for
+    /// a fully bound pattern (at most one result; nothing to sort).
+    ///
+    /// Public so a query planner can predict when
+    /// [`TripleStore::match_pattern_sorted_by`] is a zero-sort scan
+    /// (this position, empty tail) and prefer a merge join there.
+    pub fn natural_position(s: bool, p: bool, o: bool) -> Option<usize> {
+        match (s, p, o) {
+            (true, true, true) => None,
+            // SPO: bound prefix constant, next key component varies first.
+            (true, true, false) => Some(2),
+            (true, false, false) => Some(1),
+            (false, false, false) => Some(0),
+            // POS (p, o, s).
+            (false, true, true) => Some(0),
+            (false, true, false) => Some(2),
+            // OSP (o, s, p).
+            (false, false, true) => Some(0),
+            (true, false, true) => Some(1),
+        }
+    }
+
+    /// Matches a pattern, returning encoded triples sorted ascending by
+    /// `(t[position], t)` — the order a sort-merge join consumes.
+    ///
+    /// When the index run already arrives in that order (the bound shape's
+    /// natural position equals `position`) and the tail is empty, this is
+    /// a zero-sort scan; otherwise it is [`TripleStore::match_pattern`]
+    /// plus one explicit sort. Both paths return byte-identical vectors:
+    /// within a run the bound components are constant, so index key order
+    /// and `(t[position], t)` order coincide.
+    pub fn match_pattern_sorted_by(&self, pat: Pattern, position: usize) -> Vec<EncodedTriple> {
+        debug_assert!(position < 3);
+        let natural = Self::natural_position(pat.s.is_some(), pat.p.is_some(), pat.o.is_some());
+        if self.tail.is_empty() && natural == Some(position) {
+            let (run, order) =
+                self.index_run(pat.s.map(|t| t.0), pat.p.map(|t| t.0), pat.o.map(|t| t.0));
+            if self.deleted.is_empty() {
+                return wodex_exec::par_map(run, |k| order.unkey(k));
+            }
+            return wodex_exec::par_chunks(run, wodex_exec::chunk_size(run.len()), |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|k| order.unkey(k))
+                    .filter(|t| !self.deleted.contains(t))
+                    .collect::<Vec<EncodedTriple>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        }
+        let mut out = self.match_pattern(pat);
+        out.sort_unstable_by_key(|t| (t[position], *t));
+        out
     }
 }
 
@@ -539,6 +695,103 @@ mod tests {
             Term::literal("x")
         )));
         assert_eq!(st.len(), 20);
+    }
+
+    #[test]
+    fn stats_count_distinct_terms_per_position() {
+        let st = store();
+        let stats = st.stats();
+        assert_eq!(stats.indexed_triples, 20);
+        // 10 subjects, 2 predicates (rdf:type + rdfs:label), 11 objects
+        // (the class IRI + 10 distinct labels).
+        assert_eq!(stats.distinct, [10, 2, 11]);
+        assert_eq!(stats.distinct_at(1), 2);
+        // Cached value is stable across calls.
+        assert_eq!(st.stats(), stats);
+    }
+
+    #[test]
+    fn revision_bumps_on_every_mutation_and_resets_stats() {
+        let mut st = TripleStore::with_tail_limit(1000);
+        let r0 = st.revision();
+        let t = Triple::iri("http://e.org/a", rdfs::LABEL, Term::literal("A"));
+        assert!(st.insert(&t));
+        let r1 = st.revision();
+        assert_ne!(r0, r1, "insert bumps revision");
+        assert_eq!(st.stats().indexed_triples, 0, "tail not indexed yet");
+        st.merge_tail();
+        let r2 = st.revision();
+        assert_ne!(r1, r2, "merge bumps revision");
+        assert_eq!(st.stats().indexed_triples, 1, "stats recomputed");
+        assert!(st.remove(&t));
+        assert_ne!(st.revision(), r2, "remove bumps revision");
+        // Two stores never share a revision.
+        let other = TripleStore::from_graph(&Graph::new());
+        assert_ne!(other.revision(), st.revision());
+    }
+
+    #[test]
+    fn estimate_pattern_is_exact_without_deletions() {
+        let mut st = store();
+        let p = st.id_of(&Term::iri(rdf::TYPE)).unwrap();
+        let pat = Pattern::any().with_p(p);
+        assert_eq!(st.estimate_pattern(pat), st.count_pattern(pat));
+        // With a pending tombstone the estimate is an upper bound.
+        st.remove(&Triple::iri(
+            "http://e.org/s0",
+            rdf::TYPE,
+            Term::iri("http://e.org/C"),
+        ));
+        assert!(st.estimate_pattern(pat) >= st.count_pattern(pat));
+    }
+
+    #[test]
+    fn sorted_scan_equals_explicit_sort_for_every_shape_and_position() {
+        // Exercise both the zero-sort fast path (tail empty) and the
+        // fallback (tail present, tombstones pending) against the
+        // brute-force reference order.
+        let mut st = store();
+        st.remove(&Triple::iri(
+            "http://e.org/s4",
+            rdf::TYPE,
+            Term::iri("http://e.org/C"),
+        ));
+        for with_tail in [false, true] {
+            if with_tail {
+                // Leave fresh triples in the tail (limit is high enough).
+                let mut grown = TripleStore::with_tail_limit(1_000_000);
+                for t in st.match_pattern(Pattern::any()) {
+                    grown.insert(&st.decode(t));
+                }
+                grown.merge_tail();
+                grown.insert(&Triple::iri(
+                    "http://e.org/zz",
+                    rdfs::LABEL,
+                    Term::literal("zz"),
+                ));
+                st = grown;
+            }
+            let s = st.id_of(&Term::iri("http://e.org/s3"));
+            let p = st.id_of(&Term::iri(rdfs::LABEL));
+            let o = st.id_of(&Term::iri("http://e.org/C"));
+            for &ps in &[None, s] {
+                for &pp in &[None, p] {
+                    for &po in &[None, o] {
+                        let pat = Pattern {
+                            s: ps,
+                            p: pp,
+                            o: po,
+                        };
+                        for position in 0..3 {
+                            let got = st.match_pattern_sorted_by(pat, position);
+                            let mut want = st.match_pattern(pat);
+                            want.sort_unstable_by_key(|t| (t[position], *t));
+                            assert_eq!(got, want, "pattern {pat:?} position {position}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

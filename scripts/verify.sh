@@ -91,4 +91,11 @@ grep -q '"gate_ok": true' BENCH_PR4.json || {
     exit 1
 }
 
+echo "==> repro bench-pr5 (planner >= 1.25x multi-pattern, <= 5% single-pattern)"
+cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr5
+grep -q '"gate_ok": true' BENCH_PR5.json || {
+    echo "verify: FAIL — planner missed its speedup/overhead gates (see BENCH_PR5.json)"
+    exit 1
+}
+
 echo "verify: OK"

@@ -152,6 +152,11 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
                         _ => 0,
                     };
                     print!("{}", trace.render_table());
+                    let plan_table = trace.render_plan_table();
+                    if !plan_table.is_empty() {
+                        println!();
+                        print!("{plan_table}");
+                    }
                     println!("rows: {rows}");
                     println!(
                         "degraded: {}",

@@ -276,3 +276,99 @@ fn traced_queries_feed_the_sparql_counters() {
         "a query cannot decode more rows than its probes produced"
     );
 }
+
+#[test]
+fn plan_cache_lookups_conserve_under_concurrent_planning() {
+    let _guard = lock();
+    let before_lookups = counter("wodex_plan_cache_lookups_total");
+    let before_hits = counter("wodex_plan_cache_hits_total");
+    let before_misses = counter("wodex_plan_cache_misses_total");
+    let before_built = counter("wodex_plan_built_total");
+    let ex = explorer(120);
+    // Two shapes, queried concurrently: a chain join and a star with a
+    // filter. Every evaluation of a multi-pattern group is one cache
+    // lookup; the constants differ across iterations but the abstract
+    // shape (and thus the cache key) does not.
+    let chain = |n: u64| {
+        format!(
+            "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+             SELECT ?s ?p WHERE {{ ?s a dbo:City . ?s dbo:population ?p \
+             FILTER(?p > {n}) }}"
+        )
+    };
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ex = &ex;
+            let chain = &chain;
+            scope.spawn(move || {
+                for i in 0..6u64 {
+                    let r = ex
+                        .sparql_budgeted(&chain(t as u64 * 100 + i), &Budget::unlimited())
+                        .expect("query");
+                    assert!(r.degraded.is_none());
+                }
+            });
+        }
+    });
+    let lookups = counter("wodex_plan_cache_lookups_total") - before_lookups;
+    let hits = counter("wodex_plan_cache_hits_total") - before_hits;
+    let misses = counter("wodex_plan_cache_misses_total") - before_misses;
+    let built = counter("wodex_plan_built_total") - before_built;
+    assert_eq!(
+        lookups,
+        (THREADS * 6) as u64,
+        "every multi-pattern evaluation is exactly one cache lookup"
+    );
+    assert_eq!(
+        hits + misses,
+        lookups,
+        "every plan-cache lookup must resolve to exactly one hit or miss"
+    );
+    assert_eq!(built, misses, "every miss builds exactly one plan");
+    assert!(hits > 0, "repeated shapes must eventually hit");
+    assert!(misses >= 1, "the first query of a shape must miss");
+}
+
+#[test]
+fn cached_plans_return_the_same_rows_as_cold_plans() {
+    let _guard = lock();
+    let ex = explorer(150);
+    let q = "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+             PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n\
+             SELECT ?s ?p ?l WHERE { ?s a dbo:City . ?s dbo:population ?p . \
+             ?s rdfs:label ?l FILTER(?p >= 0) }";
+    // Cold run caches the plan (the store was just built, so its
+    // revision is fresh and no earlier test can have seeded this key).
+    let cold = ex
+        .sparql_budgeted(q, &Budget::unlimited())
+        .expect("cold query");
+    let cold_rows = cold.result.table().expect("solutions").len();
+    assert!(cold_rows > 0);
+    let before_hits = counter("wodex_plan_cache_hits_total");
+    // Hot runs from 8 threads must all replay the cached plan and land
+    // on exactly the cold row count.
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let ex = &ex;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    let hot = ex
+                        .sparql_budgeted(q, &Budget::unlimited())
+                        .expect("hot query");
+                    assert!(hot.degraded.is_none());
+                    assert_eq!(
+                        hot.result.table().expect("solutions").len(),
+                        cold_rows,
+                        "a cached plan changed the answer"
+                    );
+                }
+            });
+        }
+    });
+    let hits = counter("wodex_plan_cache_hits_total") - before_hits;
+    assert_eq!(
+        hits,
+        (THREADS * 4) as u64,
+        "every hot run must hit the plan cache"
+    );
+}

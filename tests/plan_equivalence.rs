@@ -1,0 +1,241 @@
+//! Planner-vs-greedy equivalence: the PR 5 correctness contract.
+//!
+//! The cost-based planner (`wodex::sparql::plan`) may pick any join
+//! order and any operator mix (merge / hash / nested-loop), but the
+//! *bag of solutions* must be exactly the greedy reference engine's —
+//! at every thread count, with and without budgets. Row order is not
+//! part of the contract (SPARQL leaves it unspecified without
+//! `ORDER BY`), so results are compared as sorted multisets.
+
+use wodex::exec::with_thread_override;
+use wodex::sparql::{evaluate_with, parse_query, Budget, EvalOptions, QueryResult, QueryTrace};
+use wodex::store::TripleStore;
+use wodex::synth::dbpedia::{self, DbpediaConfig};
+
+/// Seeded synthetic store exercising skewed predicate distributions.
+fn corpus_store(entities: usize, seed: u64) -> TripleStore {
+    TripleStore::from_graph(&dbpedia::generate(&DbpediaConfig {
+        entities,
+        seed,
+        ..Default::default()
+    }))
+}
+
+/// A query corpus covering every operator the planner can choose:
+/// multi-pattern stars and chains (merge/hash joins), a disconnected
+/// group (nested loop), unions (multiple combos per query), optionals
+/// (greedy per-row path downstream of planned combos), filters both
+/// specializable (`IdEq`/`ValueCmp`) and general, plus aggregates.
+const CORPUS: &[&str] = &[
+    // Two-pattern chain join.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p }",
+    // Three-pattern star with a pushed-down numeric filter.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n\
+     SELECT ?s ?p ?l WHERE { ?s a dbo:City . ?s dbo:population ?p . \
+     ?s rdfs:label ?l FILTER(?p > 1000) }",
+    // Chain over linksTo: join variable on the object position.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT ?a ?b WHERE { ?a dbo:linksTo ?b . ?b dbo:population ?p \
+     FILTER(?p >= 0) }",
+    // Disconnected groups force a nested-loop (cross) step.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT ?s ?x WHERE { ?s a dbo:City . ?x dbo:area ?a FILTER(?a > 9000) }",
+    // UNION: every combo is planned independently.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT ?s ?p WHERE { ?s dbo:population ?p . \
+     { ?s a dbo:City } UNION { ?s a dbo:Country } }",
+    // OPTIONAL downstream of a planned required group.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT ?s ?p ?b WHERE { ?s a dbo:City . ?s dbo:population ?p \
+     OPTIONAL { ?s dbo:linksTo ?b } }",
+    // IRI (in)equality filters take the interned-id fast path.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT ?a ?b WHERE { ?a dbo:linksTo ?b . ?a a ?t \
+     FILTER(?b != <http://dbp.example.org/resource/e0>) }",
+    // Aggregate over a planned join.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT (COUNT(*) AS ?n) (AVG(?p) AS ?avg) WHERE { \
+     ?s a dbo:City . ?s dbo:population ?p }",
+    // ORDER BY pins the output order on top of the planned rows.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT ?s ?p WHERE { ?s a dbo:City . ?s dbo:population ?p } \
+     ORDER BY DESC(?p) ?s",
+    // DISTINCT projection over a join.
+    "PREFIX dbo: <http://dbp.example.org/ontology/>\n\
+     SELECT DISTINCT ?t WHERE { ?a dbo:linksTo ?b . ?a a ?t }",
+];
+
+fn run(
+    store: &TripleStore,
+    text: &str,
+    budget: &Budget,
+    use_planner: bool,
+) -> wodex::sparql::BudgetedResult {
+    let q = parse_query(text).expect("corpus parses");
+    evaluate_with(
+        store,
+        &q,
+        budget,
+        &QueryTrace::disabled(),
+        EvalOptions { use_planner },
+    )
+    .expect("corpus evaluates")
+}
+
+/// Rows as a sorted multiset fingerprint (order-insensitive compare).
+fn sorted_rows(r: &QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = match r {
+        QueryResult::Solutions(t) => t.rows.iter().map(|row| format!("{row:?}")).collect(),
+        other => vec![format!("{other:?}")],
+    };
+    rows.sort();
+    rows
+}
+
+#[test]
+fn planned_results_equal_greedy_results_at_one_and_four_threads() {
+    let store = corpus_store(300, 42);
+    for threads in [1usize, 4] {
+        with_thread_override(threads, || {
+            for q in CORPUS {
+                let greedy = run(&store, q, &Budget::unlimited(), false);
+                let planned = run(&store, q, &Budget::unlimited(), true);
+                assert!(greedy.degraded.is_none() && planned.degraded.is_none());
+                assert_eq!(
+                    sorted_rows(&greedy.result),
+                    sorted_rows(&planned.result),
+                    "planner changed the answer at {threads} thread(s) for:\n{q}"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn planned_results_survive_an_unsorted_tail() {
+    // Streaming inserts leave triples in the store's unsorted tail,
+    // which disables merge joins and the sorted fast path — the planner
+    // must stay correct on the slow paths too.
+    let mut store = corpus_store(200, 7);
+    let extra = dbpedia::generate(&DbpediaConfig {
+        entities: 40,
+        seed: 8,
+        ..Default::default()
+    });
+    for t in extra.iter() {
+        store.insert(t);
+    }
+    assert!(store.tail_len() > 0, "inserts must land in the tail");
+    for q in CORPUS {
+        let greedy = run(&store, q, &Budget::unlimited(), false);
+        let planned = run(&store, q, &Budget::unlimited(), true);
+        assert_eq!(
+            sorted_rows(&greedy.result),
+            sorted_rows(&planned.result),
+            "planner changed the answer on a tailed store for:\n{q}"
+        );
+    }
+}
+
+#[test]
+fn generous_budget_is_bit_identical_to_unlimited() {
+    let store = corpus_store(300, 42);
+    let generous = Budget::unlimited().with_deadline(std::time::Duration::from_secs(600));
+    for q in CORPUS {
+        let unlimited = run(&store, q, &Budget::unlimited(), true);
+        let budgeted = run(&store, q, &generous, true);
+        assert!(budgeted.degraded.is_none(), "generous budget must not trip");
+        // Same code path modulo polling: identical rows in identical order.
+        assert_eq!(
+            format!("{:?}", unlimited.result),
+            format!("{:?}", budgeted.result),
+            "budget polling changed planned results for:\n{q}"
+        );
+    }
+}
+
+#[test]
+fn expired_deadline_degrades_planned_and_greedy_the_same_way() {
+    let store = corpus_store(300, 42);
+    for q in CORPUS {
+        let budget = Budget::unlimited().with_expired_deadline();
+        let greedy = run(&store, q, &budget, false);
+        let planned = run(&store, q, &budget, true);
+        let dg = greedy.degraded.expect("greedy must degrade");
+        let dp = planned.degraded.expect("planned must degrade");
+        assert_eq!(dg.reason, dp.reason);
+        // Both trip before the first chunk of the first stage and then
+        // finish in grace mode — the surviving row bags must agree.
+        assert_eq!(
+            sorted_rows(&greedy.result),
+            sorted_rows(&planned.result),
+            "degraded answers diverged for:\n{q}"
+        );
+    }
+}
+
+#[test]
+fn cancellation_degrades_planned_queries() {
+    let store = corpus_store(300, 42);
+    let budget = Budget::unlimited().with_row_cap(u64::MAX);
+    budget.cancel();
+    let planned = run(&store, CORPUS[1], &budget, true);
+    assert_eq!(
+        planned.degraded.expect("cancelled").reason,
+        wodex::sparql::DegradeReason::Cancelled
+    );
+}
+
+#[test]
+fn row_cap_yields_a_sound_subset_under_the_planner() {
+    let store = corpus_store(300, 42);
+    let q = CORPUS[0];
+    let full: std::collections::HashSet<String> =
+        sorted_rows(&run(&store, q, &Budget::unlimited(), true).result)
+            .into_iter()
+            .collect();
+    let budget = Budget::unlimited().with_row_cap(50);
+    let capped = run(&store, q, &budget, true);
+    assert!(capped.degraded.is_some(), "row cap must trip");
+    let rows = sorted_rows(&capped.result);
+    assert!(rows.len() < full.len());
+    for row in &rows {
+        assert!(full.contains(row), "degraded rows must be real solutions");
+    }
+    // And the capped answer is thread-invariant (chunk decomposition
+    // depends on input length, never thread count).
+    let again = with_thread_override(1, || {
+        sorted_rows(&run(&store, q, &Budget::unlimited().with_row_cap(50), true).result)
+    });
+    let par = with_thread_override(4, || {
+        sorted_rows(&run(&store, q, &Budget::unlimited().with_row_cap(50), true).result)
+    });
+    assert_eq!(again, par, "capped planned results depend on thread count");
+}
+
+#[test]
+fn planner_engages_and_reports_steps_for_multi_pattern_queries() {
+    let store = corpus_store(300, 42);
+    let q = parse_query(CORPUS[1]).unwrap();
+    let trace = QueryTrace::new();
+    evaluate_with(
+        &store,
+        &q,
+        &Budget::unlimited(),
+        &trace,
+        EvalOptions::default(),
+    )
+    .unwrap();
+    let steps = trace.plan_steps();
+    assert_eq!(steps.len(), 3, "one step per pattern");
+    assert_eq!(steps[0].op, "scan", "first step is always a scan");
+    assert!(
+        steps.iter().skip(1).all(|s| s.op != "scan"),
+        "later steps are joins"
+    );
+    // The rendered table carries est vs. actual columns for explain.
+    let table = trace.render_plan_table();
+    assert!(table.contains("est_rows") && table.contains("actual_rows"));
+}
