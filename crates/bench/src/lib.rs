@@ -18,6 +18,7 @@ pub mod obsbench;
 pub mod parbench;
 pub mod planbench;
 pub mod servebench;
+pub mod wcobench;
 pub mod workloads;
 
 /// Formats a duration in adaptive units.

@@ -29,11 +29,11 @@ pub const GATE_MULTI_RATIO: f64 = 0.80;
 /// overhead plus noise).
 pub const GATE_SINGLE_RATIO: f64 = 1.05;
 
-const PREFIXES: &str = "PREFIX z: <http://zipf.example.org/>\n\
+pub(crate) const PREFIXES: &str = "PREFIX z: <http://zipf.example.org/>\n\
                         PREFIX c: <http://zipf.example.org/cls/>\n";
 
 /// The benchmark suite: name, pattern count, query body.
-const SUITE: &[(&str, usize, &str)] = &[
+pub(crate) const SUITE: &[(&str, usize, &str)] = &[
     (
         "single_cites_scan",
         1,
@@ -92,7 +92,10 @@ fn run_once(store: &TripleStore, text: &str, use_planner: bool) -> u64 {
         &q,
         &Budget::unlimited(),
         &QueryTrace::disabled(),
-        EvalOptions { use_planner },
+        EvalOptions {
+            use_planner,
+            ..EvalOptions::default()
+        },
     )
     .expect("suite query evaluates");
     assert!(out.degraded.is_none(), "unlimited budget must not trip");
@@ -112,7 +115,7 @@ fn run_once(store: &TripleStore, text: &str, use_planner: bool) -> u64 {
 /// Iterations alternate which path goes first: slow drift on a shared
 /// host penalizes whichever measurement runs later, and alternating
 /// guarantees each path's *minimum* comes from its favorable slot.
-fn paired_best(run: impl Fn(bool) -> u64, runs: usize) -> (f64, f64) {
+pub(crate) fn paired_best(run: impl Fn(bool) -> u64, runs: usize) -> (f64, f64) {
     let time = |use_planner: bool| {
         let t0 = Instant::now();
         std::hint::black_box(run(use_planner));

@@ -1,0 +1,220 @@
+//! Worst-case-optimal multiway joins vs pairwise plans on cyclic
+//! queries (PR 6).
+//!
+//! [`report`] times three cyclic shapes — triangle, 4-clique
+//! tournament, and a 4-cycle with a pruned spoke — over
+//! [`crate::workloads::cyclic_store`], a directed Zipf graph whose hubs
+//! are dense with small cycles. Each query runs through the same
+//! evaluator three ways: the multiway (WCO) engine, the pairwise
+//! planner with WCO disabled, and the greedy reference path
+//! (informational, single run — its worst case on the clique is
+//! minutes, not milliseconds). Equivalence of all three answers is
+//! asserted before any timing.
+//!
+//! The gates in `scripts/verify.sh` require the WCO engine to win the
+//! cyclic aggregate by ≥ 1.43× (wco ≤ 0.7× pairwise) while staying
+//! within 5% of the pairwise planner on the *acyclic* PR 5 suite, where
+//! the cycle detector must stand aside and both paths must execute the
+//! identical pairwise plan.
+
+use std::time::Instant;
+
+use crate::planbench::{paired_best, PREFIXES, SUITE};
+use wodex_sparql::{evaluate_with, parse_query, Budget, EvalOptions, QueryResult, QueryTrace};
+use wodex_store::TripleStore;
+
+const RUNS: usize = 5;
+
+/// Cyclic queries pass when `wco / pairwise` ≤ this, in aggregate.
+pub const GATE_CYCLIC_RATIO: f64 = 0.70;
+
+/// The acyclic PR 5 suite passes when `wco-enabled / wco-disabled` ≤
+/// this, in aggregate — pure plan-cache-key and cycle-check overhead.
+pub const GATE_ACYCLIC_RATIO: f64 = 1.05;
+
+/// The cyclic benchmark suite: name, pattern count, query body.
+const CYCLIC_SUITE: &[(&str, usize, &str)] = &[
+    (
+        "triangle",
+        3,
+        "SELECT (COUNT(*) AS ?n) WHERE { \
+         ?a z:cites ?b . ?b z:cites ?c . ?c z:cites ?a }",
+    ),
+    (
+        "clique4",
+        6,
+        "SELECT (COUNT(*) AS ?n) WHERE { \
+         ?a z:cites ?b . ?a z:cites ?c . ?a z:cites ?d . \
+         ?b z:cites ?c . ?b z:cites ?d . ?c z:cites ?d }",
+    ),
+    (
+        // The spoke variable ?e is single-occurrence and unobserved, so
+        // the algebra pass prunes it; the 4-cycle core stays cyclic.
+        // (`weight` is one-per-node, so the spoke tests the pruned
+        // pattern without multiplying the cycle count.)
+        "star_cycle",
+        5,
+        "SELECT (COUNT(*) AS ?n) WHERE { \
+         ?a z:cites ?b . ?b z:cites ?c . ?c z:cites ?d . \
+         ?d z:cites ?a . ?a z:weight ?e }",
+    ),
+];
+
+fn opts(use_planner: bool, use_wco: bool) -> EvalOptions {
+    EvalOptions {
+        use_planner,
+        use_wco,
+    }
+}
+
+/// The aggregate solution count, which doubles as the equivalence check.
+fn count(store: &TripleStore, text: &str, o: EvalOptions) -> u64 {
+    let q = parse_query(text).expect("suite query parses");
+    let out = evaluate_with(store, &q, &Budget::unlimited(), &QueryTrace::disabled(), o)
+        .expect("suite query evaluates");
+    assert!(out.degraded.is_none(), "unlimited budget must not trip");
+    match out.result {
+        QueryResult::Solutions(t) => match t.rows.first().and_then(|r| r.first()) {
+            Some(Some(wodex_rdf::Term::Literal(l))) => l.lexical().parse().unwrap_or(0),
+            _ => 0,
+        },
+        _ => 0,
+    }
+}
+
+struct Point {
+    name: &'static str,
+    patterns: usize,
+    rows: u64,
+    greedy_ms: f64,
+    pairwise_ms: f64,
+    wco_ms: f64,
+}
+
+/// Runs the cyclic and acyclic suites and returns the `BENCH_PR6.json`
+/// document.
+pub fn report() -> String {
+    // Dense enough that the pairwise intermediates (Σ in(b)·out(b) for
+    // the triangle's middle join) dominate its time, small enough that
+    // even the greedy path's single informational run stays in budget.
+    let store = crate::workloads::cyclic_store(600, 4_000, 0.9, 0x5EED);
+    let mut points = Vec::new();
+    for &(name, patterns, body) in CYCLIC_SUITE {
+        let text = format!("{PREFIXES}{body}");
+        // All three engines must agree before anything is timed; these
+        // runs also warm the plan cache for both planner paths.
+        let t0 = Instant::now();
+        let expect = count(&store, &text, opts(false, false));
+        let greedy_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            count(&store, &text, opts(true, false)),
+            expect,
+            "pairwise changed the answer for {name}"
+        );
+        assert_eq!(
+            count(&store, &text, opts(true, true)),
+            expect,
+            "wco changed the answer for {name}"
+        );
+        // Paired minima: false → pairwise planner, true → wco engine.
+        let (pairwise_ms, wco_ms) =
+            paired_best(|use_wco| count(&store, &text, opts(true, use_wco)), RUNS);
+        points.push(Point {
+            name,
+            patterns,
+            rows: expect,
+            greedy_ms,
+            pairwise_ms,
+            wco_ms,
+        });
+    }
+
+    // Acyclic regression check over the PR 5 suite: with no cycles the
+    // multiway engine must never engage, so enabling it may cost only
+    // noise. Reuses the PR 5 store sizing.
+    let acyclic_store = crate::workloads::zipf_store(3_000, 6, 1.1, 0x5EED);
+    let (mut off_total, mut on_total) = (0.0f64, 0.0f64);
+    for &(_, _, body) in SUITE {
+        let text = format!("{PREFIXES}{body}");
+        let warm = count(&acyclic_store, &text, opts(true, false));
+        assert_eq!(
+            count(&acyclic_store, &text, opts(true, true)),
+            warm,
+            "wco toggled the acyclic answer"
+        );
+        let (off_ms, on_ms) = paired_best(
+            |use_wco| count(&acyclic_store, &text, opts(true, use_wco)),
+            RUNS,
+        );
+        off_total += off_ms;
+        on_total += on_ms;
+    }
+    let acyclic_ratio = on_total / off_total;
+    render(&points, acyclic_ratio)
+}
+
+fn render(points: &[Point], acyclic_ratio: f64) -> String {
+    let (pw, wc) = points
+        .iter()
+        .fold((0.0, 0.0), |(p, w), pt| (p + pt.pairwise_ms, w + pt.wco_ms));
+    let cyclic_ratio = wc / pw;
+    let gate_ok = cyclic_ratio <= GATE_CYCLIC_RATIO && acyclic_ratio <= GATE_ACYCLIC_RATIO;
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"bench\": \"wodex-sparql worst-case-optimal multiway joins vs pairwise plans\",\n",
+    );
+    out.push_str(&format!("  \"runs_per_point\": {RUNS},\n"));
+    out.push_str(&format!(
+        "  \"gate_cyclic_ratio\": {GATE_CYCLIC_RATIO:.2},\n\
+         \x20 \"gate_acyclic_ratio\": {GATE_ACYCLIC_RATIO:.2},\n\
+         \x20 \"cyclic_ratio\": {cyclic_ratio:.3},\n\
+         \x20 \"cyclic_speedup\": {:.2},\n\
+         \x20 \"acyclic_ratio\": {acyclic_ratio:.3},\n",
+        1.0 / cyclic_ratio
+    ));
+    out.push_str(&format!("  \"gate_ok\": {gate_ok},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"patterns\": {}, \"rows\": {}, \
+             \"greedy_ms\": {:.3}, \"pairwise_ms\": {:.3}, \"wco_ms\": {:.3}, \
+             \"speedup_vs_pairwise\": {:.2}}}{}\n",
+            p.name,
+            p.patterns,
+            p.rows,
+            p.greedy_ms,
+            p.pairwise_ms,
+            p.wco_ms,
+            p.pairwise_ms / p.wco_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_engines_agree_on_a_small_cyclic_store() {
+        // Small: the greedy clique join is quartic in hub degree.
+        let store = crate::workloads::cyclic_store(120, 500, 1.0, 0x5EED);
+        for &(name, _, body) in CYCLIC_SUITE {
+            let text = format!("{PREFIXES}{body}");
+            let greedy = count(&store, &text, opts(false, false));
+            assert_eq!(
+                count(&store, &text, opts(true, false)),
+                greedy,
+                "pairwise diverged for {name}"
+            );
+            assert_eq!(
+                count(&store, &text, opts(true, true)),
+                greedy,
+                "wco diverged for {name}"
+            );
+            assert!(greedy > 0, "{name} found nothing");
+        }
+    }
+}

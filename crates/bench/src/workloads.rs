@@ -80,6 +80,51 @@ pub fn zipf_store(entities: usize, out_degree: usize, exponent: f64, seed: u64) 
     TripleStore::from_graph(&g)
 }
 
+/// Like [`zipf_store`] but with *directed* Zipf-skewed citations from
+/// [`netgen::zipf_digraph`]: both arc endpoints are rank-sampled, so the
+/// hub-heavy head is dense with directed triangles and small cliques —
+/// the cyclic-query workload the worst-case-optimal join benchmarks
+/// need. (`zipf_store`'s per-source fanout never closes directed
+/// cycles at any useful rate.) Same vocabulary as `zipf_store`:
+/// `z:cites` arcs, `c:Hub`/`c:Mid`/`c:Node` classes, `z:weight`.
+pub fn cyclic_store(entities: usize, arcs: usize, exponent: f64, seed: u64) -> TripleStore {
+    use wodex_rdf::vocab::rdf;
+    use wodex_rdf::{Term, Triple};
+
+    let ns = "http://zipf.example.org/";
+    let mut g = wodex_rdf::Graph::new();
+    let hubs = (entities / 100).max(1);
+    let mids = (entities / 10).max(1);
+    for i in 0..entities {
+        let s = format!("{ns}e{i}");
+        let class = if i < hubs {
+            "Hub"
+        } else if i < hubs + mids {
+            "Mid"
+        } else {
+            "Node"
+        };
+        g.insert(Triple::iri(
+            &s,
+            rdf::TYPE,
+            Term::iri(format!("{ns}cls/{class}")),
+        ));
+        g.insert(Triple::iri(
+            &s,
+            &format!("{ns}weight"),
+            Term::integer((i % 101) as i64),
+        ));
+    }
+    for (a, b) in netgen::zipf_digraph(entities, arcs, exponent, seed) {
+        g.insert(Triple::iri(
+            &format!("{ns}e{a}"),
+            &format!("{ns}cites"),
+            Term::iri(format!("{ns}e{b}")),
+        ));
+    }
+    TripleStore::from_graph(&g)
+}
+
 /// Sorted encoded triples shaped like a laid-out graph partitioned into
 /// spatial tiles: subject = tile id, object = node id — the disk layout
 /// of a graphVizdb-style store (E5/E10).
@@ -149,6 +194,27 @@ mod tests {
                 .map_or(0, |p| a.match_pattern(p).len())
         };
         assert!(hits(0) > 10 * hits(190).max(1), "in-degree must be skewed");
+    }
+
+    #[test]
+    fn cyclic_store_is_seeded_and_has_directed_triangles() {
+        let a = cyclic_store(300, 1500, 1.0, 9);
+        let b = cyclic_store(300, 1500, 1.0, 9);
+        assert_eq!(a.len(), b.len(), "same seed, same graph");
+        let q = "PREFIX z: <http://zipf.example.org/>\n\
+                 SELECT (COUNT(*) AS ?n) WHERE { \
+                 ?a z:cites ?b . ?b z:cites ?c . ?c z:cites ?a }";
+        let out = wodex_sparql::query(&a, q).expect("triangle query runs");
+        let n: u64 = match out {
+            wodex_sparql::QueryResult::Solutions(t) => {
+                match t.rows.first().and_then(|r| r.first()) {
+                    Some(Some(wodex_rdf::Term::Literal(l))) => l.lexical().parse().unwrap_or(0),
+                    _ => 0,
+                }
+            }
+            _ => 0,
+        };
+        assert!(n > 0, "workload must contain directed triangles");
     }
 
     #[test]

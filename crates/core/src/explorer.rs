@@ -444,6 +444,25 @@ impl Explorer {
         )?)
     }
 
+    /// [`Explorer::sparql_traced`] with explicit engine options — the
+    /// serving layer's hook for its `engine=greedy|pairwise|wco`
+    /// selector.
+    pub fn sparql_traced_with(
+        &self,
+        query: &str,
+        budget: &Budget,
+        trace: &wodex_sparql::QueryTrace,
+        opts: wodex_sparql::EvalOptions,
+    ) -> Result<BudgetedResult, WodexError> {
+        Ok(wodex_sparql::query_traced_with(
+            &self.store,
+            query,
+            budget,
+            trace,
+            opts,
+        )?)
+    }
+
     /// Like [`Explorer::visualize`] under a [`Budget`].
     ///
     /// Within budget this is exactly `visualize`. When the budget trips

@@ -33,7 +33,7 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 use wodex_rdf::{Term, Value};
 use wodex_sparql::results::json_string as js;
-use wodex_sparql::{Budget, Degraded, QueryResult, QueryTrace, Stage};
+use wodex_sparql::{Budget, Degraded, EvalOptions, QueryResult, QueryTrace, Stage};
 
 /// Entries per chunk when streaming overview rows / histogram bins.
 const STREAM_GROUP: usize = 16;
@@ -220,6 +220,11 @@ fn stats(state: &AppState, out: &mut TcpStream) {
 /// first the head, then `stream_rows`-sized groups of solution rows,
 /// then the tail, then trailers carrying the degradation verdict. The
 /// reassembled body is byte-identical to `QueryResult::to_json`.
+///
+/// An optional `engine` parameter selects the evaluation path —
+/// `wco` (the default: planner + multiway joins on cyclic groups),
+/// `pairwise` (planner only), or `greedy` (the reference engine) —
+/// useful for A/B-ing plans in place; the engines answer identically.
 fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
     let text = if req.body.is_empty() {
         req.param("query").unwrap_or("").to_string()
@@ -230,9 +235,31 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
         bad_request(state, out, "empty query (send it as the POST body)");
         return;
     }
+    let opts = match req.param("engine").unwrap_or("wco") {
+        "wco" => EvalOptions::default(),
+        "pairwise" => EvalOptions {
+            use_planner: true,
+            use_wco: false,
+        },
+        "greedy" => EvalOptions {
+            use_planner: false,
+            use_wco: false,
+        },
+        other => {
+            bad_request(
+                state,
+                out,
+                &format!("unknown engine {other:?} (expected wco, pairwise, or greedy)"),
+            );
+            return;
+        }
+    };
     let budget = request_budget(state, req);
     let trace = QueryTrace::new();
-    let budgeted = match state.explorer.sparql_traced(&text, &budget, &trace) {
+    let budgeted = match state
+        .explorer
+        .sparql_traced_with(&text, &budget, &trace, opts)
+    {
         Ok(b) => b,
         Err(e) => {
             bad_request(state, out, &e.to_string());

@@ -148,11 +148,20 @@ pub struct EvalOptions {
     /// index-nested-loop path — kept as the reference implementation
     /// for equivalence tests and planner benchmarks.
     pub use_planner: bool,
+    /// Allow the worst-case-optimal multiway join ([`crate::wco`]) on
+    /// cyclic pattern groups (the default). Only consulted when
+    /// `use_planner` is on; part of the plan-cache key, so toggling it
+    /// at runtime can never be served a plan built for the other
+    /// engine.
+    pub use_wco: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { use_planner: true }
+        EvalOptions {
+            use_planner: true,
+            use_wco: true,
+        }
     }
 }
 
@@ -224,7 +233,17 @@ fn evaluate_inner(
     opts: EvalOptions,
 ) -> Result<QueryResult, QueryError> {
     let plan_span = trace.span(Stage::Plan);
-    let vars = q.pattern_vars();
+    // Algebra rewrites (constant propagation, projection pruning,
+    // block reordering) run before anything looks at the query — in
+    // particular before the plan-cache lookup, so cached plans are
+    // keyed on the *rewritten* shape.
+    let rewritten = crate::algebra::rewrite(store, q);
+    let q = rewritten.query(q);
+    let vars: Vec<Var> = q
+        .pattern_vars()
+        .into_iter()
+        .filter(|v| !rewritten.pruned.contains(v))
+        .collect();
     let var_idx: HashMap<&str, usize> = vars
         .iter()
         .enumerate()
@@ -311,6 +330,7 @@ fn evaluate_inner(
                 budget,
                 deg,
                 trace,
+                opts.use_wco,
             ));
         } else {
             rows.extend(join_bgp(
@@ -555,7 +575,8 @@ fn join_bgp(
                     .into_iter()
                     .filter(|t| match t {
                         TermOrVar::Term(_) => true,
-                        TermOrVar::Var(v) => bound[var_idx[v.as_str()]],
+                        // A pruned variable is unconstrained — not bound.
+                        TermOrVar::Var(v) => var_idx.get(v.as_str()).is_some_and(|&i| bound[i]),
                     })
                     .count();
                 // More bound positions first; then smaller base count.
@@ -632,7 +653,9 @@ fn join_bgp(
         trace.add_items(Stage::BgpProbe, rows.len() as u64);
         sparql_metrics().rows_probed.add(rows.len() as u64);
         for v in pattern.vars() {
-            bound[var_idx[v]] = true;
+            if let Some(&i) = var_idx.get(v) {
+                bound[i] = true;
+            }
         }
         // Apply filters whose variables are now bound (parallel,
         // order-preserving keep flags).

@@ -28,12 +28,23 @@
 //! batched merge or hash join (falling back to per-row index probes),
 //! and plans are cached by abstract query shape. The greedy path remains
 //! as the reference engine ([`eval::EvalOptions`]).
+//!
+//! Two layers run above and below the pairwise planner. Before any plan
+//! work, an algebra rewrite pass ([`algebra`]) folds `FILTER(?v = <iri>)`
+//! equalities into pattern constants, reorders UNION/OPTIONAL blocks
+//! cheapest-first, and prunes never-observed variables from the row
+//! layout. And when a pattern group's join graph is *cyclic* — triangles,
+//! cliques, the shapes pairwise plans are provably bad at — the planner
+//! hands the whole group to a worst-case-optimal multiway join ([`wco`]),
+//! a leapfrog triejoin over the store's sorted-prefix cursors.
 
+pub mod algebra;
 pub mod ast;
 pub mod eval;
 pub mod parser;
 pub mod plan;
 pub mod results;
+pub mod wco;
 
 pub use ast::{Aggregate, Expr, Query, QueryForm, TermOrVar, TriplePattern};
 pub use eval::{
@@ -84,4 +95,20 @@ pub fn query_traced(
         parse_query(text).map_err(QueryError::Parse)?
     };
     evaluate_traced(store, &q, budget, trace)
+}
+
+/// [`query_traced`] with explicit [`EvalOptions`] — the serving layer's
+/// entry point for its `engine=` selector (greedy / pairwise / wco).
+pub fn query_traced_with(
+    store: &TripleStore,
+    text: &str,
+    budget: &Budget,
+    trace: &QueryTrace,
+    opts: EvalOptions,
+) -> Result<BudgetedResult, QueryError> {
+    let q = {
+        let _parse_span = trace.span(Stage::Parse);
+        parse_query(text).map_err(QueryError::Parse)?
+    };
+    evaluate_with(store, &q, budget, trace, opts)
 }

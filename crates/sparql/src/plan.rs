@@ -58,6 +58,17 @@ const MIN_BATCH_INPUT: usize = 64;
 /// it costs more than probing the index once per row.
 const MAX_RIGHT_BLOWUP: usize = 16;
 
+/// Below this many total input triples (summed over the group's
+/// patterns) the multiway join cannot pay for materializing and
+/// sorting every pattern — the pairwise operators win outright.
+const MIN_WCO_INPUT: u64 = 64;
+
+/// The multiway join's up-front cost is the summed pattern estimates;
+/// it runs only when that is within this factor of the pairwise plan's
+/// estimated intermediate volume. A cyclic group anchored by a highly
+/// selective pattern (tiny pairwise intermediates) stays pairwise.
+const WCO_COST_SLACK: u64 = 4;
+
 // ----- metrics -----
 
 /// Global registry series for the planner.
@@ -67,7 +78,11 @@ struct PlanMetrics {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     /// Rows produced per executed operator kind, see [`op_kind_index`].
-    rows: [Arc<Counter>; 4],
+    rows: [Arc<Counter>; 5],
+    /// Cursor `seek_geq` calls by the multiway join, across all levels.
+    wco_seeks: Arc<Counter>,
+    /// Trie descents (value advances) by the multiway join.
+    wco_advances: Arc<Counter>,
     /// Per-join-step q-error (max(est,actual)/min(est,actual)), ×100.
     qerror: Arc<Histogram>,
 }
@@ -96,7 +111,16 @@ fn plan_metrics() -> &'static PlanMetrics {
                 rows("merge_join"),
                 rows("hash_join"),
                 rows("nested_loop"),
+                rows("wco"),
             ],
+            wco_seeks: r.counter(
+                "wodex_plan_wco_seeks_total",
+                "Sorted-cursor seek_geq calls performed by the multiway (WCO) join",
+            ),
+            wco_advances: r.counter(
+                "wodex_plan_wco_advances_total",
+                "Sorted-cursor trie descents performed by the multiway (WCO) join",
+            ),
             qerror: r.histogram_with(
                 "wodex_plan_qerror_x100",
                 "Estimated-vs-actual cardinality ratio per join step (x100; 100 = exact)",
@@ -118,6 +142,10 @@ pub(crate) enum Slot {
     Const(TermId),
     /// A variable, by global index into the query's `Row`.
     Var(usize),
+    /// A variable pruned by the algebra pass ([`crate::algebra`]): it
+    /// still matches anything and still multiplies row counts, but its
+    /// binding is never recorded (and so never decoded).
+    Any,
 }
 
 /// A triple pattern with constants pre-encoded and variables resolved
@@ -139,7 +167,11 @@ impl CompiledPattern {
         let slot = |tv: &TermOrVar| -> Option<Slot> {
             match tv {
                 TermOrVar::Term(t) => store.id_of(t).map(Slot::Const),
-                TermOrVar::Var(v) => Some(Slot::Var(var_idx[v.as_str()])),
+                TermOrVar::Var(v) => Some(match var_idx.get(v.as_str()) {
+                    Some(&i) => Slot::Var(i),
+                    // Not in the row layout: pruned by the algebra pass.
+                    None => Slot::Any,
+                }),
             }
         };
         Some(CompiledPattern {
@@ -151,7 +183,7 @@ impl CompiledPattern {
     pub(crate) fn base(&self) -> Pattern {
         let enc = |s: Slot| match s {
             Slot::Const(id) => Some(id),
-            Slot::Var(_) => None,
+            Slot::Var(_) | Slot::Any => None,
         };
         Pattern {
             s: enc(self.slots[0]),
@@ -165,6 +197,7 @@ impl CompiledPattern {
         let enc = |s: Slot| match s {
             Slot::Const(id) => Some(id),
             Slot::Var(i) => row[i],
+            Slot::Any => None,
         };
         Pattern {
             s: enc(self.slots[0]),
@@ -200,7 +233,7 @@ impl CompiledPattern {
             .iter()
             .filter_map(|s| match s {
                 Slot::Var(i) => Some(*i),
-                Slot::Const(_) => None,
+                Slot::Const(_) | Slot::Any => None,
             })
             .collect();
         out.sort_unstable();
@@ -413,10 +446,15 @@ pub enum ShapeSlot {
     Var(u16),
 }
 
-/// Plan-cache key: store revision plus the group's abstract shape.
+/// Plan-cache key: store revision, engine selection, and the group's
+/// abstract shape. The engine bit matters: a plan built with the
+/// multiway join disabled carries no [`WcoPlan`], so toggling
+/// [`crate::EvalOptions::use_wco`] at runtime must never be served a
+/// plan cached for the other setting.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     revision: u64,
+    wco: bool,
     shape: Vec<[ShapeSlot; 3]>,
 }
 
@@ -489,6 +527,7 @@ fn op_kind_index(op: &str) -> usize {
         "scan" => 0,
         "merge_join" => 1,
         "hash_join" => 2,
+        "wco" => 4,
         _ => 3,
     }
 }
@@ -510,6 +549,190 @@ pub struct PlanStep {
 pub struct Plan {
     /// Steps in execution order; every pattern appears exactly once.
     pub steps: Vec<PlanStep>,
+    /// Companion multiway (worst-case-optimal) plan, attached when the
+    /// group's join graph is cyclic and the engine selection allows it.
+    /// The pairwise `steps` are always kept: the runtime guard in
+    /// [`planned_join`] may still pick them, so a cached WCO plan can
+    /// never regress below the pairwise operators.
+    pub wco: Option<WcoPlan>,
+}
+
+/// A variable-elimination-order leapfrog-triejoin plan over the whole
+/// pattern group, executed by [`crate::wco`]. Any pairwise join order
+/// over a *cyclic* group (triangles, cliques, star-cycles) materializes
+/// an intermediate asymptotically larger than the output; the multiway
+/// join intersects all patterns one variable at a time instead, which
+/// meets the AGM output bound up to log factors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WcoPlan {
+    /// Local variable ids in elimination order — one join level each.
+    pub elim: Vec<u16>,
+    /// Per pattern: `(level, triple position)` for each of its
+    /// variables, sorted by level. This doubles as the lexicographic
+    /// sort order the pattern's run is materialized in
+    /// ([`TripleStore::match_pattern_sorted_lex`]).
+    pub levels: Vec<Vec<(usize, usize)>>,
+    /// Estimated output rows (the pairwise plan's final estimate) —
+    /// the q-error baseline for the single `wco` step.
+    pub est_rows: u64,
+    /// The pairwise plan's summed per-step estimates: the intermediate
+    /// volume the runtime guard weighs multiway materialization against.
+    pub pairwise_cost: u64,
+}
+
+/// Whether the group's join graph (the hypergraph whose edges are each
+/// pattern's variable set) is cyclic, decided by GYO ear removal:
+/// repeatedly drop variables private to a single edge and edges covered
+/// by another edge. The hypergraph is α-acyclic iff this reduces to
+/// nothing; a non-empty fixpoint (triangle, clique, n-cycle) is the
+/// core on which pairwise joins are provably suboptimal.
+fn shape_is_cyclic(shape: &[[ShapeSlot; 3]]) -> bool {
+    let mut edges: Vec<Vec<u16>> = shape
+        .iter()
+        .map(|p| {
+            let mut vs: Vec<u16> = p
+                .iter()
+                .filter_map(|s| match s {
+                    ShapeSlot::Var(v) => Some(*v),
+                    ShapeSlot::Const => None,
+                })
+                .collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        })
+        .filter(|e| !e.is_empty())
+        .collect();
+    loop {
+        let mut changed = false;
+        // Ear rule 1: a variable occurring in exactly one edge
+        // constrains nothing else — drop it.
+        let mut occurs: HashMap<u16, usize> = HashMap::new();
+        for e in &edges {
+            for &v in e {
+                *occurs.entry(v).or_insert(0) += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| occurs[v] > 1);
+            changed |= e.len() != before;
+        }
+        // Ear rule 2: drop empty edges and edges covered by another
+        // (one at a time; equal edges keep their first copy).
+        if let Some(i) = (0..edges.len()).find(|&i| {
+            edges[i].is_empty()
+                || edges.iter().enumerate().any(|(j, other)| {
+                    j != i
+                        && edges[i].iter().all(|v| other.contains(v))
+                        && (edges[i] != *other || j < i)
+                })
+        }) {
+            edges.remove(i);
+            changed = true;
+        }
+        if !changed {
+            return !edges.is_empty();
+        }
+    }
+}
+
+/// Builds the multiway companion plan for a cyclic group, or `None`
+/// when the group is acyclic or ineligible (a pattern repeating a
+/// variable would need an intra-pattern equality the trie cursors do
+/// not model).
+///
+/// The elimination order is greedy: next comes the variable whose
+/// cheapest containing pattern is smallest, preferring variables
+/// connected to those already eliminated (ties break on variable id,
+/// keeping the order — and therefore the cached sort orders —
+/// deterministic).
+fn build_wco(shape: &[[ShapeSlot; 3]], bases: &[f64], steps: &[PlanStep]) -> Option<WcoPlan> {
+    if !shape_is_cyclic(shape) {
+        return None;
+    }
+    let nlocals = shape
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            ShapeSlot::Var(v) => Some(*v as usize + 1),
+            ShapeSlot::Const => None,
+        })
+        .max()
+        .unwrap_or(0);
+    for p in shape {
+        let mut vs: Vec<u16> = p
+            .iter()
+            .filter_map(|s| match s {
+                ShapeSlot::Var(v) => Some(*v),
+                ShapeSlot::Const => None,
+            })
+            .collect();
+        vs.sort_unstable();
+        let distinct = {
+            let mut d = vs.clone();
+            d.dedup();
+            d.len()
+        };
+        if distinct != vs.len() {
+            return None;
+        }
+    }
+    let contains = |pi: usize, v: u16| -> bool { shape[pi].contains(&ShapeSlot::Var(v)) };
+    let score = |v: u16| -> f64 {
+        (0..shape.len())
+            .filter(|&i| contains(i, v))
+            .map(|i| bases[i])
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut chosen = vec![false; nlocals];
+    let mut elim: Vec<u16> = Vec::with_capacity(nlocals);
+    for _ in 0..nlocals {
+        let connected = |v: u16| -> bool {
+            (0..shape.len()).any(|i| {
+                contains(i, v)
+                    && shape[i]
+                        .iter()
+                        .any(|s| matches!(s, ShapeSlot::Var(w) if chosen[*w as usize]))
+            })
+        };
+        let pool: Vec<u16> = {
+            let conn: Vec<u16> = (0..nlocals as u16)
+                .filter(|&v| !chosen[v as usize] && connected(v))
+                .collect();
+            if conn.is_empty() {
+                (0..nlocals as u16)
+                    .filter(|&v| !chosen[v as usize])
+                    .collect()
+            } else {
+                conn
+            }
+        };
+        let best = pool
+            .into_iter()
+            .min_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)))
+            .expect("pool is non-empty while variables remain");
+        chosen[best as usize] = true;
+        elim.push(best);
+    }
+    let levels: Vec<Vec<(usize, usize)>> = shape
+        .iter()
+        .map(|p| {
+            let mut ls = Vec::new();
+            for (lvl, &v) in elim.iter().enumerate() {
+                if let Some(pos) = p.iter().position(|s| *s == ShapeSlot::Var(v)) {
+                    ls.push((lvl, pos));
+                }
+            }
+            ls
+        })
+        .collect();
+    Some(WcoPlan {
+        elim,
+        levels,
+        est_rows: steps.last().map(|s| s.est_rows).unwrap_or(0),
+        pairwise_cost: steps.iter().map(|s| s.est_rows.max(1)).sum(),
+    })
 }
 
 /// Builds a plan for `shape` against the store's current statistics.
@@ -523,7 +746,12 @@ pub struct Plan {
 /// `d(v)` the store's distinct-value count for the position `v`
 /// occupies — the classic independence/containment assumption, using
 /// only O(1) statistics.
-fn build_plan(store: &TripleStore, shape: &[[ShapeSlot; 3]], compiled: &[CompiledPattern]) -> Plan {
+fn build_plan(
+    store: &TripleStore,
+    shape: &[[ShapeSlot; 3]],
+    compiled: &[CompiledPattern],
+    use_wco: bool,
+) -> Plan {
     let stats = store.stats();
     let bases: Vec<f64> = compiled
         .iter()
@@ -628,7 +856,12 @@ fn build_plan(store: &TripleStore, shape: &[[ShapeSlot; 3]], compiled: &[Compile
             est_rows: current_rows.round() as u64,
         });
     }
-    Plan { steps }
+    let wco = if use_wco {
+        build_wco(shape, &bases, &steps)
+    } else {
+        None
+    };
+    Plan { steps, wco }
 }
 
 /// Whether a merge join on local variable `var` can read the right
@@ -668,11 +901,13 @@ fn plan_for(
     store: &TripleStore,
     shape: Vec<[ShapeSlot; 3]>,
     compiled: &[CompiledPattern],
+    use_wco: bool,
 ) -> Arc<Plan> {
     let m = plan_metrics();
     m.cache_lookups.inc();
     let key = PlanKey {
         revision: store.revision(),
+        wco: use_wco,
         shape,
     };
     if let Some(plan) = plan_cache()
@@ -686,7 +921,7 @@ fn plan_for(
     m.cache_misses.inc();
     // Build outside the lock: statistics reads can take microseconds on
     // a cold store and must not serialize concurrent queries.
-    let plan = Arc::new(build_plan(store, &key.shape, compiled));
+    let plan = Arc::new(build_plan(store, &key.shape, compiled, use_wco));
     m.built.inc();
     plan_cache()
         .lock()
@@ -712,6 +947,7 @@ pub(crate) fn planned_join(
     budget: &Budget,
     deg: &mut DegradeState,
     trace: &QueryTrace,
+    use_wco: bool,
 ) -> Vec<Row> {
     let plan_span = trace.span(Stage::Plan);
     let compiled: Option<Vec<CompiledPattern>> = combo
@@ -723,13 +959,81 @@ pub(crate) fn planned_join(
         return Vec::new();
     };
     let (shape, local_names) = combo_shape(combo);
-    let local_to_global: Vec<usize> = local_names.iter().map(|n| var_idx[n.as_str()]).collect();
-    let plan = plan_for(store, shape, &compiled);
+    // `usize::MAX` marks a variable the algebra pass pruned from the
+    // row layout; join keys always occur twice and are never pruned,
+    // so the sentinel is only ever read by the multiway row emitter.
+    let local_to_global: Vec<usize> = local_names
+        .iter()
+        .map(|n| var_idx.get(n.as_str()).copied().unwrap_or(usize::MAX))
+        .collect();
+    let plan = plan_for(store, shape, &compiled, use_wco);
     let mut pending = compile_filters(store, filters, var_idx);
     drop(plan_span);
 
     let m = plan_metrics();
     let nvars = var_idx.len();
+
+    if let Some(wp) = plan.wco.as_ref() {
+        // Runtime downgrade discipline: the multiway join pays Σ|Pᵢ| up
+        // front to materialize and sort every pattern. Run it only when
+        // that cost is both non-trivial and within WCO_COST_SLACK of the
+        // pairwise plan's estimated intermediate volume — otherwise fall
+        // through to the cached pairwise steps unchanged, so a cached
+        // WCO plan can never regress below the pairwise operators.
+        let wco_cost: u64 = compiled
+            .iter()
+            .map(|cp| store.estimate_pattern(cp.base()) as u64)
+            .sum();
+        if wco_cost >= MIN_WCO_INPUT && wco_cost <= wp.pairwise_cost.saturating_mul(WCO_COST_SLACK)
+        {
+            let probe_span = trace.span(Stage::BgpProbe);
+            let (mut rows, stats) =
+                crate::wco::wco_join(store, &compiled, wp, &local_to_global, nvars, budget, deg);
+            drop(probe_span);
+            trace.add_items(Stage::BgpProbe, rows.len() as u64);
+            sparql_metrics().rows_probed.add(rows.len() as u64);
+            m.rows[op_kind_index("wco")].add(rows.len() as u64);
+            m.wco_seeks.add(stats.seeks);
+            m.wco_advances.add(stats.advances);
+            let est = wp.est_rows.max(1);
+            let actual = (rows.len() as u64).max(1);
+            m.qerror.observe(est.max(actual) * 100 / est.min(actual));
+            if trace.is_enabled() {
+                trace.record_plan_step(PlanStepTrace {
+                    op: "wco",
+                    detail: combo
+                        .iter()
+                        .map(fmt_pattern)
+                        .collect::<Vec<_>>()
+                        .join(" . "),
+                    est_rows: wp.est_rows,
+                    actual_rows: rows.len() as u64,
+                });
+            }
+            // One level per variable: the whole group is bound at once.
+            let mut bound = vec![false; nvars];
+            for cp in &compiled {
+                for v in cp.var_indexes() {
+                    bound[v] = true;
+                }
+            }
+            pending.retain(|f| {
+                let ready = f.vars.iter().all(|&v| bound[v]);
+                if ready {
+                    let _filter_span = trace.span(Stage::Filter);
+                    retain_parallel(&mut rows, |row| f.matches(store, row, var_idx));
+                }
+                !ready
+            });
+            if let Some(lim) = early_limit {
+                if pending.is_empty() {
+                    rows.truncate(lim);
+                }
+            }
+            return rows;
+        }
+    }
+
     let mut rows: Vec<Row> = vec![vec![None; nvars]];
     let mut bound = vec![false; nvars];
 
@@ -1092,7 +1396,7 @@ mod tests {
             .map(|p| CompiledPattern::compile(&st, p, &vm).unwrap())
             .collect();
         let (shape, _) = combo_shape(&combo);
-        let plan = build_plan(&st, &shape, &compiled);
+        let plan = build_plan(&st, &shape, &compiled, true);
         assert_eq!(plan.steps[0].pattern, 1, "selective pattern scans first");
         assert_eq!(plan.steps[0].op, PlanOp::Scan);
         assert_ne!(plan.steps[1].op, PlanOp::NestedLoop, "shared var joins");
@@ -1133,8 +1437,8 @@ mod tests {
             .collect();
         let (shape, _) = combo_shape(&combo);
         let before = plan_cache_stats();
-        let p1 = plan_for(&st, shape.clone(), &compiled);
-        let p2 = plan_for(&st, shape.clone(), &compiled);
+        let p1 = plan_for(&st, shape.clone(), &compiled, true);
+        let p2 = plan_for(&st, shape.clone(), &compiled, true);
         let after = plan_cache_stats();
         assert!(
             Arc::ptr_eq(&p1, &p2),
@@ -1145,7 +1449,7 @@ mod tests {
         // A different store revision must not reuse the plan.
         let st2 = store();
         assert_ne!(st.revision(), st2.revision());
-        let _p3 = plan_for(&st2, shape, &compiled);
+        let _p3 = plan_for(&st2, shape, &compiled, true);
         let last = plan_cache_stats();
         assert_eq!(last.misses, after.misses + 1, "new revision is a new key");
     }
@@ -1241,6 +1545,141 @@ mod tests {
             cf.vars,
             vec![0, 1],
             "readiness gates on the whole expression"
+        );
+    }
+
+    const V0: ShapeSlot = ShapeSlot::Var(0);
+    const V1: ShapeSlot = ShapeSlot::Var(1);
+    const V2: ShapeSlot = ShapeSlot::Var(2);
+    const V3: ShapeSlot = ShapeSlot::Var(3);
+    const C: ShapeSlot = ShapeSlot::Const;
+
+    #[test]
+    fn gyo_classifies_cyclic_and_acyclic_shapes() {
+        // Triangle and 4-cycle reduce to a non-empty core.
+        assert!(shape_is_cyclic(&[[V0, C, V1], [V1, C, V2], [V2, C, V0]]));
+        assert!(shape_is_cyclic(&[
+            [V0, C, V1],
+            [V1, C, V2],
+            [V2, C, V3],
+            [V3, C, V0]
+        ]));
+        // A pendant edge does not break the triangle's cycle.
+        assert!(shape_is_cyclic(&[
+            [V0, C, V1],
+            [V1, C, V2],
+            [V2, C, V0],
+            [V2, C, V3]
+        ]));
+        // Chains, stars and two-pattern groups are always acyclic.
+        assert!(!shape_is_cyclic(&[[V0, C, V1], [V1, C, V2]]));
+        assert!(!shape_is_cyclic(&[[V0, C, V1], [V0, C, V2], [V0, C, V3]]));
+        assert!(!shape_is_cyclic(&[[V0, C, V1], [V1, C, V0]]));
+        assert!(!shape_is_cyclic(&[[V0, C, V1], [V0, C, V1]]));
+    }
+
+    #[test]
+    fn build_wco_rejects_acyclic_and_repeated_variable_groups() {
+        let steps: Vec<PlanStep> = Vec::new();
+        assert!(
+            build_wco(&[[V0, C, V1], [V1, C, V2]], &[10.0, 10.0], &steps).is_none(),
+            "acyclic groups stay pairwise"
+        );
+        // `?a knows ?a`-style self-join inside one pattern is ineligible.
+        assert!(build_wco(
+            &[[V0, C, V0], [V0, C, V1], [V1, C, V0]],
+            &[10.0, 10.0, 10.0],
+            &steps
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn wco_plan_orders_every_variable_and_covers_every_pattern() {
+        let shape = [[V0, C, V1], [V1, C, V2], [V2, C, V0]];
+        let wp = build_wco(&shape, &[5.0, 50.0, 50.0], &[]).expect("triangle is cyclic");
+        let mut elim = wp.elim.clone();
+        elim.sort_unstable();
+        assert_eq!(elim, vec![0, 1, 2], "every variable gets one level");
+        // First eliminated: a variable of the cheapest pattern (base 5).
+        assert!(wp.elim[0] == 0 || wp.elim[0] == 1);
+        for (pi, levels) in wp.levels.iter().enumerate() {
+            assert_eq!(levels.len(), 2, "pattern {pi} has two variables");
+            assert!(
+                levels.windows(2).all(|w| w[0].0 < w[1].0),
+                "sorted by level"
+            );
+        }
+    }
+
+    /// A ring with chords: edges `i→i+1` and `i+2→i` (mod n) give `n`
+    /// directed triangles, each matched by 3 rotations.
+    fn triangle_store(n: u32) -> TripleStore {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.insert(Triple::iri(
+                &format!("http://e.org/n{i}"),
+                foaf::KNOWS,
+                Term::iri(format!("http://e.org/n{}", (i + 1) % n)),
+            ));
+            g.insert(Triple::iri(
+                &format!("http://e.org/n{}", (i + 2) % n),
+                foaf::KNOWS,
+                Term::iri(format!("http://e.org/n{i}")),
+            ));
+        }
+        TripleStore::from_graph(&g)
+    }
+
+    #[test]
+    fn multiway_join_matches_pairwise_and_greedy_on_a_triangle() {
+        use crate::eval::{evaluate_with, EvalOptions};
+        use crate::parser::parse_query;
+        use wodex_obs::QueryTrace;
+
+        let st = triangle_store(30);
+        let q = parse_query(
+            "SELECT ?a ?b ?c WHERE { ?a <http://xmlns.com/foaf/0.1/knows> ?b . \
+             ?b <http://xmlns.com/foaf/0.1/knows> ?c . \
+             ?c <http://xmlns.com/foaf/0.1/knows> ?a }",
+        )
+        .unwrap();
+        let run = |use_planner: bool, use_wco: bool| -> (Vec<String>, Vec<&'static str>) {
+            let trace = QueryTrace::new();
+            let out = evaluate_with(
+                &st,
+                &q,
+                &Budget::unlimited(),
+                &trace,
+                EvalOptions {
+                    use_planner,
+                    use_wco,
+                },
+            )
+            .expect("triangle evaluates");
+            let mut rows: Vec<String> = match out.result {
+                crate::results::QueryResult::Solutions(t) => {
+                    t.rows.iter().map(|r| format!("{r:?}")).collect()
+                }
+                other => panic!("unexpected result {other:?}"),
+            };
+            rows.sort();
+            let ops = trace.plan_steps().iter().map(|s| s.op).collect();
+            (rows, ops)
+        };
+        let (wco_rows, wco_ops) = run(true, true);
+        let (pair_rows, pair_ops) = run(true, false);
+        let (greedy_rows, _) = run(false, false);
+        assert_eq!(wco_rows.len(), 90, "30 triangles × 3 rotations");
+        assert_eq!(wco_rows, pair_rows);
+        assert_eq!(wco_rows, greedy_rows);
+        assert!(
+            wco_ops.contains(&"wco"),
+            "multiway engine engaged: {wco_ops:?}"
+        );
+        assert!(
+            !pair_ops.contains(&"wco"),
+            "use_wco=false keys a pairwise plan: {pair_ops:?}"
         );
     }
 }

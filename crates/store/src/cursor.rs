@@ -1,0 +1,227 @@
+//! Seekable sorted-prefix cursors for multiway (worst-case-optimal)
+//! joins.
+//!
+//! A [`SortedCursor`] walks one pattern's matches as a *trie*: the run
+//! is sorted lexicographically by a sequence of triple positions (see
+//! [`crate::TripleStore::match_pattern_sorted_lex`]), each position is
+//! one trie level, and the distinct values at the current level within
+//! the current range are the node's children. The three operations a
+//! leapfrog triejoin needs are all sub-linear over the sorted run:
+//!
+//! * [`SortedCursor::seek_geq`] — gallop (exponential probe + binary
+//!   search) to the first entry whose current-level value is `≥ v`,
+//! * [`SortedCursor::open`] — descend into the current value, narrowing
+//!   the range to its equal-run,
+//! * [`SortedCursor::up`] — pop back to the parent range.
+//!
+//! The cursor is a *view*: it borrows the run, allocates nothing but
+//! its small range stack, and several cursors over the same run are
+//! cheap (the per-candidate worker pattern in `wodex-sparql`'s WCO
+//! executor). Seek and descent counters are kept per cursor so an
+//! executor can aggregate them into metrics.
+
+use crate::encoded::EncodedTriple;
+
+/// A trie-style cursor over a lexicographically sorted triple run.
+///
+/// Invariants: `run` is sorted by the value tuple at `levels` (ties
+/// broken arbitrarily — with `levels` covering every variable position
+/// of a pattern there are none); `stack` always holds the root range at
+/// the bottom, and each pushed range is the equal-run of one value one
+/// level deeper.
+#[derive(Debug)]
+pub struct SortedCursor<'a> {
+    run: &'a [EncodedTriple],
+    levels: &'a [usize],
+    /// `(lo, hi)` ranges; the top is the currently enumerated level.
+    stack: Vec<(usize, usize)>,
+    /// Enumeration position within the top range.
+    pos: usize,
+    seeks: u64,
+    descents: u64,
+}
+
+impl<'a> SortedCursor<'a> {
+    /// Creates a cursor at depth 0 over the whole run. `levels` maps
+    /// trie depth to triple position (0 = s, 1 = p, 2 = o); the run
+    /// must already be sorted lexicographically by that sequence.
+    pub fn new(run: &'a [EncodedTriple], levels: &'a [usize]) -> SortedCursor<'a> {
+        let mut stack = Vec::with_capacity(levels.len() + 1);
+        stack.push((0, run.len()));
+        SortedCursor {
+            run,
+            levels,
+            stack,
+            pos: 0,
+            seeks: 0,
+            descents: 0,
+        }
+    }
+
+    /// Current trie depth: how many values have been [`SortedCursor::open`]ed.
+    pub fn depth(&self) -> usize {
+        self.stack.len() - 1
+    }
+
+    /// Rewinds the enumeration position to the start of the current
+    /// range. A relation re-entering a join level it does not share
+    /// with the levels in between must start its range over.
+    pub fn reset(&mut self) {
+        self.pos = self.stack.last().expect("root range always present").0;
+    }
+
+    /// The current-level value at the enumeration position, or `None`
+    /// when the range is exhausted.
+    pub fn current(&self) -> Option<u32> {
+        let &(_, hi) = self.stack.last().expect("root range always present");
+        (self.pos < hi).then(|| self.run[self.pos][self.levels[self.depth()]])
+    }
+
+    /// Seeks forward (never backward) to the first entry whose
+    /// current-level value is `≥ v`, returning that value. Galloping:
+    /// exponential probe doubling from the current position, then a
+    /// binary search inside the bracketed window — `O(log d)` in the
+    /// distance `d` moved, the bound leapfrog's complexity proof needs.
+    pub fn seek_geq(&mut self, v: u32) -> Option<u32> {
+        self.seeks += 1;
+        let &(_, hi) = self.stack.last().expect("root range always present");
+        let lo = self.pos;
+        if lo >= hi {
+            return None;
+        }
+        let lvl = self.levels[self.depth()];
+        let mut offset = 1usize;
+        while lo + offset < hi && self.run[lo + offset][lvl] < v {
+            offset *= 2;
+        }
+        let win_lo = lo + offset / 2;
+        let win_hi = (lo + offset).min(hi);
+        self.pos = win_lo + self.run[win_lo..win_hi].partition_point(|t| t[lvl] < v);
+        self.current()
+    }
+
+    /// Descends into the current value: the new top range is its
+    /// equal-run one level deeper, with the enumeration position at its
+    /// start. Panics if the range is exhausted or already at the
+    /// deepest level.
+    pub fn open(&mut self) {
+        let v = self.current().expect("open requires a current value");
+        let &(_, hi) = self.stack.last().expect("root range always present");
+        let lvl = self.levels[self.depth()];
+        debug_assert!(self.depth() < self.levels.len(), "trie depth overflow");
+        // The equal-run end, found by the same gallop as seek.
+        let lo = self.pos;
+        let mut offset = 1usize;
+        while lo + offset < hi && self.run[lo + offset][lvl] == v {
+            offset *= 2;
+        }
+        let win_lo = lo + offset / 2;
+        let win_hi = (lo + offset).min(hi);
+        let end = win_lo + self.run[win_lo..win_hi].partition_point(|t| t[lvl] == v);
+        self.stack.push((lo, end));
+        self.descents += 1;
+    }
+
+    /// Pops back to the parent range, leaving the enumeration position
+    /// at the start of the value that was opened (callers seek past it).
+    pub fn up(&mut self) {
+        assert!(self.stack.len() > 1, "cannot pop the root range");
+        let (lo, _) = self.stack.pop().expect("checked non-root");
+        self.pos = lo;
+    }
+
+    /// `(seek_geq calls, open descents)` performed so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.seeks, self.descents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// s-major, o-minor sorted run shaped like `?s <p> ?o` matches.
+    fn run() -> Vec<EncodedTriple> {
+        vec![
+            [1, 7, 2],
+            [1, 7, 5],
+            [1, 7, 9],
+            [3, 7, 1],
+            [3, 7, 5],
+            [8, 7, 5],
+            [8, 7, 8],
+        ]
+    }
+
+    #[test]
+    fn seek_gallops_to_the_first_geq_value() {
+        let r = run();
+        let levels = [0usize, 2];
+        let mut c = SortedCursor::new(&r, &levels);
+        assert_eq!(c.current(), Some(1));
+        assert_eq!(c.seek_geq(2), Some(3));
+        assert_eq!(c.seek_geq(3), Some(3), "seek to the current value stays");
+        assert_eq!(c.seek_geq(4), Some(8));
+        assert_eq!(c.seek_geq(9), None, "past the last value");
+    }
+
+    #[test]
+    fn open_narrows_to_the_equal_run_and_up_restores() {
+        let r = run();
+        let levels = [0usize, 2];
+        let mut c = SortedCursor::new(&r, &levels);
+        assert_eq!(c.seek_geq(1), Some(1));
+        c.open();
+        assert_eq!(c.depth(), 1);
+        // Children of s=1 are its objects 2, 5, 9.
+        assert_eq!(c.current(), Some(2));
+        assert_eq!(c.seek_geq(3), Some(5));
+        assert_eq!(c.seek_geq(6), Some(9));
+        c.up();
+        assert_eq!(c.depth(), 0);
+        assert_eq!(
+            c.current(),
+            Some(1),
+            "parent position points at the opened value"
+        );
+        assert_eq!(c.seek_geq(2), Some(3));
+        c.open();
+        assert_eq!(c.current(), Some(1), "objects of s=3 start at 1");
+    }
+
+    #[test]
+    fn reset_rewinds_the_top_range() {
+        let r = run();
+        let levels = [0usize, 2];
+        let mut c = SortedCursor::new(&r, &levels);
+        assert_eq!(c.seek_geq(8), Some(8));
+        c.reset();
+        assert_eq!(c.current(), Some(1));
+        // Reset inside an opened range rewinds to that range's start.
+        assert_eq!(c.seek_geq(3), Some(3));
+        c.open();
+        assert_eq!(c.seek_geq(5), Some(5));
+        c.reset();
+        assert_eq!(c.current(), Some(1));
+    }
+
+    #[test]
+    fn counters_track_seeks_and_descents() {
+        let r = run();
+        let levels = [0usize, 2];
+        let mut c = SortedCursor::new(&r, &levels);
+        let _ = c.seek_geq(3);
+        c.open();
+        let _ = c.seek_geq(5);
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn empty_run_is_exhausted_from_the_start() {
+        let r: Vec<EncodedTriple> = Vec::new();
+        let levels = [0usize];
+        let mut c = SortedCursor::new(&r, &levels);
+        assert_eq!(c.current(), None);
+        assert_eq!(c.seek_geq(0), None);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod buffer;
 pub mod cache;
 pub mod cracking;
+pub mod cursor;
 pub mod encoded;
 pub mod fault;
 pub mod index;
@@ -44,6 +45,7 @@ pub mod prefetch;
 pub use buffer::{BufferPool, PoolStats};
 pub use cache::LruCache;
 pub use cracking::CrackerColumn;
+pub use cursor::SortedCursor;
 pub use encoded::{EncodedTriple, Pattern};
 pub use fault::{FaultBackend, FaultConfig, FaultSnapshot};
 pub use memstore::{StoreStats, TripleStore};

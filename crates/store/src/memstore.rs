@@ -495,6 +495,61 @@ impl TripleStore {
         out.sort_unstable_by_key(|t| (t[position], *t));
         out
     }
+
+    /// The triple-position sequence the index run for this bound shape is
+    /// naturally sorted by: every *unbound* component, in the selected
+    /// index's key order. The multi-position generalization of
+    /// [`TripleStore::natural_position`], whose value is always this
+    /// sequence's first element. Empty for a fully bound pattern.
+    pub fn natural_order(s: bool, p: bool, o: bool) -> &'static [usize] {
+        match (s, p, o) {
+            (true, true, true) => &[],
+            // SPO: the bound prefix is constant, the remaining key
+            // components vary in index order.
+            (true, true, false) => &[2],
+            (true, false, false) => &[1, 2],
+            (false, false, false) => &[0, 1, 2],
+            // POS (p, o, s).
+            (false, true, true) => &[0],
+            (false, true, false) => &[2, 0],
+            // OSP (o, s, p).
+            (false, false, true) => &[0, 1],
+            (true, false, true) => &[1],
+        }
+    }
+
+    /// Matches a pattern, returning encoded triples sorted
+    /// lexicographically by the value tuple `(t[positions[0]],
+    /// t[positions[1]], …)` — the trie order a multiway leapfrog join's
+    /// [`crate::cursor::SortedCursor`] consumes.
+    ///
+    /// When the requested sequence equals the bound shape's full natural
+    /// order ([`TripleStore::natural_order`]) and the tail is empty this
+    /// is a zero-sort scan: the index run already arrives in exactly that
+    /// order, and with every unbound position covered there are no ties.
+    /// Otherwise it is [`TripleStore::match_pattern`] plus one explicit
+    /// sort, with ties beyond the requested positions broken by the full
+    /// triple — a deterministic total order either way.
+    pub fn match_pattern_sorted_lex(
+        &self,
+        pat: Pattern,
+        positions: &[usize],
+    ) -> Vec<EncodedTriple> {
+        debug_assert!(positions.iter().all(|&p| p < 3));
+        let natural = Self::natural_order(pat.s.is_some(), pat.p.is_some(), pat.o.is_some());
+        if self.tail.is_empty() && positions == natural {
+            return self.match_pattern(pat);
+        }
+        let mut out = self.match_pattern(pat);
+        out.sort_unstable_by_key(|t| {
+            let mut key = [0u32; 3];
+            for (slot, &p) in key.iter_mut().zip(positions) {
+                *slot = t[p];
+            }
+            (key, *t)
+        });
+        out
+    }
 }
 
 #[cfg(test)]
@@ -792,6 +847,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn natural_order_starts_at_the_natural_position() {
+        for s in [false, true] {
+            for p in [false, true] {
+                for o in [false, true] {
+                    let order = TripleStore::natural_order(s, p, o);
+                    assert_eq!(
+                        order.first().copied(),
+                        TripleStore::natural_position(s, p, o),
+                        "shape ({s},{p},{o})"
+                    );
+                    assert_eq!(
+                        order.len(),
+                        [s, p, o].iter().filter(|b| !**b).count(),
+                        "every unbound position appears once for ({s},{p},{o})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lex_sorted_scan_equals_explicit_sort_for_every_shape_and_order() {
+        let mut st = store();
+        st.remove(&Triple::iri(
+            "http://e.org/s4",
+            rdf::TYPE,
+            Term::iri("http://e.org/C"),
+        ));
+        let s = st.id_of(&Term::iri("http://e.org/s3"));
+        let p = st.id_of(&Term::iri(rdfs::LABEL));
+        let reference = |st: &TripleStore, pat: Pattern, positions: &[usize]| {
+            let mut want = st.match_pattern(pat);
+            want.sort_unstable_by_key(|t| {
+                let mut key = [0u32; 3];
+                for (slot, &pos) in key.iter_mut().zip(positions) {
+                    *slot = t[pos];
+                }
+                (key, *t)
+            });
+            want
+        };
+        // Every bound shape with its natural order (zero-sort fast path)
+        // and with a deliberately different permutation (explicit sort).
+        for &ps in &[None, s] {
+            for &pp in &[None, p] {
+                let pat = Pattern {
+                    s: ps,
+                    p: pp,
+                    o: None,
+                };
+                let natural =
+                    TripleStore::natural_order(ps.is_some(), pp.is_some(), false).to_vec();
+                let mut reversed = natural.clone();
+                reversed.reverse();
+                for positions in [natural, reversed, vec![2, 1, 0], vec![0]] {
+                    let got = st.match_pattern_sorted_lex(pat, &positions);
+                    assert_eq!(
+                        got,
+                        reference(&st, pat, &positions),
+                        "pattern {pat:?} positions {positions:?}"
+                    );
+                }
+            }
+        }
+        // A tailed store must fall back to the explicit sort and agree.
+        st.insert(&Triple::iri(
+            "http://e.org/zz",
+            rdfs::LABEL,
+            Term::literal("zz"),
+        ));
+        assert!(st.tail_len() > 0);
+        let pat = Pattern::any();
+        let positions = [0usize, 1, 2];
+        assert_eq!(
+            st.match_pattern_sorted_lex(pat, &positions),
+            reference(&st, pat, &positions)
+        );
     }
 
     #[test]

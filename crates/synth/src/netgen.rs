@@ -225,6 +225,35 @@ pub fn planted_partition(
     (g, labels)
 }
 
+/// A *directed* multigraph-free arc list with both endpoints drawn from
+/// a Zipf distribution over node ranks: hubs attract many in- and
+/// out-arcs, so directed triangles and small cliques occur at the rates
+/// real citation/link graphs show. This is the workload generator for
+/// the cyclic-query (worst-case-optimal join) benchmarks — note
+/// [`EdgeList`] cannot serve there, since its `a < b` normalization
+/// erases arc direction and with it every directed cycle.
+///
+/// Draws `(source, target)` pairs until `arcs` *distinct* non-loop arcs
+/// exist (or a draw budget of `20 × arcs` runs out, which only happens
+/// when `arcs` approaches `nodes²`). Seeded and fully deterministic.
+pub fn zipf_digraph(nodes: usize, arcs: usize, exponent: f64, seed: u64) -> Vec<(u32, u32)> {
+    assert!(nodes >= 2, "need at least two nodes for an arc");
+    let mut rng = crate::rng(seed);
+    let zipf = crate::dist::Zipf::new(nodes, exponent);
+    let mut seen = std::collections::HashSet::with_capacity(arcs);
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(arcs);
+    let mut draws = 0usize;
+    while out.len() < arcs && draws < arcs.saturating_mul(20) {
+        draws += 1;
+        let a = (zipf.sample_rank(&mut rng) - 1) as u32;
+        let b = (zipf.sample_rank(&mut rng) - 1) as u32;
+        if a != b && seen.insert((a, b)) {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
 /// Shuffles node ids, relabeling edges — used to check that algorithms do
 /// not depend on generator ordering.
 pub fn shuffle_ids(g: &EdgeList, seed: u64) -> EdgeList {
@@ -349,5 +378,50 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
         assert_eq!(erdos_renyi(100, 0.05, 9), erdos_renyi(100, 0.05, 9));
+        assert_eq!(zipf_digraph(80, 400, 1.0, 9), zipf_digraph(80, 400, 1.0, 9));
+    }
+
+    #[test]
+    fn zipf_digraph_arcs_are_distinct_directed_and_in_range() {
+        let n = 100;
+        let arcs = zipf_digraph(n, 800, 1.0, 11);
+        assert_eq!(arcs.len(), 800, "draw budget suffices at this density");
+        let mut dedup = arcs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), arcs.len(), "arcs are distinct");
+        assert!(arcs
+            .iter()
+            .all(|&(a, b)| a != b && (a as usize) < n && (b as usize) < n));
+    }
+
+    #[test]
+    fn zipf_digraph_is_skewed_and_contains_directed_triangles() {
+        let n = 100usize;
+        let arcs = zipf_digraph(n, 1200, 1.0, 12);
+        // Skew: rank 0 (the Zipf head) touches far more arcs than the mean.
+        let mut deg = vec![0usize; n];
+        for &(a, b) in &arcs {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mean = deg.iter().sum::<usize>() as f64 / n as f64;
+        assert!(
+            deg[0] as f64 > 3.0 * mean,
+            "head degree {} vs mean {mean}",
+            deg[0]
+        );
+        // Directed 3-cycles a→b→c→a must exist (the WCO bench depends
+        // on them); count by brute force over adjacency sets.
+        let adj: std::collections::HashSet<(u32, u32)> = arcs.iter().copied().collect();
+        let mut triangles = 0usize;
+        for &(a, b) in &arcs {
+            for &(b2, c) in &arcs {
+                if b2 == b && adj.contains(&(c, a)) {
+                    triangles += 1;
+                }
+            }
+        }
+        assert!(triangles > 0, "no directed triangles generated");
     }
 }

@@ -98,4 +98,11 @@ grep -q '"gate_ok": true' BENCH_PR5.json || {
     exit 1
 }
 
+echo "==> repro bench-pr6 (WCO <= 0.7x pairwise on cyclic, <= 5% on acyclic)"
+cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr6
+grep -q '"gate_ok": true' BENCH_PR6.json || {
+    echo "verify: FAIL — multiway join missed its cyclic/acyclic gates (see BENCH_PR6.json)"
+    exit 1
+}
+
 echo "verify: OK"

@@ -95,6 +95,42 @@ fn explain_table_structure_is_stable() {
 }
 
 #[test]
+fn explain_plan_for_a_triangle_query_is_stable() {
+    // A deterministic ring-with-chords (arcs i→i+1 and i+2→i mod 60)
+    // whose 120 arcs keep the cyclic group over the multiway join's
+    // minimum input, so `wodex explain` shows the `wco` operator.
+    use wodex::rdf::{Graph, Term, Triple};
+    let n = 60u32;
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.insert(Triple::iri(
+            &format!("http://t.org/n{i}"),
+            "http://t.org/cites",
+            Term::iri(format!("http://t.org/n{}", (i + 1) % n)),
+        ));
+        g.insert(Triple::iri(
+            &format!("http://t.org/n{}", (i + 2) % n),
+            "http://t.org/cites",
+            Term::iri(format!("http://t.org/n{i}")),
+        ));
+    }
+    let ex = Explorer::from_graph(g);
+    let trace = QueryTrace::new();
+    let b = ex
+        .sparql_traced(
+            "PREFIX t: <http://t.org/>\n\
+             SELECT ?a ?b ?c WHERE { ?a t:cites ?b . ?b t:cites ?c . ?c t:cites ?a }",
+            &Budget::unlimited(),
+            &trace,
+        )
+        .expect("triangle query");
+    assert_eq!(b.result.table().expect("solutions").len(), 180);
+    let explain = format!("{}\n{}", trace.render_table(), trace.render_plan_table());
+    assert!(explain.contains("wco"), "plan table must show the wco step");
+    assert_golden("explain_wco.txt", &explain);
+}
+
+#[test]
 fn metrics_scrape_structure_is_stable() {
     let server = Server::bind(explorer(), ServeConfig::default())
         .expect("bind")

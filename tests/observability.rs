@@ -330,6 +330,65 @@ fn plan_cache_lookups_conserve_under_concurrent_planning() {
 }
 
 #[test]
+fn wco_rows_and_seeks_conserve_on_cyclic_queries() {
+    let _guard = lock();
+    // A deterministic ring-with-chords: arcs i→i+1 and i+2→i (mod 60)
+    // make every (i, i+1, i+2) a directed triangle — 60 triangles × 3
+    // rotations = 180 rows — and 120 arcs keep the group over the
+    // multiway join's minimum-input threshold.
+    use wodex::rdf::{Graph, Term, Triple};
+    let n = 60u32;
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.insert(Triple::iri(
+            &format!("http://t.org/n{i}"),
+            "http://t.org/cites",
+            Term::iri(format!("http://t.org/n{}", (i + 1) % n)),
+        ));
+        g.insert(Triple::iri(
+            &format!("http://t.org/n{}", (i + 2) % n),
+            "http://t.org/cites",
+            Term::iri(format!("http://t.org/n{i}")),
+        ));
+    }
+    let ex = Explorer::from_graph(g);
+    let before_rows = counter("wodex_plan_rows_total{op=\"wco\"}");
+    let before_seeks = counter("wodex_plan_wco_seeks_total");
+    let before_advances = counter("wodex_plan_wco_advances_total");
+    // Filterless, so every row the operator produces survives to the
+    // result: the op="wco" series must conserve exactly.
+    let q = "PREFIX t: <http://t.org/>\n\
+             SELECT ?a ?b ?c WHERE { ?a t:cites ?b . ?b t:cites ?c . ?c t:cites ?a }";
+    let produced = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let (ex, produced) = (&ex, &produced);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let r = ex
+                        .sparql_budgeted(q, &Budget::unlimited())
+                        .expect("triangle query");
+                    assert!(r.degraded.is_none());
+                    let rows = r.result.table().expect("solutions").len() as u64;
+                    assert_eq!(rows, 180, "60 triangles x 3 rotations");
+                    produced.fetch_add(rows, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let rows = counter("wodex_plan_rows_total{op=\"wco\"}") - before_rows;
+    let seeks = counter("wodex_plan_wco_seeks_total") - before_seeks;
+    let advances = counter("wodex_plan_wco_advances_total") - before_advances;
+    assert_eq!(
+        rows,
+        produced.load(Ordering::Relaxed),
+        "every row the multiway join reports must reach the result"
+    );
+    assert!(seeks > 0, "the multiway join must seek its cursors");
+    assert!(advances > 0, "the multiway join must descend its tries");
+}
+
+#[test]
 fn cached_plans_return_the_same_rows_as_cold_plans() {
     let _guard = lock();
     let ex = explorer(150);

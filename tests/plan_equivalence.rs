@@ -79,7 +79,10 @@ fn run(
         &q,
         budget,
         &QueryTrace::disabled(),
-        EvalOptions { use_planner },
+        EvalOptions {
+            use_planner,
+            ..EvalOptions::default()
+        },
     )
     .expect("corpus evaluates")
 }
@@ -213,6 +216,224 @@ fn row_cap_yields_a_sound_subset_under_the_planner() {
         sorted_rows(&run(&store, q, &Budget::unlimited().with_row_cap(50), true).result)
     });
     assert_eq!(again, par, "capped planned results depend on thread count");
+}
+
+// ---------------------------------------------------------------------
+// PR 6: the cyclic corpus. On cyclic pattern groups the planner hands
+// the whole group to the worst-case-optimal multiway join; the contract
+// triples: WCO ≡ pairwise ≡ greedy as sorted bags, at every thread
+// count and under every degradation mode.
+// ---------------------------------------------------------------------
+
+/// A directed Zipf graph with `weight` attributes: hubs make directed
+/// triangles and small cliques plentiful.
+fn cyclic_store(nodes: usize, arcs: usize, seed: u64) -> TripleStore {
+    use wodex::rdf::{Graph, Term, Triple};
+    let mut g = Graph::new();
+    for i in 0..nodes {
+        g.insert(Triple::iri(
+            &format!("http://c.org/e{i}"),
+            "http://c.org/w",
+            Term::integer((i % 97) as i64),
+        ));
+    }
+    for (a, b) in wodex::synth::netgen::zipf_digraph(nodes, arcs, 1.0, seed) {
+        g.insert(Triple::iri(
+            &format!("http://c.org/e{a}"),
+            "http://c.org/cites",
+            Term::iri(format!("http://c.org/e{b}")),
+        ));
+    }
+    TripleStore::from_graph(&g)
+}
+
+/// Cyclic shapes plus the rewrites that ride along: filters into the
+/// multiway group, a pruned spoke, a 4-clique tournament.
+const CYCLIC_CORPUS: &[&str] = &[
+    // Triangle.
+    "PREFIX c: <http://c.org/>\n\
+     SELECT ?a ?b ?c WHERE { ?a c:cites ?b . ?b c:cites ?c . ?c c:cites ?a }",
+    // Triangle with a pendant attribute and a pushed-down filter.
+    "PREFIX c: <http://c.org/>\n\
+     SELECT ?a ?b ?c WHERE { ?a c:cites ?b . ?b c:cites ?c . ?c c:cites ?a . \
+     ?a c:w ?wa FILTER(?wa > 30) }",
+    // Directed 4-cycle.
+    "PREFIX c: <http://c.org/>\n\
+     SELECT ?a ?c WHERE { ?a c:cites ?b . ?b c:cites ?c . ?c c:cites ?d . \
+     ?d c:cites ?a }",
+    // 4-clique tournament.
+    "PREFIX c: <http://c.org/>\n\
+     SELECT ?a ?b ?c ?d WHERE { ?a c:cites ?b . ?a c:cites ?c . ?a c:cites ?d . \
+     ?b c:cites ?c . ?b c:cites ?d . ?c c:cites ?d }",
+    // Triangle with a single-occurrence spoke: ?e is pruned but must
+    // still multiply the bag.
+    "PREFIX c: <http://c.org/>\n\
+     SELECT ?a WHERE { ?a c:cites ?b . ?b c:cites ?c . ?c c:cites ?a . \
+     ?a c:cites ?e }",
+];
+
+fn run_engine(
+    store: &TripleStore,
+    text: &str,
+    budget: &Budget,
+    use_planner: bool,
+    use_wco: bool,
+) -> wodex::sparql::BudgetedResult {
+    let q = parse_query(text).expect("cyclic corpus parses");
+    evaluate_with(
+        store,
+        &q,
+        budget,
+        &QueryTrace::disabled(),
+        EvalOptions {
+            use_planner,
+            use_wco,
+        },
+    )
+    .expect("cyclic corpus evaluates")
+}
+
+#[test]
+fn wco_equals_pairwise_and_greedy_at_one_and_four_threads() {
+    let store = cyclic_store(200, 1600, 42);
+    for threads in [1usize, 4] {
+        with_thread_override(threads, || {
+            for q in CYCLIC_CORPUS {
+                let greedy = run_engine(&store, q, &Budget::unlimited(), false, false);
+                let pairwise = run_engine(&store, q, &Budget::unlimited(), true, false);
+                let wco = run_engine(&store, q, &Budget::unlimited(), true, true);
+                let bag = sorted_rows(&wco.result);
+                assert!(!bag.is_empty(), "cyclic corpus must match something:\n{q}");
+                assert_eq!(
+                    bag,
+                    sorted_rows(&pairwise.result),
+                    "wco vs pairwise diverged at {threads} thread(s) for:\n{q}"
+                );
+                assert_eq!(
+                    bag,
+                    sorted_rows(&greedy.result),
+                    "wco vs greedy diverged at {threads} thread(s) for:\n{q}"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn wco_actually_engages_on_the_cyclic_corpus() {
+    // Guards the corpus sizing against the runtime downgrade: if the
+    // input were under MIN_WCO_INPUT the equivalence tests above would
+    // silently compare pairwise against itself.
+    let store = cyclic_store(200, 1600, 42);
+    let q = parse_query(CYCLIC_CORPUS[0]).unwrap();
+    let trace = QueryTrace::new();
+    evaluate_with(
+        &store,
+        &q,
+        &Budget::unlimited(),
+        &trace,
+        EvalOptions::default(),
+    )
+    .unwrap();
+    let steps = trace.plan_steps();
+    assert_eq!(steps.len(), 1, "the whole group runs as one wco step");
+    assert_eq!(steps[0].op, "wco");
+}
+
+#[test]
+fn toggling_the_wco_option_cannot_serve_a_stale_plan() {
+    // Engine selection is part of the plan-cache key: a wco run warming
+    // the cache must not hand its plan to a wco-disabled run, and vice
+    // versa.
+    let store = cyclic_store(200, 1600, 42);
+    let q = parse_query(CYCLIC_CORPUS[0]).unwrap();
+    let ops_with = |use_wco: bool| -> Vec<&'static str> {
+        let trace = QueryTrace::new();
+        evaluate_with(
+            &store,
+            &q,
+            &Budget::unlimited(),
+            &trace,
+            EvalOptions {
+                use_planner: true,
+                use_wco,
+            },
+        )
+        .unwrap();
+        trace.plan_steps().iter().map(|s| s.op).collect()
+    };
+    let warm = ops_with(true);
+    assert!(warm.contains(&"wco"));
+    let toggled = ops_with(false);
+    assert!(
+        !toggled.contains(&"wco"),
+        "wco-disabled run executed a cached wco plan: {toggled:?}"
+    );
+    let back = ops_with(true);
+    assert!(back.contains(&"wco"), "re-enabling must find the wco plan");
+}
+
+#[test]
+fn expired_deadline_degrades_all_three_engines_the_same_way() {
+    let store = cyclic_store(200, 1600, 42);
+    for q in CYCLIC_CORPUS {
+        let budget = Budget::unlimited().with_expired_deadline();
+        let greedy = run_engine(&store, q, &budget, false, false);
+        let pairwise = run_engine(&store, q, &budget, true, false);
+        let wco = run_engine(&store, q, &budget, true, true);
+        let dg = greedy.degraded.expect("greedy must degrade");
+        let dw = wco.degraded.expect("wco must degrade");
+        assert_eq!(dg.reason, dw.reason);
+        assert_eq!(
+            dw.reason,
+            pairwise.degraded.expect("pairwise must degrade").reason
+        );
+        // All trip before the first chunk, then finish in grace mode.
+        let bag = sorted_rows(&wco.result);
+        assert_eq!(bag, sorted_rows(&pairwise.result), "degraded bags:\n{q}");
+        assert_eq!(bag, sorted_rows(&greedy.result), "degraded bags:\n{q}");
+    }
+}
+
+#[test]
+fn row_cap_yields_a_sound_subset_under_wco() {
+    let store = cyclic_store(200, 1600, 42);
+    let q = CYCLIC_CORPUS[0];
+    let full: std::collections::HashSet<String> =
+        sorted_rows(&run_engine(&store, q, &Budget::unlimited(), true, true).result)
+            .into_iter()
+            .collect();
+    let capped = run_engine(&store, q, &Budget::unlimited().with_row_cap(20), true, true);
+    assert!(capped.degraded.is_some(), "row cap must trip");
+    let rows = sorted_rows(&capped.result);
+    assert!(rows.len() < full.len());
+    for row in &rows {
+        assert!(full.contains(row), "degraded rows must be real solutions");
+    }
+    // Thread-invariant, like every operator.
+    let serial = with_thread_override(1, || {
+        sorted_rows(
+            &run_engine(&store, q, &Budget::unlimited().with_row_cap(20), true, true).result,
+        )
+    });
+    let par = with_thread_override(4, || {
+        sorted_rows(
+            &run_engine(&store, q, &Budget::unlimited().with_row_cap(20), true, true).result,
+        )
+    });
+    assert_eq!(serial, par, "capped wco results depend on thread count");
+}
+
+#[test]
+fn cancellation_degrades_wco_queries() {
+    let store = cyclic_store(200, 1600, 42);
+    let budget = Budget::unlimited().with_row_cap(u64::MAX);
+    budget.cancel();
+    let wco = run_engine(&store, CYCLIC_CORPUS[0], &budget, true, true);
+    assert_eq!(
+        wco.degraded.expect("cancelled").reason,
+        wodex::sparql::DegradeReason::Cancelled
+    );
 }
 
 #[test]
