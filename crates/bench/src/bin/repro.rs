@@ -10,6 +10,7 @@
 //! * `repro bench-pr4` — observability instrumented overhead → `BENCH_PR4.json`.
 //! * `repro bench-pr5` — cost-based planner vs greedy joins → `BENCH_PR5.json`.
 //! * `repro bench-pr6` — multiway (WCO) joins vs pairwise plans → `BENCH_PR6.json`.
+//! * `repro bench-pr7` — sharded scatter-gather fleets + fault run → `BENCH_PR7.json`.
 //! * `repro all` (default) — everything, in `EXPERIMENTS.md` order.
 
 use wodex_bench::experiments;
@@ -74,6 +75,11 @@ fn main() {
             std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
             print!("{json}");
         }
+        "bench-pr7" => {
+            let json = wodex_bench::shardbench::report();
+            std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+            print!("{json}");
+        }
         "all" => {
             println!("{}", wodex_registry::render_table1());
             println!("{}", wodex_registry::render_table2());
@@ -86,7 +92,7 @@ fn main() {
                 print!("{}", f());
             } else {
                 eprintln!(
-                    "unknown target {id:?}; use table1|table2|claims|map|list|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|all|e1..e15"
+                    "unknown target {id:?}; use table1|table2|claims|map|list|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|all|e1..e15"
                 );
                 std::process::exit(2);
             }

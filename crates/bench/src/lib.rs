@@ -18,6 +18,7 @@ pub mod obsbench;
 pub mod parbench;
 pub mod planbench;
 pub mod servebench;
+pub mod shardbench;
 pub mod wcobench;
 pub mod workloads;
 

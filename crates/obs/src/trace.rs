@@ -38,6 +38,9 @@ pub enum Stage {
     Parse,
     /// Pattern ordering, selectivity precompute, variable indexing.
     Plan,
+    /// Distributed gather: per-shard pattern scans fanned out and merged
+    /// (coordinator mode only; zero in single-process serving).
+    Scatter,
     /// Index probes joining each triple pattern into the binding set.
     BgpProbe,
     /// FILTER application over candidate rows.
@@ -51,9 +54,10 @@ pub enum Stage {
 impl Stage {
     /// Every stage, pipeline order. Readouts iterate this so output
     /// ordering is fixed.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Parse,
         Stage::Plan,
+        Stage::Scatter,
         Stage::BgpProbe,
         Stage::Filter,
         Stage::Decode,
@@ -65,6 +69,7 @@ impl Stage {
         match self {
             Stage::Parse => "parse",
             Stage::Plan => "plan",
+            Stage::Scatter => "scatter",
             Stage::BgpProbe => "bgp_probe",
             Stage::Filter => "filter",
             Stage::Decode => "decode",
@@ -76,10 +81,11 @@ impl Stage {
         match self {
             Stage::Parse => 0,
             Stage::Plan => 1,
-            Stage::BgpProbe => 2,
-            Stage::Filter => 3,
-            Stage::Decode => 4,
-            Stage::Serialize => 5,
+            Stage::Scatter => 2,
+            Stage::BgpProbe => 3,
+            Stage::Filter => 4,
+            Stage::Decode => 5,
+            Stage::Serialize => 6,
         }
     }
 }

@@ -54,6 +54,24 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>, RdfError
     Ok(Some(Triple::new(subject, predicate, object)))
 }
 
+/// Parses a single standalone term in N-Triples syntax (`<iri>`,
+/// `_:label`, or a literal with optional `@lang` / `^^<dt>` suffix).
+///
+/// This is the wire syntax the sharded-serving protocol uses for pattern
+/// constants: one term per query parameter, rendered exactly as
+/// [`Term`]'s `Display` form, so `parse_term(t.to_string()) == t` for
+/// every term the workspace produces.
+pub fn parse_term(input: &str) -> Result<Term, RdfError> {
+    let mut s = Scanner::new(input, 1);
+    s.skip_ws();
+    let term = s.term()?;
+    s.skip_ws();
+    if !s.eof() {
+        return Err(RdfError::syntax(1, "trailing content after term"));
+    }
+    Ok(term)
+}
+
 /// Serializes a graph as an N-Triples document (sorted, one triple per
 /// line, trailing newline).
 pub fn serialize(graph: &Graph) -> String {
@@ -261,6 +279,22 @@ mod tests {
             Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected syntax error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_term_roundtrips_every_kind() {
+        let terms = [
+            Term::iri("http://e.org/s"),
+            Term::Blank(BlankNode::new("b0")),
+            Term::Literal(Literal::string("plain \"quoted\"\n")),
+            Term::Literal(Literal::lang_string("hi", "en")),
+            Term::Literal(Literal::typed("42", Iri::new(xsd::INTEGER))),
+        ];
+        for t in terms {
+            assert_eq!(parse_term(&t.to_string()).unwrap(), t, "{t}");
+        }
+        assert!(parse_term("<http://e.org/a> extra").is_err());
+        assert!(parse_term("").is_err());
     }
 
     #[test]

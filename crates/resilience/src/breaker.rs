@@ -1,0 +1,298 @@
+//! Per-dependency circuit breaker: closed → open → half-open.
+//!
+//! The SPARQL endpoint availability studies the survey leans on (and the
+//! FedX line of federated engines) agree on the failure mode of remote
+//! Linked Data sources: they don't fail cleanly, they *time out*. Without
+//! a breaker, every query against a dead shard pays a full connect
+//! timeout per fan-out — the coordinator's latency becomes the dead
+//! shard's. The breaker caps that cost at roughly one timeout per
+//! cooldown period:
+//!
+//! * **Closed** — traffic flows; `failure_threshold` *consecutive*
+//!   failures trip the breaker open.
+//! * **Open** — calls are shed instantly (no network) until `cooldown`
+//!   elapses, then exactly one **probe** is admitted.
+//! * **Half-open** — the probe's outcome decides: success closes the
+//!   breaker, failure re-opens it for another cooldown. While a probe is
+//!   in flight, other callers keep being shed, so a recovering shard sees
+//!   one request, not a thundering herd.
+//!
+//! The breaker is a small mutex-guarded state machine rather than an
+//! atomic dance: it is consulted once per shard per query, far off any
+//! hot path, and the mutex makes the threshold/probe invariants easy to
+//! pin in tests.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker sheds before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// Calls are shed without touching the dependency.
+    Open,
+    /// A single probe is deciding whether to close or re-open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for stats/metrics surfaces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What [`CircuitBreaker::admit`] decided for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed with the call (normal traffic, breaker closed).
+    Allow,
+    /// Proceed, but this call is the half-open probe: its outcome alone
+    /// decides the next state.
+    Probe,
+    /// Shed the call without attempting it; the breaker is open.
+    Shed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+    opens: u64,
+    sheds: u64,
+}
+
+/// A mutex-guarded closed→open→half-open breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+                opens: 0,
+                sheds: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Gate one call. Callers must report the outcome of every admitted
+    /// call via [`record_success`](Self::record_success) /
+    /// [`record_failure`](Self::record_failure) — a lost probe outcome
+    /// would wedge the breaker half-open (shedding until then).
+    pub fn admit(&self) -> Admission {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen if !g.probe_in_flight => {
+                g.probe_in_flight = true;
+                Admission::Probe
+            }
+            BreakerState::HalfOpen => {
+                g.sheds += 1;
+                Admission::Shed
+            }
+            BreakerState::Open => {
+                let cooled = g
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.cfg.cooldown)
+                    .unwrap_or(true);
+                if cooled {
+                    g.state = BreakerState::HalfOpen;
+                    g.probe_in_flight = true;
+                    Admission::Probe
+                } else {
+                    g.sheds += 1;
+                    Admission::Shed
+                }
+            }
+        }
+    }
+
+    /// An admitted call succeeded: close the breaker and reset the
+    /// failure streak.
+    pub fn record_success(&self) {
+        let mut g = self.lock();
+        g.state = BreakerState::Closed;
+        g.consecutive_failures = 0;
+        g.probe_in_flight = false;
+        g.opened_at = None;
+    }
+
+    /// An admitted call failed. A failed probe re-opens immediately; in
+    /// the closed state the failure streak trips the breaker at the
+    /// configured threshold.
+    pub fn record_failure(&self) {
+        let mut g = self.lock();
+        g.probe_in_flight = false;
+        match g.state {
+            BreakerState::HalfOpen => Self::trip(&mut g),
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.cfg.failure_threshold {
+                    Self::trip(&mut g);
+                }
+            }
+            // A late failure from a call admitted before the breaker
+            // opened: already open, nothing to do.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(g: &mut Inner) {
+        g.state = BreakerState::Open;
+        g.opened_at = Some(Instant::now());
+        g.opens += 1;
+        g.consecutive_failures = 0;
+    }
+
+    /// Current state (for stats surfaces; racy by nature).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Point-in-time snapshot for `/stats` and `explain`.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let g = self.lock();
+        BreakerSnapshot {
+            state: g.state,
+            consecutive_failures: g.consecutive_failures,
+            opens: g.opens,
+            sheds: g.sheds,
+        }
+    }
+}
+
+/// Plain-value view of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Failure streak while closed.
+    pub consecutive_failures: u32,
+    /// Times the breaker has tripped open.
+    pub opens: u64,
+    /// Calls shed while open/half-open.
+    pub sheds: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..2 {
+            assert_eq!(b.admit(), Admission::Allow);
+            b.record_failure();
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert_eq!(b.admit(), Admission::Allow);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Shed);
+        assert_eq!(b.snapshot().opens, 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(fast());
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_admits_exactly_one_probe() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.admit(), Admission::Shed);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.admit(), Admission::Probe);
+        // Second caller while the probe is out: still shed.
+        assert_eq!(b.admit(), Admission::Shed);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.snapshot().opens, 2);
+
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn sheds_are_counted() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(60),
+        });
+        b.record_failure();
+        for _ in 0..5 {
+            assert_eq!(b.admit(), Admission::Shed);
+        }
+        assert_eq!(b.snapshot().sheds, 5);
+    }
+}

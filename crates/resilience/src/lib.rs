@@ -23,11 +23,13 @@
 //! * [`checksum`] — a fast 64-bit page checksum so torn or corrupt pages
 //!   are *detected* at decode time instead of being silently interpreted.
 
+pub mod breaker;
 pub mod budget;
 pub mod checksum;
 pub mod error;
 pub mod retry;
 
+pub use breaker::{Admission, BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use budget::{Budget, DegradeReason, Degraded};
 pub use checksum::page_checksum;
 pub use error::StoreError;

@@ -54,6 +54,25 @@ fn retry_metrics() -> &'static RetryMetrics {
     })
 }
 
+/// SplitMix64 step — the workspace's std-only PRNG (same generator as
+/// `wodex-synth`'s seeding path), enough statistical quality to
+/// decorrelate backoff schedules.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fresh jitter seed per [`RetryPolicy::run`] call. A global counter
+/// (not wall clock) keeps the process deterministic enough for chaos
+/// sweeps while still giving every concurrent retrier a distinct stream.
+fn jitter_seed() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0x005E_ED0F_5EED);
+    NEXT.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+}
+
 /// How hard to retry a transient fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -63,6 +82,15 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Backoff ceiling.
     pub max_delay: Duration,
+    /// Decorrelate the backoff schedule with jitter. Deterministic capped
+    /// doubling is right for a *private* dependency (an in-process disk:
+    /// reproducible chaos sweeps, no other clients to collide with), but
+    /// against a *shared* dependency — a recovering shard with N
+    /// coordinators retrying it — identical schedules synchronize into
+    /// waves that re-kill it. With jitter on, each retry sleeps
+    /// `uniform(base_delay, prev * 3)` capped at `max_delay`
+    /// ("decorrelated jitter"), so concurrent retriers spread out.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -73,6 +101,7 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_delay: Duration::from_micros(50),
             max_delay: Duration::from_millis(2),
+            jitter: false,
         }
     }
 }
@@ -84,6 +113,7 @@ impl RetryPolicy {
             max_attempts: 1,
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
+            jitter: false,
         }
     }
 
@@ -91,6 +121,23 @@ impl RetryPolicy {
     pub fn delay_for(&self, retry: u32) -> Duration {
         let factor = 1u32 << retry.saturating_sub(1).min(16);
         (self.base_delay * factor).min(self.max_delay)
+    }
+
+    /// One step of the decorrelated-jitter schedule: a sleep drawn
+    /// uniformly from `[base_delay, max(base_delay, prev * 3)]`, capped at
+    /// `max_delay`. Returns the drawn sleep, which the caller feeds back
+    /// as the next step's `prev`. The bound always holds:
+    /// `base_delay.min(max_delay) <= sleep <= max_delay`.
+    pub fn jittered_delay(&self, prev: Duration, rng_state: &mut u64) -> Duration {
+        let base = self.base_delay.as_nanos() as u64;
+        let hi = (prev.as_nanos() as u64).saturating_mul(3).max(base);
+        let span = hi - base;
+        let draw = if span == 0 {
+            base
+        } else {
+            base + splitmix64(rng_state) % (span + 1)
+        };
+        Duration::from_nanos(draw).min(self.max_delay)
     }
 
     /// Runs `op` up to `max_attempts` times, sleeping between attempts.
@@ -110,6 +157,8 @@ impl RetryPolicy {
         let m = retry_metrics();
         let attempts = self.max_attempts.max(1);
         let mut retried = false;
+        let mut rng = jitter_seed();
+        let mut prev_sleep = self.base_delay;
         stats.ops.fetch_add(1, Ordering::Relaxed);
         m.ops.inc();
         for attempt in 1..=attempts {
@@ -127,7 +176,13 @@ impl RetryPolicy {
                     stats.retries.fetch_add(1, Ordering::Relaxed);
                     m.retries.inc();
                     retried = true;
-                    std::thread::sleep(self.delay_for(attempt));
+                    let sleep = if self.jitter {
+                        prev_sleep = self.jittered_delay(prev_sleep, &mut rng);
+                        prev_sleep
+                    } else {
+                        self.delay_for(attempt)
+                    };
+                    std::thread::sleep(sleep);
                 }
                 Err(e) => {
                     stats.giveups.fetch_add(1, Ordering::Relaxed);
@@ -274,12 +329,62 @@ mod tests {
             max_attempts: 8,
             base_delay: Duration::from_micros(100),
             max_delay: Duration::from_micros(500),
+            jitter: false,
         };
         assert_eq!(p.delay_for(1), Duration::from_micros(100));
         assert_eq!(p.delay_for(2), Duration::from_micros(200));
         assert_eq!(p.delay_for(3), Duration::from_micros(400));
         assert_eq!(p.delay_for(4), Duration::from_micros(500)); // capped
         assert_eq!(p.delay_for(30), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn jittered_delay_stays_within_bounds() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_micros(900),
+            jitter: true,
+        };
+        let mut rng = 42u64;
+        let mut prev = p.base_delay;
+        for _ in 0..10_000 {
+            let d = p.jittered_delay(prev, &mut rng);
+            // The decorrelated-jitter bound: never below base (unless
+            // capped), never above the cap, never above 3x the previous
+            // sleep.
+            assert!(d >= p.base_delay.min(p.max_delay), "below base: {d:?}");
+            assert!(d <= p.max_delay, "above cap: {d:?}");
+            assert!(d <= (prev * 3).max(p.base_delay), "above 3x prev: {d:?}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn jittered_delay_actually_spreads() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(10),
+            jitter: true,
+        };
+        let mut rng = 7u64;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut prev = p.base_delay * 8;
+        for _ in 0..64 {
+            seen.insert(p.jittered_delay(prev, &mut rng));
+            prev = p.base_delay * 8; // hold the range fixed
+        }
+        assert!(seen.len() > 32, "draws collapsed: {} distinct", seen.len());
+    }
+
+    #[test]
+    fn zero_base_policy_never_sleeps_negative_span() {
+        // RetryPolicy::none() has all-zero durations; the jitter math
+        // must not underflow.
+        let p = RetryPolicy::none();
+        let mut rng = 1u64;
+        assert_eq!(p.jittered_delay(Duration::ZERO, &mut rng), Duration::ZERO);
     }
 
     #[test]

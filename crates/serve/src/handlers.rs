@@ -18,6 +18,8 @@
 //! | `/viz/recommend` | GET | ranked chart recommendations |
 //! | `/viz/chart` | GET | budgeted LDVM pipeline → SVG |
 //! | `/viz/hist` | GET | budgeted histogram, bins streamed |
+//! | `/shard/scan` | GET | worker-mode pattern scan, N-Triples streamed |
+//! | `/shard/health` | GET | worker-mode shard placement + size |
 //! | `/admin/shutdown` | POST | graceful stop |
 //!
 //! Degraded (budget-tripped) answers are **not** errors: `/sparql` and
@@ -78,6 +80,8 @@ fn route(state: &AppState, req: &Request, out: &mut TcpStream) {
         ("GET", "/viz/recommend") => viz_recommend(state, req, out),
         ("GET", "/viz/chart") => viz_chart(state, req, out),
         ("GET", "/viz/hist") => viz_hist(state, req, out),
+        ("GET", "/shard/scan") => shard_scan(state, req, out),
+        ("GET", "/shard/health") => shard_health(state, out),
         ("POST", "/admin/shutdown") => admin_shutdown(state, out),
         _ => {
             state.counters.inc_not_found();
@@ -171,6 +175,41 @@ fn metrics(out: &mut TcpStream) {
     );
 }
 
+/// The `/stats` fragment describing this process's place in a shard
+/// topology: worker placement, or per-shard fleet health (breaker
+/// state, open/shed counts, observed p95) in coordinator mode.
+fn topology_json(state: &AppState) -> String {
+    if let Some(coord) = &state.coordinator {
+        let shards = coord
+            .health()
+            .iter()
+            .map(|h| {
+                format!(
+                    concat!(
+                        "{{\"index\":{},\"addr\":{},\"breaker\":{},",
+                        "\"consecutive_failures\":{},\"opens\":{},\"sheds\":{},",
+                        "\"p95_ms\":{},\"samples\":{}}}"
+                    ),
+                    h.index,
+                    js(&h.addr),
+                    js(h.breaker.state.name()),
+                    h.breaker.consecutive_failures,
+                    h.breaker.opens,
+                    h.breaker.sheds,
+                    h.p95_ms.map_or("null".to_string(), json_f64),
+                    h.samples
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        return format!("\"shards\":[{shards}],");
+    }
+    match state.cfg.shard {
+        Some((k, n)) => format!("\"shard\":{{\"index\":{k},\"of\":{n}}},"),
+        None => String::new(),
+    }
+}
+
 fn stats(state: &AppState, out: &mut TcpStream) {
     let c = &state.counters;
     let s = state.sessions.stats();
@@ -185,7 +224,7 @@ fn stats(state: &AppState, out: &mut TcpStream) {
             "\"store\":{{\"triples\":{},\"subjects\":{},\"predicates\":{}}},",
             "\"exec\":{{\"map_calls\":{},\"map_items\":{},\"fold_calls\":{}}},",
             "\"config\":{{\"workers\":{},\"queue_depth\":{},\"deadline_ms\":{},\"row_cap\":{}}},",
-            "\"uptime_ms\":{}}}"
+            "{}\"uptime_ms\":{}}}"
         ),
         load(&c.accepted),
         load(&c.admitted),
@@ -210,6 +249,7 @@ fn stats(state: &AppState, out: &mut TcpStream) {
         state.cfg.queue_depth,
         state.cfg.deadline.as_millis(),
         state.cfg.row_cap,
+        topology_json(state),
         state.started.elapsed().as_millis()
     );
     let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
@@ -256,17 +296,38 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
     };
     let budget = request_budget(state, req);
     let trace = QueryTrace::new();
-    let budgeted = match state
-        .explorer
-        .sparql_traced_with(&text, &budget, &trace, opts)
-    {
-        Ok(b) => b,
-        Err(e) => {
-            bad_request(state, out, &e.to_string());
-            return;
+    // Coordinator mode scatter-gathers across the shard fleet; both
+    // paths converge on (result, degraded) and stream identically, the
+    // coordinator adding a per-shard report trailer.
+    let (result, degraded, shard_wire) = if let Some(coord) = &state.coordinator {
+        match coord.query_traced_with(&text, &budget, &trace, opts) {
+            Ok(c) => {
+                let wire = c
+                    .shards
+                    .iter()
+                    .map(|r| r.wire())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                (c.result, c.degraded, Some(wire))
+            }
+            Err(e) => {
+                bad_request(state, out, &e.to_string());
+                return;
+            }
+        }
+    } else {
+        match state
+            .explorer
+            .sparql_traced_with(&text, &budget, &trace, opts)
+        {
+            Ok(b) => (b.result, b.degraded, None),
+            Err(e) => {
+                bad_request(state, out, &e.to_string());
+                return;
+            }
         }
     };
-    if budgeted.degraded.is_some() {
+    if degraded.is_some() {
         state.counters.inc_degraded();
     }
     // The engine stages are done, so their timings can ride a response
@@ -283,11 +344,14 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
     if !plan_header.is_empty() {
         headers.push(("X-Wodex-Plan", plan_header.as_str()));
     }
-    let trailers = [
+    let mut trailers = vec![
         "X-Wodex-Degraded",
         "X-Wodex-Rows",
         "X-Wodex-Trace-Serialize",
     ];
+    if shard_wire.is_some() {
+        trailers.push("X-Wodex-Shards");
+    }
     let Ok(mut cw) = ChunkedWriter::start(
         &mut *out,
         200,
@@ -300,7 +364,7 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
     };
     let serialize_span = trace.span(Stage::Serialize);
     let rows_sent: usize;
-    let write_ok = match &budgeted.result {
+    let write_ok = match &result {
         QueryResult::Solutions(t) => {
             rows_sent = t.len();
             stream_table(&mut cw, t, state.cfg.stream_rows)
@@ -313,14 +377,18 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
     drop(serialize_span);
     trace.add_items(Stage::Serialize, rows_sent as u64);
     if write_ok.is_ok() {
-        let _ = cw.finish(&[
-            ("X-Wodex-Degraded", degraded_trailer(&budgeted.degraded)),
+        let mut finals = vec![
+            ("X-Wodex-Degraded", degraded_trailer(&degraded)),
             ("X-Wodex-Rows", rows_sent.to_string()),
             (
                 "X-Wodex-Trace-Serialize",
                 format!("{}us", trace.stage_nanos(Stage::Serialize) / 1_000),
             ),
-        ]);
+        ];
+        if let Some(wire) = shard_wire {
+            finals.push(("X-Wodex-Shards", wire));
+        }
+        let _ = cw.finish(&finals);
     }
 }
 
@@ -698,6 +766,109 @@ fn viz_hist(state: &AppState, req: &Request, out: &mut TcpStream) {
             ("X-Wodex-Rows", values.len().to_string()),
         ]);
     }
+}
+
+/// `GET /shard/scan` — worker-mode single-pattern scan. `s`, `p`, `o`
+/// are optional percent-encoded N-Triples terms (absent = wildcard);
+/// the matches stream back as N-Triples lines under the request budget
+/// (`deadline_ms`, `row_cap`), with the degradation verdict and row
+/// count in trailers — the same sound-partial contract as `/sparql`,
+/// one layer down. The coordinator's [`wodex_shard::ShardClient`] is
+/// the intended caller, but the endpoint is plain HTTP.
+fn shard_scan(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let term = |name: &str| -> Result<Option<Term>, String> {
+        match req.param(name) {
+            None | Some("") => Ok(None),
+            Some(v) => wodex_rdf::ntriples::parse_term(v)
+                .map(Some)
+                .map_err(|e| format!("bad {name} term: {e}")),
+        }
+    };
+    let (s, p, o) = match (term("s"), term("p"), term("o")) {
+        (Ok(s), Ok(p), Ok(o)) => (s, p, o),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            bad_request(state, out, &e);
+            return;
+        }
+    };
+    let budget = request_budget(state, req);
+    // Chaos-test fault injection: a stalled shard is a slow scan.
+    if !state.cfg.scan_delay.is_zero() {
+        std::thread::sleep(state.cfg.scan_delay);
+    }
+    // A constant missing from this shard's dictionary matches nothing —
+    // an empty answer with full coverage, not an error.
+    let matches = state
+        .explorer
+        .store()
+        .encode_pattern(s.as_ref(), p.as_ref(), o.as_ref())
+        .map(|pat| state.explorer.store().match_decoded(pat))
+        .unwrap_or_default();
+    let trailers = ["X-Wodex-Degraded", "X-Wodex-Rows"];
+    let Ok(mut cw) = ChunkedWriter::start(
+        &mut *out,
+        200,
+        "OK",
+        "application/n-triples",
+        &[],
+        &trailers,
+    ) else {
+        return;
+    };
+    let mut sent = 0usize;
+    let mut tripped = None;
+    let mut buf = String::new();
+    let mut ok = true;
+    for group in matches.chunks(STREAM_GROUP) {
+        if tripped.is_some() {
+            break;
+        }
+        buf.clear();
+        for t in group {
+            if let Some(reason) = budget.exceeded() {
+                tripped = Some(reason);
+                break;
+            }
+            budget.charge_rows(1);
+            buf.push_str(&format!("{t}\n"));
+            sent += 1;
+        }
+        if !buf.is_empty() && cw.chunk(buf.as_bytes()).is_err() {
+            ok = false;
+            break;
+        }
+    }
+    let degraded = tripped.map(|reason| Degraded {
+        reason,
+        coverage: if matches.is_empty() {
+            1.0
+        } else {
+            sent as f64 / matches.len() as f64
+        },
+    });
+    if degraded.is_some() {
+        state.counters.inc_degraded();
+    }
+    if ok {
+        let _ = cw.finish(&[
+            ("X-Wodex-Degraded", degraded_trailer(&degraded)),
+            ("X-Wodex-Rows", sent.to_string()),
+        ]);
+    }
+}
+
+/// `GET /shard/health` — worker-mode placement and size, for fleet
+/// bring-up checks (`"shard":null` when not running as a shard).
+fn shard_health(state: &AppState, out: &mut TcpStream) {
+    let placement = match state.cfg.shard {
+        Some((k, n)) => format!("{{\"index\":{k},\"of\":{n}}}"),
+        None => "null".to_string(),
+    };
+    let body = format!(
+        "{{\"shard\":{placement},\"triples\":{}}}",
+        state.explorer.store().len()
+    );
+    let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
 }
 
 /// `POST /admin/shutdown` — acknowledges, then flags the accept loop and

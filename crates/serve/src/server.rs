@@ -45,6 +45,7 @@ pub(crate) struct ServeMetrics {
     pub(crate) served: Arc<Counter>,
     pub(crate) shed_queue_full: Arc<Counter>,
     pub(crate) shed_queue_wait: Arc<Counter>,
+    pub(crate) shed_shutdown: Arc<Counter>,
     pub(crate) bad_requests: Arc<Counter>,
     pub(crate) not_found: Arc<Counter>,
     pub(crate) degraded: Arc<Counter>,
@@ -78,6 +79,11 @@ pub(crate) fn serve_metrics() -> &'static ServeMetrics {
                 "wodex_serve_shed_total",
                 "Connections shed with 503 by admission gate",
                 &[("gate", "queue_wait")],
+            ),
+            shed_shutdown: r.counter_with(
+                "wodex_serve_shed_total",
+                "Connections shed with 503 by admission gate",
+                &[("gate", "shutdown")],
             ),
             bad_requests: r.counter("wodex_serve_bad_requests_total", "400 responses"),
             not_found: r.counter("wodex_serve_not_found_total", "404 responses"),
@@ -124,6 +130,13 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Solution rows per streamed chunk on `/sparql`.
     pub stream_rows: usize,
+    /// Worker-mode shard identity `(index, of)` — reported by
+    /// `/shard/health` and `/stats` so operators (and the coordinator)
+    /// can verify which partition a worker holds.
+    pub shard: Option<(u32, u32)>,
+    /// Injected latency before every `/shard/scan` body (chaos tests
+    /// stall a shard with this; zero in production).
+    pub scan_delay: Duration,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +153,8 @@ impl Default for ServeConfig {
             session_ttl: Duration::from_secs(600),
             read_timeout: Duration::from_secs(10),
             stream_rows: 64,
+            shard: None,
+            scan_delay: Duration::ZERO,
         }
     }
 }
@@ -169,6 +184,8 @@ pub struct Counters {
     pub shed_queue_full: AtomicU64,
     /// Connections shed with 503 at the queue-deadline gate.
     pub shed_queue_wait: AtomicU64,
+    /// Backlog connections shed with 503 during shutdown drain.
+    pub shed_shutdown: AtomicU64,
     /// 400 responses.
     pub bad_requests: AtomicU64,
     /// 404 responses.
@@ -178,9 +195,11 @@ pub struct Counters {
 }
 
 impl Counters {
-    /// Total 503 responses across both shedding gates.
+    /// Total 503 responses across all shedding gates.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full.load(Ordering::Relaxed) + self.shed_queue_wait.load(Ordering::Relaxed)
+        self.shed_queue_full.load(Ordering::Relaxed)
+            + self.shed_queue_wait.load(Ordering::Relaxed)
+            + self.shed_shutdown.load(Ordering::Relaxed)
     }
 
     // Each increment bumps the instance field (authoritative for /stats
@@ -210,6 +229,11 @@ impl Counters {
     pub(crate) fn inc_shed_queue_wait(&self) {
         self.shed_queue_wait.fetch_add(1, Ordering::Relaxed);
         serve_metrics().shed_queue_wait.inc();
+    }
+
+    pub(crate) fn inc_shed_shutdown(&self) {
+        self.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().shed_shutdown.inc();
     }
 
     pub(crate) fn inc_bad_request(&self) {
@@ -260,6 +284,9 @@ pub struct AppState {
     pub local_addr: SocketAddr,
     /// Server start instant (uptime reporting).
     pub started: Instant,
+    /// Coordinator mode: `/sparql` scatter-gathers across this fleet
+    /// instead of evaluating against the local explorer.
+    pub coordinator: Option<Arc<wodex_shard::Coordinator>>,
 }
 
 /// A bound, not-yet-running server.
@@ -277,6 +304,18 @@ struct Conn {
 impl Server {
     /// Binds the listener and prepares shared state over `explorer`.
     pub fn bind(explorer: Explorer, cfg: ServeConfig) -> std::io::Result<Server> {
+        Server::bind_with_coordinator(explorer, cfg, None)
+    }
+
+    /// [`Server::bind`] in coordinator mode: `/sparql` requests
+    /// scatter-gather across the coordinator's shard fleet; every other
+    /// endpoint (exploration, viz) still serves the local `explorer`
+    /// (typically empty on a pure front-end).
+    pub fn bind_with_coordinator(
+        explorer: Explorer,
+        cfg: ServeConfig,
+        coordinator: Option<Arc<wodex_shard::Coordinator>>,
+    ) -> std::io::Result<Server> {
         // Touch the serve and exec metric families up front so a
         // `/metrics` scrape of a freshly bound server already exposes
         // them at zero instead of omitting the series.
@@ -305,6 +344,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             local_addr,
             started: Instant::now(),
+            coordinator,
         });
         Ok(Server { listener, state })
     }
@@ -378,6 +418,20 @@ impl Server {
                     }
                     Err(TrySendError::Disconnected(_)) => break,
                 }
+            }
+            // Shutdown drain: connections already in the kernel's accept
+            // backlog would get a TCP RST when the listener drops with
+            // them unread — the client sees a connection reset instead
+            // of an answer. Accept whatever is pending (non-blocking)
+            // and shed each one cleanly with 503 + Retry-After, so
+            // killing a shard mid-workload never turns a clean shed
+            // into a reset.
+            let _ = self.listener.set_nonblocking(true);
+            // Stops on WouldBlock: the backlog is empty.
+            while let Ok((pending, _)) = self.listener.accept() {
+                state.counters.inc_accepted();
+                state.counters.inc_shed_shutdown();
+                shed(&state.cfg, pending);
             }
             drop(tx); // Workers drain the queue, then exit.
         });

@@ -1,0 +1,742 @@
+//! The fault-tolerant shard client.
+//!
+//! One [`ShardClient`] wraps one worker endpoint and owns every
+//! robustness mechanism the coordinator relies on, layered in the order
+//! a call traverses them:
+//!
+//! 1. **Circuit breaker** ([`wodex_resilience::CircuitBreaker`]) — a
+//!    dead shard is shed locally after `failure_threshold` consecutive
+//!    failures, so it costs roughly one timeout per cooldown instead of
+//!    one per query.
+//! 2. **Retry with decorrelated jitter**
+//!    ([`wodex_resilience::RetryPolicy`]) — connect refusals, socket
+//!    timeouts and 5xx are retried inside the shard's deadline slice;
+//!    jitter keeps concurrent coordinators from re-killing a recovering
+//!    shard in lockstep.
+//! 3. **Deadline slicing** — every attempt's socket timeouts are capped
+//!    by what remains of the slice carved from the request
+//!    [`Budget`](wodex_resilience::Budget); an expired slice fails fast
+//!    instead of blocking a worker.
+//! 4. **Tail-latency hedging** — once enough latency samples exist, a
+//!    request that outlives the shard's observed p95 is duplicated and
+//!    the first response wins, absorbing stragglers (the classic
+//!    tail-at-scale move).
+//!
+//! Every call records exactly one outcome — `served`, `shed`, or
+//! `failed` — in the per-shard metric series, and the entry point bumps
+//! `fanouts`, so Σ outcomes == fanouts holds *by construction*; the
+//! observability suite pins it under concurrency.
+
+use crate::error::ShardError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use wodex_obs::{Counter, Gauge};
+use wodex_rdf::{ntriples, Triple};
+use wodex_resilience::{
+    BreakerConfig, BreakerSnapshot, CircuitBreaker, DegradeReason, Degraded, RetryPolicy,
+    RetryStats,
+};
+use wodex_sparql::ScanPattern;
+
+/// Latency samples kept per shard for the hedging estimate.
+const LATENCY_WINDOW: usize = 64;
+/// Samples required before hedging arms (an estimate from fewer would
+/// hedge on noise).
+const HEDGE_MIN_SAMPLES: usize = 8;
+
+/// Process-wide hedge clock floor: never hedge before this much wait,
+/// no matter how fast the shard has been — sub-millisecond p95s would
+/// otherwise duplicate nearly every call.
+const HEDGE_FLOOR: Duration = Duration::from_millis(2);
+
+/// Tuning for one shard client.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardClientConfig {
+    /// Retry schedule for transient faults (jittered by default).
+    pub retry: RetryPolicy,
+    /// Breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// TCP connect timeout (also the attempt timeout when the request
+    /// has no deadline).
+    pub connect_timeout: Duration,
+    /// Hedge a straggler after its shard's p95, or never if `false`.
+    pub hedging: bool,
+}
+
+impl Default for ShardClientConfig {
+    fn default() -> ShardClientConfig {
+        ShardClientConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(50),
+                jitter: true,
+            },
+            breaker: BreakerConfig::default(),
+            connect_timeout: Duration::from_millis(500),
+            hedging: true,
+        }
+    }
+}
+
+/// Global hedge counter (process-wide; per-shard hedges also labeled).
+fn hedges_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        wodex_obs::global().counter(
+            "wodex_shard_hedges_total",
+            "Straggler scans duplicated past the shard's p95",
+        )
+    })
+}
+
+/// Per-shard registry series. `fanouts` is bumped on every [`ShardClient::scan`]
+/// entry; exactly one of `served`/`shed`/`failed` on exit.
+struct ClientMetrics {
+    fanouts: Arc<Counter>,
+    served: Arc<Counter>,
+    shed: Arc<Counter>,
+    failed: Arc<Counter>,
+    breaker_state: Arc<Gauge>,
+}
+
+impl ClientMetrics {
+    fn new(shard: u32) -> ClientMetrics {
+        let r = wodex_obs::global();
+        let s = shard.to_string();
+        let outcome = |o: &str| {
+            r.counter_with(
+                "wodex_shard_scans_total",
+                "Shard scan calls by outcome (served, shed, failed)",
+                &[("shard", s.as_str()), ("outcome", o)],
+            )
+        };
+        ClientMetrics {
+            fanouts: r.counter_with(
+                "wodex_shard_fanouts_total",
+                "Scan calls dispatched to this shard by the coordinator",
+                &[("shard", s.as_str())],
+            ),
+            served: outcome("served"),
+            shed: outcome("shed"),
+            failed: outcome("failed"),
+            breaker_state: r.gauge_with(
+                "wodex_shard_breaker_state",
+                "Breaker state (0 closed, 1 open, 2 half-open)",
+                &[("shard", s.as_str())],
+            ),
+        }
+    }
+}
+
+/// One shard's full pattern-match contribution to a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// Matching triples, parsed from the shard's N-Triples stream.
+    pub triples: Vec<Triple>,
+    /// The shard's own degradation verdict (its budget slice expired
+    /// mid-scan), from the `X-Wodex-Degraded` trailer.
+    pub degraded: Option<Degraded>,
+    /// Whether the winning response came from a hedged duplicate.
+    pub hedged: bool,
+}
+
+/// Operational health summary of one shard (for `/stats` and explain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealth {
+    /// Shard index in the shard map.
+    pub index: u32,
+    /// Worker address.
+    pub addr: String,
+    /// Breaker snapshot.
+    pub breaker: BreakerSnapshot,
+    /// Observed p95 scan latency in milliseconds (absent until enough
+    /// samples accumulate).
+    pub p95_ms: Option<f64>,
+    /// Latency samples in the window.
+    pub samples: usize,
+}
+
+/// A fault-tolerant client for one worker shard.
+pub struct ShardClient {
+    index: u32,
+    addr: String,
+    cfg: ShardClientConfig,
+    breaker: CircuitBreaker,
+    retry_stats: RetryStats,
+    /// Recent successful-scan latencies (nanos), newest last.
+    latencies: Mutex<Vec<u64>>,
+    /// Lifetime hedged duplicates launched.
+    hedges: AtomicU64,
+    metrics: ClientMetrics,
+}
+
+impl ShardClient {
+    /// A client for shard `index` served at `addr` (`host:port`).
+    pub fn new(index: u32, addr: impl Into<String>, cfg: ShardClientConfig) -> ShardClient {
+        ShardClient {
+            index,
+            addr: addr.into(),
+            breaker: CircuitBreaker::new(cfg.breaker),
+            cfg,
+            retry_stats: RetryStats::new(),
+            latencies: Mutex::new(Vec::with_capacity(LATENCY_WINDOW)),
+            hedges: AtomicU64::new(0),
+            metrics: ClientMetrics::new(index),
+        }
+    }
+
+    /// Shard index in the map.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Worker address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Operational snapshot for `/stats` and `wodex explain`.
+    pub fn health(&self) -> ShardHealth {
+        let samples = self.lock_latencies();
+        ShardHealth {
+            index: self.index,
+            addr: self.addr.clone(),
+            breaker: self.breaker.snapshot(),
+            p95_ms: percentile(&samples, 0.95).map(|ns| ns as f64 / 1e6),
+            samples: samples.len(),
+        }
+    }
+
+    /// Lifetime hedged duplicates this client launched.
+    pub fn hedges(&self) -> u64 {
+        self.hedges.load(Ordering::Relaxed)
+    }
+
+    fn lock_latencies(&self) -> Vec<u64> {
+        self.latencies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn record_latency(&self, d: Duration) {
+        let mut g = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        if g.len() == LATENCY_WINDOW {
+            g.remove(0);
+        }
+        g.push(d.as_nanos() as u64);
+    }
+
+    /// The delay after which a scan is hedged, once armed.
+    fn hedge_delay(&self) -> Option<Duration> {
+        if !self.cfg.hedging {
+            return None;
+        }
+        let samples = self.lock_latencies();
+        if samples.len() < HEDGE_MIN_SAMPLES {
+            return None;
+        }
+        percentile(&samples, 0.95).map(|ns| Duration::from_nanos(ns).max(HEDGE_FLOOR))
+    }
+
+    fn publish_breaker(&self) {
+        self.metrics.breaker_state.set(match self.breaker.state() {
+            wodex_resilience::BreakerState::Closed => 0,
+            wodex_resilience::BreakerState::Open => 1,
+            wodex_resilience::BreakerState::HalfOpen => 2,
+        });
+    }
+
+    /// Fetches this shard's matches for one pattern, within `deadline`.
+    ///
+    /// `deadline` is the slice of the request budget this shard may
+    /// spend (`None` = no deadline). The call records exactly one
+    /// outcome in the per-shard series and never panics: every failure
+    /// mode is a typed [`ShardError`].
+    pub fn scan(
+        &self,
+        pattern: &ScanPattern,
+        deadline: Option<Duration>,
+    ) -> Result<ScanResult, ShardError> {
+        self.metrics.fanouts.inc();
+        let outcome = self.scan_inner(pattern, deadline);
+        match &outcome {
+            Ok(_) => self.metrics.served.inc(),
+            Err(ShardError::BreakerOpen) => self.metrics.shed.inc(),
+            Err(_) => self.metrics.failed.inc(),
+        }
+        self.publish_breaker();
+        outcome
+    }
+
+    fn scan_inner(
+        &self,
+        pattern: &ScanPattern,
+        deadline: Option<Duration>,
+    ) -> Result<ScanResult, ShardError> {
+        let started = Instant::now();
+        let expired = |at: Instant| match deadline {
+            Some(d) => at.duration_since(started) >= d,
+            None => false,
+        };
+        if expired(Instant::now()) {
+            return Err(ShardError::DeadlineExpired);
+        }
+        match self.breaker.admit() {
+            wodex_resilience::Admission::Shed => return Err(ShardError::BreakerOpen),
+            wodex_resilience::Admission::Allow | wodex_resilience::Admission::Probe => {}
+        }
+        let target = scan_target(pattern, deadline);
+        let result = self.cfg.retry.run(
+            &self.retry_stats,
+            ShardError::is_transient,
+            |_attempt| {
+                let now = Instant::now();
+                if expired(now) {
+                    return Err(ShardError::DeadlineExpired);
+                }
+                // Each attempt may spend what remains of the slice (or
+                // the connect timeout when unbounded).
+                let attempt_timeout = match deadline {
+                    Some(d) => d.saturating_sub(now.duration_since(started)),
+                    None => self.cfg.connect_timeout,
+                };
+                let at = Instant::now();
+                let resp = self.fetch_hedged(&target, attempt_timeout)?;
+                if resp.status != 200 {
+                    return Err(ShardError::Status(resp.status));
+                }
+                let parsed = parse_scan_response(&resp)?;
+                self.record_latency(at.elapsed());
+                Ok(parsed)
+            },
+            |attempts, _| ShardError::RetriesExhausted(attempts),
+        );
+        match result {
+            Ok(r) => {
+                self.breaker.record_success();
+                Ok(r)
+            }
+            Err(e) => {
+                self.breaker.record_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// One attempt, hedged: if the shard's p95 elapses with no response,
+    /// a duplicate is launched and the first response wins.
+    fn fetch_hedged(&self, target: &str, timeout: Duration) -> Result<HttpResponse, ShardError> {
+        let Some(hedge_after) = self.hedge_delay().filter(|d| *d < timeout) else {
+            return http_get(&self.addr, target, timeout);
+        };
+        let (tx, rx) = mpsc::channel();
+        let launch = |tx: mpsc::Sender<Result<HttpResponse, ShardError>>, budget: Duration| {
+            let addr = self.addr.clone();
+            let target = target.to_string();
+            std::thread::spawn(move || {
+                let _ = tx.send(http_get(&addr, &target, budget));
+            });
+        };
+        let started = Instant::now();
+        launch(tx.clone(), timeout);
+        match rx.recv_timeout(hedge_after) {
+            Ok(first) => first,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Straggler: duplicate the request; first answer wins.
+                self.hedges.fetch_add(1, Ordering::Relaxed);
+                hedges_total().inc();
+                let remaining = timeout.saturating_sub(started.elapsed());
+                launch(tx, remaining);
+                let mut last = Err(ShardError::Timeout);
+                // Take the first success; else the last failure to land.
+                for _ in 0..2 {
+                    let left = timeout.saturating_sub(started.elapsed());
+                    match rx.recv_timeout(left.max(Duration::from_millis(1))) {
+                        Ok(Ok(r)) => return Ok(r),
+                        Ok(Err(e)) => last = Err(e),
+                        Err(_) => return last,
+                    }
+                }
+                last
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ShardError::Timeout),
+        }
+    }
+}
+
+/// `p`-th percentile (nearest-rank) of unordered latency samples.
+fn percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Builds the `/shard/scan` request target for a pattern + deadline.
+fn scan_target(pattern: &ScanPattern, deadline: Option<Duration>) -> String {
+    let mut target = String::from("/shard/scan");
+    let mut sep = '?';
+    let push = |target: &mut String, sep: &mut char, k: &str, v: &str| {
+        target.push(*sep);
+        *sep = '&';
+        target.push_str(k);
+        target.push('=');
+        target.push_str(&percent_encode(v));
+    };
+    if let Some(t) = &pattern.s {
+        push(&mut target, &mut sep, "s", &t.to_string());
+    }
+    if let Some(t) = &pattern.p {
+        push(&mut target, &mut sep, "p", &t.to_string());
+    }
+    if let Some(t) = &pattern.o {
+        push(&mut target, &mut sep, "o", &t.to_string());
+    }
+    if let Some(d) = deadline {
+        push(
+            &mut target,
+            &mut sep,
+            "deadline_ms",
+            &d.as_millis().max(1).to_string(),
+        );
+    }
+    target
+}
+
+/// Percent-encodes everything outside the URL-unreserved set.
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes the worker's chunked N-Triples stream + verdict trailers.
+fn parse_scan_response(resp: &HttpResponse) -> Result<ScanResult, ShardError> {
+    let body = std::str::from_utf8(&resp.body)
+        .map_err(|_| ShardError::Protocol("scan body is not UTF-8".into()))?;
+    let mut triples = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        match ntriples::parse_line(line, i + 1) {
+            Ok(Some(t)) => triples.push(t),
+            Ok(None) => {}
+            Err(e) => return Err(ShardError::Protocol(format!("bad triple line: {e}"))),
+        }
+    }
+    let degraded = match resp.trailer_or_header("x-wodex-degraded") {
+        None => None,
+        Some(v) => parse_degraded(v)?,
+    };
+    Ok(ScanResult {
+        triples,
+        degraded,
+        hedged: false,
+    })
+}
+
+/// Parses the `X-Wodex-Degraded` wire form: `none`, or
+/// `<reason>;coverage=<f>`.
+pub fn parse_degraded(v: &str) -> Result<Option<Degraded>, ShardError> {
+    let bad = || ShardError::Protocol(format!("bad degraded trailer {v:?}"));
+    if v == "none" {
+        return Ok(None);
+    }
+    let (reason, rest) = v.split_once(";coverage=").ok_or_else(bad)?;
+    let reason = match reason {
+        "cancelled" => DegradeReason::Cancelled,
+        "deadline exceeded" => DegradeReason::DeadlineExceeded,
+        "row cap exceeded" => DegradeReason::RowCapExceeded,
+        "memory cap exceeded" => DegradeReason::MemoryCapExceeded,
+        _ => return Err(bad()),
+    };
+    let coverage: f64 = rest.parse().map_err(|_| bad())?;
+    Ok(Some(Degraded { reason, coverage }))
+}
+
+/// A parsed HTTP response (headers + de-chunked body + trailers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct HttpResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    pub trailers: Vec<(String, String)>,
+}
+
+impl HttpResponse {
+    /// A trailer (preferred) or header value, case-insensitive name.
+    pub fn trailer_or_header(&self, name: &str) -> Option<&str> {
+        self.trailers
+            .iter()
+            .chain(self.headers.iter())
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn io_err(e: std::io::Error) -> ShardError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ShardError::Timeout,
+        _ => ShardError::Io(e.to_string()),
+    }
+}
+
+/// One `GET` over a fresh connection, bounded by `timeout` end to end
+/// (connect, write, and every read share the same wall-clock budget).
+pub(crate) fn http_get(
+    addr: &str,
+    target: &str,
+    timeout: Duration,
+) -> Result<HttpResponse, ShardError> {
+    let started = Instant::now();
+    let timeout = timeout.max(Duration::from_millis(1));
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| ShardError::Connect(e.to_string()))?
+        .next()
+        .ok_or_else(|| ShardError::Connect(format!("no address for {addr}")))?;
+    let stream = TcpStream::connect_timeout(&sock, timeout).map_err(|e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ShardError::Timeout
+        } else {
+            ShardError::Connect(e.to_string())
+        }
+    })?;
+    let remaining = || {
+        Some(
+            timeout
+                .saturating_sub(started.elapsed())
+                .max(Duration::from_millis(1)),
+        )
+    };
+    stream.set_write_timeout(remaining()).map_err(io_err)?;
+    stream.set_read_timeout(remaining()).map_err(io_err)?;
+    let mut writer = stream.try_clone().map_err(io_err)?;
+    write!(
+        writer,
+        "GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Reads one status line, headers, and the (possibly chunked) body.
+fn read_response(reader: &mut impl BufRead) -> Result<HttpResponse, ShardError> {
+    let mut line = String::new();
+    let proto = |m: &str| ShardError::Protocol(m.to_string());
+    reader.read_line(&mut line).map_err(io_err)?;
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(proto("bad status line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(proto("unsupported HTTP version"));
+    }
+    let status: u16 = code.parse().map_err(|_| proto("bad status code"))?;
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(io_err)? == 0 {
+            return Err(proto("eof inside headers"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((k, v)) = trimmed.split_once(':') else {
+            return Err(proto("bad header line"));
+        };
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut body = Vec::new();
+    let mut trailers = Vec::new();
+    if header("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).map_err(io_err)? == 0 {
+                return Err(proto("eof inside chunked body"));
+            }
+            let size =
+                usize::from_str_radix(line.trim(), 16).map_err(|_| proto("bad chunk size line"))?;
+            if size == 0 {
+                break;
+            }
+            let at = body.len();
+            body.resize(at + size, 0);
+            reader.read_exact(&mut body[at..]).map_err(io_err)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf).map_err(io_err)?;
+        }
+        // Trailer section: header lines until the blank terminator.
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).map_err(io_err)? == 0 {
+                break; // Tolerate a peer that omits the final CRLF.
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            let Some((k, v)) = trimmed.split_once(':') else {
+                return Err(proto("bad trailer line"));
+            };
+            trailers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    } else if let Some(len) = header("content-length") {
+        let len: usize = len.parse().map_err(|_| proto("bad content-length"))?;
+        body.resize(len, 0);
+        reader.read_exact(&mut body).map_err(io_err)?;
+    } else {
+        reader.read_to_end(&mut body).map_err(io_err)?;
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+        trailers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::Term;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.95), Some(95));
+        assert_eq!(percentile(&v, 0.5), Some(50));
+        assert_eq!(percentile(&[7], 0.95), Some(7));
+        assert_eq!(percentile(&[], 0.95), None);
+    }
+
+    #[test]
+    fn scan_target_encodes_terms() {
+        let pat = ScanPattern {
+            s: Some(Term::iri("http://e.org/a b")),
+            p: None,
+            o: None,
+        };
+        let t = scan_target(&pat, Some(Duration::from_millis(250)));
+        assert_eq!(
+            t,
+            "/shard/scan?s=%3Chttp%3A%2F%2Fe.org%2Fa%20b%3E&deadline_ms=250"
+        );
+    }
+
+    #[test]
+    fn degraded_wire_form_roundtrips() {
+        assert_eq!(parse_degraded("none").unwrap(), None);
+        let d = parse_degraded("deadline exceeded;coverage=0.421")
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.reason, DegradeReason::DeadlineExceeded);
+        assert!((d.coverage - 0.421).abs() < 1e-9);
+        assert!(parse_degraded("garbage").is_err());
+        assert!(parse_degraded("deadline exceeded;coverage=x").is_err());
+    }
+
+    #[test]
+    fn chunked_response_with_trailers_parses() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nTrailer: X-Wodex-Degraded\r\n\r\n\
+            1a\r\n<urn:s> <urn:p> <urn:o> .\n\r\n0\r\nX-Wodex-Degraded: none\r\n\r\n";
+        let r = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.trailer_or_header("x-wodex-degraded"), Some("none"));
+        let scan = parse_scan_response(&r).unwrap();
+        assert_eq!(scan.triples.len(), 1);
+        assert_eq!(scan.degraded, None);
+    }
+
+    #[test]
+    fn content_length_response_parses() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\n\r\nno";
+        let r = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.body, b"no");
+    }
+
+    #[test]
+    fn connect_refused_is_transient_connect_error() {
+        // Port 1 on localhost is essentially never bound.
+        let e = http_get("127.0.0.1:1", "/shard/health", Duration::from_millis(200)).unwrap_err();
+        assert!(e.is_transient(), "{e:?}");
+    }
+
+    #[test]
+    fn dead_shard_costs_one_breaker_trip_then_sheds() {
+        let client = ShardClient::new(
+            0,
+            "127.0.0.1:1",
+            ShardClientConfig {
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    base_delay: Duration::from_micros(100),
+                    max_delay: Duration::from_micros(500),
+                    jitter: true,
+                },
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_secs(60),
+                },
+                connect_timeout: Duration::from_millis(100),
+                hedging: false,
+            },
+        );
+        let pat = ScanPattern {
+            s: None,
+            p: None,
+            o: None,
+        };
+        // Two failures trip the breaker...
+        assert!(client.scan(&pat, None).is_err());
+        assert!(client.scan(&pat, None).is_err());
+        // ...after which calls shed instantly without the network.
+        let at = Instant::now();
+        assert_eq!(client.scan(&pat, None), Err(ShardError::BreakerOpen));
+        assert!(at.elapsed() < Duration::from_millis(50));
+        let h = client.health();
+        assert_eq!(h.breaker.state, wodex_resilience::BreakerState::Open);
+    }
+
+    #[test]
+    fn expired_slice_fails_fast() {
+        let client = ShardClient::new(1, "127.0.0.1:1", ShardClientConfig::default());
+        let pat = ScanPattern {
+            s: None,
+            p: None,
+            o: None,
+        };
+        assert_eq!(
+            client.scan(&pat, Some(Duration::ZERO)),
+            Err(ShardError::DeadlineExpired)
+        );
+    }
+}

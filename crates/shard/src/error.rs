@@ -1,0 +1,83 @@
+//! The typed failure taxonomy of one remote shard call.
+
+use std::fmt;
+
+/// Why a shard scan did not return a full answer.
+///
+/// The split mirrors [`wodex_resilience::StoreError`]'s stance for the
+/// disk: transient faults (connect refusals, socket timeouts, 5xx) are
+/// retried and may exhaust; everything else aborts immediately. No
+/// variant is ever a panic — a failed shard degrades the answer, it
+/// never takes the coordinator down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// TCP connect (or address resolution) failed.
+    Connect(String),
+    /// The connection died mid-request/response.
+    Io(String),
+    /// A socket read/write timed out.
+    Timeout,
+    /// The per-shard budget slice was exhausted before an answer landed.
+    DeadlineExpired,
+    /// The shard answered with a non-200 status.
+    Status(u16),
+    /// The shard's bytes were not a well-formed scan response.
+    Protocol(String),
+    /// The shard's circuit breaker is open: the call was shed locally
+    /// without touching the network.
+    BreakerOpen,
+    /// A transient fault persisted through every retry attempt.
+    RetriesExhausted(u32),
+}
+
+impl ShardError {
+    /// Worth retrying? Connect refusals, mid-stream I/O errors, socket
+    /// timeouts and server-side 5xx are the flapping-endpoint failure
+    /// modes retries exist for; malformed responses, 4xx, an open
+    /// breaker and an expired deadline are not improved by trying again.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ShardError::Connect(_)
+                | ShardError::Io(_)
+                | ShardError::Timeout
+                | ShardError::Status(500..)
+        )
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Connect(e) => write!(f, "connect failed: {e}"),
+            ShardError::Io(e) => write!(f, "i/o failed: {e}"),
+            ShardError::Timeout => write!(f, "socket timeout"),
+            ShardError::DeadlineExpired => write!(f, "shard deadline slice expired"),
+            ShardError::Status(s) => write!(f, "shard answered HTTP {s}"),
+            ShardError::Protocol(e) => write!(f, "malformed shard response: {e}"),
+            ShardError::BreakerOpen => write!(f, "circuit breaker open"),
+            ShardError::RetriesExhausted(n) => write!(f, "transient fault after {n} attempts"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(ShardError::Connect("refused".into()).is_transient());
+        assert!(ShardError::Io("reset".into()).is_transient());
+        assert!(ShardError::Timeout.is_transient());
+        assert!(ShardError::Status(500).is_transient());
+        assert!(ShardError::Status(503).is_transient());
+        assert!(!ShardError::Status(404).is_transient());
+        assert!(!ShardError::DeadlineExpired.is_transient());
+        assert!(!ShardError::BreakerOpen.is_transient());
+        assert!(!ShardError::Protocol("bad".into()).is_transient());
+        assert!(!ShardError::RetriesExhausted(4).is_transient());
+    }
+}

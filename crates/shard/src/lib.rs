@@ -1,0 +1,35 @@
+//! # wodex-shard — fault-tolerant sharded SPARQL serving
+//!
+//! The survey's Web-of-Big-Linked-Data setting (§2) is *many endpoints*
+//! serving billion-object datasets — a scale one `Arc<Graph>` in one
+//! process cannot reach. This crate is the scale-out layer: the dataset
+//! is hash-partitioned by subject across `N` worker processes
+//! ([`wodex_store::ShardMap`]), and a coordinator answers SPARQL by
+//! scatter-gathering per-pattern scans and evaluating the gathered
+//! union with the ordinary single-process engine.
+//!
+//! The design is **fault-first**, because the federated-query literature
+//! the survey cites (FedX-style engines, the SPARQL endpoint
+//! availability studies) is unambiguous: remote Linked Data sources
+//! stall, drop, and flap as a matter of course. Accordingly:
+//!
+//! * every remote call runs through a per-shard **circuit breaker**,
+//!   **retry with decorrelated jitter**, a **deadline slice** of the
+//!   request budget, and **p95 tail hedging** ([`ShardClient`]);
+//! * a lost shard **degrades** the answer to a sound subset (every
+//!   engine operator is monotone in its input triples) with per-shard
+//!   coverage accounting ([`Coordinator`]), it never errors;
+//! * per-shard `/metrics` series obey the conservation law
+//!   Σ `served+shed+failed` == `fanouts`, pinned by the chaos suite.
+//!
+//! The HTTP worker endpoints (`/shard/scan`, `/shard/health`) live in
+//! `wodex-serve`; this crate is the client/coordinator side and is
+//! std-only like the rest of the workspace.
+
+pub mod client;
+pub mod coordinator;
+pub mod error;
+
+pub use client::{parse_degraded, ScanResult, ShardClient, ShardClientConfig, ShardHealth};
+pub use coordinator::{CoordinatedResult, Coordinator, ShardReport};
+pub use error::ShardError;

@@ -1,0 +1,269 @@
+//! Distributed-evaluation support: scan extraction, budget slicing, and
+//! coverage accounting for a scatter-gather coordinator.
+//!
+//! The coordinator strategy (built in `wodex-shard`, on top of this
+//! module's pure math) is *gather-then-evaluate*: collect every triple
+//! any pattern of the query could touch from every shard, union them
+//! into a local store, and run the ordinary single-process engine over
+//! that union. Because shards partition the graph disjointly by subject,
+//! the union of per-shard pattern matches equals the full-graph match
+//! set — so at fault rate 0 the distributed answer is **bit-identical**
+//! to single-process evaluation. And because every operator in the
+//! engine's subset is *monotone in the triple set* for the patterns it
+//! consumes (BGP joins, UNION, FILTER, DESCRIBE expansion), losing a
+//! shard can only remove rows, never invent them: a partial gather
+//! yields a **sound subset**, which is exactly the contract
+//! [`Degraded`] was built to carry.
+//!
+//! What this module provides:
+//!
+//! * [`scan_patterns`] — the deduplicated constant-position scans a
+//!   query needs (required BGP, OPTIONAL blocks, UNION alternatives,
+//!   DESCRIBE expansions).
+//! * [`slice_deadline`] — per-shard deadline carved from the request
+//!   [`Budget`], holding back a merge reserve for local evaluation.
+//! * [`merge_coverage`] / [`compose_degraded`] — the coverage algebra
+//!   that folds per-shard outcomes and the local evaluator's own verdict
+//!   into one [`Degraded`] tag.
+
+use crate::ast::{Query, QueryForm, TermOrVar, TriplePattern};
+use wodex_rdf::Term;
+use wodex_resilience::{Budget, DegradeReason, Degraded};
+
+use std::time::Duration;
+
+/// One remote pattern scan: constant positions only (`None` = wildcard).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ScanPattern {
+    /// Constant subject, if the pattern has one.
+    pub s: Option<Term>,
+    /// Constant predicate, if the pattern has one.
+    pub p: Option<Term>,
+    /// Constant object, if the pattern has one.
+    pub o: Option<Term>,
+}
+
+impl ScanPattern {
+    fn from_pattern(p: &TriplePattern) -> ScanPattern {
+        let c = |tv: &TermOrVar| match tv {
+            TermOrVar::Term(t) => Some(t.clone()),
+            TermOrVar::Var(_) => None,
+        };
+        ScanPattern {
+            s: c(&p.s),
+            p: c(&p.p),
+            o: c(&p.o),
+        }
+    }
+}
+
+/// The scans whose union covers every triple `q`'s evaluation can read.
+///
+/// Required patterns, OPTIONAL blocks and all UNION alternatives each
+/// contribute their constant-position projection; `DESCRIBE <iri>`
+/// expands to the two scans the describe evaluator performs
+/// (`<iri> ? ?` and `? ? <iri>`). Duplicates (common with shared
+/// predicates) are collapsed so the coordinator fans out each distinct
+/// scan once.
+pub fn scan_patterns(q: &Query) -> Vec<ScanPattern> {
+    let mut scans = Vec::new();
+    for p in &q.patterns {
+        scans.push(ScanPattern::from_pattern(p));
+    }
+    for block in &q.optionals {
+        for p in block {
+            scans.push(ScanPattern::from_pattern(p));
+        }
+    }
+    for union in &q.unions {
+        for alt in union {
+            for p in alt {
+                scans.push(ScanPattern::from_pattern(p));
+            }
+        }
+    }
+    if let QueryForm::Describe(terms) = &q.form {
+        for t in terms {
+            scans.push(ScanPattern {
+                s: Some(t.clone()),
+                p: None,
+                o: None,
+            });
+            scans.push(ScanPattern {
+                s: None,
+                p: None,
+                o: Some(t.clone()),
+            });
+        }
+    }
+    scans.sort();
+    scans.dedup();
+    scans
+}
+
+/// Fraction of the remaining budget the scatter phase may spend; the
+/// rest is the merge reserve for local evaluation over the gathered
+/// union.
+const SCATTER_SHARE: f64 = 0.8;
+
+/// The deadline for one shard's scan, sliced from the request budget.
+///
+/// Every shard gets the same slice (they run concurrently, not in
+/// series): `remaining × SCATTER_SHARE`. `None` means the request has no
+/// deadline; an exhausted budget yields a zero slice, which the shard
+/// client treats as already-expired.
+pub fn slice_deadline(budget: &Budget) -> Option<Duration> {
+    budget.remaining_time().map(|d| d.mul_f64(SCATTER_SHARE))
+}
+
+/// Per-shard gather outcome, as coverage of that shard's contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardOutcome {
+    /// Full scan set gathered.
+    Ok,
+    /// Shard answered but degraded itself (budget slice expired
+    /// mid-scan); its own coverage estimate in \[0, 1\].
+    Partial(f64),
+    /// Shard unreachable / shed by its breaker: contributed nothing.
+    Failed,
+}
+
+impl ShardOutcome {
+    /// This shard's contribution fraction.
+    pub fn coverage(&self) -> f64 {
+        match self {
+            ShardOutcome::Ok => 1.0,
+            ShardOutcome::Partial(c) => c.clamp(0.0, 1.0),
+            ShardOutcome::Failed => 0.0,
+        }
+    }
+}
+
+/// Folds per-shard outcomes into the scatter phase's verdict.
+///
+/// Subject-hash partitioning spreads triples uniformly, so each of the
+/// `N` shards holds ≈ `1/N` of every pattern's matches and overall
+/// coverage is the mean of per-shard coverages — one dead shard out of
+/// four ⇒ 0.75. All-`Ok` means the gather was complete: no verdict.
+/// The reason reported is `DeadlineExceeded`, the only budget dimension
+/// the scatter phase spends.
+pub fn merge_coverage(outcomes: &[ShardOutcome]) -> Option<Degraded> {
+    if outcomes.is_empty() || outcomes.iter().all(|o| matches!(o, ShardOutcome::Ok)) {
+        return None;
+    }
+    let sum: f64 = outcomes.iter().map(|o| o.coverage()).sum();
+    Some(Degraded {
+        reason: DegradeReason::DeadlineExceeded,
+        coverage: sum / outcomes.len() as f64,
+    })
+}
+
+/// Composes the scatter verdict with the local evaluator's own verdict.
+///
+/// Coverages compose multiplicatively: local evaluation covered
+/// `local.coverage` of a search space that was itself only
+/// `scatter.coverage` of the true one. The scatter reason wins when both
+/// degraded — operators care that data was missing before they care that
+/// the local pass was also cut short.
+pub fn compose_degraded(scatter: Option<Degraded>, local: Option<Degraded>) -> Option<Degraded> {
+    match (scatter, local) {
+        (None, v) => v,
+        (v, None) => v,
+        (Some(s), Some(l)) => Some(Degraded {
+            reason: s.reason,
+            coverage: (s.coverage * l.coverage).clamp(0.0, 1.0),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn scans(q: &str) -> Vec<ScanPattern> {
+        scan_patterns(&parse_query(q).expect("parse"))
+    }
+
+    #[test]
+    fn constant_positions_project_through() {
+        let s = scans("SELECT ?o WHERE { <urn:a> <urn:p> ?o }");
+        assert_eq!(s.len(), 1);
+        assert!(s[0].s.is_some() && s[0].p.is_some() && s[0].o.is_none());
+    }
+
+    #[test]
+    fn optionals_and_unions_contribute_scans() {
+        let s = scans(
+            "SELECT ?a WHERE { ?a <urn:p> ?b . OPTIONAL { ?a <urn:q> ?c } \
+             { ?a <urn:r> ?d } UNION { ?a <urn:t> ?d } }",
+        );
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_patterns_collapse() {
+        let s = scans("SELECT ?a ?b WHERE { ?a <urn:p> ?x . ?b <urn:p> ?y }");
+        assert_eq!(s.len(), 1, "same constant projection scans once");
+    }
+
+    #[test]
+    fn describe_expands_to_both_directions() {
+        let s = scans("DESCRIBE <urn:a>");
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().any(|p| p.s.is_some() && p.o.is_none()));
+        assert!(s.iter().any(|p| p.o.is_some() && p.s.is_none()));
+    }
+
+    #[test]
+    fn slice_holds_back_merge_reserve() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(10));
+        let slice = slice_deadline(&b).expect("deadline set");
+        assert!(slice <= Duration::from_secs(8));
+        assert!(slice > Duration::from_secs(7));
+        assert_eq!(slice_deadline(&Budget::unlimited()), None);
+    }
+
+    #[test]
+    fn all_ok_is_no_verdict() {
+        assert_eq!(merge_coverage(&[ShardOutcome::Ok; 4]), None);
+        assert_eq!(merge_coverage(&[]), None);
+    }
+
+    #[test]
+    fn one_dead_of_four_is_three_quarters() {
+        let v = merge_coverage(&[
+            ShardOutcome::Ok,
+            ShardOutcome::Ok,
+            ShardOutcome::Ok,
+            ShardOutcome::Failed,
+        ])
+        .expect("degraded");
+        assert!((v.coverage - 0.75).abs() < 1e-9);
+        assert_eq!(v.reason, DegradeReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn partial_shards_average_in() {
+        let v = merge_coverage(&[ShardOutcome::Partial(0.5), ShardOutcome::Ok]).unwrap();
+        assert!((v.coverage - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_is_multiplicative_and_scatter_reason_wins() {
+        let scatter = Some(Degraded {
+            reason: DegradeReason::DeadlineExceeded,
+            coverage: 0.75,
+        });
+        let local = Some(Degraded {
+            reason: DegradeReason::RowCapExceeded,
+            coverage: 0.5,
+        });
+        let v = compose_degraded(scatter, local).unwrap();
+        assert!((v.coverage - 0.375).abs() < 1e-9);
+        assert_eq!(v.reason, DegradeReason::DeadlineExceeded);
+        assert_eq!(compose_degraded(None, local), local);
+        assert_eq!(compose_degraded(scatter, None), scatter);
+        assert_eq!(compose_degraded(None, None), None);
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod algebra;
 pub mod ast;
+pub mod dist;
 pub mod eval;
 pub mod parser;
 pub mod plan;
@@ -47,6 +48,9 @@ pub mod results;
 pub mod wco;
 
 pub use ast::{Aggregate, Expr, Query, QueryForm, TermOrVar, TriplePattern};
+pub use dist::{
+    compose_degraded, merge_coverage, scan_patterns, slice_deadline, ScanPattern, ShardOutcome,
+};
 pub use eval::{
     evaluate, evaluate_budgeted, evaluate_traced, evaluate_with, BudgetedResult, EvalOptions,
     QueryError,

@@ -1,0 +1,164 @@
+//! Hash-partition shard map: which shard owns which subject.
+//!
+//! The Web-of-Big-Linked-Data setting (§2 of the survey) is datasets too
+//! large for one process; the classic scale-out for triple stores is
+//! *subject hash partitioning* — every triple lives on exactly one shard,
+//! chosen by hashing its subject. Subject-grouped placement keeps
+//! star-shaped BGPs (the browsers' resource-expansion form) local to one
+//! shard, and makes per-pattern scatter-gather **sound**: shards hold
+//! disjoint triple sets whose union is the full graph, so the union of
+//! per-shard pattern matches equals the full-graph match set, and a
+//! missing shard can only *shrink* the answer — never corrupt it.
+//!
+//! The hash is over the subject's canonical N-Triples rendering, not its
+//! interned dictionary id: ids are assigned per process in load order and
+//! would disagree between coordinator and workers. FNV-1a is used so the
+//! placement is stable across platforms and releases (no `RandomState`).
+
+use wodex_rdf::{Graph, Term, Triple};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable FNV-1a 64 over a byte string.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Where a triple pattern's matches can live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Subject is constant: every match lives on this one shard.
+    One(u32),
+    /// Subject is a variable: matches may live on any shard.
+    All,
+}
+
+/// A subject-hash partitioning of the graph into `shards` disjoint parts.
+///
+/// The map is pure arithmetic — it holds no data, so coordinator and
+/// workers each construct their own from the shard count alone and are
+/// guaranteed to agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A map over `shards` partitions (clamped to at least 1).
+    pub fn new(shards: u32) -> ShardMap {
+        ShardMap {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard that owns triples with this subject.
+    pub fn shard_of(&self, subject: &Term) -> u32 {
+        (fnv1a64(subject.to_string().as_bytes()) % self.shards as u64) as u32
+    }
+
+    /// Routes a pattern scan: a subject-constant pattern needs only the
+    /// owning shard; anything else must fan out to all shards.
+    pub fn route(&self, subject: Option<&Term>) -> Route {
+        match subject {
+            Some(s) => Route::One(self.shard_of(s)),
+            None => Route::All,
+        }
+    }
+
+    /// Does shard `k` own this triple?
+    pub fn owns(&self, k: u32, t: &Triple) -> bool {
+        self.shard_of(&t.subject) == k
+    }
+
+    /// Shard `k`'s partition of `graph` — the worker-side load filter.
+    pub fn partition(&self, graph: &Graph, k: u32) -> Graph {
+        graph.iter().filter(|t| self.owns(k, t)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wodex_rdf::Iri;
+
+    fn g(n: u32) -> Graph {
+        (0..n)
+            .map(|i| {
+                Triple::new(
+                    Iri::new(format!("urn:s{i}")),
+                    Iri::new("urn:p"),
+                    Iri::new(format!("urn:o{i}")),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let graph = g(200);
+        let map = ShardMap::new(4);
+        let parts: Vec<Graph> = (0..4).map(|k| map.partition(&graph, k)).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, graph.len(), "partitions cover exactly");
+        let mut merged = Graph::new();
+        for p in &parts {
+            for t in p.iter() {
+                assert!(merged.insert(t.clone()), "partitions overlap on {t:?}");
+            }
+        }
+        assert_eq!(merged.len(), graph.len());
+    }
+
+    #[test]
+    fn no_shard_is_empty_at_scale() {
+        // 200 subjects over 4 shards: an empty shard would mean the hash
+        // is degenerate.
+        let graph = g(200);
+        let map = ShardMap::new(4);
+        for k in 0..4 {
+            assert!(!map.partition(&graph, k).is_empty(), "shard {k} empty");
+        }
+    }
+
+    #[test]
+    fn routing_agrees_with_ownership() {
+        let graph = g(50);
+        let map = ShardMap::new(4);
+        for t in graph.iter() {
+            match map.route(Some(&t.subject)) {
+                Route::One(k) => assert!(map.owns(k, t)),
+                Route::All => panic!("constant subject must route to one shard"),
+            }
+        }
+        assert_eq!(map.route(None), Route::All);
+    }
+
+    #[test]
+    fn placement_is_stable_across_map_instances() {
+        let a = ShardMap::new(8);
+        let b = ShardMap::new(8);
+        let term = Term::from(Iri::new("http://dbpedia.org/resource/Berlin"));
+        assert_eq!(a.shard_of(&term), b.shard_of(&term));
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = ShardMap::new(1);
+        for t in g(20).iter() {
+            assert_eq!(map.shard_of(&t.subject), 0);
+        }
+    }
+}

@@ -105,4 +105,21 @@ grep -q '"gate_ok": true' BENCH_PR6.json || {
     exit 1
 }
 
+echo "==> repro bench-pr7 (sharded fleets: >= 1.6x at 4 shards, zero errors one-shard-killed)"
+cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr7
+grep -q '"gate_ok": true' BENCH_PR7.json || {
+    echo "verify: FAIL — sharded fleet missed its scaling/fault gates (see BENCH_PR7.json)"
+    exit 1
+}
+grep -q '"errors": 0' BENCH_PR7.json || {
+    echo "verify: FAIL — the one-shard-killed run produced hard errors (see BENCH_PR7.json)"
+    exit 1
+}
+
+echo "==> shard chaos sweep (kill / stall / flap one of four shards)"
+for seed in 7 1337; do
+    echo "    WODEX_FAULT_SEED=$seed"
+    WODEX_FAULT_SEED=$seed cargo test -q --offline --test shard_chaos
+done
+
 echo "verify: OK"

@@ -12,9 +12,16 @@
 //! wodex paths     <file> <iri-a> <iri-b>          RelFinder shortest paths
 //! wodex serve     <file> [--port N] [--workers N] [--queue N]
 //!                        [--deadline-ms N] [--sessions N]
+//!                        [--shard K/N] [--coordinator shards.txt]
 //!                                                 HTTP serving layer
 //! wodex tables                                    the survey's Tables 1 & 2
 //! ```
+//!
+//! Sharded serving: `--shard K/N` keeps only shard `K` of an `N`-way
+//! subject-hash partition (a worker process), `--coordinator shards.txt`
+//! answers `/sparql` by scatter-gathering across the listed workers.
+//! `wodex explain … --shards shards.txt` runs the same scatter path once
+//! and prints per-shard reports and breaker health.
 
 use wodex::core::Explorer;
 use wodex::rdf::Term;
@@ -140,10 +147,32 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
             }
         }
         "explain" => {
-            let text = match query_text(rest) {
+            // `--shards FILE` explains the distributed path instead:
+            // one scatter-gather across the live fleet, then the trace,
+            // per-shard reports, and breaker health.
+            let mut plain: Vec<String> = Vec::new();
+            let mut shards_file: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--shards" {
+                    match it.next() {
+                        Some(f) => shards_file = Some(f.clone()),
+                        None => {
+                            eprintln!("--shards needs a shards.txt path");
+                            return 2;
+                        }
+                    }
+                } else {
+                    plain.push(a.clone());
+                }
+            }
+            let text = match query_text(&plain) {
                 Ok(t) => t,
                 Err(code) => return code,
             };
+            if let Some(file) = shards_file {
+                return explain_sharded(&file, &text);
+            }
             let trace = wodex::sparql::QueryTrace::new();
             match ex.sparql_traced(&text, &wodex::sparql::Budget::unlimited(), &trace) {
                 Ok(b) => {
@@ -215,6 +244,83 @@ fn dispatch(cmd: &str, ex: &Explorer, rest: &[String]) -> i32 {
     }
 }
 
+/// `wodex explain … --shards FILE` — scatter-gathers the query across
+/// the fleet listed in `FILE` and prints the stage trace, the per-shard
+/// scatter reports, and each shard's breaker/latency health.
+fn explain_sharded(file: &str, text: &str) -> i32 {
+    let listing = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return 1;
+        }
+    };
+    let addrs = wodex::shard::Coordinator::parse_shards_file(&listing);
+    if addrs.is_empty() {
+        eprintln!("{file} lists no shard addresses");
+        return 2;
+    }
+    let coord = wodex::shard::Coordinator::new(addrs, wodex::shard::ShardClientConfig::default());
+    let trace = wodex::sparql::QueryTrace::new();
+    let outcome = coord.query_traced_with(
+        text,
+        &wodex::sparql::Budget::unlimited(),
+        &trace,
+        wodex::sparql::EvalOptions::default(),
+    );
+    match outcome {
+        Ok(c) => {
+            let rows = match &c.result {
+                wodex::sparql::QueryResult::Solutions(t) => t.len(),
+                _ => 0,
+            };
+            print!("{}", trace.render_table());
+            let plan_table = trace.render_plan_table();
+            if !plan_table.is_empty() {
+                println!();
+                print!("{plan_table}");
+            }
+            println!("rows: {rows}");
+            println!(
+                "degraded: {}",
+                c.degraded
+                    .map(|d| format!("{};coverage={:.3}", d.reason, d.coverage))
+                    .unwrap_or_else(|| "none".to_string())
+            );
+            println!("shards:");
+            for (r, h) in c.shards.iter().zip(coord.health()) {
+                println!(
+                    "  [{}] {:<24} {:<8} scans={} triples={} breaker={} opens={} sheds={} p95={}{}",
+                    r.index,
+                    r.addr,
+                    match r.outcome {
+                        wodex::sparql::ShardOutcome::Ok => "ok".to_string(),
+                        wodex::sparql::ShardOutcome::Partial(c) => format!("partial({c:.2})"),
+                        wodex::sparql::ShardOutcome::Failed => "failed".to_string(),
+                    },
+                    r.scans,
+                    r.triples,
+                    h.breaker.state.name(),
+                    h.breaker.opens,
+                    h.breaker.sheds,
+                    h.p95_ms
+                        .map(|p| format!("{p:.1}ms"))
+                        .unwrap_or_else(|| "n/a".to_string()),
+                    r.error
+                        .as_ref()
+                        .map(|e| format!(" error={e}"))
+                        .unwrap_or_default()
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("query error: {e}");
+            1
+        }
+    }
+}
+
 /// Resolves a query argument: inline text or `@file.rq`.
 fn query_text(rest: &[String]) -> Result<String, i32> {
     let Some(arg) = rest.first() else {
@@ -235,6 +341,7 @@ fn query_text(rest: &[String]) -> Result<String, i32> {
 /// and blocks until `POST /admin/shutdown`.
 fn serve(ex: Explorer, rest: &[String]) -> i32 {
     let mut cfg = ServeConfig::default();
+    let mut coordinator_file: Option<String> = None;
     let mut i = 0;
     while i < rest.len() {
         let flag = rest[i].as_str();
@@ -249,6 +356,20 @@ fn serve(ex: Explorer, rest: &[String]) -> i32 {
                 cfg.deadline = std::time::Duration::from_millis(n);
             }),
             ("--sessions", Some(v)) => v.parse::<usize>().map(|n| cfg.session_capacity = n),
+            ("--shard", Some(v)) => match parse_shard_spec(v) {
+                Some((k, n)) => {
+                    cfg.shard = Some((k, n));
+                    Ok(())
+                }
+                None => {
+                    eprintln!("--shard expects K/N with K < N (e.g. 0/4)");
+                    return 2;
+                }
+            },
+            ("--coordinator", Some(v)) => {
+                coordinator_file = Some(v.clone());
+                Ok(())
+            }
             _ => {
                 eprintln!("unknown or incomplete serve flag {flag:?}\n{}", usage());
                 return 2;
@@ -260,7 +381,50 @@ fn serve(ex: Explorer, rest: &[String]) -> i32 {
         }
         i += 2;
     }
-    let server = match Server::bind(ex, cfg) {
+    // Worker mode: keep only this process's subject-hash shard. The
+    // rest of the server is unchanged — a shard is just a smaller
+    // dataset plus the `/shard/*` endpoints answering for it.
+    let ex = match cfg.shard {
+        Some((k, n)) => {
+            let map = wodex::store::ShardMap::new(n);
+            let part = map.partition(ex.graph(), k);
+            println!(
+                "shard {k}/{n}: keeping {} of {} triples",
+                part.len(),
+                ex.graph().len()
+            );
+            Explorer::from_graph(part)
+        }
+        None => ex,
+    };
+    // Coordinator mode: /sparql scatter-gathers across the fleet.
+    let coordinator = match &coordinator_file {
+        Some(file) => {
+            let listing = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return 1;
+                }
+            };
+            let addrs = wodex::shard::Coordinator::parse_shards_file(&listing);
+            if addrs.is_empty() {
+                eprintln!("{file} lists no shard addresses");
+                return 2;
+            }
+            println!(
+                "coordinating {} shard(s): {}",
+                addrs.len(),
+                addrs.join(", ")
+            );
+            Some(std::sync::Arc::new(wodex::shard::Coordinator::new(
+                addrs,
+                wodex::shard::ShardClientConfig::default(),
+            )))
+        }
+        None => None,
+    };
+    let server = match Server::bind_with_coordinator(ex, cfg, coordinator) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind: {e}");
@@ -268,7 +432,7 @@ fn serve(ex: Explorer, rest: &[String]) -> i32 {
         }
     };
     println!("listening on http://{}", server.addr());
-    println!("endpoints: /healthz /stats /metrics /sparql /explore/* /viz/* (POST /admin/shutdown to stop)");
+    println!("endpoints: /healthz /stats /metrics /sparql /explore/* /viz/* /shard/* (POST /admin/shutdown to stop)");
     match server.run() {
         Ok(()) => {
             println!("shut down cleanly");
@@ -279,6 +443,13 @@ fn serve(ex: Explorer, rest: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// Parses a `K/N` shard spec (`0/4` → shard 0 of 4).
+fn parse_shard_spec(v: &str) -> Option<(u32, u32)> {
+    let (k, n) = v.split_once('/')?;
+    let (k, n) = (k.trim().parse::<u32>().ok()?, n.trim().parse::<u32>().ok()?);
+    (n >= 1 && k < n).then_some((k, n))
 }
 
 fn load(path: &str) -> Result<Explorer, String> {
@@ -292,6 +463,8 @@ fn load(path: &str) -> Result<Explorer, String> {
 
 fn usage() -> &'static str {
     "usage: wodex <stats|classes|facets|search|query|explain|recommend|viz|paths> <file.{ttl,nt}> [args…]
+       wodex explain <file.{ttl,nt}> <sparql | @query.rq> [--shards shards.txt]
        wodex serve <file.{ttl,nt}> [--port N] [--workers N] [--queue N] [--deadline-ms N] [--sessions N]
+                   [--shard K/N] [--coordinator shards.txt]
        wodex tables"
 }

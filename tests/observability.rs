@@ -157,6 +157,7 @@ fn retries_equal_attempts_minus_first_tries() {
         max_attempts: 3,
         base_delay: Duration::ZERO,
         max_delay: Duration::ZERO,
+        jitter: false,
     };
     let stats = RetryStats::new();
     std::thread::scope(|scope| {
