@@ -17,6 +17,7 @@ pub mod faultbench;
 pub mod obsbench;
 pub mod parbench;
 pub mod planbench;
+pub mod segbench;
 pub mod servebench;
 pub mod shardbench;
 pub mod wcobench;

@@ -153,6 +153,33 @@ impl Explorer {
         }
     }
 
+    /// Builds an explorer over an existing store — the entry point for
+    /// disk-backed datasets (`wodex serve --store seg:<dir>`).
+    ///
+    /// The SPARQL path queries `store` directly, so a segment-backed
+    /// store ([`TripleStore::with_base`]) keeps its triple data on disk
+    /// and block-pages it per scan. The graph-shaped exploration
+    /// facilities (facets, viz, path finding) work on a decoded
+    /// presentation copy, built once here.
+    pub fn from_store(store: TripleStore) -> Explorer {
+        let graph: Graph = store
+            .match_pattern(Pattern::any())
+            .into_iter()
+            .map(|t| store.decode(t))
+            .collect();
+        let graph = std::sync::Arc::new(graph);
+        let prefs = UserPreferences::default();
+        let pipeline = LdvmPipeline::new((*graph).clone()).with_prefs(prefs.clone());
+        let session = ExplorationSession::shared(std::sync::Arc::clone(&graph));
+        Explorer {
+            graph,
+            store,
+            pipeline,
+            session,
+            prefs,
+        }
+    }
+
     /// Parses a Turtle document.
     pub fn from_turtle(ttl: &str) -> Result<Explorer, RdfError> {
         Ok(Explorer::from_graph(wodex_rdf::turtle::parse(ttl)?))

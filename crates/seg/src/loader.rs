@@ -1,0 +1,553 @@
+//! Streaming bulk loader: N-Triples → segment directory, in bounded
+//! memory.
+//!
+//! The classic external merge sort, specialized to triple keys:
+//!
+//! 1. **Parse + intern**: each line is parsed and its terms interned into
+//!    the dictionary (the one structure that stays in RAM — the HDT
+//!    trade-off documented in [`crate::dict`]).
+//! 2. **Sorted runs**: encoded keys accumulate in a buffer charged
+//!    against a [`wodex_resilience::Budget`] memory cap; when the cap is
+//!    hit the buffer is sorted, deduplicated and spilled to a raw run
+//!    file. The dump itself never materializes in RAM.
+//! 3. **K-way merge**: the runs merge into one deduplicated SPO stream,
+//!    range-partitioned into segments of at most
+//!    [`LoadConfig::segment_max_triples`] — so the segments are disjoint
+//!    and their counts sum to the load's unique-triple count.
+//! 4. **Per-segment sections**: while a segment's SPO section streams
+//!    out, its POS and OSP keys spill through their own capped runs,
+//!    then merge into the remaining two sections.
+//!
+//! Every artifact (runs, segments, dictionary, manifest) is written to a
+//! temporary name and renamed; a crash mid-load leaves no partial
+//! segment visible.
+
+use crate::format::{SegmentWriter, DEFAULT_BLOCK_TRIPLES};
+use crate::store::{write_manifest, Manifest, ManifestEntry};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use wodex_rdf::ntriples::parse_line;
+use wodex_rdf::TermDict;
+use wodex_resilience::Budget;
+use wodex_store::encoded::TRIPLE_BYTES;
+use wodex_store::index::Order;
+
+/// Tuning knobs for [`load_ntriples`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Memory cap in bytes for each sort buffer (the SPO run buffer
+    /// during parse; the POS/OSP buffers during segment build). Charged
+    /// through a [`Budget`]; when exceeded, the buffer spills to disk.
+    pub mem_cap_bytes: u64,
+    /// Keys per compressed block.
+    pub block_triples: usize,
+    /// Maximum triples per produced segment; the merged stream is
+    /// range-partitioned into this many-sized disjoint segments.
+    pub segment_max_triples: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            mem_cap_bytes: 64 * 1024 * 1024,
+            block_triples: DEFAULT_BLOCK_TRIPLES,
+            segment_max_triples: 4_000_000,
+        }
+    }
+}
+
+/// What a load did — printed by `wodex load` and asserted by tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Triple lines parsed (before deduplication).
+    pub parsed: usize,
+    /// Unique triples written.
+    pub triples: usize,
+    /// Distinct terms interned.
+    pub terms: usize,
+    /// Sorted runs spilled to disk across all sort streams; ≥ 2 proves
+    /// the sort ran externally.
+    pub runs_spilled: usize,
+    /// Segment files produced.
+    pub segments: usize,
+    /// N-Triples bytes consumed.
+    pub bytes_read: u64,
+    /// Bytes of segment files written (all three sections + footers).
+    pub segment_bytes: u64,
+    /// Bytes of the dictionary sidecar.
+    pub dict_bytes: u64,
+}
+
+/// A capped sort buffer that spills sorted, deduplicated raw-key runs.
+struct RunSpiller {
+    dir: PathBuf,
+    prefix: String,
+    buf: Vec<[u32; 3]>,
+    budget: Budget,
+    cap: u64,
+    runs: Vec<PathBuf>,
+    spills: usize,
+}
+
+impl RunSpiller {
+    fn new(dir: &Path, prefix: &str, cap: u64) -> RunSpiller {
+        RunSpiller {
+            dir: dir.to_path_buf(),
+            prefix: prefix.to_string(),
+            buf: Vec::new(),
+            budget: Budget::unlimited().with_memory_cap(cap),
+            cap,
+            runs: Vec::new(),
+            spills: 0,
+        }
+    }
+
+    fn push(&mut self, key: [u32; 3]) -> std::io::Result<()> {
+        self.buf.push(key);
+        self.budget.charge_bytes(TRIPLE_BYTES as u64);
+        if self.budget.exceeded().is_some() {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        let path = self
+            .dir
+            .join(format!("{}_{:06}.run", self.prefix, self.spills));
+        let mut w = BufWriter::new(std::fs::File::create(&path)?);
+        for k in &self.buf {
+            for c in k {
+                w.write_all(&c.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+        self.runs.push(path);
+        self.spills += 1;
+        self.buf.clear();
+        // A fresh budget for the next run: the spilled bytes are gone.
+        self.budget = Budget::unlimited().with_memory_cap(self.cap);
+        crate::metrics().runs_spilled.inc();
+        Ok(())
+    }
+
+    /// Number of runs spilled to disk so far.
+    fn spills(&self) -> usize {
+        self.spills
+    }
+
+    /// Deletes all spilled runs without merging them.
+    fn abort(self) {
+        for p in &self.runs {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Consumes the spiller into a merged, deduplicated sorted stream.
+    /// With no spilled runs the buffer sorts in place and no file I/O
+    /// happens at all.
+    fn into_merged(mut self) -> std::io::Result<MergedKeys> {
+        if self.runs.is_empty() {
+            self.buf.sort_unstable();
+            self.buf.dedup();
+            return Ok(MergedKeys {
+                mem: self.buf.into_iter(),
+                readers: Vec::new(),
+                paths: Vec::new(),
+                last: None,
+            });
+        }
+        self.spill()?;
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            let mut r = RunReader {
+                reader: BufReader::new(std::fs::File::open(path)?),
+                head: None,
+            };
+            r.advance()?;
+            readers.push(r);
+        }
+        Ok(MergedKeys {
+            mem: Vec::new().into_iter(),
+            readers,
+            paths: self.runs,
+            last: None,
+        })
+    }
+}
+
+struct RunReader {
+    reader: BufReader<std::fs::File>,
+    head: Option<[u32; 3]>,
+}
+
+impl RunReader {
+    fn advance(&mut self) -> std::io::Result<()> {
+        let mut bytes = [0u8; TRIPLE_BYTES];
+        match self.reader.read_exact(&mut bytes) {
+            Ok(()) => {
+                let c = |i: usize| {
+                    u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+                };
+                self.head = Some([c(0), c(1), c(2)]);
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                self.head = None;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// K-way merge over spilled runs (plus an optional in-memory run),
+/// deduplicating across runs. Run files are deleted on drop.
+struct MergedKeys {
+    mem: std::vec::IntoIter<[u32; 3]>,
+    readers: Vec<RunReader>,
+    paths: Vec<PathBuf>,
+    last: Option<[u32; 3]>,
+}
+
+impl MergedKeys {
+    fn next_key(&mut self) -> std::io::Result<Option<[u32; 3]>> {
+        loop {
+            if self.readers.is_empty() {
+                // Pure in-memory mode: already sorted and deduplicated.
+                return Ok(self.mem.next());
+            }
+            let mut best: Option<(usize, [u32; 3])> = None;
+            for (i, r) in self.readers.iter().enumerate() {
+                if let Some(k) = r.head {
+                    if best.is_none_or(|(_, b)| k < b) {
+                        best = Some((i, k));
+                    }
+                }
+            }
+            let Some((i, k)) = best else { return Ok(None) };
+            self.readers[i].advance()?;
+            if self.last != Some(k) {
+                self.last = Some(k);
+                return Ok(Some(k));
+            }
+        }
+    }
+}
+
+impl Drop for MergedKeys {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+/// Builds one segment while its SPO keys stream through: the SPO section
+/// writes directly, POS/OSP keys spill through their own capped runs and
+/// merge into the remaining sections at finish. Shared with the
+/// compactor, whose merge output streams through the same path.
+pub(crate) struct SegmentBuilder {
+    writer: SegmentWriter,
+    pos: RunSpiller,
+    osp: RunSpiller,
+    count: u64,
+}
+
+impl SegmentBuilder {
+    /// Starts a segment at `seg_path`, spilling section runs into
+    /// `run_dir` under `run_prefix`.
+    pub(crate) fn new(
+        seg_path: &Path,
+        run_dir: &Path,
+        run_prefix: &str,
+        block_triples: usize,
+        mem_cap_bytes: u64,
+    ) -> std::io::Result<SegmentBuilder> {
+        Ok(SegmentBuilder {
+            writer: SegmentWriter::create(seg_path, block_triples)?,
+            pos: RunSpiller::new(run_dir, &format!("{run_prefix}_pos"), mem_cap_bytes),
+            osp: RunSpiller::new(run_dir, &format!("{run_prefix}_osp"), mem_cap_bytes),
+            count: 0,
+        })
+    }
+
+    pub(crate) fn push(&mut self, spo: [u32; 3]) -> std::io::Result<()> {
+        self.writer.push_key(spo)?;
+        self.pos.push(Order::Pos.key(&spo))?;
+        self.osp.push(Order::Osp.key(&spo))?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Abandons the segment: the `*.tmp` file and every spilled run are
+    /// deleted; the final path was never created.
+    pub(crate) fn abort(self) -> std::io::Result<()> {
+        self.pos.abort();
+        self.osp.abort();
+        self.writer.abort()
+    }
+
+    /// Returns `(triples, spilled runs)` of the sealed segment.
+    pub(crate) fn finish(mut self) -> std::io::Result<(u64, usize)> {
+        let spills = self.pos.spills() + self.osp.spills();
+        self.writer.next_section()?;
+        let mut pos = self.pos.into_merged()?;
+        while let Some(k) = pos.next_key()? {
+            self.writer.push_key(k)?;
+        }
+        drop(pos);
+        self.writer.next_section()?;
+        let mut osp = self.osp.into_merged()?;
+        while let Some(k) = osp.next_key()? {
+            self.writer.push_key(k)?;
+        }
+        drop(osp);
+        let meta = self.writer.finish()?;
+        debug_assert_eq!(meta.triples, self.count);
+        Ok((self.count, spills))
+    }
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Streams `input` (N-Triples) into a fresh segment directory at
+/// `out_dir`. The directory must not already contain a store — loads
+/// are whole-dataset, matching the immutable-segment model.
+pub fn load_ntriples(
+    input: impl BufRead,
+    out_dir: &Path,
+    cfg: &LoadConfig,
+) -> std::io::Result<LoadReport> {
+    std::fs::create_dir_all(out_dir)?;
+    if out_dir.join(crate::store::MANIFEST_FILE).exists() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            format!("{} already holds a segment store", out_dir.display()),
+        ));
+    }
+    let mut report = LoadReport::default();
+    let mut dict = TermDict::new();
+    let mut spo = RunSpiller::new(out_dir, "load_spo", cfg.mem_cap_bytes);
+
+    // Phase 1+2: parse, intern, spill sorted runs.
+    let metrics = crate::metrics();
+    for (no, line) in input.lines().enumerate() {
+        let line = line?;
+        report.bytes_read += line.len() as u64 + 1;
+        let triple =
+            parse_line(&line, no + 1).map_err(|e| invalid(format!("line {}: {e}", no + 1)))?;
+        let Some(t) = triple else { continue };
+        let key = [
+            dict.intern(t.subject).0,
+            dict.intern(t.predicate).0,
+            dict.intern(t.object).0,
+        ];
+        spo.push(key)?;
+        report.parsed += 1;
+        metrics.triples_loaded.inc();
+    }
+    report.terms = dict.len();
+
+    // The dictionary is complete once parsing ends; persist it first so
+    // a crash during segment build leaves no manifest (and thus no
+    // store) but also no lost work to diagnose.
+    crate::dict::write_dict(&dict, &out_dir.join(crate::dict::DICT_FILE))?;
+    report.dict_bytes = std::fs::metadata(out_dir.join(crate::dict::DICT_FILE))?.len();
+
+    // Phase 3+4: merge runs, range-partition into segments.
+    report.runs_spilled += spo.spills();
+    let mut merged = spo.into_merged()?;
+    report.runs_spilled = report.runs_spilled.max(merged.paths.len());
+    let mut entries: Vec<ManifestEntry> = Vec::new();
+    let mut builder: Option<SegmentBuilder> = None;
+    let mut in_segment = 0usize;
+    while let Some(k) = merged.next_key()? {
+        if builder.is_none() {
+            let seq = entries.len();
+            builder = Some(SegmentBuilder::new(
+                &out_dir.join(format!("seg_{seq:06}.seg")),
+                out_dir,
+                &format!("seg_{seq:06}"),
+                cfg.block_triples,
+                cfg.mem_cap_bytes,
+            )?);
+            in_segment = 0;
+        }
+        let b = builder.as_mut().expect("just created");
+        b.push(k)?;
+        in_segment += 1;
+        report.triples += 1;
+        if in_segment >= cfg.segment_max_triples {
+            let seq = entries.len();
+            let (triples, spills) = builder.take().expect("active builder").finish()?;
+            report.runs_spilled += spills;
+            entries.push(ManifestEntry {
+                file: format!("seg_{seq:06}.seg"),
+                level: 0,
+                triples,
+            });
+        }
+    }
+    drop(merged);
+    if let Some(b) = builder {
+        let seq = entries.len();
+        let (triples, spills) = b.finish()?;
+        report.runs_spilled += spills;
+        entries.push(ManifestEntry {
+            file: format!("seg_{seq:06}.seg"),
+            level: 0,
+            triples,
+        });
+    }
+    report.segments = entries.len();
+    for e in &entries {
+        report.segment_bytes += std::fs::metadata(out_dir.join(&e.file))?.len();
+    }
+
+    // The manifest lands last: until this rename the directory is not a
+    // store, so a crash anywhere above is invisible to readers.
+    write_manifest(out_dir, &Manifest { entries })?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SegmentStore;
+    use std::io::Cursor;
+    use wodex_store::{Pattern, SegmentSource};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wodex_seg_load_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn synth_nt(triples: usize) -> String {
+        let mut out = String::new();
+        for i in 0..triples {
+            out.push_str(&format!(
+                "<http://e.org/s/{}> <http://e.org/p/{}> <http://e.org/o/{}> .\n",
+                i % 997,
+                i % 13,
+                i % 401
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn load_roundtrips_through_the_segment_store() {
+        let nt = synth_nt(5000);
+        let dir = tmpdir("roundtrip");
+        let report = load_ntriples(Cursor::new(&nt), &dir, &LoadConfig::default()).unwrap();
+        assert_eq!(report.parsed, 5000);
+        assert!(report.triples <= report.parsed, "dedup only removes");
+        let (dict, store) = SegmentStore::open(&dir).unwrap();
+        assert_eq!(dict.len(), report.terms);
+        assert_eq!(store.source_len(), report.triples);
+        // Every input line is found again by a fully bound scan.
+        let p3 = dict.id_of_iri("http://e.org/p/3").unwrap();
+        let hits = store.scan(Pattern::any().with_p(p3)).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|t| dict
+            .term(wodex_rdf::TermId(t[1]))
+            .to_string()
+            .contains("/p/3")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_mem_cap_spills_runs_and_still_loads_correctly() {
+        let nt = synth_nt(20_000);
+        let dir = tmpdir("spill");
+        let cfg = LoadConfig {
+            mem_cap_bytes: 8 * 1024, // ~680 keys per run
+            ..LoadConfig::default()
+        };
+        let report = load_ntriples(Cursor::new(&nt), &dir, &cfg).unwrap();
+        assert!(
+            report.runs_spilled >= 2,
+            "a 20k-triple load under an 8 KiB cap must sort externally: {report:?}"
+        );
+        // Same data through an unconstrained load gives identical scans.
+        let dir2 = tmpdir("nospill");
+        let r2 = load_ntriples(Cursor::new(&nt), &dir2, &LoadConfig::default()).unwrap();
+        assert_eq!(r2.runs_spilled, 0, "64 MiB cap never spills here");
+        assert_eq!(report.triples, r2.triples);
+        let (_, a) = SegmentStore::open(&dir).unwrap();
+        let (_, b) = SegmentStore::open(&dir2).unwrap();
+        assert_eq!(
+            a.scan(Pattern::any()).unwrap(),
+            b.scan(Pattern::any()).unwrap()
+        );
+        // No run litter left behind.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(!name.ends_with(".run"), "leftover run file {name}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn segment_max_partitions_into_disjoint_segments() {
+        let nt = synth_nt(9000);
+        let dir = tmpdir("partition");
+        let cfg = LoadConfig {
+            segment_max_triples: 1000,
+            ..LoadConfig::default()
+        };
+        let report = load_ntriples(Cursor::new(&nt), &dir, &cfg).unwrap();
+        assert!(report.segments >= 2, "{report:?}");
+        let (_, store) = SegmentStore::open(&dir).unwrap();
+        assert_eq!(store.source_len(), report.triples);
+        let all = store.scan(Pattern::any()).unwrap();
+        assert_eq!(all.len(), report.triples, "disjoint segments, no dupes");
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "globally sorted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_errors_carry_the_line_number() {
+        let dir = tmpdir("badline");
+        let nt = "<http://e.org/a> <http://e.org/b> <http://e.org/c> .\nnot a triple\n";
+        let err = load_ntriples(Cursor::new(nt), &dir, &LoadConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_over_an_existing_store_is_refused() {
+        let dir = tmpdir("refuse");
+        load_ntriples(Cursor::new(synth_nt(10)), &dir, &LoadConfig::default()).unwrap();
+        let err =
+            load_ntriples(Cursor::new(synth_nt(10)), &dir, &LoadConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compression_beats_raw_ntriples() {
+        let nt = synth_nt(50_000);
+        let dir = tmpdir("ratio");
+        let report = load_ntriples(Cursor::new(&nt), &dir, &LoadConfig::default()).unwrap();
+        let stored = report.segment_bytes + report.dict_bytes;
+        assert!(
+            stored * 2 <= report.bytes_read,
+            "segments + dict should be ≤ half the N-Triples bytes: {stored} vs {}",
+            report.bytes_read
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

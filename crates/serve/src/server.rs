@@ -293,6 +293,11 @@ pub struct AppState {
 pub struct Server {
     listener: TcpListener,
     state: Arc<AppState>,
+    /// Callbacks run (in registration order) when the accept loop exits
+    /// and every worker has drained — the seam by which the process
+    /// stops background machinery (e.g. `wodex-seg`'s compaction
+    /// thread) on `POST /admin/shutdown`.
+    shutdown_hooks: Vec<Box<dyn FnOnce() + Send>>,
 }
 
 /// One unit of queued work: an accepted connection plus its enqueue time.
@@ -346,7 +351,20 @@ impl Server {
             started: Instant::now(),
             coordinator,
         });
-        Ok(Server { listener, state })
+        Ok(Server {
+            listener,
+            state,
+            shutdown_hooks: Vec::new(),
+        })
+    }
+
+    /// Registers a callback to run after the accept loop stops and the
+    /// workers drain — before [`Server::run`] returns. Hooks run in
+    /// registration order, exactly once, on every clean exit path
+    /// (`POST /admin/shutdown`, [`RunningServer::shutdown`], or an
+    /// externally set shutdown flag).
+    pub fn on_shutdown(&mut self, hook: impl FnOnce() + Send + 'static) {
+        self.shutdown_hooks.push(Box::new(hook));
     }
 
     /// The bound address (resolves port 0).
@@ -365,6 +383,7 @@ impl Server {
     /// worker has drained and joined.
     pub fn run(self) -> std::io::Result<()> {
         let state = self.state;
+        let hooks = self.shutdown_hooks;
         let workers = state.cfg.effective_workers();
         let (tx, rx) = channel::bounded::<Conn>(state.cfg.queue_depth.max(1));
         let rx = Mutex::new(rx);
@@ -435,6 +454,11 @@ impl Server {
             }
             drop(tx); // Workers drain the queue, then exit.
         });
+        // The scope joined every worker: no request is in flight, so
+        // hooks can tear down whatever the handlers relied on.
+        for hook in hooks {
+            hook();
+        }
         Ok(())
     }
 

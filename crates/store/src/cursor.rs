@@ -224,4 +224,64 @@ mod tests {
         assert_eq!(c.current(), None);
         assert_eq!(c.seek_geq(0), None);
     }
+
+    #[test]
+    fn seek_past_end_is_sticky_and_safe() {
+        let r = run();
+        let levels = [0usize, 2];
+        let mut c = SortedCursor::new(&r, &levels);
+        // Past the last level-0 value: exhausted, and every further seek
+        // (smaller, equal, maximal) stays exhausted without wrapping.
+        assert_eq!(c.seek_geq(9), None);
+        assert_eq!(c.current(), None);
+        assert_eq!(c.seek_geq(0), None, "seek never goes backward");
+        assert_eq!(c.seek_geq(u32::MAX), None);
+        // Reset recovers the full range.
+        c.reset();
+        assert_eq!(c.current(), Some(1));
+    }
+
+    #[test]
+    fn seek_past_end_inside_an_opened_range_stays_in_range() {
+        let r = run();
+        let levels = [0usize, 2];
+        let mut c = SortedCursor::new(&r, &levels);
+        assert_eq!(c.seek_geq(3), Some(3));
+        c.open();
+        // s=3's objects are 1 and 5; seeking past them exhausts only the
+        // subrange, never leaking into s=8's objects.
+        assert_eq!(c.seek_geq(6), None);
+        assert_eq!(c.seek_geq(u32::MAX), None);
+        c.up();
+        assert_eq!(c.seek_geq(4), Some(8), "parent range is intact");
+    }
+
+    #[test]
+    fn duplicate_prefix_runs_group_into_one_child_range() {
+        // Many entries sharing one level-0 value (a "fat" trie node),
+        // with duplicate (s, p) prefixes differing only at the last
+        // level — the shape galloping must bracket correctly.
+        let r: Vec<EncodedTriple> = (0..64u32)
+            .map(|i| [7, i / 8, i])
+            .chain(std::iter::once([9, 0, 0]))
+            .collect();
+        let levels = [0usize, 1, 2];
+        let mut c = SortedCursor::new(&r, &levels);
+        assert_eq!(c.seek_geq(7), Some(7));
+        c.open();
+        // Level 1 enumerates each duplicated prefix value exactly once
+        // per seek target.
+        for want in 0..8u32 {
+            assert_eq!(c.seek_geq(want), Some(want));
+            c.open();
+            assert_eq!(c.current(), Some(want * 8), "first grandchild");
+            // The equal-run has exactly 8 leaves.
+            assert_eq!(c.seek_geq(want * 8 + 7), Some(want * 8 + 7));
+            assert_eq!(c.seek_geq(want * 8 + 8), None);
+            c.up();
+        }
+        assert_eq!(c.seek_geq(8), None, "no ninth prefix under s=7");
+        c.up();
+        assert_eq!(c.seek_geq(8), Some(9), "sibling subject still there");
+    }
 }

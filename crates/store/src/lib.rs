@@ -41,6 +41,7 @@ pub mod index;
 pub mod memstore;
 pub mod paged;
 pub mod prefetch;
+pub mod segment;
 pub mod shard;
 
 pub use buffer::{BufferPool, PoolStats};
@@ -51,5 +52,6 @@ pub use encoded::{EncodedTriple, Pattern};
 pub use fault::{FaultBackend, FaultConfig, FaultSnapshot};
 pub use memstore::{StoreStats, TripleStore};
 pub use paged::{FileBackend, MemBackend, PageBackend, PagedTripleStore};
+pub use segment::{shape_key_bounds, shape_order, PagedSegmentSource, SegmentSource};
 pub use shard::{Route, ShardMap};
 pub use wodex_resilience::{RetrySnapshot, StoreError};

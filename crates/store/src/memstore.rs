@@ -10,8 +10,9 @@
 
 use crate::encoded::{EncodedTriple, Pattern};
 use crate::index::{Order, SortedIndex};
+use crate::segment::{shape_order, SegmentSource};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use wodex_rdf::{Graph, Term, TermDict, TermId, Triple};
 
 /// Default number of tail triples tolerated before an automatic merge.
@@ -51,9 +52,20 @@ fn next_revision() -> u64 {
 }
 
 /// An indexed, dictionary-encoded triple store.
+///
+/// Optionally layered over an immutable [`SegmentSource`] *base region*
+/// (a persistent segment store, the paged store, or another in-memory
+/// store): reads union the base with the local sorted indexes and tail,
+/// deletes of base triples tombstone them, and inserts de-duplicate
+/// against the base — the classic LSM arrangement with the base as the
+/// bottom level. Base reads are fallible at the [`SegmentSource`] layer
+/// (typed [`wodex_resilience::StoreError`]s, internal retries); this
+/// infallible facade is **fail-stop**: an unrecoverable base error
+/// panics rather than silently dropping rows from a result.
 #[derive(Debug, Default)]
 pub struct TripleStore {
     dict: TermDict,
+    base: Option<Arc<dyn SegmentSource>>,
     spo: SortedIndex,
     pos: SortedIndex,
     osp: SortedIndex,
@@ -97,6 +109,60 @@ impl TripleStore {
         store.insert_graph(graph);
         store.merge_tail();
         store
+    }
+
+    /// Creates a store layered over an immutable base region.
+    ///
+    /// `dict` must already contain every term id the base returns (for a
+    /// persistent segment store, the dictionary loaded from the same
+    /// directory); local inserts intern new terms on top, extending the
+    /// dense id space. The base is never mutated — deletes tombstone its
+    /// triples locally, inserts land in the tail as usual.
+    pub fn with_base(dict: TermDict, base: Arc<dyn SegmentSource>) -> TripleStore {
+        let len = base.source_len();
+        let mut store = TripleStore {
+            dict,
+            base: Some(base),
+            tail_limit: DEFAULT_TAIL_LIMIT,
+            len,
+            ..Default::default()
+        };
+        store.touch();
+        store
+    }
+
+    /// The immutable base region, if this store has one.
+    pub fn base(&self) -> Option<&Arc<dyn SegmentSource>> {
+        self.base.as_ref()
+    }
+
+    /// Fail-stop unwrap for base reads (see the struct docs): the
+    /// infallible facade cannot return an error, and a silently empty
+    /// result would be *unsound* (query answers must be supersets of the
+    /// base's matches), so an unrecoverable base failure halts.
+    fn base_ok<T>(r: Result<T, wodex_resilience::StoreError>) -> T {
+        r.unwrap_or_else(|e| panic!("segment base read failed (fail-stop): {e}"))
+    }
+
+    /// Base membership test (false without a base).
+    fn base_contains(&self, t: &EncodedTriple) -> bool {
+        match &self.base {
+            Some(b) => Self::base_ok(b.contains_triple(t)),
+            None => false,
+        }
+    }
+
+    /// Base matches of `pat` with local tombstones filtered out, in the
+    /// shape's index key order. Empty without a base.
+    fn base_matches(&self, pat: Pattern) -> Vec<EncodedTriple> {
+        let Some(b) = &self.base else {
+            return Vec::new();
+        };
+        let mut out = Self::base_ok(b.scan(pat));
+        if !self.deleted.is_empty() {
+            out.retain(|t| !self.deleted.contains(t));
+        }
+        out
     }
 
     /// The term dictionary.
@@ -196,7 +262,7 @@ impl TripleStore {
             .spo
             .prefix_range(Some(k[0]), Some(k[1]), Some(k[2]))
             .is_empty();
-        if in_sorted && self.deleted.insert(t) {
+        if (in_sorted || self.base_contains(&t)) && self.deleted.insert(t) {
             self.len -= 1;
             self.touch();
             return true;
@@ -235,6 +301,9 @@ impl TripleStore {
             return;
         }
         // Compaction path: rebuild the indexes without the tombstones.
+        // Tombstones covering *base* triples must survive the rebuild —
+        // the base is immutable, so they are the only record of those
+        // deletes.
         let deleted = std::mem::take(&mut self.deleted);
         let tail = std::mem::take(&mut self.tail);
         let mut all: Vec<EncodedTriple> = self
@@ -247,6 +316,12 @@ impl TripleStore {
         self.spo = SortedIndex::build(Order::Spo, &all);
         self.pos = SortedIndex::build(Order::Pos, &all);
         self.osp = SortedIndex::build(Order::Osp, &all);
+        if self.base.is_some() {
+            self.deleted = deleted
+                .into_iter()
+                .filter(|t| self.base_contains(t))
+                .collect();
+        }
     }
 
     /// Membership test on an encoded triple.
@@ -260,6 +335,7 @@ impl TripleStore {
             .prefix_range(Some(k[0]), Some(k[1]), Some(k[2]))
             .is_empty()
             || self.tail.contains(t)
+            || self.base_contains(t)
     }
 
     /// Membership test on a decoded triple.
@@ -277,26 +353,28 @@ impl TripleStore {
     /// The contiguous index run serving a pattern's bound positions, plus
     /// the key order needed to restore `[s, p, o]` component order.
     ///
-    /// Selects the best index for the bound positions and binary-searches
+    /// Selects the best index for the bound positions
+    /// ([`crate::segment::shape_order`] — shared with every
+    /// [`SegmentSource`] so scan orders cannot drift) and binary-searches
     /// its prefix run; `s+o` (the one bound set that is not a prefix of
     /// any permutation) goes through OSP's `o, s` prefix.
     fn index_run(&self, s: Option<u32>, p: Option<u32>, o: Option<u32>) -> (&[[u32; 3]], Order) {
-        match (s, p, o) {
-            // Full/partial SPO prefixes.
-            (Some(s), Some(p), Some(o)) => {
-                (self.spo.prefix_range(Some(s), Some(p), Some(o)), Order::Spo)
-            }
-            (Some(s), Some(p), None) => (self.spo.prefix_range(Some(s), Some(p), None), Order::Spo),
-            (Some(s), None, None) => (self.spo.prefix_range(Some(s), None, None), Order::Spo),
-            // POS prefixes.
-            (None, Some(p), Some(o)) => (self.pos.prefix_range(Some(p), Some(o), None), Order::Pos),
-            (None, Some(p), None) => (self.pos.prefix_range(Some(p), None, None), Order::Pos),
-            // OSP prefixes.
-            (None, None, Some(o)) => (self.osp.prefix_range(Some(o), None, None), Order::Osp),
-            (Some(s), None, Some(o)) => (self.osp.prefix_range(Some(o), Some(s), None), Order::Osp),
-            // Full scan.
-            (None, None, None) => (self.spo.prefix_range(None, None, None), Order::Spo),
-        }
+        let order = shape_order(s.is_some(), p.is_some(), o.is_some());
+        let index = match order {
+            Order::Spo => &self.spo,
+            Order::Pos => &self.pos,
+            Order::Osp => &self.osp,
+        };
+        // Permute the bound components into the index's key order; every
+        // shape's bound set is a leading prefix of its shape_order key.
+        let positions = order.key(&[0, 1, 2]);
+        let opts = [s, p, o];
+        let k = positions.map(|i| opts[i as usize]);
+        debug_assert!(
+            k[1].is_none() || k[0].is_some(),
+            "bound set must be a leading prefix of {order:?}"
+        );
+        (index.prefix_range(k[0], k[1], k[2]), order)
     }
 
     /// Matches a pattern, returning encoded triples.
@@ -304,13 +382,15 @@ impl TripleStore {
     /// The index run is decoded (and, when deletions exist, filtered) in
     /// parallel partitions merged in index order, then matching tail
     /// entries are appended — so results are identical to a serial scan at
-    /// every thread count.
+    /// every thread count. With a base region, its (tombstone-filtered)
+    /// matches come first, in the same key order the local run uses.
     pub fn match_pattern(&self, pat: Pattern) -> Vec<EncodedTriple> {
         let s = pat.s.map(|t| t.0);
         let p = pat.p.map(|t| t.0);
         let o = pat.o.map(|t| t.0);
+        let base = self.base_matches(pat);
         let (run, order) = self.index_run(s, p, o);
-        let mut out: Vec<EncodedTriple> = if self.deleted.is_empty() {
+        let local: Vec<EncodedTriple> = if self.deleted.is_empty() {
             wodex_exec::par_map(run, |k| order.unkey(k))
         } else {
             wodex_exec::par_chunks(run, wodex_exec::chunk_size(run.len()), |_, chunk| {
@@ -323,6 +403,29 @@ impl TripleStore {
             .into_iter()
             .flatten()
             .collect()
+        };
+        // Merge the (disjoint) base and local regions in key order, so
+        // that with an empty tail the result is globally key-ordered and
+        // the sorted fast paths hold with or without a base.
+        let mut out = if base.is_empty() {
+            local
+        } else if local.is_empty() {
+            base
+        } else {
+            let mut merged = Vec::with_capacity(base.len() + local.len());
+            let (mut i, mut j) = (0, 0);
+            while i < base.len() && j < local.len() {
+                if order.key(&base[i]) <= order.key(&local[j]) {
+                    merged.push(base[i]);
+                    i += 1;
+                } else {
+                    merged.push(local[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&base[i..]);
+            merged.extend_from_slice(&local[j..]);
+            merged
         };
         out.extend(self.tail.iter().filter(|t| pat.matches(t)));
         out
@@ -348,7 +451,22 @@ impl TripleStore {
                 |a, b| a + b,
             )
         };
-        indexed + self.tail.iter().filter(|t| pat.matches(t)).count()
+        let base = match &self.base {
+            Some(b) => {
+                let total = Self::base_ok(b.count(pat));
+                // Tombstoned base triples are counted by the base but
+                // invisible here; regions are disjoint, so tombstones on
+                // the local sorted region never double-subtract.
+                let tombstoned = self
+                    .deleted
+                    .iter()
+                    .filter(|t| pat.matches(t) && Self::base_ok(b.contains_triple(t)))
+                    .count();
+                total - tombstoned
+            }
+            None => 0,
+        };
+        base + indexed + self.tail.iter().filter(|t| pat.matches(t)).count()
     }
 
     /// Matches a pattern and decodes the results into [`Triple`]s.
@@ -390,10 +508,13 @@ impl TripleStore {
         Some(pat)
     }
 
-    /// All encoded triples in SPO order (tail merged first).
+    /// All encoded triples in SPO order (tail merged first; base region
+    /// included).
     pub fn snapshot_sorted(&mut self) -> Vec<EncodedTriple> {
         self.merge_tail();
-        self.spo.iter().map(|k| Order::Spo.unkey(k)).collect()
+        // With the tail merged, the full-scan match is the SPO-ordered
+        // merge of the base and local regions minus tombstones.
+        self.match_pattern(Pattern::any())
     }
 
     /// Process-unique content revision; bumps on every mutation. Two
@@ -418,14 +539,26 @@ impl TripleStore {
                 }
                 n
             }
-            StoreStats {
+            let mut stats = StoreStats {
                 indexed_triples: self.spo.len(),
                 distinct: [
                     leading_runs(&self.spo),
                     leading_runs(&self.pos),
                     leading_runs(&self.osp),
                 ],
+            };
+            if let Some(b) = &self.base {
+                // Fold in the base's metadata-derived stats. Summing the
+                // distinct counts can double-count terms present in both
+                // regions — acceptable for an estimate, and exact in the
+                // common pure-base configuration.
+                let bs = b.source_stats();
+                stats.indexed_triples += bs.indexed_triples;
+                for (d, bd) in stats.distinct.iter_mut().zip(bs.distinct) {
+                    *d += bd;
+                }
             }
+            stats
         })
     }
 
@@ -435,7 +568,8 @@ impl TripleStore {
     /// exact while no deletions are pending.
     pub fn estimate_pattern(&self, pat: Pattern) -> usize {
         let (run, _) = self.index_run(pat.s.map(|t| t.0), pat.p.map(|t| t.0), pat.o.map(|t| t.0));
-        run.len() + self.tail.iter().filter(|t| pat.matches(t)).count()
+        let base = self.base.as_ref().map_or(0, |b| b.estimate(pat));
+        base + run.len() + self.tail.iter().filter(|t| pat.matches(t)).count()
     }
 
     /// The triple position (0 = s, 1 = p, 2 = o) whose values the index
@@ -475,21 +609,10 @@ impl TripleStore {
         debug_assert!(position < 3);
         let natural = Self::natural_position(pat.s.is_some(), pat.p.is_some(), pat.o.is_some());
         if self.tail.is_empty() && natural == Some(position) {
-            let (run, order) =
-                self.index_run(pat.s.map(|t| t.0), pat.p.map(|t| t.0), pat.o.map(|t| t.0));
-            if self.deleted.is_empty() {
-                return wodex_exec::par_map(run, |k| order.unkey(k));
-            }
-            return wodex_exec::par_chunks(run, wodex_exec::chunk_size(run.len()), |_, chunk| {
-                chunk
-                    .iter()
-                    .map(|k| order.unkey(k))
-                    .filter(|t| !self.deleted.contains(t))
-                    .collect::<Vec<EncodedTriple>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            // With no tail, match_pattern is globally key-ordered (base
+            // and local regions are merged in key order), which within a
+            // run equals the `(t[position], t)` order.
+            return self.match_pattern(pat);
         }
         let mut out = self.match_pattern(pat);
         out.sort_unstable_by_key(|t| (t[position], *t));
@@ -927,6 +1050,101 @@ mod tests {
             st.match_pattern_sorted_lex(pat, &positions),
             reference(&st, pat, &positions)
         );
+    }
+
+    /// The `store()` fixture split into a base region (its sorted
+    /// triples) and a layered store on top.
+    fn layered_store() -> (TripleStore, TripleStore) {
+        let reference = store();
+        let base = store();
+        let dict = base.dict().clone();
+        let layered = TripleStore::with_base(dict, Arc::new(base));
+        (layered, reference)
+    }
+
+    #[test]
+    fn base_backed_store_reads_like_the_flat_store() {
+        let (layered, reference) = layered_store();
+        assert_eq!(layered.len(), reference.len());
+        let s = reference.id_of(&Term::iri("http://e.org/s3"));
+        let p = reference.id_of(&Term::iri(rdf::TYPE));
+        let o = reference.id_of(&Term::iri("http://e.org/C"));
+        for &ps in &[None, s] {
+            for &pp in &[None, p] {
+                for &po in &[None, o] {
+                    let pat = Pattern {
+                        s: ps,
+                        p: pp,
+                        o: po,
+                    };
+                    assert_eq!(
+                        layered.match_pattern(pat),
+                        reference.match_pattern(pat),
+                        "{pat:?}"
+                    );
+                    assert_eq!(layered.count_pattern(pat), reference.count_pattern(pat));
+                    assert!(layered.estimate_pattern(pat) >= layered.count_pattern(pat));
+                    for position in 0..3 {
+                        assert_eq!(
+                            layered.match_pattern_sorted_by(pat, position),
+                            reference.match_pattern_sorted_by(pat, position),
+                            "{pat:?} sorted_by {position}"
+                        );
+                    }
+                    for positions in [&[0usize, 1, 2][..], &[2, 0], &[1]] {
+                        assert_eq!(
+                            layered.match_pattern_sorted_lex(pat, positions),
+                            reference.match_pattern_sorted_lex(pat, positions),
+                            "{pat:?} sorted_lex {positions:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(layered.stats(), reference.stats());
+    }
+
+    #[test]
+    fn base_backed_store_supports_inserts_deletes_and_tombstones() {
+        let (mut layered, _) = layered_store();
+        let n = layered.len();
+        // Duplicate of a base triple is rejected.
+        let dup = Triple::iri("http://e.org/s0", rdf::TYPE, Term::iri("http://e.org/C"));
+        assert!(layered.contains(&dup));
+        assert!(!layered.insert(&dup));
+        assert_eq!(layered.len(), n);
+        // A new triple lands in the tail and unions with base reads.
+        let fresh = Triple::iri("http://e.org/zz", rdfs::LABEL, Term::literal("zz"));
+        assert!(layered.insert(&fresh));
+        assert_eq!(layered.len(), n + 1);
+        let p = layered.id_of(&Term::iri(rdfs::LABEL)).unwrap();
+        assert_eq!(layered.match_pattern(Pattern::any().with_p(p)).len(), 11);
+        // Deleting a base triple tombstones it…
+        assert!(layered.remove(&dup));
+        assert!(!layered.contains(&dup));
+        assert_eq!(layered.len(), n);
+        // …and the tombstone survives a tail merge (the base is
+        // immutable, so the tombstone is the only record of the delete).
+        layered.merge_tail();
+        assert!(!layered.contains(&dup));
+        let t = layered.id_of(&Term::iri(rdf::TYPE)).unwrap();
+        assert_eq!(layered.match_pattern(Pattern::any().with_p(t)).len(), 9);
+        assert_eq!(layered.count_pattern(Pattern::any().with_p(t)), 9);
+        // Resurrection works across the base boundary.
+        assert!(layered.insert(&dup));
+        assert!(layered.contains(&dup));
+        assert_eq!(layered.count_pattern(Pattern::any().with_p(t)), 10);
+        // Sorted scans stay consistent with the explicit sort everywhere.
+        for position in 0..3 {
+            let got = layered.match_pattern_sorted_by(Pattern::any(), position);
+            let mut want = layered.match_pattern(Pattern::any());
+            want.sort_unstable_by_key(|x| (x[position], *x));
+            assert_eq!(got, want, "position {position}");
+        }
+        // Snapshot includes base + local minus tombstones, SPO-sorted.
+        let snap = layered.snapshot_sorted();
+        assert_eq!(snap.len(), layered.len());
+        assert!(snap.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! the property experiment E5 measures.
 
 use crate::buffer::BufferPool;
-use crate::encoded::EncodedTriple;
+use crate::encoded::{EncodedTriple, TERM_ID_BYTES, TRIPLE_BYTES};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError};
@@ -64,7 +64,7 @@ pub const PAGE_SIZE: usize = 8192;
 /// Bytes of page header: little-endian u64 checksum, then u32 triple count.
 pub const PAGE_HEADER: usize = 12;
 /// Triples per page.
-pub const TRIPLES_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER) / 12;
+pub const TRIPLES_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER) / TRIPLE_BYTES;
 
 /// Storage backend: a flat array of pages with read accounting.
 ///
@@ -268,8 +268,12 @@ pub fn page_triples(data: &[u8]) -> impl Iterator<Item = EncodedTriple> + '_ {
         (field(8) as usize).min(TRIPLES_PER_PAGE)
     };
     (0..n).map(move |i| {
-        let at = PAGE_HEADER + i * 12;
-        [field(at), field(at + 4), field(at + 8)]
+        let at = PAGE_HEADER + i * TRIPLE_BYTES;
+        [
+            field(at),
+            field(at + TERM_ID_BYTES),
+            field(at + 2 * TERM_ID_BYTES),
+        ]
     })
 }
 

@@ -10,12 +10,20 @@
 //! wodex recommend <file> <predicate>              ranked chart types
 //! wodex viz       <file> <predicate> [out.svg]    LDVM pipeline → SVG + ASCII
 //! wodex paths     <file> <iri-a> <iri-b>          RelFinder shortest paths
+//! wodex load      <file.nt> --out <dir> [--mem-cap-mb N]
+//!                                                 bulk-load into a segment store
 //! wodex serve     <file> [--port N] [--workers N] [--queue N]
 //!                        [--deadline-ms N] [--sessions N]
 //!                        [--shard K/N] [--coordinator shards.txt]
 //!                                                 HTTP serving layer
 //! wodex tables                                    the survey's Tables 1 & 2
 //! ```
+//!
+//! Everywhere a `<file>` is accepted, `seg:<dir>` opens a persistent
+//! segment store produced by `wodex load` instead of parsing a document:
+//! triple data stays on disk and is block-paged per scan. `wodex serve
+//! --store seg:<dir>` additionally runs `wodex-seg`'s background
+//! compaction, stopped cleanly on `POST /admin/shutdown` or SIGTERM.
 //!
 //! Sharded serving: `--shard K/N` keeps only shard `K` of an `N`-way
 //! subject-hash partition (a worker process), `--coordinator shards.txt`
@@ -45,10 +53,23 @@ fn run(args: &[String]) -> i32 {
             println!("{}", wodex::registry::analysis::report());
             0
         }
+        "load" => bulk_load(&args[1..]),
         "serve" => {
-            let Some(path) = args.get(1) else {
-                eprintln!("missing input file\n{}", usage());
-                return 2;
+            // `serve <path>` and `serve --store <path>` are equivalent;
+            // the flag form reads naturally next to the other flags.
+            let (path, rest) = match args.get(1).map(String::as_str) {
+                Some("--store") => match args.get(2) {
+                    Some(p) => (p, &args[3..]),
+                    None => {
+                        eprintln!("--store needs a path\n{}", usage());
+                        return 2;
+                    }
+                },
+                Some(_) => (&args[1], &args[2..]),
+                None => {
+                    eprintln!("missing input file\n{}", usage());
+                    return 2;
+                }
             };
             let ex = match load(path) {
                 Ok(ex) => ex,
@@ -57,7 +78,10 @@ fn run(args: &[String]) -> i32 {
                     return 1;
                 }
             };
-            serve(ex, &args[2..])
+            // Segment-backed datasets get the background compactor; its
+            // shutdown rides the server's shutdown hooks.
+            let seg_dir = path.strip_prefix("seg:").map(std::path::PathBuf::from);
+            serve(ex, seg_dir, rest)
         }
         "stats" | "classes" | "facets" | "search" | "query" | "explain" | "recommend" | "viz"
         | "paths" => {
@@ -337,9 +361,93 @@ fn query_text(rest: &[String]) -> Result<String, i32> {
     }
 }
 
+/// `wodex load` — streams an N-Triples dump into a segment store
+/// directory in bounded memory (external merge sort).
+fn bulk_load(rest: &[String]) -> i32 {
+    let Some(input) = rest.first() else {
+        eprintln!("missing input file\n{}", usage());
+        return 2;
+    };
+    let mut cfg = wodex::seg::LoadConfig::default();
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let value = rest.get(i + 1);
+        let parsed = match (flag, value) {
+            ("--out", Some(v)) => {
+                out = Some(v.clone());
+                Ok(())
+            }
+            ("--mem-cap-mb", Some(v)) => v.parse::<u64>().map(|n| {
+                cfg.mem_cap_bytes = n.max(1) * 1024 * 1024;
+            }),
+            ("--block-triples", Some(v)) => v.parse::<usize>().map(|n| {
+                cfg.block_triples = n.max(1);
+            }),
+            ("--segment-max", Some(v)) => v.parse::<usize>().map(|n| {
+                cfg.segment_max_triples = n.max(1);
+            }),
+            _ => {
+                eprintln!("unknown or incomplete load flag {flag:?}\n{}", usage());
+                return 2;
+            }
+        };
+        if parsed.is_err() {
+            eprintln!("bad value for {flag}");
+            return 2;
+        }
+        i += 2;
+    }
+    let Some(out) = out else {
+        eprintln!("missing --out <dir>\n{}", usage());
+        return 2;
+    };
+    let file = match std::fs::File::open(input) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {input}: {e}");
+            return 1;
+        }
+    };
+    let started = std::time::Instant::now();
+    let report = match wodex::seg::load_ntriples(std::io::BufReader::new(file), out.as_ref(), &cfg)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            return 1;
+        }
+    };
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    let stored = report.segment_bytes + report.dict_bytes;
+    println!(
+        "loaded {} unique triples ({} parsed, {} terms) in {:.2}s ({:.0} triples/s)",
+        report.triples,
+        report.parsed,
+        report.terms,
+        secs,
+        report.parsed as f64 / secs
+    );
+    println!(
+        "external sort: {} run(s) spilled; {} segment(s) written",
+        report.runs_spilled, report.segments
+    );
+    println!(
+        "bytes: {} N-Triples → {} stored ({:.2}x)",
+        report.bytes_read,
+        stored,
+        stored as f64 / report.bytes_read.max(1) as f64
+    );
+    println!("serve it: wodex serve seg:{out}");
+    0
+}
+
 /// `wodex serve` — boots the HTTP serving layer over the loaded dataset
-/// and blocks until `POST /admin/shutdown`.
-fn serve(ex: Explorer, rest: &[String]) -> i32 {
+/// and blocks until `POST /admin/shutdown` (or SIGTERM). `seg_dir` set
+/// means the dataset is a segment store: background compaction runs and
+/// is stopped through the server's shutdown hooks.
+fn serve(ex: Explorer, seg_dir: Option<std::path::PathBuf>, rest: &[String]) -> i32 {
     let mut cfg = ServeConfig::default();
     let mut coordinator_file: Option<String> = None;
     let mut i = 0;
@@ -424,13 +532,22 @@ fn serve(ex: Explorer, rest: &[String]) -> i32 {
         }
         None => None,
     };
-    let server = match Server::bind_with_coordinator(ex, cfg, coordinator) {
+    let mut server = match Server::bind_with_coordinator(ex, cfg, coordinator) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind: {e}");
             return 1;
         }
     };
+    if let Some(dir) = seg_dir {
+        let handle = wodex::seg::CompactorHandle::spawn(&dir, wodex::seg::CompactOpts::default());
+        server.on_shutdown(move || handle.stop());
+        println!(
+            "background compaction on {} (stops on shutdown)",
+            dir.display()
+        );
+    }
+    install_sigterm(server.state(), server.addr());
     println!("listening on http://{}", server.addr());
     println!("endpoints: /healthz /stats /metrics /sparql /explore/* /viz/* /shard/* (POST /admin/shutdown to stop)");
     match server.run() {
@@ -453,6 +570,12 @@ fn parse_shard_spec(v: &str) -> Option<(u32, u32)> {
 }
 
 fn load(path: &str) -> Result<Explorer, String> {
+    if let Some(dir) = path.strip_prefix("seg:") {
+        let (dict, store) =
+            wodex::seg::SegmentStore::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+        let store = wodex::store::TripleStore::with_base(dict, std::sync::Arc::new(store));
+        return Ok(Explorer::from_store(store));
+    }
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     if path.ends_with(".nt") {
         Explorer::from_ntriples(&text).map_err(|e| e.to_string())
@@ -461,10 +584,43 @@ fn load(path: &str) -> Result<Explorer, String> {
     }
 }
 
+/// Installs a SIGTERM handler (raw `signal(2)` — the workspace is
+/// std-only) plus a watcher thread that translates the flag into the
+/// server's own shutdown protocol: set the flag, poke the accept loop.
+/// Shutdown hooks (compactor stop) then run on the normal path.
+fn install_sigterm(state: std::sync::Arc<wodex::serve::AppState>, addr: std::net::SocketAddr) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static TERM: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as *const () as usize);
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = on_term as extern "C" fn(i32);
+    std::thread::spawn(move || loop {
+        if TERM.load(Ordering::SeqCst) {
+            state.shutdown.store(true, Ordering::SeqCst);
+            let _ = std::net::TcpStream::connect(addr);
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+}
+
 fn usage() -> &'static str {
-    "usage: wodex <stats|classes|facets|search|query|explain|recommend|viz|paths> <file.{ttl,nt}> [args…]
-       wodex explain <file.{ttl,nt}> <sparql | @query.rq> [--shards shards.txt]
-       wodex serve <file.{ttl,nt}> [--port N] [--workers N] [--queue N] [--deadline-ms N] [--sessions N]
+    "usage: wodex <stats|classes|facets|search|query|explain|recommend|viz|paths> <file.{ttl,nt} | seg:dir> [args…]
+       wodex explain <file.{ttl,nt} | seg:dir> <sparql | @query.rq> [--shards shards.txt]
+       wodex load <file.nt> --out <dir> [--mem-cap-mb N] [--block-triples N] [--segment-max N]
+       wodex serve [--store] <file.{ttl,nt} | seg:dir> [--port N] [--workers N] [--queue N] [--deadline-ms N] [--sessions N]
                    [--shard K/N] [--coordinator shards.txt]
        wodex tables"
 }

@@ -30,6 +30,7 @@
 //! | [`serve`] | `wodex-serve` | HTTP serving layer: admission control, sessions, streaming |
 //! | [`obs`] | `wodex-obs` | Metrics registry, query tracing, Prometheus exposition |
 //! | [`shard`] | `wodex-shard` | Sharded serving: scatter-gather coordinator, breakers, hedging |
+//! | [`seg`] | `wodex-seg` | Persistent compressed segments: bulk loader, background compaction |
 
 pub use wodex_approx as approx;
 pub use wodex_core as core;
@@ -41,6 +42,7 @@ pub use wodex_obs as obs;
 pub use wodex_rdf as rdf;
 pub use wodex_registry as registry;
 pub use wodex_resilience as resilience;
+pub use wodex_seg as seg;
 pub use wodex_serve as serve;
 pub use wodex_shard as shard;
 pub use wodex_sparql as sparql;

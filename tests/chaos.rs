@@ -233,3 +233,80 @@ fn budgeted_queries_degrade_soundly_never_panic() {
     }
     assert!(degraded >= 5, "sweep never exercised degradation");
 }
+
+/// PR 8: the same fault-tolerance contract for the compressed segment
+/// read path. A `Segment` over a `FaultBackend` must (1) never panic,
+/// (2) never silently decode a torn block — every `Ok` scan is
+/// key-identical to the fault-free baseline, (3) be bit-identical to
+/// the bare backend at fault rate 0, and (4) surface unhealable faults
+/// as typed `RetriesExhausted` errors only.
+#[test]
+fn segment_scans_survive_chaos_or_fail_typed() {
+    use wodex::rdf::TermId;
+    use wodex::seg::format::write_segment;
+    use wodex::seg::{Segment, SegmentFileBackend};
+    use wodex::store::index::Order;
+    use wodex::store::Pattern;
+
+    let data = triples(20_000);
+    let mut pos: Vec<[u32; 3]> = data.iter().map(|t| [t[1], t[2], t[0]]).collect();
+    let mut osp: Vec<[u32; 3]> = data.iter().map(|t| [t[2], t[0], t[1]]).collect();
+    pos.sort_unstable();
+    osp.sort_unstable();
+
+    let dir = std::env::temp_dir().join(format!("wodex_chaos_seg_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("chaos.seg");
+    // Small blocks so the sweep touches many independent checksums.
+    let meta = write_segment(
+        &path,
+        256,
+        data.iter().map(|k| Order::Spo.unkey(k)),
+        pos.iter().copied(),
+        osp.iter().copied(),
+    )
+    .expect("fault-free segment write");
+
+    let open_faulty = |seed: u64, rate: f64| {
+        let backend = SegmentFileBackend::open(&path, &meta).expect("open segment");
+        let backend = FaultBackend::new(backend, FaultConfig::chaos(seed, rate));
+        // A tiny pool forces real (injected) block fetches per scan.
+        Segment::from_parts(meta.clone(), backend, 2)
+    };
+
+    let baseline = open_faulty(0, 0.0);
+    let baseline_all = baseline.scan_keys(Pattern::any()).expect("fault-free scan");
+    assert_eq!(baseline_all.len(), data.len());
+    let probe_s = Pattern::any().with_s(TermId(123));
+    let probe_p = Pattern::any().with_p(TermId(3));
+    let baseline_s = baseline.scan_keys(probe_s).expect("fault-free scan");
+    let baseline_p = baseline.scan_keys(probe_p).expect("fault-free scan");
+    assert!(!baseline_s.is_empty() && !baseline_p.is_empty());
+
+    for case in 0..3u64 {
+        let seed = base_seed().wrapping_add(case);
+        for &rate in &FAULT_RATES {
+            let seg = open_faulty(seed, rate);
+            match seg.scan_keys(Pattern::any()) {
+                Ok(v) => assert_eq!(v, baseline_all, "silent corruption at rate {rate}"),
+                Err(e) => {
+                    assert!(rate > 0.0, "fault-free segment scan must not fail");
+                    assert_typed(&e);
+                }
+            }
+            match seg.scan_keys(probe_s) {
+                Ok(v) => assert_eq!(v, baseline_s),
+                Err(e) => assert_typed(&e),
+            }
+            match seg.scan_keys(probe_p) {
+                Ok(v) => assert_eq!(v, baseline_p),
+                Err(e) => assert_typed(&e),
+            }
+            if rate == 0.0 {
+                assert_eq!(seg.backend().fault_stats().total(), 0);
+                assert_eq!(seg.retry_stats().retries, 0);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -132,3 +132,68 @@ fn bad_usage_exits_nonzero() {
     assert_eq!(code, 1);
     assert!(stderr.contains("cannot load"));
 }
+
+/// PR 8: `wodex load` bulk-loads N-Triples into a segment store and
+/// every command accepts `seg:<dir>` in place of a document path — the
+/// persistent store answers identically to the parsed file.
+#[test]
+fn load_then_query_segment_store() {
+    let dir = std::env::temp_dir().join(format!("wodex_cli_seg_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let nt_path = dir.join("cities.nt");
+    let mut nt = String::new();
+    for i in 0..500 {
+        nt.push_str(&format!(
+            "<http://example.org/c{i}> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/City> .\n\
+             <http://example.org/c{i}> <http://example.org/population> \"{}\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            i * 1000
+        ));
+    }
+    std::fs::write(&nt_path, &nt).unwrap();
+    let store_dir = dir.join("store.seg");
+
+    // --mem-cap-mb floors at 1 MiB; 1500 raw triples fit, so no spill is
+    // asserted here (tests/seg_store.rs pins the external-sort path).
+    let (code, stdout, stderr) = wodex(&[
+        "load",
+        nt_path.to_str().unwrap(),
+        "--out",
+        store_dir.to_str().unwrap(),
+        "--mem-cap-mb",
+        "1",
+    ]);
+    assert_eq!(code, 0, "load failed: {stderr}");
+    assert!(stdout.contains("loaded 1000 unique triples"), "{stdout}");
+    assert!(store_dir.join("MANIFEST").exists());
+    assert!(store_dir.join("dict.wdx").exists());
+
+    // Loading twice must refuse rather than clobber.
+    let (code, _, stderr) = wodex(&[
+        "load",
+        nt_path.to_str().unwrap(),
+        "--out",
+        store_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "re-load into an existing store must fail");
+    assert!(stderr.contains("load failed"), "{stderr}");
+
+    let q = "SELECT ?c ?p WHERE { ?c a <http://example.org/City> . \
+             ?c <http://example.org/population> ?p FILTER(?p >= 400000) }";
+    let seg_arg = format!("seg:{}", store_dir.display());
+    let (code, seg_out, stderr) = wodex(&["query", &seg_arg, q]);
+    assert_eq!(code, 0, "seg query failed: {stderr}");
+    let (code, file_out, _) = wodex(&["query", nt_path.to_str().unwrap(), q]);
+    assert_eq!(code, 0);
+    assert!(seg_out.contains("100 row(s)"), "{seg_out}");
+    assert_eq!(
+        seg_out.lines().filter(|l| l.contains("row(s)")).count(),
+        file_out.lines().filter(|l| l.contains("row(s)")).count()
+    );
+    // stats works off the same seg: handle.
+    let (code, stdout, _) = wodex(&["stats", &seg_arg]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("triples:"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

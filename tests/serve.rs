@@ -420,6 +420,32 @@ fn admin_shutdown_stops_the_server() {
     }
 }
 
+/// Shutdown hooks (PR 8: the segment compactor's stop handle rides
+/// these) run exactly once after the worker scope drains, before
+/// `run()`/`shutdown()` returns.
+#[test]
+fn shutdown_hooks_run_on_admin_shutdown() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let fired = Arc::new(AtomicUsize::new(0));
+    let mut server = Server::bind(explorer(), ServeConfig::default()).expect("bind");
+    let hook_fired = Arc::clone(&fired);
+    server.on_shutdown(move || {
+        hook_fired.fetch_add(1, Ordering::SeqCst);
+    });
+    let rs = server.spawn();
+    let addr = rs.addr();
+    assert_eq!(
+        fired.load(Ordering::SeqCst),
+        0,
+        "hook must wait for shutdown"
+    );
+    let resp = post(addr, "/admin/shutdown", "");
+    assert_eq!(resp.status, 200);
+    rs.shutdown().expect("clean shutdown");
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "hook runs exactly once");
+}
+
 #[test]
 fn sessions_are_isolated_and_concurrent() {
     let rs = boot(ServeConfig::default());
