@@ -153,6 +153,33 @@ impl Histogram {
         Histogram { bins, strategy }
     }
 
+    /// Builds a histogram over **fixed** edges with a fully deterministic
+    /// fold: values are routed to bins, each bin's values sorted
+    /// ([`f64::total_cmp`]) and folded in ascending order. This is the
+    /// canonical rebuild baseline for [`LiveHistogram`] — the incremental
+    /// path reproduces exactly this fold per bin, so maintained and
+    /// rebuilt histograms are bit-identical, not merely approximately
+    /// equal. (By contrast [`Histogram::build`] merges parallel partial
+    /// bins, whose float-addition order depends on chunking.)
+    pub fn with_edges(values: &[f64], edges: &[f64], strategy: BinningStrategy) -> Histogram {
+        assert!(edges.len() >= 2, "need at least two edges");
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); edges.len() - 1];
+        for &v in values {
+            if v.is_finite() {
+                per[locate(edges, v)].push(v);
+            }
+        }
+        let bins = edges
+            .windows(2)
+            .zip(&mut per)
+            .map(|(w, vals)| {
+                vals.sort_by(f64::total_cmp);
+                fold_bin(w[0], w[1], vals)
+            })
+            .collect();
+        Histogram { bins, strategy }
+    }
+
     /// Total count across bins.
     pub fn total(&self) -> usize {
         self.bins.iter().map(|b| b.count).sum()
@@ -178,6 +205,159 @@ impl Histogram {
             }
         }
         sse
+    }
+}
+
+/// Folds one bin's sorted values in ascending order — the single fold
+/// both [`Histogram::with_edges`] and [`LiveHistogram`] use, so their
+/// float sums associate identically.
+fn fold_bin(lo: f64, hi: f64, sorted: &[f64]) -> Bin {
+    let mut b = Bin::empty(lo, hi);
+    for &v in sorted {
+        b.add(v);
+    }
+    b
+}
+
+/// A histogram maintained **incrementally** under insert/delete deltas —
+/// the live-data answer to rebuilding per mutation. Edges are fixed at
+/// construction (a synopsis with moving edges cannot be patched, only
+/// rebuilt); each bin keeps its values sorted and recomputes its
+/// aggregate by the same ascending fold [`Histogram::with_edges`] uses,
+/// so [`LiveHistogram::histogram`] is bit-identical to a from-scratch
+/// rebuild over the current multiset after **every** delta. Cost per
+/// delta: one binary search plus one dirty-bin refold, independent of
+/// the number of bins and of values outside the touched bin.
+#[derive(Debug, Clone)]
+pub struct LiveHistogram {
+    edges: Vec<f64>,
+    strategy: BinningStrategy,
+    /// Per-bin values, sorted by [`f64::total_cmp`].
+    values: Vec<Vec<f64>>,
+    bins: Vec<Bin>,
+    dirty: Vec<bool>,
+}
+
+impl LiveHistogram {
+    /// A live histogram over explicit `edges` (at least two, ascending).
+    pub fn with_edges(edges: Vec<f64>, strategy: BinningStrategy) -> LiveHistogram {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let k = edges.len() - 1;
+        let bins = edges.windows(2).map(|w| Bin::empty(w[0], w[1])).collect();
+        LiveHistogram {
+            edges,
+            strategy,
+            values: vec![Vec::new(); k],
+            bins,
+            dirty: vec![false; k],
+        }
+    }
+
+    /// Derives `k` edges from `initial` by `strategy` (as
+    /// [`Histogram::build`] would), then loads the values. At least one
+    /// finite value is required — a strategy cannot cut an empty domain.
+    pub fn from_values(initial: &[f64], k: usize, strategy: BinningStrategy) -> LiveHistogram {
+        assert!(k >= 1, "need at least one bin");
+        let mut sorted: Vec<f64> = initial.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        assert!(
+            !sorted.is_empty(),
+            "need at least one finite value to derive edges"
+        );
+        let edges = match strategy {
+            BinningStrategy::EqualWidth => equal_width_edges(&sorted, k),
+            BinningStrategy::EqualFrequency => equal_frequency_edges(&sorted, k),
+            BinningStrategy::VarianceMinimizing => variance_minimizing_edges(&sorted, k),
+        };
+        let mut live = LiveHistogram::with_edges(edges, strategy);
+        for v in sorted {
+            live.insert(v);
+        }
+        live
+    }
+
+    /// The fixed edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Total values held.
+    pub fn len(&self) -> usize {
+        self.values.iter().map(Vec::len).sum()
+    }
+
+    /// True when no values are held.
+    pub fn is_empty(&self) -> bool {
+        self.values.iter().all(Vec::is_empty)
+    }
+
+    /// Inserts a value (`false` for non-finite values, which every
+    /// construction path ignores).
+    pub fn insert(&mut self, v: f64) -> bool {
+        if !v.is_finite() {
+            return false;
+        }
+        let i = locate(&self.edges, v);
+        let vals = &mut self.values[i];
+        let at = vals.partition_point(|x| x.total_cmp(&v).is_le());
+        vals.insert(at, v);
+        self.dirty[i] = true;
+        true
+    }
+
+    /// Deletes one occurrence of `v`; `false` if absent.
+    pub fn delete(&mut self, v: f64) -> bool {
+        if !v.is_finite() {
+            return false;
+        }
+        let i = locate(&self.edges, v);
+        let vals = &mut self.values[i];
+        let at = vals.partition_point(|x| x.total_cmp(&v).is_lt());
+        if vals.get(at).is_some_and(|x| x.total_cmp(&v).is_eq()) {
+            vals.remove(at);
+            self.dirty[i] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies a delta batch: deletes, then inserts (the write-batch
+    /// order of the MVCC store).
+    pub fn apply(&mut self, inserts: &[f64], deletes: &[f64]) {
+        for &v in deletes {
+            self.delete(v);
+        }
+        for &v in inserts {
+            self.insert(v);
+        }
+    }
+
+    /// The current histogram: dirty bins are refolded (ascending, from
+    /// empty), clean bins reused — bit-identical to
+    /// [`Histogram::with_edges`] over the current multiset.
+    pub fn histogram(&mut self) -> Histogram {
+        for (i, d) in self.dirty.iter_mut().enumerate() {
+            if *d {
+                self.bins[i] = fold_bin(self.edges[i], self.edges[i + 1], &self.values[i]);
+                *d = false;
+            }
+        }
+        Histogram {
+            bins: self.bins.clone(),
+            strategy: self.strategy,
+        }
+    }
+
+    /// A from-scratch rebuild over the current multiset — the
+    /// equivalence baseline for tests and benches.
+    pub fn rebuild_reference(&self) -> Histogram {
+        let all: Vec<f64> = self.values.iter().flatten().copied().collect();
+        Histogram::with_edges(&all, &self.edges, self.strategy)
     }
 }
 
@@ -427,6 +607,52 @@ mod tests {
         let cells = grid2d(&clustered, 32, 32);
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].count, 1000);
+    }
+
+    #[test]
+    fn with_edges_matches_build_totals_and_layout() {
+        let vals = ramp(1000);
+        let built = Histogram::build(&vals, 10, BinningStrategy::EqualWidth);
+        let edges: Vec<f64> = built
+            .bins
+            .iter()
+            .map(|b| b.lo)
+            .chain(built.bins.last().map(|b| b.hi))
+            .collect();
+        let fixed = Histogram::with_edges(&vals, &edges, BinningStrategy::EqualWidth);
+        assert_eq!(fixed.bins.len(), built.bins.len());
+        assert_eq!(fixed.total(), built.total());
+        for (a, b) in fixed.bins.iter().zip(&built.bins) {
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.min, b.min);
+            assert_eq!(a.max, b.max);
+        }
+    }
+
+    #[test]
+    fn live_histogram_equals_rebuild_bit_for_bit() {
+        let mut live = LiveHistogram::from_values(&ramp(500), 16, BinningStrategy::EqualWidth);
+        // A stream of inserts and deletes, checking after every delta.
+        for i in 0..200u64 {
+            let v = ((i.wrapping_mul(2654435761) >> 7) % 500) as f64 + 0.25;
+            if i % 3 == 0 {
+                live.delete(v.floor());
+            } else {
+                live.insert(v);
+            }
+            assert_eq!(live.histogram(), live.rebuild_reference(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn live_histogram_delete_of_absent_value_is_noop() {
+        let mut live = LiveHistogram::with_edges(vec![0.0, 5.0, 10.0], BinningStrategy::EqualWidth);
+        assert!(live.insert(3.0));
+        assert!(!live.delete(4.0));
+        assert!(live.delete(3.0));
+        assert!(live.is_empty());
+        assert!(!live.insert(f64::NAN));
+        assert_eq!(live.histogram().total(), 0);
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod progressive;
 pub mod sampling;
 pub mod sketch;
 
-pub use binning::{Bin, BinningStrategy, Histogram};
+pub use binning::{Bin, BinningStrategy, Histogram, LiveHistogram};
 pub use progressive::{ProgressiveAggregate, ProgressiveEstimate};
 pub use sampling::Reservoir;

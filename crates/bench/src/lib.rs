@@ -14,6 +14,7 @@
 pub mod crit;
 pub mod experiments;
 pub mod faultbench;
+pub mod livebench;
 pub mod obsbench;
 pub mod parbench;
 pub mod planbench;

@@ -1,0 +1,273 @@
+//! Live data: incremental synopsis maintenance and snapshot-read
+//! overhead (PR 9).
+//!
+//! [`report`] measures the two costs the MVCC write path must keep
+//! negligible:
+//!
+//! 1. **Maintenance ratio ≤ 0.2×** — folding a write batch into the
+//!    live synopses ([`LiveHistogram`], [`LiveHETree`]) and re-reading
+//!    them must cost at most a fifth of rebuilding both from scratch
+//!    over the same multiset, per batch, summed over the stream. The
+//!    maintained structures are asserted bit-identical to the rebuilds
+//!    before anything is timed — a fast divergent synopsis would be
+//!    meaningless.
+//! 2. **Snapshot-read overhead ≤ 1.05×** — at write rate 0, running the
+//!    PR 5 planner suite through `LiveStore::snapshot()` (pin + query,
+//!    exactly the `/sparql` read path) must stay within 5% of querying
+//!    an identical bare [`TripleStore`]. A revision-0 snapshot *is* the
+//!    seeded store behind an `Arc`, so the overhead is one mutex-guarded
+//!    clone per query.
+//!
+//! Environment overrides: `WODEX_LIVE_VALUES` (synopsis multiset size),
+//! `WODEX_LIVE_ENTITIES` (suite dataset size).
+
+use std::time::Instant;
+
+use wodex_approx::{BinningStrategy, LiveHistogram};
+use wodex_hetree::{tree_eq, Item, LiveHETree};
+use wodex_store::LiveStore;
+use wodex_synth::rng::{Rng, SeedableRng, StdRng};
+
+use crate::planbench::{paired_best, PREFIXES, SUITE};
+
+/// Incremental maintenance over full rebuild, per batch stream.
+pub const GATE_MAINTENANCE_RATIO: f64 = 0.20;
+
+/// Snapshot suite time over bare-store suite time at write rate 0.
+pub const GATE_READ_OVERHEAD: f64 = 1.05;
+
+const BATCHES: usize = 30;
+const BATCH_OPS: usize = 32;
+const RUNS: usize = 7;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The synopsis workload value pool: clustered mass with duplicates.
+fn value(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..3u32) {
+        0 => rng.random_range(0..500u32) as f64,
+        1 => (rng.random_range(0..10_000u32) as f64) / 13.0,
+        _ => -(rng.random_range(0..2_000u32) as f64) / 7.0,
+    }
+}
+
+struct MaintenanceRun {
+    inc_ms: f64,
+    rebuild_ms: f64,
+    ratio: f64,
+    identical: bool,
+}
+
+/// [`maintenance`], minimum over repetitions of the identical seeded
+/// stream — noise on a shared host only ever adds time.
+fn maintenance_best(values: usize, reps: usize) -> MaintenanceRun {
+    let mut best: Option<MaintenanceRun> = None;
+    for _ in 0..reps {
+        let m = maintenance(values);
+        let b = best.get_or_insert(MaintenanceRun {
+            inc_ms: f64::INFINITY,
+            rebuild_ms: f64::INFINITY,
+            ratio: f64::NAN,
+            identical: true,
+        });
+        b.identical &= m.identical;
+        b.inc_ms = b.inc_ms.min(m.inc_ms);
+        b.rebuild_ms = b.rebuild_ms.min(m.rebuild_ms);
+        b.ratio = b.inc_ms / b.rebuild_ms;
+    }
+    best.expect("at least one repetition")
+}
+
+/// Streams seeded write batches through both synopses, timing each
+/// batch's incremental apply against a from-scratch rebuild over the
+/// post-batch multiset. Batches are **value-local** — a cluster of
+/// inserts around one center, or the wholesale retraction of an
+/// earlier cluster — the shape of real live streams (one entity, one
+/// sensor, one page of edits), and exactly the case where patching
+/// beats rebuilding: the dirty region is one root-to-leaf path, not
+/// the whole tree.
+fn maintenance(values: usize) -> MaintenanceRun {
+    let mut rng = StdRng::seed_from_u64(0x11FE);
+    let domain = (-300.0, 800.0);
+    let clamp = |v: f64| v.clamp(domain.0, domain.1 - 1e-6);
+    let initial: Vec<Item> = (0..values)
+        .map(|i| (clamp(value(&mut rng)), i as u64))
+        .collect();
+    let floats: Vec<f64> = initial.iter().map(|&(v, _)| v).collect();
+    let mut hist = LiveHistogram::from_values(&floats, 64, BinningStrategy::EqualWidth);
+    let mut tree = LiveHETree::new(initial, 4, 8, domain);
+    let mut next_id = values as u64;
+    let mut clusters: Vec<Vec<Item>> = Vec::new();
+
+    let (mut inc_ms, mut rebuild_ms) = (0.0f64, 0.0f64);
+    let mut identical = true;
+    for _ in 0..BATCHES {
+        let mut ins: Vec<Item> = Vec::new();
+        let mut del: Vec<Item> = Vec::new();
+        if !clusters.is_empty() && rng.random_range(0..4u32) == 0 {
+            del = clusters.swap_remove(rng.random_range(0..clusters.len()));
+        } else {
+            let center = clamp(value(&mut rng));
+            for _ in 0..BATCH_OPS {
+                let jitter = (rng.random_range(0..4000u32) as f64) / 1000.0 - 2.0;
+                let item = (clamp(center + jitter), next_id);
+                next_id += 1;
+                ins.push(item);
+            }
+            clusters.push(ins.clone());
+        }
+        let ins_f: Vec<f64> = ins.iter().map(|&(v, _)| v).collect();
+        let del_f: Vec<f64> = del.iter().map(|&(v, _)| v).collect();
+
+        // Incremental: fold the delta in and re-read both synopses.
+        let t0 = Instant::now();
+        hist.apply(&ins_f, &del_f);
+        let maintained = hist.histogram();
+        tree.apply(&ins, &del);
+        inc_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+        // Rebuild: the same post-batch state from scratch.
+        let t1 = Instant::now();
+        let rebuilt_hist = hist.rebuild_reference();
+        let rebuilt_tree = tree.rebuild_reference();
+        rebuild_ms += t1.elapsed().as_secs_f64() * 1e3;
+
+        identical &= maintained == rebuilt_hist && tree_eq(tree.tree(), &rebuilt_tree);
+    }
+    MaintenanceRun {
+        inc_ms,
+        rebuild_ms,
+        ratio: inc_ms / rebuild_ms,
+        identical,
+    }
+}
+
+fn run_once(store: &wodex_store::TripleStore, text: &str) -> u64 {
+    let q = wodex_sparql::parse_query(text).expect("suite query parses");
+    let out = wodex_sparql::evaluate_with(
+        store,
+        &q,
+        &wodex_sparql::Budget::unlimited(),
+        &wodex_sparql::QueryTrace::disabled(),
+        wodex_sparql::EvalOptions::default(),
+    )
+    .expect("suite query evaluates");
+    match out.result {
+        wodex_sparql::QueryResult::Solutions(t) => match t.rows.first().and_then(|r| r.first()) {
+            Some(Some(wodex_rdf::Term::Literal(l))) => l.lexical().parse().unwrap_or(0),
+            _ => 0,
+        },
+        _ => 0,
+    }
+}
+
+/// Runs both gates and returns the `BENCH_PR9.json` document.
+pub fn report() -> String {
+    let values = env_usize("WODEX_LIVE_VALUES", 50_000);
+    let entities = env_usize("WODEX_LIVE_ENTITIES", 3_000);
+
+    let m = maintenance_best(values, 3);
+
+    // Two identically seeded stores: one queried bare (the PR 5 read
+    // path), one through `LiveStore::snapshot()` at write rate 0.
+    let direct = crate::workloads::zipf_store(entities, 6, 1.1, 0x5EED);
+    let live = LiveStore::new(crate::workloads::zipf_store(entities, 6, 1.1, 0x5EED));
+
+    let mut workloads = Vec::new();
+    let (mut direct_total, mut snap_total) = (0.0f64, 0.0f64);
+    let mut identical = true;
+    for &(name, _, body) in SUITE {
+        let text = format!("{PREFIXES}{body}");
+        let expect = run_once(&direct, &text);
+        identical &= run_once(live.snapshot().store(), &text) == expect;
+        let (direct_ms, snap_ms) = paired_best(
+            |use_snap| {
+                if use_snap {
+                    // Pin per query — exactly what `/sparql` does.
+                    run_once(live.snapshot().store(), &text)
+                } else {
+                    run_once(&direct, &text)
+                }
+            },
+            RUNS,
+        );
+        direct_total += direct_ms;
+        snap_total += snap_ms;
+        workloads.push((name, expect, direct_ms, snap_ms));
+    }
+    let overhead = snap_total / direct_total;
+    assert_eq!(live.revision(), 0, "write rate 0 means revision 0");
+
+    let gate_ok = m.ratio <= GATE_MAINTENANCE_RATIO
+        && m.identical
+        && overhead <= GATE_READ_OVERHEAD
+        && identical;
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"bench\": \"live data: incremental synopsis maintenance + snapshot-read overhead\",\n",
+    );
+    out.push_str(&format!("  \"synopsis_values\": {values},\n"));
+    out.push_str(&format!("  \"batches\": {BATCHES},\n"));
+    out.push_str(&format!("  \"batch_ops\": {BATCH_OPS},\n"));
+    out.push_str(&format!("  \"incremental_ms\": {:.3},\n", m.inc_ms));
+    out.push_str(&format!("  \"rebuild_ms\": {:.3},\n", m.rebuild_ms));
+    out.push_str(&format!(
+        "  \"gate_maintenance_ratio\": {GATE_MAINTENANCE_RATIO:.2},\n"
+    ));
+    out.push_str(&format!("  \"maintenance_ratio\": {:.4},\n", m.ratio));
+    out.push_str(&format!("  \"synopses_identical\": {},\n", m.identical));
+    out.push_str(&format!("  \"entities\": {entities},\n"));
+    out.push_str(&format!(
+        "  \"gate_read_overhead\": {GATE_READ_OVERHEAD:.2},\n"
+    ));
+    out.push_str(&format!("  \"read_overhead_ratio\": {overhead:.4},\n"));
+    out.push_str(&format!("  \"answers_identical\": {identical},\n"));
+    out.push_str(&format!("  \"gate_ok\": {gate_ok},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, (name, rows, direct_ms, snap_ms)) in workloads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"rows\": {rows}, \"direct_ms\": {direct_ms:.3}, \
+             \"snapshot_ms\": {snap_ms:.3}, \"snap_over_direct\": {:.3}}}{}\n",
+            snap_ms / direct_ms,
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maintenance_stays_incremental_and_identical() {
+        let m = maintenance(8_000);
+        assert!(m.identical, "maintained synopses diverged from rebuilds");
+        assert!(
+            m.ratio < 1.0,
+            "incremental apply must beat a full rebuild (ratio {})",
+            m.ratio
+        );
+    }
+
+    #[test]
+    fn revision_zero_snapshot_answers_match_the_bare_store() {
+        let direct = crate::workloads::zipf_store(300, 4, 1.1, 0x5EED);
+        let live = LiveStore::new(crate::workloads::zipf_store(300, 4, 1.1, 0x5EED));
+        for &(name, _, body) in SUITE {
+            let text = format!("{PREFIXES}{body}");
+            assert_eq!(
+                run_once(&direct, &text),
+                run_once(live.snapshot().store(), &text),
+                "answers diverged for {name}"
+            );
+        }
+    }
+}

@@ -29,6 +29,9 @@
 
 use std::fmt;
 
+pub mod live;
+pub use live::{tree_eq, LiveHETree};
+
 /// A data item: a numeric (or epoch-mapped temporal) value plus the id of
 /// the RDF object it came from.
 pub type Item = (f64, u64);
@@ -177,13 +180,72 @@ impl HETree {
     /// Builds the **whole** tree eagerly (the non-incremental baseline).
     pub fn build(data: Vec<Item>, variant: Variant, degree: usize, leaf_capacity: usize) -> HETree {
         let mut t = HETree::new(data, variant, degree, leaf_capacity);
-        let mut stack = vec![t.root()];
+        t.expand_all();
+        t
+    }
+
+    /// Creates a **range-based** tree whose root covers the explicit
+    /// `domain` instead of the data's min/max. Pinning the domain makes
+    /// every node's cut points a function of the domain alone — the
+    /// precondition for incremental maintenance ([`live::LiveHETree`]):
+    /// with data-derived ranges, a single insert outside the current
+    /// min/max would move every cut in the tree. (Content-based trees
+    /// have data-dependent boundaries by construction and can only be
+    /// rebuilt.)
+    pub fn new_with_domain(
+        mut data: Vec<Item>,
+        degree: usize,
+        leaf_capacity: usize,
+        domain: (f64, f64),
+    ) -> HETree {
+        assert!(degree >= 2, "degree must be at least 2");
+        assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
+        assert!(
+            domain.0 < domain.1 && domain.0.is_finite() && domain.1.is_finite(),
+            "domain must be a finite non-empty interval"
+        );
+        data.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let stats = Stats::of(&data);
+        let root = Node {
+            lo: 0,
+            hi: data.len(),
+            range: domain,
+            stats,
+            parent: None,
+            depth: 0,
+            children: None,
+        };
+        HETree {
+            variant: Variant::RangeBased,
+            degree,
+            leaf_capacity,
+            data,
+            nodes: vec![root],
+            expansions: 0,
+        }
+    }
+
+    /// [`HETree::new_with_domain`], built eagerly — the from-scratch
+    /// rebuild baseline the incremental path is tested against.
+    pub fn build_with_domain(
+        data: Vec<Item>,
+        degree: usize,
+        leaf_capacity: usize,
+        domain: (f64, f64),
+    ) -> HETree {
+        let mut t = HETree::new_with_domain(data, degree, leaf_capacity, domain);
+        t.expand_all();
+        t
+    }
+
+    /// Materializes every reachable node.
+    fn expand_all(&mut self) {
+        let mut stack = vec![self.root()];
         while let Some(id) = stack.pop() {
-            for c in t.expand(id).to_vec() {
+            for c in self.expand(id).to_vec() {
                 stack.push(c);
             }
         }
-        t
     }
 
     /// The root node id.
@@ -252,10 +314,24 @@ impl HETree {
         self.nodes[id].children.as_deref()
     }
 
-    /// True if the node can never have children (≤ leaf capacity).
+    /// True if the node can never have children: at or under leaf
+    /// capacity, or (range-based only) a run no value cut can ever
+    /// separate — expanding such a node would recurse forever on an
+    /// ever-shrinking range with no progress. "Uncuttable" must use the
+    /// cut's own comparison (numeric `<`, see `expand`), not total
+    /// order: `-0.0` and `0.0` are total-order distinct, yet every cut
+    /// point sends them to the same child.
     pub fn is_leaf(&self, id: NodeId) -> bool {
         let n = &self.nodes[id];
-        n.hi - n.lo <= self.leaf_capacity
+        if n.hi - n.lo <= self.leaf_capacity {
+            return true;
+        }
+        // Sorted by total_cmp, so first ≤ last; `!(first < last)` means
+        // the run is numerically one value (or NaNs, which no cut
+        // moves — `>=` would wrongly report NaN runs cuttable).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let uncuttable = !(self.data[n.lo].0 < self.data[n.hi - 1].0);
+        self.variant == Variant::RangeBased && uncuttable
     }
 
     /// Materializes the children of a node (idempotent). Returns the

@@ -1,0 +1,440 @@
+//! Incremental HETree maintenance under insert/delete deltas.
+//!
+//! SynopsViz-style exploration over *live* data needs the aggregation
+//! tree patched per write batch, never rebuilt — the survey's
+//! incremental-maintenance challenge. [`LiveHETree`] maintains a fully
+//! materialized range-based tree with a **pinned domain**
+//! ([`HETree::build_with_domain`]) and guarantees the maintained tree is
+//! **bit-identical** to a from-scratch rebuild over the current item
+//! multiset after every batch ([`tree_eq`] is the checked relation).
+//!
+//! Why this works:
+//!
+//! * The sorted item array evolves exactly as a stable re-sort of the
+//!   stream would: inserts land at the *upper bound* among equal values
+//!   (later stream position ⇒ later array position), deletes remove the
+//!   exact `(value, id)` item, preserving the relative order of the
+//!   rest.
+//! * With the domain pinned, a node's child cut points depend only on
+//!   its value range — never on the data — so structure changes are
+//!   local to the nodes whose item slices actually changed.
+//! * [`Stats`] are recomputed per dirty node with the same sequential
+//!   [`Stats::of`] fold over the same slice the builder uses. Float
+//!   addition is not associative; recomputing (rather than merging the
+//!   delta in) is what makes the result identical rather than merely
+//!   close.
+//!
+//! Per batch, reconciliation walks the tree top-down once: subtrees
+//! whose content is untouched are index-shifted without recomputation;
+//! dirty nodes recompute their cut points and stats; leaves that
+//! overflow re-expand, interior nodes that underflow collapse.
+
+use crate::{HETree, Item, Node, NodeId, Stats, Variant};
+
+/// A range-based [`HETree`] maintained incrementally under deltas.
+pub struct LiveHETree {
+    tree: HETree,
+    domain: (f64, f64),
+}
+
+impl LiveHETree {
+    /// Builds the initial tree eagerly over `data` with a pinned
+    /// `domain` (see [`HETree::new_with_domain`]).
+    pub fn new(data: Vec<Item>, degree: usize, leaf_capacity: usize, domain: (f64, f64)) -> Self {
+        LiveHETree {
+            tree: HETree::build_with_domain(data, degree, leaf_capacity, domain),
+            domain,
+        }
+    }
+
+    /// The maintained tree (always fully materialized).
+    pub fn tree(&self) -> &HETree {
+        &self.tree
+    }
+
+    /// The maintained tree, mutably — for exploration calls like
+    /// [`HETree::cover`] that take `&mut self` (their expansions are
+    /// no-ops here: every node is already materialized).
+    pub fn tree_mut(&mut self) -> &mut HETree {
+        &mut self.tree
+    }
+
+    /// The pinned domain.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Applies one delta batch — deletes, then inserts, the write-batch
+    /// order of the MVCC store — and reconciles the tree. Cost is one
+    /// compaction/merge pass over the item array plus the touched
+    /// subtrees — never a per-item `Vec::insert` memmove, never a
+    /// rebuild.
+    pub fn apply(&mut self, inserts: &[Item], deletes: &[Item]) {
+        // Every edit leaves a "dirty point": an index (in the
+        // coordinates of the final array) at/around which content
+        // changed. Delete points are first computed in the compacted
+        // (pre-insert) array, then remapped across the insert merge.
+        let mut delete_edits: Vec<usize> = Vec::new();
+
+        // Deletes: locate every victim first, then compact in ONE pass.
+        let mut gone: Vec<usize> = Vec::new();
+        for &(v, id) in deletes {
+            if !v.is_finite() {
+                continue;
+            }
+            if let Some(p) = self.find_item(v, id, &gone) {
+                gone.push(p);
+            }
+        }
+        if !gone.is_empty() {
+            gone.sort_unstable();
+            // An edit at original index p lands at p - |removed below p|
+            // once the array is compacted.
+            for (k, &p) in gone.iter().enumerate() {
+                delete_edits.push(p - k);
+            }
+            let mut next = 0usize;
+            let mut keep = 0usize;
+            let data = &mut self.tree.data;
+            for i in 0..data.len() {
+                if next < gone.len() && gone[next] == i {
+                    next += 1;
+                } else {
+                    data[keep] = data[i];
+                    keep += 1;
+                }
+            }
+            data.truncate(keep);
+        }
+
+        // Inserts: each lands at the *upper bound* among equal values,
+        // batch items among themselves in stream order — exactly what a
+        // stable sort of the batch merged behind equal incumbents
+        // yields. One backward merge instead of k memmoves.
+        let mut batch: Vec<Item> = inserts
+            .iter()
+            .copied()
+            .filter(|&(v, _)| v.is_finite())
+            .collect();
+        let mut edits: Vec<usize> = Vec::new();
+        if !batch.is_empty() {
+            batch.sort_by(|a, b| a.0.total_cmp(&b.0)); // stable
+            let data = &mut self.tree.data;
+            let old_len = data.len();
+            let cuts: Vec<usize> = batch
+                .iter()
+                .map(|&(v, _)| data.partition_point(|x| x.0.total_cmp(&v).is_le()))
+                .collect();
+            data.resize(old_len + batch.len(), (0.0, 0));
+            let mut src = old_len;
+            let mut dst = data.len();
+            for j in (0..batch.len()).rev() {
+                while src > cuts[j] {
+                    src -= 1;
+                    dst -= 1;
+                    data[dst] = data[src];
+                }
+                dst -= 1;
+                data[dst] = batch[j];
+                edits.push(dst);
+            }
+            debug_assert_eq!(src, dst);
+            // A pre-insert point e sits after every batch item whose cut
+            // is ≤ e (cuts are sorted: the batch is).
+            for e in &mut delete_edits {
+                *e += cuts.partition_point(|&c| c <= *e);
+            }
+        }
+        edits.append(&mut delete_edits);
+
+        if edits.is_empty() {
+            return;
+        }
+        edits.sort_unstable();
+        edits.dedup();
+        let len = self.tree.data.len();
+        self.reconcile(self.tree.root(), 0, len, &edits);
+    }
+
+    /// Inserts one item.
+    pub fn insert(&mut self, item: Item) {
+        self.apply(&[item], &[]);
+    }
+
+    /// Deletes one item; `false` if it was not present.
+    pub fn delete(&mut self, item: Item) -> bool {
+        let before = self.tree.len();
+        self.apply(&[], &[item]);
+        self.tree.len() < before
+    }
+
+    /// A from-scratch rebuild over the current items — the equivalence
+    /// baseline for tests and benches.
+    pub fn rebuild_reference(&self) -> HETree {
+        HETree::build_with_domain(
+            self.tree.data.clone(),
+            self.tree.degree,
+            self.tree.leaf_capacity,
+            self.domain,
+        )
+    }
+
+    /// Finds the exact `(v, id)` item's index, skipping indices already
+    /// claimed by earlier deletes of the same batch.
+    fn find_item(&self, v: f64, id: u64, claimed: &[usize]) -> Option<usize> {
+        let data = &self.tree.data;
+        let start = data.partition_point(|x| x.0.total_cmp(&v).is_lt());
+        let mut i = start;
+        while let Some(&(x, xid)) = data.get(i) {
+            if x.total_cmp(&v).is_ne() {
+                return None;
+            }
+            if xid == id && !claimed.contains(&i) {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Top-down reconciliation: brings the subtree at `id` to cover
+    /// `[new_lo, new_hi)` of the (already edited) data array, exactly as
+    /// a fresh build would shape it.
+    fn reconcile(&mut self, id: NodeId, new_lo: usize, new_hi: usize, edits: &[usize]) {
+        let (old_lo, old_hi) = {
+            let n = &self.tree.nodes[id];
+            (n.lo, n.hi)
+        };
+        // Dirty iff some edit point touches [new_lo, new_hi] (inclusive
+        // hi: an edit at the boundary may belong to either sibling; the
+        // redundant recompute folds identical items to identical bits).
+        let from = edits.partition_point(|&e| e < new_lo);
+        let dirty = edits.get(from).is_some_and(|&e| e <= new_hi);
+        if !dirty {
+            if (old_lo, old_hi) != (new_lo, new_hi) {
+                debug_assert_eq!(new_hi - new_lo, old_hi - old_lo, "clean subtree resized");
+                self.shift_subtree(id, new_lo as isize - old_lo as isize);
+            }
+            return;
+        }
+        {
+            let stats = Stats::of(&self.tree.data[new_lo..new_hi]);
+            let n = &mut self.tree.nodes[id];
+            n.lo = new_lo;
+            n.hi = new_hi;
+            n.stats = stats;
+        }
+        if self.tree.is_leaf(id) {
+            // A leaf now (possibly collapsed from an interior node; the
+            // orphaned descendants stay in the arena unreferenced, as
+            // ICO's unexpanded twins never exist at all).
+            self.tree.nodes[id].children = Some(Vec::new());
+            return;
+        }
+        let kids = match &self.tree.nodes[id].children {
+            Some(k) if !k.is_empty() => k.clone(),
+            // A former leaf overflowed (or a collapsed node regrew):
+            // build the subtree fresh, exactly as the builder would.
+            _ => {
+                self.tree.nodes[id].children = None;
+                let mut stack = vec![id];
+                while let Some(nid) = stack.pop() {
+                    for c in self.tree.expand(nid).to_vec() {
+                        stack.push(c);
+                    }
+                }
+                return;
+            }
+        };
+        // Interior stays interior: recompute the child cuts with the
+        // exact formula `expand` uses, then reconcile each child.
+        debug_assert_eq!(self.tree.variant, Variant::RangeBased);
+        let (rlo, rhi) = self.tree.nodes[id].range;
+        let d = self.tree.degree;
+        let w = (rhi - rlo) / d as f64;
+        let mut a = new_lo;
+        for (i, &kid) in kids.iter().enumerate() {
+            let b = if i == d - 1 {
+                new_hi
+            } else {
+                let cut_hi = rlo + w * (i + 1) as f64;
+                new_lo + self.tree.data[new_lo..new_hi].partition_point(|&(v, _)| v < cut_hi)
+            };
+            self.reconcile(kid, a, b, edits);
+            a = b;
+        }
+    }
+
+    /// Shifts a content-unchanged subtree's item indices by `delta`.
+    /// Stats and structure are untouched — identical items in identical
+    /// order fold to identical bits.
+    fn shift_subtree(&mut self, id: NodeId, delta: isize) {
+        let mut stack = vec![id];
+        while let Some(nid) = stack.pop() {
+            let n = &mut self.tree.nodes[nid];
+            n.lo = (n.lo as isize + delta) as usize;
+            n.hi = (n.hi as isize + delta) as usize;
+            if let Some(kids) = &n.children {
+                stack.extend(kids.iter().copied());
+            }
+        }
+    }
+}
+
+/// Structural bit-equality of two trees: same configuration, same item
+/// array (bit-for-bit), and recursively identical nodes from the roots —
+/// slice bounds, ranges, stats (all float fields compared by bits) and
+/// child lists. Arena layout is deliberately ignored: an incrementally
+/// maintained tree orders (and orphans) arena slots differently from a
+/// bulk build of the same logical tree.
+pub fn tree_eq(a: &HETree, b: &HETree) -> bool {
+    if a.variant != b.variant
+        || a.degree != b.degree
+        || a.leaf_capacity != b.leaf_capacity
+        || a.data.len() != b.data.len()
+    {
+        return false;
+    }
+    if !a
+        .data
+        .iter()
+        .zip(&b.data)
+        .all(|(x, y)| x.0.to_bits() == y.0.to_bits() && x.1 == y.1)
+    {
+        return false;
+    }
+    node_eq(a, a.root(), b, b.root())
+}
+
+fn node_eq(a: &HETree, ai: NodeId, b: &HETree, bi: NodeId) -> bool {
+    let (x, y): (&Node, &Node) = (&a.nodes[ai], &b.nodes[bi]);
+    let stats_eq = |s: &Stats, t: &Stats| {
+        s.count == t.count
+            && s.min.to_bits() == t.min.to_bits()
+            && s.max.to_bits() == t.max.to_bits()
+            && s.sum.to_bits() == t.sum.to_bits()
+            && s.sum_sq.to_bits() == t.sum_sq.to_bits()
+    };
+    if x.lo != y.lo
+        || x.hi != y.hi
+        || x.depth != y.depth
+        || x.range.0.to_bits() != y.range.0.to_bits()
+        || x.range.1.to_bits() != y.range.1.to_bits()
+        || !stats_eq(&x.stats, &y.stats)
+    {
+        return false;
+    }
+    match (&x.children, &y.children) {
+        (None, None) => true,
+        (Some(xs), Some(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(&xc, &yc)| node_eq(a, xc, b, yc))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<Item> {
+        (0..n).map(|i| ((i * 7 % n) as f64, i as u64)).collect()
+    }
+
+    #[test]
+    fn fresh_live_tree_equals_its_own_rebuild() {
+        let live = LiveHETree::new(items(500), 4, 20, (0.0, 500.0));
+        assert!(tree_eq(live.tree(), &live.rebuild_reference()));
+    }
+
+    #[test]
+    fn single_inserts_and_deletes_track_rebuild_exactly() {
+        let mut live = LiveHETree::new(items(300), 3, 10, (0.0, 300.0));
+        let mut next_id = 1000u64;
+        for i in 0..120u64 {
+            let v = ((i.wrapping_mul(2654435761) >> 5) % 300) as f64 + 0.5;
+            if i % 4 == 3 {
+                live.delete((v - 0.5, (v - 0.5) as u64 * 7 % 300));
+            } else {
+                live.insert((v, next_id));
+                next_id += 1;
+            }
+            assert!(
+                tree_eq(live.tree(), &live.rebuild_reference()),
+                "diverged at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_overflow_and_interior_collapse_round_trip() {
+        // Tiny capacity: inserts overflow leaves fast; deletes collapse.
+        let mut live = LiveHETree::new(items(16), 2, 2, (0.0, 16.0));
+        let inserted: Vec<Item> = (0..40).map(|i| ((i % 16) as f64 + 0.25, 500 + i)).collect();
+        live.apply(&inserted, &[]);
+        assert!(tree_eq(live.tree(), &live.rebuild_reference()));
+        live.apply(&[], &inserted);
+        assert!(tree_eq(live.tree(), &live.rebuild_reference()));
+        assert_eq!(live.tree().len(), 16);
+    }
+
+    #[test]
+    fn batch_apply_equals_stepwise() {
+        let mut batched = LiveHETree::new(items(200), 4, 8, (0.0, 200.0));
+        let mut stepwise = LiveHETree::new(items(200), 4, 8, (0.0, 200.0));
+        let ins: Vec<Item> = (0..30)
+            .map(|i| ((i * 13 % 200) as f64 + 0.1, 900 + i))
+            .collect();
+        let del: Vec<Item> = (0..10).map(|i| ((i * 7 * 7 % 200) as f64, i * 7)).collect();
+        batched.apply(&ins, &del);
+        for &d in &del {
+            stepwise.delete(d);
+        }
+        for &i in &ins {
+            stepwise.insert(i);
+        }
+        assert!(tree_eq(batched.tree(), stepwise.tree()));
+        assert!(tree_eq(batched.tree(), &batched.rebuild_reference()));
+    }
+
+    #[test]
+    fn duplicate_values_keep_stream_order() {
+        let mut live = LiveHETree::new(vec![(5.0, 1), (5.0, 2)], 2, 1, (0.0, 10.0));
+        live.insert((5.0, 3));
+        // The rebuild's stable sort keeps ids 1,2,3 in stream order.
+        assert_eq!(live.tree().data, vec![(5.0, 1), (5.0, 2), (5.0, 3)]);
+        assert!(tree_eq(live.tree(), &live.rebuild_reference()));
+        assert!(live.delete((5.0, 2)));
+        assert_eq!(live.tree().data, vec![(5.0, 1), (5.0, 3)]);
+        assert!(!live.delete((5.0, 2)));
+        assert!(tree_eq(live.tree(), &live.rebuild_reference()));
+    }
+
+    #[test]
+    fn signed_zero_runs_over_capacity_terminate() {
+        // -0.0 and 0.0 are total-order distinct but no range cut can
+        // separate them (cuts compare with numeric `<`); a mixed run
+        // larger than leaf_capacity must become a leaf, not recurse.
+        let mut data: Vec<Item> = (0..6).map(|i| (-0.0, i)).collect();
+        data.extend((6..12).map(|i| (0.0, i)));
+        data.push((3.0, 99));
+        let mut live = LiveHETree::new(data, 2, 4, (-8.0, 8.0));
+        assert!(tree_eq(live.tree(), &live.rebuild_reference()));
+        live.apply(&[(0.0, 100), (-0.0, 101)], &[(3.0, 99)]);
+        assert!(tree_eq(live.tree(), &live.rebuild_reference()));
+        assert_eq!(live.tree().len(), 14);
+    }
+
+    #[test]
+    fn exploration_queries_work_on_the_live_tree() {
+        let mut live = LiveHETree::new(items(2000), 4, 50, (0.0, 2000.0));
+        live.apply(&[(123.5, 9000), (777.7, 9001)], &[]);
+        let frontier = live.tree_mut().cover(100.0, 900.0, 16);
+        assert!(!frontier.is_empty() && frontier.len() <= 16);
+        let total: usize = {
+            let t = live.tree_mut();
+            t.level(1).iter().map(|&n| t.stats(n).count).sum()
+        };
+        assert_eq!(total, 2002);
+    }
+}

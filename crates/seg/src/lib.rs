@@ -33,12 +33,17 @@
 //!   is always safe.
 
 pub mod compact;
+pub mod delta;
 pub mod dict;
 pub mod format;
 pub mod loader;
 pub mod store;
 
 pub use compact::{compact_once, CompactOpts, CompactOutcome, CompactorHandle};
+pub use delta::{
+    compact_deltas, compact_deltas_with, replay, wal_sink, CompactDeltasOutcome, DeltaFaultPlan,
+    DeltaLog, DELTA_FILE,
+};
 pub use dict::{read_dict, write_dict};
 pub use format::{read_segment_meta, BlockMeta, SegmentMeta, SegmentWriter};
 pub use loader::{load_ntriples, LoadConfig, LoadReport};
@@ -66,6 +71,14 @@ pub struct SegMetrics {
     pub compaction_aborts: Arc<Counter>,
     /// Live segment files across open stores.
     pub segments_live: Arc<Gauge>,
+    /// Delta frames appended durably to write-ahead logs.
+    pub delta_appends: Arc<Counter>,
+    /// Delta frames replayed at log open.
+    pub delta_frames_replayed: Arc<Counter>,
+    /// Torn log tails truncated at open.
+    pub delta_torn_tails: Arc<Counter>,
+    /// Delta logs folded into base segments.
+    pub delta_compactions: Arc<Counter>,
 }
 
 /// The process-wide [`SegMetrics`] instance.
@@ -105,6 +118,22 @@ pub fn metrics() -> &'static SegMetrics {
             segments_live: r.gauge(
                 "wodex_seg_segments_live",
                 "Live segment files across open segment stores",
+            ),
+            delta_appends: r.counter(
+                "wodex_seg_delta_appends_total",
+                "Delta frames appended durably to write-ahead logs",
+            ),
+            delta_frames_replayed: r.counter(
+                "wodex_seg_delta_frames_replayed_total",
+                "Delta frames replayed at write-ahead log open",
+            ),
+            delta_torn_tails: r.counter(
+                "wodex_seg_delta_torn_tails_total",
+                "Torn write-ahead log tails truncated at open",
+            ),
+            delta_compactions: r.counter(
+                "wodex_seg_delta_compactions_total",
+                "Delta logs folded into base segments",
             ),
         }
     })

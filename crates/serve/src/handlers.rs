@@ -5,7 +5,9 @@
 //! | `/healthz` | GET | liveness |
 //! | `/stats` | GET | server + store + exec + session counters |
 //! | `/sparql` | POST | budgeted query, chunked SPARQL-JSON streaming |
+//! | `/data` | POST | commit an N-Triples write batch (MVCC) |
 //! | `/explore/open` | GET/POST | open a session, returns its token |
+//! | `/explore/subscribe` | GET | long-poll revision-stamped delta frames |
 //! | `/explore/overview` | GET | class → instance counts (streamed) |
 //! | `/explore/facets` | GET | facet predicates and cardinalities |
 //! | `/explore/filter` | GET | apply a facet filter |
@@ -67,7 +69,9 @@ fn route(state: &AppState, req: &Request, out: &mut TcpStream) {
         ("GET", "/stats") => stats(state, out),
         ("GET", "/metrics") => metrics(out),
         ("POST", "/sparql") => sparql(state, req, out),
+        ("POST", "/data") => data_commit(state, req, out),
         ("GET", "/explore/open") | ("POST", "/explore/open") => explore_open(state, out),
+        ("GET", "/explore/subscribe") => explore_subscribe(state, req, out),
         ("GET", "/explore/overview") => explore_overview(state, req, out),
         ("GET", "/explore/facets") => explore_facets(state, req, out),
         ("GET", "/explore/filter") => explore_filter(state, req, out),
@@ -153,8 +157,9 @@ fn json_f64(v: f64) -> String {
 
 fn healthz(state: &AppState, out: &mut TcpStream) {
     let body = format!(
-        "{{\"status\":\"ok\",\"triples\":{},\"uptime_ms\":{}}}",
+        "{{\"status\":\"ok\",\"triples\":{},\"revision\":{},\"uptime_ms\":{}}}",
         state.explorer.store().len(),
+        state.live.revision(),
         state.started.elapsed().as_millis()
     );
     let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
@@ -265,6 +270,10 @@ fn stats(state: &AppState, out: &mut TcpStream) {
 /// `wco` (the default: planner + multiway joins on cyclic groups),
 /// `pairwise` (planner only), or `greedy` (the reference engine) —
 /// useful for A/B-ing plans in place; the engines answer identically.
+///
+/// Outside coordinator mode the query runs against the live store's
+/// current MVCC snapshot; the `X-Wodex-Revision` response header names
+/// the revision the answer is pinned to.
 fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
     let text = if req.body.is_empty() {
         req.param("query").unwrap_or("").to_string()
@@ -296,10 +305,13 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
     };
     let budget = request_budget(state, req);
     let trace = QueryTrace::new();
-    // Coordinator mode scatter-gathers across the shard fleet; both
-    // paths converge on (result, degraded) and stream identically, the
+    // Coordinator mode scatter-gathers across the shard fleet; the
+    // local path pins an MVCC snapshot and evaluates against its frozen
+    // store, so a query never observes a concurrent commit and its
+    // plans stay cached under the snapshot's revision. Both paths
+    // converge on (result, degraded) and stream identically, the
     // coordinator adding a per-shard report trailer.
-    let (result, degraded, shard_wire) = if let Some(coord) = &state.coordinator {
+    let (result, degraded, shard_wire, revision) = if let Some(coord) = &state.coordinator {
         match coord.query_traced_with(&text, &budget, &trace, opts) {
             Ok(c) => {
                 let wire = c
@@ -308,7 +320,7 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
                     .map(|r| r.wire())
                     .collect::<Vec<_>>()
                     .join(",");
-                (c.result, c.degraded, Some(wire))
+                (c.result, c.degraded, Some(wire), None)
             }
             Err(e) => {
                 bad_request(state, out, &e.to_string());
@@ -316,11 +328,9 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
             }
         }
     } else {
-        match state
-            .explorer
-            .sparql_traced_with(&text, &budget, &trace, opts)
-        {
-            Ok(b) => (b.result, b.degraded, None),
+        let snap = state.live.snapshot();
+        match wodex_sparql::query_traced_with(snap.store(), &text, &budget, &trace, opts) {
+            Ok(b) => (b.result, b.degraded, None, Some(snap.revision())),
             Err(e) => {
                 bad_request(state, out, &e.to_string());
                 return;
@@ -340,9 +350,13 @@ fn sparql(state: &AppState, req: &Request, out: &mut TcpStream) {
         .map(|s| format!("{}:est={}:act={}", s.op, s.est_rows, s.actual_rows))
         .collect::<Vec<_>>()
         .join(",");
+    let revision_header = revision.map(|r| r.to_string());
     let mut headers: Vec<(&str, &str)> = vec![("X-Wodex-Trace", trace_header.as_str())];
     if !plan_header.is_empty() {
         headers.push(("X-Wodex-Plan", plan_header.as_str()));
+    }
+    if let Some(r) = revision_header.as_deref() {
+        headers.push(("X-Wodex-Revision", r));
     }
     let mut trailers = vec![
         "X-Wodex-Degraded",
@@ -412,6 +426,135 @@ fn stream_table(
         cw.chunk(buf.as_bytes())?;
     }
     cw.chunk(t.json_tail().as_bytes())
+}
+
+/// `POST /data` — parses the body as N-Triples and commits it to the
+/// live store as one atomic write batch (`action=delete` removes the
+/// listed triples instead of adding them). Readers holding snapshots
+/// are unaffected; the response carries the revision the commit
+/// published and the *effective* change counts (inserting a present
+/// triple or deleting an absent one counts zero). A batch with no
+/// effective change publishes nothing and answers with the unchanged
+/// head revision.
+fn data_commit(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let text = String::from_utf8_lossy(&req.body).into_owned();
+    if text.trim().is_empty() {
+        bad_request(state, out, "empty body (send N-Triples)");
+        return;
+    }
+    let graph = match wodex_rdf::ntriples::parse(&text) {
+        Ok(g) => g,
+        Err(e) => {
+            bad_request(state, out, &format!("bad N-Triples: {e}"));
+            return;
+        }
+    };
+    let delete = match req.param("action") {
+        None | Some("insert") => false,
+        Some("delete") => true,
+        Some(other) => {
+            bad_request(
+                state,
+                out,
+                &format!("unknown action {other:?} (expected insert or delete)"),
+            );
+            return;
+        }
+    };
+    let mut batch = wodex_store::WriteBatch::new();
+    for t in graph.iter() {
+        if delete {
+            batch.delete(t.clone());
+        } else {
+            batch.insert(t.clone());
+        }
+    }
+    match state.live.commit(&batch) {
+        Ok(outcome) => {
+            let body = format!(
+                "{{\"revision\":{},\"inserts\":{},\"deletes\":{}}}",
+                outcome.snapshot.revision(),
+                outcome.frame.inserts.len(),
+                outcome.frame.deletes.len()
+            );
+            let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
+        }
+        // A write-ahead failure aborts the commit with the snapshot
+        // unchanged; surface it as a server error, not a bad request.
+        Err(e) => error_json(out, 500, "Internal Server Error", &e.to_string()),
+    }
+}
+
+/// `GET /explore/subscribe?since=R&wait_ms=W` — the server-push feed.
+/// Answers with every delta frame committed after revision `since`
+/// (oldest first), each frame's effective inserts/deletes decoded to
+/// N-Triples strings. With `wait_ms` the request long-polls: it blocks
+/// (bounded by the cap below) until a newer frame is published, so a
+/// subscriber loop sees each commit without busy-polling. When the
+/// bounded frame history no longer reaches back to `since`,
+/// `"resync":true` tells the subscriber to refetch from a fresh
+/// snapshot instead of applying frames.
+fn explore_subscribe(state: &AppState, req: &Request, out: &mut TcpStream) {
+    let since = match req.param("since").map(str::parse::<u64>) {
+        None => 0,
+        Some(Ok(r)) => r,
+        Some(Err(_)) => {
+            bad_request(state, out, "since must be a revision number");
+            return;
+        }
+    };
+    // The long-poll holds a worker, so the wait is capped well under
+    // the socket write timeout; clients re-poll from the returned head.
+    let wait_ms = req
+        .param("wait_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+        .min(10_000);
+    let fs = if wait_ms > 0 {
+        state
+            .live
+            .wait_for_frames(since, Duration::from_millis(wait_ms))
+    } else {
+        state.live.frames_since(since)
+    };
+    // Decode against the head snapshot: the id space only ever grows,
+    // so the newest dictionary covers every frame in the history.
+    let snap = state.live.snapshot();
+    let nt = |ts: &[wodex_store::EncodedTriple]| -> String {
+        ts.iter()
+            .map(|&t| js(&snap.store().decode(t).to_string()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let Ok(mut cw) = ChunkedWriter::start(&mut *out, 200, "OK", "application/json", &[], &[])
+    else {
+        return;
+    };
+    let _ = cw.chunk(
+        format!(
+            "{{\"revision\":{},\"resync\":{},\"frames\":[",
+            fs.revision, fs.resync
+        )
+        .as_bytes(),
+    );
+    let mut ok = true;
+    for (i, frame) in fs.frames.iter().enumerate() {
+        let chunk = format!(
+            "{}{{\"revision\":{},\"inserts\":[{}],\"deletes\":[{}]}}",
+            if i > 0 { "," } else { "" },
+            frame.revision,
+            nt(&frame.inserts),
+            nt(&frame.deletes)
+        );
+        if cw.chunk(chunk.as_bytes()).is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        let _ = cw.chunk(format!("],\"count\":{}}}", fs.frames.len()).as_bytes());
+        let _ = cw.finish(&[]);
+    }
 }
 
 fn explore_open(state: &AppState, out: &mut TcpStream) {

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use wodex_core::Explorer;
 use wodex_exec::channel::{self, TrySendError};
 use wodex_obs::{Counter, Histogram};
+use wodex_store::{LiveStore, Pattern, TripleStore};
 
 /// Global-registry handles for the serving layer. The per-instance
 /// [`Counters`] stay authoritative for `/stats` and the admission tests;
@@ -287,6 +288,11 @@ pub struct AppState {
     /// Coordinator mode: `/sparql` scatter-gathers across this fleet
     /// instead of evaluating against the local explorer.
     pub coordinator: Option<Arc<wodex_shard::Coordinator>>,
+    /// The MVCC write path: `POST /data` commits here, `/sparql`
+    /// evaluates against its current snapshot, and
+    /// `GET /explore/subscribe` long-polls its delta frames. Seeded at
+    /// bind time with a copy of the explorer's store (revision 0).
+    pub live: Arc<LiveStore>,
 }
 
 /// A bound, not-yet-running server.
@@ -339,6 +345,14 @@ impl Server {
             subjects: stats.subject_count,
             predicates: stats.predicate_count,
         };
+        // Seed the MVCC write path with a revision-0 copy of the
+        // dataset. The explorer keeps serving the bind-time graph to
+        // the exploration/viz endpoints; `/sparql` and the subscribe
+        // feed see live commits through this store's snapshots.
+        let live = Arc::new(LiveStore::new(TripleStore::from_encoded(
+            explorer.store().dict().clone(),
+            explorer.store().match_pattern(Pattern::any()),
+        )));
         let state = Arc::new(AppState {
             explorer,
             dataset,
@@ -350,6 +364,7 @@ impl Server {
             local_addr,
             started: Instant::now(),
             coordinator,
+            live,
         });
         Ok(Server {
             listener,

@@ -24,9 +24,14 @@
 //! [`ShapeSlot::Const`] and renumbers variables by first occurrence, so
 //! every query of the form `?a p1 C1 . ?a p2 ?b` shares one cached plan
 //! regardless of which constants or variable names it uses. The key
-//! also carries the store revision — any mutation bumps it
-//! ([`TripleStore::revision`]), so stale plans age out of the LRU
-//! naturally instead of being invalidated in place.
+//! also carries the store revision ([`TripleStore::revision`]): mutating
+//! a store in place bumps it, so stale plans age out of the LRU
+//! naturally instead of being invalidated in place. Under the MVCC
+//! write path (`wodex_store::LiveStore`) this becomes **snapshot
+//! keying**: a pinned `Snapshot`'s store is immutable, so its revision —
+//! and every plan cached against it — stays hot no matter how many
+//! commits land concurrently; each commit's new snapshot gets fresh
+//! keys instead of evicting its predecessor's plans wholesale.
 //!
 //! Execution preserves the evaluator's budget contract bit for bit:
 //! every operator polls the [`Budget`] at `wodex-exec` chunk
@@ -450,7 +455,10 @@ pub enum ShapeSlot {
 /// abstract shape. The engine bit matters: a plan built with the
 /// multiway join disabled carries no [`WcoPlan`], so toggling
 /// [`crate::EvalOptions::use_wco`] at runtime must never be served a
-/// plan cached for the other setting.
+/// plan cached for the other setting. The revision doubles as a
+/// snapshot pin: an MVCC snapshot's store never changes revision, so
+/// queries against a pinned snapshot keep hitting its cached plans
+/// while writers publish new snapshots under new revisions.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     revision: u64,

@@ -39,6 +39,7 @@ pub mod encoded;
 pub mod fault;
 pub mod index;
 pub mod memstore;
+pub mod mvcc;
 pub mod paged;
 pub mod prefetch;
 pub mod segment;
@@ -51,6 +52,7 @@ pub use cursor::SortedCursor;
 pub use encoded::{EncodedTriple, Pattern};
 pub use fault::{FaultBackend, FaultConfig, FaultSnapshot};
 pub use memstore::{StoreStats, TripleStore};
+pub use mvcc::{CommitOutcome, DeltaFrame, FramesSince, LiveStore, Snapshot, WalSink, WriteBatch};
 pub use paged::{FileBackend, MemBackend, PageBackend, PagedTripleStore};
 pub use segment::{shape_key_bounds, shape_order, PagedSegmentSource, SegmentSource};
 pub use shard::{Route, ShardMap};

@@ -111,6 +111,27 @@ impl TripleStore {
         store
     }
 
+    /// Builds a single-level store from a dictionary and encoded
+    /// triples (deduplicated internally). Used by the MVCC layer to
+    /// flatten an overlay chain back into one level: the result has no
+    /// base, no tail, and no tombstones, so reads over it cost exactly
+    /// what the pre-write read path cost.
+    pub fn from_encoded(dict: TermDict, mut triples: Vec<EncodedTriple>) -> TripleStore {
+        triples.sort_unstable();
+        triples.dedup();
+        let mut store = TripleStore {
+            dict,
+            spo: SortedIndex::build(Order::Spo, &triples),
+            pos: SortedIndex::build(Order::Pos, &triples),
+            osp: SortedIndex::build(Order::Osp, &triples),
+            len: triples.len(),
+            tail_limit: DEFAULT_TAIL_LIMIT,
+            ..Default::default()
+        };
+        store.touch();
+        store
+    }
+
     /// Creates a store layered over an immutable base region.
     ///
     /// `dict` must already contain every term id the base returns (for a

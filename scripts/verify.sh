@@ -23,6 +23,12 @@ for seed in 1 42 20160315; do
     WODEX_FAULT_SEED=$seed cargo test -q --offline --test chaos
 done
 
+echo "==> mvcc differential sweep (3 seeds, serial-replay oracle)"
+for seed in 1 42 20160315; do
+    echo "    WODEX_FAULT_SEED=$seed"
+    WODEX_FAULT_SEED=$seed cargo test -q --offline --test mvcc
+done
+
 echo "==> repro bench-pr2 (fault-free overhead gate <= 10%)"
 cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr2
 grep -q '"gate_ok": true' BENCH_PR2.json || {
@@ -180,6 +186,13 @@ echo "==> repro bench-pr8 (segment store: compression <= 0.5x, seg <= 2x mem sca
 cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr8
 grep -q '"gate_ok": true' BENCH_PR8.json || {
     echo "verify: FAIL — segment store missed its compression/parity gates (see BENCH_PR8.json)"
+    exit 1
+}
+
+echo "==> repro bench-pr9 (live data: maintenance <= 0.2x rebuild, snapshot reads <= 1.05x)"
+cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr9
+grep -q '"gate_ok": true' BENCH_PR9.json || {
+    echo "verify: FAIL — live data missed its maintenance/read-overhead gates (see BENCH_PR9.json)"
     exit 1
 }
 

@@ -310,3 +310,177 @@ fn segment_scans_survive_chaos_or_fail_typed() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// PR 9 extension: chaos at the live-data layer — injected faults
+/// during delta-log appends and during delta→base compaction. The
+/// invariants mirror the disk-path suite: typed errors only, no torn
+/// snapshots (in memory or on disk), and fault rate 0 is bit-identical
+/// to the fault-free path.
+mod delta_chaos {
+    use super::{base_seed, FAULT_RATES};
+    use std::path::{Path, PathBuf};
+    use std::sync::{Arc, Mutex};
+    use wodex::rdf::{ntriples, Graph, Term, Triple};
+    use wodex::resilience::StoreError;
+    use wodex::seg::{
+        compact_deltas, compact_deltas_with, load_ntriples, replay, wal_sink, DeltaFaultPlan,
+        DeltaLog, LoadConfig, SegmentStore,
+    };
+    use wodex::store::{LiveStore, Pattern, SegmentSource, TripleStore, WriteBatch};
+
+    fn tmpdir(name: &str, case: u64, rate: f64) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wodex_chaos_delta_{}_{name}_{case}_{}",
+            std::process::id(),
+            (rate * 100.0) as u32
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn t(s: usize, o: usize) -> Triple {
+        Triple::iri(
+            &format!("http://e.org/s{s}"),
+            "http://e.org/p",
+            Term::iri(format!("http://e.org/o{o}")),
+        )
+    }
+
+    /// Seeds a segment directory with `n` triples via the bulk loader.
+    fn seed_dir(dir: &Path, n: usize) {
+        let g: Graph = (0..n).map(|i| t(i, i)).collect();
+        let nt = ntriples::serialize(&g);
+        load_ntriples(nt.as_bytes(), dir, &LoadConfig::default()).expect("bulk load");
+    }
+
+    /// Opens the directory as a WAL-backed live store, with an optional
+    /// injected fault schedule on appends.
+    fn open_live(dir: &Path, fault: Option<DeltaFaultPlan>) -> (LiveStore, Arc<Mutex<DeltaLog>>) {
+        let (dict, base) = SegmentStore::open(dir).expect("open base");
+        let (frames, mut log) = DeltaLog::open(dir).expect("open log");
+        if let Some(plan) = fault {
+            log = log.with_fault(plan);
+        }
+        let (store, _rev) = replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames);
+        let live = LiveStore::new(store);
+        let log = Arc::new(Mutex::new(log));
+        live.set_wal(wal_sink(Arc::clone(&log)));
+        (live, log)
+    }
+
+    fn decoded_sorted(store: &TripleStore) -> Vec<String> {
+        let mut v: Vec<String> = store
+            .match_pattern(Pattern::any())
+            .into_iter()
+            .map(|e| store.decode(e).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Allowed failures under injected delta faults: transient or I/O,
+    /// carrying the faulting op — never a panic, never silent.
+    fn assert_delta_typed(e: &StoreError) {
+        assert!(
+            matches!(e, StoreError::Transient { .. } | StoreError::Io { .. }),
+            "delta chaos must surface as Transient/Io, got: {e}"
+        );
+    }
+
+    #[test]
+    fn delta_appends_survive_chaos_or_fail_typed() {
+        for case in 0..2u64 {
+            let seed = base_seed().wrapping_add(case);
+            for &rate in &FAULT_RATES {
+                let dir = tmpdir("append", case, rate);
+                seed_dir(&dir, 40);
+                let (live, _log) = open_live(&dir, Some(DeltaFaultPlan { seed, rate }));
+                // The oracle applies only the commits that succeeded on
+                // the faulted path — a commit whose WAL append failed
+                // must leave no trace anywhere.
+                let base: Graph = (0..40).map(|i| t(i, i)).collect();
+                let oracle = LiveStore::new(TripleStore::from_graph(&base));
+                let mut failures = 0usize;
+                for i in 0..24usize {
+                    let mut b = WriteBatch::new();
+                    b.insert(t(500 + i, i)).delete(t(i, i));
+                    match live.commit(&b) {
+                        Ok(_) => {
+                            oracle.commit(&b).expect("oracle commit is fault-free");
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            assert_delta_typed(&e);
+                        }
+                    }
+                }
+                if rate == 0.0 {
+                    assert_eq!(failures, 0, "fault-free appends must not fail");
+                }
+                // No torn snapshots: memory reflects exactly the
+                // successful commits.
+                assert_eq!(
+                    decoded_sorted(live.snapshot().store()),
+                    decoded_sorted(oracle.snapshot().store()),
+                    "torn snapshot at rate {rate}"
+                );
+                drop(live);
+                // Durability: recovery replays exactly the successful
+                // commits — failed and torn appends never resurface.
+                let (reopened, _log) = open_live(&dir, None);
+                assert_eq!(
+                    decoded_sorted(reopened.snapshot().store()),
+                    decoded_sorted(oracle.snapshot().store()),
+                    "recovery diverged at rate {rate}"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_compaction_survives_chaos_or_fails_typed() {
+        for case in 0..2u64 {
+            let seed = base_seed().wrapping_add(0xC0 + case);
+            for &rate in &FAULT_RATES {
+                let dir = tmpdir("compact", case, rate);
+                seed_dir(&dir, 30);
+                let (live, _log) = open_live(&dir, None);
+                for i in 0..10usize {
+                    let mut b = WriteBatch::new();
+                    b.insert(t(900 + i, i)).delete(t(i * 2, i * 2));
+                    live.commit(&b).expect("fault-free commit");
+                }
+                let want = decoded_sorted(live.snapshot().store());
+                drop(live);
+                match compact_deltas_with(&dir, Some(DeltaFaultPlan { seed, rate })) {
+                    Ok(Some(out)) => {
+                        assert_eq!(out.frames_folded, 10);
+                        let (reopened, log) = open_live(&dir, None);
+                        assert_eq!(log.lock().unwrap().committed_bytes(), 0);
+                        assert_eq!(decoded_sorted(reopened.snapshot().store()), want);
+                        assert_eq!(compact_deltas(&dir).expect("idempotent"), None);
+                    }
+                    Ok(None) => panic!("frames were pending"),
+                    Err(e) => {
+                        assert!(rate > 0.0, "fault-free compaction must not fail");
+                        assert_delta_typed(&e);
+                        // An aborted compaction leaves the directory as
+                        // it was — same content, frames intact — and a
+                        // fault-free retry lands it.
+                        let (reopened, _log) = open_live(&dir, None);
+                        assert_eq!(decoded_sorted(reopened.snapshot().store()), want);
+                        drop(reopened);
+                        let out = compact_deltas(&dir)
+                            .expect("retry succeeds")
+                            .expect("frames to fold");
+                        assert_eq!(out.frames_folded, 10);
+                        let (again, _log) = open_live(&dir, None);
+                        assert_eq!(decoded_sorted(again.snapshot().store()), want);
+                    }
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}

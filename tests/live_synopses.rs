@@ -1,0 +1,238 @@
+//! Incremental ≡ rebuild: the synopsis-maintenance contract.
+//!
+//! Under live writes the synopses (`wodex-approx` histograms,
+//! `wodex-hetree` trees) are maintained by *applying the delta* —
+//! never by rebuilding — and the contract is that the maintained
+//! structure is **bit-identical** to a from-scratch rebuild over the
+//! same multiset at *every* step of a seeded insert/delete stream, not
+//! just at the end. Floats make this sharp: both paths must fold values
+//! in exactly the same order, so equality is on bits, not on ε.
+//!
+//! The last test closes the loop with the MVCC write path: synopses fed
+//! from a [`LiveStore`]'s delta frames track the rebuild over the
+//! store's own literal values.
+
+use wodex::approx::{BinningStrategy, LiveHistogram};
+use wodex::hetree::{tree_eq, Item, LiveHETree};
+use wodex::rdf::{Term, Triple};
+use wodex::store::{LiveStore, TripleStore, WriteBatch};
+use wodex::synth::rng::{Rng, SeedableRng, StdRng};
+
+/// Base seed for the sweep; override with `WODEX_FAULT_SEED=<n>`.
+fn base_seed() -> u64 {
+    std::env::var("WODEX_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// A value pool with duplicates, negatives, and clustered mass — the
+/// shapes that stress bin routing and equal-value runs.
+fn value(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..4u32) {
+        0 => rng.random_range(0..50u32) as f64, // duplicate-heavy integers
+        1 => (rng.random_range(0..2000u32) as f64) / 17.0,
+        2 => -(rng.random_range(0..300u32) as f64) / 7.0,
+        _ => 42.0, // a hot spot: long identical runs
+    }
+}
+
+#[test]
+fn live_histogram_tracks_rebuild_at_every_step() {
+    for case in 0..3u64 {
+        let seed = base_seed().wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial: Vec<f64> = (0..256).map(|_| value(&mut rng)).collect();
+        for strategy in [
+            BinningStrategy::EqualWidth,
+            BinningStrategy::EqualFrequency,
+            BinningStrategy::VarianceMinimizing,
+        ] {
+            let mut live = LiveHistogram::from_values(&initial, 16, strategy);
+            let mut present = initial.clone();
+            for step in 0..200 {
+                if !present.is_empty() && rng.random_range(0..3u32) == 0 {
+                    let at = rng.random_range(0..present.len());
+                    let v = present.swap_remove(at);
+                    assert!(live.delete(v), "present value must delete");
+                } else {
+                    let v = value(&mut rng);
+                    present.push(v);
+                    live.insert(v);
+                }
+                assert_eq!(
+                    live.histogram(),
+                    live.rebuild_reference(),
+                    "{strategy:?} diverged at step {step} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn live_hetree_tracks_rebuild_at_every_step() {
+    for case in 0..3u64 {
+        let seed = base_seed().wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7EE);
+        let domain = (-64.0, 160.0);
+        let clamp = |v: f64| v.clamp(domain.0, domain.1 - 1e-6);
+        let initial: Vec<Item> = (0..200)
+            .map(|i| (clamp(value(&mut rng)), i as u64))
+            .collect();
+        let mut live = LiveHETree::new(initial.clone(), 3, 4, domain);
+        let mut present = initial;
+        let mut next_id = present.len() as u64;
+        for step in 0..150 {
+            if !present.is_empty() && rng.random_range(0..3u32) == 0 {
+                let at = rng.random_range(0..present.len());
+                let item = present.swap_remove(at);
+                assert!(live.delete(item), "present item must delete");
+            } else {
+                let item = (clamp(value(&mut rng)), next_id);
+                next_id += 1;
+                present.push(item);
+                live.insert(item);
+            }
+            assert!(
+                tree_eq(live.tree(), &live.rebuild_reference()),
+                "tree diverged at step {step} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_deltas_equal_stepwise_application() {
+    let seed = base_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+    let initial: Vec<f64> = (0..128).map(|_| value(&mut rng)).collect();
+    let mut batched = LiveHistogram::from_values(&initial, 12, BinningStrategy::EqualWidth);
+    let mut stepwise = LiveHistogram::from_values(&initial, 12, BinningStrategy::EqualWidth);
+    let mut present = initial;
+    for _round in 0..20 {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for _ in 0..8 {
+            if !present.is_empty() && rng.random_range(0..3u32) == 0 {
+                let at = rng.random_range(0..present.len());
+                deletes.push(present.swap_remove(at));
+            } else {
+                let v = value(&mut rng);
+                present.push(v);
+                inserts.push(v);
+            }
+        }
+        batched.apply(&inserts, &deletes);
+        for &v in &deletes {
+            stepwise.delete(v);
+        }
+        for &v in &inserts {
+            stepwise.insert(v);
+        }
+        assert_eq!(batched.histogram(), stepwise.histogram());
+        assert_eq!(batched.histogram(), batched.rebuild_reference());
+    }
+}
+
+/// End to end: a numeric predicate's synopses, maintained from the
+/// MVCC store's delta frames alone (never rescanning the store), match
+/// a rebuild over the store's actual values at every revision.
+#[test]
+fn frames_maintain_synopses_over_a_live_store() {
+    let seed = base_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF0A);
+    let pred = Term::iri("http://ex.org/live/score");
+    let subject = |i: u64| Term::iri(format!("http://ex.org/live/e{i}"));
+    let lit = |v: f64| Term::literal(format!("{v}"));
+    let domain = (-64.0, 160.0);
+    let clamp = |v: f64| v.clamp(domain.0, domain.1 - 1e-6);
+
+    // Seed the store with one score per entity.
+    let mut present: Vec<(u64, f64)> = (0..120).map(|i| (i, clamp(value(&mut rng)))).collect();
+    let graph: wodex::rdf::Graph = present
+        .iter()
+        .map(|&(i, v)| Triple::new(subject(i), pred.clone(), lit(v)))
+        .collect();
+    let live = LiveStore::new(TripleStore::from_graph(&graph));
+
+    let values: Vec<f64> = present.iter().map(|&(_, v)| v).collect();
+    let items: Vec<Item> = present.iter().map(|&(i, v)| (v, i)).collect();
+    let mut hist = LiveHistogram::from_values(&values, 16, BinningStrategy::EqualWidth);
+    let mut tree = LiveHETree::new(items, 3, 4, domain);
+
+    let mut next_id = present.len() as u64;
+    let mut seen_rev = 0u64;
+    for _round in 0..25 {
+        // Deletes apply before inserts within a batch, so the workload
+        // never deletes an entity it inserted in the same round.
+        let mut batch = WriteBatch::new();
+        let mut added = Vec::new();
+        for _ in 0..4 {
+            if !present.is_empty() && rng.random_range(0..3u32) == 0 {
+                let at = rng.random_range(0..present.len());
+                let (i, v) = present.swap_remove(at);
+                batch.delete(Triple::new(subject(i), pred.clone(), lit(v)));
+            } else {
+                let (i, v) = (next_id, clamp(value(&mut rng)));
+                next_id += 1;
+                added.push((i, v));
+                batch.insert(Triple::new(subject(i), pred.clone(), lit(v)));
+            }
+        }
+        present.extend(added);
+        live.commit(&batch).expect("commit");
+
+        // Drain the frame feed and fold each frame's literal values
+        // into the synopses — the subscriber-side maintenance loop.
+        let fs = live.frames_since(seen_rev);
+        assert!(!fs.resync, "history cap not reached in this test");
+        let snap = live.snapshot();
+        for frame in &fs.frames {
+            let nums = |ts: &[wodex::store::EncodedTriple]| -> Vec<(f64, u64)> {
+                ts.iter()
+                    .map(|&t| snap.store().decode(t))
+                    .filter(|t| t.predicate == pred)
+                    .map(|t| {
+                        let v: f64 = t
+                            .object
+                            .as_literal()
+                            .expect("score is a literal")
+                            .lexical()
+                            .parse()
+                            .unwrap();
+                        let id: u64 = t
+                            .subject
+                            .to_string()
+                            .rsplit('e')
+                            .next()
+                            .unwrap()
+                            .trim_end_matches('>')
+                            .parse()
+                            .unwrap();
+                        (v, id)
+                    })
+                    .collect()
+            };
+            let ins = nums(&frame.inserts);
+            let del = nums(&frame.deletes);
+            hist.apply(
+                &ins.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+                &del.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            );
+            tree.apply(&ins, &del);
+            seen_rev = frame.revision;
+        }
+
+        assert_eq!(hist.histogram(), hist.rebuild_reference());
+        assert!(tree_eq(tree.tree(), &tree.rebuild_reference()));
+        // And the maintained multiset is the store's own: same count as
+        // a fresh scan of the predicate at the head snapshot.
+        let scan = snap
+            .store()
+            .match_pattern(wodex::store::Pattern::any())
+            .len();
+        assert_eq!(scan, present.len());
+        assert_eq!(hist.len(), present.len());
+    }
+}

@@ -432,3 +432,100 @@ fn cached_plans_return_the_same_rows_as_cold_plans() {
         "every hot run must hit the plan cache"
     );
 }
+
+/// PR 9: plan-cache snapshot pinning. Cached plans are keyed by the
+/// store revision, and an MVCC snapshot's store never changes revision
+/// — so a reader re-querying its pinned snapshot keeps *hitting* the
+/// plans it warmed, no matter how many commits land meanwhile, while
+/// every lookup still resolves to exactly one hit or miss.
+mod plan_pinning {
+    use super::{counter, lock};
+    use wodex::rdf::{Graph, Term, Triple};
+    use wodex::sparql::{query_budgeted, Budget};
+    use wodex::store::{LiveStore, TripleStore, WriteBatch};
+
+    fn iri(k: &str, i: u64) -> Term {
+        Term::iri(format!("http://ex.org/pin/{k}{i}"))
+    }
+
+    fn graph(n: u64) -> Graph {
+        (0..n)
+            .flat_map(|i| {
+                [
+                    Triple::new(iri("s", i), iri("p", 0), Term::literal(format!("a{i}"))),
+                    Triple::new(iri("s", i), iri("p", 1), Term::literal(format!("b{i}"))),
+                ]
+            })
+            .collect()
+    }
+
+    const Q: &str = "SELECT ?s ?a ?b WHERE { ?s <http://ex.org/pin/p0> ?a . \
+                     ?s <http://ex.org/pin/p1> ?b }";
+
+    #[test]
+    fn snapshot_pinned_plans_stay_hot_across_commits() {
+        let _guard = lock();
+        let live = LiveStore::new(TripleStore::from_graph(&graph(40)));
+        let pinned = live.snapshot();
+        let before_lookups = counter("wodex_plan_cache_lookups_total");
+        let before_hits = counter("wodex_plan_cache_hits_total");
+        let before_misses = counter("wodex_plan_cache_misses_total");
+
+        // Cold query warms the plan under the pinned revision.
+        let cold = query_budgeted(pinned.store(), Q, &Budget::unlimited()).expect("cold");
+        let rows = cold.result.table().expect("solutions").len();
+        assert_eq!(rows, 40);
+        assert_eq!(counter("wodex_plan_cache_misses_total") - before_misses, 1);
+
+        // Writers land ten commits; the pinned snapshot doesn't move.
+        for i in 0..10u64 {
+            let mut b = WriteBatch::new();
+            b.insert(Triple::new(
+                iri("s", 100 + i),
+                iri("p", 0),
+                Term::literal(format!("a{i}")),
+            ));
+            live.commit(&b).expect("commit");
+        }
+        assert_eq!(live.revision(), 10);
+
+        // Re-querying the pinned snapshot only ever hits: its revision
+        // — and therefore its cache key — is frozen.
+        for _ in 0..6 {
+            let hot = query_budgeted(pinned.store(), Q, &Budget::unlimited()).expect("hot");
+            assert_eq!(hot.result.table().expect("solutions").len(), rows);
+        }
+        assert_eq!(
+            counter("wodex_plan_cache_hits_total") - before_hits,
+            6,
+            "pinned-snapshot re-queries must all hit"
+        );
+        assert_eq!(
+            counter("wodex_plan_cache_misses_total") - before_misses,
+            1,
+            "commits must not evict or re-key the pinned plan"
+        );
+
+        // The head snapshot carries a fresh revision: one miss to warm
+        // its key, hits thereafter — old plans are never served for new
+        // data.
+        let head = live.snapshot();
+        assert_ne!(head.revision(), pinned.revision());
+        let first = query_budgeted(head.store(), Q, &Budget::unlimited()).expect("head cold");
+        assert_eq!(first.result.table().expect("solutions").len(), rows);
+        let again = query_budgeted(head.store(), Q, &Budget::unlimited()).expect("head hot");
+        assert_eq!(again.result.table().expect("solutions").len(), rows);
+        assert_eq!(counter("wodex_plan_cache_misses_total") - before_misses, 2);
+        assert_eq!(counter("wodex_plan_cache_hits_total") - before_hits, 7);
+
+        // Conservation holds across the whole dance.
+        let lookups = counter("wodex_plan_cache_lookups_total") - before_lookups;
+        let hits = counter("wodex_plan_cache_hits_total") - before_hits;
+        let misses = counter("wodex_plan_cache_misses_total") - before_misses;
+        assert_eq!(
+            hits + misses,
+            lookups,
+            "every lookup is one hit or one miss"
+        );
+    }
+}

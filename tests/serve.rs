@@ -478,3 +478,77 @@ fn sessions_are_isolated_and_concurrent() {
     }
     rs.shutdown().expect("clean shutdown");
 }
+
+#[test]
+fn live_writes_commit_stream_and_pin_snapshots() {
+    let rs = boot(ServeConfig::default());
+    let addr = rs.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(json_str(&health.text(), "revision").unwrap(), "0");
+
+    let query = "SELECT ?o WHERE { <http://ex.org/live/s1> <http://ex.org/live/p> ?o }";
+    let before = post(addr, "/sparql", query);
+    assert_eq!(before.status, 200);
+    assert_eq!(before.header("X-Wodex-Revision"), Some("0"));
+    assert_eq!(before.header("X-Wodex-Rows"), Some("0"));
+
+    // Commit two fresh triples; the response reports the published
+    // revision and the effective change counts.
+    let nt = "<http://ex.org/live/s1> <http://ex.org/live/p> \"v1\" .\n\
+              <http://ex.org/live/s2> <http://ex.org/live/p> \"v2\" .\n";
+    let commit = post(addr, "/data", nt);
+    assert_eq!(commit.status, 200, "commit failed: {}", commit.text());
+    assert_eq!(json_str(&commit.text(), "revision").unwrap(), "1");
+    assert_eq!(json_str(&commit.text(), "inserts").unwrap(), "2");
+
+    // Re-inserting the same triples is a no-op: nothing publishes.
+    let noop = post(addr, "/data", nt);
+    assert_eq!(json_str(&noop.text(), "revision").unwrap(), "1");
+    assert_eq!(json_str(&noop.text(), "inserts").unwrap(), "0");
+
+    // /sparql now answers from the new snapshot and names its revision.
+    let after = post(addr, "/sparql", query);
+    assert_eq!(after.header("X-Wodex-Revision"), Some("1"));
+    assert_eq!(after.header("X-Wodex-Rows"), Some("1"));
+    assert!(after.text().contains("v1"));
+
+    // Deletes go through the same endpoint with action=delete.
+    let gone = post(
+        addr,
+        "/data?action=delete",
+        "<http://ex.org/live/s2> <http://ex.org/live/p> \"v2\" .\n",
+    );
+    assert_eq!(json_str(&gone.text(), "revision").unwrap(), "2");
+    assert_eq!(json_str(&gone.text(), "deletes").unwrap(), "1");
+
+    // The subscribe feed replays both frames, decoded to N-Triples.
+    let feed = get(addr, "/explore/subscribe?since=0");
+    assert_eq!(feed.status, 200);
+    let body = feed.text();
+    assert_eq!(json_str(&body, "revision").unwrap(), "2");
+    assert_eq!(json_str(&body, "resync").unwrap(), "false");
+    assert_eq!(json_str(&body, "count").unwrap(), "2");
+    assert!(body.contains("\\\"v1\\\"") || body.contains("v1"), "{body}");
+
+    // A caught-up subscriber long-polls: a commit from another client
+    // wakes it before the timeout.
+    let waiter = std::thread::spawn(move || get(addr, "/explore/subscribe?since=2&wait_ms=5000"));
+    std::thread::sleep(Duration::from_millis(100));
+    let bump = post(
+        addr,
+        "/data",
+        "<http://ex.org/live/s3> <http://ex.org/live/p> \"v3\" .\n",
+    );
+    assert_eq!(json_str(&bump.text(), "revision").unwrap(), "3");
+    let woke = waiter.join().expect("no panic");
+    assert_eq!(json_str(&woke.text(), "count").unwrap(), "1");
+    assert!(woke.text().contains("s3"));
+
+    // An empty poll past the head times out with zero frames.
+    let idle = get(addr, "/explore/subscribe?since=3&wait_ms=50");
+    assert_eq!(json_str(&idle.text(), "count").unwrap(), "0");
+    assert_eq!(json_str(&idle.text(), "resync").unwrap(), "false");
+
+    rs.shutdown().expect("clean shutdown");
+}
