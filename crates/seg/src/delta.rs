@@ -27,6 +27,15 @@
 //! absent one are no-ops), so the crash window between commit and log
 //! truncation is harmless.
 //!
+//! Compaction requires **exclusive access** to the directory: it
+//! truncates `deltas.wal` through its own handle, so a concurrently
+//! open [`DeltaLog`] appender (whose committed offset would then point
+//! past EOF) must be dropped before calling [`compact_deltas`] and
+//! reopened afterwards. Nothing in the workspace holds a log open
+//! across a compaction today — the serving layer's live store is
+//! in-memory and the background compactor merges base segments only —
+//! but the requirement is a caller contract, not an enforced lock.
+//!
 //! [`LiveStore`]: wodex_store::mvcc::LiveStore
 
 use crate::store::{write_manifest, Manifest, ManifestEntry, SegmentStore};
@@ -315,9 +324,50 @@ pub struct CompactDeltasOutcome {
     pub segment: String,
 }
 
+/// Picks a merged-segment name that can never collide with a file the
+/// current (or any earlier) manifest points at: one past the highest
+/// `delta-N.seg` generation present in the manifest *or* on disk. WAL
+/// revisions are useless for naming — they restart at 1 after every
+/// reopen, so a commit-then-compact cycle after each restart would keep
+/// producing the same name, and the rename + old-file cleanup would
+/// destroy the segment the manifest had just committed.
+fn next_delta_seg_name(dir: &Path, manifest: &Manifest) -> String {
+    let parse = |name: &str| -> Option<u64> {
+        name.strip_prefix("delta-")?
+            .strip_suffix(".seg")?
+            .parse()
+            .ok()
+    };
+    let mut max = 0u64;
+    for e in &manifest.entries {
+        if let Some(g) = parse(&e.file) {
+            max = max.max(g);
+        }
+    }
+    // Stray files (e.g. left by a crash between manifest commit and
+    // cleanup) also reserve their generation, so we never rename over
+    // anything that ever carried committed data.
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for entry in rd.flatten() {
+            if let Some(g) = entry.file_name().to_str().and_then(parse) {
+                max = max.max(g);
+            }
+        }
+    }
+    format!("delta-{}.seg", max + 1)
+}
+
 /// Folds the delta log into the base segments. Returns `Ok(None)` when
 /// the log holds no frames. See the module docs for the crash/fault
 /// contract.
+///
+/// **Exclusive access required**: this rewrites the manifest and
+/// truncates `deltas.wal` through its own file handles. Any live
+/// [`DeltaLog`] appender on the same directory must be quiesced
+/// (dropped) first and reopened afterwards — a concurrent appender's
+/// committed offset would point past the truncated log, its next append
+/// would land beyond a zero-filled hole, and replay would silently stop
+/// at the hole, losing a durably acknowledged frame.
 pub fn compact_deltas(dir: &Path) -> Result<Option<CompactDeltasOutcome>, StoreError> {
     compact_deltas_with(dir, None)
 }
@@ -368,7 +418,7 @@ pub fn compact_deltas_with(
         .map(|e| e.level)
         .max()
         .unwrap_or(0);
-    let revision = frames.last().map_or(0, |f| f.revision);
+    let seg_name = next_delta_seg_name(dir, base.manifest());
     let (mut store, _) = replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames);
     let spo = store.snapshot_sorted();
     let dict = store.dict().clone();
@@ -379,7 +429,6 @@ pub fn compact_deltas_with(
         keys.sort_unstable();
         keys
     };
-    let seg_name = format!("delta-{revision}.seg");
     let seg_path = dir.join(&seg_name);
     crate::format::write_segment(
         &seg_path,
@@ -422,8 +471,10 @@ pub fn compact_deltas_with(
     // Committed. Cleanup failures past this point must NOT surface as
     // compaction errors — the state is already durable and consistent;
     // stale segment files and WAL frames are garbage that replay
-    // idempotency and the next compaction tolerate.
-    for f in &old_files {
+    // idempotency and the next compaction tolerate. The name check is
+    // belt-and-braces on top of generation naming: deleting a path the
+    // fresh manifest points at would destroy committed data.
+    for f in old_files.iter().filter(|f| **f != seg_name) {
         std::fs::remove_file(dir.join(f)).ok();
     }
     let wal = dir.join(DELTA_FILE);
@@ -499,12 +550,14 @@ mod tests {
         dir
     }
 
-    /// Opens the directory as a live store: base + WAL replay.
+    /// Opens the directory as a live store: base + WAL replay, seeded
+    /// at the replayed revision so the sequence continues across
+    /// reopens instead of restarting at 0.
     fn open_live(dir: &Path) -> (LiveStore, Arc<Mutex<DeltaLog>>) {
         let (dict, base) = SegmentStore::open(dir).unwrap();
         let (frames, log) = DeltaLog::open(dir).unwrap();
-        let (store, _rev) = replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames);
-        let live = LiveStore::new(store);
+        let (store, rev) = replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames);
+        let live = LiveStore::at_revision(store, rev);
         let log = Arc::new(Mutex::new(log));
         live.set_wal(wal_sink(Arc::clone(&log)));
         (live, log)
@@ -532,7 +585,11 @@ mod tests {
         let want = decoded_sorted(live.snapshot().store());
         drop(live);
         let (reopened, _log) = open_live(&dir);
-        assert_eq!(reopened.snapshot().revision(), 0, "revision restarts");
+        assert_eq!(
+            reopened.snapshot().revision(),
+            5,
+            "revision continues from the replayed WAL"
+        );
         assert_eq!(decoded_sorted(reopened.snapshot().store()), want);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -587,6 +644,39 @@ mod tests {
         assert_eq!(decoded_sorted(reopened.snapshot().store()), want);
         // Idempotent: nothing left to fold.
         assert_eq!(compact_deltas(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Commit-once-then-compact after every reopen is the collision
+    /// trap: WAL revisions restart at 1 each time, so revision-derived
+    /// segment names would repeat, the rename would clobber the live
+    /// segment and the cleanup pass would then delete it — an
+    /// unreadable directory. Generation naming must keep every round's
+    /// segment distinct and the directory readable throughout.
+    #[test]
+    fn repeated_compaction_across_reopens_never_clobbers_the_base() {
+        let dir = seed_dir("regen", 10);
+        let mut names = Vec::new();
+        for round in 0..3 {
+            let (live, _log) = open_live(&dir);
+            let mut b = WriteBatch::new();
+            b.insert(t(300 + round, round));
+            live.commit(&b).unwrap();
+            drop(live);
+            let out = compact_deltas(&dir).unwrap().expect("frames to fold");
+            names.push(out.segment);
+        }
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 3, "each compaction names a fresh segment");
+        let (reopened, _log) = open_live(&dir);
+        for round in 0..3 {
+            assert!(
+                reopened.snapshot().store().contains(&t(300 + round, round)),
+                "round {round} commit lost"
+            );
+        }
+        assert_eq!(reopened.snapshot().store().len(), 13);
         std::fs::remove_dir_all(&dir).ok();
     }
 

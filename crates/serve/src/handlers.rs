@@ -28,6 +28,18 @@
 //! `/viz/hist` report them in HTTP trailers after the streamed body
 //! (`X-Wodex-Degraded`, `X-Wodex-Rows`), `/viz/chart` in a response
 //! header — the body stays a well-formed partial answer.
+//!
+//! **Two stores serve this table.** `POST /data`, `/sparql` (outside
+//! coordinator mode), and `GET /explore/subscribe` run on the MVCC
+//! [`LiveStore`](wodex_store::LiveStore) and see every commit. The
+//! exploration sessions (`/explore/open` through `/explore/trace`) and
+//! the viz endpoints serve the **bind-time** explorer graph — faceting
+//! indexes, search indexes, and session state are precomputed over it
+//! and are *not* re-derived per commit, so a write is visible to
+//! `/sparql` and the subscribe feed immediately but not to an open
+//! exploration session. `/healthz` reports both stores' triple counts
+//! distinctly. Folding live snapshots into the exploration engines is
+//! the open item tracked in ROADMAP.md.
 
 use crate::http::{read_request, write_response, ChunkedWriter, ParseError, Request};
 use crate::server::{wake, AppState};
@@ -155,11 +167,21 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// `GET /healthz` — liveness plus the shape of *both* stores: the
+/// bind-time explorer graph (what `/explore/*` and `/viz/*` serve) and
+/// the live MVCC store (what `/sparql`, `POST /data`, and the subscribe
+/// feed see), reported distinctly so the counts never read as one
+/// dataset when writes have made them diverge.
 fn healthz(state: &AppState, out: &mut TcpStream) {
+    let snap = state.live.snapshot();
     let body = format!(
-        "{{\"status\":\"ok\",\"triples\":{},\"revision\":{},\"uptime_ms\":{}}}",
+        concat!(
+            "{{\"status\":\"ok\",\"explorer_triples\":{},",
+            "\"live_triples\":{},\"revision\":{},\"uptime_ms\":{}}}"
+        ),
         state.explorer.store().len(),
-        state.live.revision(),
+        snap.store().len(),
+        snap.revision(),
         state.started.elapsed().as_millis()
     );
     let _ = write_response(out, 200, "OK", "application/json", &[], body.as_bytes());
@@ -491,9 +513,10 @@ fn data_commit(state: &AppState, req: &Request, out: &mut TcpStream) {
 /// N-Triples strings. With `wait_ms` the request long-polls: it blocks
 /// (bounded by the cap below) until a newer frame is published, so a
 /// subscriber loop sees each commit without busy-polling. When the
-/// bounded frame history no longer reaches back to `since`,
-/// `"resync":true` tells the subscriber to refetch from a fresh
-/// snapshot instead of applying frames.
+/// bounded frame history no longer reaches back to `since` — or
+/// `since` runs ahead of the head, as happens to a cursor held across
+/// a server restart — `"resync":true` tells the subscriber to refetch
+/// from a fresh snapshot instead of applying frames.
 fn explore_subscribe(state: &AppState, req: &Request, out: &mut TcpStream) {
     let since = match req.param("since").map(str::parse::<u64>) {
         None => 0,

@@ -292,6 +292,10 @@ pub struct AppState {
     /// evaluates against its current snapshot, and
     /// `GET /explore/subscribe` long-polls its delta frames. Seeded at
     /// bind time with a copy of the explorer's store (revision 0).
+    /// Note the split: the `explorer` field keeps serving the bind-time
+    /// graph to the exploration/viz endpoints and is *not* updated by
+    /// commits — see the handlers module docs and `/healthz`, which
+    /// reports both stores' counts distinctly.
     pub live: Arc<LiveStore>,
 }
 

@@ -214,8 +214,11 @@ pub struct FramesSince {
     pub frames: Vec<Arc<DeltaFrame>>,
     /// The current head revision.
     pub revision: u64,
-    /// True when `since` predates the bounded history — the subscriber
-    /// missed frames and must re-read from a fresh snapshot.
+    /// True when the subscriber's cursor is unusable: `since` predates
+    /// the bounded history (frames were pruned) or runs *ahead* of the
+    /// current head (a cursor from a previous process lifetime whose
+    /// revisions restarted). Either way the subscriber must re-read
+    /// from a fresh snapshot instead of applying frames.
     pub resync: bool,
 }
 
@@ -264,9 +267,36 @@ impl LiveStore {
         LiveStore::with_options(initial, DEFAULT_HISTORY_CAP, DEFAULT_FLATTEN_DEPTH)
     }
 
+    /// [`LiveStore::new`] pinned to a non-zero starting revision — for
+    /// reopening a durable store whose WAL replay ended at `revision`.
+    /// Seeding the replayed revision keeps revisions ascending across
+    /// process lifetimes (instead of restarting at 0), so a subscriber
+    /// cursor from before a restart either resumes cleanly or is
+    /// detected as stale by [`LiveStore::frames_since`] rather than
+    /// silently treated as current.
+    pub fn at_revision(initial: TripleStore, revision: u64) -> LiveStore {
+        LiveStore::with_options_at(
+            initial,
+            revision,
+            DEFAULT_HISTORY_CAP,
+            DEFAULT_FLATTEN_DEPTH,
+        )
+    }
+
     /// [`LiveStore::new`] with explicit history and flatten bounds.
     pub fn with_options(
         initial: TripleStore,
+        history_cap: usize,
+        flatten_depth: usize,
+    ) -> LiveStore {
+        LiveStore::with_options_at(initial, 0, history_cap, flatten_depth)
+    }
+
+    /// [`LiveStore::at_revision`] with explicit history and flatten
+    /// bounds.
+    pub fn with_options_at(
+        initial: TripleStore,
+        revision: u64,
         history_cap: usize,
         flatten_depth: usize,
     ) -> LiveStore {
@@ -275,7 +305,7 @@ impl LiveStore {
             commit_lock: Mutex::new(()),
             state: Mutex::new(LiveState {
                 current: Snapshot {
-                    revision: 0,
+                    revision,
                     store: Arc::new(initial),
                 },
                 depth: 0,
@@ -409,16 +439,29 @@ impl LiveStore {
     }
 
     /// Frames committed after revision `since`, oldest first. If the
-    /// bounded history no longer reaches back to `since + 1`, the
-    /// subscriber must resync from a fresh snapshot instead.
+    /// bounded history no longer reaches back to `since + 1`, or
+    /// `since` runs ahead of the current head (a cursor minted by a
+    /// previous process lifetime), the subscriber must resync from a
+    /// fresh snapshot instead.
     pub fn frames_since(&self, since: u64) -> FramesSince {
         let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let revision = st.current.revision;
-        if since >= revision {
+        if since == revision {
             return FramesSince {
                 frames: Vec::new(),
                 revision,
                 resync: false,
+            };
+        }
+        // A cursor past the head cannot have come from this store's
+        // history — revisions restart when a process does. Telling the
+        // subscriber it is current would silently detach it from every
+        // subsequent commit; telling it to resync re-anchors it.
+        if since > revision {
+            return FramesSince {
+                frames: Vec::new(),
+                revision,
+                resync: true,
             };
         }
         match st.history.front() {
@@ -442,11 +485,13 @@ impl LiveStore {
 
     /// Blocks until a frame newer than `since` is published (or the
     /// timeout elapses), then returns [`LiveStore::frames_since`]. The
-    /// long-poll primitive behind `/explore/subscribe`.
+    /// long-poll primitive behind `/explore/subscribe`. A stale cursor
+    /// (`since` past the head) answers immediately with `resync` set
+    /// instead of burning the whole timeout.
     pub fn wait_for_frames(&self, since: u64, timeout: Duration) -> FramesSince {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        while st.current.revision <= since {
+        while st.current.revision == since {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
@@ -607,6 +652,37 @@ mod tests {
         assert!(fs.resync);
         assert!(fs.frames.is_empty());
         assert_eq!(fs.revision, 5);
+        // Stale subscriber: a cursor past the head (minted before a
+        // restart reset revisions) must be told to resync, not that it
+        // is current — otherwise it detaches from every future commit.
+        let fs = live.frames_since(9);
+        assert!(fs.resync);
+        assert!(fs.frames.is_empty());
+        assert_eq!(fs.revision, 5);
+        // The long-poll answers a stale cursor immediately (resync)
+        // instead of blocking out the timeout.
+        let t0 = Instant::now();
+        let fs = live.wait_for_frames(9, Duration::from_secs(5));
+        assert!(fs.resync);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn at_revision_continues_the_replayed_sequence() {
+        let live = LiveStore::at_revision(seed_store(3), 7);
+        assert_eq!(live.revision(), 7);
+        assert_eq!(live.snapshot().revision(), 7);
+        // A subscriber holding the pre-restart head stays current...
+        let fs = live.frames_since(7);
+        assert!(!fs.resync && fs.frames.is_empty());
+        let mut b = WriteBatch::new();
+        b.insert(t(70, 70));
+        let out = live.commit(&b).expect("commit");
+        // ...and the next commit continues the sequence densely.
+        assert_eq!(out.frame.revision, 8);
+        let fs = live.frames_since(7);
+        assert_eq!(fs.frames.len(), 1);
+        assert!(!fs.resync);
     }
 
     #[test]

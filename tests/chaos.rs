@@ -361,8 +361,8 @@ mod delta_chaos {
         if let Some(plan) = fault {
             log = log.with_fault(plan);
         }
-        let (store, _rev) = replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames);
-        let live = LiveStore::new(store);
+        let (store, rev) = replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames);
+        let live = LiveStore::at_revision(store, rev);
         let log = Arc::new(Mutex::new(log));
         live.set_wal(wal_sink(Arc::clone(&log)));
         (live, log)

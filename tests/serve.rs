@@ -260,7 +260,12 @@ fn every_endpoint_answers() {
     assert!(completed >= 10, "completed={completed}");
     assert_eq!(
         json_str(&stats.text(), "triples").unwrap(),
-        json_str(&health.text(), "triples").unwrap()
+        json_str(&health.text(), "explorer_triples").unwrap()
+    );
+    // No writes yet: the bind-time graph and the live store agree.
+    assert_eq!(
+        json_str(&health.text(), "explorer_triples").unwrap(),
+        json_str(&health.text(), "live_triples").unwrap()
     );
 
     // Errors: unknown path, unknown session, bad query, missing params.
@@ -513,6 +518,20 @@ fn live_writes_commit_stream_and_pin_snapshots() {
     assert_eq!(after.header("X-Wodex-Rows"), Some("1"));
     assert!(after.text().contains("v1"));
 
+    // /healthz reports the explorer/live split distinctly: the live
+    // store grew by the two committed triples, the bind-time graph
+    // served to /explore/* did not.
+    let health = get(addr, "/healthz");
+    let explorer: u64 = json_str(&health.text(), "explorer_triples")
+        .unwrap()
+        .parse()
+        .unwrap();
+    let live: u64 = json_str(&health.text(), "live_triples")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(live, explorer + 2);
+
     // Deletes go through the same endpoint with action=delete.
     let gone = post(
         addr,
@@ -549,6 +568,18 @@ fn live_writes_commit_stream_and_pin_snapshots() {
     let idle = get(addr, "/explore/subscribe?since=3&wait_ms=50");
     assert_eq!(json_str(&idle.text(), "count").unwrap(), "0");
     assert_eq!(json_str(&idle.text(), "resync").unwrap(), "false");
+
+    // A cursor *ahead* of the head — as held across a server restart
+    // that reset revisions — is told to resync immediately rather than
+    // silently treated as current (or left blocking out the long-poll).
+    let t0 = std::time::Instant::now();
+    let stale = get(addr, "/explore/subscribe?since=99&wait_ms=5000");
+    assert_eq!(json_str(&stale.text(), "resync").unwrap(), "true");
+    assert_eq!(json_str(&stale.text(), "count").unwrap(), "0");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "stale poll must not block"
+    );
 
     rs.shutdown().expect("clean shutdown");
 }
