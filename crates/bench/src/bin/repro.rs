@@ -13,6 +13,7 @@
 //! * `repro bench-pr7` — sharded scatter-gather fleets + fault run → `BENCH_PR7.json`.
 //! * `repro bench-pr8` — segment-store bulk load + scan parity → `BENCH_PR8.json`.
 //! * `repro bench-pr9` — live synopsis maintenance + snapshot reads → `BENCH_PR9.json`.
+//! * `repro bench-pr10` — segment scan engine: cache + zone maps → `BENCH_PR10.json`.
 //! * `repro all` (default) — everything, in `EXPERIMENTS.md` order.
 
 use wodex_bench::experiments;
@@ -92,6 +93,11 @@ fn main() {
             std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
             print!("{json}");
         }
+        "bench-pr10" => {
+            let json = wodex_bench::scanbench::report();
+            std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+            print!("{json}");
+        }
         "all" => {
             println!("{}", wodex_registry::render_table1());
             println!("{}", wodex_registry::render_table2());
@@ -104,7 +110,7 @@ fn main() {
                 print!("{}", f());
             } else {
                 eprintln!(
-                    "unknown target {id:?}; use table1|table2|claims|map|list|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|bench-pr8|bench-pr9|all|e1..e15"
+                    "unknown target {id:?}; use table1|table2|claims|map|list|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|bench-pr8|bench-pr9|bench-pr10|all|e1..e15"
                 );
                 std::process::exit(2);
             }

@@ -18,6 +18,7 @@ pub mod livebench;
 pub mod obsbench;
 pub mod parbench;
 pub mod planbench;
+pub mod scanbench;
 pub mod segbench;
 pub mod servebench;
 pub mod shardbench;

@@ -1,0 +1,389 @@
+//! Hot-path scan engine: decoded-block cache, zone-map pruning, and
+//! answer parity (PR 10).
+//!
+//! [`report`] bulk-loads the PR 8 Zipf corpus into a segment store and
+//! measures the scan engine three ways:
+//!
+//! 1. **Warm ≥ 3× cold** ([`GATE_WARM_SPEEDUP`]) — a repeated scan pass
+//!    over a cache-enabled store (after one warm-up) must run at least
+//!    3× faster than the same pass over a cache-disabled twin, which
+//!    re-decodes every block from its bytes each time.
+//! 2. **Zone maps never decode more** ([`gate_ok`] term) — for every
+//!    bounded probe, the candidate block count under the exact range +
+//!    zone-map pruning must be ≤ the pre-PR 10 over-approximation
+//!    (`partition_point(first_key <= lo) - 1` start + `take_while`).
+//! 3. **Answers bit-identical** — the cache-on store, the cache-off
+//!    store, and the in-memory store agree on every decoded pattern
+//!    scan and on the PR 5 suite under all three engines (greedy /
+//!    pairwise / wco) at 1 and 4 threads.
+//!
+//! Environment overrides: `WODEX_SCAN_ENTITIES` (dataset size).
+
+use std::sync::Arc;
+
+use wodex_exec::with_thread_override;
+use wodex_seg::{load_ntriples, BlockCache, BlockMeta, LoadConfig, SegmentStore};
+use wodex_sparql::{evaluate_with, parse_query, Budget, EvalOptions, QueryResult, QueryTrace};
+use wodex_store::{shape_key_bounds, Pattern, SegmentSource, TripleStore};
+
+use crate::planbench::{paired_best, PREFIXES, SUITE};
+
+/// Warm repeated-scan time must beat the cold (cache-off) pass by at
+/// least this factor.
+pub const GATE_WARM_SPEEDUP: f64 = 3.0;
+
+const RUNS: usize = 7;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn graph_of(store: &TripleStore) -> wodex_rdf::Graph {
+    store
+        .match_pattern(Pattern::any())
+        .into_iter()
+        .map(|t| store.decode(t))
+        .collect()
+}
+
+/// The scan workload: full scan plus bound-P, bound-O and bound-S
+/// probes over the Zipf vocabulary, encoded against `store`'s dict.
+fn probe_patterns(store: &TripleStore) -> Vec<(&'static str, Pattern)> {
+    let ns = "http://zipf.example.org/";
+    let term = |suffix: &str| wodex_rdf::Term::iri(format!("{ns}{suffix}"));
+    let mut pats = vec![("full", Pattern::any())];
+    type NamedProbe = (
+        &'static str,
+        Option<wodex_rdf::Term>,
+        Option<wodex_rdf::Term>,
+        Option<wodex_rdf::Term>,
+    );
+    let named: [NamedProbe; 5] = [
+        ("p_cites", None, Some(term("cites")), None),
+        ("p_weight", None, Some(term("weight")), None),
+        ("o_hub0", None, Some(term("cites")), Some(term("e0"))),
+        ("s_e0", Some(term("e0")), None, None),
+        ("sp_e0_cites", Some(term("e0")), Some(term("cites")), None),
+    ];
+    for (name, s, p, o) in named {
+        if let Some(pat) = store.encode_pattern(s.as_ref(), p.as_ref(), o.as_ref()) {
+            pats.push((name, pat));
+        }
+    }
+    pats
+}
+
+/// One full scan pass over the segment source; returns total rows (the
+/// cross-store equivalence figure).
+fn scan_pass(segs: &SegmentStore, pats: &[(&'static str, Pattern)]) -> u64 {
+    pats.iter()
+        .map(|(_, pat)| segs.scan(*pat).expect("scan").len() as u64)
+        .sum()
+}
+
+/// Candidate blocks the pre-PR 10 scan path would have decoded for a
+/// bounded probe: start one block before the first whose `first_key`
+/// exceeds `lo`, then take while `first_key <= hi`.
+fn legacy_candidates(blocks: &[BlockMeta], lo: [u32; 3], hi: [u32; 3]) -> usize {
+    let start = blocks
+        .partition_point(|b| b.first_key <= lo)
+        .saturating_sub(1);
+    blocks[start..]
+        .iter()
+        .take_while(|b| b.first_key <= hi)
+        .count()
+}
+
+/// Candidate blocks the PR 10 engine decodes: the exact
+/// `last_key`/`first_key` bracket minus zone-map-pruned blocks.
+fn pruned_candidates(blocks: &[BlockMeta], lo: [u32; 3], hi: [u32; 3]) -> usize {
+    let start = blocks.partition_point(|b| b.last_key < lo);
+    let end = blocks.partition_point(|b| b.first_key <= hi).max(start);
+    blocks[start..end]
+        .iter()
+        .filter(|b| !b.zone_prunes(lo, hi))
+        .count()
+}
+
+fn section_of(order: wodex_store::index::Order) -> usize {
+    match order {
+        wodex_store::index::Order::Spo => 0,
+        wodex_store::index::Order::Pos => 1,
+        wodex_store::index::Order::Osp => 2,
+    }
+}
+
+fn run_query(store: &TripleStore, text: &str, opts: EvalOptions) -> u64 {
+    let q = parse_query(text).expect("suite query parses");
+    let out = evaluate_with(
+        store,
+        &q,
+        &Budget::unlimited(),
+        &QueryTrace::disabled(),
+        opts,
+    )
+    .expect("suite query evaluates");
+    match out.result {
+        QueryResult::Solutions(t) => match t.rows.first().and_then(|r| r.first()) {
+            Some(Some(wodex_rdf::Term::Literal(l))) => l.lexical().parse().unwrap_or(0),
+            _ => 0,
+        },
+        _ => 0,
+    }
+}
+
+/// Decoded, sorted rows of one pattern scan — the bit-identical answer
+/// fingerprint (dictionaries differ between mem and seg stores).
+fn decoded_scan(store: &TripleStore, pat: Pattern) -> Vec<String> {
+    let mut rows: Vec<String> = store
+        .match_pattern(pat)
+        .into_iter()
+        .map(|t| store.decode(t).to_string())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The three engines, as named option sets.
+const ENGINES: &[(&str, EvalOptions)] = &[
+    (
+        "greedy",
+        EvalOptions {
+            use_planner: false,
+            use_wco: false,
+        },
+    ),
+    (
+        "pairwise",
+        EvalOptions {
+            use_planner: true,
+            use_wco: false,
+        },
+    ),
+    (
+        "wco",
+        EvalOptions {
+            use_planner: true,
+            use_wco: true,
+        },
+    ),
+];
+
+/// Runs the scan-engine benchmark and returns the `BENCH_PR10.json`
+/// document.
+pub fn report() -> String {
+    let entities = env_usize("WODEX_SCAN_ENTITIES", 3_000);
+    let mem = crate::workloads::zipf_store(entities, 6, 1.1, 0x5EED);
+    let nt = wodex_rdf::ntriples::serialize(&graph_of(&mem));
+
+    let dir = std::env::temp_dir().join(format!("wodex_scanbench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Small blocks so scans cross many block boundaries — the cache and
+    // zone maps have real work to do.
+    let cfg = LoadConfig {
+        block_triples: 256,
+        ..LoadConfig::default()
+    };
+    load_ntriples(nt.as_bytes(), &dir, &cfg).expect("bulk load");
+
+    // Two independent opens of the same directory: one with a dedicated
+    // cache, one with caching off (the cold/oracle twin).
+    let cache = Arc::new(BlockCache::new(64 << 20));
+    let (dict_on, mut segs_on) = SegmentStore::open(&dir).expect("open cache-on");
+    segs_on.set_block_cache(Some(Arc::clone(&cache)));
+    let (dict_off, mut segs_off) = SegmentStore::open(&dir).expect("open cache-off");
+    segs_off.set_block_cache(None);
+
+    // Zone-map accounting over the block directory, before the stores
+    // move behind `Arc<dyn SegmentSource>`.
+    let seg_on_store = TripleStore::with_base(dict_on, Arc::new(segs_on));
+    let pats = probe_patterns(&seg_on_store);
+    let (mut legacy_total, mut pruned_total) = (0usize, 0usize);
+    let (zone_dict, zone_segs) = SegmentStore::open(&dir).expect("open zone twin");
+    drop(zone_dict);
+    for (_, pat) in pats.iter().filter(|(n, _)| *n != "full") {
+        let (order, lo, hi) = shape_key_bounds(*pat);
+        let section = section_of(order);
+        for seg in zone_segs.segments() {
+            let blocks = &seg.meta().sections[section];
+            legacy_total += legacy_candidates(blocks, lo, hi);
+            pruned_total += pruned_candidates(blocks, lo, hi);
+        }
+    }
+    let blocks_total: usize = zone_segs
+        .segments()
+        .iter()
+        .map(|s| s.meta().sections.iter().map(Vec::len).sum::<usize>())
+        .sum();
+    drop(zone_segs);
+
+    // --- Answer parity: cache-on ≡ cache-off ≡ mem -------------------
+    let seg_off_store = TripleStore::with_base(dict_off, Arc::new(segs_off));
+    let mut identical = true;
+    for (_, pat) in probe_patterns(&mem) {
+        let want = decoded_scan(&mem, pat);
+        identical &= want == decoded_scan(&seg_on_store, translate(&seg_on_store, &mem, pat))
+            && want == decoded_scan(&seg_off_store, translate(&seg_off_store, &mem, pat));
+    }
+    for threads in [1usize, 4] {
+        with_thread_override(threads, || {
+            for &(_, _, body) in SUITE {
+                let text = format!("{PREFIXES}{body}");
+                for (_, opts) in ENGINES {
+                    let want = run_query(&mem, &text, *opts);
+                    identical &= run_query(&seg_on_store, &text, *opts) == want;
+                    identical &= run_query(&seg_off_store, &text, *opts) == want;
+                }
+            }
+        });
+    }
+
+    // --- Warm vs cold scan pass --------------------------------------
+    // Re-open raw segment stores for timing (the parity pass above
+    // consumed the originals into `TripleStore` bases).
+    let (_, mut timed_on) = SegmentStore::open(&dir).expect("open timed-on");
+    timed_on.set_block_cache(Some(Arc::clone(&cache)));
+    let (_, mut timed_off) = SegmentStore::open(&dir).expect("open timed-off");
+    timed_off.set_block_cache(None);
+    let timing_pats = probe_patterns(&seg_on_store);
+    let rows_per_pass = scan_pass(&timed_on, &timing_pats); // warm-up
+    assert_eq!(rows_per_pass, scan_pass(&timed_off, &timing_pats));
+    let (warm_ms, cold_ms) = paired_best(
+        |cold| scan_pass(if cold { &timed_off } else { &timed_on }, &timing_pats),
+        RUNS,
+    );
+    let speedup = cold_ms / warm_ms;
+
+    let stats = cache.stats();
+    let ord = std::sync::atomic::Ordering::Relaxed;
+    let (lookups, hits, misses) = (
+        stats.lookups.load(ord),
+        stats.hits.load(ord),
+        stats.misses.load(ord),
+    );
+    let conserved = hits + misses == lookups;
+
+    let gate_ok =
+        speedup >= GATE_WARM_SPEEDUP && pruned_total <= legacy_total && identical && conserved;
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"bench\": \"wodex-seg scan engine: decoded-block cache + zone maps (Zipf graph)\",\n",
+    );
+    out.push_str(&format!("  \"entities\": {entities},\n"));
+    out.push_str(&format!("  \"triples\": {},\n", mem.len()));
+    out.push_str(&format!("  \"blocks\": {blocks_total},\n"));
+    out.push_str(&format!("  \"rows_per_pass\": {rows_per_pass},\n"));
+    out.push_str(&format!("  \"cold_pass_ms\": {cold_ms:.3},\n"));
+    out.push_str(&format!("  \"warm_pass_ms\": {warm_ms:.3},\n"));
+    out.push_str(&format!(
+        "  \"gate_warm_speedup\": {GATE_WARM_SPEEDUP:.1},\n"
+    ));
+    out.push_str(&format!("  \"warm_speedup\": {speedup:.2},\n"));
+    out.push_str(&format!("  \"legacy_candidate_blocks\": {legacy_total},\n"));
+    out.push_str(&format!("  \"pruned_candidate_blocks\": {pruned_total},\n"));
+    out.push_str(&format!(
+        "  \"cache\": {{\"lookups\": {lookups}, \"hits\": {hits}, \"misses\": {misses}, \
+         \"resident_bytes\": {}}},\n",
+        cache.resident_bytes()
+    ));
+    out.push_str(&format!("  \"cache_conserved\": {conserved},\n"));
+    out.push_str(&format!("  \"answers_identical\": {identical},\n"));
+    out.push_str(&format!("  \"gate_ok\": {gate_ok}\n"));
+    out.push_str("}\n");
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Re-encodes a pattern from `from`'s dictionary into `to`'s (the two
+/// stores intern terms in different orders). `None` components stay
+/// unbound; a term absent from `to` yields an impossible pattern, which
+/// both sides then answer with zero rows.
+fn translate(to: &TripleStore, from: &TripleStore, pat: Pattern) -> Pattern {
+    let term = |id: Option<wodex_rdf::TermId>| id.map(|i| from.term(i).clone());
+    let (s, p, o) = (term(pat.s), term(pat.p), term(pat.o));
+    to.encode_pattern(s.as_ref(), p.as_ref(), o.as_ref())
+        .unwrap_or(Pattern {
+            s: Some(wodex_rdf::TermId(u32::MAX)),
+            p: None,
+            o: None,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_candidates_never_exceed_legacy_candidates() {
+        let mem = crate::workloads::zipf_store(300, 4, 1.1, 0x5EED);
+        let nt = wodex_rdf::ntriples::serialize(&graph_of(&mem));
+        let dir = std::env::temp_dir().join(format!("wodex_scanbench_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        load_ntriples(
+            nt.as_bytes(),
+            &dir,
+            &LoadConfig {
+                block_triples: 32,
+                ..LoadConfig::default()
+            },
+        )
+        .expect("load");
+        let (dict, segs) = SegmentStore::open(&dir).expect("open");
+        let probe = TripleStore::with_base(
+            dict,
+            Arc::new(SegmentStore::open(&dir).expect("open probe").1),
+        );
+        for (name, pat) in probe_patterns(&probe) {
+            let (order, lo, hi) = shape_key_bounds(pat);
+            let section = section_of(order);
+            for seg in segs.segments() {
+                let blocks = &seg.meta().sections[section];
+                assert!(
+                    pruned_candidates(blocks, lo, hi) <= legacy_candidates(blocks, lo, hi),
+                    "{name}: pruning decoded more blocks than the legacy path"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_and_cold_passes_agree_on_rows() {
+        let mem = crate::workloads::zipf_store(300, 4, 1.1, 0x5EED);
+        let nt = wodex_rdf::ntriples::serialize(&graph_of(&mem));
+        let dir = std::env::temp_dir().join(format!("wodex_scanbench_rows_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        load_ntriples(
+            nt.as_bytes(),
+            &dir,
+            &LoadConfig {
+                block_triples: 32,
+                ..LoadConfig::default()
+            },
+        )
+        .expect("load");
+        let cache = Arc::new(BlockCache::new(8 << 20));
+        let (dict, mut on) = SegmentStore::open(&dir).expect("open");
+        on.set_block_cache(Some(Arc::clone(&cache)));
+        let (_, mut off) = SegmentStore::open(&dir).expect("open");
+        off.set_block_cache(None);
+        let probe =
+            TripleStore::with_base(dict, Arc::new(SegmentStore::open(&dir).expect("probe").1));
+        let pats = probe_patterns(&probe);
+        let want = scan_pass(&off, &pats);
+        assert_eq!(scan_pass(&on, &pats), want, "cold pass (cache filling)");
+        assert_eq!(scan_pass(&on, &pats), want, "warm pass (cache serving)");
+        assert!(
+            cache
+                .stats()
+                .hits
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -372,6 +372,27 @@ where
     out
 }
 
+/// Maps `f` over `items` in parallel with **one chunk per item** — the
+/// coarse-grained twin of [`par_map`] for inputs where each item is
+/// itself a substantial unit of work (decoding a compressed segment
+/// block, merging a partition). `par_map`'s fine-grained batching puts
+/// at least 256 items in a chunk, which is right when items are cheap
+/// but serializes any batch of fewer than 256 *expensive* items; this
+/// entry point dispatches every item independently.
+///
+/// Deterministic for the same reason `par_map` is: the decomposition
+/// (one chunk per item) is a function of the input only, and results
+/// are reassembled in input order. Empty input returns an empty vec
+/// without touching the pool; panics in `f` propagate.
+pub fn par_map_coarse<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_chunks(items, 1, |_, c| f(&c[0]))
+}
+
 /// The result of a budget-aware parallel operation: the longest completed
 /// *prefix* of the full computation, plus why (if) it stopped early.
 #[derive(Debug, Clone, PartialEq)]
@@ -575,6 +596,21 @@ mod tests {
         let items: Vec<u32> = Vec::new();
         let out: Vec<u32> = with_thread_override(4, || par_map(&items, |&x| x));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_coarse_preserves_order_below_min_chunk() {
+        // 40 items is far under par_map's fine-grained chunk floor; the
+        // coarse entry point must still decompose (one chunk per item)
+        // and reassemble in input order at every thread count.
+        let items: Vec<u64> = (0..40).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 4, 8] {
+            let out = with_thread_override(threads, || par_map_coarse(&items, |&x| x * x + 1));
+            assert_eq!(out, serial, "threads={threads}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_coarse(&empty, |&x: &u64| x).is_empty());
     }
 
     #[test]

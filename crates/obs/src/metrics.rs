@@ -393,6 +393,19 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// Every gauge value keyed by `name{label="v",…}` — the same
+    /// readout as [`MetricsRegistry::counter_values`], for gauges
+    /// (`/stats` fragments read resident-bytes style series this way).
+    pub fn gauge_values(&self) -> HashMap<String, i64> {
+        self.lock()
+            .iter()
+            .filter_map(|s| match &s.metric {
+                Metric::Gauge(g) => Some((series_key(&s.name, &s.labels), g.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Runs `f` over every registered series (exposition).
     pub(crate) fn for_each(&self, mut f: impl FnMut(&Series)) {
         for s in self.lock().iter() {

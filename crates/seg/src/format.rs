@@ -5,9 +5,9 @@
 //! (SPO, POS, OSP) — as runs of delta-compressed blocks:
 //!
 //! ```text
-//! [magic  "WSEG0001"]
+//! [magic  "WSEG0002"]
 //! [SPO blocks ...][POS blocks ...][OSP blocks ...]
-//! [footer][footer checksum u64][footer length u64][magic "WSEG0001"]
+//! [footer][footer checksum u64][footer length u64][magic "WSEG0002"]
 //! ```
 //!
 //! Each **block** is `[checksum u64][count u32][delta-varint key run]`
@@ -15,8 +15,15 @@
 //! itself; the key run is [`wodex_store::encoded::encode_key_run`]). The
 //! **footer** carries the triple count, per-position distinct counts
 //! (planner statistics without a scan), and a per-section block
-//! directory — offset, length, first key, count per block — so scans
-//! binary-search the directory and touch only candidate blocks.
+//! directory — offset, length, first/last key, per-position min/max
+//! zone maps, and count per block — so scans binary-search the
+//! directory and decode *exactly* the candidate blocks.
+//!
+//! Format versioning: the magic doubles as the version tag. `WSEG0002`
+//! added the zone-map fields (`last_key`, `min`, `max`); readers reject
+//! other versions outright rather than guessing — segments are always
+//! produced by the same build that reads them (bulk load, delta
+//! compaction), so there is no cross-version migration path to keep.
 //!
 //! Crash safety is by **atomic rename**: a segment is built in a
 //! `*.tmp` sibling and renamed into place only after every byte and the
@@ -24,14 +31,15 @@
 
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use wodex_resilience::page_checksum;
+use wodex_resilience::{page_checksum, StoreError};
 use wodex_store::encoded::{
     decode_key_run, encode_key_run, read_varint, read_varint_u32, write_varint,
 };
 use wodex_store::EncodedTriple;
 
-/// Magic bytes framing a segment file at both ends.
-pub const SEGMENT_MAGIC: &[u8; 8] = b"WSEG0001";
+/// Magic bytes framing a segment file at both ends (also the format
+/// version: `WSEG0002` = zone-mapped block directory).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"WSEG0002";
 
 /// Bytes of block header: u64 checksum + u32 key count.
 pub const BLOCK_HEADER: usize = 12;
@@ -42,7 +50,7 @@ pub const DEFAULT_BLOCK_TRIPLES: usize = 4096;
 /// The three sections of a segment, in file order.
 pub const SECTIONS: usize = 3;
 
-/// Directory entry for one block.
+/// Directory entry for one block, including its zone map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockMeta {
     /// Byte offset of the block in the segment file.
@@ -51,8 +59,41 @@ pub struct BlockMeta {
     pub len: u32,
     /// First key stored in the block.
     pub first_key: [u32; 3],
+    /// Last key stored in the block — with `first_key`, brackets the
+    /// block's key range so candidate ranges are exact, not the
+    /// `first_key`-only over-approximation.
+    pub last_key: [u32; 3],
+    /// Per-position minimum over the block's keys (`min[i]` = smallest
+    /// `key[i]`). `min[0] == first_key[0]` always; positions 1 and 2
+    /// carry real pruning power for bound non-leading components.
+    pub min: [u32; 3],
+    /// Per-position maximum over the block's keys.
+    pub max: [u32; 3],
     /// Number of keys in the block.
     pub count: u32,
+}
+
+impl BlockMeta {
+    /// True when the zone map proves the block holds no key in the
+    /// inclusive `[lo, hi]` bracket of [`shape_key_bounds`]-style
+    /// bounds. Sound only for such brackets: a leading run of positions
+    /// with `lo[i] == hi[i]` (the bound components), then wildcards.
+    ///
+    /// [`shape_key_bounds`]: wodex_store::segment::shape_key_bounds
+    pub fn zone_prunes(&self, lo: [u32; 3], hi: [u32; 3]) -> bool {
+        if self.last_key < lo || self.first_key > hi {
+            return true;
+        }
+        for i in 0..3 {
+            if lo[i] != hi[i] {
+                break;
+            }
+            if self.min[i] > lo[i] || self.max[i] < lo[i] {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Decoded footer of one segment file.
@@ -105,33 +146,45 @@ pub fn encode_block(keys: &[[u32; 3]]) -> Vec<u8> {
 }
 
 /// Validates a block image's checksum and structure without decoding.
-pub fn verify_block(data: &[u8]) -> Result<(), String> {
+/// `page` is the block's flat id, carried into [`StoreError::Corrupt`]
+/// so checksum failures surface in the PR 2 taxonomy with the page they
+/// struck, not as strings mapped at the call site.
+pub fn verify_block(page: u32, data: &[u8]) -> Result<(), StoreError> {
     if data.len() < BLOCK_HEADER {
-        return Err(format!("short block: {} bytes", data.len()));
+        return Err(StoreError::Corrupt {
+            page,
+            detail: format!("short block: {} bytes", data.len()),
+        });
     }
     let stored = u64::from_le_bytes(data[..8].try_into().expect("8-byte checksum"));
     let actual = page_checksum(&data[8..]);
     if stored != actual {
-        return Err(format!(
-            "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
-        ));
+        return Err(StoreError::Corrupt {
+            page,
+            detail: format!("checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"),
+        });
     }
     Ok(())
 }
 
 /// Validates and decodes a block image back into keys.
-pub fn decode_block(data: &[u8]) -> Result<Vec<[u32; 3]>, String> {
-    verify_block(data)?;
+pub fn decode_block(page: u32, data: &[u8]) -> Result<Vec<[u32; 3]>, StoreError> {
+    verify_block(page, data)?;
     let count = u32::from_le_bytes(data[8..12].try_into().expect("4-byte count")) as usize;
     let mut out = Vec::new();
     let mut pos = BLOCK_HEADER;
-    decode_key_run(data, &mut pos, count, &mut out)
-        .ok_or_else(|| format!("truncated key run: {count} keys claimed"))?;
+    decode_key_run(data, &mut pos, count, &mut out).ok_or_else(|| StoreError::Corrupt {
+        page,
+        detail: format!("truncated key run: {count} keys claimed"),
+    })?;
     if pos != data.len() {
-        return Err(format!(
-            "trailing garbage: {} bytes after {count} keys",
-            data.len() - pos
-        ));
+        return Err(StoreError::Corrupt {
+            page,
+            detail: format!(
+                "trailing garbage: {} bytes after {count} keys",
+                data.len() - pos
+            ),
+        });
     }
     Ok(out)
 }
@@ -146,8 +199,10 @@ fn write_footer_meta(meta: &SegmentMeta, out: &mut Vec<u8>) {
         for b in blocks {
             write_varint(out, b.offset);
             write_varint(out, u64::from(b.len));
-            for k in b.first_key {
-                write_varint(out, u64::from(k));
+            for arr in [b.first_key, b.last_key, b.min, b.max] {
+                for k in arr {
+                    write_varint(out, u64::from(k));
+                }
             }
             write_varint(out, u64::from(b.count));
         }
@@ -169,15 +224,21 @@ fn read_footer_meta(data: &[u8]) -> Option<SegmentMeta> {
         for _ in 0..n {
             let offset = read_varint(data, &mut pos)?;
             let len = read_varint_u32(data, &mut pos)?;
-            let mut first_key = [0u32; 3];
-            for k in &mut first_key {
-                *k = read_varint_u32(data, &mut pos)?;
+            let mut arrs = [[0u32; 3]; 4];
+            for arr in &mut arrs {
+                for k in arr.iter_mut() {
+                    *k = read_varint_u32(data, &mut pos)?;
+                }
             }
+            let [first_key, last_key, min, max] = arrs;
             let count = read_varint_u32(data, &mut pos)?;
             sec.push(BlockMeta {
                 offset,
                 len,
                 first_key,
+                last_key,
+                min,
+                max,
                 count,
             });
         }
@@ -249,10 +310,21 @@ impl SegmentWriter {
             return Ok(());
         }
         let image = encode_block(&self.buf);
+        let mut min = self.buf[0];
+        let mut max = self.buf[0];
+        for k in &self.buf[1..] {
+            for i in 0..3 {
+                min[i] = min[i].min(k[i]);
+                max[i] = max[i].max(k[i]);
+            }
+        }
         self.meta.sections[self.section].push(BlockMeta {
             offset: self.offset,
             len: image.len() as u32,
             first_key: self.buf[0],
+            last_key: *self.buf.last().expect("non-empty block"),
+            min,
+            max,
             count: self.buf.len() as u32,
         });
         self.file.write_all(&image)?;
@@ -388,11 +460,25 @@ mod tests {
     fn block_roundtrip_and_corruption_detection() {
         let ks = keys(500);
         let block = encode_block(&ks);
-        assert_eq!(decode_block(&block).unwrap(), ks);
+        assert_eq!(decode_block(7, &block).unwrap(), ks);
         let mut bad = block.clone();
         bad[BLOCK_HEADER + 3] ^= 0x40;
-        assert!(decode_block(&bad).unwrap_err().contains("checksum"));
-        assert!(decode_block(&block[..4]).is_err(), "short block");
+        // Corruption is a typed `Corrupt` carrying the page id, not a
+        // string the caller has to re-wrap.
+        match decode_block(7, &bad).unwrap_err() {
+            StoreError::Corrupt { page, detail } => {
+                assert_eq!(page, 7);
+                assert!(detail.contains("checksum"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        match decode_block(3, &block[..4]).unwrap_err() {
+            StoreError::Corrupt { page, detail } => {
+                assert_eq!(page, 3);
+                assert!(detail.contains("short block"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]
@@ -410,17 +496,64 @@ mod tests {
         assert_eq!(meta.triples as usize, ts.len());
         let read = read_segment_meta(&path).unwrap();
         assert_eq!(read, meta);
-        // Every section's directory is sorted by first key and counts
-        // sum to the triple count.
+        // Every section's directory is sorted by first key, block
+        // ranges are disjoint ([last of i] < [first of i+1]), and
+        // counts sum to the triple count.
         for sec in &read.sections {
             assert!(sec.windows(2).all(|w| w[0].first_key < w[1].first_key));
+            assert!(sec.windows(2).all(|w| w[0].last_key < w[1].first_key));
             let total: u64 = sec.iter().map(|b| u64::from(b.count)).sum();
             assert_eq!(total, read.triples);
+            for b in sec {
+                assert!(b.first_key <= b.last_key);
+                for i in 0..3 {
+                    assert!(b.min[i] <= b.max[i]);
+                    assert!(b.min[i] <= b.first_key[i] && b.first_key[i] <= b.max[i]);
+                    assert!(b.min[i] <= b.last_key[i] && b.last_key[i] <= b.max[i]);
+                }
+            }
         }
         // Distinct leading counts match a direct computation.
         let mut subjects: Vec<u32> = ts.iter().map(|t| t[0]).collect();
         subjects.dedup();
         assert_eq!(read.distinct[0] as usize, subjects.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zone_maps_match_direct_computation_and_prune_soundly() {
+        let ts = keys(3000);
+        let path = tmp("zones.seg");
+        let meta = write_segment(
+            &path,
+            128,
+            ts.iter().copied(),
+            sorted_by(Order::Pos, &ts),
+            sorted_by(Order::Osp, &ts),
+        )
+        .unwrap();
+        // Reconstruct each SPO block's key slice from the directory
+        // counts and compare the recorded zone map against a direct
+        // componentwise min/max.
+        let mut at = 0usize;
+        for b in &meta.sections[0] {
+            let slice = &ts[at..at + b.count as usize];
+            at += b.count as usize;
+            assert_eq!(b.first_key, slice[0]);
+            assert_eq!(b.last_key, *slice.last().unwrap());
+            for i in 0..3 {
+                assert_eq!(b.min[i], slice.iter().map(|k| k[i]).min().unwrap());
+                assert_eq!(b.max[i], slice.iter().map(|k| k[i]).max().unwrap());
+            }
+            // Soundness: a bracket built from any key the block holds
+            // is never pruned.
+            for k in slice.iter().step_by(17) {
+                assert!(!b.zone_prunes(*k, *k));
+                assert!(!b.zone_prunes([k[0], 0, 0], [k[0], u32::MAX, u32::MAX]));
+                assert!(!b.zone_prunes([k[0], k[1], 0], [k[0], k[1], u32::MAX]));
+            }
+        }
+        assert_eq!(at, ts.len());
         std::fs::remove_file(&path).ok();
     }
 

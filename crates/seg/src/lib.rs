@@ -31,7 +31,15 @@
 //!   thread merges a full level into the next. Inputs are immutable, the
 //!   output appears by rename, so aborting mid-merge (shutdown, SIGTERM)
 //!   is always safe.
+//! * **Scan engine** ([`cache`] + [`store`]): repeated scans are served
+//!   from a process-wide sharded LRU of *decoded* blocks
+//!   (`WODEX_SEGCACHE_MB`), candidate block ranges are pruned exactly
+//!   by per-block zone maps (`first_key`/`last_key` + per-position
+//!   min/max), cache-miss runs decode in parallel with deterministic
+//!   reassembly, and `scan_chunks` streams results block-by-block so
+//!   consumers never materialize full scans.
 
+pub mod cache;
 pub mod compact;
 pub mod delta;
 pub mod dict;
@@ -39,6 +47,7 @@ pub mod format;
 pub mod loader;
 pub mod store;
 
+pub use cache::{BlockCache, BlockKey, CachedBlock};
 pub use compact::{compact_once, CompactOpts, CompactOutcome, CompactorHandle};
 pub use delta::{
     compact_deltas, compact_deltas_with, replay, wal_sink, CompactDeltasOutcome, DeltaFaultPlan,

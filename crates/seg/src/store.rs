@@ -12,7 +12,17 @@
 //! through a [`BufferPool`] (bounded residency), is checksum-verified on
 //! entry (a corrupt block is a typed [`StoreError::Corrupt`], never a
 //! panic), and transient faults are retried under a [`RetryPolicy`].
+//!
+//! On top of that sits the PR 10 **scan engine**: candidate block
+//! ranges are computed *exactly* from the zone-mapped directory
+//! (`first_key`/`last_key` bracketing plus per-position min/max
+//! pruning), decoded blocks are shared through the process-wide
+//! [`BlockCache`] keyed by segment generation, cache-miss batches
+//! decode in parallel with deterministic reassembly, and
+//! [`SegmentSource::scan_chunks`] streams block-sized slices so
+//! consumers never materialize a full scan.
 
+use crate::cache::{BlockCache, BlockKey, CachedBlock};
 use crate::format::{self, BlockMeta, SegmentMeta};
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -186,16 +196,30 @@ fn section_of(order: Order) -> usize {
     }
 }
 
+/// Cache-missing blocks dispatched to the coarse parallel decoder per
+/// batch. Bounds the decoded bytes in flight and the distance between
+/// two chunk emissions, so budget-aware consumers stop within one
+/// batch of where the budget tripped.
+const DECODE_BATCH: usize = 32;
+
 /// One open segment file: footer metadata, a block backend, a buffer
 /// pool bounding resident blocks, and a retry policy for transient
 /// faults. Generic over the backend so the chaos tests can splice a
 /// [`wodex_store::FaultBackend`] underneath.
+///
+/// Every segment carries a process-unique `cache_id` taken at
+/// construction — the decoded-block cache's generation tag. Reopens
+/// (delta compaction, MVCC snapshot reloads) build fresh `Segment`
+/// values and therefore fresh ids, so stale cached blocks are
+/// unreachable by construction.
 pub struct Segment<B: PageBackend> {
     meta: SegmentMeta,
     backend: B,
     pool: BufferPool,
     policy: RetryPolicy,
     retry_stats: RetryStats,
+    cache_id: u64,
+    cache: Option<Arc<BlockCache>>,
 }
 
 impl<B: PageBackend> std::fmt::Debug for Segment<B> {
@@ -235,7 +259,21 @@ impl<B: PageBackend> Segment<B> {
             pool: BufferPool::new(pool_blocks),
             policy: RetryPolicy::default(),
             retry_stats: RetryStats::new(),
+            cache_id: crate::cache::next_segment_id(),
+            cache: BlockCache::global().cloned(),
         }
+    }
+
+    /// The segment's generation tag in the decoded-block cache.
+    pub fn cache_id(&self) -> u64 {
+        self.cache_id
+    }
+
+    /// Attaches, swaps, or detaches (`None`) the decoded-block cache —
+    /// the seam bench and tests use to run a cache-off oracle in the
+    /// same process.
+    pub fn set_block_cache(&mut self, cache: Option<Arc<BlockCache>>) {
+        self.cache = cache;
     }
 
     /// Footer metadata.
@@ -269,9 +307,8 @@ impl<B: PageBackend> Segment<B> {
         let m = crate::metrics();
         m.blocks_read.inc();
         let data = self.backend.read_page(id)?;
-        format::verify_block(&data).map_err(|detail| {
+        format::verify_block(id, &data).inspect_err(|_| {
             m.checksum_failures.inc();
-            StoreError::Corrupt { page: id, detail }
         })?;
         Ok(data)
     }
@@ -289,72 +326,166 @@ impl<B: PageBackend> Segment<B> {
         )
     }
 
-    /// Decodes one block of a section into keys. Bytes from the pool were
-    /// verified on entry, so a decode failure here means the image is
-    /// structurally corrupt despite the checksum — still a typed error.
+    /// Decodes one block of a section into keys, bypassing the decoded
+    /// cache — the compactor's streaming path uses this deliberately: a
+    /// compaction touches every block exactly once, and routing it
+    /// through the cache would only evict hot scan blocks. Bytes from
+    /// the pool were verified on entry, so a decode failure here means
+    /// the image is structurally corrupt despite the checksum — still a
+    /// typed error.
     pub fn block_keys(&self, section: usize, index: usize) -> Result<Vec<[u32; 3]>, StoreError> {
         let id = self.meta.flat_id(section, index);
         let data = self.block_bytes(id)?;
-        let count = u32::from_le_bytes(
-            data[8..format::BLOCK_HEADER]
-                .try_into()
-                .expect("4-byte count"),
-        ) as usize;
-        let mut out = Vec::with_capacity(count);
-        let mut pos = format::BLOCK_HEADER;
-        decode_key_run(&data, &mut pos, count, &mut out).ok_or_else(|| StoreError::Corrupt {
-            page: id,
-            detail: format!("key run does not decode: {count} keys claimed"),
+        decode_pool_block(id, &data)
+    }
+
+    /// Decodes the given blocks of one section, cache first. Misses are
+    /// fetched through the pool/retry discipline and decoded by the
+    /// coarse parallel decoder with deterministic ordered reassembly;
+    /// results line up with `indexes`.
+    fn decoded_batch(
+        &self,
+        section: usize,
+        indexes: &[usize],
+    ) -> Result<Vec<CachedBlock>, StoreError> {
+        let Some(cache) = &self.cache else {
+            return indexes
+                .iter()
+                .map(|&i| Ok(Arc::new(self.block_keys(section, i)?)))
+                .collect();
+        };
+        let mut out: Vec<Option<CachedBlock>> = Vec::with_capacity(indexes.len());
+        let mut misses: Vec<(usize, usize)> = Vec::new();
+        for (slot, &index) in indexes.iter().enumerate() {
+            let key = BlockKey {
+                segment: self.cache_id,
+                section: section as u8,
+                block: index as u32,
+            };
+            match cache.get(key) {
+                Some(hit) => out.push(Some(hit)),
+                None => {
+                    out.push(None);
+                    misses.push((slot, index));
+                }
+            }
+        }
+        // Fetch serially (the pool and the backend file handle are the
+        // serialization points anyway), decode in parallel.
+        let fetched: Vec<(usize, u32, Arc<Vec<u8>>)> = misses
+            .iter()
+            .map(|&(slot, index)| {
+                let id = self.meta.flat_id(section, index);
+                Ok((slot, id, self.block_bytes(id)?))
+            })
+            .collect::<Result<_, StoreError>>()?;
+        let decoded =
+            wodex_exec::par_map_coarse(&fetched, |(_, id, data)| decode_pool_block(*id, data));
+        for (&(slot, index), keys) in misses.iter().zip(decoded) {
+            let keys = Arc::new(keys?);
+            cache.insert(
+                BlockKey {
+                    segment: self.cache_id,
+                    section: section as u8,
+                    block: index as u32,
+                },
+                Arc::clone(&keys),
+            );
+            out[slot] = Some(keys);
+        }
+        Ok(out.into_iter().map(|b| b.expect("slot filled")).collect())
+    }
+
+    /// Streams the in-bounds slice of every candidate block of `pat`,
+    /// in the shape's key order. `emit` returns `false` to stop early;
+    /// the scan then returns `Ok(false)` without decoding further
+    /// batches — budget-aware consumers degrade at block granularity.
+    fn for_each_key_chunk(
+        &self,
+        pat: Pattern,
+        emit: &mut dyn FnMut(&[[u32; 3]]) -> bool,
+    ) -> Result<bool, StoreError> {
+        let (order, lo, hi) = shape_key_bounds(pat);
+        let section = section_of(order);
+        let blocks = &self.meta.sections[section];
+        let candidates: Vec<usize> = candidate_range(blocks, lo, hi)
+            .filter(|&i| !blocks[i].zone_prunes(lo, hi))
+            .collect();
+        for batch in candidates.chunks(DECODE_BATCH) {
+            let decoded = self.decoded_batch(section, batch)?;
+            for (&index, keys) in batch.iter().zip(&decoded) {
+                let b = &blocks[index];
+                // Interior blocks lie wholly inside the bracket; only
+                // boundary blocks pay a binary-search trim.
+                let s = if b.first_key >= lo {
+                    0
+                } else {
+                    keys.partition_point(|k| *k < lo)
+                };
+                let e = if b.last_key <= hi {
+                    keys.len()
+                } else {
+                    keys.partition_point(|k| *k <= hi)
+                };
+                if s < e && !emit(&keys[s..e]) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// All keys of `pat`'s matches, in the shape's index key order —
+    /// decoding exactly the blocks whose zone maps intersect the
+    /// pattern's key bounds.
+    pub fn scan_keys(&self, pat: Pattern) -> Result<Vec<[u32; 3]>, StoreError> {
+        let mut out = Vec::new();
+        self.for_each_key_chunk(pat, &mut |chunk| {
+            out.extend_from_slice(chunk);
+            true
         })?;
         Ok(out)
     }
 
-    /// All keys of `pat`'s matches, in the shape's index key order —
-    /// touching only the blocks whose directory range intersects the
-    /// pattern's key bounds.
-    pub fn scan_keys(&self, pat: Pattern) -> Result<Vec<[u32; 3]>, StoreError> {
-        let (order, lo, hi) = shape_key_bounds(pat);
-        let section = section_of(order);
-        let blocks = &self.meta.sections[section];
-        let start = candidate_start(blocks, lo);
-        let mut out = Vec::new();
-        for (index, b) in blocks.iter().enumerate().skip(start) {
-            if b.first_key > hi {
-                break;
-            }
-            let keys = self.block_keys(section, index)?;
-            for k in keys {
-                if k > hi {
-                    return Ok(out);
-                }
-                if k >= lo {
-                    out.push(k);
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    /// Blocks a scan of `pat` would touch — the metadata-only cardinality
-    /// bound behind [`SegmentSource::estimate`].
+    /// Keys a scan of `pat` would decode — the metadata-only cardinality
+    /// bound behind [`SegmentSource::estimate`]. Exact at the block
+    /// level: zone-pruned blocks no longer inflate the estimate.
     fn candidate_count(&self, pat: Pattern) -> usize {
         let (order, lo, hi) = shape_key_bounds(pat);
         let blocks = &self.meta.sections[section_of(order)];
-        let start = candidate_start(blocks, lo);
-        blocks[start..]
-            .iter()
-            .take_while(|b| b.first_key <= hi)
-            .map(|b| b.count as usize)
+        candidate_range(blocks, lo, hi)
+            .filter(|&i| !blocks[i].zone_prunes(lo, hi))
+            .map(|i| blocks[i].count as usize)
             .sum()
     }
 }
 
-/// Index of the last directory entry whose first key is `≤ lo` (the run
-/// may start mid-block), or 0.
-fn candidate_start(blocks: &[BlockMeta], lo: [u32; 3]) -> usize {
-    blocks
-        .partition_point(|b| b.first_key <= lo)
-        .saturating_sub(1)
+/// Decodes a pool-resident (already checksum-verified) block image.
+fn decode_pool_block(id: u32, data: &[u8]) -> Result<Vec<[u32; 3]>, StoreError> {
+    let count = u32::from_le_bytes(
+        data[8..format::BLOCK_HEADER]
+            .try_into()
+            .expect("4-byte count"),
+    ) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut pos = format::BLOCK_HEADER;
+    decode_key_run(data, &mut pos, count, &mut out).ok_or_else(|| StoreError::Corrupt {
+        page: id,
+        detail: format!("key run does not decode: {count} keys claimed"),
+    })?;
+    Ok(out)
+}
+
+/// Exact candidate block range for the inclusive bracket `[lo, hi]`:
+/// zone maps give the first block whose `last_key` reaches `lo` and the
+/// first whose `first_key` passes `hi`. Every block inside the range
+/// intersects the bracket; no block outside it can hold a match. (The
+/// pre-zone-map directory only knew `first_key`, so the start bound had
+/// to back up one block and the end bound over-approximated.)
+fn candidate_range(blocks: &[BlockMeta], lo: [u32; 3], hi: [u32; 3]) -> std::ops::Range<usize> {
+    let start = blocks.partition_point(|b| b.last_key < lo);
+    let end = blocks.partition_point(|b| b.first_key <= hi);
+    start..end.max(start)
 }
 
 impl<B: PageBackend + Send + Sync> SegmentSource for Segment<B> {
@@ -369,6 +500,20 @@ impl<B: PageBackend + Send + Sync> SegmentSource for Segment<B> {
             .iter()
             .map(|k| order.unkey(k))
             .collect())
+    }
+
+    fn scan_chunks(
+        &self,
+        pat: Pattern,
+        f: &mut dyn FnMut(&[EncodedTriple]) -> bool,
+    ) -> Result<bool, StoreError> {
+        let (order, _, _) = shape_key_bounds(pat);
+        let mut buf: Vec<EncodedTriple> = Vec::new();
+        self.for_each_key_chunk(pat, &mut |keys| {
+            buf.clear();
+            buf.extend(keys.iter().map(|k| order.unkey(k)));
+            f(&buf)
+        })
     }
 
     fn estimate(&self, pat: Pattern) -> usize {
@@ -449,6 +594,15 @@ impl SegmentStore {
     pub fn segments(&self) -> &[Segment<SegmentFileBackend>] {
         &self.segments
     }
+
+    /// Attaches, swaps, or detaches (`None`) the decoded-block cache on
+    /// every open segment — the seam bench and tests use to run a
+    /// cache-off oracle in the same process.
+    pub fn set_block_cache(&mut self, cache: Option<Arc<BlockCache>>) {
+        for s in &mut self.segments {
+            s.set_block_cache(cache.clone());
+        }
+    }
 }
 
 /// K-way merge of per-segment sorted key runs, deduplicating.
@@ -494,6 +648,27 @@ impl SegmentSource for SegmentStore {
             .map(|s| s.scan_keys(pat))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(merge_keys(runs).iter().map(|k| order.unkey(k)).collect())
+    }
+
+    fn scan_chunks(
+        &self,
+        pat: Pattern,
+        f: &mut dyn FnMut(&[EncodedTriple]) -> bool,
+    ) -> Result<bool, StoreError> {
+        match self.segments.len() {
+            0 => Ok(true),
+            // The common steady state (one compacted segment) streams
+            // block by block; multi-segment directories need the k-way
+            // merge, which the materializing default provides.
+            1 => self.segments[0].scan_chunks(pat, f),
+            _ => {
+                let all = self.scan(pat)?;
+                if all.is_empty() {
+                    return Ok(true);
+                }
+                Ok(f(&all))
+            }
+        }
     }
 
     fn estimate(&self, pat: Pattern) -> usize {
@@ -624,6 +799,160 @@ mod tests {
             reads <= 2,
             "a 4-triple scan should touch ≤2 blocks, read {reads}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn candidate_ranges_are_exact_at_block_boundaries() {
+        // Property test over the directory formulas: for patterns whose
+        // key equals a block's first or last key (plus misses, gaps and
+        // wildcards), the candidate range must include every block
+        // holding a match and nothing provably empty — and the scan
+        // must agree with a brute-force filter.
+        let mut ts: Vec<EncodedTriple> = (0..900u32)
+            .map(|i| [i / 9 * 2, i % 5, i % 11]) // gaps in the subject space
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        let dir = tmpdir("boundary");
+        let path = dir.join("b.seg");
+        let meta = write_seg(&path, &ts, 8); // tiny blocks: many boundaries
+        let mut seg = Segment::open(&path, 8).unwrap();
+        seg.set_block_cache(None);
+        let st = mem_store(&ts);
+        let mut probes: Vec<u32> = Vec::new();
+        for b in &meta.sections[0] {
+            probes.extend([b.first_key[0], b.last_key[0]]);
+        }
+        probes.extend([0, 1, u32::MAX]); // below, between, above everything
+        probes.sort_unstable();
+        probes.dedup();
+        for sid in probes {
+            let pat = Pattern::any().with_s(TermId(sid));
+            assert_eq!(seg.scan(pat).unwrap(), st.scan(pat).unwrap(), "s={sid}");
+            let (_, lo, hi) = shape_key_bounds(pat);
+            let blocks = &seg.meta().sections[0];
+            let range = candidate_range(blocks, lo, hi);
+            let mut at = 0usize;
+            for (i, b) in blocks.iter().enumerate() {
+                let slice = &ts[at..at + b.count as usize];
+                at += b.count as usize;
+                let holds_match = slice.iter().any(|k| *k >= lo && *k <= hi);
+                if holds_match {
+                    assert!(range.contains(&i), "s={sid}: block {i} holds a match");
+                    assert!(!b.zone_prunes(lo, hi), "s={sid}: sound pruning");
+                } else if range.contains(&i) {
+                    // Exactness: an in-range block without a match must
+                    // at least bracket the probe (an interior gap).
+                    assert!(
+                        b.first_key <= hi && b.last_key >= lo,
+                        "s={sid}: block {i} is provably empty yet in range"
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_block_sections_and_empty_segments_scan_cleanly() {
+        let dir = tmpdir("tiny");
+        // One triple → every section is a single block; probe its exact
+        // key, both boundary sides, and a miss.
+        let one = vec![[5u32, 6, 7]];
+        let path = dir.join("one.seg");
+        write_seg(&path, &one, 64);
+        let seg = Segment::open(&path, 4).unwrap();
+        for (pat, want) in [
+            (Pattern::any().with_s(TermId(5)), 1),
+            (Pattern::any().with_s(TermId(4)), 0),
+            (Pattern::any().with_s(TermId(6)), 0),
+            (Pattern::any(), 1),
+        ] {
+            assert_eq!(seg.scan(pat).unwrap().len(), want, "{pat:?}");
+        }
+        // Zero triples → empty directory in every section.
+        let empty: Vec<EncodedTriple> = Vec::new();
+        let path = dir.join("empty.seg");
+        write_seg(&path, &empty, 64);
+        let seg = Segment::open(&path, 4).unwrap();
+        assert!(seg.is_empty());
+        assert!(seg.scan(Pattern::any()).unwrap().is_empty());
+        assert!(seg
+            .scan(Pattern::any().with_s(TermId(1)))
+            .unwrap()
+            .is_empty());
+        assert_eq!(seg.estimate(Pattern::any()), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_rescan_reads_no_new_blocks_and_answers_identically() {
+        let ts: Vec<EncodedTriple> = (0..5000u32).map(|i| [i / 5, i % 5, i]).collect();
+        let dir = tmpdir("cachehot");
+        let path = dir.join("hot.seg");
+        write_seg(&path, &ts, 128);
+        let mut seg = Segment::open(&path, 4).unwrap(); // pool smaller than the scan
+        let cache = Arc::new(BlockCache::new(8 << 20));
+        seg.set_block_cache(Some(Arc::clone(&cache)));
+        let pats = [
+            Pattern::any(),
+            Pattern::any().with_s(TermId(123)),
+            Pattern::any().with_p(TermId(3)),
+        ];
+        let cold: Vec<_> = pats.iter().map(|&p| seg.scan(p).unwrap()).collect();
+        let reads_after_cold = seg.backend().reads();
+        let warm: Vec<_> = pats.iter().map(|&p| seg.scan(p).unwrap()).collect();
+        assert_eq!(cold, warm, "cached answers are bit-identical");
+        assert_eq!(
+            seg.backend().reads(),
+            reads_after_cold,
+            "warm scans decode entirely from the cache"
+        );
+        assert!(cache.stats().hits.load(Ordering::Relaxed) > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_chunks_concatenation_equals_scan_and_stops_early() {
+        let mut ts: Vec<EncodedTriple> = (0..3000u32).map(|i| [i / 3, i % 7, i]).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        let dir = tmpdir("chunks");
+        let path = dir.join("c.seg");
+        write_seg(&path, &ts, 64);
+        let seg = Segment::open(&path, 16).unwrap();
+        for pat in [
+            Pattern::any(),
+            Pattern::any().with_s(TermId(100)),
+            Pattern::any().with_p(TermId(2)),
+            Pattern::any().with_o(TermId(999_999)),
+        ] {
+            let mut streamed = Vec::new();
+            let mut chunks = 0usize;
+            let done = seg
+                .scan_chunks(pat, &mut |c| {
+                    chunks += 1;
+                    streamed.extend_from_slice(c);
+                    true
+                })
+                .unwrap();
+            assert!(done);
+            assert_eq!(streamed, seg.scan(pat).unwrap(), "{pat:?}");
+            if streamed.len() > 200 {
+                assert!(chunks > 1, "{pat:?}: large scans must stream in chunks");
+            }
+        }
+        // Early stop: the first chunk arrives, then the consumer quits.
+        let mut calls = 0usize;
+        let done = seg
+            .scan_chunks(Pattern::any(), &mut |_| {
+                calls += 1;
+                false
+            })
+            .unwrap();
+        assert!(!done);
+        assert_eq!(calls, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

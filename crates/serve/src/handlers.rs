@@ -242,6 +242,12 @@ fn stats(state: &AppState, out: &mut TcpStream) {
     let s = state.sessions.stats();
     let x = wodex_exec::stats();
     let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+    // Decoded-block cache series, read through the registry so the
+    // serving layer needs no dependency on the segment crate. Zero when
+    // the store is not seg-backed (the series never registers).
+    let cv = wodex_obs::global().counter_values();
+    let gv = wodex_obs::global().gauge_values();
+    let segcache = |name: &str| cv.get(name).copied().unwrap_or(0);
     let body = format!(
         concat!(
             "{{\"requests\":{{\"accepted\":{},\"admitted\":{},\"completed\":{},",
@@ -250,6 +256,8 @@ fn stats(state: &AppState, out: &mut TcpStream) {
             "\"sessions\":{{\"active\":{},\"opened\":{},\"evicted\":{},\"expired\":{}}},",
             "\"store\":{{\"triples\":{},\"subjects\":{},\"predicates\":{}}},",
             "\"exec\":{{\"map_calls\":{},\"map_items\":{},\"fold_calls\":{}}},",
+            "\"segcache\":{{\"lookups\":{},\"hits\":{},\"misses\":{},",
+            "\"evictions\":{},\"bytes\":{}}},",
             "\"config\":{{\"workers\":{},\"queue_depth\":{},\"deadline_ms\":{},\"row_cap\":{}}},",
             "{}\"uptime_ms\":{}}}"
         ),
@@ -272,6 +280,11 @@ fn stats(state: &AppState, out: &mut TcpStream) {
         x.map.calls,
         x.map.items,
         x.fold.calls,
+        segcache("wodex_segcache_lookups_total"),
+        segcache("wodex_segcache_hits_total"),
+        segcache("wodex_segcache_misses_total"),
+        segcache("wodex_segcache_evictions_total"),
+        gv.get("wodex_segcache_bytes").copied().unwrap_or(0),
         state.cfg.effective_workers(),
         state.cfg.queue_depth,
         state.cfg.deadline.as_millis(),
@@ -964,12 +977,8 @@ fn shard_scan(state: &AppState, req: &Request, out: &mut TcpStream) {
     }
     // A constant missing from this shard's dictionary matches nothing —
     // an empty answer with full coverage, not an error.
-    let matches = state
-        .explorer
-        .store()
-        .encode_pattern(s.as_ref(), p.as_ref(), o.as_ref())
-        .map(|pat| state.explorer.store().match_decoded(pat))
-        .unwrap_or_default();
+    let store = state.explorer.store();
+    let pat = store.encode_pattern(s.as_ref(), p.as_ref(), o.as_ref());
     let trailers = ["X-Wodex-Degraded", "X-Wodex-Rows"];
     let Ok(mut cw) = ChunkedWriter::start(
         &mut *out,
@@ -985,31 +994,40 @@ fn shard_scan(state: &AppState, req: &Request, out: &mut TcpStream) {
     let mut tripped = None;
     let mut buf = String::new();
     let mut ok = true;
-    for group in matches.chunks(STREAM_GROUP) {
-        if tripped.is_some() {
-            break;
-        }
-        buf.clear();
-        for t in group {
-            if let Some(reason) = budget.exceeded() {
-                tripped = Some(reason);
-                break;
+    if let Some(pat) = pat {
+        // Matches stream chunk-by-chunk straight out of the store (from
+        // cached segment blocks when seg-backed) — the full match set
+        // is never materialized, and a tripped budget stops the scan at
+        // chunk granularity.
+        store.match_pattern_chunks(pat, &mut |chunk| {
+            for group in chunk.chunks(STREAM_GROUP) {
+                buf.clear();
+                for t in group {
+                    if let Some(reason) = budget.exceeded() {
+                        tripped = Some(reason);
+                        break;
+                    }
+                    budget.charge_rows(1);
+                    buf.push_str(&format!("{}\n", store.decode(*t)));
+                    sent += 1;
+                }
+                if !buf.is_empty() && cw.chunk(buf.as_bytes()).is_err() {
+                    ok = false;
+                }
+                if tripped.is_some() || !ok {
+                    return false;
+                }
             }
-            budget.charge_rows(1);
-            buf.push_str(&format!("{t}\n"));
-            sent += 1;
-        }
-        if !buf.is_empty() && cw.chunk(buf.as_bytes()).is_err() {
-            ok = false;
-            break;
-        }
+            true
+        });
     }
     let degraded = tripped.map(|reason| Degraded {
         reason,
-        coverage: if matches.is_empty() {
-            1.0
-        } else {
-            sent as f64 / matches.len() as f64
+        // The denominator comes from the count path (no
+        // materialization) only when the scan actually tripped.
+        coverage: match pat.map(|p| store.count_pattern(p)) {
+            None | Some(0) => 1.0,
+            Some(total) => sent as f64 / total as f64,
         },
     });
     if degraded.is_some() {

@@ -495,11 +495,13 @@ fn describe(store: &TripleStore, resources: &[Term]) -> wodex_rdf::Graph {
     let mut g = wodex_rdf::Graph::new();
     for r in resources {
         let Some(id) = store.id_of(r) else { continue };
-        for t in store.match_pattern(Pattern::any().with_s(id)) {
-            g.insert(store.decode(t));
-        }
-        for t in store.match_pattern(Pattern::any().with_o(id)) {
-            g.insert(store.decode(t));
+        for pat in [Pattern::any().with_s(id), Pattern::any().with_o(id)] {
+            store.match_pattern_chunks(pat, &mut |chunk| {
+                for t in chunk {
+                    g.insert(store.decode(*t));
+                }
+                true
+            });
         }
     }
     g
@@ -588,13 +590,20 @@ fn join_bgp(
         let cp = &compiled[pi];
 
         // Extends one solution row with every store match of the pattern.
+        // Matches stream chunk-by-chunk (from cached segment blocks when
+        // the store has a segment base) instead of materializing the
+        // full match vector per row; chunk concatenation is exactly
+        // `match_pattern`, so join output is unchanged.
         let probe = |row: &Row| -> Vec<Row> {
             let mut extended = Vec::new();
-            for t in store.match_pattern(cp.fill(row)) {
-                if let Some(new_row) = cp.bind(row, &t) {
-                    extended.push(new_row);
+            store.match_pattern_chunks(cp.fill(row), &mut |chunk| {
+                for t in chunk {
+                    if let Some(new_row) = cp.bind(row, t) {
+                        extended.push(new_row);
+                    }
                 }
-            }
+                true
+            });
             extended
         };
         // Only the final pattern's output is the row stream; intermediate

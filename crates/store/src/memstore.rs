@@ -452,6 +452,79 @@ impl TripleStore {
         out
     }
 
+    /// Streams `match_pattern(pat)` as a sequence of chunks without
+    /// materializing the full result: concatenating every chunk yields
+    /// exactly `match_pattern(pat)`. Base chunks stream straight from
+    /// the segment source's [`SegmentSource::scan_chunks`] (so a
+    /// block-cached base never materializes a full scan), merged
+    /// incrementally with the local sorted run in key order — base
+    /// first on ties, the same tie-break `match_pattern` uses — with
+    /// matching tail entries appended last.
+    ///
+    /// `f` returns `false` to stop the scan early (budget-aware
+    /// consumers degrade at chunk granularity); the call then returns
+    /// `false` without scanning further. Base read failures fail-stop
+    /// exactly like `match_pattern` (see the struct docs).
+    pub fn match_pattern_chunks(
+        &self,
+        pat: Pattern,
+        f: &mut dyn FnMut(&[EncodedTriple]) -> bool,
+    ) -> bool {
+        /// Local-run entries emitted between base chunks, per chunk.
+        const LOCAL_CHUNK: usize = 8192;
+        let s = pat.s.map(|t| t.0);
+        let p = pat.p.map(|t| t.0);
+        let o = pat.o.map(|t| t.0);
+        let (run, order) = self.index_run(s, p, o);
+        let mut li = 0usize;
+        let mut buf: Vec<EncodedTriple> = Vec::new();
+        let local_visible = |k: &[u32; 3]| -> Option<EncodedTriple> {
+            let t = order.unkey(k);
+            (self.deleted.is_empty() || !self.deleted.contains(&t)).then_some(t)
+        };
+        if let Some(b) = &self.base {
+            let done = Self::base_ok(b.scan_chunks(pat, &mut |chunk| {
+                buf.clear();
+                for t in chunk {
+                    if !self.deleted.is_empty() && self.deleted.contains(t) {
+                        continue; // tombstoned base triple
+                    }
+                    let bk = order.key(t);
+                    while li < run.len() && run[li] < bk {
+                        if let Some(lt) = local_visible(&run[li]) {
+                            buf.push(lt);
+                        }
+                        li += 1;
+                    }
+                    buf.push(*t);
+                }
+                buf.is_empty() || f(&buf)
+            }));
+            if !done {
+                return false;
+            }
+        }
+        while li < run.len() {
+            let end = run.len().min(li + LOCAL_CHUNK);
+            buf.clear();
+            for k in &run[li..end] {
+                if let Some(lt) = local_visible(k) {
+                    buf.push(lt);
+                }
+            }
+            li = end;
+            if !buf.is_empty() && !f(&buf) {
+                return false;
+            }
+        }
+        buf.clear();
+        buf.extend(self.tail.iter().filter(|t| pat.matches(t)));
+        if !buf.is_empty() && !f(&buf) {
+            return false;
+        }
+        true
+    }
+
     /// Counts matches without materializing result triples.
     ///
     /// With no deletions the indexed part is just the run length; with
@@ -1166,6 +1239,60 @@ mod tests {
         let snap = layered.snapshot_sorted();
         assert_eq!(snap.len(), layered.len());
         assert!(snap.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn chunked_matches_concatenate_to_match_pattern() {
+        // The streaming bridge must see exactly what the materializing
+        // path sees — same rows, same order — on every store shape:
+        // flat, base-backed, and base-backed with tombstones + tail.
+        let collect = |st: &TripleStore, pat: Pattern| -> Vec<EncodedTriple> {
+            let mut out = Vec::new();
+            assert!(st.match_pattern_chunks(pat, &mut |c| {
+                assert!(!c.is_empty(), "empty chunk emitted for {pat:?}");
+                out.extend_from_slice(c);
+                true
+            }));
+            out
+        };
+        let check_all = |st: &TripleStore| {
+            let s = st.id_of(&Term::iri("http://e.org/s3"));
+            let p = st.id_of(&Term::iri(rdf::TYPE));
+            let o = st.id_of(&Term::iri("http://e.org/C"));
+            for &ps in &[None, s] {
+                for &pp in &[None, p] {
+                    for &po in &[None, o] {
+                        let pat = Pattern {
+                            s: ps,
+                            p: pp,
+                            o: po,
+                        };
+                        assert_eq!(collect(st, pat), st.match_pattern(pat), "{pat:?}");
+                    }
+                }
+            }
+        };
+        check_all(&store());
+        let (mut layered, _) = layered_store();
+        check_all(&layered);
+        // Tombstone a base triple, resurrect-adjacent insert, leave a tail.
+        let dup = Triple::iri("http://e.org/s0", rdf::TYPE, Term::iri("http://e.org/C"));
+        assert!(layered.remove(&dup));
+        layered.insert(&Triple::iri(
+            "http://e.org/zz",
+            rdfs::LABEL,
+            Term::literal("zz"),
+        ));
+        assert!(layered.tail_len() > 0);
+        check_all(&layered);
+        // Early stop: the callback returning false halts the scan and
+        // the bridge reports it.
+        let mut calls = 0usize;
+        assert!(!layered.match_pattern_chunks(Pattern::any(), &mut |_| {
+            calls += 1;
+            false
+        }));
+        assert_eq!(calls, 1);
     }
 
     #[test]

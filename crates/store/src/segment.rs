@@ -89,6 +89,29 @@ pub trait SegmentSource: Send + Sync + std::fmt::Debug {
     /// Planner statistics from metadata only (no full scan).
     fn source_stats(&self) -> StoreStats;
 
+    /// Streams the matches of `pat` as a sequence of chunks, in the
+    /// same order and with the same contents as [`SegmentSource::scan`]
+    /// — concatenating every chunk yields exactly `scan(pat)`. Chunk
+    /// boundaries are an implementation detail (block-structured
+    /// sources emit one chunk per decoded block).
+    ///
+    /// `f` returns `false` to stop the scan early — a budget-aware
+    /// consumer degrades at chunk granularity without the source
+    /// decoding further. Returns `Ok(true)` iff the scan ran to
+    /// completion. The default materializes via `scan` and emits one
+    /// chunk; sources that can stream from cached blocks override it.
+    fn scan_chunks(
+        &self,
+        pat: Pattern,
+        f: &mut dyn FnMut(&[EncodedTriple]) -> bool,
+    ) -> Result<bool, StoreError> {
+        let all = self.scan(pat)?;
+        if all.is_empty() {
+            return Ok(true);
+        }
+        Ok(f(&all))
+    }
+
     /// Exact match count. Default: scan and count.
     fn count(&self, pat: Pattern) -> Result<usize, StoreError> {
         Ok(self.scan(pat)?.len())

@@ -175,6 +175,12 @@ curl -sf "http://127.0.0.1:$PORT/metrics" | grep '^wodex_seg_blocks_read' > /dev
     echo "verify: FAIL — /metrics did not expose wodex_seg_blocks_read"
     exit 1
 }
+# PR 10: the decoded-block cache family must be registered and scraping
+# after seg-backed queries ran (the scans above exercised the cache).
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep '^wodex_segcache_lookups_total' > /dev/null || {
+    echo "verify: FAIL — /metrics did not expose wodex_segcache_lookups_total"
+    exit 1
+}
 curl -sf -X POST "http://127.0.0.1:$PORT/admin/shutdown" > /dev/null
 wait "$SEG_PID" || { echo "verify: FAIL — seg-backed serve exited non-zero"; exit 1; }
 grep -q "shut down cleanly" "$SMOKE_DIR/seg_serve.log" || {
@@ -193,6 +199,13 @@ echo "==> repro bench-pr9 (live data: maintenance <= 0.2x rebuild, snapshot read
 cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr9
 grep -q '"gate_ok": true' BENCH_PR9.json || {
     echo "verify: FAIL — live data missed its maintenance/read-overhead gates (see BENCH_PR9.json)"
+    exit 1
+}
+
+echo "==> repro bench-pr10 (scan engine: warm >= 3x cold, pruning <= legacy, identical answers)"
+cargo run -q --release --offline -p wodex-bench --bin repro -- bench-pr10
+grep -q '"gate_ok": true' BENCH_PR10.json || {
+    echo "verify: FAIL — scan engine missed its cache/pruning/parity gates (see BENCH_PR10.json)"
     exit 1
 }
 

@@ -86,6 +86,89 @@ fn pool_lookups_conserve_under_concurrent_scans() {
     assert!(s.hits + s.misses > 0);
 }
 
+/// PR 10: the decoded-block cache obeys the same conservation law as
+/// the buffer pool — every lookup resolves to exactly one hit or one
+/// miss, even with 8 threads racing cold misses on the same blocks.
+#[test]
+fn segcache_lookups_conserve_under_concurrent_scans() {
+    use wodex::rdf::ntriples;
+    use wodex::seg::{load_ntriples, BlockCache, LoadConfig, SegmentStore};
+    use wodex::store::{Pattern, TripleStore};
+
+    let _guard = lock();
+    // A segment-backed store with small blocks, so scans touch many
+    // cacheable blocks, and a local cache attached (the registry series
+    // are process-global regardless of which instance feeds them).
+    let mem = TripleStore::from_graph(&dbpedia::generate(&DbpediaConfig {
+        entities: 150,
+        ..Default::default()
+    }));
+    let graph: wodex::rdf::Graph = mem
+        .match_pattern(Pattern::any())
+        .into_iter()
+        .map(|t| mem.decode(t))
+        .collect();
+    let dir = std::env::temp_dir().join(format!("wodex_obs_segcache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    load_ntriples(
+        ntriples::serialize(&graph).as_bytes(),
+        &dir,
+        &LoadConfig {
+            block_triples: 32,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("bulk load");
+    let (dict, mut segs) = SegmentStore::open(&dir).expect("open");
+    let cache = std::sync::Arc::new(BlockCache::new(8 << 20));
+    segs.set_block_cache(Some(std::sync::Arc::clone(&cache)));
+    let store = TripleStore::with_base(dict, std::sync::Arc::new(segs));
+
+    let before = (
+        counter("wodex_segcache_lookups_total"),
+        counter("wodex_segcache_hits_total"),
+        counter("wodex_segcache_misses_total"),
+    );
+    let all = store.match_pattern(Pattern::any());
+    assert!(!all.is_empty());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (store, all) = (&store, &all);
+            scope.spawn(move || {
+                for round in 0..4 {
+                    // Full scans and point probes interleave so cold
+                    // misses, racing misses and warm hits all occur.
+                    assert_eq!(store.match_pattern(Pattern::any()).len(), all.len());
+                    let probe = all[(t * 37 + round * 11) % all.len()];
+                    assert!(!store
+                        .match_pattern(Pattern::any().with_s(wodex::rdf::TermId(probe[0])))
+                        .is_empty());
+                }
+            });
+        }
+    });
+    let lookups = counter("wodex_segcache_lookups_total") - before.0;
+    let hits = counter("wodex_segcache_hits_total") - before.1;
+    let misses = counter("wodex_segcache_misses_total") - before.2;
+    assert!(lookups > 0, "the scans must have gone through the cache");
+    assert!(misses > 0, "a cold cache must miss at least once");
+    assert!(hits > 0, "repeated scans must hit decoded blocks");
+    assert_eq!(
+        hits + misses,
+        lookups,
+        "every decoded-block lookup must resolve to exactly one hit or miss"
+    );
+    // The instance's own stats conserve identically.
+    let s = cache.stats();
+    let ord = std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(
+        s.hits.load(ord) + s.misses.load(ord),
+        s.lookups.load(ord),
+        "per-instance conservation"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn accepted_connections_are_served_or_shed() {
     let _guard = lock();

@@ -1,0 +1,229 @@
+//! Decoded-block cache differential suite (PR 10).
+//!
+//! The cache's one job is to be invisible: a segment-backed store with
+//! the decoded-block cache attached must answer every scan bit-
+//! identically to a cache-disabled oracle opened over the same
+//! directory — while live commits land, while `compact_deltas` folds
+//! the WAL into a fresh segment generation, and across full reopens.
+//! Invalidation is by segment identity (every reopen mints fresh cache
+//! keys), so the dangerous case is exactly this interleaving: a shared
+//! cache surviving generations must never serve a block decoded from a
+//! segment that compaction has since replaced.
+//!
+//! Seeded like `mvcc.rs`; the workload is a closed triple universe so
+//! deletes actually hit resident triples.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use wodex::rdf::{ntriples, Graph, Term, Triple};
+use wodex::seg::{
+    compact_deltas, load_ntriples, replay, wal_sink, BlockCache, DeltaLog, LoadConfig, SegmentStore,
+};
+use wodex::store::{LiveStore, Pattern, SegmentSource, TripleStore, WriteBatch};
+use wodex::synth::rng::{Rng, SeedableRng, StdRng};
+
+const SUBJECTS: u64 = 30;
+const VALUES: u64 = 10;
+const ROUNDS: usize = 3;
+const COMMITS_PER_ROUND: usize = 4;
+const BATCH_OPS: usize = 3;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wodex_segcache_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn iri(kind: &str, i: u64) -> Term {
+    Term::iri(format!("http://ex.org/segcache/{kind}{i}"))
+}
+
+/// The closed universe commits sample from: literal attributes on three
+/// predicates plus IRI-valued link edges.
+fn universe() -> Vec<Triple> {
+    let mut ts = Vec::new();
+    for s in 0..SUBJECTS {
+        for v in 0..VALUES {
+            ts.push(Triple::new(
+                iri("s", s),
+                iri("p", v % 3),
+                Term::literal(format!("v{v}")),
+            ));
+        }
+        ts.push(Triple::new(
+            iri("s", s),
+            iri("link", 0),
+            iri("s", (s + 1) % SUBJECTS),
+        ));
+    }
+    ts
+}
+
+/// Seed dataset: a deterministic half of the universe, bulk-loaded with
+/// tiny blocks so scans cross many block boundaries.
+fn seed_dir(name: &str, seed: u64) -> PathBuf {
+    let dir = tmpdir(name);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let g: Graph = universe()
+        .into_iter()
+        .filter(|_| rng.random_range(0..2u32) == 0)
+        .collect();
+    let nt = ntriples::serialize(&g);
+    load_ntriples(
+        nt.as_bytes(),
+        &dir,
+        &LoadConfig {
+            block_triples: 32,
+            segment_max_triples: 128,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("bulk load");
+    dir
+}
+
+/// Opens the directory as a live store (base + WAL replay) with the
+/// given decoded-block cache attached to the base segments.
+fn open_live(dir: &Path, cache: Option<Arc<BlockCache>>) -> (LiveStore, Arc<Mutex<DeltaLog>>) {
+    let (dict, mut base) = SegmentStore::open(dir).expect("open base");
+    base.set_block_cache(cache);
+    let (frames, log) = DeltaLog::open(dir).expect("open wal");
+    let (store, rev) = replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames);
+    let live = LiveStore::at_revision(store, rev);
+    let log = Arc::new(Mutex::new(log));
+    live.set_wal(wal_sink(Arc::clone(&log)));
+    (live, log)
+}
+
+/// The cache-disabled oracle: a fresh open of the same directory with
+/// caching explicitly off, every WAL frame replayed. Ground truth for
+/// what the cached store must answer.
+fn oracle(dir: &Path) -> TripleStore {
+    let (dict, mut base) = SegmentStore::open(dir).expect("open oracle");
+    base.set_block_cache(None);
+    let (frames, _log) = DeltaLog::open(dir).expect("open oracle wal");
+    replay(dict, Arc::new(base) as Arc<dyn SegmentSource>, &frames).0
+}
+
+/// Every scan fingerprint the suite compares: full scan plus bound-S,
+/// bound-P, bound-O and bound-SP probes, decoded and sorted (the two
+/// stores may assign different dictionary ids).
+fn fingerprints(store: &TripleStore) -> Vec<Vec<String>> {
+    let mut pats = vec![Pattern::any()];
+    let s = store.id_of(&iri("s", 3));
+    let p = store.id_of(&iri("p", 0));
+    let o = store.id_of(&iri("s", 4));
+    if let Some(s) = s {
+        pats.push(Pattern::any().with_s(s));
+    }
+    if let Some(p) = p {
+        pats.push(Pattern::any().with_p(p));
+    }
+    if let Some(o) = o {
+        pats.push(Pattern::any().with_o(o));
+    }
+    if let (Some(s), Some(p)) = (s, p) {
+        pats.push(Pattern::any().with_s(s).with_p(p));
+    }
+    pats.into_iter()
+        .map(|pat| {
+            let mut rows: Vec<String> = store
+                .match_pattern(pat)
+                .into_iter()
+                .map(|e| store.decode(e).to_string())
+                .collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+/// The tentpole differential: interleaved commits, cached scans,
+/// delta compactions and reopens, all checked against the oracle.
+#[test]
+fn cached_scans_match_a_cache_disabled_oracle_across_generations() {
+    let seed = 0xD1FF_CACE;
+    let dir = seed_dir("diff", seed);
+    let u = universe();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One cache shared across every generation — the stale-read trap.
+    let cache = Arc::new(BlockCache::new(4 << 20));
+    for round in 0..ROUNDS {
+        let (live, _log) = open_live(&dir, Some(Arc::clone(&cache)));
+        for commit in 0..COMMITS_PER_ROUND {
+            let mut b = WriteBatch::new();
+            for _ in 0..BATCH_OPS {
+                b.delete(u[rng.random_range(0..u.len())].clone());
+            }
+            for _ in 0..BATCH_OPS {
+                b.insert(u[rng.random_range(0..u.len())].clone());
+            }
+            live.commit(&b).expect("commit");
+            let snap = live.snapshot();
+            let want = fingerprints(&oracle(&dir));
+            // Twice: the first pass may decode, the second must be able
+            // to serve from cache — both must equal the oracle.
+            for pass in 0..2 {
+                assert_eq!(
+                    fingerprints(snap.store()),
+                    want,
+                    "round {round} commit {commit} pass {pass} diverged from oracle"
+                );
+            }
+        }
+        drop(live);
+        // Fold the WAL: a new segment generation replaces the old one.
+        // The shared cache still holds the old generation's blocks —
+        // they must be unreachable for the reopened store.
+        compact_deltas(&dir).expect("compact deltas");
+        let (reopened, _log) = open_live(&dir, Some(Arc::clone(&cache)));
+        let snap = reopened.snapshot();
+        let want = fingerprints(&oracle(&dir));
+        for pass in 0..2 {
+            assert_eq!(
+                fingerprints(snap.store()),
+                want,
+                "round {round} post-compaction pass {pass} served a stale generation"
+            );
+        }
+    }
+    let s = cache.stats();
+    let (lookups, hits, misses) = (
+        s.lookups.load(Ordering::Relaxed),
+        s.hits.load(Ordering::Relaxed),
+        s.misses.load(Ordering::Relaxed),
+    );
+    assert!(hits > 0, "the repeated passes must actually hit the cache");
+    assert!(misses > 0, "fresh generations must miss before they hit");
+    assert_eq!(hits + misses, lookups, "conservation on the instance");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Base compaction (`compact_once`, the PR 8 background merger) is the
+/// other generation bump: segments merge level by level while a shared
+/// cache persists. Every merge round must keep cached answers identical
+/// to the cache-disabled oracle.
+#[test]
+fn cached_scans_survive_base_compaction_rounds() {
+    let dir = seed_dir("basecompact", 0xBA5E);
+    let cache = Arc::new(BlockCache::new(4 << 20));
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    loop {
+        let outcome = wodex::seg::compact_once(&dir, &wodex::seg::CompactOpts::default(), &stop)
+            .expect("compact_once");
+        let (dict, mut segs) = SegmentStore::open(&dir).expect("open");
+        segs.set_block_cache(Some(Arc::clone(&cache)));
+        let cached = TripleStore::with_base(dict, Arc::new(segs));
+        let want = fingerprints(&oracle(&dir));
+        // Warm then re-scan: the second pass exercises cache hits.
+        assert_eq!(fingerprints(&cached), want);
+        assert_eq!(fingerprints(&cached), want);
+        if matches!(outcome, wodex::seg::CompactOutcome::Idle) {
+            break;
+        }
+    }
+    assert!(cache.stats().hits.load(Ordering::Relaxed) > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
